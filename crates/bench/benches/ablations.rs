@@ -1,0 +1,88 @@
+//! Ablation benches for the design choices DESIGN.md calls out. These run
+//! the *cost model* (the quantity the paper's figures plot) under modified
+//! machine assumptions, plus a functional f32-vs-f64 kernel ablation.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use kmeans_core::distance::sq_euclidean_unrolled;
+use perf_model::{Calibration, CostModel, Level, ProblemShape};
+use sw_arch::{Machine, MachineParams};
+
+/// How much the register-communication buses buy: price Fig. 7's sweep with
+/// and without them. (A model-evaluation bench; the printed per-eval times
+/// are microseconds, the interesting output is the report in EXPERIMENTS.md.)
+fn register_comm_ablation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation_register_comm");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_millis(300));
+    group.measurement_time(std::time::Duration::from_millis(1500));
+    let shape = ProblemShape::f32(1_265_723, 2_000, 4_096);
+    let stock = CostModel::taihulight(128);
+    let mut no_reg = stock;
+    no_reg.machine.params = MachineParams::taihulight().without_register_communication();
+    for (label, model) in [("with_reg", &stock), ("without_reg", &no_reg)] {
+        group.bench_function(label, |b| {
+            b.iter(|| model.iteration_time(&shape, Level::L3).unwrap().total())
+        });
+    }
+    // Report the actual ablation outcome once.
+    let t_with = stock.iteration_time(&shape, Level::L3).unwrap();
+    let t_without = no_reg.iteration_time(&shape, Level::L3).unwrap();
+    println!(
+        "\nablation register-comm: assign_comm {:.4} s -> {:.4} s ({}x)",
+        t_with.assign_comm,
+        t_without.assign_comm,
+        t_without.assign_comm / t_with.assign_comm
+    );
+    group.finish();
+}
+
+/// Merge batching: per-sample argmin merges amortise message latency over
+/// tiles; sweep the tile size.
+fn merge_batch_ablation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation_merge_batch");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_millis(300));
+    group.measurement_time(std::time::Duration::from_millis(1500));
+    let shape = ProblemShape::f32(1_265_723, 2_000, 196_608);
+    for &batch in &[1.0f64, 8.0, 32.0, 128.0] {
+        let model = CostModel::new(
+            Machine::taihulight(4_096),
+            Calibration {
+                merge_batch: batch,
+                ..Calibration::default()
+            },
+        );
+        let total = model.iteration_time(&shape, Level::L3).unwrap().total();
+        println!("merge_batch {batch}: {total:.3} s/iter");
+        group.bench_with_input(
+            BenchmarkId::from_parameter(batch as u64),
+            &batch,
+            |b, _| b.iter(|| model.iteration_time(&shape, Level::L3).unwrap().total()),
+        );
+    }
+    group.finish();
+}
+
+/// Precision ablation: the distance kernel at f32 vs f64.
+fn precision_ablation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation_precision");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_millis(300));
+    group.measurement_time(std::time::Duration::from_millis(1500));
+    let d = 16_384;
+    let a32: Vec<f32> = (0..d).map(|i| (i as f32 * 0.3).sin()).collect();
+    let b32: Vec<f32> = (0..d).map(|i| (i as f32 * 0.7).cos()).collect();
+    let a64: Vec<f64> = a32.iter().map(|&v| v as f64).collect();
+    let b64: Vec<f64> = b32.iter().map(|&v| v as f64).collect();
+    group.bench_function("f32", |b| b.iter(|| sq_euclidean_unrolled(&a32, &b32)));
+    group.bench_function("f64", |b| b.iter(|| sq_euclidean_unrolled(&a64, &b64)));
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    register_comm_ablation,
+    merge_batch_ablation,
+    precision_ablation
+);
+criterion_main!(benches);

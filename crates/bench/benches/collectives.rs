@@ -1,0 +1,79 @@
+//! Micro-benchmarks of the msg runtime's collectives across world sizes
+//! and payload sizes — the operations whose byte counts the cost model
+//! prices.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use msg::World;
+
+fn allreduce(c: &mut Criterion) {
+    let mut group = c.benchmark_group("collectives_allreduce");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_millis(300));
+    group.measurement_time(std::time::Duration::from_millis(1500));
+
+    for &ranks in &[2usize, 4, 8] {
+        for &len in &[1_024usize, 65_536] {
+            group.throughput(Throughput::Bytes((len * 8) as u64));
+            group.bench_with_input(
+                BenchmarkId::new(format!("r{ranks}"), len),
+                &len,
+                |b, &len| {
+                    b.iter(|| {
+                        World::run(ranks, |comm| {
+                            let mut v = vec![comm.rank() as f64; len];
+                            comm.allreduce_sum_f64(&mut v);
+                            v[0]
+                        })
+                    })
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+fn min_loc(c: &mut Criterion) {
+    let mut group = c.benchmark_group("collectives_minloc");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_millis(300));
+    group.measurement_time(std::time::Duration::from_millis(1500));
+
+    for &len in &[1_024usize, 65_536] {
+        group.throughput(Throughput::Elements(len as u64));
+        group.bench_with_input(BenchmarkId::from_parameter(len), &len, |b, &len| {
+            b.iter(|| {
+                World::run(8, |comm| {
+                    let mut pairs: Vec<(f64, u64)> = (0..len)
+                        .map(|i| ((comm.rank() * 31 + i) as f64, i as u64))
+                        .collect();
+                    comm.allreduce_min_loc(&mut pairs);
+                    pairs[0].1
+                })
+            })
+        });
+    }
+    group.finish();
+}
+
+fn barrier(c: &mut Criterion) {
+    let mut group = c.benchmark_group("collectives_barrier");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_millis(300));
+    group.measurement_time(std::time::Duration::from_millis(1500));
+
+    for &ranks in &[2usize, 8] {
+        group.bench_with_input(BenchmarkId::from_parameter(ranks), &ranks, |b, &ranks| {
+            b.iter(|| {
+                World::run(ranks, |comm| {
+                    for _ in 0..10 {
+                        comm.barrier();
+                    }
+                })
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, allreduce, min_loc, barrier);
+criterion_main!(benches);

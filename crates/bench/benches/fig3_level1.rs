@@ -1,0 +1,39 @@
+//! Fig. 3 bench — Level 1 (n-partition) per-iteration time vs k, on
+//! host-scaled versions of the three UCI stand-ins.
+
+use bench::{bench_config, bench_init, BENCH_ITERS};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use hier_kmeans::fit;
+use perf_model::Level;
+
+fn fig3(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig3_level1");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_millis(300));
+    group.measurement_time(std::time::Duration::from_millis(1500));
+
+    for ds in datasets::uci::all() {
+        let n = ds.full_n.min(4_096);
+        let data = ds.generate(n);
+        // Scale the paper's k sweep down to the subset size.
+        for &k in &ds.fig3_k_values()[..3] {
+            let init = bench_init(&data, k);
+            let cfg = bench_config(Level::L1, 8, 1);
+            group.bench_with_input(
+                BenchmarkId::new(ds.name.replace(' ', "_"), k),
+                &k,
+                |b, _| {
+                    b.iter(|| {
+                        let r = fit(&data, init.clone(), &cfg).unwrap();
+                        assert_eq!(r.iterations, BENCH_ITERS);
+                        r.objective
+                    })
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, fig3);
+criterion_main!(benches);

@@ -1,0 +1,39 @@
+//! Fig. 4 bench — Level 2 (nk-partition) per-iteration time vs k, on
+//! host-scaled UCI stand-ins with centroid sharding over CPE groups.
+
+use bench::{bench_config, bench_init, BENCH_ITERS};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use hier_kmeans::fit;
+use perf_model::Level;
+
+fn fig4(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig4_level2");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_millis(300));
+    group.measurement_time(std::time::Duration::from_millis(1500));
+
+    for ds in datasets::uci::all() {
+        let n = ds.full_n.min(2_048);
+        let data = ds.generate(n);
+        // Host-scaled large-k sweep (the paper's ranges shrunk 64×).
+        for &k in &[64usize, 128, 256] {
+            let init = bench_init(&data, k);
+            let cfg = bench_config(Level::L2, 8, 4);
+            group.bench_with_input(
+                BenchmarkId::new(ds.name.replace(' ', "_"), k),
+                &k,
+                |b, _| {
+                    b.iter(|| {
+                        let r = fit(&data, init.clone(), &cfg).unwrap();
+                        assert_eq!(r.iterations, BENCH_ITERS);
+                        r.objective
+                    })
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, fig4);
+criterion_main!(benches);

@@ -1,0 +1,41 @@
+//! Fig. 5 bench — Level 3 (nkd-partition) per-iteration time over k × d,
+//! on host-scaled ImgNet-like data (the paper's 32×32×3 resolution and a
+//! reduced stand-in for the higher resolutions).
+
+use bench::{bench_config, bench_init, BENCH_ITERS};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use datasets::{ImageNetSource, SampleSource};
+use hier_kmeans::fit;
+use perf_model::Level;
+
+fn fig5(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig5_level3");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_millis(300));
+    group.measurement_time(std::time::Duration::from_millis(1500));
+
+    // d = 108 (6×6×3), 432 (12×12×3), 3072 (32×32×3 — the paper's smallest).
+    for &d in &[108usize, 432, 3_072] {
+        let src = ImageNetSource::new(512, d, 11);
+        let data = src.materialize(0, 512);
+        for &k in &[8usize, 16, 32] {
+            let init = bench_init(&data, k);
+            let cfg = bench_config(Level::L3, 8, 4);
+            group.bench_with_input(
+                BenchmarkId::new(format!("d{d}"), k),
+                &k,
+                |b, _| {
+                    b.iter(|| {
+                        let r = fit(&data, init.clone(), &cfg).unwrap();
+                        assert_eq!(r.iterations, BENCH_ITERS);
+                        r.objective
+                    })
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, fig5);
+criterion_main!(benches);

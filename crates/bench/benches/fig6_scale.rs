@@ -1,0 +1,52 @@
+//! Fig. 6 bench — Level 3 extreme scaling: (a) centroid count at fixed d,
+//! (b) unit count at fixed shape (the host-scale analogue of node scaling).
+
+use bench::{bench_config, bench_init, BENCH_ITERS};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use hier_kmeans::fit;
+use perf_model::Level;
+
+fn fig6a_centroids(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig6a_scale_k");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_millis(300));
+    group.measurement_time(std::time::Duration::from_millis(1500));
+
+    let data = bench::bench_data(1_024, 96, 3);
+    for &k in &[64usize, 128, 256, 512] {
+        let init = bench_init(&data, k);
+        let cfg = bench_config(Level::L3, 8, 8);
+        group.bench_with_input(BenchmarkId::from_parameter(k), &k, |b, _| {
+            b.iter(|| {
+                let r = fit(&data, init.clone(), &cfg).unwrap();
+                assert_eq!(r.iterations, BENCH_ITERS);
+                r.objective
+            })
+        });
+    }
+    group.finish();
+}
+
+fn fig6b_units(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig6b_scale_units");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_millis(300));
+    group.measurement_time(std::time::Duration::from_millis(1500));
+
+    let data = bench::bench_data(4_096, 192, 4);
+    let init = bench_init(&data, 32);
+    for &units in &[2usize, 4, 8, 16] {
+        let cfg = bench_config(Level::L3, units, 2);
+        group.bench_with_input(BenchmarkId::from_parameter(units), &units, |b, _| {
+            b.iter(|| {
+                let r = fit(&data, init.clone(), &cfg).unwrap();
+                assert_eq!(r.iterations, BENCH_ITERS);
+                r.objective
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, fig6a_centroids, fig6b_units);
+criterion_main!(benches);

@@ -1,0 +1,33 @@
+//! Fig. 7 bench — Level 2 vs Level 3 as dimensionality grows (host-scaled):
+//! the functional analogue of the paper's crossover study.
+
+use bench::{bench_config, bench_init, BENCH_ITERS};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use hier_kmeans::fit;
+use perf_model::Level;
+
+fn fig7(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig7_vary_d");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_millis(300));
+    group.measurement_time(std::time::Duration::from_millis(1500));
+
+    for &d in &[32usize, 128, 512, 2_048] {
+        let data = bench::bench_data(1_024, d, 5);
+        let init = bench_init(&data, 32);
+        for (label, level, g) in [("L2", Level::L2, 4), ("L3", Level::L3, 4)] {
+            let cfg = bench_config(level, 8, g);
+            group.bench_with_input(BenchmarkId::new(label, d), &d, |b, _| {
+                b.iter(|| {
+                    let r = fit(&data, init.clone(), &cfg).unwrap();
+                    assert_eq!(r.iterations, BENCH_ITERS);
+                    r.objective
+                })
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, fig7);
+criterion_main!(benches);

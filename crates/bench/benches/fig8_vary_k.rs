@@ -1,0 +1,33 @@
+//! Fig. 8 bench — Level 2 vs Level 3 as the centroid count grows
+//! (host-scaled), at fixed dimensionality.
+
+use bench::{bench_config, bench_init, BENCH_ITERS};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use hier_kmeans::fit;
+use perf_model::Level;
+
+fn fig8(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig8_vary_k");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_millis(300));
+    group.measurement_time(std::time::Duration::from_millis(1500));
+
+    let data = bench::bench_data(1_024, 256, 6);
+    for &k in &[16usize, 64, 256] {
+        let init = bench_init(&data, k);
+        for (label, level) in [("L2", Level::L2), ("L3", Level::L3)] {
+            let cfg = bench_config(level, 8, 4);
+            group.bench_with_input(BenchmarkId::new(label, k), &k, |b, _| {
+                b.iter(|| {
+                    let r = fit(&data, init.clone(), &cfg).unwrap();
+                    assert_eq!(r.iterations, BENCH_ITERS);
+                    r.objective
+                })
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, fig8);
+criterion_main!(benches);

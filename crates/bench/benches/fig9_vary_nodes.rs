@@ -1,0 +1,33 @@
+//! Fig. 9 bench — Level 2 vs Level 3 across unit counts (the host-scale
+//! analogue of varying node allocations).
+
+use bench::{bench_config, bench_init, BENCH_ITERS};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use hier_kmeans::fit;
+use perf_model::Level;
+
+fn fig9(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig9_vary_nodes");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_millis(300));
+    group.measurement_time(std::time::Duration::from_millis(1500));
+
+    let data = bench::bench_data(2_048, 256, 8);
+    let init = bench_init(&data, 32);
+    for &units in &[2usize, 4, 8, 16] {
+        for (label, level) in [("L2", Level::L2), ("L3", Level::L3)] {
+            let cfg = bench_config(level, units, 2);
+            group.bench_with_input(BenchmarkId::new(label, units), &units, |b, _| {
+                b.iter(|| {
+                    let r = fit(&data, init.clone(), &cfg).unwrap();
+                    assert_eq!(r.iterations, BENCH_ITERS);
+                    r.objective
+                })
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, fig9);
+criterion_main!(benches);

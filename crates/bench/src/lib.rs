@@ -1,0 +1,59 @@
+//! Shared helpers for the Criterion benchmark suite.
+//!
+//! Layout: one bench target per paper table/figure (`fig3_level1` …
+//! `table3_architectures`) plus micro-benchmarks (`kernels`,
+//! `collectives`) and design-choice `ablations`. The figure benches run
+//! the *functional* executors at host-scale shapes (measuring the real
+//! code paths); the shape claims at machine scale live in the
+//! `experiments` harness, which prices full configurations with the cost
+//! model. Run everything with `cargo bench --workspace`.
+
+use hier_kmeans::HierConfig;
+use kmeans_core::{init_centroids, InitMethod, Matrix};
+use perf_model::Level;
+
+/// Deterministic benchmark dataset: a Gaussian mixture at the given shape.
+pub fn bench_data(n: usize, d: usize, seed: u64) -> Matrix<f32> {
+    datasets::GaussianMixture::new(n, d, 16)
+        .with_seed(seed)
+        .with_spread(20.0)
+        .generate()
+        .data
+}
+
+/// Deterministic initial centroids for a dataset.
+pub fn bench_init(data: &Matrix<f32>, k: usize) -> Matrix<f32> {
+    init_centroids(data, k, InitMethod::Forgy, 7)
+}
+
+/// A fixed-iteration executor configuration (2 iterations, no early exit),
+/// so measured time is exactly two Assign+Update rounds.
+pub fn bench_config(level: Level, units: usize, group_units: usize) -> HierConfig {
+    HierConfig {
+        level,
+        units,
+        group_units,
+        cpes_per_cg: 8,
+        max_iters: 2,
+        tol: 0.0,
+    }
+}
+
+/// Iterations each bench fixes (keep in sync with [`bench_config`]).
+pub const BENCH_ITERS: usize = 2;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn helpers_produce_consistent_shapes() {
+        let data = bench_data(128, 16, 1);
+        assert_eq!(data.rows(), 128);
+        assert_eq!(data.cols(), 16);
+        let init = bench_init(&data, 4);
+        assert_eq!(init.rows(), 4);
+        let cfg = bench_config(Level::L2, 8, 4);
+        assert_eq!(cfg.max_iters, BENCH_ITERS);
+    }
+}

@@ -1,0 +1,91 @@
+//! Minimal `--flag value` argument parsing (no external dependencies).
+
+use std::collections::HashMap;
+
+/// Parsed command line: a subcommand plus `--key value` flags.
+#[derive(Debug, Clone)]
+pub struct Args {
+    pub command: String,
+    flags: HashMap<String, String>,
+}
+
+impl Args {
+    /// Parse `argv[1..]`: first token is the subcommand, the rest are
+    /// `--key value` pairs (or bare `--key` booleans).
+    pub fn parse(argv: &[String]) -> Result<Args, String> {
+        let mut it = argv.iter().peekable();
+        let command = it
+            .next()
+            .ok_or_else(|| "missing subcommand".to_string())?
+            .clone();
+        if command.starts_with("--") {
+            return Err(format!("expected a subcommand, found flag {command}"));
+        }
+        let mut flags = HashMap::new();
+        while let Some(token) = it.next() {
+            let key = token
+                .strip_prefix("--")
+                .ok_or_else(|| format!("expected --flag, found `{token}`"))?;
+            let value = match it.peek() {
+                Some(next) if !next.starts_with("--") => it.next().unwrap().clone(),
+                _ => "true".to_string(),
+            };
+            flags.insert(key.to_string(), value);
+        }
+        Ok(Args { command, flags })
+    }
+
+    /// A required flag, parsed.
+    pub fn require<T: std::str::FromStr>(&self, key: &str) -> Result<T, String> {
+        let raw = self
+            .flags
+            .get(key)
+            .ok_or_else(|| format!("missing required flag --{key}"))?;
+        raw.parse()
+            .map_err(|_| format!("flag --{key}: cannot parse `{raw}`"))
+    }
+
+    /// An optional flag with a default.
+    pub fn get_or<T: std::str::FromStr>(&self, key: &str, default: T) -> Result<T, String> {
+        match self.flags.get(key) {
+            None => Ok(default),
+            Some(raw) => raw
+                .parse()
+                .map_err(|_| format!("flag --{key}: cannot parse `{raw}`")),
+        }
+    }
+
+    /// An optional string flag.
+    pub fn get_str(&self, key: &str) -> Option<&str> {
+        self.flags.get(key).map(|s| s.as_str())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn argv(s: &str) -> Vec<String> {
+        s.split_whitespace().map(|t| t.to_string()).collect()
+    }
+
+    #[test]
+    fn parses_command_and_flags() {
+        let a = Args::parse(&argv("model --n 1000 --k 16 --verbose")).unwrap();
+        assert_eq!(a.command, "model");
+        assert_eq!(a.require::<u64>("n").unwrap(), 1000);
+        assert_eq!(a.require::<usize>("k").unwrap(), 16);
+        assert_eq!(a.get_str("verbose"), Some("true"));
+        assert_eq!(a.get_or("missing", 7u32).unwrap(), 7);
+    }
+
+    #[test]
+    fn rejects_malformed_input() {
+        assert!(Args::parse(&[]).is_err());
+        assert!(Args::parse(&argv("--n 5")).is_err());
+        assert!(Args::parse(&argv("model n 5")).is_err());
+        let a = Args::parse(&argv("model --n five")).unwrap();
+        assert!(a.require::<u64>("n").is_err());
+        assert!(a.require::<u64>("k").is_err());
+    }
+}

@@ -1,0 +1,284 @@
+//! `swkm` — command-line interface to the sunway-kmeans library.
+//!
+//! ```text
+//! swkm plan  --n 1265723 --k 2000 --d 196608 --nodes 4096
+//! swkm model --n 1265723 --k 2000 --d 4096 --nodes 128 [--level 2]
+//! swkm sweep --n 1265723 --k 2000 --d-lo 512 --d-hi 8192 --step 512 --nodes 128
+//! swkm fit   --dataset kegg --n 4096 --k 64 [--level 3] [--units 8] [--group 2]
+//! swkm landcover --size 128 --out target/landcover-cli
+//! ```
+
+mod args;
+
+use args::Args;
+use hier_kmeans::{choose_level, HierKMeans};
+use kmeans_core::{init_centroids, InitMethod};
+use perf_model::{feasibility, CostModel, Level, ProblemShape};
+use sw_arch::Machine;
+
+fn main() {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let code = match run(&argv) {
+        Ok(()) => 0,
+        Err(msg) => {
+            eprintln!("swkm: {msg}");
+            eprintln!();
+            eprintln!("usage: swkm <plan|model|sweep|fit|landcover> [--flags]");
+            2
+        }
+    };
+    std::process::exit(code);
+}
+
+fn parse_level(args: &Args) -> Result<Option<Level>, String> {
+    match args.get_str("level") {
+        None | Some("auto") => Ok(None),
+        Some("1") => Ok(Some(Level::L1)),
+        Some("2") => Ok(Some(Level::L2)),
+        Some("3") => Ok(Some(Level::L3)),
+        Some(other) => Err(format!("--level must be 1|2|3|auto, got `{other}`")),
+    }
+}
+
+fn run(argv: &[String]) -> Result<(), String> {
+    let args = Args::parse(argv)?;
+    match args.command.as_str() {
+        "plan" => cmd_plan(&args),
+        "model" => cmd_model(&args),
+        "sweep" => cmd_sweep(&args),
+        "fit" => cmd_fit(&args),
+        "landcover" => cmd_landcover(&args),
+        other => Err(format!("unknown subcommand `{other}`")),
+    }
+}
+
+/// Feasibility of every level for a shape, with the chosen plan's layout.
+fn cmd_plan(args: &Args) -> Result<(), String> {
+    let n: u64 = args.require("n")?;
+    let k: u64 = args.require("k")?;
+    let d: u64 = args.require("d")?;
+    let nodes: usize = args.get_or("nodes", 128)?;
+    let shape = ProblemShape::f32(n, k, d);
+    let machine = Machine::taihulight(nodes);
+    println!("shape: n={n} k={k} d={d} on {nodes} nodes ({} CPEs)", machine.total_cpes());
+    for level in [Level::L1, Level::L2, Level::L3] {
+        match feasibility::plan(level, &shape, &machine, true) {
+            Ok(plan) => {
+                println!(
+                    "  {level}: group of {} unit(s), {} centroid(s)/unit, {} groups, \
+                     slice {}, resident {} B/CPE{}",
+                    plan.group_units,
+                    plan.centroids_per_unit,
+                    plan.n_groups,
+                    plan.slice,
+                    plan.resident_bytes,
+                    if plan.spilled { " [SPILLED to DDR]" } else { "" }
+                );
+            }
+            Err(e) => println!("  {level}: INFEASIBLE — {e}"),
+        }
+    }
+    Ok(())
+}
+
+/// Cost breakdown for a shape at one level (or the model's choice).
+fn cmd_model(args: &Args) -> Result<(), String> {
+    let n: u64 = args.require("n")?;
+    let k: u64 = args.require("k")?;
+    let d: u64 = args.require("d")?;
+    let nodes: usize = args.get_or("nodes", 128)?;
+    let shape = ProblemShape::f32(n, k, d);
+    let model = CostModel::taihulight(nodes);
+    let (level, cost) = match parse_level(args)? {
+        Some(level) => (
+            level,
+            model.iteration_time(&shape, level).map_err(|e| e.to_string())?,
+        ),
+        None => perf_model::best_level(&model, &shape)
+            .map_err(|errs| errs.iter().map(|e| e.to_string()).collect::<Vec<_>>().join("; "))?,
+    };
+    println!("{level} on {nodes} nodes:");
+    println!("  compute      {:>12.6} s", cost.compute);
+    println!("  read (DMA)   {:>12.6} s", cost.read);
+    println!("  assign comm  {:>12.6} s", cost.assign_comm);
+    println!("  update comm  {:>12.6} s", cost.update_comm);
+    println!("  total        {:>12.6} s per iteration ({})", cost.total(), cost.dominant_phase());
+    Ok(())
+}
+
+/// d-sweep comparing Level 2 and Level 3 (the Fig. 7 study, custom params).
+fn cmd_sweep(args: &Args) -> Result<(), String> {
+    let n: u64 = args.require("n")?;
+    let k: u64 = args.require("k")?;
+    let lo: u64 = args.require("d-lo")?;
+    let hi: u64 = args.require("d-hi")?;
+    let step: u64 = args.get_or("step", 512)?;
+    let nodes: usize = args.get_or("nodes", 128)?;
+    if step == 0 || lo > hi {
+        return Err("need d-lo ≤ d-hi and step > 0".into());
+    }
+    let model = CostModel::taihulight(nodes);
+    println!("{:>8} {:>12} {:>12}  winner", "d", "L2 (s)", "L3 (s)");
+    let mut d = lo;
+    while d <= hi {
+        let shape = ProblemShape::f32(n, k, d);
+        let l2 = model.iteration_time_strict(&shape, Level::L2);
+        let l3 = model.iteration_time(&shape, Level::L3);
+        let fmt = |r: &Result<perf_model::CostBreakdown, _>| match r {
+            Ok(c) => format!("{:.4}", c.total()),
+            Err(_) => "—".to_string(),
+        };
+        let winner = match (&l2, &l3) {
+            (Ok(a), Ok(b)) => {
+                if a.total() < b.total() {
+                    "L2"
+                } else {
+                    "L3"
+                }
+            }
+            (Err(_), Ok(_)) => "L3",
+            (Ok(_), Err(_)) => "L2",
+            _ => "—",
+        };
+        println!("{d:>8} {:>12} {:>12}  {winner}", fmt(&l2), fmt(&l3));
+        d += step;
+    }
+    Ok(())
+}
+
+/// Functional clustering on a generated dataset.
+fn cmd_fit(args: &Args) -> Result<(), String> {
+    let dataset = args.get_str("dataset").unwrap_or("mixture");
+    let n: usize = args.get_or("n", 4_096)?;
+    let k: usize = args.require("k")?;
+    let units: usize = args.get_or("units", 8)?;
+    let group: usize = args.get_or("group", 2)?;
+    let data = match dataset {
+        "kegg" => datasets::uci::kegg_network().generate(n),
+        "road" => datasets::uci::road_network().generate(n),
+        "census" => datasets::uci::us_census_1990().generate(n),
+        "mixture" => {
+            let d: usize = args.get_or("d", 16)?;
+            datasets::GaussianMixture::new(n, d, k.max(2))
+                .with_seed(args.get_or("seed", 0u64)?)
+                .generate()
+                .data
+        }
+        other => return Err(format!("unknown dataset `{other}` (kegg|road|census|mixture)")),
+    };
+    let level = match parse_level(args)? {
+        Some(level) => level,
+        None => choose_level(n, k, data.cols(), 1),
+    };
+    println!(
+        "fitting {dataset}: n={} d={} k={k} with {level} ({units} units, groups of {group})",
+        data.rows(),
+        data.cols()
+    );
+    let init = init_centroids(&data, k, InitMethod::KMeansPlusPlus, args.get_or("seed", 0u64)?);
+    let result = HierKMeans::new(level)
+        .with_units(units)
+        .with_group_units(if level == Level::L1 { 1 } else { group })
+        .with_cpes_per_cg(8)
+        .with_max_iters(args.get_or("max-iters", 100usize)?)
+        .fit(&data, init)
+        .map_err(|e| e.to_string())?;
+    println!(
+        "done: {} iterations (converged = {}), objective {:.5}",
+        result.iterations, result.converged, result.objective
+    );
+    let sizes = kmeans_core::objective::cluster_sizes(&result.labels, k);
+    println!("cluster sizes: {sizes:?}");
+    println!(
+        "communication: {} messages, {:.2} MB",
+        result.comm_messages,
+        result.comm_bytes as f64 / 1e6
+    );
+    Ok(())
+}
+
+/// The Fig. 10 pipeline at a chosen scene size.
+fn cmd_landcover(args: &Args) -> Result<(), String> {
+    let size: usize = args.get_or("size", 192)?;
+    let out = args.get_str("out").unwrap_or("target/landcover-cli").to_string();
+    let scene = datasets::SyntheticScene::generate(datasets::SceneConfig {
+        width: size,
+        height: size,
+        sites_per_class: (size / 64).max(2),
+        seed: args.get_or("seed", 2018u64)?,
+    });
+    let features = scene.block_features(3);
+    let init = init_centroids(&features, 7, InitMethod::KMeansPlusPlus, 42);
+    let result = HierKMeans::new(Level::L3)
+        .with_units(8)
+        .with_group_units(2)
+        .with_cpes_per_cg(4)
+        .with_max_iters(30)
+        .with_tol(1e-6)
+        .fit(&features, init)
+        .map_err(|e| e.to_string())?;
+    let accuracy = scene.clustering_accuracy(&result.labels, 7);
+    println!(
+        "{size}×{size} scene: {} iterations, {:.1}% class recovery",
+        result.iterations,
+        accuracy * 100.0
+    );
+    std::fs::create_dir_all(&out).map_err(|e| e.to_string())?;
+    for (name, img) in [
+        ("satellite.ppm", scene.satellite()),
+        ("truth.ppm", scene.truth_mask()),
+        ("clusters.ppm", scene.label_mask(&result.labels)),
+    ] {
+        let path = format!("{out}/{name}");
+        img.save_ppm(&path).map_err(|e| e.to_string())?;
+        println!("wrote {path}");
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn argv(s: &str) -> Vec<String> {
+        s.split_whitespace().map(|t| t.to_string()).collect()
+    }
+
+    #[test]
+    fn plan_and_model_commands_run() {
+        run(&argv("plan --n 1265723 --k 2000 --d 4096 --nodes 128")).unwrap();
+        run(&argv("model --n 1265723 --k 2000 --d 4096 --nodes 128")).unwrap();
+        run(&argv("model --n 1265723 --k 2000 --d 4096 --nodes 128 --level 3")).unwrap();
+    }
+
+    #[test]
+    fn sweep_command_runs() {
+        run(&argv("sweep --n 1265723 --k 2000 --d-lo 512 --d-hi 1536 --step 512")).unwrap();
+        assert!(run(&argv("sweep --n 1 --k 1 --d-lo 10 --d-hi 5")).is_err());
+    }
+
+    #[test]
+    fn fit_command_runs_each_dataset() {
+        run(&argv("fit --dataset mixture --n 256 --k 4 --d 8 --max-iters 5")).unwrap();
+        run(&argv("fit --dataset kegg --n 256 --k 4 --max-iters 3 --level 2")).unwrap();
+        assert!(run(&argv("fit --dataset nope --k 3")).is_err());
+    }
+
+    #[test]
+    fn landcover_command_runs() {
+        let out = std::env::temp_dir().join("swkm_landcover_test");
+        run(&argv(&format!(
+            "landcover --size 64 --out {}",
+            out.display()
+        )))
+        .unwrap();
+        assert!(out.join("clusters.ppm").exists());
+    }
+
+    #[test]
+    fn errors_are_reported() {
+        assert!(run(&argv("frobnicate")).is_err());
+        assert!(run(&argv("model --n 10")).is_err());
+        assert!(run(&argv("model --n 10 --k 2 --d 4 --level 9")).is_err());
+    }
+}

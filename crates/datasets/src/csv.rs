@@ -1,0 +1,241 @@
+//! Minimal CSV numeric I/O — load real datasets into a [`Matrix`], export
+//! clusterings — with zero external dependencies.
+//!
+//! Supports: optional header row (auto-detected), `,`/`;`/tab separators,
+//! empty-line skipping, and explicit errors naming the offending line.
+
+use kmeans_core::Matrix;
+use std::io::{BufRead, BufReader, Read, Write};
+use std::path::Path;
+
+/// CSV parsing errors, with 1-based line numbers.
+#[derive(Debug)]
+pub enum CsvError {
+    Io(std::io::Error),
+    /// A data cell failed to parse as f32.
+    BadNumber {
+        line: usize,
+        column: usize,
+        cell: String,
+    },
+    /// A row had a different width than the first data row.
+    RaggedRow {
+        line: usize,
+        expected: usize,
+        got: usize,
+    },
+    /// No data rows at all.
+    Empty,
+}
+
+impl std::fmt::Display for CsvError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CsvError::Io(e) => write!(f, "I/O error: {e}"),
+            CsvError::BadNumber { line, column, cell } => {
+                write!(f, "line {line}, column {column}: `{cell}` is not a number")
+            }
+            CsvError::RaggedRow {
+                line,
+                expected,
+                got,
+            } => write!(f, "line {line}: expected {expected} columns, found {got}"),
+            CsvError::Empty => write!(f, "no data rows"),
+        }
+    }
+}
+
+impl std::error::Error for CsvError {}
+
+impl From<std::io::Error> for CsvError {
+    fn from(e: std::io::Error) -> Self {
+        CsvError::Io(e)
+    }
+}
+
+fn detect_separator(line: &str) -> char {
+    for sep in [',', ';', '\t'] {
+        if line.contains(sep) {
+            return sep;
+        }
+    }
+    ','
+}
+
+/// Parse numeric CSV from a reader. A first row that fails numeric parsing
+/// is treated as a header and skipped.
+pub fn read_csv<R: Read>(reader: R) -> Result<Matrix<f32>, CsvError> {
+    let buf = BufReader::new(reader);
+    let mut data: Vec<f32> = Vec::new();
+    let mut width: Option<usize> = None;
+    let mut rows = 0usize;
+    for (idx, line) in buf.lines().enumerate() {
+        let line = line?;
+        let trimmed = line.trim();
+        if trimmed.is_empty() {
+            continue;
+        }
+        let sep = detect_separator(trimmed);
+        let cells: Vec<&str> = trimmed.split(sep).map(|c| c.trim()).collect();
+        let mut parsed = Vec::with_capacity(cells.len());
+        let mut failed_at = None;
+        for (col, cell) in cells.iter().enumerate() {
+            match cell.parse::<f32>() {
+                Ok(v) => parsed.push(v),
+                Err(_) => {
+                    failed_at = Some((col, cell.to_string()));
+                    break;
+                }
+            }
+        }
+        if let Some((col, cell)) = failed_at {
+            if rows == 0 && width.is_none() {
+                // Header row: skip it.
+                continue;
+            }
+            return Err(CsvError::BadNumber {
+                line: idx + 1,
+                column: col + 1,
+                cell,
+            });
+        }
+        match width {
+            None => width = Some(parsed.len()),
+            Some(w) if w != parsed.len() => {
+                return Err(CsvError::RaggedRow {
+                    line: idx + 1,
+                    expected: w,
+                    got: parsed.len(),
+                })
+            }
+            _ => {}
+        }
+        data.extend(parsed);
+        rows += 1;
+    }
+    let width = width.ok_or(CsvError::Empty)?;
+    if rows == 0 {
+        return Err(CsvError::Empty);
+    }
+    Ok(Matrix::from_vec(rows, width, data))
+}
+
+/// Load numeric CSV from a file path.
+pub fn load_csv(path: impl AsRef<Path>) -> Result<Matrix<f32>, CsvError> {
+    read_csv(std::fs::File::open(path)?)
+}
+
+/// Write a matrix (plus optional per-row labels as a trailing column) as
+/// CSV.
+pub fn write_csv<W: Write>(
+    mut w: W,
+    data: &Matrix<f32>,
+    labels: Option<&[u32]>,
+) -> std::io::Result<()> {
+    if let Some(labels) = labels {
+        assert_eq!(labels.len(), data.rows(), "one label per row");
+    }
+    for i in 0..data.rows() {
+        let row = data.row(i);
+        let mut first = true;
+        for v in row {
+            if !first {
+                write!(w, ",")?;
+            }
+            write!(w, "{v}")?;
+            first = false;
+        }
+        if let Some(labels) = labels {
+            write!(w, ",{}", labels[i])?;
+        }
+        writeln!(w)?;
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_plain_csv() {
+        let m = read_csv("1,2,3\n4,5,6\n".as_bytes()).unwrap();
+        assert_eq!(m.rows(), 2);
+        assert_eq!(m.cols(), 3);
+        assert_eq!(m.row(1), &[4.0, 5.0, 6.0]);
+    }
+
+    #[test]
+    fn skips_header_and_blank_lines() {
+        let m = read_csv("lon,lat,alt\n\n1.5,2.5,3.5\n\n4.0,5.0,6.0\n".as_bytes()).unwrap();
+        assert_eq!(m.rows(), 2);
+        assert_eq!(m.get(0, 0), 1.5);
+    }
+
+    #[test]
+    fn semicolons_and_tabs_work() {
+        let m = read_csv("1;2\n3;4\n".as_bytes()).unwrap();
+        assert_eq!(m.cols(), 2);
+        let t = read_csv("1\t2\t3\n".as_bytes()).unwrap();
+        assert_eq!(t.cols(), 3);
+    }
+
+    #[test]
+    fn reports_bad_cells_precisely() {
+        let err = read_csv("1,2\n3,oops\n".as_bytes()).unwrap_err();
+        match err {
+            CsvError::BadNumber { line, column, cell } => {
+                assert_eq!((line, column), (2, 2));
+                assert_eq!(cell, "oops");
+            }
+            other => panic!("wrong error {other}"),
+        }
+    }
+
+    #[test]
+    fn rejects_ragged_rows() {
+        let err = read_csv("1,2\n3,4,5\n".as_bytes()).unwrap_err();
+        assert!(matches!(
+            err,
+            CsvError::RaggedRow {
+                line: 2,
+                expected: 2,
+                got: 3
+            }
+        ));
+    }
+
+    #[test]
+    fn empty_input_is_an_error() {
+        assert!(matches!(read_csv("".as_bytes()), Err(CsvError::Empty)));
+        assert!(matches!(
+            read_csv("only,a,header\n".as_bytes()),
+            Err(CsvError::Empty)
+        ));
+    }
+
+    #[test]
+    fn round_trips_with_labels() {
+        let m = Matrix::from_vec(2, 2, vec![1.0f32, 2.0, 3.0, 4.0]);
+        let mut buf = Vec::new();
+        write_csv(&mut buf, &m, Some(&[7, 8])).unwrap();
+        let text = String::from_utf8(buf.clone()).unwrap();
+        assert_eq!(text, "1,2,7\n3,4,8\n");
+        // Reload (labels come back as a data column).
+        let back = read_csv(buf.as_slice()).unwrap();
+        assert_eq!(back.cols(), 3);
+        assert_eq!(back.get(1, 2), 8.0);
+    }
+
+    #[test]
+    fn file_round_trip() {
+        let dir = std::env::temp_dir().join("swkm_csv_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("data.csv");
+        let m = Matrix::from_vec(3, 2, vec![1.0f32, 2.0, 3.0, 4.0, 5.0, 6.0]);
+        write_csv(std::fs::File::create(&path).unwrap(), &m, None).unwrap();
+        let back = load_csv(&path).unwrap();
+        assert_eq!(back, m);
+        assert!(load_csv(dir.join("missing.csv")).is_err());
+    }
+}

@@ -1,0 +1,188 @@
+//! A streaming ILSVRC2012-like pixel source.
+//!
+//! The paper clusters raw ImageNet pixels at d ∈ {3,072 (32×32×3); 12,288
+//! (64×64×3); 196,608 (256×256×3)} over n = 1,265,723 images — roughly a
+//! terabyte at full resolution. This stand-in generates sample `i`
+//! deterministically from `(seed, i)`: a few low-frequency cosine color
+//! fields (images are spatially correlated, the property that matters for
+//! clusterability) plus hash noise. Nothing is stored; full-scale shapes
+//! exist only as recipes, and functional runs materialise small windows.
+
+use crate::SampleSource;
+
+/// Valid side×side×3 dimensionalities used in the paper.
+pub const PAPER_DIMS: [usize; 3] = [3_072, 12_288, 196_608];
+
+/// The paper's ILSVRC2012 subset size.
+pub const PAPER_N: u64 = 1_265_723;
+
+/// A virtual image dataset: `len` images of `side × side × 3` float pixels
+/// in `[0, 1]`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ImageNetSource {
+    len: u64,
+    side: usize,
+    seed: u64,
+}
+
+impl ImageNetSource {
+    /// A source of `len` images with `d = side²·3` dimensions.
+    pub fn new(len: u64, d: usize, seed: u64) -> Self {
+        assert!(d % 3 == 0, "d must be side²×3");
+        let pixels = d / 3;
+        let side = (pixels as f64).sqrt() as usize;
+        assert_eq!(side * side * 3, d, "d = {d} is not a square image×3");
+        ImageNetSource { len, side, seed }
+    }
+
+    /// The paper's configuration at one of its three resolutions.
+    pub fn paper(d: usize) -> Self {
+        assert!(PAPER_DIMS.contains(&d), "paper used d ∈ {PAPER_DIMS:?}");
+        Self::new(PAPER_N, d, 0x1357)
+    }
+
+    pub fn side(&self) -> usize {
+        self.side
+    }
+}
+
+/// SplitMix64: cheap, high-quality stateless hashing for pixel noise.
+fn splitmix(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9e3779b97f4a7c15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xbf58476d1ce4e5b9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94d049bb133111eb);
+    x ^ (x >> 31)
+}
+
+fn unit(x: u64) -> f32 {
+    (x >> 40) as f32 / (1u64 << 24) as f32
+}
+
+impl SampleSource for ImageNetSource {
+    fn len(&self) -> u64 {
+        self.len
+    }
+
+    fn dims(&self) -> usize {
+        self.side * self.side * 3
+    }
+
+    fn fill(&self, index: u64, out: &mut [f32]) {
+        assert_eq!(out.len(), self.dims());
+        assert!(index < self.len, "image {index} out of {}", self.len);
+        let img = splitmix(self.seed ^ index.wrapping_mul(0x2545F4914F6CDD1D));
+        // Each image: 3 cosine fields with random phase/frequency per
+        // channel (low-frequency structure), plus 20% hash noise.
+        let mut params = [[0.0f32; 4]; 3];
+        for (ch, p) in params.iter_mut().enumerate() {
+            let h = splitmix(img ^ (ch as u64 + 1));
+            p[0] = unit(h) * 0.8 + 0.1; // base level
+            p[1] = unit(splitmix(h)) * 6.0; // x frequency
+            p[2] = unit(splitmix(h ^ 2)) * 6.0; // y frequency
+            p[3] = unit(splitmix(h ^ 3)) * std::f32::consts::TAU; // phase
+        }
+        let side = self.side;
+        let inv = 1.0 / side as f32;
+        for y in 0..side {
+            for x in 0..side {
+                let base = (y * side + x) * 3;
+                for ch in 0..3 {
+                    let p = &params[ch];
+                    let wave = 0.25
+                        * ((p[1] * x as f32 * inv + p[2] * y as f32 * inv
+                            + p[3])
+                            .cos());
+                    let noise = 0.2
+                        * (unit(splitmix(img ^ ((base + ch) as u64) << 3)) - 0.5);
+                    out[base + ch] = (p[0] + wave + noise).clamp(0.0, 1.0);
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_shapes() {
+        for d in PAPER_DIMS {
+            let src = ImageNetSource::paper(d);
+            assert_eq!(src.dims(), d);
+            assert_eq!(src.len(), PAPER_N);
+        }
+        assert_eq!(ImageNetSource::paper(196_608).side(), 256);
+    }
+
+    #[test]
+    #[should_panic(expected = "square image")]
+    fn non_square_rejected() {
+        let _ = ImageNetSource::new(10, 3 * 35, 0);
+    }
+
+    #[test]
+    fn deterministic_and_distinct() {
+        let src = ImageNetSource::new(100, 3_072, 5);
+        let mut a = vec![0.0; 3_072];
+        let mut b = vec![0.0; 3_072];
+        src.fill(7, &mut a);
+        src.fill(7, &mut b);
+        assert_eq!(a, b);
+        src.fill(8, &mut b);
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn pixels_are_normalised() {
+        let src = ImageNetSource::new(10, 12_288, 1);
+        let m = src.materialize(0, 10);
+        for &v in m.as_slice() {
+            assert!((0.0..=1.0).contains(&v));
+        }
+    }
+
+    #[test]
+    fn images_are_spatially_correlated() {
+        // Adjacent pixels must be far more similar than random pairs.
+        let src = ImageNetSource::new(4, 3_072, 9);
+        let mut img = vec![0.0f32; 3_072];
+        src.fill(0, &mut img);
+        let side = 32;
+        let mut adjacent = 0.0f64;
+        let mut distant = 0.0f64;
+        let mut count = 0;
+        for y in 0..side - 1 {
+            for x in 0..side - 1 {
+                let p = (y * side + x) * 3;
+                let right = (y * side + x + 1) * 3;
+                let far = (((y + side / 2) % side) * side + ((x + side / 2) % side)) * 3;
+                adjacent += (img[p] - img[right]).abs() as f64;
+                distant += (img[p] - img[far]).abs() as f64;
+                count += 1;
+            }
+        }
+        assert!(
+            adjacent / count as f64 * 1.5 < distant / count as f64,
+            "adjacent {adjacent} vs distant {distant}"
+        );
+    }
+
+    #[test]
+    fn materialize_windows_agree_with_fill() {
+        let src = ImageNetSource::new(50, 3_072, 3);
+        let m = src.materialize(10, 5);
+        assert_eq!(m.rows(), 5);
+        let mut direct = vec![0.0f32; 3_072];
+        src.fill(12, &mut direct);
+        assert_eq!(m.row(2), direct.as_slice());
+    }
+
+    #[test]
+    #[should_panic(expected = "out of")]
+    fn out_of_range_index_panics() {
+        let src = ImageNetSource::new(5, 3_072, 0);
+        let mut buf = vec![0.0f32; 3_072];
+        src.fill(5, &mut buf);
+    }
+}

@@ -1,0 +1,152 @@
+//! Minimal binary PPM (P6) images — enough for the examples to emit
+//! viewable classification maps with zero image-crate dependencies.
+
+use std::io::{self, Read, Write};
+use std::path::Path;
+
+/// An RGB image with 8-bit channels.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Image {
+    width: usize,
+    height: usize,
+    data: Vec<u8>,
+}
+
+impl Image {
+    /// A black image.
+    pub fn new(width: usize, height: usize) -> Self {
+        Image {
+            width,
+            height,
+            data: vec![0; width * height * 3],
+        }
+    }
+
+    pub fn width(&self) -> usize {
+        self.width
+    }
+
+    pub fn height(&self) -> usize {
+        self.height
+    }
+
+    /// Set pixel `(x, y)`.
+    pub fn put(&mut self, x: usize, y: usize, rgb: [u8; 3]) {
+        assert!(x < self.width && y < self.height, "({x},{y}) out of bounds");
+        self.put_index(y * self.width + x, rgb);
+    }
+
+    /// Set pixel by row-major index.
+    pub fn put_index(&mut self, i: usize, rgb: [u8; 3]) {
+        self.data[i * 3..i * 3 + 3].copy_from_slice(&rgb);
+    }
+
+    /// Pixel `(x, y)`.
+    pub fn get(&self, x: usize, y: usize) -> [u8; 3] {
+        let i = (y * self.width + x) * 3;
+        [self.data[i], self.data[i + 1], self.data[i + 2]]
+    }
+
+    /// Encode as binary PPM (P6).
+    pub fn write_ppm<W: Write>(&self, mut w: W) -> io::Result<()> {
+        write!(w, "P6\n{} {}\n255\n", self.width, self.height)?;
+        w.write_all(&self.data)
+    }
+
+    /// Write to a file path.
+    pub fn save_ppm(&self, path: impl AsRef<Path>) -> io::Result<()> {
+        let file = std::fs::File::create(path)?;
+        self.write_ppm(io::BufWriter::new(file))
+    }
+
+    /// Decode a binary PPM (P6) produced by [`Image::write_ppm`].
+    pub fn read_ppm<R: Read>(mut r: R) -> io::Result<Self> {
+        let mut bytes = Vec::new();
+        r.read_to_end(&mut bytes)?;
+        let header_err = || io::Error::new(io::ErrorKind::InvalidData, "bad PPM header");
+        // Parse exactly three whitespace-separated tokens after "P6".
+        let mut pos = 0usize;
+        let mut token = |bytes: &[u8]| -> io::Result<String> {
+            while pos < bytes.len() && bytes[pos].is_ascii_whitespace() {
+                pos += 1;
+            }
+            let start = pos;
+            while pos < bytes.len() && !bytes[pos].is_ascii_whitespace() {
+                pos += 1;
+            }
+            if start == pos {
+                return Err(header_err());
+            }
+            Ok(String::from_utf8_lossy(&bytes[start..pos]).into_owned())
+        };
+        if token(&bytes)? != "P6" {
+            return Err(header_err());
+        }
+        let width: usize = token(&bytes)?.parse().map_err(|_| header_err())?;
+        let height: usize = token(&bytes)?.parse().map_err(|_| header_err())?;
+        let maxval: usize = token(&bytes)?.parse().map_err(|_| header_err())?;
+        if maxval != 255 {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                "only 8-bit PPM supported",
+            ));
+        }
+        let data_start = pos + 1; // single whitespace after maxval
+        let expected = width * height * 3;
+        if bytes.len() < data_start + expected {
+            return Err(io::Error::new(
+                io::ErrorKind::UnexpectedEof,
+                "truncated PPM payload",
+            ));
+        }
+        Ok(Image {
+            width,
+            height,
+            data: bytes[data_start..data_start + expected].to_vec(),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn put_get_round_trip() {
+        let mut img = Image::new(4, 3);
+        img.put(2, 1, [10, 20, 30]);
+        assert_eq!(img.get(2, 1), [10, 20, 30]);
+        assert_eq!(img.get(0, 0), [0, 0, 0]);
+    }
+
+    #[test]
+    fn ppm_encode_decode_round_trip() {
+        let mut img = Image::new(5, 7);
+        for y in 0..7 {
+            for x in 0..5 {
+                img.put(x, y, [(x * 40) as u8, (y * 30) as u8, 200]);
+            }
+        }
+        let mut buf = Vec::new();
+        img.write_ppm(&mut buf).unwrap();
+        assert!(buf.starts_with(b"P6\n5 7\n255\n"));
+        let back = Image::read_ppm(buf.as_slice()).unwrap();
+        assert_eq!(back, img);
+    }
+
+    #[test]
+    fn corrupt_headers_are_rejected() {
+        assert!(Image::read_ppm(&b"P5\n2 2\n255\n"[..]).is_err());
+        assert!(Image::read_ppm(&b"P6\n2\n"[..]).is_err());
+        assert!(Image::read_ppm(&b"P6\n2 2\n65535\n"[..]).is_err());
+        // Truncated payload.
+        assert!(Image::read_ppm(&b"P6\n2 2\n255\nxx"[..]).is_err());
+    }
+
+    #[test]
+    #[should_panic(expected = "out of bounds")]
+    fn out_of_bounds_put_panics() {
+        let mut img = Image::new(2, 2);
+        img.put(2, 0, [0, 0, 0]);
+    }
+}

@@ -1,0 +1,165 @@
+//! Seeded Gaussian-mixture generation — the workhorse behind the UCI
+//! stand-ins and the correctness tests.
+
+use kmeans_core::{Matrix, Scalar};
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+use rand_distr::{Distribution, Normal};
+
+/// A dataset with its generating ground truth.
+#[derive(Debug, Clone)]
+pub struct LabelledData<S: Scalar> {
+    pub data: Matrix<S>,
+    /// Mixture component each sample was drawn from.
+    pub truth: Vec<u32>,
+    /// The component means.
+    pub centers: Matrix<S>,
+}
+
+/// Configuration of a Gaussian mixture.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct GaussianMixture {
+    /// Samples to draw.
+    pub n: usize,
+    /// Dimensions.
+    pub d: usize,
+    /// Mixture components.
+    pub components: usize,
+    /// Half-width of the uniform cube the component means are drawn from.
+    pub center_spread: f64,
+    /// Standard deviation of each component.
+    pub noise: f64,
+    pub seed: u64,
+}
+
+impl GaussianMixture {
+    pub fn new(n: usize, d: usize, components: usize) -> Self {
+        GaussianMixture {
+            n,
+            d,
+            components,
+            center_spread: 10.0,
+            noise: 1.0,
+            seed: 0,
+        }
+    }
+
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    pub fn with_noise(mut self, noise: f64) -> Self {
+        self.noise = noise;
+        self
+    }
+
+    pub fn with_spread(mut self, spread: f64) -> Self {
+        self.center_spread = spread;
+        self
+    }
+
+    /// Draw the dataset. Samples rotate through components round-robin so
+    /// every component has `≈ n / components` members.
+    pub fn generate<S: Scalar>(&self) -> LabelledData<S> {
+        assert!(self.components > 0 && self.d > 0);
+        let mut rng = ChaCha8Rng::seed_from_u64(self.seed);
+        let mut centers = Matrix::<S>::zeros(self.components, self.d);
+        for j in 0..self.components {
+            for u in 0..self.d {
+                centers.set(
+                    j,
+                    u,
+                    S::from_f64(rng.gen_range(-self.center_spread..self.center_spread)),
+                );
+            }
+        }
+        let normal = Normal::new(0.0, self.noise).expect("valid noise");
+        let mut data = Matrix::<S>::zeros(self.n, self.d);
+        let mut truth = Vec::with_capacity(self.n);
+        for i in 0..self.n {
+            let j = i % self.components;
+            truth.push(j as u32);
+            for u in 0..self.d {
+                let v = centers.get(j, u).to_f64() + normal.sample(&mut rng);
+                data.set(i, u, S::from_f64(v));
+            }
+        }
+        LabelledData {
+            data,
+            truth,
+            centers,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use kmeans_core::{init_centroids, InitMethod, KMeansConfig, Lloyd};
+
+    #[test]
+    fn shape_and_balance() {
+        let gm = GaussianMixture::new(100, 5, 4).with_seed(1);
+        let out: LabelledData<f64> = gm.generate();
+        assert_eq!(out.data.rows(), 100);
+        assert_eq!(out.data.cols(), 5);
+        assert_eq!(out.centers.rows(), 4);
+        assert_eq!(out.truth.len(), 100);
+        let counts = kmeans_core::objective::cluster_sizes(&out.truth, 4);
+        assert_eq!(counts, vec![25, 25, 25, 25]);
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let a: LabelledData<f32> = GaussianMixture::new(50, 3, 2).with_seed(7).generate();
+        let b: LabelledData<f32> = GaussianMixture::new(50, 3, 2).with_seed(7).generate();
+        let c: LabelledData<f32> = GaussianMixture::new(50, 3, 2).with_seed(8).generate();
+        assert_eq!(a.data, b.data);
+        assert_ne!(a.data, c.data);
+    }
+
+    #[test]
+    fn kmeans_recovers_well_separated_mixture() {
+        let gm = GaussianMixture::new(300, 8, 3)
+            .with_seed(42)
+            .with_spread(50.0)
+            .with_noise(0.5);
+        let out: LabelledData<f64> = gm.generate();
+        let init = init_centroids(&out.data, 3, InitMethod::KMeansPlusPlus, 9);
+        let res = Lloyd::run_from(&out.data, init, &KMeansConfig::new(3)).unwrap();
+        // Recovered centroids sit close to true centers: for each true
+        // center there is a recovered centroid within a few noise σ.
+        for j in 0..3 {
+            let best = (0..3)
+                .map(|r| {
+                    kmeans_core::sq_euclidean(out.centers.row(j), res.centroids.row(r)).sqrt()
+                })
+                .fold(f64::INFINITY, f64::min);
+            assert!(best < 2.0, "true center {j} missed by {best}");
+        }
+    }
+
+    #[test]
+    fn noise_controls_tightness() {
+        let tight: LabelledData<f64> = GaussianMixture::new(200, 4, 2)
+            .with_noise(0.1)
+            .with_seed(3)
+            .generate();
+        let loose: LabelledData<f64> = GaussianMixture::new(200, 4, 2)
+            .with_noise(5.0)
+            .with_seed(3)
+            .generate();
+        let spread = |ld: &LabelledData<f64>| {
+            (0..ld.data.rows())
+                .map(|i| {
+                    kmeans_core::sq_euclidean(
+                        ld.data.row(i),
+                        ld.centers.row(ld.truth[i] as usize),
+                    )
+                })
+                .sum::<f64>()
+        };
+        assert!(spread(&tight) < spread(&loose));
+    }
+}

@@ -1,0 +1,207 @@
+//! Ablation experiments: quantifying the design choices DESIGN.md calls
+//! out, beyond what the paper itself plots.
+
+use crate::report::{secs, Report};
+use perf_model::{Calibration, CostModel, Level, ProblemShape};
+use sw_arch::{CgGroupPlacement, Machine, MachineParams, PlacementPolicy};
+
+/// Register communication vs DMA-only intra-CG reduction: how much the
+/// 8×8 mesh buses buy the Assign merge, across the Fig. 7 d-sweep.
+pub fn abl_regcomm() -> Report {
+    let mut r = Report::new(
+        "abl_regcomm",
+        "Ablation: register communication vs DMA-only mesh reduction",
+        &["d", "assign_comm with reg (s)", "assign_comm without (s)", "slowdown"],
+    );
+    let stock = CostModel::taihulight(128);
+    let mut no_reg = stock;
+    no_reg.machine.params = MachineParams::taihulight().without_register_communication();
+    for &d in &[1_024u64, 4_096, 49_152, 196_608] {
+        let shape = ProblemShape::f32(1_265_723, 2_000, d);
+        let with = stock.iteration_time(&shape, Level::L3).unwrap();
+        let without = no_reg.iteration_time(&shape, Level::L3).unwrap();
+        r.row(vec![
+            d.to_string(),
+            secs(with.assign_comm),
+            secs(without.assign_comm),
+            format!("{:.2}x", without.assign_comm / with.assign_comm),
+        ]);
+    }
+    r.note("the paper cites a 3–4× register-comm advantage for the reduction bottleneck");
+    r
+}
+
+/// Topology-aware vs scattered CG-group placement: the paper asserts a CG
+/// group should stay inside one super-node; quantify the link-class
+/// downgrade when it doesn't.
+pub fn abl_placement() -> Report {
+    let mut r = Report::new(
+        "abl_placement",
+        "Ablation: topology-aware vs round-robin CG-group placement",
+        &["nodes", "groups × size", "aware intra-class", "scatter intra-class", "update slowdown"],
+    );
+    for &nodes in &[512usize, 1_024, 4_096] {
+        let machine = Machine::taihulight(nodes);
+        let cgs = machine.total_cgs();
+        let group_size = 64;
+        let n_groups = cgs / group_size;
+        let aware =
+            CgGroupPlacement::new(&machine, n_groups, group_size, PlacementPolicy::TopologyAware)
+                .unwrap();
+        let scatter = CgGroupPlacement::new(
+            &machine,
+            n_groups,
+            group_size,
+            PlacementPolicy::RoundRobinScatter,
+        )
+        .unwrap();
+        let aware_class = aware.worst_intra_group_class(&machine);
+        let scatter_class = scatter.worst_intra_group_class(&machine);
+        let slowdown = aware_class.bandwidth(&machine.params)
+            / scatter_class.bandwidth(&machine.params);
+        r.row(vec![
+            nodes.to_string(),
+            format!("{n_groups} × {group_size}"),
+            format!("{aware_class:?}"),
+            format!("{scatter_class:?}"),
+            format!("{slowdown:.1}x"),
+        ]);
+    }
+    r.note("scattered groups cross super-nodes and pay the tapered up-link on every sample merge");
+    r
+}
+
+/// Merge batching: the per-sample argmin merges are latency-bound; sweep
+/// the batch size on the headline configuration.
+pub fn abl_batch() -> Report {
+    let mut r = Report::new(
+        "abl_batch",
+        "Ablation: argmin-merge batch size (headline config, 4,096 nodes)",
+        &["batch", "assign_comm (s)", "total (s)"],
+    );
+    let shape = ProblemShape::imgnet_headline();
+    for &batch in &[1.0f64, 4.0, 32.0, 256.0] {
+        let model = CostModel::new(
+            Machine::taihulight(4_096),
+            Calibration {
+                merge_batch: batch,
+                ..Calibration::default()
+            },
+        );
+        let cost = model.iteration_time(&shape, Level::L3).unwrap();
+        r.row(vec![
+            format!("{batch:.0}"),
+            secs(cost.assign_comm),
+            secs(cost.total()),
+        ]);
+    }
+    r.note("unbatched merges pay a network latency per sample per round — untenable at n=1.27M");
+    r
+}
+
+/// Hypothetical-hardware ablation: how much scratchpad would fix Fig. 6a's
+/// spill? Sweep the per-CPE LDM size at k=160,000, d=3,072 on 128 nodes.
+pub fn abl_spill() -> Report {
+    let mut r = Report::new(
+        "abl_spill",
+        "Ablation: LDM capacity (k=160,000, d=3,072, 128 nodes)",
+        &["LDM per CPE", "spilled", "CG group", "model (s)"],
+    );
+    let shape = ProblemShape::f32(1_265_723, 160_000, 3_072);
+    for &kb in &[64usize, 128, 256, 512] {
+        let mut machine = Machine::taihulight(128);
+        machine.params.ldm_bytes = kb * 1024;
+        let model = CostModel::new(machine, Calibration::default());
+        let cost = model.iteration_time(&shape, Level::L3).unwrap();
+        r.row(vec![
+            format!("{kb} KB"),
+            cost.plan.spilled.to_string(),
+            cost.plan.group_units.to_string(),
+            secs(cost.total()),
+        ]);
+    }
+    r.note("the 64 KB SW26010 scratchpad spills at this shape; ~2x more LDM makes it resident");
+    r
+}
+
+/// Weak scaling (beyond the paper): constant samples per node — near-flat
+/// iteration time is the design goal C1'' enables.
+pub fn weak_scaling() -> Report {
+    let mut r = Report::new(
+        "weak_scaling",
+        "Weak scaling: 10,000 samples/node, k=1,024, d=3,072 (Level 3)",
+        &["nodes", "n", "model (s)", "efficiency"],
+    );
+    let series = perf_model::weak_scaling(
+        10_000,
+        1_024,
+        3_072,
+        Level::L3,
+        &[64, 128, 256, 512, 1_024],
+    );
+    let base = series[0].1.unwrap();
+    for (nodes, t) in series {
+        let t = t.unwrap();
+        r.row(vec![
+            nodes.to_string(),
+            (10_000 * nodes).to_string(),
+            secs(t),
+            format!("{:.2}", base / t),
+        ]);
+    }
+    r.note("ideal weak scaling holds time constant; collective terms grow logarithmically");
+    r
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn regcomm_ablation_shows_a_slowdown() {
+        let r = abl_regcomm();
+        for row in &r.rows {
+            let slowdown: f64 = row[3].trim_end_matches('x').parse().unwrap();
+            assert!(slowdown >= 1.0, "{row:?}");
+        }
+    }
+
+    #[test]
+    fn placement_ablation_downgrades_link_class() {
+        let r = abl_placement();
+        // At 512+ nodes, scattered groups always cross super-nodes.
+        for row in &r.rows {
+            assert!(row[3].contains("InterSupernode"), "{row:?}");
+        }
+    }
+
+    #[test]
+    fn batch_ablation_is_monotone() {
+        let r = abl_batch();
+        let times: Vec<f64> = r.rows.iter().map(|row| row[1].parse().unwrap()).collect();
+        for w in times.windows(2) {
+            assert!(w[1] <= w[0] + 1e-12, "{times:?}");
+        }
+        // Unbatched must be dramatically worse.
+        assert!(times[0] > times.last().unwrap() * 10.0);
+    }
+
+    #[test]
+    fn weak_scaling_is_near_flat() {
+        let r = weak_scaling();
+        let eff: Vec<f64> = r.rows.iter().map(|row| row[3].parse().unwrap()).collect();
+        for e in &eff {
+            assert!(*e > 0.5, "weak-scaling efficiency collapsed: {eff:?}");
+        }
+    }
+
+    #[test]
+    fn ldm_ablation_unspills_and_speeds_up() {
+        let r = abl_spill();
+        assert_eq!(r.rows[0][1], "true", "64 KB must spill: {:?}", r.rows[0]);
+        assert_eq!(r.rows.last().unwrap()[1], "false", "512 KB must be resident");
+        let t0: f64 = r.rows[0][3].parse().unwrap();
+        let t3: f64 = r.rows.last().unwrap()[3].parse().unwrap();
+        assert!(t3 < t0, "more LDM must not slow things down: {t0} -> {t3}");
+    }
+}

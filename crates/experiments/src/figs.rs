@@ -1,0 +1,361 @@
+//! Figures 3–9: the scaling studies, regenerated from the cost model with
+//! scaled-down functional validation runs where the shape fits a host.
+
+use crate::report::{infeasible, secs, Report};
+use hier_kmeans::{fit, HierConfig};
+use kmeans_core::{init_centroids, InitMethod, Matrix};
+use perf_model::{find_crossover_d, CostModel, Level, ProblemShape};
+use std::time::Instant;
+
+/// Measured wall-time (ms) of one functional iteration at a scaled-down
+/// shape, exercising the actual executor code path for `level`.
+fn functional_ms(level: Level, data: &Matrix<f32>, k: usize, group_units: usize) -> f64 {
+    let init = init_centroids(data, k, InitMethod::Forgy, 1);
+    let units = match level {
+        Level::L1 => 8,
+        _ => 8,
+    };
+    let cfg = HierConfig {
+        level,
+        units,
+        group_units: if level == Level::L1 { 1 } else { group_units },
+        cpes_per_cg: 8,
+        max_iters: 2,
+        tol: 0.0,
+    };
+    let start = Instant::now();
+    let result = fit(data, init, &cfg).expect("functional run");
+    assert_eq!(result.iterations, 2);
+    start.elapsed().as_secs_f64() * 1e3 / 2.0
+}
+
+/// Fig. 3 — Level 1 over the three UCI datasets, one node.
+pub fn fig3() -> Report {
+    let mut r = Report::new(
+        "fig3",
+        "Level 1 (n-partition): iteration time vs k, 1 node",
+        &["dataset", "n", "d", "k", "model (s)", "paper axis (s)", "functional scaled (ms)"],
+    );
+    let model = CostModel::taihulight(1);
+    for ds in datasets::uci::all() {
+        // Paper plot y-axis upper bounds, for magnitude comparison.
+        let paper_axis = match ds.name {
+            "Kegg Network" => 0.01,
+            _ => 0.1,
+        };
+        // Scaled-down functional data: first min(n, 4096) samples.
+        let n_func = ds.full_n.min(4_096);
+        let data = ds.generate(n_func);
+        for &k in ds.fig3_k_values() {
+            let shape = ProblemShape::f32(ds.full_n as u64, k as u64, ds.d as u64);
+            let cost = model
+                .iteration_time(&shape, Level::L1)
+                .expect("Fig. 3 configs are L1-feasible");
+            let func = if k <= n_func / 4 {
+                format!("{:.2}", functional_ms(Level::L1, &data, k, 1))
+            } else {
+                infeasible()
+            };
+            r.row(vec![
+                ds.name.into(),
+                ds.full_n.to_string(),
+                ds.d.to_string(),
+                k.to_string(),
+                secs(cost.total()),
+                secs(paper_axis),
+                func,
+            ]);
+        }
+    }
+    r.note("time grows linearly in k within each dataset (paper's stated trend)");
+    r.note("functional column: measured host ms/iter on a ≤4096-sample subset, 8 virtual CPEs");
+    r
+}
+
+/// Fig. 4 — Level 2 over the three UCI datasets, up to 256 nodes.
+pub fn fig4() -> Report {
+    let mut r = Report::new(
+        "fig4",
+        "Level 2 (nk-partition): iteration time vs large k, 256 nodes",
+        &["dataset", "k", "group CPEs", "model (s)", "paper axis (s)", "functional scaled (ms)"],
+    );
+    let model = CostModel::taihulight(256);
+    for ds in datasets::uci::all() {
+        let paper_axis = match ds.name {
+            "Kegg Network" => 0.2,
+            "Road Network" => 10.0,
+            _ => 5.0,
+        };
+        let n_func = ds.full_n.min(2_048);
+        let data = ds.generate(n_func);
+        for &k in ds.fig4_k_values() {
+            let shape = ProblemShape::f32(ds.full_n as u64, k as u64, ds.d as u64);
+            let cost = model
+                .iteration_time(&shape, Level::L2)
+                .expect("Fig. 4 configs are L2-feasible");
+            let func = if k <= 512 && k <= n_func / 4 {
+                format!("{:.2}", functional_ms(Level::L2, &data, k, 4))
+            } else {
+                infeasible()
+            };
+            r.row(vec![
+                ds.name.into(),
+                k.to_string(),
+                cost.plan.group_units.to_string(),
+                secs(cost.total()),
+                secs(paper_axis),
+                func,
+            ]);
+        }
+    }
+    r.note("linear growth in k; Level 2 reaches k-ranges Level 1's C1 forbids");
+    r
+}
+
+/// Fig. 5 — Level 3 over ImgNet: k × d sweep on 4,096 nodes.
+pub fn fig5() -> Report {
+    let mut r = Report::new(
+        "fig5",
+        "Level 3 (nkd-partition): ImgNet, k and d sweeps, 4,096 nodes",
+        &["d", "k", "CG group", "model (s)", "phase"],
+    );
+    let model = CostModel::taihulight(4_096);
+    for &d in &[3_072u64, 12_288, 196_608] {
+        for &k in &[128u64, 256, 512, 1_024, 2_048] {
+            let shape = ProblemShape::f32(datasets::imagenet::PAPER_N, k, d);
+            let cost = model
+                .iteration_time(&shape, Level::L3)
+                .expect("Fig. 5 configs are L3-feasible");
+            r.row(vec![
+                d.to_string(),
+                k.to_string(),
+                cost.plan.group_units.to_string(),
+                secs(cost.total()),
+                cost.dominant_phase().into(),
+            ]);
+        }
+    }
+    r.note("paper headline: < 18 s/iter at d=196,608, k=2,000 (see fig6b)");
+    r
+}
+
+/// Fig. 6a — Level 3 extreme centroid scaling at d=3,072, 128 nodes.
+pub fn fig6a() -> Report {
+    let mut r = Report::new(
+        "fig6a",
+        "Level 3: scaling k to 160,000 at d=3,072, 128 nodes",
+        &["k", "CG group", "spilled", "model (s)"],
+    );
+    let model = CostModel::taihulight(128);
+    for &k in &[10_000u64, 20_000, 40_000, 80_000, 160_000] {
+        let shape = ProblemShape::f32(datasets::imagenet::PAPER_N, k, 3_072);
+        let cost = model
+            .iteration_time(&shape, Level::L3)
+            .expect("spill mode admits all Fig. 6a points");
+        r.row(vec![
+            k.to_string(),
+            cost.plan.group_units.to_string(),
+            cost.plan.spilled.to_string(),
+            secs(cost.total()),
+        ]);
+    }
+    r.note(
+        "k=160,000 at 128 nodes violates the paper's own C1'' (needs ≥947 resident CGs, 512 \
+         exist); our model runs it in documented DDR-spill mode — see EXPERIMENTS.md",
+    );
+    r
+}
+
+/// Fig. 6b — Level 3 node scaling at d=196,608, k=2,000 (the headline).
+pub fn fig6b() -> Report {
+    let mut r = Report::new(
+        "fig6b",
+        "Level 3: scaling nodes at d=196,608, k=2,000",
+        &["nodes", "cores", "CG group", "spilled", "model (s)"],
+    );
+    for &nodes in &[256usize, 512, 1_024, 2_048, 4_096] {
+        let model = CostModel::taihulight(nodes);
+        let cost = model
+            .iteration_time(&ProblemShape::imgnet_headline(), Level::L3)
+            .expect("headline runs at every Fig. 6b allocation");
+        r.row(vec![
+            nodes.to_string(),
+            (nodes * 260).to_string(),
+            cost.plan.group_units.to_string(),
+            cost.plan.spilled.to_string(),
+            secs(cost.total()),
+        ]);
+    }
+    r.note("paper headline: < 18 s per iteration at 4,096 nodes — compare the last row");
+    r
+}
+
+/// Fig. 7 — Level 2 vs Level 3 over d at k=2,000, 128 nodes.
+pub fn fig7() -> Report {
+    let mut r = Report::new(
+        "fig7",
+        "L2 vs L3: varying d, k=2,000, n=1,265,723, 128 nodes",
+        &["d", "L2 (s)", "L2 group", "L3 (s)", "L3 group", "winner"],
+    );
+    let model = CostModel::taihulight(128);
+    for step in 1..=16u64 {
+        let d = step * 512;
+        let shape = ProblemShape::f32(1_265_723, 2_000, d);
+        let l2 = model.iteration_time_strict(&shape, Level::L2);
+        let l3 = model.iteration_time(&shape, Level::L3).unwrap();
+        let (l2_s, l2_g, winner) = match &l2 {
+            Ok(c) => (
+                secs(c.total()),
+                c.plan.group_units.to_string(),
+                if c.total() < l3.total() { "L2" } else { "L3" },
+            ),
+            Err(_) => (infeasible(), infeasible(), "L3 (L2 infeasible)"),
+        };
+        r.row(vec![
+            d.to_string(),
+            l2_s,
+            l2_g,
+            secs(l3.total()),
+            l3.plan.group_units.to_string(),
+            winner.into(),
+        ]);
+    }
+    let crossover = find_crossover_d(&model, 1_265_723, 2_000, 512, 8_192, 512);
+    r.note(format!(
+        "model crossover at d = {:?}; paper reports Level 3 winning for d > 2,560",
+        crossover
+    ));
+    r.note("paper: Level 2 cannot run d > 4,096 (memory) — matches the strict C2' wall");
+    r
+}
+
+/// Fig. 8 — Level 2 vs Level 3 over k at d=4,096, 128 nodes.
+pub fn fig8() -> Report {
+    let mut r = Report::new(
+        "fig8",
+        "L2 vs L3: varying k, d=4,096, 128 nodes",
+        &["k", "L2 (s)", "L2 spilled", "L3 (s)", "L3 spilled", "L3/L2 gap (s)"],
+    );
+    let model = CostModel::taihulight(128);
+    let mut k = 256u64;
+    while k <= 131_072 {
+        let shape = ProblemShape::f32(1_265_723, k, 4_096);
+        let l3 = model.iteration_time(&shape, Level::L3).unwrap();
+        let l2 = model.iteration_time(&shape, Level::L2);
+        let (l2_s, l2_spill, gap) = match &l2 {
+            Ok(c) => (
+                secs(c.total()),
+                c.plan.spilled.to_string(),
+                secs(c.total() - l3.total()),
+            ),
+            Err(_) => (infeasible(), infeasible(), infeasible()),
+        };
+        r.row(vec![
+            k.to_string(),
+            l2_s,
+            l2_spill,
+            secs(l3.total()),
+            l3.plan.spilled.to_string(),
+            gap,
+        ]);
+        k *= 2;
+    }
+    r.note("paper: at d=4,096 Level 3 always outperforms Level 2, gap grows with k");
+    r
+}
+
+/// Fig. 9 — Level 2 vs Level 3 over nodes at d=4,096, k=2,000.
+pub fn fig9() -> Report {
+    let mut r = Report::new(
+        "fig9",
+        "L2 vs L3: varying nodes, d=4,096, k=2,000",
+        &["nodes", "L2 (s)", "L3 (s)", "gap (s)"],
+    );
+    let shape = ProblemShape::f32(1_265_723, 2_000, 4_096);
+    for &nodes in &[2usize, 4, 8, 16, 32, 64, 128, 256] {
+        let model = CostModel::taihulight(nodes);
+        let l2 = model.iteration_time(&shape, Level::L2).unwrap();
+        let l3 = model.iteration_time(&shape, Level::L3).unwrap();
+        r.row(vec![
+            nodes.to_string(),
+            secs(l2.total()),
+            secs(l3.total()),
+            secs(l2.total() - l3.total()),
+        ]);
+    }
+    r.note("paper: Level 3 wins at every allocation; the absolute gap narrows with nodes");
+    r
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fig3_shows_linear_growth_in_k() {
+        let r = fig3();
+        assert_eq!(r.rows.len(), 15);
+        // Within each dataset the model column is non-decreasing in k.
+        for ds in 0..3 {
+            let times: Vec<f64> = (0..5)
+                .map(|i| r.rows[ds * 5 + i][4].parse().unwrap())
+                .collect();
+            for w in times.windows(2) {
+                assert!(w[1] >= w[0] * 0.99, "{times:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn fig7_l2_dies_after_4096() {
+        let r = fig7();
+        assert_eq!(r.rows.len(), 16);
+        for row in &r.rows {
+            let d: u64 = row[0].parse().unwrap();
+            if d > 4_096 {
+                assert_eq!(row[1], "—", "L2 must be infeasible at d={d}");
+            } else {
+                assert_ne!(row[1], "—", "L2 must run at d={d}");
+            }
+        }
+    }
+
+    #[test]
+    fn fig8_l3_always_wins() {
+        let r = fig8();
+        for row in &r.rows {
+            if row[1] == "—" {
+                continue;
+            }
+            let l2: f64 = row[1].parse().unwrap();
+            let l3: f64 = row[3].parse().unwrap();
+            assert!(l3 < l2, "k={}: L3 {l3} vs L2 {l2}", row[0]);
+        }
+    }
+
+    #[test]
+    fn fig6b_headline_under_18s() {
+        let r = fig6b();
+        let last: f64 = r.rows.last().unwrap()[4].parse().unwrap();
+        assert!(last < 18.0, "headline {last} s");
+    }
+
+    #[test]
+    fn fig9_monotone_scaling() {
+        let r = fig9();
+        let l3: Vec<f64> = r.rows.iter().map(|row| row[2].parse().unwrap()).collect();
+        for w in l3.windows(2) {
+            assert!(w[1] <= w[0] * 1.05, "{l3:?}");
+        }
+    }
+
+    #[test]
+    fn functional_runs_execute() {
+        // Smoke: the scaled functional path actually runs both levels.
+        let data = datasets::uci::kegg_network().generate(256);
+        let ms1 = functional_ms(Level::L1, &data, 8, 1);
+        let ms2 = functional_ms(Level::L2, &data, 8, 4);
+        let ms3 = functional_ms(Level::L3, &data, 8, 2);
+        assert!(ms1 > 0.0 && ms2 > 0.0 && ms3 > 0.0);
+    }
+}

@@ -1,0 +1,121 @@
+//! Report tables: aligned console output plus CSV artifacts.
+
+use std::fmt::Write as _;
+use std::path::{Path, PathBuf};
+
+/// A rendered experiment: a title, column headers and string rows.
+#[derive(Debug, Clone)]
+pub struct Report {
+    pub id: &'static str,
+    pub title: String,
+    pub headers: Vec<String>,
+    pub rows: Vec<Vec<String>>,
+    /// Free-form notes printed under the table (deviations, context).
+    pub notes: Vec<String>,
+}
+
+impl Report {
+    pub fn new(id: &'static str, title: impl Into<String>, headers: &[&str]) -> Self {
+        Report {
+            id,
+            title: title.into(),
+            headers: headers.iter().map(|h| h.to_string()).collect(),
+            rows: Vec::new(),
+            notes: Vec::new(),
+        }
+    }
+
+    pub fn row(&mut self, cells: Vec<String>) {
+        assert_eq!(cells.len(), self.headers.len(), "row width mismatch");
+        self.rows.push(cells);
+    }
+
+    pub fn note(&mut self, note: impl Into<String>) {
+        self.notes.push(note.into());
+    }
+
+    /// Render the aligned console table.
+    pub fn render(&self) -> String {
+        let mut widths: Vec<usize> = self.headers.iter().map(|h| h.len()).collect();
+        for row in &self.rows {
+            for (w, cell) in widths.iter_mut().zip(row) {
+                *w = (*w).max(cell.len());
+            }
+        }
+        let mut out = String::new();
+        let _ = writeln!(out, "\n=== {} — {} ===", self.id, self.title);
+        let mut line = String::new();
+        for (w, h) in widths.iter().zip(&self.headers) {
+            let _ = write!(line, "{h:>w$}  ");
+        }
+        let _ = writeln!(out, "{}", line.trim_end());
+        let _ = writeln!(out, "{}", "-".repeat(line.trim_end().len()));
+        for row in &self.rows {
+            let mut line = String::new();
+            for (w, cell) in widths.iter().zip(row) {
+                let _ = write!(line, "{cell:>w$}  ");
+            }
+            let _ = writeln!(out, "{}", line.trim_end());
+        }
+        for note in &self.notes {
+            let _ = writeln!(out, "  note: {note}");
+        }
+        out
+    }
+
+    /// Serialise as CSV (headers + rows; notes as trailing comments).
+    pub fn to_csv(&self) -> String {
+        let esc = |s: &str| {
+            if s.contains(',') || s.contains('"') {
+                format!("\"{}\"", s.replace('"', "\"\""))
+            } else {
+                s.to_string()
+            }
+        };
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "{}",
+            self.headers.iter().map(|h| esc(h)).collect::<Vec<_>>().join(",")
+        );
+        for row in &self.rows {
+            let _ = writeln!(
+                out,
+                "{}",
+                row.iter().map(|c| esc(c)).collect::<Vec<_>>().join(",")
+            );
+        }
+        for note in &self.notes {
+            let _ = writeln!(out, "# {note}");
+        }
+        out
+    }
+
+    /// Print to stdout and save `out_dir/<id>.csv`.
+    pub fn emit(&self, out_dir: &Path) -> PathBuf {
+        print!("{}", self.render());
+        std::fs::create_dir_all(out_dir).expect("create output dir");
+        let path = out_dir.join(format!("{}.csv", self.id));
+        std::fs::write(&path, self.to_csv()).expect("write csv");
+        println!("  -> {}", path.display());
+        path
+    }
+}
+
+/// Format seconds with sensible precision.
+pub fn secs(t: f64) -> String {
+    if t >= 100.0 {
+        format!("{t:.0}")
+    } else if t >= 1.0 {
+        format!("{t:.2}")
+    } else if t >= 0.001 {
+        format!("{t:.4}")
+    } else {
+        format!("{t:.2e}")
+    }
+}
+
+/// Format an infeasible cell.
+pub fn infeasible() -> String {
+    "—".to_string()
+}

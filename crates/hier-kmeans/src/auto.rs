@@ -1,0 +1,48 @@
+//! Model-driven level selection — the "flexibility" claim of the paper:
+//! one implementation that handles low-d UCI workloads and extreme-d
+//! ImageNet workloads by picking the partition level per problem shape.
+
+use perf_model::{best_level, CostModel, Level, ProblemShape};
+
+/// Choose the partition level the cost model predicts to be fastest for a
+/// problem of this shape on `nodes` TaihuLight nodes. Falls back to Level 3
+/// (the only level without scale limits) if the model finds nothing
+/// strictly feasible.
+pub fn choose_level(n: usize, k: usize, d: usize, nodes: usize) -> Level {
+    let model = CostModel::taihulight(nodes);
+    let shape = ProblemShape::f32(n as u64, k as u64, d as u64);
+    match best_level(&model, &shape) {
+        Ok((level, _)) => level,
+        Err(_) => Level::L3,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn small_uci_workloads_choose_a_low_level() {
+        // Kegg Network at its Fig. 3 configuration.
+        let level = choose_level(65_554, 256, 28, 1);
+        assert!(level == Level::L1 || level == Level::L2, "chose {level}");
+    }
+
+    #[test]
+    fn high_dimensional_workloads_choose_l3() {
+        assert_eq!(choose_level(1_265_723, 2_000, 196_608, 4_096), Level::L3);
+        assert_eq!(choose_level(1_265_723, 2_000, 8_192, 128), Level::L3);
+    }
+
+    #[test]
+    fn moderate_d_at_scale_prefers_l2() {
+        // Below the Fig. 7 crossover.
+        let level = choose_level(1_265_723, 2_000, 1_024, 128);
+        assert_eq!(level, Level::L2);
+    }
+
+    #[test]
+    fn absurd_shapes_fall_back_to_l3() {
+        assert_eq!(choose_level(10, 4, 1 << 21, 1), Level::L3);
+    }
+}

@@ -1,0 +1,285 @@
+//! Shared executor configuration, result type and dispatch.
+
+use kmeans_core::{KMeansError, Matrix, Scalar};
+use perf_model::Level;
+
+/// Configuration of a functional hierarchical run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct HierConfig {
+    /// Partition level to execute.
+    pub level: Level,
+    /// SPMD units: virtual CPEs for Levels 1–2, virtual CGs for Level 3.
+    /// Each unit is one `msg` rank (a host thread), so keep this within an
+    /// order of magnitude of the host's cores; the partition arithmetic is
+    /// exact at any unit count.
+    pub units: usize,
+    /// Units per centroid-sharing group (the paper's `m_group` /
+    /// `m'_group`). Ignored by Level 1. Must divide into `units` at least
+    /// once; `units % group_units` trailing units idle if not divisible.
+    pub group_units: usize,
+    /// Width of the per-CG dimension partition for Level 3 (64 on SW26010;
+    /// smaller values exercise the same arithmetic cheaply in tests).
+    pub cpes_per_cg: usize,
+    /// Iteration cap.
+    pub max_iters: usize,
+    /// Convergence threshold on maximum centroid movement (Euclidean).
+    pub tol: f64,
+}
+
+impl HierConfig {
+    pub fn new(level: Level) -> Self {
+        HierConfig {
+            level,
+            units: 8,
+            group_units: 2,
+            cpes_per_cg: 64,
+            max_iters: 100,
+            tol: 1e-9,
+        }
+    }
+}
+
+/// Errors from the hierarchical executors.
+#[derive(Debug, Clone, PartialEq)]
+pub enum HierError {
+    /// Problem/centroid validation failed (delegated to `kmeans-core`).
+    KMeans(KMeansError),
+    /// The execution configuration is inconsistent.
+    InvalidConfig(String),
+}
+
+impl std::fmt::Display for HierError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            HierError::KMeans(e) => write!(f, "{e}"),
+            HierError::InvalidConfig(msg) => write!(f, "invalid configuration: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for HierError {}
+
+impl From<KMeansError> for HierError {
+    fn from(e: KMeansError) -> Self {
+        HierError::KMeans(e)
+    }
+}
+
+/// Wall-time spent in each phase of the iteration loop, per rank (the
+/// assemble step keeps the per-phase maximum across ranks — the critical
+/// path). All values in seconds.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct PhaseTimings {
+    /// Local Assign work: distance kernels and accumulation.
+    pub assign: f64,
+    /// Per-sample merge collectives (min-loc AllReduce).
+    pub merge: f64,
+    /// Update collectives, centroid division and convergence check.
+    pub update: f64,
+}
+
+impl PhaseTimings {
+    /// Total accounted time.
+    pub fn total(&self) -> f64 {
+        self.assign + self.merge + self.update
+    }
+
+    /// Per-phase maximum across ranks (the slowest rank bounds each phase).
+    pub fn critical_path(all: &[PhaseTimings]) -> PhaseTimings {
+        let mut out = PhaseTimings::default();
+        for t in all {
+            out.assign = out.assign.max(t.assign);
+            out.merge = out.merge.max(t.merge);
+            out.update = out.update.max(t.update);
+        }
+        out
+    }
+}
+
+/// Result of a hierarchical run.
+#[derive(Debug, Clone)]
+pub struct HierResult<S: Scalar> {
+    /// Final centroids, `k × d`.
+    pub centroids: Matrix<S>,
+    /// Nearest-centroid index per sample (under the final centroids).
+    pub labels: Vec<u32>,
+    /// Iterations executed.
+    pub iterations: usize,
+    /// Whether the tolerance was reached before the cap.
+    pub converged: bool,
+    /// Final mean objective.
+    pub objective: f64,
+    /// Total bytes sent by all ranks over the run (from the `msg` cost
+    /// logs) — the traffic the performance model prices.
+    pub comm_bytes: u64,
+    /// Total messages sent by all ranks.
+    pub comm_messages: u64,
+    /// Critical-path phase breakdown (per-phase max across ranks).
+    pub timings: PhaseTimings,
+}
+
+/// Validate inputs shared by all levels.
+pub(crate) fn validate<S: Scalar>(
+    data: &Matrix<S>,
+    init: &Matrix<S>,
+    cfg: &HierConfig,
+) -> Result<(), HierError> {
+    if data.rows() == 0 {
+        return Err(KMeansError::EmptyDataset.into());
+    }
+    let k = init.rows();
+    if k == 0 {
+        return Err(KMeansError::ZeroK.into());
+    }
+    if k > data.rows() {
+        return Err(KMeansError::KExceedsN {
+            k,
+            n: data.rows(),
+        }
+        .into());
+    }
+    if init.cols() != data.cols() {
+        return Err(KMeansError::CentroidShape {
+            expected_k: k,
+            expected_d: data.cols(),
+            got_rows: init.rows(),
+            got_cols: init.cols(),
+        }
+        .into());
+    }
+    if cfg.units == 0 {
+        return Err(HierError::InvalidConfig("units must be positive".into()));
+    }
+    if cfg.level != Level::L1 {
+        if cfg.group_units == 0 {
+            return Err(HierError::InvalidConfig(
+                "group_units must be positive".into(),
+            ));
+        }
+        if cfg.group_units > cfg.units {
+            return Err(HierError::InvalidConfig(format!(
+                "group_units {} exceeds units {}",
+                cfg.group_units, cfg.units
+            )));
+        }
+    }
+    if cfg.level == Level::L3 && cfg.cpes_per_cg == 0 {
+        return Err(HierError::InvalidConfig(
+            "cpes_per_cg must be positive".into(),
+        ));
+    }
+    Ok(())
+}
+
+/// Assemble a [`HierResult`] from per-rank outputs: exactly one rank
+/// returns the final centroids; labels and objective are recomputed against
+/// them with the serial assign kernel (the same final-assign step
+/// `Lloyd::run_from` performs).
+pub(crate) fn assemble<S: Scalar>(
+    data: &Matrix<S>,
+    outs: Vec<(Option<Matrix<S>>, usize, bool, PhaseTimings)>,
+    costs: Vec<msg::CostLog>,
+) -> HierResult<S> {
+    let mut iterations = 0;
+    let mut converged = false;
+    let mut centroids = None;
+    let all_timings: Vec<PhaseTimings> = outs.iter().map(|(_, _, _, t)| *t).collect();
+    let timings = PhaseTimings::critical_path(&all_timings);
+    for (c, iters, conv, _) in outs {
+        if let Some(c) = c {
+            assert!(centroids.is_none(), "two ranks returned centroids");
+            centroids = Some(c);
+            iterations = iters;
+            converged = conv;
+        }
+    }
+    let centroids = centroids.expect("no rank returned centroids");
+    let mut labels = vec![0u32; data.rows()];
+    let objective = kmeans_core::assign_step(data, &centroids, &mut labels) / data.rows() as f64;
+    let comm_bytes = costs.iter().map(|c| c.total_bytes()).sum();
+    let comm_messages = costs.iter().map(|c| c.total_messages()).sum();
+    HierResult {
+        centroids,
+        labels,
+        iterations,
+        converged,
+        objective,
+        comm_bytes,
+        comm_messages,
+        timings,
+    }
+}
+
+/// Run the configured level on `data` from `init` centroids.
+pub fn fit<S: Scalar>(
+    data: &Matrix<S>,
+    init: Matrix<S>,
+    cfg: &HierConfig,
+) -> Result<HierResult<S>, HierError> {
+    validate(data, &init, cfg)?;
+    match cfg.level {
+        Level::L1 => crate::level1::run(data, init, cfg),
+        Level::L2 => crate::level2::run(data, init, cfg),
+        Level::L3 => crate::level3::run(data, init, cfg),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small_data() -> Matrix<f64> {
+        Matrix::from_rows(&[&[0.0f64, 0.0], &[1.0, 0.0], &[10.0, 10.0], &[11.0, 10.0]])
+    }
+
+    #[test]
+    fn validation_catches_bad_inputs() {
+        let data = small_data();
+        let cfg = HierConfig::new(Level::L2);
+        let empty = Matrix::<f64>::zeros(0, 2);
+        assert!(matches!(
+            fit(&empty, Matrix::zeros(1, 2), &cfg).unwrap_err(),
+            HierError::KMeans(KMeansError::EmptyDataset)
+        ));
+        assert!(matches!(
+            fit(&data, Matrix::zeros(0, 2), &cfg).unwrap_err(),
+            HierError::KMeans(KMeansError::ZeroK)
+        ));
+        assert!(matches!(
+            fit(&data, Matrix::zeros(5, 2), &cfg).unwrap_err(),
+            HierError::KMeans(KMeansError::KExceedsN { .. })
+        ));
+        assert!(matches!(
+            fit(&data, Matrix::zeros(2, 3), &cfg).unwrap_err(),
+            HierError::KMeans(KMeansError::CentroidShape { .. })
+        ));
+    }
+
+    #[test]
+    fn config_validation() {
+        let data = small_data();
+        let init = Matrix::from_rows(&[&[0.0f64, 0.0], &[10.0, 10.0]]);
+        let mut cfg = HierConfig::new(Level::L2);
+        cfg.units = 0;
+        assert!(matches!(
+            fit(&data, init.clone(), &cfg).unwrap_err(),
+            HierError::InvalidConfig(_)
+        ));
+        let mut cfg = HierConfig::new(Level::L2);
+        cfg.group_units = 16;
+        cfg.units = 4;
+        let err = fit(&data, init.clone(), &cfg).unwrap_err();
+        assert!(err.to_string().contains("exceeds units"));
+        let mut cfg = HierConfig::new(Level::L3);
+        cfg.cpes_per_cg = 0;
+        assert!(fit(&data, init, &cfg).is_err());
+    }
+
+    #[test]
+    fn error_display() {
+        let e: HierError = KMeansError::ZeroK.into();
+        assert!(e.to_string().contains("positive"));
+        let e = HierError::InvalidConfig("boom".into());
+        assert!(e.to_string().contains("boom"));
+    }
+}

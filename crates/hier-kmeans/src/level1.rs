@@ -1,0 +1,212 @@
+//! Level 1 — dataflow (n) partition: Algorithm 1 of the paper.
+//!
+//! Every virtual CPE loads the full centroid set, assigns its contiguous
+//! stripe of samples, and accumulates per-cluster vector sums and counts.
+//! The Update step is two AllReduces (sums, counts) followed by a local
+//! division — identical on every rank, so all ranks hold bitwise-identical
+//! centroids at all times and the convergence decision needs no extra
+//! synchronisation.
+
+use crate::executor::{HierConfig, HierError, HierResult, PhaseTimings};
+use crate::partition::split_range;
+use kmeans_core::{argmin_centroid, Matrix, Scalar};
+use msg::World;
+
+pub(crate) fn run<S: Scalar>(
+    data: &Matrix<S>,
+    init: Matrix<S>,
+    cfg: &HierConfig,
+) -> Result<HierResult<S>, HierError> {
+    let n = data.rows();
+    let d = data.cols();
+    let k = init.rows();
+    let units = cfg.units;
+
+    let (outs, costs) = World::run_with_cost(units, |comm| {
+        let mut centroids = init.clone();
+        let my_samples = split_range(n, units, comm.rank());
+        let mut iterations = 0usize;
+        let mut converged = false;
+        let mut sums = vec![S::ZERO; k * d];
+        let mut counts = vec![0u64; k];
+        let mut timings = PhaseTimings::default();
+        for _ in 0..cfg.max_iters {
+            // ---- Assign: stripe of samples against all k centroids. ----
+            let t0 = std::time::Instant::now();
+            sums.iter_mut().for_each(|v| *v = S::ZERO);
+            counts.iter_mut().for_each(|v| *v = 0);
+            for i in my_samples.clone() {
+                let (j, _) = argmin_centroid(data.row(i), &centroids);
+                counts[j] += 1;
+                let acc = &mut sums[j * d..(j + 1) * d];
+                for (a, x) in acc.iter_mut().zip(data.row(i)) {
+                    *a += *x;
+                }
+            }
+            timings.assign += t0.elapsed().as_secs_f64();
+            // ---- Update: two AllReduces, then local division. ----
+            let t1 = std::time::Instant::now();
+            comm.allreduce_with(&mut sums, sum_slices::<S>);
+            comm.allreduce_sum_u64(&mut counts);
+            let mut worst_shift_sq = 0.0f64;
+            for j in 0..k {
+                if counts[j] == 0 {
+                    continue; // empty cluster keeps its centroid
+                }
+                let inv = S::ONE / S::from_usize(counts[j] as usize);
+                let mut shift_sq = 0.0f64;
+                for u in 0..d {
+                    let next = sums[j * d + u] * inv;
+                    let diff = next.to_f64() - centroids.get(j, u).to_f64();
+                    shift_sq += diff * diff;
+                    centroids.set(j, u, next);
+                }
+                worst_shift_sq = worst_shift_sq.max(shift_sq);
+            }
+            timings.update += t1.elapsed().as_secs_f64();
+            iterations += 1;
+            if worst_shift_sq.sqrt() <= cfg.tol {
+                converged = true;
+                break;
+            }
+        }
+        let result_centroids = (comm.rank() == 0).then_some(centroids);
+        (result_centroids, iterations, converged, timings)
+    });
+
+    Ok(crate::executor::assemble(data, outs, costs))
+}
+
+/// Element-wise sum combine for AllReduce payloads.
+pub(crate) fn sum_slices<S: Scalar>(acc: &mut [S], x: &[S]) {
+    for (a, b) in acc.iter_mut().zip(x) {
+        *a += *b;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use kmeans_core::{init_centroids, InitMethod, KMeansConfig, Lloyd};
+    use perf_model::Level;
+    use rand::{Rng, SeedableRng};
+    use rand_chacha::ChaCha8Rng;
+
+    fn random_data(n: usize, d: usize, seed: u64) -> Matrix<f64> {
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        let flat: Vec<f64> = (0..n * d).map(|_| rng.gen_range(-5.0..5.0)).collect();
+        Matrix::from_vec(n, d, flat)
+    }
+
+    #[test]
+    fn matches_serial_lloyd_exactly_per_iteration() {
+        let data = random_data(200, 6, 11);
+        let init = init_centroids(&data, 7, InitMethod::Forgy, 3);
+        let cfg = HierConfig {
+            level: Level::L1,
+            units: 4,
+            group_units: 1,
+            cpes_per_cg: 64,
+            max_iters: 5,
+            tol: 0.0,
+        };
+        let hier = run(&data, init.clone(), &cfg).unwrap();
+        let serial = Lloyd::run_from(
+            &data,
+            init,
+            &KMeansConfig::new(7).with_max_iters(5).with_tol(0.0),
+        )
+        .unwrap();
+        assert_eq!(hier.iterations, serial.iterations);
+        assert!(
+            hier.centroids.max_abs_diff(&serial.centroids) < 1e-9,
+            "diff {}",
+            hier.centroids.max_abs_diff(&serial.centroids)
+        );
+        assert_eq!(hier.labels, serial.labels);
+        assert!((hier.objective - serial.objective).abs() < 1e-9);
+    }
+
+    #[test]
+    fn single_unit_degenerates_to_serial() {
+        let data = random_data(50, 3, 2);
+        let init = init_centroids(&data, 4, InitMethod::Forgy, 1);
+        let cfg = HierConfig {
+            level: Level::L1,
+            units: 1,
+            group_units: 1,
+            cpes_per_cg: 64,
+            max_iters: 20,
+            tol: 1e-9,
+        };
+        let hier = run(&data, init.clone(), &cfg).unwrap();
+        let serial =
+            Lloyd::run_from(&data, init, &KMeansConfig::new(4).with_tol(1e-9)).unwrap();
+        assert!(hier.centroids.max_abs_diff(&serial.centroids) < 1e-9);
+        assert_eq!(hier.labels, serial.labels);
+    }
+
+    #[test]
+    fn unit_count_does_not_change_result() {
+        let data = random_data(120, 4, 9);
+        let init = init_centroids(&data, 5, InitMethod::Forgy, 4);
+        let mut reference: Option<Matrix<f64>> = None;
+        for units in [1usize, 2, 3, 8] {
+            let cfg = HierConfig {
+                level: Level::L1,
+                units,
+                group_units: 1,
+                cpes_per_cg: 64,
+                max_iters: 10,
+                tol: 0.0,
+            };
+            let r = run(&data, init.clone(), &cfg).unwrap();
+            if let Some(ref m) = reference {
+                assert!(
+                    r.centroids.max_abs_diff(m) < 1e-9,
+                    "units={units} diverged"
+                );
+            } else {
+                reference = Some(r.centroids);
+            }
+        }
+    }
+
+    #[test]
+    fn communication_volume_is_accounted() {
+        let data = random_data(64, 4, 5);
+        let init = init_centroids(&data, 3, InitMethod::Forgy, 6);
+        let cfg = HierConfig {
+            level: Level::L1,
+            units: 4,
+            group_units: 1,
+            cpes_per_cg: 64,
+            max_iters: 3,
+            tol: 0.0,
+        };
+        let r = run(&data, init, &cfg).unwrap();
+        // 3 iterations × (sums k·d f64 + counts k u64) over a 4-rank
+        // binomial allreduce — nonzero, bounded traffic.
+        assert!(r.comm_bytes > 0);
+        assert!(r.comm_messages >= 3 * 2 * 3); // ≥ 3 msgs per allreduce × 2 × iters
+        let upper = 3 * 2 * 6 * (3 * 4 * 8 + 3 * 8 + 64);
+        assert!(r.comm_bytes < upper, "bytes {} vs {}", r.comm_bytes, upper);
+    }
+
+    #[test]
+    fn converges_and_reports_flag() {
+        let data = random_data(100, 2, 8);
+        let init = init_centroids(&data, 2, InitMethod::KMeansPlusPlus, 2);
+        let cfg = HierConfig {
+            level: Level::L1,
+            units: 4,
+            group_units: 1,
+            cpes_per_cg: 64,
+            max_iters: 100,
+            tol: 1e-9,
+        };
+        let r = run(&data, init, &cfg).unwrap();
+        assert!(r.converged);
+        assert!(r.iterations < 100);
+    }
+}

@@ -1,0 +1,284 @@
+//! Level 2 — dataflow + centroid (nk) partition: Algorithm 2 of the paper.
+//!
+//! Virtual CPEs form groups of `g = group_units`. Within a group, member
+//! `m` owns a contiguous shard of the centroid set (`split_range(k, g, m)`);
+//! the group jointly assigns a contiguous stripe of samples. The Assign
+//! step becomes: every member computes a *partial* argmin over its shard
+//! for every sample of the stripe, then the group merges the partials with
+//! one min-loc AllReduce (ties to the lower centroid index, exactly the
+//! serial tie-break). Each member accumulates winners that fall in its own
+//! shard; the Update step reduces each shard across the *other* groups (the
+//! same-member communicator) — never materialising all of `k·d` on one
+//! unit.
+
+use crate::executor::{assemble, HierConfig, HierError, HierResult, PhaseTimings};
+use crate::level1::sum_slices;
+use crate::partition::split_range;
+use kmeans_core::{argmin_centroid, Matrix, Scalar};
+use msg::World;
+
+/// Neutral element of the min-loc merge: never wins against a real
+/// distance.
+pub(crate) const MINLOC_NEUTRAL: (f64, u64) = (f64::INFINITY, u64::MAX);
+
+pub(crate) fn run<S: Scalar>(
+    data: &Matrix<S>,
+    init: Matrix<S>,
+    cfg: &HierConfig,
+) -> Result<HierResult<S>, HierError> {
+    let g = cfg.group_units;
+    if cfg.units % g != 0 {
+        return Err(HierError::InvalidConfig(format!(
+            "units {} must be a multiple of group_units {g}",
+            cfg.units
+        )));
+    }
+    let n = data.rows();
+    let d = data.cols();
+    let k = init.rows();
+    let n_groups = cfg.units / g;
+
+    let (outs, costs) = World::run_with_cost(cfg.units, |comm| {
+        let rank = comm.rank();
+        let group = rank / g;
+        let member = rank % g;
+        let mut group_comm = comm.split(group as u64, member as u64);
+        let mut shard_comm = comm.split(member as u64, group as u64);
+
+        let my_centroids = split_range(k, g, member);
+        let my_samples = split_range(n, n_groups, group);
+        let shard_k = my_centroids.len();
+        // Line 2 of Algorithm 2: load only this member's centroid shard.
+        let mut shard = init.slice_rows(my_centroids.clone());
+
+        let mut iterations = 0usize;
+        let mut converged = false;
+        let mut sums = vec![S::ZERO; shard_k * d];
+        let mut counts = vec![0u64; shard_k];
+        let mut pairs: Vec<(f64, u64)> = Vec::with_capacity(my_samples.len());
+        let mut timings = PhaseTimings::default();
+
+        for _ in 0..cfg.max_iters {
+            // ---- Assign: partial argmin over my shard (lines 9–10). ----
+            let t0 = std::time::Instant::now();
+            pairs.clear();
+            for i in my_samples.clone() {
+                if shard_k == 0 {
+                    pairs.push(MINLOC_NEUTRAL);
+                } else {
+                    let (j_local, dist) = argmin_centroid(data.row(i), &shard);
+                    pairs.push((
+                        dist.to_f64(),
+                        (my_centroids.start + j_local) as u64,
+                    ));
+                }
+            }
+            timings.assign += t0.elapsed().as_secs_f64();
+            // The min-loc merge produces the global a(i) for every sample
+            // of the stripe, on every member.
+            let t1 = std::time::Instant::now();
+            group_comm.allreduce_min_loc(&mut pairs);
+            timings.merge += t1.elapsed().as_secs_f64();
+
+            // ---- Accumulate winners that land in my shard (11–12). ----
+            let t2 = std::time::Instant::now();
+            sums.iter_mut().for_each(|v| *v = S::ZERO);
+            counts.iter_mut().for_each(|v| *v = 0);
+            for (offset, i) in my_samples.clone().enumerate() {
+                let j = pairs[offset].1 as usize;
+                if my_centroids.contains(&j) {
+                    let j_local = j - my_centroids.start;
+                    counts[j_local] += 1;
+                    let acc = &mut sums[j_local * d..(j_local + 1) * d];
+                    for (a, x) in acc.iter_mut().zip(data.row(i)) {
+                        *a += *x;
+                    }
+                }
+            }
+
+            timings.assign += t2.elapsed().as_secs_f64();
+            // ---- Update: reduce my shard across groups (13–15). ----
+            let t3 = std::time::Instant::now();
+            shard_comm.allreduce_with(&mut sums, sum_slices::<S>);
+            shard_comm.allreduce_sum_u64(&mut counts);
+            let mut worst_shift_sq = 0.0f64;
+            for j_local in 0..shard_k {
+                if counts[j_local] == 0 {
+                    continue;
+                }
+                let inv = S::ONE / S::from_usize(counts[j_local] as usize);
+                let mut shift_sq = 0.0f64;
+                for u in 0..d {
+                    let next = sums[j_local * d + u] * inv;
+                    let diff = next.to_f64() - shard.get(j_local, u).to_f64();
+                    shift_sq += diff * diff;
+                    shard.set(j_local, u, next);
+                }
+                worst_shift_sq = worst_shift_sq.max(shift_sq);
+            }
+
+            // ---- Convergence: global max shift over all shards. ----
+            let mut shift = vec![worst_shift_sq];
+            comm.allreduce_with(&mut shift, |acc, x| {
+                acc[0] = acc[0].max(x[0]);
+            });
+            timings.update += t3.elapsed().as_secs_f64();
+            iterations += 1;
+            if shift[0].sqrt() <= cfg.tol {
+                converged = true;
+                break;
+            }
+        }
+
+        // ---- Assemble the full centroid matrix on world rank 0. ----
+        // Group 0's members hold one copy of every shard (identical to all
+        // other groups after the shard AllReduce).
+        let contribution = (group == 0).then(|| {
+            (my_centroids.start, shard.clone().into_vec())
+        });
+        let gathered = comm.gather(0, contribution);
+        let full = gathered.map(|parts| {
+            let mut flat = vec![S::ZERO; k * d];
+            for (start, rows) in parts.into_iter().flatten() {
+                flat[start * d..start * d + rows.len()].copy_from_slice(&rows);
+            }
+            Matrix::from_vec(k, d, flat)
+        });
+        (full, iterations, converged, timings)
+    });
+
+    Ok(assemble(data, outs, costs))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use kmeans_core::{init_centroids, InitMethod, KMeansConfig, Lloyd};
+    use perf_model::Level;
+    use rand::{Rng, SeedableRng};
+    use rand_chacha::ChaCha8Rng;
+
+    fn random_data(n: usize, d: usize, seed: u64) -> Matrix<f64> {
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        let flat: Vec<f64> = (0..n * d).map(|_| rng.gen_range(-5.0..5.0)).collect();
+        Matrix::from_vec(n, d, flat)
+    }
+
+    fn cfg(units: usize, g: usize, max_iters: usize) -> HierConfig {
+        HierConfig {
+            level: Level::L2,
+            units,
+            group_units: g,
+            cpes_per_cg: 64,
+            max_iters,
+            tol: 0.0,
+        }
+    }
+
+    #[test]
+    fn matches_serial_lloyd() {
+        let data = random_data(150, 5, 21);
+        let init = init_centroids(&data, 8, InitMethod::Forgy, 13);
+        let hier = run(&data, init.clone(), &cfg(8, 4, 5)).unwrap();
+        let serial = Lloyd::run_from(
+            &data,
+            init,
+            &KMeansConfig::new(8).with_max_iters(5).with_tol(0.0),
+        )
+        .unwrap();
+        assert_eq!(hier.iterations, serial.iterations);
+        assert!(
+            hier.centroids.max_abs_diff(&serial.centroids) < 1e-9,
+            "diff {}",
+            hier.centroids.max_abs_diff(&serial.centroids)
+        );
+        assert_eq!(hier.labels, serial.labels);
+    }
+
+    #[test]
+    fn group_size_does_not_change_result() {
+        let data = random_data(96, 4, 33);
+        let init = init_centroids(&data, 6, InitMethod::Forgy, 5);
+        let reference = run(&data, init.clone(), &cfg(4, 1, 6)).unwrap();
+        for (units, g) in [(4, 2), (6, 3), (12, 6), (8, 8)] {
+            let r = run(&data, init.clone(), &cfg(units, g, 6)).unwrap();
+            assert!(
+                r.centroids.max_abs_diff(&reference.centroids) < 1e-9,
+                "units={units} g={g}"
+            );
+            assert_eq!(r.labels, reference.labels, "units={units} g={g}");
+        }
+    }
+
+    #[test]
+    fn more_members_than_centroids_is_fine() {
+        // g=8 members share k=3 centroids: five members own empty shards.
+        let data = random_data(64, 3, 7);
+        let init = init_centroids(&data, 3, InitMethod::Forgy, 2);
+        let hier = run(&data, init.clone(), &cfg(8, 8, 4)).unwrap();
+        let serial = Lloyd::run_from(
+            &data,
+            init,
+            &KMeansConfig::new(3).with_max_iters(4).with_tol(0.0),
+        )
+        .unwrap();
+        assert!(hier.centroids.max_abs_diff(&serial.centroids) < 1e-9);
+        assert_eq!(hier.labels, serial.labels);
+    }
+
+    #[test]
+    fn one_group_spanning_all_units() {
+        let data = random_data(80, 4, 17);
+        let init = init_centroids(&data, 12, InitMethod::Forgy, 8);
+        let hier = run(&data, init.clone(), &cfg(6, 6, 4)).unwrap();
+        let serial = Lloyd::run_from(
+            &data,
+            init,
+            &KMeansConfig::new(12).with_max_iters(4).with_tol(0.0),
+        )
+        .unwrap();
+        assert!(hier.centroids.max_abs_diff(&serial.centroids) < 1e-9);
+    }
+
+    #[test]
+    fn indivisible_units_rejected() {
+        let data = random_data(16, 2, 1);
+        let init = init_centroids(&data, 2, InitMethod::Forgy, 1);
+        let err = run(&data, init, &cfg(7, 2, 1)).unwrap_err();
+        assert!(err.to_string().contains("multiple of group_units"));
+    }
+
+    #[test]
+    fn f32_matches_serial_f32() {
+        let data: Matrix<f32> = random_data(100, 6, 41).cast();
+        let init = init_centroids(&data, 5, InitMethod::Forgy, 3);
+        let hier = run(&data, init.clone(), &cfg(8, 4, 3)).unwrap();
+        let serial = Lloyd::run_from(
+            &data,
+            init,
+            &KMeansConfig::new(5).with_max_iters(3).with_tol(0.0),
+        )
+        .unwrap();
+        // f32 accumulation order differs between serial (single pass) and
+        // hierarchical (per-stripe then tree) — tolerance reflects that.
+        assert!(hier.centroids.max_abs_diff(&serial.centroids) < 1e-3);
+    }
+
+    #[test]
+    fn min_loc_tie_break_matches_serial() {
+        // Duplicate centroids force exact distance ties; the lower index
+        // must win in both implementations.
+        let data = random_data(40, 3, 55);
+        let mut init = init_centroids(&data, 4, InitMethod::Forgy, 9);
+        let dup = init.row(1).to_vec();
+        init.row_mut(3).copy_from_slice(&dup);
+        let hier = run(&data, init.clone(), &cfg(8, 4, 1)).unwrap();
+        let serial = Lloyd::run_from(
+            &data,
+            init,
+            &KMeansConfig::new(4).with_max_iters(1).with_tol(0.0),
+        )
+        .unwrap();
+        assert_eq!(hier.labels, serial.labels);
+    }
+}

@@ -1,0 +1,334 @@
+//! Level 3 — dataflow + centroid + dimension (nkd) partition: Algorithm 3,
+//! the paper's contribution.
+//!
+//! SPMD units are virtual *core groups*. Groups of `G = group_units` CGs
+//! share the centroid set (member `m` owns `split_range(k, G, m)`); inside
+//! every CG, each sample and each centroid is sliced over `cpes_per_cg`
+//! virtual CPEs by dimension (`split_range(d, cpes, c)`). A distance is
+//! computed as the sum of per-CPE partial distances over disjoint dimension
+//! slices — exact, because squared Euclidean distance is additive over
+//! dimensions (the identity `kmeans-core` property-tests). The partial sums
+//! are folded in fixed CPE order, standing in for the register-bus mesh
+//! reduction of the real machine.
+//!
+//! The decisive property (C1''): no unit ever materialises more than
+//! `⌈k/G⌉ · d` centroid elements, and no CPE slice exceeds `⌈k/G⌉ · ⌈d/64⌉`
+//! — so `k·d` scales with the machine, not with any single memory.
+
+use crate::executor::{assemble, HierConfig, HierError, HierResult, PhaseTimings};
+use crate::level1::sum_slices;
+use crate::level2::MINLOC_NEUTRAL;
+use crate::partition::split_range;
+use kmeans_core::distance::sq_euclidean_unrolled;
+use kmeans_core::{Matrix, Scalar};
+use msg::World;
+
+/// Distance of `sample` to `centroid` computed the Level-3 way: per-CPE
+/// partials over dimension slices, folded in CPE order.
+pub(crate) fn sliced_distance<S: Scalar>(
+    sample: &[S],
+    centroid: &[S],
+    cpes: usize,
+) -> S {
+    let d = sample.len();
+    let mut acc = S::ZERO;
+    for cpe in 0..cpes {
+        let slice = split_range(d, cpes, cpe);
+        acc += sq_euclidean_unrolled(&sample[slice.clone()], &centroid[slice]);
+    }
+    acc
+}
+
+pub(crate) fn run<S: Scalar>(
+    data: &Matrix<S>,
+    init: Matrix<S>,
+    cfg: &HierConfig,
+) -> Result<HierResult<S>, HierError> {
+    let g = cfg.group_units;
+    if cfg.units % g != 0 {
+        return Err(HierError::InvalidConfig(format!(
+            "units {} must be a multiple of group_units {g}",
+            cfg.units
+        )));
+    }
+    let n = data.rows();
+    let d = data.cols();
+    let k = init.rows();
+    let n_groups = cfg.units / g;
+    let cpes = cfg.cpes_per_cg;
+
+    let (outs, costs) = World::run_with_cost(cfg.units, |comm| {
+        let rank = comm.rank();
+        let group = rank / g;
+        let member = rank % g;
+        let mut group_comm = comm.split(group as u64, member as u64);
+        let mut shard_comm = comm.split(member as u64, group as u64);
+
+        let my_centroids = split_range(k, g, member);
+        let my_samples = split_range(n, n_groups, group);
+        let shard_k = my_centroids.len();
+        // Line 2 of Algorithm 3: this CG loads its centroid shard, sliced
+        // over its CPEs (the slicing is index arithmetic over the same
+        // storage).
+        let mut shard = init.slice_rows(my_centroids.clone());
+
+        let mut iterations = 0usize;
+        let mut converged = false;
+        let mut sums = vec![S::ZERO; shard_k * d];
+        let mut counts = vec![0u64; shard_k];
+        let mut pairs: Vec<(f64, u64)> = Vec::with_capacity(my_samples.len());
+        let mut timings = PhaseTimings::default();
+
+        for _ in 0..cfg.max_iters {
+            // ---- Assign: per-CPE partial distances (lines 8–10). ----
+            let t0 = std::time::Instant::now();
+            pairs.clear();
+            for i in my_samples.clone() {
+                if shard_k == 0 {
+                    pairs.push(MINLOC_NEUTRAL);
+                    continue;
+                }
+                let sample = data.row(i);
+                let mut best = MINLOC_NEUTRAL;
+                for j_local in 0..shard_k {
+                    let dist =
+                        sliced_distance(sample, shard.row(j_local), cpes).to_f64();
+                    let j_global = (my_centroids.start + j_local) as u64;
+                    if dist < best.0 || (dist == best.0 && j_global < best.1) {
+                        best = (dist, j_global);
+                    }
+                }
+                pairs.push(best);
+            }
+            timings.assign += t0.elapsed().as_secs_f64();
+            // Line 11: min-loc merge across the G CGs of the group.
+            let t1 = std::time::Instant::now();
+            group_comm.allreduce_min_loc(&mut pairs);
+            timings.merge += t1.elapsed().as_secs_f64();
+
+            // ---- Accumulate winners in my shard (lines 12–13), with the
+            // accumulator itself dimension-sliced across virtual CPEs
+            // (disjoint writes, identical values). ----
+            let t2 = std::time::Instant::now();
+            sums.iter_mut().for_each(|v| *v = S::ZERO);
+            counts.iter_mut().for_each(|v| *v = 0);
+            for (offset, i) in my_samples.clone().enumerate() {
+                let j = pairs[offset].1 as usize;
+                if my_centroids.contains(&j) {
+                    let j_local = j - my_centroids.start;
+                    counts[j_local] += 1;
+                    let row = data.row(i);
+                    for cpe in 0..cpes {
+                        let slice = split_range(d, cpes, cpe);
+                        let acc = &mut sums[j_local * d + slice.start..j_local * d + slice.end];
+                        for (a, x) in acc.iter_mut().zip(&row[slice]) {
+                            *a += *x;
+                        }
+                    }
+                }
+            }
+
+            timings.assign += t2.elapsed().as_secs_f64();
+            // ---- Update: AllReduce shards across groups (lines 14–16). ----
+            let t3 = std::time::Instant::now();
+            shard_comm.allreduce_with(&mut sums, sum_slices::<S>);
+            shard_comm.allreduce_sum_u64(&mut counts);
+            let mut worst_shift_sq = 0.0f64;
+            for j_local in 0..shard_k {
+                if counts[j_local] == 0 {
+                    continue;
+                }
+                let inv = S::ONE / S::from_usize(counts[j_local] as usize);
+                let mut shift_sq = 0.0f64;
+                for u in 0..d {
+                    let next = sums[j_local * d + u] * inv;
+                    let diff = next.to_f64() - shard.get(j_local, u).to_f64();
+                    shift_sq += diff * diff;
+                    shard.set(j_local, u, next);
+                }
+                worst_shift_sq = worst_shift_sq.max(shift_sq);
+            }
+
+            let mut shift = vec![worst_shift_sq];
+            comm.allreduce_with(&mut shift, |acc, x| {
+                acc[0] = acc[0].max(x[0]);
+            });
+            timings.update += t3.elapsed().as_secs_f64();
+            iterations += 1;
+            if shift[0].sqrt() <= cfg.tol {
+                converged = true;
+                break;
+            }
+        }
+
+        let contribution =
+            (group == 0).then(|| (my_centroids.start, shard.clone().into_vec()));
+        let gathered = comm.gather(0, contribution);
+        let full = gathered.map(|parts| {
+            let mut flat = vec![S::ZERO; k * d];
+            for (start, rows) in parts.into_iter().flatten() {
+                flat[start * d..start * d + rows.len()].copy_from_slice(&rows);
+            }
+            Matrix::from_vec(k, d, flat)
+        });
+        (full, iterations, converged, timings)
+    });
+
+    Ok(assemble(data, outs, costs))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use kmeans_core::{init_centroids, sq_euclidean, InitMethod, KMeansConfig, Lloyd};
+    use perf_model::Level;
+    use rand::{Rng, SeedableRng};
+    use rand_chacha::ChaCha8Rng;
+
+    fn random_data(n: usize, d: usize, seed: u64) -> Matrix<f64> {
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        let flat: Vec<f64> = (0..n * d).map(|_| rng.gen_range(-5.0..5.0)).collect();
+        Matrix::from_vec(n, d, flat)
+    }
+
+    fn cfg(units: usize, g: usize, cpes: usize, max_iters: usize) -> HierConfig {
+        HierConfig {
+            level: Level::L3,
+            units,
+            group_units: g,
+            cpes_per_cg: cpes,
+            max_iters,
+            tol: 0.0,
+        }
+    }
+
+    #[test]
+    fn sliced_distance_is_exact() {
+        let mut rng = ChaCha8Rng::seed_from_u64(99);
+        for d in [1usize, 7, 63, 64, 65, 200] {
+            let a: Vec<f64> = (0..d).map(|_| rng.gen_range(-1.0..1.0)).collect();
+            let b: Vec<f64> = (0..d).map(|_| rng.gen_range(-1.0..1.0)).collect();
+            let full = sq_euclidean(&a, &b);
+            for cpes in [1usize, 2, 8, 64, 100] {
+                let sliced = sliced_distance(&a, &b, cpes);
+                assert!(
+                    (full - sliced).abs() < 1e-12 * (1.0 + full),
+                    "d={d} cpes={cpes}: {full} vs {sliced}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn matches_serial_lloyd() {
+        let data = random_data(120, 17, 61);
+        let init = init_centroids(&data, 6, InitMethod::Forgy, 19);
+        let hier = run(&data, init.clone(), &cfg(8, 4, 8, 5)).unwrap();
+        let serial = Lloyd::run_from(
+            &data,
+            init,
+            &KMeansConfig::new(6).with_max_iters(5).with_tol(0.0),
+        )
+        .unwrap();
+        assert_eq!(hier.iterations, serial.iterations);
+        assert!(
+            hier.centroids.max_abs_diff(&serial.centroids) < 1e-9,
+            "diff {}",
+            hier.centroids.max_abs_diff(&serial.centroids)
+        );
+        assert_eq!(hier.labels, serial.labels);
+    }
+
+    #[test]
+    fn all_three_partitions_active_at_once() {
+        // n=90 over 3 groups, k=10 over 2 CGs per group, d=23 over 5 CPEs:
+        // none of the partition sizes divide evenly.
+        let data = random_data(90, 23, 71);
+        let init = init_centroids(&data, 10, InitMethod::Forgy, 23);
+        let hier = run(&data, init.clone(), &cfg(6, 2, 5, 4)).unwrap();
+        let serial = Lloyd::run_from(
+            &data,
+            init,
+            &KMeansConfig::new(10).with_max_iters(4).with_tol(0.0),
+        )
+        .unwrap();
+        assert!(hier.centroids.max_abs_diff(&serial.centroids) < 1e-9);
+        assert_eq!(hier.labels, serial.labels);
+    }
+
+    #[test]
+    fn group_and_cpe_counts_do_not_change_result() {
+        let data = random_data(60, 16, 31);
+        let init = init_centroids(&data, 5, InitMethod::Forgy, 7);
+        let reference = run(&data, init.clone(), &cfg(2, 1, 1, 4)).unwrap();
+        for (units, g, cpes) in [(4, 2, 4), (6, 3, 16), (8, 4, 64), (4, 4, 2)] {
+            let r = run(&data, init.clone(), &cfg(units, g, cpes, 4)).unwrap();
+            assert!(
+                r.centroids.max_abs_diff(&reference.centroids) < 1e-9,
+                "units={units} g={g} cpes={cpes}: {}",
+                r.centroids.max_abs_diff(&reference.centroids)
+            );
+        }
+    }
+
+    #[test]
+    fn more_cpes_than_dimensions() {
+        // d=3 sliced over 64 virtual CPEs: 61 slices are empty.
+        let data = random_data(40, 3, 13);
+        let init = init_centroids(&data, 4, InitMethod::Forgy, 3);
+        let hier = run(&data, init.clone(), &cfg(4, 2, 64, 3)).unwrap();
+        let serial = Lloyd::run_from(
+            &data,
+            init,
+            &KMeansConfig::new(4).with_max_iters(3).with_tol(0.0),
+        )
+        .unwrap();
+        assert!(hier.centroids.max_abs_diff(&serial.centroids) < 1e-9);
+        assert_eq!(hier.labels, serial.labels);
+    }
+
+    #[test]
+    fn converges_on_separated_blobs() {
+        let mut rows = Vec::new();
+        let mut rng = ChaCha8Rng::seed_from_u64(5);
+        for i in 0..90 {
+            let centre = (i % 3) as f64 * 50.0;
+            rows.extend((0..12).map(|_| centre + rng.gen_range(-1.0..1.0)));
+        }
+        let data = Matrix::from_vec(90, 12, rows);
+        let init = init_centroids(&data, 3, InitMethod::KMeansPlusPlus, 1);
+        let mut c = cfg(6, 3, 4, 50);
+        c.tol = 1e-9;
+        let r = run(&data, init, &c).unwrap();
+        assert!(r.converged);
+        assert!(r.objective < 8.0, "objective {}", r.objective);
+        // Pure clusters: samples of the same blob share a label.
+        for i in 0..90 {
+            assert_eq!(r.labels[i], r.labels[i % 3]);
+        }
+    }
+
+    #[test]
+    fn level3_communicates_less_per_unit_than_replicating_everything() {
+        // The point of the design: with k=8 over 4 CGs, each CG's update
+        // traffic covers 2 centroids, not 8.
+        let data = random_data(64, 32, 3);
+        let init = init_centroids(&data, 8, InitMethod::Forgy, 11);
+        let l3 = run(&data, init.clone(), &cfg(8, 4, 8, 3)).unwrap();
+        let l1_cfg = HierConfig {
+            level: Level::L1,
+            units: 8,
+            group_units: 1,
+            cpes_per_cg: 64,
+            max_iters: 3,
+            tol: 0.0,
+        };
+        let l1 = crate::level1::run(&data, init, &l1_cfg).unwrap();
+        assert!(
+            l3.comm_bytes < l1.comm_bytes,
+            "L3 {} bytes vs L1 {} bytes",
+            l3.comm_bytes,
+            l1.comm_bytes
+        );
+    }
+}

@@ -1,0 +1,126 @@
+//! Three-level hierarchical parallel k-means — the paper's contribution.
+//!
+//! The three partition levels map the Lloyd algorithm onto the Sunway
+//! hardware hierarchy:
+//!
+//! * [`level1`] — **n-partition** (Algorithm 1): samples striped over CPEs,
+//!   every CPE holds all k centroids; Update is one AllReduce.
+//! * [`level2`] — **nk-partition** (Algorithm 2): CPE groups additionally
+//!   partition the centroid set; the Assign step becomes a per-sample
+//!   partial argmin plus a min-loc merge across the group.
+//! * [`level3`] — **nkd-partition** (Algorithm 3): each sample's dimensions
+//!   are sliced over the 64 CPEs of a CG, centroids over groups of CGs, and
+//!   dataflow over CG groups — all of n, k, d scale independently (C1'').
+//!
+//! The executors here are *functional*: they run the exact partition
+//! arithmetic of Algorithms 1–3 as an SPMD program over the [`msg`] runtime
+//! (virtual CPEs/CGs as ranks), producing bit-deterministic clusterings that
+//! the test-suite compares against serial Lloyd. Wall-clock estimates for
+//! full-machine configurations come from [`perf_model`], which prices the
+//! exact communication pattern these executors emit (see
+//! [`executor::HierResult::comm_bytes`]).
+//!
+//! Entry points: [`HierKMeans`] for the high-level API,
+//! [`executor::fit`] for explicit control, [`auto`] for model-driven level
+//! selection, [`baseline`] for the shared-memory rayon baseline.
+
+pub mod auto;
+pub mod baseline;
+pub mod executor;
+pub mod level1;
+pub mod level2;
+pub mod level3;
+pub mod partition;
+pub mod plan;
+pub mod stream;
+
+pub use auto::choose_level;
+pub use executor::{fit, HierConfig, HierError, HierResult, PhaseTimings};
+pub use partition::split_range;
+pub use perf_model::Level;
+pub use stream::{fit_source, StreamConfig};
+
+use kmeans_core::{Matrix, Scalar};
+
+/// High-level façade: configure once, fit many datasets.
+///
+/// ```
+/// use hier_kmeans::{HierKMeans, Level};
+/// use kmeans_core::{init_centroids, InitMethod, Matrix};
+///
+/// // A toy dataset: two obvious clusters in 8 dimensions.
+/// let mut rows = Vec::new();
+/// for i in 0..32 {
+///     let base = if i % 2 == 0 { 0.0f64 } else { 100.0 };
+///     rows.push((0..8).map(|j| base + (i * j % 5) as f64 * 0.1).collect::<Vec<_>>());
+/// }
+/// let refs: Vec<&[f64]> = rows.iter().map(|r| r.as_slice()).collect();
+/// let data = Matrix::from_rows(&refs);
+/// let init = init_centroids(&data, 2, InitMethod::KMeansPlusPlus, 7);
+///
+/// let result = HierKMeans::new(Level::L3)
+///     .with_units(4)
+///     .with_group_units(2)
+///     .fit(&data, init)
+///     .unwrap();
+/// assert_eq!(result.centroids.rows(), 2);
+/// assert!(result.converged);
+/// ```
+#[derive(Debug, Clone)]
+pub struct HierKMeans {
+    config: HierConfig,
+}
+
+impl HierKMeans {
+    /// A fitter at the given partition level with library defaults
+    /// (8 virtual units, group of 2, 100 iterations, tol 1e-9).
+    pub fn new(level: Level) -> Self {
+        HierKMeans {
+            config: HierConfig::new(level),
+        }
+    }
+
+    /// Number of SPMD units (virtual CPEs for Levels 1–2, virtual CGs for
+    /// Level 3).
+    pub fn with_units(mut self, units: usize) -> Self {
+        self.config.units = units;
+        self
+    }
+
+    /// Units per centroid-sharing group (ignored by Level 1).
+    pub fn with_group_units(mut self, group_units: usize) -> Self {
+        self.config.group_units = group_units;
+        self
+    }
+
+    /// Width of the per-CG dimension partition (Level 3 only; 64 on the
+    /// real machine).
+    pub fn with_cpes_per_cg(mut self, cpes: usize) -> Self {
+        self.config.cpes_per_cg = cpes;
+        self
+    }
+
+    pub fn with_max_iters(mut self, max_iters: usize) -> Self {
+        self.config.max_iters = max_iters;
+        self
+    }
+
+    pub fn with_tol(mut self, tol: f64) -> Self {
+        self.config.tol = tol;
+        self
+    }
+
+    /// Access the underlying configuration.
+    pub fn config(&self) -> &HierConfig {
+        &self.config
+    }
+
+    /// Cluster `data` starting from `init` centroids.
+    pub fn fit<S: Scalar>(
+        &self,
+        data: &Matrix<S>,
+        init: Matrix<S>,
+    ) -> Result<HierResult<S>, HierError> {
+        fit(data, init, &self.config)
+    }
+}

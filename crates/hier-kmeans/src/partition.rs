@@ -1,0 +1,137 @@
+//! Contiguous range partitioning — the index arithmetic all three levels
+//! share.
+//!
+//! `split_range(total, parts, idx)` hands part `idx` a contiguous block,
+//! spreading the remainder over the first `total % parts` parts so block
+//! sizes differ by at most one. Every partition of samples (by dataflow),
+//! centroids (by group member) and dimensions (by CPE) in this crate goes
+//! through this one function, so its invariants (full cover, no overlap,
+//! balance) are property-tested once and hold everywhere.
+
+use std::ops::Range;
+
+/// The contiguous sub-range of `0..total` owned by part `idx` of `parts`.
+///
+/// Parts `0..total % parts` receive `⌈total/parts⌉` items, the rest
+/// `⌊total/parts⌋`. For `total < parts`, trailing parts receive empty
+/// ranges (valid: a group member can own zero centroids).
+pub fn split_range(total: usize, parts: usize, idx: usize) -> Range<usize> {
+    assert!(parts > 0, "cannot split into zero parts");
+    assert!(idx < parts, "part index {idx} out of {parts}");
+    let q = total / parts;
+    let r = total % parts;
+    let start = idx * q + idx.min(r);
+    let len = q + usize::from(idx < r);
+    start..start + len
+}
+
+/// Size of part `idx` without building the range.
+pub fn part_len(total: usize, parts: usize, idx: usize) -> usize {
+    split_range(total, parts, idx).len()
+}
+
+/// Which part owns global index `i` under `split_range(total, parts, ·)`.
+pub fn owner_of(total: usize, parts: usize, i: usize) -> usize {
+    assert!(i < total, "index {i} out of {total}");
+    let q = total / parts;
+    let r = total % parts;
+    let big = (q + 1) * r; // indices handled by the r larger parts
+    if q == 0 {
+        // Every non-empty part has exactly one element.
+        return i;
+    }
+    if i < big {
+        i / (q + 1)
+    } else {
+        r + (i - big) / q
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn even_split() {
+        assert_eq!(split_range(12, 4, 0), 0..3);
+        assert_eq!(split_range(12, 4, 3), 9..12);
+    }
+
+    #[test]
+    fn remainder_goes_to_leading_parts() {
+        // 10 over 4: 3,3,2,2.
+        assert_eq!(split_range(10, 4, 0), 0..3);
+        assert_eq!(split_range(10, 4, 1), 3..6);
+        assert_eq!(split_range(10, 4, 2), 6..8);
+        assert_eq!(split_range(10, 4, 3), 8..10);
+    }
+
+    #[test]
+    fn more_parts_than_items() {
+        assert_eq!(split_range(2, 5, 0), 0..1);
+        assert_eq!(split_range(2, 5, 1), 1..2);
+        assert_eq!(split_range(2, 5, 4), 2..2);
+        assert!(split_range(2, 5, 3).is_empty());
+    }
+
+    #[test]
+    fn zero_total() {
+        for idx in 0..3 {
+            assert!(split_range(0, 3, idx).is_empty());
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "zero parts")]
+    fn zero_parts_rejected() {
+        let _ = split_range(1, 0, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of")]
+    fn index_out_of_parts_rejected() {
+        let _ = split_range(10, 2, 2);
+    }
+
+    #[test]
+    fn owner_inverts_split() {
+        for (total, parts) in [(10, 4), (7, 7), (5, 8), (64, 3), (1, 1)] {
+            for i in 0..total {
+                let owner = owner_of(total, parts, i);
+                let range = split_range(total, parts, owner);
+                assert!(range.contains(&i), "{total}/{parts}: {i} not in {range:?}");
+            }
+        }
+    }
+
+    proptest! {
+        #[test]
+        fn covers_everything_without_overlap(total in 0usize..10_000, parts in 1usize..256) {
+            let mut next = 0usize;
+            for idx in 0..parts {
+                let r = split_range(total, parts, idx);
+                // Ranges are contiguous and in order: full cover, no overlap.
+                prop_assert_eq!(r.start, next);
+                next = r.end;
+            }
+            prop_assert_eq!(next, total);
+        }
+
+        #[test]
+        fn sizes_differ_by_at_most_one(total in 0usize..10_000, parts in 1usize..256) {
+            let sizes: Vec<usize> = (0..parts).map(|i| part_len(total, parts, i)).collect();
+            let min = *sizes.iter().min().unwrap();
+            let max = *sizes.iter().max().unwrap();
+            prop_assert!(max - min <= 1);
+            prop_assert_eq!(sizes.iter().sum::<usize>(), total);
+        }
+
+        #[test]
+        fn owner_matches_scan(total in 1usize..2_000, parts in 1usize..64, i_frac in 0.0f64..1.0) {
+            let i = ((total as f64 - 1.0) * i_frac) as usize;
+            let owner = owner_of(total, parts, i);
+            prop_assert!(split_range(total, parts, owner).contains(&i));
+        }
+    }
+}

@@ -1,0 +1,129 @@
+//! Bridges the analytic plans of `perf-model` to the explicit scratchpad
+//! allocator of `sw-arch`: every plan the feasibility solver emits must
+//! correspond to an LDM layout that actually allocates — the two crates
+//! cross-validate each other here.
+
+use kmeans_core::Scalar;
+use perf_model::{Level, LevelPlan, ProblemShape};
+use sw_arch::{LdmBudget, LdmError, LdmLayout, Machine};
+
+/// Build the per-CPE scratchpad layout a plan implies and allocate it
+/// against the machine's LDM. Spilled plans allocate only the streaming
+/// buffers (shards live in DDR).
+pub fn ldm_layout(
+    plan: &LevelPlan,
+    shape: &ProblemShape,
+    machine: &Machine,
+) -> Result<LdmLayout, LdmError> {
+    let mut budget = LdmBudget::new(&machine.params);
+    let s = shape.elem_bytes as usize;
+    let slice = plan.slice as usize;
+    let c = plan.centroids_per_unit as usize;
+    match plan.level {
+        Level::L1 => {
+            // Algorithm 1: single-buffered sample, all centroids, all
+            // accumulators, all counters — the paper's C1 layout.
+            budget.alloc_elems("sample", slice, s)?;
+            budget.alloc_elems("centroids", c * slice, s)?;
+            budget.alloc_elems("accumulators", c * slice, s)?;
+            budget.alloc_elems("counters", c, s)?;
+        }
+        Level::L2 | Level::L3 => {
+            budget.alloc_elems("sample_buf_a", slice, s)?;
+            budget.alloc_elems("sample_buf_b", slice, s)?;
+            if !plan.spilled {
+                budget.alloc_elems("centroid_shard", c * slice, s)?;
+                budget.alloc_elems("accumulator_shard", c * slice, s)?;
+            }
+        }
+    }
+    Ok(budget.finish())
+}
+
+/// Convenience: the layout of the *functional* executor configuration, for
+/// documentation and examples (what one virtual unit holds).
+pub fn describe_unit_memory<S: Scalar>(
+    level: Level,
+    k: usize,
+    d: usize,
+    group_units: usize,
+    cpes_per_cg: usize,
+) -> String {
+    let c = k.div_ceil(group_units.max(1));
+    match level {
+        Level::L1 => format!(
+            "CPE: sample {d}×{b}B + centroids {k}×{d}×{b}B + accumulators + counters",
+            b = S::BYTES
+        ),
+        Level::L2 => format!(
+            "CPE: sample {d}×{b}B (double-buffered) + shard {c}×{d}×{b}B ×2",
+            b = S::BYTES
+        ),
+        Level::L3 => {
+            let slice = d.div_ceil(cpes_per_cg);
+            format!(
+                "CPE: slice {slice}×{b}B (double-buffered) + shard {c}×{slice}×{b}B ×2",
+                b = S::BYTES
+            )
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use perf_model::feasibility;
+
+    #[test]
+    fn feasible_plans_always_allocate() {
+        // Cross-validation: every plan the solver accepts fits the
+        // allocator, across a grid of shapes and levels.
+        let machine = Machine::taihulight(128);
+        for k in [1u64, 16, 256, 2_000, 65_536] {
+            for d in [1u64, 4, 68, 1_024, 4_096, 196_608] {
+                let shape = ProblemShape::f32(1_000_000, k, d);
+                for level in [Level::L1, Level::L2, Level::L3] {
+                    if let Ok(plan) = feasibility::plan(level, &shape, &machine, true) {
+                        let layout = ldm_layout(&plan, &shape, &machine).unwrap_or_else(|e| {
+                            panic!("{level} plan for k={k} d={d} overflowed LDM: {e}")
+                        });
+                        assert!(layout.used() <= layout.capacity());
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn l1_layout_matches_c1() {
+        let machine = Machine::taihulight(1);
+        let shape = ProblemShape::f32(65_554, 256, 28);
+        let plan = feasibility::plan(Level::L1, &shape, &machine, false).unwrap();
+        let layout = ldm_layout(&plan, &shape, &machine).unwrap();
+        // C1 in bytes: (d(1+2k)+k)·4.
+        let expect = (28 * (1 + 2 * 256) + 256) * 4;
+        assert_eq!(layout.used(), expect);
+        assert_eq!(layout.region_bytes("centroids"), Some(256 * 28 * 4));
+    }
+
+    #[test]
+    fn spilled_plan_allocates_only_buffers() {
+        let machine = Machine::taihulight(128);
+        let shape = ProblemShape::f32(1_265_723, 160_000, 3_072);
+        let plan = feasibility::plan(Level::L3, &shape, &machine, true).unwrap();
+        assert!(plan.spilled);
+        let layout = ldm_layout(&plan, &shape, &machine).unwrap();
+        assert_eq!(layout.region_bytes("centroid_shard"), None);
+        assert!(layout.used() < machine.params.ldm_bytes / 2);
+    }
+
+    #[test]
+    fn describe_mentions_the_right_numbers() {
+        let text = describe_unit_memory::<f32>(Level::L3, 2_000, 196_608, 2_048, 64);
+        assert!(text.contains("3072"), "{text}");
+        let text1 = describe_unit_memory::<f64>(Level::L1, 10, 4, 1, 64);
+        assert!(text1.contains("8B"), "{text1}");
+        let text2 = describe_unit_memory::<f32>(Level::L2, 100, 64, 10, 64);
+        assert!(text2.contains("10×64"), "{text2}");
+    }
+}

@@ -1,0 +1,294 @@
+//! Squared-Euclidean distance kernels.
+//!
+//! Three variants:
+//! * [`sq_euclidean`] — the obvious loop; the reference everything else is
+//!   tested against.
+//! * [`sq_euclidean_unrolled`] — four independent accumulators so the
+//!   compiler can keep multiple FMAs in flight (the CPE-style inner loop).
+//! * Partial-dimension distances are just these kernels applied to
+//!   column-range slices: Level 3 computes `Σ_{u∈slice}(x_u - c_u)²` per CPE
+//!   and sum-reduces the partials, which is exact because squared Euclidean
+//!   distance is additive over disjoint dimension slices.
+
+use crate::matrix::Matrix;
+use crate::scalar::Scalar;
+
+/// Squared Euclidean distance between two equal-length slices.
+#[inline]
+pub fn sq_euclidean<S: Scalar>(a: &[S], b: &[S]) -> S {
+    debug_assert_eq!(a.len(), b.len());
+    let mut acc = S::ZERO;
+    for (x, y) in a.iter().zip(b) {
+        let d = *x - *y;
+        acc += d * d;
+    }
+    acc
+}
+
+/// Squared Euclidean distance with 4-way unrolling — same result as
+/// [`sq_euclidean`] up to floating-point reassociation.
+#[inline]
+pub fn sq_euclidean_unrolled<S: Scalar>(a: &[S], b: &[S]) -> S {
+    debug_assert_eq!(a.len(), b.len());
+    let chunks = a.len() / 4;
+    let (mut s0, mut s1, mut s2, mut s3) = (S::ZERO, S::ZERO, S::ZERO, S::ZERO);
+    for i in 0..chunks {
+        let base = i * 4;
+        let d0 = a[base] - b[base];
+        let d1 = a[base + 1] - b[base + 1];
+        let d2 = a[base + 2] - b[base + 2];
+        let d3 = a[base + 3] - b[base + 3];
+        s0 += d0 * d0;
+        s1 += d1 * d1;
+        s2 += d2 * d2;
+        s3 += d3 * d3;
+    }
+    let mut acc = (s0 + s1) + (s2 + s3);
+    for i in chunks * 4..a.len() {
+        let d = a[i] - b[i];
+        acc += d * d;
+    }
+    acc
+}
+
+/// Index and squared distance of the centroid nearest to `sample`,
+/// breaking ties toward the lowest index (the convention every level of the
+/// hierarchy shares, so distributed argmin merges agree with serial).
+#[inline]
+pub fn argmin_centroid<S: Scalar>(sample: &[S], centroids: &Matrix<S>) -> (usize, S) {
+    assert!(centroids.rows() > 0, "no centroids");
+    assert_eq!(sample.len(), centroids.cols(), "dimension mismatch");
+    let mut best_j = 0usize;
+    let mut best_d = sq_euclidean_unrolled(sample, centroids.row(0));
+    for j in 1..centroids.rows() {
+        let d = sq_euclidean_unrolled(sample, centroids.row(j));
+        if d < best_d {
+            best_d = d;
+            best_j = j;
+        }
+    }
+    (best_j, best_d)
+}
+
+/// Precomputed squared norms of each centroid row — the expansion trick
+/// `‖x − c‖² = ‖x‖² + ‖c‖² − 2·x·c` turns the distance scan into one dot
+/// product per centroid (half the subtract/square work, and the `x·c` loop
+/// is a pure FMA stream the vector pipes love). Norms are recomputed once
+/// per Update, amortised over all n samples.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CentroidNorms<S: Scalar> {
+    norms: Vec<S>,
+}
+
+impl<S: Scalar> CentroidNorms<S> {
+    /// Compute `‖c_j‖²` for every centroid row.
+    pub fn new(centroids: &Matrix<S>) -> Self {
+        let norms = (0..centroids.rows())
+            .map(|j| {
+                let row = centroids.row(j);
+                dot_unrolled(row, row)
+            })
+            .collect();
+        CentroidNorms { norms }
+    }
+
+    pub fn len(&self) -> usize {
+        self.norms.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.norms.is_empty()
+    }
+
+    /// Argmin over all centroids using the norm expansion. Minimising
+    /// `‖x−c‖²` at fixed x is minimising `‖c‖² − 2·x·c`, so `‖x‖²` is never
+    /// computed. Returns the winning index and its *score*
+    /// (`‖c‖² − 2·x·c`); add `‖x‖²` to recover the squared distance.
+    pub fn argmin(&self, sample: &[S], centroids: &Matrix<S>) -> (usize, S) {
+        assert_eq!(self.norms.len(), centroids.rows(), "stale norms");
+        assert!(!self.norms.is_empty(), "no centroids");
+        let two = S::from_f64(2.0);
+        let mut best_j = 0usize;
+        let mut best = self.norms[0] - two * dot_unrolled(sample, centroids.row(0));
+        for j in 1..centroids.rows() {
+            let score = self.norms[j] - two * dot_unrolled(sample, centroids.row(j));
+            if score < best {
+                best = score;
+                best_j = j;
+            }
+        }
+        (best_j, best)
+    }
+}
+
+/// Dot product with 4-way unrolling.
+#[inline]
+pub fn dot_unrolled<S: Scalar>(a: &[S], b: &[S]) -> S {
+    debug_assert_eq!(a.len(), b.len());
+    let chunks = a.len() / 4;
+    let (mut s0, mut s1, mut s2, mut s3) = (S::ZERO, S::ZERO, S::ZERO, S::ZERO);
+    for i in 0..chunks {
+        let base = i * 4;
+        s0 += a[base] * b[base];
+        s1 += a[base + 1] * b[base + 1];
+        s2 += a[base + 2] * b[base + 2];
+        s3 += a[base + 3] * b[base + 3];
+    }
+    let mut acc = (s0 + s1) + (s2 + s3);
+    for i in chunks * 4..a.len() {
+        acc += a[i] * b[i];
+    }
+    acc
+}
+
+/// Like [`argmin_centroid`] but over a *subset* of centroid rows, returning
+/// the winning row's global index from `global_offset`. This is the partial
+/// argmin a CPE group member computes in Level 2 before the min-loc merge.
+#[inline]
+pub fn argmin_centroid_range<S: Scalar>(
+    sample: &[S],
+    centroids: &Matrix<S>,
+    rows: std::ops::Range<usize>,
+    global_offset: usize,
+) -> (usize, S) {
+    assert!(!rows.is_empty(), "empty centroid range");
+    let mut best_j = global_offset;
+    let mut best_d = sq_euclidean_unrolled(sample, centroids.row(rows.start));
+    for j in rows.start + 1..rows.end {
+        let d = sq_euclidean_unrolled(sample, centroids.row(j));
+        if d < best_d {
+            best_d = d;
+            best_j = global_offset + (j - rows.start);
+        }
+    }
+    (best_j, best_d)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn simple_distance() {
+        assert_eq!(sq_euclidean(&[0.0f64, 0.0], &[3.0, 4.0]), 25.0);
+        assert_eq!(sq_euclidean(&[1.0f32], &[1.0]), 0.0);
+        assert_eq!(sq_euclidean::<f64>(&[], &[]), 0.0);
+    }
+
+    #[test]
+    fn unrolled_matches_simple() {
+        // Lengths around the unroll boundary.
+        for len in [0usize, 1, 3, 4, 5, 7, 8, 9, 31, 64, 100] {
+            let a: Vec<f64> = (0..len).map(|i| (i as f64 * 0.37).sin()).collect();
+            let b: Vec<f64> = (0..len).map(|i| (i as f64 * 0.71).cos()).collect();
+            let simple = sq_euclidean(&a, &b);
+            let unrolled = sq_euclidean_unrolled(&a, &b);
+            assert!(
+                (simple - unrolled).abs() < 1e-12 * (1.0 + simple),
+                "len {len}: {simple} vs {unrolled}"
+            );
+        }
+    }
+
+    #[test]
+    fn partial_distances_sum_to_full() {
+        // Additivity over dimension slices — the property Level 3 relies on.
+        let a: Vec<f64> = (0..100).map(|i| i as f64 * 0.1).collect();
+        let b: Vec<f64> = (0..100).map(|i| (i as f64 * 0.1).powi(2) % 3.0).collect();
+        let full = sq_euclidean(&a, &b);
+        let split: f64 = [(0, 13), (13, 64), (64, 100)]
+            .iter()
+            .map(|&(s, e)| sq_euclidean(&a[s..e], &b[s..e]))
+            .sum();
+        assert!((full - split).abs() < 1e-10);
+    }
+
+    #[test]
+    fn argmin_picks_nearest() {
+        let centroids = Matrix::from_rows(&[&[0.0f64, 0.0], &[10.0, 0.0], &[0.0, 10.0]]);
+        assert_eq!(argmin_centroid(&[1.0, 1.0], &centroids).0, 0);
+        assert_eq!(argmin_centroid(&[9.0, 1.0], &centroids).0, 1);
+        assert_eq!(argmin_centroid(&[1.0, 9.0], &centroids).0, 2);
+    }
+
+    #[test]
+    fn argmin_breaks_ties_low() {
+        let centroids = Matrix::from_rows(&[&[1.0f64], &[3.0], &[3.0], &[1.0]]);
+        // Sample 2.0 is equidistant from all four; index 0 must win.
+        let (j, d) = argmin_centroid(&[2.0], &centroids);
+        assert_eq!(j, 0);
+        assert_eq!(d, 1.0);
+    }
+
+    #[test]
+    fn argmin_range_offsets_globally() {
+        let centroids =
+            Matrix::from_rows(&[&[0.0f64], &[10.0], &[2.9], &[100.0]]);
+        // Search only rows 2..4 but report indices as if offset by 10.
+        let (j, d) = argmin_centroid_range(&[3.0], &centroids, 2..4, 10);
+        assert_eq!(j, 10);
+        assert!((d - 0.01).abs() < 1e-12);
+        let (j2, _) = argmin_centroid_range(&[99.0], &centroids, 2..4, 10);
+        assert_eq!(j2, 11);
+    }
+
+    #[test]
+    #[should_panic(expected = "dimension mismatch")]
+    fn argmin_rejects_dimension_mismatch() {
+        let centroids = Matrix::from_rows(&[&[0.0f64, 0.0]]);
+        let _ = argmin_centroid(&[1.0], &centroids);
+    }
+
+    #[test]
+    fn dot_matches_naive() {
+        for len in [0usize, 1, 4, 5, 17, 100] {
+            let a: Vec<f64> = (0..len).map(|i| (i as f64 * 0.3).sin()).collect();
+            let b: Vec<f64> = (0..len).map(|i| (i as f64 * 0.9).cos()).collect();
+            let naive: f64 = a.iter().zip(&b).map(|(x, y)| x * y).sum();
+            assert!((dot_unrolled(&a, &b) - naive).abs() < 1e-12 * (1.0 + naive.abs()));
+        }
+    }
+
+    #[test]
+    fn norm_trick_argmin_matches_direct() {
+        let k = 20;
+        let d = 37;
+        let centroids = Matrix::from_vec(
+            k,
+            d,
+            (0..k * d).map(|i| ((i * 37 % 101) as f64 - 50.0) * 0.1).collect(),
+        );
+        let norms = CentroidNorms::new(&centroids);
+        assert_eq!(norms.len(), k);
+        for s in 0..25 {
+            let sample: Vec<f64> =
+                (0..d).map(|u| ((s * 13 + u * 7) % 97) as f64 * 0.1 - 4.0).collect();
+            let (direct, direct_d) = argmin_centroid(&sample, &centroids);
+            let (trick, score) = norms.argmin(&sample, &centroids);
+            assert_eq!(direct, trick, "sample {s}");
+            // score + ‖x‖² == squared distance.
+            let x2 = dot_unrolled(&sample, &sample);
+            assert!(
+                ((score + x2) - direct_d).abs() < 1e-9,
+                "distance recovery failed"
+            );
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "stale norms")]
+    fn norms_must_match_centroids() {
+        let c1 = Matrix::<f64>::zeros(3, 4);
+        let c2 = Matrix::<f64>::zeros(5, 4);
+        let norms = CentroidNorms::new(&c1);
+        let _ = norms.argmin(&[0.0; 4], &c2);
+    }
+
+    #[test]
+    fn f32_kernels_work() {
+        let a = [1.0f32, 2.0, 3.0, 4.0, 5.0];
+        let b = [5.0f32, 4.0, 3.0, 2.0, 1.0];
+        assert_eq!(sq_euclidean(&a, &b), 40.0);
+        assert_eq!(sq_euclidean_unrolled(&a, &b), 40.0);
+    }
+}

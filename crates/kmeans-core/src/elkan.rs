@@ -1,0 +1,356 @@
+//! Elkan's exact accelerated k-means (Elkan, ICML 2003): the full-bounds
+//! triangle-inequality algorithm — per-point upper bound, per-point-per-
+//! centroid lower bounds, and inter-centroid distances.
+//!
+//! Where Yinyang (`crate::yinyang`) keeps `t ≈ k/10` *group* lower bounds,
+//! Elkan keeps all `n × k` of them: more memory (`n·k` floats — this is why
+//! large-k HPC codes prefer Yinyang or plain Lloyd), maximal filtering.
+//! Results are identical to Lloyd at every iteration; [`ElkanStats`]
+//! reports how much distance work the bounds eliminated.
+
+use crate::distance::sq_euclidean_unrolled;
+use crate::lloyd::{update_step, KMeansConfig, KMeansError, KMeansResult};
+use crate::matrix::Matrix;
+use crate::scalar::Scalar;
+
+/// Work counters for Elkan's filters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ElkanStats {
+    /// Point-centroid distance evaluations performed.
+    pub distance_evals: u64,
+    /// Centroid-centroid distance evaluations (the `k²/2` per iteration
+    /// overhead Elkan pays for its strongest filter).
+    pub center_center_evals: u64,
+    /// Distance evaluations plain Lloyd would have performed.
+    pub lloyd_equivalent: u64,
+    /// Points skipped entirely by the `u(i) ≤ s(b(i))` filter.
+    pub point_filter_hits: u64,
+}
+
+impl ElkanStats {
+    /// Fraction of Lloyd's point-centroid work avoided.
+    pub fn savings(&self) -> f64 {
+        if self.lloyd_equivalent == 0 {
+            return 0.0;
+        }
+        1.0 - self.distance_evals as f64 / self.lloyd_equivalent as f64
+    }
+}
+
+/// Run Elkan k-means from explicit initial centroids. Produces the same
+/// result as `Lloyd::run_from` with the same configuration.
+pub fn run_from<S: Scalar>(
+    data: &Matrix<S>,
+    init: Matrix<S>,
+    config: &KMeansConfig,
+) -> Result<(KMeansResult<S>, ElkanStats), KMeansError> {
+    let n = data.rows();
+    let d = data.cols();
+    let k = config.k;
+    if n == 0 {
+        return Err(KMeansError::EmptyDataset);
+    }
+    if k == 0 {
+        return Err(KMeansError::ZeroK);
+    }
+    if k > n {
+        return Err(KMeansError::KExceedsN { k, n });
+    }
+    if init.rows() != k || init.cols() != d {
+        return Err(KMeansError::CentroidShape {
+            expected_k: k,
+            expected_d: d,
+            got_rows: init.rows(),
+            got_cols: init.cols(),
+        });
+    }
+
+    let mut stats = ElkanStats::default();
+    let dist = |a: &[S], b: &[S], evals: &mut u64| -> f64 {
+        *evals += 1;
+        sq_euclidean_unrolled(a, b).to_f64().sqrt()
+    };
+
+    let mut centroids = init;
+    let mut next = Matrix::<S>::zeros(k, d);
+    let mut labels = vec![0u32; n];
+    let mut upper = vec![0.0f64; n];
+    let mut upper_stale = vec![false; n];
+    let mut lower = vec![0.0f64; n * k];
+
+    // ---- Seeding pass: exact distances to every centroid. ----
+    for i in 0..n {
+        let row = data.row(i);
+        let mut best = f64::INFINITY;
+        let mut best_j = 0usize;
+        for j in 0..k {
+            let dj = dist(row, centroids.row(j), &mut stats.distance_evals);
+            lower[i * k + j] = dj;
+            if dj < best {
+                best = dj;
+                best_j = j;
+            }
+        }
+        labels[i] = best_j as u32;
+        upper[i] = best;
+    }
+    stats.lloyd_equivalent += (n * k) as u64;
+
+    let mut iterations = 1usize;
+    let mut converged = false;
+    let mut drift = vec![0.0f64; k];
+    let mut half_cc = vec![0.0f64; k * k]; // 0.5 · d(c_a, c_b)
+    let mut s = vec![0.0f64; k]; // 0.5 · distance to nearest other centroid
+
+    let counts = update_step(data, &labels, &centroids, &mut next);
+    let _ = counts;
+    let shift = drifts(&centroids, &next, &mut drift);
+    std::mem::swap(&mut centroids, &mut next);
+    if shift <= config.tol {
+        converged = true;
+    }
+    // Bounds adjust for the first movement.
+    adjust_bounds(
+        &mut upper,
+        &mut upper_stale,
+        &mut lower,
+        &labels,
+        &drift,
+        k,
+    );
+
+    while !converged && iterations < config.max_iters {
+        stats.lloyd_equivalent += (n * k) as u64;
+        // ---- Inter-centroid distances and s(j). ----
+        for a in 0..k {
+            s[a] = f64::INFINITY;
+        }
+        for a in 0..k {
+            for b in a + 1..k {
+                let dab = dist(
+                    centroids.row(a),
+                    centroids.row(b),
+                    &mut stats.center_center_evals,
+                );
+                half_cc[a * k + b] = 0.5 * dab;
+                half_cc[b * k + a] = 0.5 * dab;
+                s[a] = s[a].min(0.5 * dab);
+                s[b] = s[b].min(0.5 * dab);
+            }
+        }
+        if k == 1 {
+            s[0] = f64::INFINITY;
+        }
+
+        for i in 0..n {
+            let mut b = labels[i] as usize;
+            // Filter 1: nearest other centroid is at least 2·u away.
+            if upper[i] <= s[b] {
+                stats.point_filter_hits += 1;
+                continue;
+            }
+            let row = data.row(i);
+            for j in 0..k {
+                if j == b {
+                    continue;
+                }
+                // Filter 2 (per centroid): lower bound or centroid-centroid
+                // separation already rules j out.
+                if upper[i] <= lower[i * k + j] || upper[i] <= half_cc[b * k + j] {
+                    continue;
+                }
+                // Tighten the upper bound once per point per iteration.
+                if upper_stale[i] {
+                    let du = dist(row, centroids.row(b), &mut stats.distance_evals);
+                    upper[i] = du;
+                    lower[i * k + b] = du;
+                    upper_stale[i] = false;
+                    if upper[i] <= lower[i * k + j] || upper[i] <= half_cc[b * k + j] {
+                        continue;
+                    }
+                }
+                // Exact distance to the challenger.
+                let dj = dist(row, centroids.row(j), &mut stats.distance_evals);
+                lower[i * k + j] = dj;
+                if dj < upper[i] || (dj == upper[i] && j < b) {
+                    b = j;
+                    upper[i] = dj;
+                    upper_stale[i] = false;
+                }
+            }
+            labels[i] = b as u32;
+        }
+
+        let _counts = update_step(data, &labels, &centroids, &mut next);
+        let shift = drifts(&centroids, &next, &mut drift);
+        std::mem::swap(&mut centroids, &mut next);
+        iterations += 1;
+        if shift <= config.tol {
+            converged = true;
+        }
+        adjust_bounds(
+            &mut upper,
+            &mut upper_stale,
+            &mut lower,
+            &labels,
+            &drift,
+            k,
+        );
+    }
+
+    let mut final_labels = vec![0u32; n];
+    let objective =
+        crate::lloyd::assign_step(data, &centroids, &mut final_labels) / n as f64;
+    Ok((
+        KMeansResult {
+            centroids,
+            labels: final_labels,
+            iterations,
+            objective,
+            converged,
+        },
+        stats,
+    ))
+}
+
+/// Per-centroid movement; returns the maximum.
+fn drifts<S: Scalar>(old: &Matrix<S>, new: &Matrix<S>, drift: &mut [f64]) -> f64 {
+    let mut worst = 0.0f64;
+    for j in 0..old.rows() {
+        let m = sq_euclidean_unrolled(old.row(j), new.row(j)).to_f64().sqrt();
+        drift[j] = m;
+        worst = worst.max(m);
+    }
+    worst
+}
+
+/// Loosen every bound by the centroid movements (triangle inequality).
+fn adjust_bounds(
+    upper: &mut [f64],
+    upper_stale: &mut [bool],
+    lower: &mut [f64],
+    labels: &[u32],
+    drift: &[f64],
+    k: usize,
+) {
+    for i in 0..upper.len() {
+        upper[i] += drift[labels[i] as usize];
+        upper_stale[i] = true;
+        let row = &mut lower[i * k..(i + 1) * k];
+        for (j, l) in row.iter_mut().enumerate() {
+            *l = (*l - drift[j]).max(0.0);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::init::{init_centroids, InitMethod};
+    use crate::lloyd::Lloyd;
+    use rand::{Rng, SeedableRng};
+    use rand_chacha::ChaCha8Rng;
+
+    fn mixture(n: usize, d: usize, k: usize, seed: u64) -> Matrix<f64> {
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        let centers: Vec<Vec<f64>> = (0..k)
+            .map(|_| (0..d).map(|_| rng.gen_range(-20.0..20.0)).collect())
+            .collect();
+        let mut data = Vec::with_capacity(n * d);
+        for i in 0..n {
+            data.extend(centers[i % k].iter().map(|v| v + rng.gen_range(-1.0..1.0)));
+        }
+        Matrix::from_vec(n, d, data)
+    }
+
+    #[test]
+    fn matches_lloyd_exactly() {
+        for seed in [1u64, 5, 9] {
+            let data = mixture(350, 7, 11, seed);
+            let init = init_centroids(&data, 11, InitMethod::Forgy, seed);
+            let cfg = KMeansConfig::new(11).with_max_iters(12).with_tol(0.0);
+            let lloyd = Lloyd::run_from(&data, init.clone(), &cfg).unwrap();
+            let (ek, _) = run_from(&data, init, &cfg).unwrap();
+            assert_eq!(ek.labels, lloyd.labels, "seed {seed}");
+            assert!(
+                ek.centroids.max_abs_diff(&lloyd.centroids) < 1e-9,
+                "seed {seed}: diff {}",
+                ek.centroids.max_abs_diff(&lloyd.centroids)
+            );
+            assert_eq!(ek.iterations, lloyd.iterations);
+        }
+    }
+
+    #[test]
+    fn converged_runs_agree() {
+        let data = mixture(400, 5, 7, 3);
+        let init = init_centroids(&data, 7, InitMethod::KMeansPlusPlus, 3);
+        let cfg = KMeansConfig::new(7).with_max_iters(100).with_tol(1e-9);
+        let lloyd = Lloyd::run_from(&data, init.clone(), &cfg).unwrap();
+        let (ek, _) = run_from(&data, init, &cfg).unwrap();
+        assert!(ek.converged);
+        assert_eq!(ek.labels, lloyd.labels);
+        assert!((ek.objective - lloyd.objective).abs() < 1e-9);
+    }
+
+    #[test]
+    fn bounds_save_work_on_separated_clusters() {
+        let data = mixture(1_200, 12, 24, 7);
+        let init = init_centroids(&data, 24, InitMethod::KMeansPlusPlus, 7);
+        let cfg = KMeansConfig::new(24).with_max_iters(30).with_tol(1e-9);
+        let (_, stats) = run_from(&data, init, &cfg).unwrap();
+        assert!(
+            stats.savings() > 0.4,
+            "only {:.0}% saved ({} of {})",
+            stats.savings() * 100.0,
+            stats.distance_evals,
+            stats.lloyd_equivalent
+        );
+        assert!(stats.point_filter_hits > 0);
+        assert!(stats.center_center_evals > 0);
+    }
+
+    #[test]
+    fn elkan_and_yinyang_agree_with_each_other() {
+        let data = mixture(300, 6, 15, 21);
+        let init = init_centroids(&data, 15, InitMethod::Forgy, 21);
+        let cfg = KMeansConfig::new(15).with_max_iters(10).with_tol(0.0);
+        let (ek, _) = run_from(&data, init.clone(), &cfg).unwrap();
+        let (yy, _) = crate::yinyang::run_from(&data, init, &cfg).unwrap();
+        assert_eq!(ek.labels, yy.labels);
+        assert!(ek.centroids.max_abs_diff(&yy.centroids) < 1e-9);
+    }
+
+    #[test]
+    fn single_cluster_short_circuits() {
+        let data = mixture(60, 3, 1, 2);
+        let init = init_centroids(&data, 1, InitMethod::Forgy, 2);
+        let cfg = KMeansConfig::new(1).with_max_iters(10).with_tol(1e-9);
+        let (ek, _) = run_from(&data, init, &cfg).unwrap();
+        assert!(ek.converged);
+        assert!(ek.labels.iter().all(|&l| l == 0));
+    }
+
+    #[test]
+    fn f32_agrees_with_its_lloyd() {
+        let data: Matrix<f32> = mixture(200, 4, 6, 13).cast();
+        let init = init_centroids(&data, 6, InitMethod::Forgy, 13);
+        let cfg = KMeansConfig::new(6).with_max_iters(8).with_tol(0.0);
+        let lloyd = Lloyd::run_from(&data, init.clone(), &cfg).unwrap();
+        let (ek, _) = run_from(&data, init, &cfg).unwrap();
+        assert_eq!(ek.labels, lloyd.labels);
+    }
+
+    #[test]
+    fn validation_errors() {
+        let data = mixture(10, 2, 2, 1);
+        assert!(matches!(
+            run_from(&data, Matrix::zeros(2, 9), &KMeansConfig::new(2)).unwrap_err(),
+            KMeansError::CentroidShape { .. }
+        ));
+        assert!(matches!(
+            run_from(&data, Matrix::zeros(0, 2), &KMeansConfig::new(0)).unwrap_err(),
+            KMeansError::ZeroK
+        ));
+    }
+}

@@ -1,0 +1,227 @@
+//! Centroid initialization strategies.
+//!
+//! The paper initialises centroids externally (its experiments measure
+//! per-iteration time, not convergence), so any seeding works for the
+//! reproduction; the library still ships the standard options a downstream
+//! user expects.
+
+use crate::distance::sq_euclidean_unrolled;
+use crate::matrix::Matrix;
+use crate::scalar::Scalar;
+use rand::seq::SliceRandom;
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+
+/// How initial centroids are chosen.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum InitMethod {
+    /// k distinct samples chosen uniformly at random (Forgy).
+    Forgy,
+    /// Assign every sample a random cluster, then average each cluster.
+    RandomPartition,
+    /// k-means++: D²-weighted sequential seeding (Arthur & Vassilvitskii).
+    KMeansPlusPlus,
+}
+
+/// Choose `k` initial centroids from `data` with the given method and seed.
+///
+/// Panics if `k == 0` or `k > n` (Forgy and k-means++ need distinct rows).
+pub fn init_centroids<S: Scalar>(
+    data: &Matrix<S>,
+    k: usize,
+    method: InitMethod,
+    seed: u64,
+) -> Matrix<S> {
+    assert!(k > 0, "k must be positive");
+    assert!(
+        k <= data.rows(),
+        "k = {k} exceeds sample count n = {}",
+        data.rows()
+    );
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    match method {
+        InitMethod::Forgy => {
+            let mut indices: Vec<usize> = (0..data.rows()).collect();
+            indices.shuffle(&mut rng);
+            indices.truncate(k);
+            indices.sort_unstable(); // deterministic, cache-friendly gather
+            data.select_rows(&indices)
+        }
+        InitMethod::RandomPartition => {
+            let mut sums = Matrix::<S>::zeros(k, data.cols());
+            let mut counts = vec![0usize; k];
+            for i in 0..data.rows() {
+                let j = rng.gen_range(0..k);
+                counts[j] += 1;
+                let row = data.row(i);
+                let acc = sums.row_mut(j);
+                for (a, x) in acc.iter_mut().zip(row) {
+                    *a += *x;
+                }
+            }
+            for j in 0..k {
+                if counts[j] > 0 {
+                    let inv = S::ONE / S::from_usize(counts[j]);
+                    for a in sums.row_mut(j) {
+                        *a = *a * inv;
+                    }
+                } else {
+                    // An empty random partition bucket falls back to a
+                    // random sample so no centroid is stuck at the origin.
+                    let pick = rng.gen_range(0..data.rows());
+                    sums.row_mut(j).copy_from_slice(data.row(pick));
+                }
+            }
+            sums
+        }
+        InitMethod::KMeansPlusPlus => {
+            let n = data.rows();
+            let mut chosen: Vec<usize> = Vec::with_capacity(k);
+            chosen.push(rng.gen_range(0..n));
+            // d2[i] = squared distance to the nearest chosen centroid.
+            let mut d2: Vec<f64> = (0..n)
+                .map(|i| sq_euclidean_unrolled(data.row(i), data.row(chosen[0])).to_f64())
+                .collect();
+            while chosen.len() < k {
+                let total: f64 = d2.iter().sum();
+                let next = if total <= 0.0 {
+                    // All remaining mass is zero (duplicate points); fall
+                    // back to uniform choice among unchosen rows.
+                    let mut pick = rng.gen_range(0..n);
+                    while chosen.contains(&pick) && chosen.len() < n {
+                        pick = (pick + 1) % n;
+                    }
+                    pick
+                } else {
+                    let mut target = rng.gen_range(0.0..total);
+                    let mut pick = n - 1;
+                    for (i, &w) in d2.iter().enumerate() {
+                        if target < w {
+                            pick = i;
+                            break;
+                        }
+                        target -= w;
+                    }
+                    pick
+                };
+                chosen.push(next);
+                for i in 0..n {
+                    let d = sq_euclidean_unrolled(data.row(i), data.row(next)).to_f64();
+                    if d < d2[i] {
+                        d2[i] = d;
+                    }
+                }
+            }
+            data.select_rows(&chosen)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn toy_data() -> Matrix<f64> {
+        // Three tight blobs at (0,0), (10,0), (0,10).
+        let mut rows = Vec::new();
+        for i in 0..30 {
+            let jitter = (i % 5) as f64 * 0.01;
+            match i % 3 {
+                0 => rows.push([jitter, jitter]),
+                1 => rows.push([10.0 + jitter, jitter]),
+                _ => rows.push([jitter, 10.0 + jitter]),
+            }
+        }
+        let flat: Vec<f64> = rows.iter().flatten().copied().collect();
+        Matrix::from_vec(30, 2, flat)
+    }
+
+    #[test]
+    fn forgy_picks_k_actual_samples() {
+        let data = toy_data();
+        let c = init_centroids(&data, 4, InitMethod::Forgy, 1);
+        assert_eq!(c.rows(), 4);
+        assert_eq!(c.cols(), 2);
+        for i in 0..4 {
+            let row = c.row(i);
+            assert!(
+                data.iter_rows().any(|r| r == row),
+                "centroid {row:?} is not a sample"
+            );
+        }
+    }
+
+    #[test]
+    fn forgy_is_deterministic_per_seed() {
+        let data = toy_data();
+        let a = init_centroids(&data, 3, InitMethod::Forgy, 7);
+        let b = init_centroids(&data, 3, InitMethod::Forgy, 7);
+        let c = init_centroids(&data, 3, InitMethod::Forgy, 8);
+        assert_eq!(a, b);
+        assert_ne!(a, c); // overwhelmingly likely with 30 choose 3 options
+    }
+
+    #[test]
+    fn random_partition_produces_interior_means() {
+        let data = toy_data();
+        let c = init_centroids(&data, 3, InitMethod::RandomPartition, 3);
+        assert_eq!(c.rows(), 3);
+        // Means of random subsets of the three blobs lie inside the bounding
+        // box of the data.
+        for i in 0..3 {
+            for &v in c.row(i) {
+                assert!((0.0..=10.05).contains(&v), "out of hull: {v}");
+            }
+        }
+    }
+
+    #[test]
+    fn kmeanspp_spreads_over_blobs() {
+        let data = toy_data();
+        let c = init_centroids(&data, 3, InitMethod::KMeansPlusPlus, 5);
+        // With three far-apart blobs, k-means++ must take one from each.
+        let mut blob_hit = [false; 3];
+        for i in 0..3 {
+            let r = c.row(i);
+            if r[0] < 5.0 && r[1] < 5.0 {
+                blob_hit[0] = true;
+            } else if r[0] > 5.0 {
+                blob_hit[1] = true;
+            } else {
+                blob_hit[2] = true;
+            }
+        }
+        assert!(blob_hit.iter().all(|&h| h), "blobs covered: {blob_hit:?}");
+    }
+
+    #[test]
+    fn kmeanspp_handles_duplicate_points() {
+        let data = Matrix::from_vec(4, 1, vec![2.0f64; 4]);
+        let c = init_centroids(&data, 3, InitMethod::KMeansPlusPlus, 0);
+        assert_eq!(c.rows(), 3);
+        for i in 0..3 {
+            assert_eq!(c.get(i, 0), 2.0);
+        }
+    }
+
+    #[test]
+    fn k_equals_n_is_allowed() {
+        let data = toy_data();
+        let c = init_centroids(&data, 30, InitMethod::Forgy, 0);
+        assert_eq!(c.rows(), 30);
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds sample count")]
+    fn k_above_n_rejected() {
+        let data = toy_data();
+        let _ = init_centroids(&data, 31, InitMethod::Forgy, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "k must be positive")]
+    fn zero_k_rejected() {
+        let data = toy_data();
+        let _ = init_centroids(&data, 0, InitMethod::Forgy, 0);
+    }
+}

@@ -1,0 +1,49 @@
+//! Core k-means building blocks: dense matrices, distance kernels,
+//! initialization and the serial Lloyd baseline.
+//!
+//! Everything in this crate is sequential and allocation-disciplined; it is
+//! the foundation the hierarchical executors in `hier-kmeans` are built on
+//! *and* the reference implementation they are tested against. The problem
+//! definition follows the paper exactly: given `n` samples in `R^d`, find `k`
+//! centroids minimising the mean squared Euclidean distance from each sample
+//! to its nearest centroid, iterating Lloyd's Assign/Update steps.
+//!
+//! Modules:
+//! * [`scalar`] — an `f32`/`f64` abstraction so the whole stack is generic
+//!   over precision (the paper's GPU baselines are f32; reductions at scale
+//!   often want f64).
+//! * [`matrix`] — row-major sample/centroid storage with per-row
+//!   column-range views (the unit Level 3 partitions by dimension).
+//! * [`distance`] — squared-Euclidean kernels: simple, unrolled, and
+//!   partial-dimension variants.
+//! * [`init`] — Forgy, random-partition and k-means++ seeding.
+//! * [`lloyd`] — the serial reference algorithm with pluggable convergence,
+//!   exposed both as a whole and as separate Assign/Update steps (the pieces
+//!   the parallel levels distribute).
+//! * [`objective`] — within-cluster sum of squares and mean objective.
+
+pub mod distance;
+pub mod elkan;
+pub mod init;
+pub mod lloyd;
+pub mod matrix;
+pub mod metrics;
+pub mod minibatch;
+pub mod objective;
+pub mod preprocess;
+pub mod scalar;
+pub mod source;
+pub mod yinyang;
+
+pub use distance::{argmin_centroid, dot_unrolled, sq_euclidean, sq_euclidean_unrolled, CentroidNorms};
+pub use init::{init_centroids, InitMethod};
+pub use lloyd::{assign_step, update_step, KMeansConfig, KMeansError, KMeansResult, Lloyd};
+pub use matrix::Matrix;
+pub use metrics::{adjusted_rand_index, nmi, purity, Contingency};
+pub use minibatch::MiniBatchConfig;
+pub use objective::mean_objective;
+pub use preprocess::{standardized, ColumnStats};
+pub use scalar::Scalar;
+pub use source::{MatrixSource, SampleSource};
+pub use elkan::ElkanStats;
+pub use yinyang::YinyangStats;

@@ -1,0 +1,392 @@
+//! The serial Lloyd algorithm: the reference implementation every parallel
+//! level is validated against, decomposed into the Assign and Update steps
+//! the hierarchy distributes.
+
+use crate::distance::argmin_centroid;
+use crate::init::{init_centroids, InitMethod};
+use crate::matrix::Matrix;
+use crate::scalar::Scalar;
+
+/// Configuration of a k-means run.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct KMeansConfig {
+    /// Number of clusters.
+    pub k: usize,
+    /// Hard iteration cap.
+    pub max_iters: usize,
+    /// Convergence threshold on the maximum centroid movement (Euclidean,
+    /// not squared) between iterations. `0.0` reproduces the paper's
+    /// "repeat until every centroid is fixed".
+    pub tol: f64,
+    /// Centroid seeding strategy.
+    pub init: InitMethod,
+    /// RNG seed for the seeding strategy.
+    pub seed: u64,
+}
+
+impl KMeansConfig {
+    pub fn new(k: usize) -> Self {
+        KMeansConfig {
+            k,
+            max_iters: 100,
+            tol: 1e-9,
+            init: InitMethod::Forgy,
+            seed: 0,
+        }
+    }
+
+    pub fn with_max_iters(mut self, max_iters: usize) -> Self {
+        self.max_iters = max_iters;
+        self
+    }
+
+    pub fn with_tol(mut self, tol: f64) -> Self {
+        self.tol = tol;
+        self
+    }
+
+    pub fn with_init(mut self, init: InitMethod) -> Self {
+        self.init = init;
+        self
+    }
+
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+}
+
+/// Input validation errors.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum KMeansError {
+    /// The dataset has no rows.
+    EmptyDataset,
+    /// `k` is zero.
+    ZeroK,
+    /// `k` exceeds the number of samples.
+    KExceedsN { k: usize, n: usize },
+    /// Provided centroids have the wrong shape.
+    CentroidShape {
+        expected_k: usize,
+        expected_d: usize,
+        got_rows: usize,
+        got_cols: usize,
+    },
+}
+
+impl std::fmt::Display for KMeansError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            KMeansError::EmptyDataset => write!(f, "dataset has no samples"),
+            KMeansError::ZeroK => write!(f, "k must be positive"),
+            KMeansError::KExceedsN { k, n } => write!(f, "k = {k} exceeds n = {n}"),
+            KMeansError::CentroidShape {
+                expected_k,
+                expected_d,
+                got_rows,
+                got_cols,
+            } => write!(
+                f,
+                "centroid matrix is {got_rows}×{got_cols}, expected {expected_k}×{expected_d}"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for KMeansError {}
+
+/// Result of a k-means run.
+#[derive(Debug, Clone)]
+pub struct KMeansResult<S: Scalar> {
+    /// Final centroids, `k × d`.
+    pub centroids: Matrix<S>,
+    /// Nearest-centroid index per sample.
+    pub labels: Vec<u32>,
+    /// Iterations executed.
+    pub iterations: usize,
+    /// Final mean objective `O(C)` (mean squared distance to the assigned
+    /// centroid).
+    pub objective: f64,
+    /// Whether the tolerance was reached before the iteration cap.
+    pub converged: bool,
+}
+
+/// Assign each sample to its nearest centroid, filling `labels` and
+/// returning the summed squared distance (so the mean objective is
+/// `returned / n`). Ties break toward the lower centroid index.
+pub fn assign_step<S: Scalar>(
+    data: &Matrix<S>,
+    centroids: &Matrix<S>,
+    labels: &mut [u32],
+) -> f64 {
+    assert_eq!(labels.len(), data.rows());
+    let mut total = 0.0f64;
+    for i in 0..data.rows() {
+        let (j, d) = argmin_centroid(data.row(i), centroids);
+        labels[i] = j as u32;
+        total += d.to_f64();
+    }
+    total
+}
+
+/// Recompute centroids as the mean of their assigned samples. A cluster with
+/// no members keeps its previous centroid (`prev` row), which is the
+/// standard guard and matches what an AllReduce of zero counts must do.
+/// Returns the per-cluster member counts.
+pub fn update_step<S: Scalar>(
+    data: &Matrix<S>,
+    labels: &[u32],
+    prev: &Matrix<S>,
+    next: &mut Matrix<S>,
+) -> Vec<u64> {
+    let k = prev.rows();
+    assert_eq!(next.rows(), k);
+    assert_eq!(next.cols(), prev.cols());
+    next.fill_zero();
+    let mut counts = vec![0u64; k];
+    for i in 0..data.rows() {
+        let j = labels[i] as usize;
+        counts[j] += 1;
+        let acc = next.row_mut(j);
+        let row = data.row(i);
+        for (a, x) in acc.iter_mut().zip(row) {
+            *a += *x;
+        }
+    }
+    for j in 0..k {
+        if counts[j] == 0 {
+            next.row_mut(j).copy_from_slice(prev.row(j));
+        } else {
+            let inv = S::ONE / S::from_usize(counts[j] as usize);
+            for a in next.row_mut(j) {
+                *a = *a * inv;
+            }
+        }
+    }
+    counts
+}
+
+/// Maximum Euclidean movement between two centroid sets of the same shape.
+pub fn max_centroid_shift<S: Scalar>(a: &Matrix<S>, b: &Matrix<S>) -> f64 {
+    let mut worst = 0.0f64;
+    for j in 0..a.rows() {
+        let d = crate::distance::sq_euclidean(a.row(j), b.row(j)).to_f64();
+        worst = worst.max(d);
+    }
+    worst.sqrt()
+}
+
+/// The serial Lloyd driver.
+pub struct Lloyd;
+
+impl Lloyd {
+    /// Run k-means from automatic initialization.
+    pub fn run<S: Scalar>(
+        data: &Matrix<S>,
+        config: &KMeansConfig,
+    ) -> Result<KMeansResult<S>, KMeansError> {
+        Self::validate(data, config.k)?;
+        let centroids = init_centroids(data, config.k, config.init, config.seed);
+        Self::run_from(data, centroids, config)
+    }
+
+    /// Run k-means from explicit initial centroids (the mode the paper's
+    /// experiments use — identical starting points across levels).
+    pub fn run_from<S: Scalar>(
+        data: &Matrix<S>,
+        centroids: Matrix<S>,
+        config: &KMeansConfig,
+    ) -> Result<KMeansResult<S>, KMeansError> {
+        Self::validate(data, config.k)?;
+        if centroids.rows() != config.k || centroids.cols() != data.cols() {
+            return Err(KMeansError::CentroidShape {
+                expected_k: config.k,
+                expected_d: data.cols(),
+                got_rows: centroids.rows(),
+                got_cols: centroids.cols(),
+            });
+        }
+        let n = data.rows();
+        let mut current = centroids;
+        let mut next = Matrix::<S>::zeros(config.k, data.cols());
+        let mut labels = vec![0u32; n];
+        let mut converged = false;
+        let mut iterations = 0;
+        for _ in 0..config.max_iters {
+            assign_step(data, &current, &mut labels);
+            update_step(data, &labels, &current, &mut next);
+            iterations += 1;
+            let shift = max_centroid_shift(&current, &next);
+            std::mem::swap(&mut current, &mut next);
+            if shift <= config.tol {
+                converged = true;
+                break;
+            }
+        }
+        // Labels correspond to the centroids used in the last Assign; do a
+        // final Assign so labels and returned centroids agree.
+        let objective = assign_step(data, &current, &mut labels) / n as f64;
+        Ok(KMeansResult {
+            centroids: current,
+            labels,
+            iterations,
+            objective,
+            converged,
+        })
+    }
+
+    fn validate<S: Scalar>(data: &Matrix<S>, k: usize) -> Result<(), KMeansError> {
+        if data.rows() == 0 {
+            return Err(KMeansError::EmptyDataset);
+        }
+        if k == 0 {
+            return Err(KMeansError::ZeroK);
+        }
+        if k > data.rows() {
+            return Err(KMeansError::KExceedsN { k, n: data.rows() });
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn blobs() -> Matrix<f64> {
+        let mut data = Vec::new();
+        for i in 0..60 {
+            let j = (i % 10) as f64 * 0.02;
+            match i % 3 {
+                0 => data.extend([j, j]),
+                1 => data.extend([8.0 + j, j]),
+                _ => data.extend([j, 8.0 + j]),
+            }
+        }
+        Matrix::from_vec(60, 2, data)
+    }
+
+    #[test]
+    fn converges_on_blobs() {
+        let data = blobs();
+        let cfg = KMeansConfig::new(3).with_seed(1);
+        let res = Lloyd::run(&data, &cfg).unwrap();
+        assert!(res.converged);
+        assert!(res.iterations < 20);
+        assert!(res.objective < 0.1, "objective {}", res.objective);
+        // Each blob ends as one pure cluster.
+        for i in 0..60 {
+            assert_eq!(res.labels[i], res.labels[i % 3], "sample {i}");
+        }
+    }
+
+    #[test]
+    fn objective_is_non_increasing() {
+        let data = blobs();
+        let centroids = init_centroids(&data, 3, InitMethod::Forgy, 42);
+        let mut current = centroids;
+        let mut next = Matrix::<f64>::zeros(3, 2);
+        let mut labels = vec![0u32; data.rows()];
+        let mut prev_obj = f64::INFINITY;
+        for _ in 0..10 {
+            let obj = assign_step(&data, &current, &mut labels) / data.rows() as f64;
+            assert!(
+                obj <= prev_obj + 1e-12,
+                "objective increased: {prev_obj} -> {obj}"
+            );
+            prev_obj = obj;
+            update_step(&data, &labels, &current, &mut next);
+            std::mem::swap(&mut current, &mut next);
+        }
+    }
+
+    #[test]
+    fn empty_cluster_keeps_previous_centroid() {
+        let data = Matrix::from_rows(&[&[0.0f64], &[1.0]]);
+        let prev = Matrix::from_rows(&[&[0.5f64], &[100.0]]);
+        let mut next = Matrix::<f64>::zeros(2, 1);
+        // Both samples are nearest to centroid 0.
+        let mut labels = vec![0u32; 2];
+        assign_step(&data, &prev, &mut labels);
+        assert_eq!(labels, vec![0, 0]);
+        let counts = update_step(&data, &labels, &prev, &mut next);
+        assert_eq!(counts, vec![2, 0]);
+        assert_eq!(next.get(0, 0), 0.5);
+        assert_eq!(next.get(1, 0), 100.0); // kept
+    }
+
+    #[test]
+    fn run_from_requires_matching_shape() {
+        let data = blobs();
+        let bad = Matrix::<f64>::zeros(3, 5);
+        let err = Lloyd::run_from(&data, bad, &KMeansConfig::new(3)).unwrap_err();
+        assert!(matches!(err, KMeansError::CentroidShape { .. }));
+    }
+
+    #[test]
+    fn validation_errors() {
+        let empty = Matrix::<f64>::zeros(0, 2);
+        assert_eq!(
+            Lloyd::run(&empty, &KMeansConfig::new(1)).unwrap_err(),
+            KMeansError::EmptyDataset
+        );
+        let data = blobs();
+        assert_eq!(
+            Lloyd::run(&data, &KMeansConfig::new(0)).unwrap_err(),
+            KMeansError::ZeroK
+        );
+        assert!(matches!(
+            Lloyd::run(&data, &KMeansConfig::new(61)).unwrap_err(),
+            KMeansError::KExceedsN { .. }
+        ));
+    }
+
+    #[test]
+    fn max_iters_caps_work() {
+        let data = blobs();
+        let cfg = KMeansConfig::new(3).with_max_iters(1).with_seed(9);
+        let res = Lloyd::run(&data, &cfg).unwrap();
+        assert_eq!(res.iterations, 1);
+    }
+
+    #[test]
+    fn single_cluster_centers_on_mean() {
+        let data = Matrix::from_rows(&[&[1.0f64, 0.0], &[3.0, 0.0], &[5.0, 6.0]]);
+        let res = Lloyd::run(&data, &KMeansConfig::new(1)).unwrap();
+        assert!((res.centroids.get(0, 0) - 3.0).abs() < 1e-12);
+        assert!((res.centroids.get(0, 1) - 2.0).abs() < 1e-12);
+        assert_eq!(res.labels, vec![0, 0, 0]);
+    }
+
+    #[test]
+    fn k_equals_n_pins_each_sample() {
+        let data = Matrix::from_rows(&[&[0.0f64], &[10.0], &[20.0]]);
+        let cfg = KMeansConfig::new(3).with_seed(4);
+        let res = Lloyd::run(&data, &cfg).unwrap();
+        assert!(res.objective < 1e-12);
+        let mut sorted: Vec<u32> = res.labels.clone();
+        sorted.sort_unstable();
+        sorted.dedup();
+        assert_eq!(sorted.len(), 3, "each sample its own cluster");
+    }
+
+    #[test]
+    fn labels_match_final_centroids() {
+        let data = blobs();
+        let cfg = KMeansConfig::new(3).with_seed(2).with_max_iters(3);
+        let res = Lloyd::run(&data, &cfg).unwrap();
+        let mut labels = vec![0u32; data.rows()];
+        assign_step(&data, &res.centroids, &mut labels);
+        assert_eq!(labels, res.labels);
+    }
+
+    #[test]
+    fn f32_pipeline_runs() {
+        let data: Matrix<f32> = blobs().cast();
+        let cfg = KMeansConfig::new(3)
+            .with_seed(3)
+            .with_init(InitMethod::KMeansPlusPlus);
+        let res = Lloyd::run(&data, &cfg).unwrap();
+        assert!(res.objective < 0.1);
+    }
+}

@@ -1,0 +1,264 @@
+//! Row-major dense matrix for samples and centroids.
+//!
+//! Rows are samples (or centroids), columns are dimensions. Row-major layout
+//! means a per-row *column range* — the unit Level 3 assigns to one CPE — is
+//! a contiguous slice, so partial-dimension kernels run at full speed.
+
+use crate::scalar::Scalar;
+use std::ops::Range;
+
+/// A dense `rows × cols` matrix in row-major order.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Matrix<S: Scalar> {
+    rows: usize,
+    cols: usize,
+    data: Vec<S>,
+}
+
+impl<S: Scalar> Matrix<S> {
+    /// A zero-filled matrix.
+    pub fn zeros(rows: usize, cols: usize) -> Self {
+        Matrix {
+            rows,
+            cols,
+            data: vec![S::ZERO; rows * cols],
+        }
+    }
+
+    /// Build from a flat row-major buffer. Panics if the length is not
+    /// `rows * cols`.
+    pub fn from_vec(rows: usize, cols: usize, data: Vec<S>) -> Self {
+        assert_eq!(
+            data.len(),
+            rows * cols,
+            "matrix data length {} != {rows} rows × {cols} cols",
+            data.len()
+        );
+        Matrix { rows, cols, data }
+    }
+
+    /// Build from row slices. Panics on ragged input.
+    pub fn from_rows(rows: &[&[S]]) -> Self {
+        let cols = rows.first().map_or(0, |r| r.len());
+        let mut data = Vec::with_capacity(rows.len() * cols);
+        for r in rows {
+            assert_eq!(r.len(), cols, "ragged rows");
+            data.extend_from_slice(r);
+        }
+        Matrix {
+            rows: rows.len(),
+            cols,
+            data,
+        }
+    }
+
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Total elements.
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// Row `i` as a slice.
+    #[inline]
+    pub fn row(&self, i: usize) -> &[S] {
+        debug_assert!(i < self.rows);
+        &self.data[i * self.cols..(i + 1) * self.cols]
+    }
+
+    /// Mutable row `i`.
+    #[inline]
+    pub fn row_mut(&mut self, i: usize) -> &mut [S] {
+        debug_assert!(i < self.rows);
+        &mut self.data[i * self.cols..(i + 1) * self.cols]
+    }
+
+    /// The column range `cols` of row `i` — contiguous because the layout is
+    /// row-major. This is what one CPE holds of a sample under Level 3.
+    #[inline]
+    pub fn row_cols(&self, i: usize, cols: Range<usize>) -> &[S] {
+        debug_assert!(cols.end <= self.cols);
+        let base = i * self.cols;
+        &self.data[base + cols.start..base + cols.end]
+    }
+
+    /// Element access (row, col).
+    #[inline]
+    pub fn get(&self, i: usize, j: usize) -> S {
+        self.data[i * self.cols + j]
+    }
+
+    /// Element assignment (row, col).
+    #[inline]
+    pub fn set(&mut self, i: usize, j: usize, v: S) {
+        self.data[i * self.cols + j] = v;
+    }
+
+    /// Flat row-major view.
+    pub fn as_slice(&self) -> &[S] {
+        &self.data
+    }
+
+    /// Flat mutable row-major view.
+    pub fn as_mut_slice(&mut self) -> &mut [S] {
+        &mut self.data
+    }
+
+    /// Consume into the flat buffer.
+    pub fn into_vec(self) -> Vec<S> {
+        self.data
+    }
+
+    /// Iterate over rows.
+    pub fn iter_rows(&self) -> impl Iterator<Item = &[S]> {
+        self.data.chunks_exact(self.cols.max(1))
+    }
+
+    /// A new matrix containing the given rows (in the order given).
+    pub fn select_rows(&self, indices: &[usize]) -> Matrix<S> {
+        let mut data = Vec::with_capacity(indices.len() * self.cols);
+        for &i in indices {
+            data.extend_from_slice(self.row(i));
+        }
+        Matrix {
+            rows: indices.len(),
+            cols: self.cols,
+            data,
+        }
+    }
+
+    /// A new matrix containing rows `range`.
+    pub fn slice_rows(&self, range: Range<usize>) -> Matrix<S> {
+        assert!(range.end <= self.rows);
+        Matrix {
+            rows: range.len(),
+            cols: self.cols,
+            data: self.data[range.start * self.cols..range.end * self.cols].to_vec(),
+        }
+    }
+
+    /// Fill with zeros in place (for accumulator reuse).
+    pub fn fill_zero(&mut self) {
+        self.data.fill(S::ZERO);
+    }
+
+    /// Maximum absolute element-wise difference against another matrix of
+    /// the same shape — used by convergence checks and test tolerances.
+    pub fn max_abs_diff(&self, other: &Matrix<S>) -> f64 {
+        assert_eq!(self.rows, other.rows);
+        assert_eq!(self.cols, other.cols);
+        self.data
+            .iter()
+            .zip(&other.data)
+            .map(|(a, b)| (a.to_f64() - b.to_f64()).abs())
+            .fold(0.0, f64::max)
+    }
+
+    /// Convert element type (e.g. `f32` data promoted to `f64`).
+    pub fn cast<T: Scalar>(&self) -> Matrix<T> {
+        Matrix {
+            rows: self.rows,
+            cols: self.cols,
+            data: self.data.iter().map(|v| T::from_f64(v.to_f64())).collect(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn construction_and_access() {
+        let m = Matrix::from_vec(2, 3, vec![1.0f64, 2.0, 3.0, 4.0, 5.0, 6.0]);
+        assert_eq!(m.rows(), 2);
+        assert_eq!(m.cols(), 3);
+        assert_eq!(m.row(0), &[1.0, 2.0, 3.0]);
+        assert_eq!(m.row(1), &[4.0, 5.0, 6.0]);
+        assert_eq!(m.get(1, 2), 6.0);
+        assert_eq!(m.len(), 6);
+        assert!(!m.is_empty());
+    }
+
+    #[test]
+    fn from_rows_matches_from_vec() {
+        let a = Matrix::from_rows(&[&[1.0f32, 2.0], &[3.0, 4.0]]);
+        let b = Matrix::from_vec(2, 2, vec![1.0f32, 2.0, 3.0, 4.0]);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    #[should_panic(expected = "ragged")]
+    fn ragged_rows_panic() {
+        let _ = Matrix::from_rows(&[&[1.0f64, 2.0], &[3.0][..]]);
+    }
+
+    #[test]
+    #[should_panic(expected = "matrix data length")]
+    fn wrong_length_panics() {
+        let _ = Matrix::from_vec(2, 2, vec![1.0f64; 3]);
+    }
+
+    #[test]
+    fn row_cols_is_the_right_window() {
+        let m = Matrix::from_vec(2, 4, (0..8).map(|v| v as f64).collect());
+        assert_eq!(m.row_cols(0, 1..3), &[1.0, 2.0]);
+        assert_eq!(m.row_cols(1, 2..4), &[6.0, 7.0]);
+        assert_eq!(m.row_cols(1, 0..0), &[] as &[f64]);
+    }
+
+    #[test]
+    fn mutation() {
+        let mut m = Matrix::<f64>::zeros(2, 2);
+        m.set(0, 1, 5.0);
+        m.row_mut(1)[0] = 7.0;
+        assert_eq!(m.as_slice(), &[0.0, 5.0, 7.0, 0.0]);
+        m.fill_zero();
+        assert_eq!(m.as_slice(), &[0.0; 4]);
+    }
+
+    #[test]
+    fn select_and_slice_rows() {
+        let m = Matrix::from_vec(3, 2, vec![1.0f64, 2.0, 3.0, 4.0, 5.0, 6.0]);
+        let sel = m.select_rows(&[2, 0]);
+        assert_eq!(sel.row(0), &[5.0, 6.0]);
+        assert_eq!(sel.row(1), &[1.0, 2.0]);
+        let sl = m.slice_rows(1..3);
+        assert_eq!(sl.rows(), 2);
+        assert_eq!(sl.row(0), &[3.0, 4.0]);
+    }
+
+    #[test]
+    fn iter_rows_visits_all() {
+        let m = Matrix::from_vec(3, 2, (0..6).map(|v| v as f32).collect());
+        let rows: Vec<&[f32]> = m.iter_rows().collect();
+        assert_eq!(rows.len(), 3);
+        assert_eq!(rows[2], &[4.0, 5.0]);
+    }
+
+    #[test]
+    fn max_abs_diff_and_cast() {
+        let a = Matrix::from_vec(1, 2, vec![1.0f64, 2.0]);
+        let b = Matrix::from_vec(1, 2, vec![1.5f64, 1.0]);
+        assert_eq!(a.max_abs_diff(&b), 1.0);
+        let c: Matrix<f32> = a.cast();
+        assert_eq!(c.get(0, 1), 2.0f32);
+    }
+
+    #[test]
+    fn empty_matrix_is_fine() {
+        let m = Matrix::<f64>::zeros(0, 5);
+        assert!(m.is_empty());
+        assert_eq!(m.iter_rows().count(), 0);
+    }
+}

@@ -1,0 +1,200 @@
+//! External clustering-quality metrics: comparing a clustering against a
+//! reference labelling (ground truth or another clustering).
+//!
+//! The paper's evaluation is performance-only, but its application section
+//! (land-cover classification) implicitly asks "did the clusters recover
+//! the classes?" — these are the standard answers: purity, the adjusted
+//! Rand index and normalised mutual information.
+
+/// A contingency table between two labellings of the same items.
+#[derive(Debug, Clone)]
+pub struct Contingency {
+    /// `table[a][b]` = items with label `a` in the first labelling and `b`
+    /// in the second.
+    table: Vec<Vec<u64>>,
+    row_sums: Vec<u64>,
+    col_sums: Vec<u64>,
+    n: u64,
+}
+
+impl Contingency {
+    /// Build from two parallel label slices. Labels may be any `u32`s; the
+    /// table is sized by the maxima.
+    pub fn new(a: &[u32], b: &[u32]) -> Self {
+        assert_eq!(a.len(), b.len(), "labellings must cover the same items");
+        assert!(!a.is_empty(), "empty labelling");
+        let rows = *a.iter().max().unwrap() as usize + 1;
+        let cols = *b.iter().max().unwrap() as usize + 1;
+        let mut table = vec![vec![0u64; cols]; rows];
+        for (&x, &y) in a.iter().zip(b) {
+            table[x as usize][y as usize] += 1;
+        }
+        let row_sums: Vec<u64> = table.iter().map(|r| r.iter().sum()).collect();
+        let col_sums: Vec<u64> = (0..cols)
+            .map(|j| table.iter().map(|r| r[j]).sum())
+            .collect();
+        Contingency {
+            table,
+            row_sums,
+            col_sums,
+            n: a.len() as u64,
+        }
+    }
+
+    pub fn n(&self) -> u64 {
+        self.n
+    }
+
+    /// Purity of the first labelling against the second: the fraction of
+    /// items in the majority reference class of their cluster.
+    pub fn purity(&self) -> f64 {
+        let majority: u64 = self
+            .table
+            .iter()
+            .map(|row| row.iter().copied().max().unwrap_or(0))
+            .sum();
+        majority as f64 / self.n as f64
+    }
+
+    /// Adjusted Rand index in `[-1, 1]`; 1 = identical partitions (up to
+    /// relabelling), ~0 = chance agreement.
+    pub fn adjusted_rand_index(&self) -> f64 {
+        let choose2 = |x: u64| (x * x.saturating_sub(1)) as f64 / 2.0;
+        let sum_ij: f64 = self
+            .table
+            .iter()
+            .flat_map(|row| row.iter())
+            .map(|&v| choose2(v))
+            .sum();
+        let sum_a: f64 = self.row_sums.iter().map(|&v| choose2(v)).sum();
+        let sum_b: f64 = self.col_sums.iter().map(|&v| choose2(v)).sum();
+        let total = choose2(self.n);
+        let expected = sum_a * sum_b / total;
+        let max_index = 0.5 * (sum_a + sum_b);
+        if (max_index - expected).abs() < 1e-12 {
+            // Degenerate: both partitions trivial.
+            return if (sum_ij - expected).abs() < 1e-12 { 1.0 } else { 0.0 };
+        }
+        (sum_ij - expected) / (max_index - expected)
+    }
+
+    /// Normalised mutual information (arithmetic-mean normalisation) in
+    /// `[0, 1]`.
+    pub fn nmi(&self) -> f64 {
+        let n = self.n as f64;
+        let mut mi = 0.0;
+        for (i, row) in self.table.iter().enumerate() {
+            for (j, &nij) in row.iter().enumerate() {
+                if nij == 0 {
+                    continue;
+                }
+                let nij = nij as f64;
+                let pij = nij / n;
+                let pi = self.row_sums[i] as f64 / n;
+                let pj = self.col_sums[j] as f64 / n;
+                mi += pij * (pij / (pi * pj)).ln();
+            }
+        }
+        let h = |sums: &[u64]| -> f64 {
+            sums.iter()
+                .filter(|&&s| s > 0)
+                .map(|&s| {
+                    let p = s as f64 / n;
+                    -p * p.ln()
+                })
+                .sum()
+        };
+        let ha = h(&self.row_sums);
+        let hb = h(&self.col_sums);
+        if ha + hb == 0.0 {
+            return 1.0; // both partitions are single clusters
+        }
+        2.0 * mi / (ha + hb)
+    }
+}
+
+/// Convenience: ARI straight from label slices.
+pub fn adjusted_rand_index(a: &[u32], b: &[u32]) -> f64 {
+    Contingency::new(a, b).adjusted_rand_index()
+}
+
+/// Convenience: NMI straight from label slices.
+pub fn nmi(a: &[u32], b: &[u32]) -> f64 {
+    Contingency::new(a, b).nmi()
+}
+
+/// Convenience: purity straight from label slices.
+pub fn purity(clusters: &[u32], truth: &[u32]) -> f64 {
+    Contingency::new(clusters, truth).purity()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identical_partitions_score_one() {
+        let labels = [0u32, 0, 1, 1, 2, 2, 2];
+        assert_eq!(adjusted_rand_index(&labels, &labels), 1.0);
+        assert!((nmi(&labels, &labels) - 1.0).abs() < 1e-12);
+        assert_eq!(purity(&labels, &labels), 1.0);
+    }
+
+    #[test]
+    fn relabelled_partitions_still_score_one() {
+        let a = [0u32, 0, 1, 1, 2, 2];
+        let b = [5u32, 5, 3, 3, 0, 0];
+        assert!((adjusted_rand_index(&a, &b) - 1.0).abs() < 1e-12);
+        assert!((nmi(&a, &b) - 1.0).abs() < 1e-12);
+        assert_eq!(purity(&a, &b), 1.0);
+    }
+
+    #[test]
+    fn independent_partitions_score_near_zero_ari() {
+        // A perfectly balanced 2×2 "checkerboard": ARI must be ≈ 0.
+        let a = [0u32, 0, 1, 1, 0, 0, 1, 1];
+        let b = [0u32, 1, 0, 1, 0, 1, 0, 1];
+        assert!(adjusted_rand_index(&a, &b).abs() < 0.2);
+    }
+
+    #[test]
+    fn known_ari_value() {
+        // scikit-learn's doc example: ARI([0,0,1,2], [0,0,1,1]) = 0.571428…
+        let a = [0u32, 0, 1, 2];
+        let b = [0u32, 0, 1, 1];
+        assert!((adjusted_rand_index(&a, &b) - 0.5714285714).abs() < 1e-9);
+    }
+
+    #[test]
+    fn purity_of_split_cluster() {
+        // One cluster holds classes 0,0,1 → purity (2 + 1)/4 with second
+        // cluster pure.
+        let clusters = [0u32, 0, 0, 1];
+        let truth = [0u32, 0, 1, 1];
+        assert_eq!(purity(&clusters, &truth), 0.75);
+    }
+
+    #[test]
+    fn single_cluster_edge_cases() {
+        let a = [0u32; 6];
+        let b = [0u32, 0, 0, 1, 1, 1];
+        // One trivial partition: ARI undefined-by-formula handled as 0.
+        assert_eq!(adjusted_rand_index(&a, &a), 1.0);
+        assert!(adjusted_rand_index(&a, &b).abs() < 1e-12);
+        assert!(nmi(&a, &a) == 1.0);
+    }
+
+    #[test]
+    fn nmi_is_symmetric() {
+        let a = [0u32, 1, 1, 2, 2, 2, 0];
+        let b = [1u32, 1, 0, 2, 2, 0, 0];
+        assert!((nmi(&a, &b) - nmi(&b, &a)).abs() < 1e-12);
+        assert!((adjusted_rand_index(&a, &b) - adjusted_rand_index(&b, &a)).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "same items")]
+    fn mismatched_lengths_rejected() {
+        let _ = Contingency::new(&[0, 1], &[0]);
+    }
+}

@@ -1,0 +1,219 @@
+//! Mini-batch k-means (Sculley 2010; the paper cites the nested mini-batch
+//! refinement of Newling & Fleuret as related work): per-centroid learning
+//! rates over random batches. Not exact like Lloyd — it's the standard
+//! cheap approximation for web-scale data, and the streaming executor in
+//! `hier-kmeans` uses the same update rule for out-of-core sources.
+
+use crate::distance::argmin_centroid;
+use crate::lloyd::{KMeansConfig, KMeansError, KMeansResult};
+use crate::matrix::Matrix;
+use crate::scalar::Scalar;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+/// Mini-batch configuration.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MiniBatchConfig {
+    /// Samples per batch.
+    pub batch: usize,
+    /// Number of batches to process.
+    pub batches: usize,
+    /// RNG seed for batch sampling.
+    pub seed: u64,
+}
+
+impl Default for MiniBatchConfig {
+    fn default() -> Self {
+        MiniBatchConfig {
+            batch: 256,
+            batches: 100,
+            seed: 0,
+        }
+    }
+}
+
+/// Run mini-batch k-means from explicit initial centroids.
+///
+/// Each batch: assign its samples to the nearest centroid, then move each
+/// touched centroid toward the batch members with a per-centroid learning
+/// rate `1/count_j` (`count_j` = lifetime assignment count) — the standard
+/// Sculley update, which converges like a decaying stochastic gradient.
+pub fn run_from<S: Scalar>(
+    data: &Matrix<S>,
+    init: Matrix<S>,
+    config: &MiniBatchConfig,
+    k_config: &KMeansConfig,
+) -> Result<KMeansResult<S>, KMeansError> {
+    let n = data.rows();
+    let d = data.cols();
+    let k = k_config.k;
+    if n == 0 {
+        return Err(KMeansError::EmptyDataset);
+    }
+    if k == 0 {
+        return Err(KMeansError::ZeroK);
+    }
+    if k > n {
+        return Err(KMeansError::KExceedsN { k, n });
+    }
+    if init.rows() != k || init.cols() != d {
+        return Err(KMeansError::CentroidShape {
+            expected_k: k,
+            expected_d: d,
+            got_rows: init.rows(),
+            got_cols: init.cols(),
+        });
+    }
+    assert!(config.batch > 0, "batch size must be positive");
+
+    let mut rng = ChaCha8Rng::seed_from_u64(config.seed);
+    let mut centroids = init;
+    let mut lifetime = vec![0u64; k];
+    let mut indices: Vec<usize> = (0..n).collect();
+    let mut assignments: Vec<usize> = Vec::with_capacity(config.batch);
+
+    for _ in 0..config.batches {
+        indices.shuffle(&mut rng);
+        let batch = &indices[..config.batch.min(n)];
+        // Assign the whole batch against the frozen centroids first (the
+        // two-phase structure keeps the update order-independent).
+        assignments.clear();
+        for &i in batch {
+            let (j, _) = argmin_centroid(data.row(i), &centroids);
+            assignments.push(j);
+        }
+        for (&i, &j) in batch.iter().zip(&assignments) {
+            lifetime[j] += 1;
+            let eta = S::ONE / S::from_usize(lifetime[j] as usize);
+            let one_minus = S::ONE - eta;
+            let row = data.row(i);
+            let c = centroids.row_mut(j);
+            for (cv, xv) in c.iter_mut().zip(row) {
+                *cv = *cv * one_minus + *xv * eta;
+            }
+        }
+    }
+
+    let mut labels = vec![0u32; n];
+    let objective = crate::lloyd::assign_step(data, &centroids, &mut labels) / n as f64;
+    Ok(KMeansResult {
+        centroids,
+        labels,
+        iterations: config.batches,
+        objective,
+        converged: true,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::init::{init_centroids, InitMethod};
+    use crate::lloyd::Lloyd;
+    use rand::Rng;
+
+    fn blobs(n: usize, d: usize, k: usize, seed: u64) -> Matrix<f64> {
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        let centers: Vec<Vec<f64>> = (0..k)
+            .map(|_| (0..d).map(|_| rng.gen_range(-30.0..30.0)).collect())
+            .collect();
+        let mut data = Vec::with_capacity(n * d);
+        for i in 0..n {
+            data.extend(centers[i % k].iter().map(|v| v + rng.gen_range(-0.5..0.5)));
+        }
+        Matrix::from_vec(n, d, data)
+    }
+
+    #[test]
+    fn approaches_lloyd_quality_on_separated_blobs() {
+        let data = blobs(2_000, 8, 5, 3);
+        let init = init_centroids(&data, 5, InitMethod::KMeansPlusPlus, 3);
+        let lloyd = Lloyd::run_from(
+            &data,
+            init.clone(),
+            &KMeansConfig::new(5).with_max_iters(50),
+        )
+        .unwrap();
+        let mb = run_from(
+            &data,
+            init,
+            &MiniBatchConfig {
+                batch: 200,
+                batches: 150,
+                seed: 1,
+            },
+            &KMeansConfig::new(5),
+        )
+        .unwrap();
+        // Within 10% of the exact objective on easy data.
+        assert!(
+            mb.objective < lloyd.objective * 1.1 + 0.05,
+            "minibatch {} vs lloyd {}",
+            mb.objective,
+            lloyd.objective
+        );
+    }
+
+    #[test]
+    fn is_deterministic_per_seed() {
+        let data = blobs(500, 4, 3, 7);
+        let init = init_centroids(&data, 3, InitMethod::Forgy, 7);
+        let cfg = MiniBatchConfig {
+            batch: 64,
+            batches: 20,
+            seed: 9,
+        };
+        let a = run_from(&data, init.clone(), &cfg, &KMeansConfig::new(3)).unwrap();
+        let b = run_from(&data, init, &cfg, &KMeansConfig::new(3)).unwrap();
+        assert_eq!(a.centroids, b.centroids);
+        assert_eq!(a.labels, b.labels);
+    }
+
+    #[test]
+    fn batch_larger_than_n_is_clamped() {
+        let data = blobs(50, 3, 2, 5);
+        let init = init_centroids(&data, 2, InitMethod::Forgy, 5);
+        let cfg = MiniBatchConfig {
+            batch: 10_000,
+            batches: 10,
+            seed: 0,
+        };
+        let r = run_from(&data, init, &cfg, &KMeansConfig::new(2)).unwrap();
+        assert!(r.objective.is_finite());
+    }
+
+    #[test]
+    fn untouched_centroids_stay_put() {
+        // A far-away centroid never assigned keeps its initial position.
+        let data = Matrix::from_rows(&[&[0.0f64], &[1.0], &[0.5], &[0.2]]);
+        let init = Matrix::from_rows(&[&[0.4f64], &[1_000.0]]);
+        let cfg = MiniBatchConfig {
+            batch: 4,
+            batches: 5,
+            seed: 2,
+        };
+        let r = run_from(&data, init, &cfg, &KMeansConfig::new(2)).unwrap();
+        assert_eq!(r.centroids.get(1, 0), 1_000.0);
+    }
+
+    #[test]
+    fn validation() {
+        let data = blobs(10, 2, 2, 1);
+        let init = init_centroids(&data, 2, InitMethod::Forgy, 1);
+        assert!(run_from(
+            &Matrix::<f64>::zeros(0, 2),
+            init.clone(),
+            &MiniBatchConfig::default(),
+            &KMeansConfig::new(2)
+        )
+        .is_err());
+        assert!(run_from(
+            &data,
+            Matrix::zeros(3, 2),
+            &MiniBatchConfig::default(),
+            &KMeansConfig::new(2)
+        )
+        .is_err());
+    }
+}

@@ -1,0 +1,81 @@
+//! Clustering quality measures.
+
+use crate::distance::sq_euclidean_unrolled;
+use crate::matrix::Matrix;
+use crate::scalar::Scalar;
+
+/// The paper's objective `O(C)`: the mean squared distance from each sample
+/// to its *nearest* centroid (labels are recomputed, not trusted).
+pub fn mean_objective<S: Scalar>(data: &Matrix<S>, centroids: &Matrix<S>) -> f64 {
+    assert!(data.rows() > 0, "empty dataset");
+    let mut total = 0.0f64;
+    for i in 0..data.rows() {
+        let (_, d) = crate::distance::argmin_centroid(data.row(i), centroids);
+        total += d.to_f64();
+    }
+    total / data.rows() as f64
+}
+
+/// Within-cluster sum of squares under a *given* labelling.
+pub fn wcss<S: Scalar>(data: &Matrix<S>, centroids: &Matrix<S>, labels: &[u32]) -> f64 {
+    assert_eq!(labels.len(), data.rows());
+    let mut total = 0.0f64;
+    for i in 0..data.rows() {
+        let j = labels[i] as usize;
+        total += sq_euclidean_unrolled(data.row(i), centroids.row(j)).to_f64();
+    }
+    total
+}
+
+/// Count of samples per cluster under a labelling.
+pub fn cluster_sizes(labels: &[u32], k: usize) -> Vec<u64> {
+    let mut sizes = vec![0u64; k];
+    for &l in labels {
+        sizes[l as usize] += 1;
+    }
+    sizes
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn objective_of_perfect_fit_is_zero() {
+        let data = Matrix::from_rows(&[&[1.0f64, 0.0], &[0.0, 1.0]]);
+        let obj = mean_objective(&data, &data);
+        assert_eq!(obj, 0.0);
+    }
+
+    #[test]
+    fn objective_averages_squared_distances() {
+        let data = Matrix::from_rows(&[&[0.0f64], &[4.0]]);
+        let centroids = Matrix::from_rows(&[&[1.0f64]]);
+        // Distances²: 1 and 9, mean = 5.
+        assert_eq!(mean_objective(&data, &centroids), 5.0);
+    }
+
+    #[test]
+    fn wcss_uses_given_labels_not_nearest() {
+        let data = Matrix::from_rows(&[&[0.0f64], &[4.0]]);
+        let centroids = Matrix::from_rows(&[&[0.0f64], &[4.0]]);
+        // Deliberately wrong labels.
+        let bad = wcss(&data, &centroids, &[1, 0]);
+        assert_eq!(bad, 32.0);
+        let good = wcss(&data, &centroids, &[0, 1]);
+        assert_eq!(good, 0.0);
+    }
+
+    #[test]
+    fn sizes_count_members() {
+        assert_eq!(cluster_sizes(&[0, 1, 1, 2, 1], 4), vec![1, 3, 1, 0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty dataset")]
+    fn objective_rejects_empty() {
+        let data = Matrix::<f64>::zeros(0, 1);
+        let c = Matrix::<f64>::zeros(1, 1);
+        let _ = mean_objective(&data, &c);
+    }
+}

@@ -1,0 +1,166 @@
+//! Feature preprocessing: per-column statistics, z-score standardisation
+//! and min-max scaling. k-means is scale-sensitive; the UCI-style
+//! workloads (mixed-unit columns like the Road Network's lon/lat/altitude)
+//! need this before distances mean anything.
+
+use crate::matrix::Matrix;
+use crate::scalar::Scalar;
+
+/// Per-column summary statistics of a dataset.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ColumnStats {
+    pub mean: Vec<f64>,
+    pub std_dev: Vec<f64>,
+    pub min: Vec<f64>,
+    pub max: Vec<f64>,
+}
+
+impl ColumnStats {
+    /// Compute statistics over all rows. Panics on an empty matrix.
+    pub fn compute<S: Scalar>(data: &Matrix<S>) -> Self {
+        assert!(data.rows() > 0, "empty dataset");
+        let d = data.cols();
+        let n = data.rows() as f64;
+        let mut mean = vec![0.0f64; d];
+        let mut min = vec![f64::INFINITY; d];
+        let mut max = vec![f64::NEG_INFINITY; d];
+        for row in data.iter_rows() {
+            for (u, &v) in row.iter().enumerate() {
+                let v = v.to_f64();
+                mean[u] += v;
+                min[u] = min[u].min(v);
+                max[u] = max[u].max(v);
+            }
+        }
+        for m in &mut mean {
+            *m /= n;
+        }
+        let mut var = vec![0.0f64; d];
+        for row in data.iter_rows() {
+            for (u, &v) in row.iter().enumerate() {
+                let diff = v.to_f64() - mean[u];
+                var[u] += diff * diff;
+            }
+        }
+        let std_dev = var.into_iter().map(|v| (v / n).sqrt()).collect();
+        ColumnStats {
+            mean,
+            std_dev,
+            min,
+            max,
+        }
+    }
+
+    /// Z-score a dataset in place using these statistics. Zero-variance
+    /// columns are centred only (no division by zero).
+    pub fn standardize<S: Scalar>(&self, data: &mut Matrix<S>) {
+        let d = data.cols();
+        assert_eq!(d, self.mean.len(), "stats computed for another width");
+        for i in 0..data.rows() {
+            let row = data.row_mut(i);
+            for u in 0..d {
+                let mut v = row[u].to_f64() - self.mean[u];
+                if self.std_dev[u] > 0.0 {
+                    v /= self.std_dev[u];
+                }
+                row[u] = S::from_f64(v);
+            }
+        }
+    }
+
+    /// Min-max scale a dataset in place to `[0, 1]`. Constant columns map
+    /// to 0.
+    pub fn min_max_scale<S: Scalar>(&self, data: &mut Matrix<S>) {
+        let d = data.cols();
+        assert_eq!(d, self.mean.len(), "stats computed for another width");
+        for i in 0..data.rows() {
+            let row = data.row_mut(i);
+            for u in 0..d {
+                let range = self.max[u] - self.min[u];
+                let v = if range > 0.0 {
+                    (row[u].to_f64() - self.min[u]) / range
+                } else {
+                    0.0
+                };
+                row[u] = S::from_f64(v);
+            }
+        }
+    }
+}
+
+/// Convenience: standardise a copy of the data.
+pub fn standardized<S: Scalar>(data: &Matrix<S>) -> Matrix<S> {
+    let stats = ColumnStats::compute(data);
+    let mut out = data.clone();
+    stats.standardize(&mut out);
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Matrix<f64> {
+        Matrix::from_rows(&[&[1.0f64, 10.0, 5.0], &[3.0, 20.0, 5.0], &[5.0, 60.0, 5.0]])
+    }
+
+    #[test]
+    fn stats_are_correct() {
+        let s = ColumnStats::compute(&sample());
+        assert_eq!(s.mean, vec![3.0, 30.0, 5.0]);
+        assert_eq!(s.min, vec![1.0, 10.0, 5.0]);
+        assert_eq!(s.max, vec![5.0, 60.0, 5.0]);
+        assert!((s.std_dev[0] - (8.0f64 / 3.0).sqrt()).abs() < 1e-12);
+        assert_eq!(s.std_dev[2], 0.0);
+    }
+
+    #[test]
+    fn standardize_centres_and_scales() {
+        let mut m = sample();
+        let s = ColumnStats::compute(&m);
+        s.standardize(&mut m);
+        let after = ColumnStats::compute(&m);
+        for u in 0..2 {
+            assert!(after.mean[u].abs() < 1e-12);
+            assert!((after.std_dev[u] - 1.0).abs() < 1e-12);
+        }
+        // Constant column: centred to zero, not divided.
+        assert_eq!(m.get(0, 2), 0.0);
+        assert_eq!(after.std_dev[2], 0.0);
+    }
+
+    #[test]
+    fn min_max_maps_to_unit_interval() {
+        let mut m = sample();
+        let s = ColumnStats::compute(&m);
+        s.min_max_scale(&mut m);
+        assert_eq!(m.get(0, 0), 0.0);
+        assert_eq!(m.get(2, 0), 1.0);
+        assert_eq!(m.get(1, 1), 0.2);
+        assert_eq!(m.get(0, 2), 0.0); // constant column
+    }
+
+    #[test]
+    fn standardized_copy_leaves_original() {
+        let m = sample();
+        let z = standardized(&m);
+        assert_eq!(m.get(0, 0), 1.0);
+        assert!(z.get(0, 0) < 0.0);
+    }
+
+    #[test]
+    fn f32_round_trip() {
+        let mut m: Matrix<f32> = sample().cast();
+        let s = ColumnStats::compute(&m);
+        s.standardize(&mut m);
+        assert!(m.get(0, 0) < 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "another width")]
+    fn width_mismatch_panics() {
+        let s = ColumnStats::compute(&sample());
+        let mut other = Matrix::<f64>::zeros(2, 5);
+        s.standardize(&mut other);
+    }
+}

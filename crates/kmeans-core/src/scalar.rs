@@ -1,0 +1,127 @@
+//! Precision abstraction: the whole stack is generic over `f32`/`f64`.
+
+use std::fmt::{Debug, Display};
+use std::iter::Sum;
+use std::ops::{Add, AddAssign, Div, Mul, Sub};
+
+/// A floating-point element type usable for samples, centroids and
+/// accumulators.
+///
+/// The trait is deliberately small — just what the kernels need — so adding
+/// a future `f16`-style type only requires these conversions and ops.
+pub trait Scalar:
+    Copy
+    + Send
+    + Sync
+    + PartialOrd
+    + Debug
+    + Display
+    + Default
+    + Add<Output = Self>
+    + Sub<Output = Self>
+    + Mul<Output = Self>
+    + Div<Output = Self>
+    + AddAssign
+    + Sum
+    + 'static
+{
+    const ZERO: Self;
+    const ONE: Self;
+    /// Size in bytes (drives LDM budget arithmetic).
+    const BYTES: usize;
+
+    fn from_f64(v: f64) -> Self;
+    fn to_f64(self) -> f64;
+    fn from_usize(v: usize) -> Self;
+    /// IEEE `max` (NaN-ignoring is not needed; inputs are finite).
+    fn max_s(self, other: Self) -> Self;
+    fn sqrt_s(self) -> Self;
+    fn is_finite_s(self) -> bool;
+}
+
+impl Scalar for f32 {
+    const ZERO: f32 = 0.0;
+    const ONE: f32 = 1.0;
+    const BYTES: usize = 4;
+
+    fn from_f64(v: f64) -> f32 {
+        v as f32
+    }
+
+    fn to_f64(self) -> f64 {
+        self as f64
+    }
+
+    fn from_usize(v: usize) -> f32 {
+        v as f32
+    }
+
+    fn max_s(self, other: f32) -> f32 {
+        self.max(other)
+    }
+
+    fn sqrt_s(self) -> f32 {
+        self.sqrt()
+    }
+
+    fn is_finite_s(self) -> bool {
+        self.is_finite()
+    }
+}
+
+impl Scalar for f64 {
+    const ZERO: f64 = 0.0;
+    const ONE: f64 = 1.0;
+    const BYTES: usize = 8;
+
+    fn from_f64(v: f64) -> f64 {
+        v
+    }
+
+    fn to_f64(self) -> f64 {
+        self
+    }
+
+    fn from_usize(v: usize) -> f64 {
+        v as f64
+    }
+
+    fn max_s(self, other: f64) -> f64 {
+        self.max(other)
+    }
+
+    fn sqrt_s(self) -> f64 {
+        self.sqrt()
+    }
+
+    fn is_finite_s(self) -> bool {
+        self.is_finite()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn generic_roundtrip<S: Scalar>() {
+        assert_eq!(S::from_f64(2.0).to_f64(), 2.0);
+        assert_eq!(S::from_usize(3).to_f64(), 3.0);
+        assert_eq!(S::ZERO.to_f64(), 0.0);
+        assert_eq!(S::ONE.to_f64(), 1.0);
+        assert_eq!(S::from_f64(4.0).sqrt_s().to_f64(), 2.0);
+        assert!(S::ONE.is_finite_s());
+        assert_eq!(S::ZERO.max_s(S::ONE).to_f64(), 1.0);
+    }
+
+    #[test]
+    fn f32_impl() {
+        generic_roundtrip::<f32>();
+        assert_eq!(f32::BYTES, 4);
+    }
+
+    #[test]
+    fn f64_impl() {
+        generic_roundtrip::<f64>();
+        assert_eq!(f64::BYTES, 8);
+    }
+}

@@ -1,0 +1,95 @@
+//! Streaming sample sources: datasets too large to materialise.
+//!
+//! The paper's full-resolution ImageNet configuration is ~1 TB of f32
+//! pixels — on the real machine it streams through the CPEs' double-
+//! buffered LDM via DMA, never resident anywhere. [`SampleSource`] is that
+//! contract: sample `i` is produced on demand, deterministically.
+
+use crate::matrix::Matrix;
+
+/// A source of f32 samples that never materialises the whole dataset.
+pub trait SampleSource {
+    /// Total samples available.
+    fn len(&self) -> u64;
+
+    /// Dimensions per sample.
+    fn dims(&self) -> usize;
+
+    /// True when the source is empty.
+    fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Write sample `index` into `out` (`out.len() == dims()`).
+    fn fill(&self, index: u64, out: &mut [f32]);
+
+    /// Materialise samples `[start, start + count)` as a matrix.
+    fn materialize(&self, start: u64, count: usize) -> Matrix<f32> {
+        assert!(
+            start + count as u64 <= self.len(),
+            "range [{start}, {}) out of source of {}",
+            start + count as u64,
+            self.len()
+        );
+        let d = self.dims();
+        let mut data = vec![0.0f32; count * d];
+        for (row, chunk) in data.chunks_exact_mut(d.max(1)).enumerate() {
+            self.fill(start + row as u64, chunk);
+        }
+        Matrix::from_vec(count, d, data)
+    }
+}
+
+/// An in-memory matrix viewed as a source — adapts materialised data to
+/// streaming consumers.
+pub struct MatrixSource<'a> {
+    data: &'a Matrix<f32>,
+}
+
+impl<'a> MatrixSource<'a> {
+    pub fn new(data: &'a Matrix<f32>) -> Self {
+        MatrixSource { data }
+    }
+}
+
+impl SampleSource for MatrixSource<'_> {
+    fn len(&self) -> u64 {
+        self.data.rows() as u64
+    }
+
+    fn dims(&self) -> usize {
+        self.data.cols()
+    }
+
+    fn fill(&self, index: u64, out: &mut [f32]) {
+        out.copy_from_slice(self.data.row(index as usize));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn matrix_source_round_trips() {
+        let m = Matrix::from_vec(3, 2, vec![1.0f32, 2.0, 3.0, 4.0, 5.0, 6.0]);
+        let src = MatrixSource::new(&m);
+        assert_eq!(src.len(), 3);
+        assert_eq!(src.dims(), 2);
+        assert!(!src.is_empty());
+        let mut buf = [0.0f32; 2];
+        src.fill(1, &mut buf);
+        assert_eq!(buf, [3.0, 4.0]);
+        let window = src.materialize(1, 2);
+        assert_eq!(window.row(0), &[3.0, 4.0]);
+        assert_eq!(window.row(1), &[5.0, 6.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of source")]
+    fn over_long_window_panics() {
+        let m = Matrix::from_vec(2, 1, vec![0.0f32, 1.0]);
+        let src = MatrixSource::new(&m);
+        let _ = src.materialize(1, 2);
+    }
+}

@@ -1,0 +1,383 @@
+//! Yinyang k-means (Ding et al., ICML 2015) — the multi-core baseline of
+//! the paper's Table III, implemented as an exact drop-in accelerated
+//! Lloyd.
+//!
+//! The algorithm maintains, per sample, an upper bound on the distance to
+//! its assigned centroid and per-*group* lower bounds on the distance to
+//! every other centroid group (centroids are pre-clustered into
+//! `t ≈ k/10` groups). Triangle-inequality bookkeeping filters out most
+//! distance computations: a sample whose upper bound stays below all its
+//! group lower bounds provably keeps its assignment. Results are
+//! *identical* to Lloyd at every iteration (same argmin, same means) —
+//! only the work differs, which [`YinyangStats`] exposes.
+
+use crate::distance::sq_euclidean_unrolled;
+use crate::init::{init_centroids, InitMethod};
+use crate::lloyd::{update_step, KMeansConfig, KMeansError, KMeansResult};
+use crate::matrix::Matrix;
+use crate::scalar::Scalar;
+
+/// Work counters for the filtering effectiveness.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct YinyangStats {
+    /// Point-centroid distance evaluations performed.
+    pub distance_evals: u64,
+    /// Distance evaluations plain Lloyd would have performed (`n·k·iters`).
+    pub lloyd_equivalent: u64,
+    /// Samples skipped by the global group filter.
+    pub global_filter_hits: u64,
+    /// Group scans skipped by the per-group filter.
+    pub group_filter_hits: u64,
+}
+
+impl YinyangStats {
+    /// Fraction of Lloyd's distance work avoided.
+    pub fn savings(&self) -> f64 {
+        if self.lloyd_equivalent == 0 {
+            return 0.0;
+        }
+        1.0 - self.distance_evals as f64 / self.lloyd_equivalent as f64
+    }
+}
+
+/// Run Yinyang k-means from explicit initial centroids. Produces the same
+/// result as `Lloyd::run_from` with the same configuration.
+pub fn run_from<S: Scalar>(
+    data: &Matrix<S>,
+    init: Matrix<S>,
+    config: &KMeansConfig,
+) -> Result<(KMeansResult<S>, YinyangStats), KMeansError> {
+    let n = data.rows();
+    let d = data.cols();
+    let k = config.k;
+    if n == 0 {
+        return Err(KMeansError::EmptyDataset);
+    }
+    if k == 0 {
+        return Err(KMeansError::ZeroK);
+    }
+    if k > n {
+        return Err(KMeansError::KExceedsN { k, n });
+    }
+    if init.rows() != k || init.cols() != d {
+        return Err(KMeansError::CentroidShape {
+            expected_k: k,
+            expected_d: d,
+            got_rows: init.rows(),
+            got_cols: init.cols(),
+        });
+    }
+
+    let mut stats = YinyangStats::default();
+    let t = group_count(k);
+    let groups = group_centroids(&init, t);
+    let group_of: Vec<usize> = groups.clone();
+    let mut members: Vec<Vec<usize>> = vec![Vec::new(); t];
+    for (j, &g) in group_of.iter().enumerate() {
+        members[g].push(j);
+    }
+
+    let dist = |a: &[S], b: &[S], stats: &mut YinyangStats| -> f64 {
+        stats.distance_evals += 1;
+        sq_euclidean_unrolled(a, b).to_f64().sqrt()
+    };
+
+    let mut centroids = init;
+    let mut next = Matrix::<S>::zeros(k, d);
+    let mut labels = vec![0u32; n];
+    let mut ub = vec![0.0f64; n];
+    let mut lb = vec![0.0f64; n * t];
+
+    // ---- First iteration: full Lloyd assign, seeding the bounds. ----
+    for i in 0..n {
+        let row = data.row(i);
+        let mut best = f64::INFINITY;
+        let mut best_j = 0usize;
+        let mut group_min = vec![f64::INFINITY; t];
+        for j in 0..k {
+            let dj = dist(row, centroids.row(j), &mut stats);
+            if dj < best {
+                // The displaced best becomes a candidate lower bound for
+                // its group.
+                if best.is_finite() {
+                    let g_old = group_of[best_j];
+                    group_min[g_old] = group_min[g_old].min(best);
+                }
+                best = dj;
+                best_j = j;
+            } else {
+                let g = group_of[j];
+                group_min[g] = group_min[g].min(dj);
+            }
+        }
+        labels[i] = best_j as u32;
+        ub[i] = best;
+        lb[i * t..(i + 1) * t].copy_from_slice(&group_min);
+    }
+    stats.lloyd_equivalent += (n * k) as u64;
+
+    let mut iterations = 1usize;
+    let mut converged = false;
+    let mut drift = vec![0.0f64; k];
+    let mut group_drift = vec![0.0f64; t];
+
+    // Update after the seeding assign.
+    let counts = update_step(data, &labels, &centroids, &mut next);
+    let shift = compute_drifts(&centroids, &next, &mut drift);
+    let _ = counts;
+    std::mem::swap(&mut centroids, &mut next);
+    if shift <= config.tol {
+        converged = true;
+    }
+
+    while !converged && iterations < config.max_iters {
+        for g in 0..t {
+            group_drift[g] = members[g]
+                .iter()
+                .map(|&j| drift[j])
+                .fold(0.0f64, f64::max);
+        }
+        stats.lloyd_equivalent += (n * k) as u64;
+
+        for i in 0..n {
+            let row = data.row(i);
+            let b = labels[i] as usize;
+            // Loosen the bounds by the centroid movements.
+            ub[i] += drift[b];
+            let lbs = &mut lb[i * t..(i + 1) * t];
+            let mut global_lb = f64::INFINITY;
+            for (g, l) in lbs.iter_mut().enumerate() {
+                *l -= group_drift[g];
+                global_lb = global_lb.min(*l);
+            }
+            // Global filter.
+            if ub[i] <= global_lb {
+                stats.global_filter_hits += 1;
+                continue;
+            }
+            // Tighten the upper bound and retest.
+            ub[i] = dist(row, centroids.row(b), &mut stats);
+            if ub[i] <= global_lb {
+                stats.global_filter_hits += 1;
+                continue;
+            }
+            // Group filtering: scan only groups whose lower bound fails.
+            let mut best = ub[i];
+            let mut best_j = b;
+            let lbs_snapshot: Vec<f64> = lb[i * t..(i + 1) * t].to_vec();
+            for g in 0..t {
+                if lbs_snapshot[g] >= best && g != group_of[b] {
+                    stats.group_filter_hits += 1;
+                    continue;
+                }
+                // Exact scan of group g, tracking its new lower bound.
+                let mut gmin = f64::INFINITY;
+                for &j in &members[g] {
+                    if j == b {
+                        continue;
+                    }
+                    let dj = dist(row, centroids.row(j), &mut stats);
+                    if dj < best || (dj == best && j < best_j) {
+                        // Displaced best contributes to its group's bound.
+                        let g_prev = group_of[best_j];
+                        if g_prev == g && best_j != b {
+                            gmin = gmin.min(best);
+                        } else if best_j != b {
+                            let l = &mut lb[i * t + g_prev];
+                            *l = l.min(best);
+                        }
+                        best = dj;
+                        best_j = j;
+                    } else {
+                        gmin = gmin.min(dj);
+                    }
+                }
+                lb[i * t + g] = gmin;
+            }
+            // The old assigned centroid becomes a bound for its group if it
+            // lost.
+            if best_j != b {
+                let g_old = group_of[b];
+                let l = &mut lb[i * t + g_old];
+                *l = l.min(ub[i]);
+                labels[i] = best_j as u32;
+                ub[i] = best;
+            }
+        }
+
+        let _counts = update_step(data, &labels, &centroids, &mut next);
+        let shift = compute_drifts(&centroids, &next, &mut drift);
+        std::mem::swap(&mut centroids, &mut next);
+        iterations += 1;
+        if shift <= config.tol {
+            converged = true;
+        }
+    }
+
+    // Final exact assign so labels match the returned centroids.
+    let mut final_labels = vec![0u32; n];
+    let objective =
+        crate::lloyd::assign_step(data, &centroids, &mut final_labels) / n as f64;
+    Ok((
+        KMeansResult {
+            centroids,
+            labels: final_labels,
+            iterations,
+            objective,
+            converged,
+        },
+        stats,
+    ))
+}
+
+/// Number of centroid groups: the Ding et al. heuristic `k/10`, at least 1.
+fn group_count(k: usize) -> usize {
+    (k / 10).max(1)
+}
+
+/// Cluster the centroids themselves into `t` groups (a short k-means on the
+/// centroid matrix), returning each centroid's group index.
+fn group_centroids<S: Scalar>(centroids: &Matrix<S>, t: usize) -> Vec<usize> {
+    let k = centroids.rows();
+    if t >= k {
+        return (0..k).collect();
+    }
+    let seeds = init_centroids(centroids, t, InitMethod::Forgy, 0x9999);
+    let mut group_centers = seeds;
+    let mut labels = vec![0u32; k];
+    let mut next = Matrix::<S>::zeros(t, centroids.cols());
+    for _ in 0..5 {
+        crate::lloyd::assign_step(centroids, &group_centers, &mut labels);
+        update_step(centroids, &labels, &group_centers, &mut next);
+        std::mem::swap(&mut group_centers, &mut next);
+    }
+    crate::lloyd::assign_step(centroids, &group_centers, &mut labels);
+    labels.into_iter().map(|l| l as usize).collect()
+}
+
+/// Per-centroid movement (Euclidean); returns the maximum.
+fn compute_drifts<S: Scalar>(old: &Matrix<S>, new: &Matrix<S>, drift: &mut [f64]) -> f64 {
+    let mut worst = 0.0f64;
+    for j in 0..old.rows() {
+        let d = sq_euclidean_unrolled(old.row(j), new.row(j)).to_f64().sqrt();
+        drift[j] = d;
+        worst = worst.max(d);
+    }
+    worst
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lloyd::Lloyd;
+    use rand::{Rng, SeedableRng};
+    use rand_chacha::ChaCha8Rng;
+
+    fn mixture(n: usize, d: usize, k: usize, seed: u64) -> Matrix<f64> {
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        let centers: Vec<Vec<f64>> = (0..k)
+            .map(|_| (0..d).map(|_| rng.gen_range(-20.0..20.0)).collect())
+            .collect();
+        let mut data = Vec::with_capacity(n * d);
+        for i in 0..n {
+            let c = &centers[i % k];
+            data.extend(c.iter().map(|v| v + rng.gen_range(-1.0..1.0)));
+        }
+        Matrix::from_vec(n, d, data)
+    }
+
+    #[test]
+    fn matches_lloyd_exactly() {
+        for seed in [1u64, 2, 3] {
+            let data = mixture(400, 8, 12, seed);
+            let init = init_centroids(&data, 12, InitMethod::Forgy, seed);
+            let cfg = KMeansConfig::new(12).with_max_iters(15).with_tol(0.0);
+            let lloyd = Lloyd::run_from(&data, init.clone(), &cfg).unwrap();
+            let (yy, _) = run_from(&data, init, &cfg).unwrap();
+            assert_eq!(yy.labels, lloyd.labels, "seed {seed}");
+            assert!(
+                yy.centroids.max_abs_diff(&lloyd.centroids) < 1e-9,
+                "seed {seed}: diff {}",
+                yy.centroids.max_abs_diff(&lloyd.centroids)
+            );
+            assert_eq!(yy.iterations, lloyd.iterations);
+        }
+    }
+
+    #[test]
+    fn converged_runs_agree_too() {
+        let data = mixture(300, 6, 8, 7);
+        let init = init_centroids(&data, 8, InitMethod::KMeansPlusPlus, 7);
+        let cfg = KMeansConfig::new(8).with_max_iters(100).with_tol(1e-9);
+        let lloyd = Lloyd::run_from(&data, init.clone(), &cfg).unwrap();
+        let (yy, _) = run_from(&data, init, &cfg).unwrap();
+        assert!(yy.converged);
+        assert_eq!(yy.labels, lloyd.labels);
+        assert!((yy.objective - lloyd.objective).abs() < 1e-9);
+    }
+
+    #[test]
+    fn filters_save_substantial_work() {
+        // Well-separated clusters converge fast; after the first iteration
+        // almost every point passes the global filter.
+        let data = mixture(1_000, 16, 30, 4);
+        let init = init_centroids(&data, 30, InitMethod::KMeansPlusPlus, 4);
+        let cfg = KMeansConfig::new(30).with_max_iters(25).with_tol(1e-9);
+        let (_, stats) = run_from(&data, init, &cfg).unwrap();
+        assert!(
+            stats.savings() > 0.3,
+            "only {:.0}% distance work saved ({} vs {})",
+            stats.savings() * 100.0,
+            stats.distance_evals,
+            stats.lloyd_equivalent
+        );
+        assert!(stats.global_filter_hits > 0);
+    }
+
+    #[test]
+    fn small_k_uses_single_group() {
+        assert_eq!(group_count(5), 1);
+        assert_eq!(group_count(10), 1);
+        assert_eq!(group_count(100), 10);
+        let data = mixture(100, 4, 3, 9);
+        let init = init_centroids(&data, 3, InitMethod::Forgy, 9);
+        let cfg = KMeansConfig::new(3).with_max_iters(10).with_tol(0.0);
+        let lloyd = Lloyd::run_from(&data, init.clone(), &cfg).unwrap();
+        let (yy, _) = run_from(&data, init, &cfg).unwrap();
+        assert_eq!(yy.labels, lloyd.labels);
+    }
+
+    #[test]
+    fn f32_agrees_with_its_lloyd() {
+        let data: Matrix<f32> = mixture(200, 5, 6, 11).cast();
+        let init = init_centroids(&data, 6, InitMethod::Forgy, 11);
+        let cfg = KMeansConfig::new(6).with_max_iters(8).with_tol(0.0);
+        let lloyd = Lloyd::run_from(&data, init.clone(), &cfg).unwrap();
+        let (yy, _) = run_from(&data, init, &cfg).unwrap();
+        assert_eq!(yy.labels, lloyd.labels);
+    }
+
+    #[test]
+    fn input_validation() {
+        let data = mixture(10, 2, 2, 1);
+        let cfg = KMeansConfig::new(0);
+        assert!(matches!(
+            run_from(&data, Matrix::zeros(0, 2), &cfg).unwrap_err(),
+            KMeansError::ZeroK
+        ));
+        let cfg = KMeansConfig::new(2);
+        assert!(matches!(
+            run_from(&data, Matrix::zeros(2, 5), &cfg).unwrap_err(),
+            KMeansError::CentroidShape { .. }
+        ));
+    }
+
+    #[test]
+    fn centroid_grouping_covers_all() {
+        let data = mixture(50, 4, 40, 2);
+        let init = init_centroids(&data, 40, InitMethod::Forgy, 2);
+        let groups = group_centroids(&init, 4);
+        assert_eq!(groups.len(), 40);
+        assert!(groups.iter().all(|&g| g < 4));
+    }
+}

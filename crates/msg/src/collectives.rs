@@ -1,0 +1,587 @@
+//! MPI-style collective operations, built as binomial trees over p2p.
+//!
+//! All collectives use a per-communicator sequence tag, so consecutive
+//! collectives never match each other's messages, and deterministic tree
+//! shapes, so floating-point reductions combine in the same order on every
+//! run (bitwise-reproducible results).
+
+use crate::comm::Comm;
+use crate::cost::OpKind;
+use std::any::Any;
+
+impl Comm {
+    /// Block until every rank of this communicator has entered the barrier.
+    pub fn barrier(&mut self) {
+        let tag = self.next_collective_tag();
+        self.reduce_tree::<u8, _>(0, vec![0], |_, _| {}, tag, OpKind::Barrier);
+        self.broadcast_tree::<u8>(0, Some(vec![0]), tag, OpKind::Barrier);
+    }
+
+    /// Broadcast `value` from `root` to every rank. `value` must be `Some`
+    /// on the root; it is ignored elsewhere.
+    pub fn broadcast<T: Any + Send + Clone>(&mut self, root: usize, value: Option<T>) -> T {
+        let tag = self.next_collective_tag();
+        if self.rank() == root {
+            let v = value.expect("broadcast root must supply a value");
+            let wrapped = self.broadcast_tree(root, Some(vec![v]), tag, OpKind::Broadcast);
+            wrapped.into_iter().next().unwrap()
+        } else {
+            let wrapped = self.broadcast_tree::<T>(root, None, tag, OpKind::Broadcast);
+            wrapped.into_iter().next().unwrap()
+        }
+    }
+
+    /// Broadcast a vector from `root` (avoids the scalar wrapper).
+    pub fn broadcast_vec<T: Any + Send + Clone>(
+        &mut self,
+        root: usize,
+        value: Option<Vec<T>>,
+    ) -> Vec<T> {
+        let tag = self.next_collective_tag();
+        if self.rank() == root {
+            assert!(value.is_some(), "broadcast root must supply a value");
+        }
+        self.broadcast_tree(root, value, tag, OpKind::Broadcast)
+    }
+
+    /// Element-wise reduction of `local` to `root` using `op`
+    /// (`op(acc, contribution)` folds a peer's vector into the accumulator).
+    /// Returns `Some(result)` on the root, `None` elsewhere.
+    pub fn reduce_with<T, F>(&mut self, root: usize, local: Vec<T>, op: F) -> Option<Vec<T>>
+    where
+        T: Any + Send,
+        F: Fn(&mut [T], &[T]),
+    {
+        let tag = self.next_collective_tag();
+        self.reduce_tree(root, local, op, tag, OpKind::Reduce)
+    }
+
+    /// Element-wise all-reduce: every rank ends with the reduction of all
+    /// ranks' `buf` contents. The combine order is a fixed binomial tree, so
+    /// results are bitwise identical across runs and across ranks.
+    pub fn allreduce_with<T, F>(&mut self, buf: &mut Vec<T>, op: F)
+    where
+        T: Any + Send + Clone,
+        F: Fn(&mut [T], &[T]),
+    {
+        let tag = self.next_collective_tag();
+        let local = std::mem::take(buf);
+        let reduced = self.reduce_tree(0, local, op, tag, OpKind::AllReduce);
+        *buf = self.broadcast_tree(0, reduced, tag, OpKind::AllReduce);
+    }
+
+    /// Sum-all-reduce for `f64` buffers.
+    pub fn allreduce_sum_f64(&mut self, buf: &mut Vec<f64>) {
+        self.allreduce_with(buf, |acc, x| {
+            for (a, b) in acc.iter_mut().zip(x) {
+                *a += b;
+            }
+        });
+    }
+
+    /// Sum-all-reduce for `f32` buffers.
+    pub fn allreduce_sum_f32(&mut self, buf: &mut Vec<f32>) {
+        self.allreduce_with(buf, |acc, x| {
+            for (a, b) in acc.iter_mut().zip(x) {
+                *a += b;
+            }
+        });
+    }
+
+    /// Sum-all-reduce for `u64` buffers (sample counters).
+    pub fn allreduce_sum_u64(&mut self, buf: &mut Vec<u64>) {
+        self.allreduce_with(buf, |acc, x| {
+            for (a, b) in acc.iter_mut().zip(x) {
+                *a += b;
+            }
+        });
+    }
+
+    /// Element-wise minimum-with-location all-reduce: for each position,
+    /// keep the `(value, index)` pair with the smallest value, breaking ties
+    /// toward the smaller index. This is the merge step of the distributed
+    /// Assign: each rank proposes its best centroid per sample, the pair
+    /// with the globally smallest distance wins.
+    pub fn allreduce_min_loc(&mut self, pairs: &mut Vec<(f64, u64)>) {
+        let tag = self.next_collective_tag();
+        let local = std::mem::take(pairs);
+        let reduced = self.reduce_tree(
+            0,
+            local,
+            |acc, x| {
+                for (a, b) in acc.iter_mut().zip(x) {
+                    if b.0 < a.0 || (b.0 == a.0 && b.1 < a.1) {
+                        *a = *b;
+                    }
+                }
+            },
+            tag,
+            OpKind::MinLoc,
+        );
+        *pairs = self.broadcast_tree(0, reduced, tag, OpKind::MinLoc);
+    }
+
+    /// Gather one value from every rank to `root` (rank order). Returns
+    /// `Some(values)` on the root.
+    pub fn gather<T: Any + Send>(&mut self, root: usize, value: T) -> Option<Vec<T>> {
+        let tag = self.next_collective_tag();
+        let size = self.size();
+        if self.rank() == root {
+            let mut slots: Vec<Option<T>> = (0..size).map(|_| None).collect();
+            slots[root] = Some(value);
+            for r in 0..size {
+                if r != root {
+                    slots[r] = Some(self.crecv::<T>(r, tag));
+                }
+            }
+            Some(slots.into_iter().map(|s| s.unwrap()).collect())
+        } else {
+            let bytes = std::mem::size_of::<T>();
+            self.csend(root, tag, value, bytes, OpKind::Gather);
+            None
+        }
+    }
+
+    /// All-gather one value from every rank; every rank gets the full
+    /// rank-ordered vector.
+    pub fn allgather<T: Any + Send + Clone>(&mut self, value: T) -> Vec<T> {
+        let gathered = self.gather(0, value);
+        self.broadcast_vec(0, gathered)
+    }
+
+    /// Scatter one value per rank from `root` (must supply exactly
+    /// `size` values there).
+    pub fn scatter<T: Any + Send>(&mut self, root: usize, values: Option<Vec<T>>) -> T {
+        let tag = self.next_collective_tag();
+        if self.rank() == root {
+            let values = values.expect("scatter root must supply values");
+            assert_eq!(values.len(), self.size(), "scatter needs one value per rank");
+            let mut own = None;
+            let bytes = std::mem::size_of::<T>();
+            for (r, v) in values.into_iter().enumerate() {
+                if r == root {
+                    own = Some(v);
+                } else {
+                    self.csend(r, tag, v, bytes, OpKind::Scatter);
+                }
+            }
+            own.unwrap()
+        } else {
+            self.crecv::<T>(root, tag)
+        }
+    }
+
+    /// All-to-all personalised exchange: rank `r` supplies one value per
+    /// destination and receives one value per source (`values[d]` goes to
+    /// rank `d`; the result's slot `s` came from rank `s`). The data
+    /// shuffle underlying distributed re-partitioning.
+    pub fn alltoall<T: Any + Send>(&mut self, values: Vec<T>) -> Vec<T> {
+        let size = self.size();
+        assert_eq!(values.len(), size, "alltoall needs one value per rank");
+        let tag = self.next_collective_tag() | (1 << 60); // alltoall tag space
+        let rank = self.rank();
+        let bytes = std::mem::size_of::<T>();
+        let mut own = None;
+        for (dst, v) in values.into_iter().enumerate() {
+            if dst == rank {
+                own = Some(v);
+            } else {
+                self.csend(dst, tag, v, bytes, OpKind::Gather);
+            }
+        }
+        let mut out: Vec<Option<T>> = (0..size).map(|_| None).collect();
+        out[rank] = own;
+        for src in 0..size {
+            if src != rank {
+                out[src] = Some(self.crecv::<T>(src, tag));
+            }
+        }
+        out.into_iter().map(|v| v.unwrap()).collect()
+    }
+
+    /// Reduce-scatter: element-wise reduce all ranks' `buf`s, then hand
+    /// rank `r` the `r`-th near-equal contiguous chunk of the result.
+    /// (Phase 1 of the ring AllReduce, exposed directly.)
+    pub fn reduce_scatter_with<T, F>(&mut self, buf: Vec<T>, op: F) -> Vec<T>
+    where
+        T: Any + Send + Clone,
+        F: Fn(&mut [T], &[T]),
+    {
+        let size = self.size();
+        let rank = self.rank();
+        let len = buf.len();
+        // Reduce everything to rank 0, then scatter the chunks — simple and
+        // correct; the bandwidth-optimal path is `allreduce_ring`.
+        let reduced = {
+            let tag = self.next_collective_tag();
+            self.reduce_tree(0, buf, op, tag, OpKind::Reduce)
+        };
+        let chunks = reduced.map(|full| {
+            (0..size)
+                .map(|r| {
+                    let q = len / size;
+                    let rem = len % size;
+                    let start = r * q + r.min(rem);
+                    let end = start + q + usize::from(r < rem);
+                    full[start..end].to_vec()
+                })
+                .collect::<Vec<_>>()
+        });
+        let tag2 = self.next_collective_tag() | (1 << 59);
+        if rank == 0 {
+            let chunks = chunks.unwrap();
+            let mut own = None;
+            for (r, chunk) in chunks.into_iter().enumerate() {
+                if r == 0 {
+                    own = Some(chunk);
+                } else {
+                    let bytes = std::mem::size_of::<T>() * chunk.len();
+                    self.csend(r, tag2, chunk, bytes, OpKind::Scatter);
+                }
+            }
+            own.unwrap()
+        } else {
+            self.crecv::<Vec<T>>(0, tag2)
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Tree building blocks.
+    // ------------------------------------------------------------------
+
+    /// Binomial-tree reduce of `local` toward `root`; `Some` on root.
+    fn reduce_tree<T, F>(
+        &mut self,
+        root: usize,
+        mut local: Vec<T>,
+        op: F,
+        tag: u64,
+        kind: OpKind,
+    ) -> Option<Vec<T>>
+    where
+        T: Any + Send,
+        F: Fn(&mut [T], &[T]),
+    {
+        let size = self.size();
+        let rank = self.rank();
+        let vrank = (rank + size - root) % size;
+        let elem_bytes = std::mem::size_of::<T>();
+        let mut mask = 1usize;
+        while mask < size {
+            if vrank & mask == 0 {
+                let vpeer = vrank | mask;
+                if vpeer < size {
+                    let peer = (vpeer + root) % size;
+                    let contribution = self.crecv::<Vec<T>>(peer, tag);
+                    debug_assert_eq!(contribution.len(), local.len(), "reduce length mismatch");
+                    op(&mut local, &contribution);
+                }
+            } else {
+                let vpeer = vrank & !mask;
+                let peer = (vpeer + root) % size;
+                let bytes = elem_bytes * local.len();
+                self.csend(peer, tag, local, bytes, kind);
+                return None;
+            }
+            mask <<= 1;
+        }
+        Some(local)
+    }
+
+    /// Binomial-tree broadcast from `root`; `value` must be `Some` on root.
+    fn broadcast_tree<T>(
+        &mut self,
+        root: usize,
+        value: Option<Vec<T>>,
+        tag: u64,
+        kind: OpKind,
+    ) -> Vec<T>
+    where
+        T: Any + Send + Clone,
+    {
+        let size = self.size();
+        let rank = self.rank();
+        let vrank = (rank + size - root) % size;
+        // Receive phase: a non-root rank waits for its parent (clear the
+        // lowest set bit of vrank).
+        let value = if vrank == 0 {
+            value.expect("broadcast_tree root must supply a value")
+        } else {
+            let lsb = vrank & vrank.wrapping_neg();
+            let vparent = vrank & !lsb;
+            let parent = (vparent + root) % size;
+            // The broadcast tag is offset so it never collides with the
+            // reduce phase of an allreduce sharing the same sequence tag.
+            self.crecv::<Vec<T>>(parent, tag | (1 << 62))
+        };
+        // Send phase: forward to children (set bits above our lowest set
+        // bit, descending).
+        let elem_bytes = std::mem::size_of::<T>();
+        let lowest = if vrank == 0 {
+            // Root: highest power of two below size, descending to 1.
+            let mut m = 1usize;
+            while m < size {
+                m <<= 1;
+            }
+            m
+        } else {
+            vrank & vrank.wrapping_neg()
+        };
+        let mut mask = lowest >> 1;
+        while mask > 0 {
+            let vchild = vrank | mask;
+            if vchild < size && vchild != vrank {
+                let child = (vchild + root) % size;
+                let bytes = elem_bytes * value.len();
+                self.csend(child, tag | (1 << 62), value.clone(), bytes, kind);
+            }
+            mask >>= 1;
+        }
+        value
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::comm::World;
+    use crate::cost::OpKind;
+
+    #[test]
+    fn barrier_all_sizes() {
+        for n in [1, 2, 3, 5, 8] {
+            World::run(n, |comm| {
+                comm.barrier();
+                comm.barrier();
+            });
+        }
+    }
+
+    #[test]
+    fn broadcast_scalar_from_each_root() {
+        for n in [1, 2, 3, 4, 7] {
+            for root in 0..n {
+                let out = World::run(n, move |comm| {
+                    let v = if comm.rank() == root { Some(42u64 + root as u64) } else { None };
+                    comm.broadcast(root, v)
+                });
+                assert_eq!(out, vec![42 + root as u64; n]);
+            }
+        }
+    }
+
+    #[test]
+    fn broadcast_vec_payload() {
+        let out = World::run(5, |comm| {
+            let v = if comm.rank() == 2 {
+                Some(vec![1.5f64, 2.5, 3.5])
+            } else {
+                None
+            };
+            comm.broadcast_vec(2, v)
+        });
+        for v in out {
+            assert_eq!(v, vec![1.5, 2.5, 3.5]);
+        }
+    }
+
+    #[test]
+    fn reduce_sums_to_root() {
+        for n in [1, 2, 3, 6, 9] {
+            let out = World::run(n, move |comm| {
+                let local = vec![comm.rank() as f64, 1.0];
+                comm.reduce_with(0, local, |acc, x| {
+                    for (a, b) in acc.iter_mut().zip(x) {
+                        *a += b;
+                    }
+                })
+            });
+            let expect_sum = (n * (n - 1) / 2) as f64;
+            assert_eq!(out[0].as_ref().unwrap(), &vec![expect_sum, n as f64]);
+            for r in 1..n {
+                assert!(out[r].is_none());
+            }
+        }
+    }
+
+    #[test]
+    fn allreduce_sum_all_sizes_and_types() {
+        for n in [1, 2, 4, 5, 8, 13] {
+            let out = World::run(n, move |comm| {
+                let mut f = vec![comm.rank() as f64; 3];
+                comm.allreduce_sum_f64(&mut f);
+                let mut g = vec![1f32, 2.0];
+                comm.allreduce_sum_f32(&mut g);
+                let mut c = vec![comm.rank() as u64 + 1];
+                comm.allreduce_sum_u64(&mut c);
+                (f, g, c)
+            });
+            let s = (n * (n - 1) / 2) as f64;
+            for (f, g, c) in out {
+                assert_eq!(f, vec![s; 3]);
+                assert_eq!(g, vec![n as f32, 2.0 * n as f32]);
+                assert_eq!(c, vec![(n * (n + 1) / 2) as u64]);
+            }
+        }
+    }
+
+    #[test]
+    fn allreduce_is_bitwise_identical_across_ranks() {
+        // Sums of values with wildly different magnitudes are order
+        // sensitive; the fixed tree must give all ranks the same bits.
+        let out = World::run(7, |comm| {
+            let mut v = vec![(comm.rank() as f64 + 1.0).powi(20) * 1e-3, 1e-9];
+            comm.allreduce_sum_f64(&mut v);
+            v
+        });
+        for w in &out[1..] {
+            assert_eq!(w[0].to_bits(), out[0][0].to_bits());
+            assert_eq!(w[1].to_bits(), out[0][1].to_bits());
+        }
+    }
+
+    #[test]
+    fn min_loc_finds_global_argmin() {
+        let out = World::run(6, |comm| {
+            // Rank r proposes distance 10-r for slot 0 => rank 5 wins with 5.
+            // Slot 1 ties at 1.0: lowest index wins.
+            let mut pairs = vec![
+                ((10 - comm.rank()) as f64, comm.rank() as u64 * 100),
+                (1.0, comm.rank() as u64),
+            ];
+            comm.allreduce_min_loc(&mut pairs);
+            pairs
+        });
+        for pairs in out {
+            assert_eq!(pairs[0], (5.0, 500));
+            assert_eq!(pairs[1], (1.0, 0));
+        }
+    }
+
+    #[test]
+    fn gather_preserves_rank_order() {
+        let out = World::run(5, |comm| comm.gather(3, comm.rank() as u32 * 2));
+        assert_eq!(out[3].as_ref().unwrap(), &vec![0, 2, 4, 6, 8]);
+        assert!(out[0].is_none());
+    }
+
+    #[test]
+    fn allgather_gives_everyone_everything() {
+        let out = World::run(4, |comm| comm.allgather(format!("r{}", comm.rank())));
+        for v in out {
+            assert_eq!(v, vec!["r0", "r1", "r2", "r3"]);
+        }
+    }
+
+    #[test]
+    fn scatter_distributes_by_rank() {
+        let out = World::run(4, |comm| {
+            let values = if comm.rank() == 1 {
+                Some(vec![10, 11, 12, 13])
+            } else {
+                None
+            };
+            comm.scatter(1, values)
+        });
+        assert_eq!(out, vec![10, 11, 12, 13]);
+    }
+
+    #[test]
+    fn collectives_on_split_communicators() {
+        let out = World::run(6, |comm| {
+            let mut sub = comm.split((comm.rank() % 2) as u64, comm.rank() as u64);
+            let mut v = vec![comm.rank() as f64];
+            sub.allreduce_sum_f64(&mut v);
+            v[0]
+        });
+        // Evens: 0+2+4=6; odds: 1+3+5=9.
+        assert_eq!(out, vec![6.0, 9.0, 6.0, 9.0, 6.0, 9.0]);
+    }
+
+    #[test]
+    fn back_to_back_collectives_do_not_mix() {
+        let out = World::run(4, |comm| {
+            let mut a = vec![1.0f64];
+            comm.allreduce_sum_f64(&mut a);
+            let mut b = vec![10.0f64];
+            comm.allreduce_sum_f64(&mut b);
+            let c = comm.broadcast(0, Some(comm.rank() as u64)); // root value 0
+            (a[0], b[0], c)
+        });
+        for (a, b, c) in out {
+            assert_eq!((a, b, c), (4.0, 40.0, 0));
+        }
+    }
+
+    #[test]
+    fn alltoall_transposes() {
+        let out = World::run(4, |comm| {
+            // values[d] = 10·rank + d; after the exchange slot s holds
+            // 10·s + rank — the transpose.
+            let values: Vec<u32> = (0..4).map(|d| comm.rank() as u32 * 10 + d).collect();
+            comm.alltoall(values)
+        });
+        for (rank, received) in out.iter().enumerate() {
+            for (src, &v) in received.iter().enumerate() {
+                assert_eq!(v, src as u32 * 10 + rank as u32);
+            }
+        }
+    }
+
+    #[test]
+    fn alltoall_single_rank_is_identity() {
+        let out = World::run(1, |comm| comm.alltoall(vec![String::from("me")]));
+        assert_eq!(out[0], vec!["me"]);
+    }
+
+    #[test]
+    fn reduce_scatter_hands_out_summed_chunks() {
+        for (p, len) in [(4usize, 8usize), (3, 10), (5, 3)] {
+            let out = World::run(p, move |comm| {
+                let buf: Vec<f64> = (0..len).map(|i| (comm.rank() + i) as f64).collect();
+                comm.reduce_scatter_with(buf, |acc, x| {
+                    for (a, b) in acc.iter_mut().zip(x) {
+                        *a += b;
+                    }
+                })
+            });
+            // Reassemble the scattered chunks: they must equal the full sum.
+            let rank_sum = (p * (p - 1) / 2) as f64;
+            let mut reassembled = Vec::new();
+            for chunk in out {
+                reassembled.extend(chunk);
+            }
+            assert_eq!(reassembled.len(), len, "p={p} len={len}");
+            for (i, &v) in reassembled.iter().enumerate() {
+                assert_eq!(v, rank_sum + (p * i) as f64, "p={p} len={len} slot {i}");
+            }
+        }
+    }
+
+    #[test]
+    fn cost_log_reflects_collective_traffic() {
+        let (_, costs) = World::run_with_cost(4, |comm| {
+            let mut v = vec![0f64; 100];
+            comm.allreduce_sum_f64(&mut v);
+        });
+        let total: u64 = costs.iter().map(|c| c.bytes_of(OpKind::AllReduce)).sum();
+        // Binomial reduce: 3 messages of 800 B; broadcast: 3 more.
+        assert_eq!(total, 6 * 800);
+        let msgs: u64 = costs.iter().map(|c| c.messages_of(OpKind::AllReduce)).sum();
+        assert_eq!(msgs, 6);
+    }
+
+    #[test]
+    fn reduce_with_non_commutative_awareness() {
+        // Max-reduce works too; op need not be addition.
+        let out = World::run(5, |comm| {
+            let mut v = vec![comm.rank() as f64];
+            comm.allreduce_with(&mut v, |acc, x| {
+                for (a, b) in acc.iter_mut().zip(x) {
+                    *a = a.max(*b);
+                }
+            });
+            v[0]
+        });
+        assert_eq!(out, vec![4.0; 5]);
+    }
+}

@@ -1,0 +1,810 @@
+//! The SPMD world, communicators and point-to-point messaging.
+
+use crate::cost::{CostLog, OpKind};
+use crossbeam_channel::{unbounded, Receiver, Sender};
+use std::any::Any;
+use std::cell::RefCell;
+use std::rc::Rc;
+use std::sync::Arc;
+use std::time::Duration;
+
+/// Payload envelope travelling between ranks.
+struct Packet {
+    src_world: usize,
+    comm_id: u64,
+    tag: u64,
+    data: Box<dyn Any + Send>,
+}
+
+/// State shared by every rank of a world.
+struct WorldShared {
+    /// One inbound channel per world rank; anyone may send into it.
+    senders: Vec<Sender<Packet>>,
+    n_ranks: usize,
+}
+
+/// A rank's single inbound mailbox, shared by all communicators of that
+/// rank (parent and split children pull from the same stream, so unmatched
+/// packets must be stashed where every communicator can see them).
+struct Mailbox {
+    rx: Receiver<Packet>,
+    stash: Vec<Packet>,
+}
+
+impl Mailbox {
+    /// Non-blocking probe: drain whatever has arrived, return a match if
+    /// one exists now.
+    fn try_match_packet(&mut self, src_world: usize, comm_id: u64, tag: u64) -> Option<Packet> {
+        while let Ok(p) = self.rx.try_recv() {
+            self.stash.push(p);
+        }
+        self.stash
+            .iter()
+            .position(|p| p.src_world == src_world && p.comm_id == comm_id && p.tag == tag)
+            .map(|pos| self.stash.remove(pos))
+    }
+
+    /// Pull packets until one matches `(src_world, comm, tag)`, stashing the
+    /// rest.
+    fn match_packet(
+        &mut self,
+        receiver_world_rank: usize,
+        src_world: usize,
+        comm_id: u64,
+        tag: u64,
+        timeout: Duration,
+    ) -> Result<Packet, RecvError> {
+        if let Some(pos) = self
+            .stash
+            .iter()
+            .position(|p| p.src_world == src_world && p.comm_id == comm_id && p.tag == tag)
+        {
+            return Ok(self.stash.remove(pos));
+        }
+        let deadline = std::time::Instant::now() + timeout;
+        loop {
+            let remaining = deadline
+                .checked_duration_since(std::time::Instant::now())
+                .unwrap_or(Duration::ZERO);
+            match self.rx.recv_timeout(remaining) {
+                Ok(p) => {
+                    if p.src_world == src_world && p.comm_id == comm_id && p.tag == tag {
+                        return Ok(p);
+                    }
+                    self.stash.push(p);
+                }
+                Err(crossbeam_channel::RecvTimeoutError::Timeout) => {
+                    return Err(RecvError::Timeout {
+                        receiver_world_rank,
+                        from_world_rank: src_world,
+                        tag,
+                    })
+                }
+                Err(crossbeam_channel::RecvTimeoutError::Disconnected) => {
+                    return Err(RecvError::Disconnected)
+                }
+            }
+        }
+    }
+}
+
+/// Errors surfaced by receive operations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RecvError {
+    /// No matching message arrived within the deadline. Almost always a
+    /// deadlock in the SPMD program (mismatched collective order).
+    Timeout {
+        receiver_world_rank: usize,
+        from_world_rank: usize,
+        tag: u64,
+    },
+    /// The message matched but carried a different payload type.
+    TypeMismatch { from_world_rank: usize, tag: u64 },
+    /// All senders disconnected (a peer rank panicked).
+    Disconnected,
+}
+
+impl std::fmt::Display for RecvError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RecvError::Timeout {
+                receiver_world_rank,
+                from_world_rank,
+                tag,
+            } => write!(
+                f,
+                "rank {receiver_world_rank} timed out waiting for message from rank \
+                 {from_world_rank} (tag {tag}); likely SPMD deadlock"
+            ),
+            RecvError::TypeMismatch { from_world_rank, tag } => write!(
+                f,
+                "message from rank {from_world_rank} (tag {tag}) had unexpected payload type"
+            ),
+            RecvError::Disconnected => write!(f, "peer rank disconnected (panicked?)"),
+        }
+    }
+}
+
+impl std::error::Error for RecvError {}
+
+/// An SPMD world: spawns `n` ranks as scoped threads and runs the same
+/// closure on each.
+///
+/// ```
+/// use msg::World;
+///
+/// let sums = World::run(4, |comm| {
+///     let mut v = vec![comm.rank() as f64];
+///     comm.allreduce_sum_f64(&mut v);
+///     v[0]
+/// });
+/// assert_eq!(sums, vec![6.0; 4]);
+/// ```
+pub struct World;
+
+impl World {
+    /// Spawn `n_ranks` threads, run `f` on each, and return the per-rank
+    /// results in rank order. A panic in any rank propagates.
+    pub fn run<T, F>(n_ranks: usize, f: F) -> Vec<T>
+    where
+        T: Send,
+        F: Fn(&mut Comm) -> T + Sync,
+    {
+        Self::run_with_timeout(n_ranks, Duration::from_secs(60), f)
+    }
+
+    /// [`World::run`] with an explicit receive deadline.
+    pub fn run_with_timeout<T, F>(n_ranks: usize, timeout: Duration, f: F) -> Vec<T>
+    where
+        T: Send,
+        F: Fn(&mut Comm) -> T + Sync,
+    {
+        Self::run_full(n_ranks, timeout, f)
+            .into_iter()
+            .map(|(v, _)| v)
+            .collect()
+    }
+
+    /// Like [`World::run`] but also returns each rank's communication cost
+    /// log, for feeding the performance model.
+    pub fn run_with_cost<T, F>(n_ranks: usize, f: F) -> (Vec<T>, Vec<CostLog>)
+    where
+        T: Send,
+        F: Fn(&mut Comm) -> T + Sync,
+    {
+        Self::run_full(n_ranks, Duration::from_secs(60), f)
+            .into_iter()
+            .unzip()
+    }
+
+    fn run_full<T, F>(n_ranks: usize, timeout: Duration, f: F) -> Vec<(T, CostLog)>
+    where
+        T: Send,
+        F: Fn(&mut Comm) -> T + Sync,
+    {
+        assert!(n_ranks > 0, "world must have at least one rank");
+        let mut senders = Vec::with_capacity(n_ranks);
+        let mut receivers = Vec::with_capacity(n_ranks);
+        for _ in 0..n_ranks {
+            let (tx, rx) = unbounded();
+            senders.push(tx);
+            receivers.push(rx);
+        }
+        let shared = Arc::new(WorldShared { senders, n_ranks });
+
+        let mut out: Vec<Option<(T, CostLog)>> = (0..n_ranks).map(|_| None).collect();
+        std::thread::scope(|scope| {
+            let mut handles = Vec::with_capacity(n_ranks);
+            for (rank, rx) in receivers.into_iter().enumerate() {
+                let shared = shared.clone();
+                let f = &f;
+                handles.push(scope.spawn(move || {
+                    let mailbox = Rc::new(RefCell::new(Mailbox {
+                        rx,
+                        stash: Vec::new(),
+                    }));
+                    let cost = Rc::new(RefCell::new(CostLog::new()));
+                    let mut comm = Comm {
+                        world_rank: rank,
+                        shared,
+                        mailbox,
+                        timeout,
+                        comm_id: 0,
+                        members: None,
+                        rank_in_comm: rank,
+                        next_comm_seed: 1,
+                        collective_seq: 0,
+                        cost: cost.clone(),
+                    };
+                    let result = f(&mut comm);
+                    drop(comm);
+                    let cost = Rc::try_unwrap(cost)
+                        .map(|c| c.into_inner())
+                        .unwrap_or_else(|rc| rc.borrow().clone());
+                    (result, cost)
+                }));
+            }
+            for (rank, h) in handles.into_iter().enumerate() {
+                match h.join() {
+                    Ok(pair) => out[rank] = Some(pair),
+                    Err(p) => std::panic::resume_unwind(p),
+                }
+            }
+        });
+        out.into_iter()
+            .map(|v| v.expect("rank produced no result"))
+            .collect()
+    }
+}
+
+/// A communicator handle owned by one rank: the world communicator initially,
+/// or a sub-communicator produced by [`Comm::split`].
+///
+/// All communicators of one rank share a single mailbox and a single cost
+/// log; messages are matched on `(source, communicator id, tag)`.
+pub struct Comm {
+    world_rank: usize,
+    shared: Arc<WorldShared>,
+    mailbox: Rc<RefCell<Mailbox>>,
+    timeout: Duration,
+    /// Identifier of this communicator; the world communicator is 0.
+    comm_id: u64,
+    /// World ranks of this communicator's members in rank order; `None`
+    /// means "all world ranks, identity order".
+    members: Option<Arc<Vec<usize>>>,
+    rank_in_comm: usize,
+    /// Deterministic seed for deriving child communicator ids.
+    next_comm_seed: u64,
+    /// Sequence number mixed into collective tags so back-to-back
+    /// collectives on the same communicator never match each other.
+    collective_seq: u64,
+    /// Per-rank communication accounting, shared across this rank's
+    /// communicators.
+    cost: Rc<RefCell<CostLog>>,
+}
+
+/// Tag bit reserved for collective-internal messages.
+const COLLECTIVE_TAG_BIT: u64 = 1 << 63;
+
+impl Comm {
+    /// This rank within this communicator.
+    pub fn rank(&self) -> usize {
+        self.rank_in_comm
+    }
+
+    /// Number of ranks in this communicator.
+    pub fn size(&self) -> usize {
+        match &self.members {
+            Some(m) => m.len(),
+            None => self.shared.n_ranks,
+        }
+    }
+
+    /// This rank's world rank (stable across splits).
+    pub fn world_rank(&self) -> usize {
+        self.world_rank
+    }
+
+    /// World rank of communicator rank `r`.
+    pub fn world_rank_of(&self, r: usize) -> usize {
+        match &self.members {
+            Some(m) => m[r],
+            None => r,
+        }
+    }
+
+    /// Snapshot of this rank's accumulated communication cost.
+    pub fn cost_snapshot(&self) -> CostLog {
+        self.cost.borrow().clone()
+    }
+
+    /// Send `value` to communicator rank `dst` with `tag`. Never blocks.
+    pub fn send<T: Any + Send>(&mut self, dst: usize, tag: u64, value: T) {
+        assert!(
+            tag & COLLECTIVE_TAG_BIT == 0,
+            "user tags must not set the collective bit"
+        );
+        self.send_sized(dst, tag, value, std::mem::size_of::<T>(), OpKind::PointToPoint);
+    }
+
+    /// Send a `Vec<T>`, accounting its true payload size.
+    pub fn send_vec<T: Any + Send>(&mut self, dst: usize, tag: u64, value: Vec<T>) {
+        assert!(
+            tag & COLLECTIVE_TAG_BIT == 0,
+            "user tags must not set the collective bit"
+        );
+        let bytes = std::mem::size_of::<T>() * value.len();
+        self.send_sized(dst, tag, value, bytes, OpKind::PointToPoint);
+    }
+
+    fn send_sized<T: Any + Send>(
+        &mut self,
+        dst: usize,
+        tag: u64,
+        value: T,
+        bytes: usize,
+        kind: OpKind,
+    ) {
+        let dst_world = self.world_rank_of(dst);
+        self.cost.borrow_mut().record(kind, self.world_rank, dst_world, bytes);
+        self.shared.senders[dst_world]
+            .send(Packet {
+                src_world: self.world_rank,
+                comm_id: self.comm_id,
+                tag,
+                data: Box::new(value),
+            })
+            .expect("receiver channel closed");
+    }
+
+    /// Receive a `T` from communicator rank `src` with `tag`, blocking until
+    /// it arrives (or the deadline passes).
+    pub fn recv<T: Any + Send>(&mut self, src: usize, tag: u64) -> Result<T, RecvError> {
+        assert!(
+            tag & COLLECTIVE_TAG_BIT == 0,
+            "user tags must not set the collective bit"
+        );
+        self.recv_any(src, tag)
+    }
+
+    fn recv_any<T: Any + Send>(&mut self, src: usize, tag: u64) -> Result<T, RecvError> {
+        let src_world = self.world_rank_of(src);
+        let packet = self.mailbox.borrow_mut().match_packet(
+            self.world_rank,
+            src_world,
+            self.comm_id,
+            tag,
+            self.timeout,
+        )?;
+        packet
+            .data
+            .downcast::<T>()
+            .map(|b| *b)
+            .map_err(|_| RecvError::TypeMismatch {
+                from_world_rank: src_world,
+                tag,
+            })
+    }
+
+    /// Receive a `Vec<T>` from communicator rank `src` with `tag`.
+    pub fn recv_vec<T: Any + Send>(&mut self, src: usize, tag: u64) -> Result<Vec<T>, RecvError> {
+        self.recv::<Vec<T>>(src, tag)
+    }
+
+    /// Collective-internal typed send (size accounted explicitly).
+    pub(crate) fn csend<T: Any + Send>(
+        &mut self,
+        dst: usize,
+        seq_tag: u64,
+        value: T,
+        bytes: usize,
+        kind: OpKind,
+    ) {
+        self.send_sized(dst, COLLECTIVE_TAG_BIT | seq_tag, value, bytes, kind);
+    }
+
+    /// Collective-internal typed receive; panics on failure (a collective
+    /// cannot meaningfully continue after a lost message).
+    pub(crate) fn crecv<T: Any + Send>(&mut self, src: usize, seq_tag: u64) -> T {
+        self.recv_any(src, COLLECTIVE_TAG_BIT | seq_tag)
+            .unwrap_or_else(|e| panic!("collective receive failed: {e}"))
+    }
+
+    /// Fresh tag for the next collective on this communicator.
+    pub(crate) fn next_collective_tag(&mut self) -> u64 {
+        let t = self.collective_seq;
+        self.collective_seq += 1;
+        t
+    }
+
+    /// Post a non-blocking receive: returns immediately with a
+    /// [`RecvRequest`] that can be polled ([`RecvRequest::test`]) or waited
+    /// on ([`RecvRequest::wait`]) — `MPI_Irecv` semantics. The matching
+    /// message may arrive before or after the request is posted.
+    ///
+    /// ```
+    /// use msg::World;
+    ///
+    /// let out = World::run(2, |comm| {
+    ///     if comm.rank() == 0 {
+    ///         comm.send(1, 3, 42u32);
+    ///         0
+    ///     } else {
+    ///         let req = comm.irecv::<u32>(0, 3);
+    ///         // ... overlap computation here ...
+    ///         req.wait(comm).unwrap()
+    ///     }
+    /// });
+    /// assert_eq!(out[1], 42);
+    /// ```
+    pub fn irecv<T: Any + Send>(&self, src: usize, tag: u64) -> RecvRequest<T> {
+        assert!(
+            tag & COLLECTIVE_TAG_BIT == 0,
+            "user tags must not set the collective bit"
+        );
+        RecvRequest {
+            src_world: self.world_rank_of(src),
+            comm_id: self.comm_id,
+            tag,
+            _payload: std::marker::PhantomData,
+        }
+    }
+
+    /// Split this communicator into sub-communicators by `color`, ordering
+    /// ranks within each child by `(key, parent rank)` — the semantics of
+    /// `MPI_Comm_split`. Every rank of the parent must call this.
+    pub fn split(&mut self, color: u64, key: u64) -> Comm {
+        let triples = self.allgather((color, key, self.world_rank));
+        let mut members: Vec<(u64, usize, usize)> = triples
+            .iter()
+            .enumerate()
+            .filter(|(_, (c, _, _))| *c == color)
+            .map(|(parent_rank, (_, k, w))| (*k, parent_rank, *w))
+            .collect();
+        members.sort();
+        let world_members: Vec<usize> = members.iter().map(|&(_, _, w)| w).collect();
+        let rank_in_child = members
+            .iter()
+            .position(|&(_, _, w)| w == self.world_rank)
+            .expect("calling rank missing from its own split");
+
+        // Derive a child id every member computes identically. The seed
+        // advances on the parent so sequential splits get distinct ids.
+        let seed = self.next_comm_seed;
+        self.next_comm_seed += 1;
+        let child_id = fxhash64(self.comm_id, seed, color);
+
+        Comm {
+            world_rank: self.world_rank,
+            shared: self.shared.clone(),
+            mailbox: self.mailbox.clone(),
+            timeout: self.timeout,
+            comm_id: child_id,
+            members: Some(Arc::new(world_members)),
+            rank_in_comm: rank_in_child,
+            next_comm_seed: 1,
+            collective_seq: 0,
+            cost: self.cost.clone(),
+        }
+    }
+}
+
+/// A posted non-blocking receive (see [`Comm::irecv`]). The request is
+/// detached from the communicator so computation can proceed; complete it
+/// with [`RecvRequest::test`] or [`RecvRequest::wait`] on any communicator
+/// handle of the same rank (they share the mailbox).
+#[must_use = "a posted receive must be completed with test() or wait()"]
+pub struct RecvRequest<T> {
+    src_world: usize,
+    comm_id: u64,
+    tag: u64,
+    _payload: std::marker::PhantomData<fn() -> T>,
+}
+
+impl<T: Any + Send> RecvRequest<T> {
+    /// Poll for completion without blocking: `Ok(Some(value))` if the
+    /// message has arrived, `Ok(None)` if not yet.
+    pub fn test(&self, comm: &mut Comm) -> Result<Option<T>, RecvError> {
+        match comm
+            .mailbox
+            .borrow_mut()
+            .try_match_packet(self.src_world, self.comm_id, self.tag)
+        {
+            Some(packet) => packet
+                .data
+                .downcast::<T>()
+                .map(|b| Some(*b))
+                .map_err(|_| RecvError::TypeMismatch {
+                    from_world_rank: self.src_world,
+                    tag: self.tag,
+                }),
+            None => Ok(None),
+        }
+    }
+
+    /// Block until the message arrives (or the communicator deadline hits).
+    pub fn wait(self, comm: &mut Comm) -> Result<T, RecvError> {
+        let packet = comm.mailbox.borrow_mut().match_packet(
+            comm.world_rank,
+            self.src_world,
+            self.comm_id,
+            self.tag,
+            comm.timeout,
+        )?;
+        packet
+            .data
+            .downcast::<T>()
+            .map(|b| *b)
+            .map_err(|_| RecvError::TypeMismatch {
+                from_world_rank: self.src_world,
+                tag: self.tag,
+            })
+    }
+}
+
+/// Wait on a batch of same-typed requests, returning values in order.
+pub fn wait_all<T: Any + Send>(
+    requests: Vec<RecvRequest<T>>,
+    comm: &mut Comm,
+) -> Result<Vec<T>, RecvError> {
+    requests.into_iter().map(|r| r.wait(comm)).collect()
+}
+
+/// A tiny deterministic 64-bit mix (FNV/rotate-style) for communicator ids.
+fn fxhash64(a: u64, b: u64, c: u64) -> u64 {
+    let mut h = 0xcbf29ce484222325u64;
+    for v in [a, b, c] {
+        h ^= v;
+        h = h.wrapping_mul(0x100000001b3);
+        h = h.rotate_left(29);
+    }
+    h | 1 // never collide with the world id 0
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn single_rank_world_runs() {
+        let out = World::run(1, |comm| {
+            assert_eq!(comm.rank(), 0);
+            assert_eq!(comm.size(), 1);
+            7
+        });
+        assert_eq!(out, vec![7]);
+    }
+
+    #[test]
+    fn p2p_round_trip() {
+        let out = World::run(2, |comm| {
+            if comm.rank() == 0 {
+                comm.send(1, 42, String::from("hello"));
+                comm.recv::<i64>(1, 43).unwrap()
+            } else {
+                let s = comm.recv::<String>(0, 42).unwrap();
+                assert_eq!(s, "hello");
+                comm.send(0, 43, 99i64);
+                0
+            }
+        });
+        assert_eq!(out[0], 99);
+    }
+
+    #[test]
+    fn out_of_order_tags_are_stashed() {
+        let out = World::run(2, |comm| {
+            if comm.rank() == 0 {
+                comm.send(1, 1, 10i32);
+                comm.send(1, 2, 20i32);
+                0
+            } else {
+                // Receive in the opposite order of sending.
+                let b = comm.recv::<i32>(0, 2).unwrap();
+                let a = comm.recv::<i32>(0, 1).unwrap();
+                a + b * 100
+            }
+        });
+        assert_eq!(out[1], 2010);
+    }
+
+    #[test]
+    fn vec_payloads_account_bytes() {
+        let (_, costs) = World::run_with_cost(2, |comm| {
+            if comm.rank() == 0 {
+                comm.send_vec(1, 7, vec![0f64; 100]);
+            } else {
+                let v = comm.recv_vec::<f64>(0, 7).unwrap();
+                assert_eq!(v.len(), 100);
+            }
+        });
+        assert_eq!(costs[0].total_bytes(), 800);
+        assert_eq!(costs[1].total_bytes(), 0);
+    }
+
+    #[test]
+    fn zero_length_payloads_work() {
+        World::run(2, |comm| {
+            if comm.rank() == 0 {
+                comm.send_vec::<f32>(1, 3, Vec::new());
+            } else {
+                let v = comm.recv_vec::<f32>(0, 3).unwrap();
+                assert!(v.is_empty());
+            }
+        });
+    }
+
+    #[test]
+    fn type_mismatch_is_detected() {
+        World::run(2, |comm| {
+            if comm.rank() == 0 {
+                comm.send(1, 5, 1u8);
+            } else {
+                let err = comm.recv::<String>(0, 5).unwrap_err();
+                assert!(matches!(err, RecvError::TypeMismatch { .. }));
+            }
+        });
+    }
+
+    #[test]
+    fn recv_timeout_reports_deadlock() {
+        let out = World::run_with_timeout(2, Duration::from_millis(50), |comm| {
+            if comm.rank() == 1 {
+                // Nobody ever sends this.
+                let err = comm.recv::<u8>(0, 9).unwrap_err();
+                matches!(err, RecvError::Timeout { .. })
+            } else {
+                true
+            }
+        });
+        assert!(out[1]);
+    }
+
+    #[test]
+    fn split_groups_by_color() {
+        let out = World::run(6, |comm| {
+            let color = (comm.rank() % 2) as u64;
+            let sub = comm.split(color, comm.rank() as u64);
+            (color, sub.rank(), sub.size(), sub.world_rank_of(0))
+        });
+        // Even world ranks 0,2,4 form color 0; odd 1,3,5 color 1.
+        assert_eq!(out[0], (0, 0, 3, 0));
+        assert_eq!(out[2], (0, 1, 3, 0));
+        assert_eq!(out[4], (0, 2, 3, 0));
+        assert_eq!(out[1], (1, 0, 3, 1));
+        assert_eq!(out[5], (1, 2, 3, 1));
+    }
+
+    #[test]
+    fn split_key_reorders_ranks() {
+        let out = World::run(4, |comm| {
+            // Reverse order inside one color.
+            let sub = comm.split(0, (100 - comm.rank()) as u64);
+            sub.rank()
+        });
+        assert_eq!(out, vec![3, 2, 1, 0]);
+    }
+
+    #[test]
+    fn sub_communicators_do_not_cross_talk() {
+        let out = World::run(4, |comm| {
+            let mut sub = comm.split((comm.rank() / 2) as u64, comm.rank() as u64);
+            // Each pair exchanges within itself using identical tags.
+            let peer = 1 - sub.rank();
+            sub.send(peer, 1, comm.rank() as u64 * 10);
+            sub.recv::<u64>(peer, 1).unwrap()
+        });
+        assert_eq!(out, vec![10, 0, 30, 20]);
+    }
+
+    #[test]
+    fn parent_and_child_interleave_without_loss() {
+        // A message sent on the parent while the child is receiving must not
+        // be swallowed by the child.
+        let out = World::run(2, |comm| {
+            let mut sub = comm.split(0, comm.rank() as u64);
+            if comm.rank() == 0 {
+                comm.send(1, 8, 111u32); // parent-comm message first
+                sub.send(1, 8, 222u32); // child-comm message second
+                0
+            } else {
+                // Receive child message first: the parent packet arrives
+                // earlier and must be stashed, then still be deliverable.
+                let child_val = sub.recv::<u32>(0, 8).unwrap();
+                let parent_val = comm.recv::<u32>(0, 8).unwrap();
+                assert_eq!((child_val, parent_val), (222, 111));
+                1
+            }
+        });
+        assert_eq!(out, vec![0, 1]);
+    }
+
+    #[test]
+    fn nested_splits() {
+        let out = World::run(8, |comm| {
+            let mut half = comm.split((comm.rank() / 4) as u64, comm.rank() as u64);
+            let quarter = half.split((half.rank() / 2) as u64, half.rank() as u64);
+            (half.size(), quarter.size(), quarter.rank())
+        });
+        for (i, &(h, q, qr)) in out.iter().enumerate() {
+            assert_eq!(h, 4);
+            assert_eq!(q, 2);
+            assert_eq!(qr, i % 2);
+        }
+    }
+
+    #[test]
+    fn irecv_test_polls_without_blocking() {
+        World::run(2, |comm| {
+            if comm.rank() == 0 {
+                // Wait for the poller to have polled at least once.
+                let go = comm.recv::<u8>(1, 1).unwrap();
+                assert_eq!(go, 7);
+                comm.send(1, 2, String::from("late"));
+            } else {
+                let req = comm.irecv::<String>(0, 2);
+                assert_eq!(req.test(comm).unwrap(), None); // nothing yet
+                comm.send(0, 1, 7u8);
+                let v = req.wait(comm).unwrap();
+                assert_eq!(v, "late");
+            }
+        });
+    }
+
+    #[test]
+    fn irecv_matches_message_that_arrived_first() {
+        World::run(2, |comm| {
+            if comm.rank() == 0 {
+                comm.send(1, 5, 99i64);
+                comm.barrier();
+            } else {
+                comm.barrier(); // message is certainly in flight/stashed now
+                let req = comm.irecv::<i64>(0, 5);
+                // test() must find it without blocking.
+                let mut got = None;
+                for _ in 0..1_000 {
+                    if let Some(v) = req.test(comm).unwrap() {
+                        got = Some(v);
+                        break;
+                    }
+                    std::thread::yield_now();
+                }
+                assert_eq!(got, Some(99));
+            }
+        });
+    }
+
+    #[test]
+    fn wait_all_collects_in_order() {
+        let out = World::run(3, |comm| {
+            if comm.rank() == 0 {
+                let reqs: Vec<_> = (1..3).map(|r| comm.irecv::<u32>(r, 4)).collect();
+                crate::comm::wait_all(reqs, comm).unwrap()
+            } else {
+                comm.send(0, 4, comm.rank() as u32 * 100);
+                Vec::new()
+            }
+        });
+        assert_eq!(out[0], vec![100, 200]);
+    }
+
+    #[test]
+    fn irecv_type_mismatch_detected_by_test() {
+        World::run(2, |comm| {
+            if comm.rank() == 0 {
+                comm.send(1, 6, 1u8);
+                comm.barrier();
+            } else {
+                comm.barrier();
+                let req = comm.irecv::<String>(0, 6);
+                // Poll until the packet lands, then the downcast must fail.
+                loop {
+                    match req.test(comm) {
+                        Ok(None) => std::thread::yield_now(),
+                        Ok(Some(_)) => panic!("downcast should fail"),
+                        Err(e) => {
+                            assert!(matches!(e, RecvError::TypeMismatch { .. }));
+                            break;
+                        }
+                    }
+                }
+            }
+        });
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one rank")]
+    fn empty_world_rejected() {
+        World::run(0, |_| ());
+    }
+
+    #[test]
+    #[should_panic(expected = "collective bit")]
+    fn reserved_tag_rejected() {
+        World::run(2, |comm| {
+            if comm.rank() == 0 {
+                comm.send(1, 1 << 63, 0u8);
+            }
+        });
+    }
+}

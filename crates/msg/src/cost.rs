@@ -1,0 +1,161 @@
+//! Communication cost accounting.
+//!
+//! A functional run on host threads tells us nothing directly about Sunway
+//! wall time, but it does expose the exact communication pattern: who sent
+//! how many bytes to whom, and in what kind of operation. The performance
+//! model prices these records with link-class bandwidths to recover modelled
+//! time, which keeps the functional executors and the analytic model honest
+//! with each other.
+
+/// What kind of operation produced a message.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum OpKind {
+    PointToPoint,
+    Barrier,
+    Broadcast,
+    Reduce,
+    AllReduce,
+    Gather,
+    AllGather,
+    Scatter,
+    MinLoc,
+}
+
+impl OpKind {
+    pub const ALL: [OpKind; 9] = [
+        OpKind::PointToPoint,
+        OpKind::Barrier,
+        OpKind::Broadcast,
+        OpKind::Reduce,
+        OpKind::AllReduce,
+        OpKind::Gather,
+        OpKind::AllGather,
+        OpKind::Scatter,
+        OpKind::MinLoc,
+    ];
+
+    fn index(self) -> usize {
+        match self {
+            OpKind::PointToPoint => 0,
+            OpKind::Barrier => 1,
+            OpKind::Broadcast => 2,
+            OpKind::Reduce => 3,
+            OpKind::AllReduce => 4,
+            OpKind::Gather => 5,
+            OpKind::AllGather => 6,
+            OpKind::Scatter => 7,
+            OpKind::MinLoc => 8,
+        }
+    }
+}
+
+/// One message as seen by the sender.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct OpRecord {
+    pub kind: OpKind,
+    pub src_world_rank: usize,
+    pub dst_world_rank: usize,
+    pub bytes: usize,
+}
+
+/// Per-rank tally of messages sent, by operation kind, plus the full record
+/// stream.
+#[derive(Debug, Clone, Default)]
+pub struct CostLog {
+    records: Vec<OpRecord>,
+    bytes_by_kind: [u64; 9],
+    msgs_by_kind: [u64; 9],
+}
+
+impl CostLog {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    pub fn record(&mut self, kind: OpKind, src: usize, dst: usize, bytes: usize) {
+        self.records.push(OpRecord {
+            kind,
+            src_world_rank: src,
+            dst_world_rank: dst,
+            bytes,
+        });
+        self.bytes_by_kind[kind.index()] += bytes as u64;
+        self.msgs_by_kind[kind.index()] += 1;
+    }
+
+    /// All messages this rank sent, in order.
+    pub fn records(&self) -> &[OpRecord] {
+        &self.records
+    }
+
+    /// Total bytes this rank sent.
+    pub fn total_bytes(&self) -> u64 {
+        self.bytes_by_kind.iter().sum()
+    }
+
+    /// Total messages this rank sent.
+    pub fn total_messages(&self) -> u64 {
+        self.msgs_by_kind.iter().sum()
+    }
+
+    /// Bytes sent in operations of `kind`.
+    pub fn bytes_of(&self, kind: OpKind) -> u64 {
+        self.bytes_by_kind[kind.index()]
+    }
+
+    /// Messages sent in operations of `kind`.
+    pub fn messages_of(&self, kind: OpKind) -> u64 {
+        self.msgs_by_kind[kind.index()]
+    }
+
+    /// Fold another log into this one.
+    pub fn merge(&mut self, other: &CostLog) {
+        self.records.extend_from_slice(&other.records);
+        for i in 0..9 {
+            self.bytes_by_kind[i] += other.bytes_by_kind[i];
+            self.msgs_by_kind[i] += other.msgs_by_kind[i];
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tallies_by_kind() {
+        let mut log = CostLog::new();
+        log.record(OpKind::AllReduce, 0, 1, 100);
+        log.record(OpKind::AllReduce, 0, 2, 50);
+        log.record(OpKind::PointToPoint, 0, 1, 8);
+        assert_eq!(log.total_bytes(), 158);
+        assert_eq!(log.total_messages(), 3);
+        assert_eq!(log.bytes_of(OpKind::AllReduce), 150);
+        assert_eq!(log.messages_of(OpKind::AllReduce), 2);
+        assert_eq!(log.bytes_of(OpKind::Gather), 0);
+        assert_eq!(log.records().len(), 3);
+    }
+
+    #[test]
+    fn merge_combines() {
+        let mut a = CostLog::new();
+        a.record(OpKind::Reduce, 0, 1, 10);
+        let mut b = CostLog::new();
+        b.record(OpKind::Reduce, 1, 0, 20);
+        b.record(OpKind::Barrier, 1, 0, 0);
+        a.merge(&b);
+        assert_eq!(a.total_bytes(), 30);
+        assert_eq!(a.total_messages(), 3);
+        assert_eq!(a.messages_of(OpKind::Barrier), 1);
+    }
+
+    #[test]
+    fn kind_indices_are_dense_and_unique() {
+        let mut seen = [false; 9];
+        for k in OpKind::ALL {
+            assert!(!seen[k.index()]);
+            seen[k.index()] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+}

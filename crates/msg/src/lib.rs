@@ -1,0 +1,33 @@
+//! A threaded SPMD message-passing runtime with MPI-style collectives.
+//!
+//! The paper's implementation uses MPI between core groups and register
+//! communication inside a core group. This crate plays the role of MPI for
+//! the functional (actually-computing) executors in `hier-kmeans`: a
+//! [`World`] spawns `n` ranks as scoped threads, each running the same
+//! closure SPMD-style, and gives each a [`Comm`] handle for point-to-point
+//! messages and collectives.
+//!
+//! Highlights:
+//! * **Typed, copy-free p2p** — payloads travel as `Box<dyn Any + Send>`
+//!   between threads of one process; no serialization, no unsafe.
+//! * **MPI semantics** — messages match on `(source, communicator, tag)`
+//!   with out-of-order stashing, so independent exchanges can't cross-talk.
+//! * **Collectives** — barrier, broadcast, reduce, allreduce, gather,
+//!   allgather, scatter, and a min-loc reduce (the argmin merge the k-means
+//!   Assign step needs), all built as binomial trees over p2p.
+//! * **Communicator splitting** — `comm.split(color, key)` carves
+//!   sub-communicators exactly like `MPI_Comm_split`; Level 2/3 use this for
+//!   CPE groups and CG groups.
+//! * **Cost accounting** — every rank tallies messages and bytes per
+//!   collective (see [`cost::CostLog`]), which the performance model prices
+//!   into simulated wall time afterwards.
+//! * **Deadlock surfacing** — receives time out (default 30 s) and panic
+//!   with a precise description instead of hanging a test run forever.
+
+pub mod collectives;
+pub mod ring;
+pub mod comm;
+pub mod cost;
+
+pub use comm::{wait_all, Comm, RecvError, RecvRequest, World};
+pub use cost::{CostLog, OpKind, OpRecord};

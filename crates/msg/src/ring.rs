@@ -1,0 +1,234 @@
+//! Ring collectives: the bandwidth-optimal AllReduce.
+//!
+//! The binomial tree in [`crate::collectives`] moves each rank's full
+//! buffer `log₂(p)` times; the ring moves `2·(p-1)/p` of it in total —
+//! the classical trade (latency vs bandwidth) that the paper's Update
+//! AllReduce faces at large `k·d`. Both are exposed so executors and
+//! benches can compare; the ablation bench quantifies the difference under
+//! the cost model's link classes.
+//!
+//! Algorithm: split the buffer into `p` chunks. Phase 1 (reduce-scatter):
+//! `p-1` steps around the ring; after step `s`, rank `r` holds the partial
+//! reduction of chunk `(r - s + p) mod p` over `s+1` ranks. Phase 2
+//! (allgather): `p-1` more steps circulate the finished chunks. Chunk
+//! reduction order is fixed by ring position, so results are deterministic
+//! across runs and identical on every rank.
+
+use crate::comm::Comm;
+use crate::cost::OpKind;
+use std::any::Any;
+
+/// Chunk `idx` of `0..len` split into `parts` near-equal contiguous pieces.
+fn chunk_range(len: usize, parts: usize, idx: usize) -> std::ops::Range<usize> {
+    let q = len / parts;
+    let r = len % parts;
+    let start = idx * q + idx.min(r);
+    start..start + q + usize::from(idx < r)
+}
+
+impl Comm {
+    /// Ring all-reduce: element-wise `op` over every rank's `buf`,
+    /// bandwidth-optimal. Result identical on every rank.
+    pub fn allreduce_ring<T, F>(&mut self, buf: &mut [T], op: F)
+    where
+        T: Any + Send + Clone,
+        F: Fn(&mut [T], &[T]),
+    {
+        let p = self.size();
+        if p == 1 || buf.is_empty() {
+            return;
+        }
+        // Ring tag space: bit 61 set, sequence in the high bits, step index in
+        // the low 16 bits — consecutive ring collectives can never cross-match.
+        let tag = (1 << 61) | (self.next_collective_tag() << 16);
+        let rank = self.rank();
+        let right = (rank + 1) % p;
+        let left = (rank + p - 1) % p;
+        let elem_bytes = std::mem::size_of::<T>();
+
+        // Phase 1: reduce-scatter. At step s we send the chunk we just
+        // finished accumulating and fold the incoming one.
+        for s in 0..p - 1 {
+            let send_chunk = (rank + p - s) % p;
+            let recv_chunk = (rank + p - s - 1) % p;
+            let send_range = chunk_range(buf.len(), p, send_chunk);
+            let payload: Vec<T> = buf[send_range].to_vec();
+            let bytes = elem_bytes * payload.len();
+            self.csend(right, tag | s as u64, payload, bytes, OpKind::AllReduce);
+            let incoming: Vec<T> = self.crecv(left, tag | s as u64);
+            let recv_range = chunk_range(buf.len(), p, recv_chunk);
+            op(&mut buf[recv_range], &incoming);
+        }
+        // Phase 2: allgather the finished chunks.
+        for s in 0..p - 1 {
+            let send_chunk = (rank + 1 + p - s) % p;
+            let recv_chunk = (rank + p - s) % p;
+            let send_range = chunk_range(buf.len(), p, send_chunk);
+            let payload: Vec<T> = buf[send_range].to_vec();
+            let bytes = elem_bytes * payload.len();
+            self.csend(
+                right,
+                tag | (p + s) as u64,
+                payload,
+                bytes,
+                OpKind::AllReduce,
+            );
+            let incoming: Vec<T> = self.crecv(left, tag | (p + s) as u64);
+            let recv_range = chunk_range(buf.len(), p, recv_chunk);
+            buf[recv_range].clone_from_slice(&incoming);
+        }
+    }
+
+    /// Ring sum all-reduce for `f64` buffers.
+    pub fn allreduce_ring_sum_f64(&mut self, buf: &mut [f64]) {
+        self.allreduce_ring(buf, |acc, x| {
+            for (a, b) in acc.iter_mut().zip(x) {
+                *a += b;
+            }
+        });
+    }
+
+    /// Combined send-to-`dst` / receive-from-`src` (sends never block, so
+    /// this is deadlock-free in rings and shifts).
+    pub fn sendrecv<T: Any + Send>(
+        &mut self,
+        dst: usize,
+        src: usize,
+        tag: u64,
+        value: T,
+    ) -> Result<T, crate::comm::RecvError> {
+        self.send(dst, tag, value);
+        self.recv(src, tag)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::comm::World;
+    use crate::cost::OpKind;
+
+    #[test]
+    fn chunking_covers_exactly() {
+        for len in [0usize, 1, 7, 64, 100] {
+            for parts in [1usize, 2, 3, 8] {
+                let mut next = 0;
+                for i in 0..parts {
+                    let r = super::chunk_range(len, parts, i);
+                    assert_eq!(r.start, next);
+                    next = r.end;
+                }
+                assert_eq!(next, len);
+            }
+        }
+    }
+
+    #[test]
+    fn ring_allreduce_sums_all_sizes() {
+        for p in [1usize, 2, 3, 4, 5, 8, 13] {
+            for len in [1usize, 2, p.saturating_sub(1).max(1), p, 3 * p + 1, 100] {
+                let out = World::run(p, move |comm| {
+                    let mut v: Vec<f64> =
+                        (0..len).map(|i| (comm.rank() + i) as f64).collect();
+                    comm.allreduce_ring_sum_f64(&mut v);
+                    v
+                });
+                let rank_sum = (p * (p - 1) / 2) as f64;
+                for v in &out {
+                    for (i, &x) in v.iter().enumerate() {
+                        assert_eq!(
+                            x,
+                            rank_sum + (p * i) as f64,
+                            "p={p} len={len} slot {i}"
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn ring_matches_tree_allreduce() {
+        let out = World::run(6, |comm| {
+            let mut ring: Vec<f64> = (0..50).map(|i| (comm.rank() * 31 + i) as f64).collect();
+            let mut tree = ring.clone();
+            comm.allreduce_ring_sum_f64(&mut ring);
+            comm.allreduce_sum_f64(&mut tree);
+            (ring, tree)
+        });
+        for (ring, tree) in out {
+            for (a, b) in ring.iter().zip(&tree) {
+                assert!((a - b).abs() < 1e-9);
+            }
+        }
+    }
+
+    #[test]
+    fn ring_is_identical_across_ranks() {
+        let out = World::run(5, |comm| {
+            let mut v: Vec<f64> = (0..37)
+                .map(|i| ((comm.rank() + 1) as f64).powi(10) * 1e-4 + i as f64)
+                .collect();
+            comm.allreduce_ring_sum_f64(&mut v);
+            v
+        });
+        for other in &out[1..] {
+            for (a, b) in out[0].iter().zip(other) {
+                assert_eq!(a.to_bits(), b.to_bits());
+            }
+        }
+    }
+
+    #[test]
+    fn ring_moves_fewer_bytes_than_tree_at_scale() {
+        let len = 8_192usize;
+        let p = 8;
+        let traffic = |use_ring: bool| -> (u64, u64) {
+            let (_, costs) = World::run_with_cost(p, move |comm| {
+                let mut v = vec![1.0f64; len];
+                if use_ring {
+                    comm.allreduce_ring_sum_f64(&mut v);
+                } else {
+                    comm.allreduce_sum_f64(&mut v);
+                }
+            });
+            let per_rank: Vec<u64> =
+                costs.iter().map(|c| c.bytes_of(OpKind::AllReduce)).collect();
+            (per_rank.iter().sum(), *per_rank.iter().max().unwrap())
+        };
+        let (ring_total, ring_max) = traffic(true);
+        let (tree_total, tree_max) = traffic(false);
+        // Both move 2·len·(p-1) elements in total, but the tree concentrates
+        // traffic on the root (it broadcasts to log p children) while the
+        // ring balances it — the bandwidth-optimality that matters when all
+        // links are equally provisioned.
+        assert_eq!(ring_total, tree_total);
+        assert!(
+            ring_max < tree_max,
+            "ring max/rank {ring_max} vs tree max/rank {tree_max}"
+        );
+    }
+
+    #[test]
+    fn sendrecv_shifts_around_a_ring() {
+        let out = World::run(4, |comm| {
+            let right = (comm.rank() + 1) % 4;
+            let left = (comm.rank() + 3) % 4;
+            comm.sendrecv(right, left, 9, comm.rank() as u32).unwrap()
+        });
+        assert_eq!(out, vec![3, 0, 1, 2]);
+    }
+
+    #[test]
+    fn single_rank_and_empty_buffers_are_noops() {
+        World::run(1, |comm| {
+            let mut v = vec![5.0f64; 3];
+            comm.allreduce_ring_sum_f64(&mut v);
+            assert_eq!(v, vec![5.0; 3]);
+        });
+        World::run(3, |comm| {
+            let mut v: Vec<f64> = Vec::new();
+            comm.allreduce_ring_sum_f64(&mut v);
+            assert!(v.is_empty());
+        });
+    }
+}

@@ -1,0 +1,395 @@
+//! Pricing one Lloyd iteration of each level.
+
+use crate::calibration::Calibration;
+use crate::feasibility::{plan, Infeasibility, LevelPlan};
+use crate::shape::{Level, ProblemShape};
+use sw_arch::{CgGroupPlacement, CommClass, Machine, PlacementPolicy};
+
+/// Per-phase wall time of one iteration, in seconds.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CostBreakdown {
+    /// Distance-kernel arithmetic.
+    pub compute: f64,
+    /// DMA traffic: streaming samples (with replication) plus the centroid
+    /// shard, per CPE.
+    pub read: f64,
+    /// Per-sample partial-result merges of the Assign step (dimension
+    /// reduction + argmin min-loc).
+    pub assign_comm: f64,
+    /// The centroid-accumulator AllReduce of the Update step.
+    pub update_comm: f64,
+    /// The plan the costs were computed for.
+    pub plan: LevelPlan,
+}
+
+impl CostBreakdown {
+    /// Total per-iteration time. Read overlaps compute on the real machine
+    /// (double-buffered DMA), so the maximum of the two is taken; the
+    /// communication phases are serial dependencies.
+    pub fn total(&self) -> f64 {
+        self.compute.max(self.read) + self.assign_comm + self.update_comm
+    }
+
+    /// The phase dominating the iteration.
+    pub fn dominant_phase(&self) -> &'static str {
+        let phases = [
+            (self.compute, "compute"),
+            (self.read, "read"),
+            (self.assign_comm, "assign_comm"),
+            (self.update_comm, "update_comm"),
+        ];
+        phases
+            .iter()
+            .max_by(|a, b| a.0.partial_cmp(&b.0).unwrap())
+            .unwrap()
+            .1
+    }
+}
+
+/// The analytic cost model: a machine allocation plus calibration knobs.
+#[derive(Debug, Clone, Copy)]
+pub struct CostModel {
+    pub machine: Machine,
+    pub calib: Calibration,
+}
+
+impl CostModel {
+    pub fn new(machine: Machine, calib: Calibration) -> Self {
+        CostModel { machine, calib }
+    }
+
+    /// A TaihuLight allocation with default calibration.
+    pub fn taihulight(nodes: usize) -> Self {
+        CostModel {
+            machine: Machine::taihulight(nodes),
+            calib: Calibration::default(),
+        }
+    }
+
+    /// Per-iteration cost of `level` on `shape`, allowing Level 3 to spill.
+    pub fn iteration_time(
+        &self,
+        shape: &ProblemShape,
+        level: Level,
+    ) -> Result<CostBreakdown, Infeasibility> {
+        let plan = plan(level, shape, &self.machine, true)?;
+        Ok(self.price(shape, &plan))
+    }
+
+    /// Per-iteration cost refusing spilled (non-LDM-resident) plans.
+    pub fn iteration_time_strict(
+        &self,
+        shape: &ProblemShape,
+        level: Level,
+    ) -> Result<CostBreakdown, Infeasibility> {
+        let plan = plan(level, shape, &self.machine, false)?;
+        Ok(self.price(shape, &plan))
+    }
+
+    /// Price a specific plan (exposed so executors can cost their own
+    /// placements).
+    pub fn price(&self, shape: &ProblemShape, plan: &LevelPlan) -> CostBreakdown {
+        let p = &self.machine.params;
+        let m = self.machine.total_cpes() as f64;
+        let s = shape.elem_bytes as f64;
+        let n = shape.n as f64;
+        let slice = plan.slice as f64;
+        let c = plan.centroids_per_unit as f64;
+        let n_groups = plan.n_groups as f64;
+
+        // ---- Compute: 3nkd flops over all CPEs at slice-dependent η. ----
+        let eta = self.calib.eta(slice);
+        let compute = shape.assign_flops() / (m * p.cpe_flops() * eta);
+
+        // ---- Read: per-CPE DMA bytes over the per-CPE bandwidth share. ----
+        let samples_per_group = n / n_groups;
+        let sample_elems_per_cpe = samples_per_group * slice;
+        let shard_elems_per_cpe = match plan.level {
+            Level::L1 => (shape.k * shape.d) as f64,
+            Level::L2 => c * slice,
+            // Level 3 holds c centroids per CG, sliced over 64 CPEs.
+            Level::L3 => c * slice,
+        };
+        let dma_per_cpe = p.dma_bw * self.calib.dma_eff / p.cpes_per_cg as f64;
+        let read = if plan.spilled {
+            // Non-resident shards change the traffic pattern qualitatively:
+            // (1) the centroid shard cannot stay in LDM, so it re-streams
+            //     from DDR for *every sample* instead of once per iteration;
+            // (2) every sample's winning accumulator slice round-trips
+            //     (read-modify-write) through the DMA engine, derated by
+            //     the spill penalty for its random access pattern. Winners
+            //     spread over the group's units.
+            let centroid_stream = samples_per_group * shard_elems_per_cpe * s;
+            let winners_per_unit = samples_per_group / plan.group_units as f64;
+            let accumulator_rmw =
+                self.calib.spill_penalty * winners_per_unit * 2.0 * slice * s;
+            (sample_elems_per_cpe * s + centroid_stream + accumulator_rmw) / dma_per_cpe
+        } else {
+            (sample_elems_per_cpe + shard_elems_per_cpe) * s / dma_per_cpe
+        };
+
+        // ---- Link classes touched by this plan's placement. ----
+        let (intra_class, inter_class) = self.group_classes(plan);
+
+        // ---- Assign-phase merges (per sample, batched). ----
+        let assign_comm = match plan.level {
+            Level::L1 => 0.0,
+            Level::L2 => {
+                // Min-loc argmin across the g CPEs of the group: one mesh
+                // stage (register buses) plus log2 rounds across CGs.
+                let pair_bytes = 12.0;
+                let mesh = self
+                    .machine
+                    .core_group
+                    .reduce_schedule(pair_bytes as usize)
+                    .time(p.reg_bw, p.reg_lat);
+                let cross = self.cross_cg_rounds(plan.cg_span, pair_bytes, intra_class);
+                samples_per_group * (mesh + cross / self.calib.merge_batch)
+            }
+            Level::L3 => {
+                // (a) Dimension partials: mesh sum-reduce of the c partial
+                // distances each CPE computed for its slice.
+                let partial_bytes = (c * s).max(4.0) as usize;
+                let mesh = self
+                    .machine
+                    .core_group
+                    .reduce_schedule(partial_bytes)
+                    .time(p.reg_bw, p.reg_lat);
+                // (b) Min-loc across the G CGs of the group.
+                let cross = self.cross_cg_rounds(plan.cg_span, 12.0, intra_class);
+                samples_per_group * (mesh + cross / self.calib.merge_batch)
+            }
+        };
+
+        // ---- Update-phase accumulator AllReduce across groups. ----
+        let accumulator_bytes_per_cg = match plan.level {
+            Level::L1 => (shape.k * shape.d) as f64 * s,
+            Level::L2 => 64.0 * c * slice * s,
+            Level::L3 => c * shape.d as f64 * s,
+        };
+        let participants = match plan.level {
+            Level::L1 => self.machine.total_cgs() as f64,
+            _ => n_groups,
+        };
+        let net_per_cg =
+            inter_class.bandwidth(p) * self.calib.net_eff / p.cgs_per_node as f64;
+        let mut update_comm = if participants > 1.0 {
+            2.0 * accumulator_bytes_per_cg / net_per_cg
+                + participants.log2().ceil() * inter_class.latency(p)
+        } else {
+            0.0
+        };
+        if plan.level == Level::L1 {
+            // Level 1 first folds the 64 per-CPE replicas over the register
+            // mesh before the inter-CG stage.
+            update_comm += self
+                .machine
+                .core_group
+                .allreduce_schedule(accumulator_bytes_per_cg as usize)
+                .time(p.reg_bw, p.reg_lat);
+        }
+        if plan.spilled {
+            update_comm *= self.calib.spill_penalty;
+        }
+
+        CostBreakdown {
+            compute,
+            read,
+            assign_comm,
+            update_comm,
+            plan: *plan,
+        }
+    }
+
+    /// Worst link classes (within a group, across groups) under
+    /// topology-aware placement.
+    fn group_classes(&self, plan: &LevelPlan) -> (CommClass, CommClass) {
+        let group_cgs = plan.cg_span.max(1) as usize;
+        let n_groups = plan.n_groups.max(1) as usize;
+        match CgGroupPlacement::new(
+            &self.machine,
+            n_groups,
+            group_cgs,
+            PlacementPolicy::TopologyAware,
+        ) {
+            Ok(placement) => (
+                placement.worst_intra_group_class(&self.machine),
+                placement.worst_inter_group_class(&self.machine),
+            ),
+            // Degenerate placements (more logical CGs than physical) fall
+            // back to the worst class the allocation contains.
+            Err(_) => {
+                let worst = if self.machine.single_supernode() {
+                    CommClass::IntraSupernode
+                } else {
+                    CommClass::InterSupernode
+                };
+                (worst, worst)
+            }
+        }
+    }
+
+    /// Latency of a log-tree merge across `cg_span` CGs: rounds inside a
+    /// node use DMA-class links, rounds across nodes use the network class
+    /// of the group placement.
+    fn cross_cg_rounds(&self, cg_span: u64, bytes: f64, class: CommClass) -> f64 {
+        if cg_span <= 1 {
+            return 0.0;
+        }
+        let p = &self.machine.params;
+        let cgs_per_node = p.cgs_per_node as u64;
+        let intra_node_span = cg_span.min(cgs_per_node);
+        let node_span = cg_span.div_ceil(cgs_per_node);
+        let intra_rounds = (intra_node_span as f64).log2().ceil();
+        let inter_rounds = (node_span as f64).log2().ceil();
+        let dma = CommClass::IntraNode;
+        intra_rounds * (dma.latency(p) + bytes / (dma.bandwidth(p) * self.calib.dma_eff))
+            + inter_rounds
+                * (class.latency(p) + bytes / (class.bandwidth(p) * self.calib.net_eff))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fig7_shape(d: u64) -> ProblemShape {
+        ProblemShape::f32(1_265_723, 2_000, d)
+    }
+
+    #[test]
+    fn headline_under_18_seconds() {
+        // Fig. 6b / abstract: < 18 s per iteration at n=1.27M, d=196,608,
+        // k=2,000 on 4,096 nodes.
+        let model = CostModel::taihulight(4_096);
+        let cost = model
+            .iteration_time(&ProblemShape::imgnet_headline(), Level::L3)
+            .unwrap();
+        assert!(
+            cost.total() < 18.0,
+            "headline iteration is {:.2} s (breakdown {:?})",
+            cost.total(),
+            cost
+        );
+        assert!(cost.total() > 0.5, "suspiciously fast: {:.3} s", cost.total());
+    }
+
+    #[test]
+    fn fig7_crossover_between_2048_and_3072() {
+        // On 128 nodes at k=2,000: Level 2 wins at small d, Level 3 wins for
+        // d > ~2,560.
+        let model = CostModel::taihulight(128);
+        let l2 = |d| model.iteration_time(&fig7_shape(d), Level::L2).unwrap().total();
+        let l3 = |d| model.iteration_time(&fig7_shape(d), Level::L3).unwrap().total();
+        assert!(l2(512) < l3(512), "L2 must win at d=512: {} vs {}", l2(512), l3(512));
+        assert!(l2(1024) < l3(1024));
+        assert!(l3(3072) < l2(3072), "L3 must win at d=3072: {} vs {}", l3(3072), l2(3072));
+        assert!(l3(4096) < l2(4096));
+    }
+
+    #[test]
+    fn fig8_l3_always_wins_at_d4096() {
+        let model = CostModel::taihulight(128);
+        for k in [256u64, 512, 1_024, 2_048, 4_096] {
+            let shape = ProblemShape::f32(1_265_723, k, 4_096);
+            let l2 = model.iteration_time(&shape, Level::L2).unwrap().total();
+            let l3 = model.iteration_time(&shape, Level::L3).unwrap().total();
+            assert!(l3 < l2, "k={k}: L3 {l3} vs L2 {l2}");
+        }
+    }
+
+    #[test]
+    fn fig9_scaling_with_nodes() {
+        // d=4,096, k=2,000: both levels speed up with nodes; Level 3 wins
+        // throughout; the gap (ratio) narrows as nodes grow.
+        let shape = fig7_shape(4_096);
+        let mut prev_l3 = f64::INFINITY;
+        let mut gaps = Vec::new();
+        for nodes in [2usize, 4, 8, 16, 32, 64, 128, 256] {
+            let model = CostModel::taihulight(nodes);
+            let l3 = model.iteration_time(&shape, Level::L3).unwrap().total();
+            let l2 = model.iteration_time(&shape, Level::L2).unwrap().total();
+            assert!(l3 < l2, "{nodes} nodes: L3 {l3} vs L2 {l2}");
+            assert!(l3 < prev_l3 * 1.05, "L3 stopped scaling at {nodes} nodes");
+            prev_l3 = l3;
+            gaps.push(l2 - l3);
+        }
+        // The paper plots absolute seconds: the L2–L3 gap shrinks with
+        // nodes but stays significant.
+        assert!(
+            gaps.last().unwrap() < &(gaps.first().unwrap() / 10.0),
+            "gap should narrow: {gaps:?}"
+        );
+        assert!(gaps.last().unwrap() > &0.0);
+    }
+
+    #[test]
+    fn times_grow_roughly_linearly_in_k() {
+        // Figs. 3–5: per-iteration time grows linearly with k at fixed d.
+        let model = CostModel::taihulight(128);
+        let t = |k: u64| {
+            model
+                .iteration_time(&ProblemShape::f32(1_265_723, k, 3_072), Level::L3)
+                .unwrap()
+                .total()
+        };
+        let (t1, t2, t4) = (t(512), t(1_024), t(2_048));
+        assert!(t2 / t1 > 1.4 && t2 / t1 < 2.6, "ratio {}", t2 / t1);
+        assert!(t4 / t2 > 1.4 && t4 / t2 < 2.6, "ratio {}", t4 / t2);
+    }
+
+    #[test]
+    fn breakdown_total_and_dominant() {
+        let b = CostBreakdown {
+            compute: 2.0,
+            read: 1.0,
+            assign_comm: 0.5,
+            update_comm: 0.25,
+            plan: crate::feasibility::plan(
+                Level::L1,
+                &ProblemShape::f32(1000, 4, 4),
+                &Machine::taihulight(1),
+                false,
+            )
+            .unwrap(),
+        };
+        assert_eq!(b.total(), 2.75); // max(compute, read) + comm phases
+        assert_eq!(b.dominant_phase(), "compute");
+    }
+
+    #[test]
+    fn spilled_plans_cost_more() {
+        // Fig. 6a's k=160,000 at 128 nodes spills; the same shape at 512
+        // nodes is resident. Per-iteration time at 128 nodes must exceed a
+        // naive 4× node scaling to reflect the spill penalty.
+        let shape = ProblemShape::f32(1_265_723, 160_000, 3_072);
+        let spilled = CostModel::taihulight(128)
+            .iteration_time(&shape, Level::L3)
+            .unwrap();
+        assert!(spilled.plan.spilled);
+        let resident = CostModel::taihulight(1024)
+            .iteration_time(&shape, Level::L3)
+            .unwrap();
+        assert!(!resident.plan.spilled);
+        assert!(spilled.total() > resident.total());
+    }
+
+    #[test]
+    fn strict_mode_rejects_spill() {
+        let shape = ProblemShape::f32(1_265_723, 160_000, 3_072);
+        let model = CostModel::taihulight(128);
+        assert!(model.iteration_time_strict(&shape, Level::L3).is_err());
+        assert!(model.iteration_time(&shape, Level::L3).is_ok());
+    }
+
+    #[test]
+    fn level1_small_case_is_fast() {
+        // Fig. 3 magnitudes: UCI datasets on one processor complete an
+        // iteration in well under a second.
+        let model = CostModel::taihulight(1);
+        let kegg = ProblemShape::f32(65_554, 256, 28);
+        let cost = model.iteration_time(&kegg, Level::L1).unwrap();
+        assert!(cost.total() < 1.0, "Kegg L1 iteration: {} s", cost.total());
+        assert!(cost.total() > 1e-6);
+    }
+}

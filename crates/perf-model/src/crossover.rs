@@ -1,0 +1,108 @@
+//! Level selection and crossover analysis.
+
+use crate::cost::{CostBreakdown, CostModel};
+use crate::feasibility::Infeasibility;
+use crate::shape::{Level, ProblemShape};
+
+/// The cheapest feasible level for a shape, with its cost. Errors only when
+/// no level can run it at all.
+pub fn best_level(
+    model: &CostModel,
+    shape: &ProblemShape,
+) -> Result<(Level, CostBreakdown), Vec<Infeasibility>> {
+    let mut errors = Vec::new();
+    let mut best: Option<(Level, CostBreakdown)> = None;
+    for level in [Level::L1, Level::L2, Level::L3] {
+        match model.iteration_time(shape, level) {
+            Ok(cost) => {
+                if best
+                    .as_ref()
+                    .map(|(_, b)| cost.total() < b.total())
+                    .unwrap_or(true)
+                {
+                    best = Some((level, cost));
+                }
+            }
+            Err(e) => errors.push(e),
+        }
+    }
+    best.ok_or(errors)
+}
+
+/// Smallest `d` in `[d_lo, d_hi]` (stepping by `step`) at which Level 3
+/// becomes no slower than Level 2 at fixed `n`, `k` — the Fig. 7 crossover.
+/// Returns `None` if Level 3 never catches up in the range.
+pub fn find_crossover_d(
+    model: &CostModel,
+    n: u64,
+    k: u64,
+    d_lo: u64,
+    d_hi: u64,
+    step: u64,
+) -> Option<u64> {
+    assert!(step > 0);
+    let mut d = d_lo;
+    while d <= d_hi {
+        let shape = ProblemShape::f32(n, k, d);
+        let l3 = model.iteration_time(&shape, Level::L3);
+        let l2 = model.iteration_time(&shape, Level::L2);
+        match (l2, l3) {
+            // Level 2 infeasible: Level 3 wins by default.
+            (Err(_), Ok(_)) => return Some(d),
+            (Ok(c2), Ok(c3)) if c3.total() <= c2.total() => return Some(d),
+            _ => {}
+        }
+        d += step;
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn best_level_for_small_problems_is_l1_or_l2() {
+        let model = CostModel::taihulight(1);
+        let shape = ProblemShape::f32(65_554, 64, 28);
+        let (level, _) = best_level(&model, &shape).unwrap();
+        assert!(level == Level::L1 || level == Level::L2, "chose {level}");
+    }
+
+    #[test]
+    fn best_level_for_huge_d_is_l3() {
+        let model = CostModel::taihulight(4096);
+        let (level, _) = best_level(&model, &ProblemShape::imgnet_headline()).unwrap();
+        assert_eq!(level, Level::L3);
+    }
+
+    #[test]
+    fn impossible_shape_reports_all_failures() {
+        // d beyond even Level 3's ceiling.
+        let model = CostModel::taihulight(1);
+        let shape = ProblemShape::f32(10, 4, 1 << 20);
+        let errs = best_level(&model, &shape).unwrap_err();
+        assert_eq!(errs.len(), 3);
+    }
+
+    #[test]
+    fn crossover_matches_fig7() {
+        // Paper: Level 3 overtakes at d ≈ 2,560–3,072 (k=2,000, 128 nodes).
+        let model = CostModel::taihulight(128);
+        let d = find_crossover_d(&model, 1_265_723, 2_000, 512, 8_192, 512).unwrap();
+        assert!(
+            (1_536..=3_584).contains(&d),
+            "crossover at d={d}, expected near 2,560"
+        );
+    }
+
+    #[test]
+    fn no_crossover_when_range_too_low() {
+        let model = CostModel::taihulight(128);
+        // At tiny d Level 2 always wins.
+        assert_eq!(
+            find_crossover_d(&model, 1_265_723, 2_000, 128, 512, 128),
+            None
+        );
+    }
+}

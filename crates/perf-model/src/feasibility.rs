@@ -1,0 +1,415 @@
+//! LDM-residency feasibility: which partition level can run which problem
+//! shape, and with what group size.
+//!
+//! The per-CPE scratchpad layout every level shares:
+//!
+//! ```text
+//! [ sample double-buffer: 2·slice ][ centroid shard: c·slice ][ accumulator shard: c·slice ]
+//! ```
+//!
+//! where `slice` is the dimension range one CPE works on (`d` for Levels
+//! 1–2, `⌈d/64⌉` for Level 3) and `c` is the number of centroids resident
+//! per partition unit. The residency constraint `2·slice·(1 + c) ≤ E`
+//! (E = LDM capacity in elements) specialises to the paper's family:
+//!
+//! * **Level 1** keeps all k centroids per CPE (`c = k`, single-buffered
+//!   sample): `d(1 + 2k) + k ≤ E` — literally C1. With E = 16,384 f32
+//!   elements this reproduces the exact per-dataset k-ranges of Fig. 3.
+//! * **Level 2** shares k over a group of `g` CPEs (`c = ⌈k/g⌉`): growing d
+//!   forces `c` down and `g` up — replication explodes — until `c < 1` is
+//!   forced at `d > E/4 = 4,096`, the paper's Fig. 7 wall.
+//! * **Level 3** shares k over a group of `G` CGs and dimensions over the
+//!   64 CPEs of each CG (`slice = ⌈d/64⌉`, `c = ⌈k/G⌉` per CG): `k·d` is
+//!   bounded only by the total machine (C1''). When even `c = 1` per CG
+//!   exceeds the allocation's CGs, the *spill mode* keeps accumulators in
+//!   DDR at a modelled penalty instead of refusing (how Fig. 6a's
+//!   k = 160,000 at 128 nodes runs — a configuration the paper's own C1''
+//!   actually forbids; see EXPERIMENTS.md).
+
+use crate::shape::{Level, ProblemShape};
+use sw_arch::Machine;
+
+/// A feasible placement of a problem at a given level.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LevelPlan {
+    pub level: Level,
+    /// Partition units sharing the centroid set: CPEs per group for Level 2,
+    /// CGs per group for Level 3, 1 for Level 1.
+    pub group_units: u64,
+    /// Centroids resident per unit (`⌈k / group_units⌉`; `k` for Level 1).
+    pub centroids_per_unit: u64,
+    /// Number of dataflow groups working on disjoint sample ranges.
+    pub n_groups: u64,
+    /// Contiguous dimension elements one CPE works on.
+    pub slice: u64,
+    /// Core groups spanned by one group (1 for Levels 1; `⌈g/64⌉` for
+    /// Level 2; `G` for Level 3).
+    pub cg_span: u64,
+    /// Resident bytes per CPE implied by the layout (capped at capacity in
+    /// spill mode).
+    pub resident_bytes: u64,
+    /// True when accumulator shards exceed LDM and live in DDR.
+    pub spilled: bool,
+}
+
+/// Why a level cannot run a shape on a machine.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Infeasibility {
+    pub level: Level,
+    /// Which constraint failed, in the paper's naming where one exists.
+    pub constraint: &'static str,
+    pub detail: String,
+}
+
+impl std::fmt::Display for Infeasibility {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{} infeasible ({}): {}", self.level, self.constraint, self.detail)
+    }
+}
+
+impl std::error::Error for Infeasibility {}
+
+/// Round up to the next power of two (≥ 1).
+fn next_pow2(v: u64) -> u64 {
+    v.max(1).next_power_of_two()
+}
+
+/// LDM capacity in elements for this shape's precision.
+fn ldm_elems(machine: &Machine, shape: &ProblemShape) -> u64 {
+    machine.params.ldm_bytes as u64 / shape.elem_bytes
+}
+
+/// Plan a level, choosing the smallest group size the residency constraint
+/// allows (smallest replication). `allow_spill` only affects Level 3.
+pub fn plan(
+    level: Level,
+    shape: &ProblemShape,
+    machine: &Machine,
+    allow_spill: bool,
+) -> Result<LevelPlan, Infeasibility> {
+    match level {
+        Level::L1 => plan_l1(shape, machine),
+        Level::L2 => plan_l2_spill(shape, machine, allow_spill),
+        Level::L3 => plan_l3(shape, machine, allow_spill),
+    }
+}
+
+/// Level 1: every CPE holds one sample, all k centroids and all k
+/// accumulators — the paper's C1: `d(1 + 2k) + k ≤ LDM`.
+pub fn plan_l1(shape: &ProblemShape, machine: &Machine) -> Result<LevelPlan, Infeasibility> {
+    let e = ldm_elems(machine, shape);
+    let (k, d) = (shape.k, shape.d);
+    let resident = d * (1 + 2 * k) + k;
+    if resident > e {
+        return Err(Infeasibility {
+            level: Level::L1,
+            constraint: "C1",
+            detail: format!(
+                "d(1+2k)+k = {resident} elements exceeds LDM capacity {e} \
+                 (max k at d={d} is {})",
+                max_k_l1(d, e)
+            ),
+        });
+    }
+    let m = machine.total_cpes() as u64;
+    Ok(LevelPlan {
+        level: Level::L1,
+        group_units: 1,
+        centroids_per_unit: k,
+        n_groups: m,
+        slice: d,
+        cg_span: 1,
+        resident_bytes: resident * shape.elem_bytes,
+        spilled: false,
+    })
+}
+
+/// Largest k satisfying C1 at dimension `d` with `e` LDM elements.
+pub fn max_k_l1(d: u64, e: u64) -> u64 {
+    if e <= d {
+        return 0;
+    }
+    (e - d) / (2 * d + 1)
+}
+
+/// Level 2: a group of `g` CPEs partitions the centroid set; every member
+/// holds the full sample (double-buffered) plus its centroid and
+/// accumulator shards: `2d(1 + c) ≤ LDM`, `c = ⌈k/g⌉`.
+pub fn plan_l2(shape: &ProblemShape, machine: &Machine) -> Result<LevelPlan, Infeasibility> {
+    plan_l2_spill(shape, machine, false)
+}
+
+/// [`plan_l2`] with an optional spill mode: when even one centroid per CPE
+/// over the whole allocation does not fit (`g > m`), the shards overflow to
+/// DDR rather than refusing — the small-allocation regime of Fig. 9.
+pub fn plan_l2_spill(
+    shape: &ProblemShape,
+    machine: &Machine,
+    allow_spill: bool,
+) -> Result<LevelPlan, Infeasibility> {
+    let e = ldm_elems(machine, shape);
+    let (k, d) = (shape.k, shape.d);
+    if 4 * d > e {
+        return Err(Infeasibility {
+            level: Level::L2,
+            constraint: "C2' (d-wall)",
+            detail: format!(
+                "2d(1+c) needs c ≥ 1, so 4d = {} elements must fit in LDM capacity {e}; \
+                 max d is {}",
+                4 * d,
+                e / 4
+            ),
+        });
+    }
+    let c_max = (e - 2 * d) / (2 * d); // ≥ 1 by the wall check
+    let c_needed = c_max.min(k);
+    let g_raw = k.div_ceil(c_needed);
+    let m = machine.total_cpes() as u64;
+    let g = next_pow2(g_raw).min(m);
+    let c = k.div_ceil(g);
+    let (spilled, resident) = if c <= c_max {
+        (false, 2 * d * (1 + c))
+    } else if allow_spill {
+        (true, e)
+    } else {
+        return Err(Infeasibility {
+            level: Level::L2,
+            constraint: "C1'",
+            detail: format!(
+                "needs a group of {g_raw} CPEs (c_max = {c_max} centroids per CPE) \
+                 but the allocation has only {m} CPEs"
+            ),
+        });
+    };
+    let n_groups = (m / g).max(1);
+    Ok(LevelPlan {
+        level: Level::L2,
+        group_units: g,
+        centroids_per_unit: c,
+        n_groups,
+        slice: d,
+        cg_span: g.div_ceil(machine.params.cpes_per_cg as u64),
+        resident_bytes: resident * shape.elem_bytes,
+        spilled,
+    })
+}
+
+/// Level 3: a group of `G` CGs partitions the centroid set; each CG holds
+/// its sample and shard sliced over 64 CPEs by dimension:
+/// `2·slice·(1 + c) ≤ LDM`, `slice = ⌈d/64⌉`, `c = ⌈k/G⌉` per CG.
+pub fn plan_l3(
+    shape: &ProblemShape,
+    machine: &Machine,
+    allow_spill: bool,
+) -> Result<LevelPlan, Infeasibility> {
+    let e = ldm_elems(machine, shape);
+    let (k, d) = (shape.k, shape.d);
+    let cpes_per_cg = machine.params.cpes_per_cg as u64;
+    let slice = d.div_ceil(cpes_per_cg);
+    if 4 * slice > e {
+        return Err(Infeasibility {
+            level: Level::L3,
+            constraint: "C2''",
+            detail: format!(
+                "dimension slice d/64 = {slice} elements needs 4·slice ≤ LDM capacity {e}; \
+                 max d is {}",
+                cpes_per_cg * e / 4
+            ),
+        });
+    }
+    let cgs = machine.total_cgs() as u64;
+    let c_max = (e - 2 * slice) / (2 * slice);
+    let c_wanted = c_max.min(k);
+    let g_raw = k.div_ceil(c_wanted);
+    let g = next_pow2(g_raw).min(cgs);
+    let c = k.div_ceil(g);
+    let (spilled, resident) = if c <= c_max {
+        (false, 2 * slice * (1 + c))
+    } else if allow_spill {
+        // Accumulator (and centroid) shards overflow to DDR; LDM holds the
+        // working buffers only.
+        (true, e)
+    } else {
+        return Err(Infeasibility {
+            level: Level::L3,
+            constraint: "C1''",
+            detail: format!(
+                "needs {g_raw} CGs per group (c_max = {c_max} centroids per CG) but the \
+                 allocation has only {cgs} CGs; rerun with spill mode or more nodes"
+            ),
+        });
+    };
+    let n_groups = (cgs / g).max(1);
+    Ok(LevelPlan {
+        level: Level::L3,
+        group_units: g,
+        centroids_per_unit: c,
+        n_groups,
+        slice,
+        cg_span: g,
+        resident_bytes: resident * shape.elem_bytes,
+        spilled,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sw_arch::Machine;
+
+    const E_F32: u64 = 16_384; // 64 KB LDM in f32 elements
+
+    #[test]
+    fn l1_reproduces_fig3_k_ranges() {
+        // The paper's Fig. 3 sweeps stop exactly where C1 overflows a 64 KB
+        // LDM in f32 elements.
+        assert_eq!(max_k_l1(68, E_F32), 119); // US Census d=68: k=64 ok, 128 not
+        assert_eq!(max_k_l1(4, E_F32), 1820); // Road Network d=4: k=1024 ok, 2048 not
+        assert_eq!(max_k_l1(28, E_F32), 286); // Kegg d=28: k=256 ok, 512 not
+
+        let m = Machine::taihulight(1);
+        assert!(plan_l1(&ProblemShape::f32(65_554, 256, 28), &m).is_ok());
+        assert!(plan_l1(&ProblemShape::f32(65_554, 512, 28), &m).is_err());
+        assert!(plan_l1(&ProblemShape::f32(434_874, 1_024, 4), &m).is_ok());
+        assert!(plan_l1(&ProblemShape::f32(434_874, 2_048, 4), &m).is_err());
+        assert!(plan_l1(&ProblemShape::f32(2_458_285, 64, 68), &m).is_ok());
+        assert!(plan_l1(&ProblemShape::f32(2_458_285, 128, 68), &m).is_err());
+    }
+
+    #[test]
+    fn l2_d_wall_is_4096_f32() {
+        // Fig. 7: "Level 2 cannot run with d greater than 4096".
+        let m = Machine::taihulight(128);
+        assert!(plan_l2(&ProblemShape::f32(1_265_723, 2_000, 4_096), &m).is_ok());
+        let err = plan_l2(&ProblemShape::f32(1_265_723, 2_000, 4_608), &m).unwrap_err();
+        assert_eq!(err.constraint, "C2' (d-wall)");
+        assert!(err.detail.contains("4096"));
+    }
+
+    #[test]
+    fn l2_group_grows_with_d() {
+        let m = Machine::taihulight(128);
+        let g_at = |d: u64| {
+            plan_l2(&ProblemShape::f32(1_265_723, 2_000, d), &m)
+                .unwrap()
+                .group_units
+        };
+        assert!(g_at(512) < g_at(2_048));
+        assert!(g_at(2_048) <= g_at(4_096));
+        // At the wall, one centroid per CPE: g covers all of k.
+        let plan = plan_l2(&ProblemShape::f32(1_265_723, 2_000, 4_096), &m).unwrap();
+        assert_eq!(plan.centroids_per_unit, 1);
+        assert_eq!(plan.group_units, 2_048);
+    }
+
+    #[test]
+    fn l2_small_problems_use_small_groups() {
+        let m = Machine::taihulight(256);
+        // Kegg at k=8192 (Fig. 4 top of range).
+        let plan = plan_l2(&ProblemShape::f32(65_554, 8_192, 28), &m).unwrap();
+        assert!(plan.group_units <= 64, "group {}", plan.group_units);
+        assert!(!plan.spilled);
+        assert_eq!(
+            plan.group_units * plan.n_groups,
+            m.total_cpes() as u64
+        );
+    }
+
+    #[test]
+    fn l3_headline_configuration_fits() {
+        // n=1.27M, k=2000, d=196,608 on 4,096 nodes: the paper's headline.
+        let m = Machine::taihulight(4_096);
+        let plan = plan_l3(&ProblemShape::imgnet_headline(), &m, false).unwrap();
+        assert!(!plan.spilled);
+        assert_eq!(plan.slice, 3_072);
+        assert_eq!(plan.group_units, 2_048); // 2000 CGs rounded to a power of two
+        assert_eq!(plan.centroids_per_unit, 1);
+        assert_eq!(plan.n_groups, 8);
+    }
+
+    #[test]
+    fn l3_spills_when_allocation_is_too_small() {
+        // k=2000 at d=196,608 needs ~2000 CGs resident; 256 nodes has 1024.
+        let m = Machine::taihulight(256);
+        let err = plan_l3(&ProblemShape::imgnet_headline(), &m, false).unwrap_err();
+        assert_eq!(err.constraint, "C1''");
+        let plan = plan_l3(&ProblemShape::imgnet_headline(), &m, true).unwrap();
+        assert!(plan.spilled);
+        assert_eq!(plan.group_units, 1_024);
+        assert_eq!(plan.centroids_per_unit, 2);
+    }
+
+    #[test]
+    fn l3_extreme_k_at_modest_d() {
+        // Fig. 6a: k up to 160,000 at d=3,072 on 128 nodes. The paper's own
+        // C1'' forbids this (needs ≥ 947 resident CGs, only 512 exist);
+        // spill mode runs it.
+        let m = Machine::taihulight(128);
+        let shape = ProblemShape::f32(1_265_723, 160_000, 3_072);
+        assert!(plan_l3(&shape, &m, false).is_err());
+        let plan = plan_l3(&shape, &m, true).unwrap();
+        assert!(plan.spilled);
+        // Mid-range k is resident-feasible without spill.
+        let shape_mid = ProblemShape::f32(1_265_723, 65_536, 3_072);
+        let plan_mid = plan_l3(&shape_mid, &m, false).unwrap();
+        assert!(!plan_mid.spilled);
+    }
+
+    #[test]
+    fn l3_d_ceiling_is_enormous() {
+        // C2'': slice ≤ E/4 → d ≤ 64·E/4 = 262,144 at f32.
+        let m = Machine::taihulight(4_096);
+        assert!(plan_l3(&ProblemShape::f32(1000, 16, 262_144), &m, false).is_ok());
+        let err = plan_l3(&ProblemShape::f32(1000, 16, 262_208), &m, false).unwrap_err();
+        assert_eq!(err.constraint, "C2''");
+    }
+
+    #[test]
+    fn f64_halves_capacity() {
+        let m = Machine::taihulight(1);
+        // d-wall at f64 is 2048 instead of 4096.
+        assert!(plan_l2(&ProblemShape::f64(1000, 16, 2_048), &m).is_ok());
+        assert!(plan_l2(&ProblemShape::f64(1000, 16, 2_049), &m).is_err());
+    }
+
+    #[test]
+    fn group_times_n_groups_never_exceeds_machine() {
+        for nodes in [1u64, 4, 128] {
+            let m = Machine::taihulight(nodes as usize);
+            for (k, d) in [(16u64, 64u64), (2_000, 1_024), (10_000, 68)] {
+                let shape = ProblemShape::f32(100_000, k, d);
+                if let Ok(p) = plan_l2(&shape, &m) {
+                    assert!(p.group_units * p.n_groups <= m.total_cpes() as u64);
+                }
+                if let Ok(p) = plan_l3(&shape, &m, true) {
+                    assert!(p.group_units * p.n_groups <= m.total_cgs() as u64);
+                    assert!(p.centroids_per_unit * p.group_units >= k);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn plan_dispatch_matches_direct_calls() {
+        let m = Machine::taihulight(16);
+        let shape = ProblemShape::f32(10_000, 100, 32);
+        assert_eq!(
+            plan(Level::L1, &shape, &m, false),
+            plan_l1(&shape, &m)
+        );
+        assert_eq!(plan(Level::L2, &shape, &m, false), plan_l2(&shape, &m));
+        assert_eq!(
+            plan(Level::L3, &shape, &m, true),
+            plan_l3(&shape, &m, true)
+        );
+    }
+
+    #[test]
+    fn infeasibility_display_is_informative() {
+        let m = Machine::taihulight(1);
+        let err = plan_l1(&ProblemShape::f32(1000, 10_000, 68), &m).unwrap_err();
+        let text = err.to_string();
+        assert!(text.contains("C1"));
+        assert!(text.contains("Level 1"));
+    }
+}

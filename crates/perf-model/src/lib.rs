@@ -1,0 +1,47 @@
+//! Analytic per-iteration cost model, feasibility constraints and
+//! calibration for the three-level Sunway k-means design.
+//!
+//! This crate is the "wind tunnel" of the reproduction: it prices one Lloyd
+//! iteration of each partition level on a given machine allocation, using
+//! the paper's published bandwidths and the structural cost drivers of each
+//! level:
+//!
+//! * **Compute** — `3·n·k·d` flops spread over all CPEs, derated by a
+//!   kernel-efficiency curve `η(len) = η_max · len/(len + c)`: a CPE working
+//!   on a short dimension slice (Level 3 at small `d`) cannot fill its
+//!   vector pipes. This single mechanism produces the paper's Fig. 7
+//!   crossover — Level 2 wins below `d ≈ 2,560`, Level 3 above.
+//! * **Read** — DMA traffic per CPE, including the *replication factor*:
+//!   every member of a centroid-sharing group reads the same samples.
+//!   Level 2's group size is forced up by the LDM residency constraint as
+//!   `d` grows, which blows up its read volume — the structural reason the
+//!   paper's Level 2 curve degrades and then dies at `d > 4,096`.
+//! * **Assign communication** — per-sample partial-result merges: the
+//!   intra-CG register-bus reduction (Level 3's dimension partials) and the
+//!   min-loc argmin merge across group members (register / DMA / network
+//!   hops depending on how far the group spans).
+//! * **Update communication** — the AllReduce of centroid accumulators
+//!   across groups, priced at the worst link class the group placement
+//!   touches (super-node boundaries make this jump — Fig. 7's steps).
+//!
+//! Feasibility mirrors the paper's constraint family: C1 for Level 1 (all
+//! centroids resident per CPE — reproduces exactly the k-ranges of Fig. 3),
+//! a streaming double-buffer residency for Level 2 (`4d ≤ LDM`, the d-wall
+//! of Fig. 7), and the fully-partitioned C1'' for Level 3 (`k·d` bounded
+//! only by total machine LDM), with an optional DDR-spill mode that trades
+//! time for capacity (used by Fig. 6a's k = 160,000 point).
+
+pub mod calibration;
+pub mod cost;
+pub mod crossover;
+pub mod feasibility;
+pub mod related;
+pub mod shape;
+pub mod sweep;
+
+pub use calibration::Calibration;
+pub use cost::{CostBreakdown, CostModel};
+pub use crossover::{best_level, find_crossover_d};
+pub use feasibility::{Infeasibility, LevelPlan};
+pub use shape::{Level, ProblemShape};
+pub use sweep::{strong_scaling, sweep_d, sweep_k, weak_scaling, SweepPoint};

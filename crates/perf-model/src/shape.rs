@@ -1,0 +1,112 @@
+//! Problem shapes and partition levels.
+
+use serde::{Deserialize, Serialize};
+
+/// The three partition levels of the design.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum Level {
+    /// Dataflow partition: every CPE holds all centroids.
+    L1,
+    /// Dataflow + centroid partition: CPE groups share the centroid set.
+    L2,
+    /// Dataflow + centroid + dimension partition: CGs hold dimension slices,
+    /// CG groups share the centroid set (the paper's contribution).
+    L3,
+}
+
+impl std::fmt::Display for Level {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Level::L1 => write!(f, "Level 1 (n-partition)"),
+            Level::L2 => write!(f, "Level 2 (nk-partition)"),
+            Level::L3 => write!(f, "Level 3 (nkd-partition)"),
+        }
+    }
+}
+
+/// The size of a clustering problem, as the cost model sees it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct ProblemShape {
+    /// Number of samples.
+    pub n: u64,
+    /// Number of centroids.
+    pub k: u64,
+    /// Dimensions per sample.
+    pub d: u64,
+    /// Bytes per element (4 = f32, 8 = f64).
+    pub elem_bytes: u64,
+}
+
+impl ProblemShape {
+    /// An f32 problem (the paper's working precision).
+    pub fn f32(n: u64, k: u64, d: u64) -> Self {
+        ProblemShape {
+            n,
+            k,
+            d,
+            elem_bytes: 4,
+        }
+    }
+
+    /// An f64 problem.
+    pub fn f64(n: u64, k: u64, d: u64) -> Self {
+        ProblemShape {
+            n,
+            k,
+            d,
+            elem_bytes: 8,
+        }
+    }
+
+    /// Flops of one Lloyd Assign pass: subtract, square, accumulate per
+    /// element of every sample-centroid pair.
+    pub fn assign_flops(&self) -> f64 {
+        3.0 * self.n as f64 * self.k as f64 * self.d as f64
+    }
+
+    /// Bytes of the full dataset.
+    pub fn dataset_bytes(&self) -> u64 {
+        self.n * self.d * self.elem_bytes
+    }
+
+    /// Bytes of the centroid set.
+    pub fn centroid_bytes(&self) -> u64 {
+        self.k * self.d * self.elem_bytes
+    }
+
+    /// The paper's headline case: ILSVRC2012 at full resolution.
+    pub fn imgnet_headline() -> Self {
+        ProblemShape::f32(1_265_723, 2_000, 196_608)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shape_arithmetic() {
+        let s = ProblemShape::f32(1000, 10, 64);
+        assert_eq!(s.dataset_bytes(), 1000 * 64 * 4);
+        assert_eq!(s.centroid_bytes(), 10 * 64 * 4);
+        assert_eq!(s.assign_flops(), 3.0 * 1000.0 * 10.0 * 64.0);
+        assert_eq!(ProblemShape::f64(1, 1, 1).elem_bytes, 8);
+    }
+
+    #[test]
+    fn headline_case_matches_paper() {
+        let s = ProblemShape::imgnet_headline();
+        assert_eq!(s.n, 1_265_723);
+        assert_eq!(s.k, 2_000);
+        assert_eq!(s.d, 196_608);
+        // ~927 GiB of f32 pixels.
+        assert!(s.dataset_bytes() > 900 * (1u64 << 30));
+    }
+
+    #[test]
+    fn level_ordering_and_display() {
+        assert!(Level::L1 < Level::L3);
+        assert!(Level::L3.to_string().contains("nkd"));
+        assert!(Level::L1.to_string().contains("n-partition"));
+    }
+}

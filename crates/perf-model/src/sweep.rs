@@ -1,0 +1,183 @@
+//! Parameter sweeps and scaling analysis over the cost model — the
+//! machinery behind the figure regeneration, exposed as a library so
+//! downstream users can run their own studies.
+
+use crate::cost::{CostBreakdown, CostModel};
+use crate::shape::{Level, ProblemShape};
+
+/// One point of a sweep: the swept value and the outcome (or infeasibility).
+#[derive(Debug, Clone)]
+pub struct SweepPoint {
+    pub x: u64,
+    pub cost: Option<CostBreakdown>,
+}
+
+impl SweepPoint {
+    pub fn total(&self) -> Option<f64> {
+        self.cost.as_ref().map(|c| c.total())
+    }
+}
+
+/// Sweep the centroid count at fixed `n`, `d`, machine and level.
+pub fn sweep_k(
+    model: &CostModel,
+    level: Level,
+    n: u64,
+    d: u64,
+    ks: &[u64],
+) -> Vec<SweepPoint> {
+    ks.iter()
+        .map(|&k| SweepPoint {
+            x: k,
+            cost: model.iteration_time(&ProblemShape::f32(n, k, d), level).ok(),
+        })
+        .collect()
+}
+
+/// Sweep the dimensionality at fixed `n`, `k`, machine and level.
+pub fn sweep_d(
+    model: &CostModel,
+    level: Level,
+    n: u64,
+    k: u64,
+    ds: &[u64],
+) -> Vec<SweepPoint> {
+    ds.iter()
+        .map(|&d| SweepPoint {
+            x: d,
+            cost: model.iteration_time(&ProblemShape::f32(n, k, d), level).ok(),
+        })
+        .collect()
+}
+
+/// Strong scaling: fixed shape, growing allocation. Returns
+/// `(nodes, time)` pairs for the feasible points.
+pub fn strong_scaling(
+    shape: &ProblemShape,
+    level: Level,
+    node_counts: &[usize],
+) -> Vec<(usize, Option<f64>)> {
+    node_counts
+        .iter()
+        .map(|&nodes| {
+            let t = CostModel::taihulight(nodes)
+                .iteration_time(shape, level)
+                .ok()
+                .map(|c| c.total());
+            (nodes, t)
+        })
+        .collect()
+}
+
+/// Weak scaling: `n` grows with the allocation (constant samples per
+/// node). Ideal weak scaling keeps time flat.
+pub fn weak_scaling(
+    samples_per_node: u64,
+    k: u64,
+    d: u64,
+    level: Level,
+    node_counts: &[usize],
+) -> Vec<(usize, Option<f64>)> {
+    node_counts
+        .iter()
+        .map(|&nodes| {
+            let shape = ProblemShape::f32(samples_per_node * nodes as u64, k, d);
+            let t = CostModel::taihulight(nodes)
+                .iteration_time(&shape, level)
+                .ok()
+                .map(|c| c.total());
+            (nodes, t)
+        })
+        .collect()
+}
+
+/// Parallel efficiency of a strong-scaling series relative to its first
+/// feasible point: `E(p) = t₀·p₀ / (t_p·p)`.
+pub fn parallel_efficiency(series: &[(usize, Option<f64>)]) -> Vec<(usize, Option<f64>)> {
+    let base = series
+        .iter()
+        .find_map(|&(p, t)| t.map(|t| (p as f64, t)));
+    series
+        .iter()
+        .map(|&(p, t)| {
+            let eff = match (base, t) {
+                (Some((p0, t0)), Some(t)) => Some(t0 * p0 / (t * p as f64)),
+                _ => None,
+            };
+            (p, eff)
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sweep_k_is_monotone_where_feasible() {
+        let model = CostModel::taihulight(128);
+        let pts = sweep_k(
+            &model,
+            Level::L3,
+            1_265_723,
+            3_072,
+            &[512, 1_024, 2_048, 4_096],
+        );
+        assert_eq!(pts.len(), 4);
+        let times: Vec<f64> = pts.iter().map(|p| p.total().unwrap()).collect();
+        for w in times.windows(2) {
+            assert!(w[1] >= w[0] * 0.99);
+        }
+    }
+
+    #[test]
+    fn sweep_d_marks_infeasible_points() {
+        let model = CostModel::taihulight(1);
+        // Level 1 dies quickly as d grows at k=256.
+        let pts = sweep_d(&model, Level::L1, 65_554, 256, &[4, 28, 68, 1_024]);
+        assert!(pts[0].cost.is_some());
+        assert!(pts[3].cost.is_none());
+        assert_eq!(pts[3].total(), None);
+    }
+
+    #[test]
+    fn strong_scaling_improves_with_nodes() {
+        let shape = ProblemShape::f32(1_265_723, 2_000, 12_288);
+        let series = strong_scaling(&shape, Level::L3, &[64, 128, 256, 512]);
+        let times: Vec<f64> = series.iter().map(|(_, t)| t.unwrap()).collect();
+        for w in times.windows(2) {
+            assert!(w[1] < w[0]);
+        }
+    }
+
+    #[test]
+    fn weak_scaling_is_roughly_flat() {
+        // Constant work per node: time should stay within a small factor
+        // across a 8× allocation growth (collective terms grow slowly).
+        let series = weak_scaling(10_000, 1_024, 3_072, Level::L3, &[64, 128, 256, 512]);
+        let times: Vec<f64> = series.iter().map(|(_, t)| t.unwrap()).collect();
+        let (min, max) = times
+            .iter()
+            .fold((f64::INFINITY, 0.0f64), |(lo, hi), &t| (lo.min(t), hi.max(t)));
+        assert!(max / min < 2.0, "weak scaling spread {times:?}");
+    }
+
+    #[test]
+    fn efficiency_is_one_at_the_baseline() {
+        let shape = ProblemShape::f32(1_265_723, 2_000, 12_288);
+        let series = strong_scaling(&shape, Level::L3, &[128, 256, 512]);
+        let eff = parallel_efficiency(&series);
+        assert!((eff[0].1.unwrap() - 1.0).abs() < 1e-12);
+        for (_, e) in &eff {
+            let e = e.unwrap();
+            assert!(e > 0.3 && e < 1.3, "efficiency {e}");
+        }
+    }
+
+    #[test]
+    fn efficiency_handles_all_infeasible() {
+        let series = vec![(2usize, None), (4, None)];
+        let eff = parallel_efficiency(&series);
+        assert!(eff.iter().all(|(_, e)| e.is_none()));
+    }
+}

@@ -1,0 +1,171 @@
+//! The core group: an 8×8 mesh of CPEs with row/column register-communication
+//! buses.
+//!
+//! The fast intra-CG AllReduce that makes the paper's Update step cheap is a
+//! mesh reduction: values travel along the 8 row buses to a column, then along
+//! that column bus to a root (or are re-broadcast the same way). This module
+//! models the *schedule* of such a reduction — how many bus steps it takes and
+//! how many bytes cross each bus — so both the analytic model and the
+//! discrete-event simulator can price it.
+
+use crate::ids::CpeId;
+use serde::{Deserialize, Serialize};
+
+/// Position of a CPE on the 8×8 mesh (row-major).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct MeshCoord {
+    pub row: usize,
+    pub col: usize,
+}
+
+impl MeshCoord {
+    /// Mesh coordinate of a CPE id (`0..side²`), row-major.
+    pub fn of(cpe: CpeId, side: usize) -> Self {
+        MeshCoord {
+            row: cpe.0 / side,
+            col: cpe.0 % side,
+        }
+    }
+
+    /// Inverse of [`MeshCoord::of`].
+    pub fn cpe(&self, side: usize) -> CpeId {
+        CpeId(self.row * side + self.col)
+    }
+}
+
+/// Static description of one core group.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CoreGroup {
+    /// Mesh side length (8 on SW26010).
+    pub mesh_side: usize,
+}
+
+impl CoreGroup {
+    /// The SW26010 core group: an 8×8 mesh (64 CPEs + 1 MPE).
+    pub fn sw26010() -> Self {
+        CoreGroup { mesh_side: 8 }
+    }
+
+    /// Number of CPEs in the group.
+    pub fn cpes(&self) -> usize {
+        self.mesh_side * self.mesh_side
+    }
+
+    /// Schedule of a full-mesh AllReduce of `bytes` bytes per CPE using the
+    /// row-then-column bus pattern.
+    ///
+    /// Phase 1: each of the `side` row buses reduces `side` values to the
+    /// bus owner in `side - 1` sequential hops. Phase 2: one column bus
+    /// reduces the `side` row results in another `side - 1` hops. The
+    /// broadcast back retraces the same hops, so an AllReduce is twice the
+    /// reduce cost. All row buses operate concurrently in phase 1, so the
+    /// *critical path* is `2 * 2 * (side - 1)` hops, each moving `bytes`
+    /// bytes over a register bus.
+    pub fn allreduce_schedule(&self, bytes: usize) -> ReductionSchedule {
+        let side = self.mesh_side;
+        let hops = 2 * 2 * (side - 1);
+        ReductionSchedule {
+            critical_hops: hops,
+            bytes_per_hop: bytes,
+            concurrent_buses: side,
+        }
+    }
+
+    /// Schedule of a reduce-to-root (no broadcast back): half the AllReduce.
+    pub fn reduce_schedule(&self, bytes: usize) -> ReductionSchedule {
+        let side = self.mesh_side;
+        ReductionSchedule {
+            critical_hops: 2 * (side - 1),
+            bytes_per_hop: bytes,
+            concurrent_buses: side,
+        }
+    }
+
+    /// Schedule of a broadcast from one CPE to the whole mesh (column bus
+    /// then all row buses).
+    pub fn broadcast_schedule(&self, bytes: usize) -> ReductionSchedule {
+        self.reduce_schedule(bytes)
+    }
+}
+
+impl Default for CoreGroup {
+    fn default() -> Self {
+        Self::sw26010()
+    }
+}
+
+/// Cost-model view of a mesh collective: how many sequential bus hops sit on
+/// the critical path and how many bytes each hop carries.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ReductionSchedule {
+    /// Sequential register-bus hops on the critical path.
+    pub critical_hops: usize,
+    /// Payload bytes carried by each hop.
+    pub bytes_per_hop: usize,
+    /// Buses active concurrently during the widest phase (informational; the
+    /// critical path already accounts for concurrency).
+    pub concurrent_buses: usize,
+}
+
+impl ReductionSchedule {
+    /// Wall time of the schedule given a per-bus bandwidth (bytes/s) and a
+    /// per-hop latency (s).
+    pub fn time(&self, bus_bw: f64, hop_lat: f64) -> f64 {
+        self.critical_hops as f64 * (hop_lat + self.bytes_per_hop as f64 / bus_bw)
+    }
+
+    /// Total bytes moved across all hops of the critical path.
+    pub fn critical_bytes(&self) -> usize {
+        self.critical_hops * self.bytes_per_hop
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mesh_coord_round_trip() {
+        let cg = CoreGroup::sw26010();
+        for i in 0..cg.cpes() {
+            let c = MeshCoord::of(CpeId(i), cg.mesh_side);
+            assert_eq!(c.cpe(cg.mesh_side), CpeId(i));
+            assert!(c.row < 8 && c.col < 8);
+        }
+    }
+
+    #[test]
+    fn corner_coordinates() {
+        assert_eq!(MeshCoord::of(CpeId(0), 8), MeshCoord { row: 0, col: 0 });
+        assert_eq!(MeshCoord::of(CpeId(7), 8), MeshCoord { row: 0, col: 7 });
+        assert_eq!(MeshCoord::of(CpeId(56), 8), MeshCoord { row: 7, col: 0 });
+        assert_eq!(MeshCoord::of(CpeId(63), 8), MeshCoord { row: 7, col: 7 });
+    }
+
+    #[test]
+    fn allreduce_is_twice_reduce() {
+        let cg = CoreGroup::sw26010();
+        let r = cg.reduce_schedule(1024);
+        let ar = cg.allreduce_schedule(1024);
+        assert_eq!(ar.critical_hops, 2 * r.critical_hops);
+        assert_eq!(r.critical_hops, 14); // 2 * (8 - 1)
+    }
+
+    #[test]
+    fn schedule_time_scales_with_bytes_and_hops() {
+        let cg = CoreGroup::sw26010();
+        let small = cg.allreduce_schedule(64).time(46.4e9, 7e-9);
+        let big = cg.allreduce_schedule(64 * 1024).time(46.4e9, 7e-9);
+        assert!(big > small);
+        // With zero latency, time is linear in bytes.
+        let t1 = cg.reduce_schedule(1000).time(1e9, 0.0);
+        let t2 = cg.reduce_schedule(2000).time(1e9, 0.0);
+        assert!((t2 / t1 - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn critical_bytes_accounting() {
+        let s = CoreGroup::sw26010().reduce_schedule(100);
+        assert_eq!(s.critical_bytes(), 1400);
+    }
+}

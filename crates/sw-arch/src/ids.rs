@@ -1,0 +1,134 @@
+//! Strongly-typed identifiers for every level of the hardware hierarchy.
+//!
+//! The partition algorithms juggle four different index spaces at once
+//! (global CPE rank, CPE-within-CG, CG-within-machine, node-within-machine);
+//! newtypes keep them from being mixed up silently. All ids are dense
+//! zero-based indices.
+
+use serde::{Deserialize, Serialize};
+
+/// A logical SPMD rank (what MPI would call a rank). Which physical resource
+/// a rank denotes depends on the execution plan: Level 1/2 plans rank CPEs,
+/// Level 3 plans rank CGs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct Rank(pub usize);
+
+/// Index of a CPE within its core group: `0..64`, laid out row-major on the
+/// 8×8 mesh.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct CpeId(pub usize);
+
+/// Global index of a core group across the whole machine:
+/// `0..nodes * cgs_per_node`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct CgId(pub usize);
+
+/// Global index of a node (one SW26010 processor): `0..nodes`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct NodeId(pub usize);
+
+/// Global index of a super-node (256 nodes sharing one interconnection
+/// board).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct SupernodeId(pub usize);
+
+/// Fully-resolved physical coordinates of one CPE.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct GlobalCpe {
+    pub node: NodeId,
+    /// Core group within the node: `0..4`.
+    pub cg_in_node: usize,
+    /// CPE within the core group: `0..64`.
+    pub cpe: CpeId,
+}
+
+impl GlobalCpe {
+    /// Global CG index given the number of CGs per node.
+    pub fn cg(&self, cgs_per_node: usize) -> CgId {
+        CgId(self.node.0 * cgs_per_node + self.cg_in_node)
+    }
+
+    /// Flat global CPE rank given the machine shape.
+    pub fn flat(&self, cgs_per_node: usize, cpes_per_cg: usize) -> usize {
+        (self.node.0 * cgs_per_node + self.cg_in_node) * cpes_per_cg + self.cpe.0
+    }
+}
+
+impl CgId {
+    /// The node this CG lives on.
+    pub fn node(&self, cgs_per_node: usize) -> NodeId {
+        NodeId(self.0 / cgs_per_node)
+    }
+
+    /// Index of this CG within its node.
+    pub fn cg_in_node(&self, cgs_per_node: usize) -> usize {
+        self.0 % cgs_per_node
+    }
+}
+
+impl NodeId {
+    /// The super-node this node belongs to.
+    pub fn supernode(&self, nodes_per_supernode: usize) -> SupernodeId {
+        SupernodeId(self.0 / nodes_per_supernode)
+    }
+}
+
+macro_rules! display_id {
+    ($t:ty, $prefix:literal) => {
+        impl std::fmt::Display for $t {
+            fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+                write!(f, concat!($prefix, "{}"), self.0)
+            }
+        }
+        impl From<usize> for $t {
+            fn from(v: usize) -> Self {
+                Self(v)
+            }
+        }
+    };
+}
+
+display_id!(Rank, "rank");
+display_id!(CpeId, "cpe");
+display_id!(CgId, "cg");
+display_id!(NodeId, "node");
+display_id!(SupernodeId, "sn");
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cg_node_arithmetic() {
+        // CG 9 with 4 CGs per node is CG 1 of node 2.
+        let cg = CgId(9);
+        assert_eq!(cg.node(4), NodeId(2));
+        assert_eq!(cg.cg_in_node(4), 1);
+    }
+
+    #[test]
+    fn supernode_arithmetic() {
+        assert_eq!(NodeId(0).supernode(256), SupernodeId(0));
+        assert_eq!(NodeId(255).supernode(256), SupernodeId(0));
+        assert_eq!(NodeId(256).supernode(256), SupernodeId(1));
+        assert_eq!(NodeId(4095).supernode(256), SupernodeId(15));
+    }
+
+    #[test]
+    fn global_cpe_flattening_round_trip() {
+        let g = GlobalCpe {
+            node: NodeId(3),
+            cg_in_node: 2,
+            cpe: CpeId(17),
+        };
+        assert_eq!(g.cg(4), CgId(14));
+        assert_eq!(g.flat(4, 64), 14 * 64 + 17);
+    }
+
+    #[test]
+    fn display_formats() {
+        assert_eq!(CgId(5).to_string(), "cg5");
+        assert_eq!(NodeId(7).to_string(), "node7");
+        assert_eq!(Rank(0).to_string(), "rank0");
+    }
+}

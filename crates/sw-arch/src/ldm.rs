@@ -1,0 +1,225 @@
+//! The 64 KB Local Directive Memory (LDM / scratchpad) of a CPE, modelled as
+//! an explicit budget allocator.
+//!
+//! On the real machine the LDM is a user-controlled fast buffer: nothing
+//! spills automatically, and a layout that does not fit simply cannot run.
+//! The paper's feasibility constraints (C1–C3 and their primed variants) are
+//! statements about what fits in this budget. We model it as a named-region
+//! allocator so execution plans are *validated* against it and an oversized
+//! plan produces a typed error listing exactly which region overflowed —
+//! never a silently wrong partition.
+
+use crate::params::MachineParams;
+
+/// One named allocation inside the LDM budget.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LdmRegion {
+    /// Human-readable purpose, e.g. `"sample"`, `"centroids"`, `"accumulators"`.
+    pub label: String,
+    /// Size in bytes.
+    pub bytes: usize,
+}
+
+/// Error returned when a requested layout exceeds the scratchpad.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LdmError {
+    /// The region whose allocation failed.
+    pub region: LdmRegion,
+    /// Bytes already committed before the failing request.
+    pub used: usize,
+    /// Total capacity in bytes.
+    pub capacity: usize,
+}
+
+impl std::fmt::Display for LdmError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "LDM overflow: region `{}` needs {} B but only {} of {} B remain",
+            self.region.label,
+            self.region.bytes,
+            self.capacity.saturating_sub(self.used),
+            self.capacity
+        )
+    }
+}
+
+impl std::error::Error for LdmError {}
+
+/// A running allocation against one CPE's scratchpad capacity.
+#[derive(Debug, Clone)]
+pub struct LdmBudget {
+    capacity: usize,
+    regions: Vec<LdmRegion>,
+    used: usize,
+}
+
+impl LdmBudget {
+    /// Budget for one CPE of the given machine.
+    pub fn new(params: &MachineParams) -> Self {
+        Self::with_capacity(params.ldm_bytes)
+    }
+
+    /// Budget with an explicit capacity in bytes (for ablations).
+    pub fn with_capacity(capacity: usize) -> Self {
+        LdmBudget {
+            capacity,
+            regions: Vec::new(),
+            used: 0,
+        }
+    }
+
+    /// Reserve `bytes` for `label`, failing if the scratchpad would overflow.
+    pub fn alloc(&mut self, label: impl Into<String>, bytes: usize) -> Result<(), LdmError> {
+        let region = LdmRegion {
+            label: label.into(),
+            bytes,
+        };
+        if self.used + bytes > self.capacity {
+            return Err(LdmError {
+                region,
+                used: self.used,
+                capacity: self.capacity,
+            });
+        }
+        self.used += bytes;
+        self.regions.push(region);
+        Ok(())
+    }
+
+    /// Reserve space for `count` elements of `elem_bytes` bytes each.
+    pub fn alloc_elems(
+        &mut self,
+        label: impl Into<String>,
+        count: usize,
+        elem_bytes: usize,
+    ) -> Result<(), LdmError> {
+        self.alloc(label, count * elem_bytes)
+    }
+
+    /// Bytes committed so far.
+    pub fn used(&self) -> usize {
+        self.used
+    }
+
+    /// Bytes still available.
+    pub fn remaining(&self) -> usize {
+        self.capacity - self.used
+    }
+
+    /// Total capacity in bytes.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Fraction of the scratchpad committed, in `[0, 1]`.
+    pub fn utilisation(&self) -> f64 {
+        self.used as f64 / self.capacity as f64
+    }
+
+    /// Freeze into an immutable layout description.
+    pub fn finish(self) -> LdmLayout {
+        LdmLayout {
+            capacity: self.capacity,
+            regions: self.regions,
+            used: self.used,
+        }
+    }
+}
+
+/// A validated, immutable scratchpad layout: the proof that a plan fits.
+#[derive(Debug, Clone)]
+pub struct LdmLayout {
+    capacity: usize,
+    regions: Vec<LdmRegion>,
+    used: usize,
+}
+
+impl LdmLayout {
+    pub fn regions(&self) -> &[LdmRegion] {
+        &self.regions
+    }
+
+    pub fn used(&self) -> usize {
+        self.used
+    }
+
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Size in bytes of the region with the given label, if present.
+    pub fn region_bytes(&self, label: &str) -> Option<usize> {
+        self.regions.iter().find(|r| r.label == label).map(|r| r.bytes)
+    }
+}
+
+impl std::fmt::Display for LdmLayout {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        writeln!(f, "LDM layout ({}/{} B):", self.used, self.capacity)?;
+        for r in &self.regions {
+            writeln!(f, "  {:<16} {:>8} B", r.label, r.bytes)?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn alloc_within_capacity_succeeds() {
+        let mut b = LdmBudget::with_capacity(100);
+        b.alloc("a", 60).unwrap();
+        b.alloc("b", 40).unwrap();
+        assert_eq!(b.remaining(), 0);
+        assert_eq!(b.utilisation(), 1.0);
+    }
+
+    #[test]
+    fn overflow_is_a_typed_error() {
+        let mut b = LdmBudget::with_capacity(100);
+        b.alloc("a", 60).unwrap();
+        let err = b.alloc("big", 41).unwrap_err();
+        assert_eq!(err.region.label, "big");
+        assert_eq!(err.used, 60);
+        assert_eq!(err.capacity, 100);
+        // Failed allocation must not corrupt the budget.
+        assert_eq!(b.used(), 60);
+        b.alloc("fits", 40).unwrap();
+    }
+
+    #[test]
+    fn element_allocation_uses_element_size() {
+        let params = MachineParams::taihulight();
+        let mut b = LdmBudget::new(&params);
+        // 16384 f32s fill the 64 KB scratchpad exactly.
+        b.alloc_elems("all", 16384, 4).unwrap();
+        assert_eq!(b.remaining(), 0);
+    }
+
+    #[test]
+    fn layout_reports_regions() {
+        let mut b = LdmBudget::with_capacity(1000);
+        b.alloc("sample", 400).unwrap();
+        b.alloc("centroids", 500).unwrap();
+        let layout = b.finish();
+        assert_eq!(layout.region_bytes("sample"), Some(400));
+        assert_eq!(layout.region_bytes("centroids"), Some(500));
+        assert_eq!(layout.region_bytes("missing"), None);
+        assert_eq!(layout.used(), 900);
+        let text = layout.to_string();
+        assert!(text.contains("sample"));
+        assert!(text.contains("centroids"));
+    }
+
+    #[test]
+    fn display_of_error_mentions_label_and_remaining() {
+        let mut b = LdmBudget::with_capacity(10);
+        let err = b.alloc("huge", 11).unwrap_err();
+        let s = err.to_string();
+        assert!(s.contains("huge"));
+        assert!(s.contains("11"));
+    }
+}

@@ -1,0 +1,40 @@
+//! Machine model of the SW26010 many-core processor and the Sunway
+//! TaihuLight system topology.
+//!
+//! The SC'18 hierarchical k-means design is inseparable from the hardware it
+//! targets: the partition levels map one-to-one onto the hardware hierarchy.
+//! This crate captures that hierarchy as plain data so that the algorithm
+//! crates (`hier-kmeans`, `perf-model`) can reason about it without any
+//! real Sunway hardware:
+//!
+//! * [`params::MachineParams`] — the published physical constants (LDM size,
+//!   DMA / register-communication / network bandwidths, clock frequency).
+//! * [`ids`] — strongly-typed identifiers for CPEs, core groups (CGs), nodes
+//!   and super-nodes, plus the rank arithmetic between them.
+//! * [`ldm`] — the 64 KB user-managed scratchpad of each CPE, modelled as a
+//!   budget allocator so layout plans can be *checked*, not assumed.
+//! * [`cg`] — the 8×8 CPE mesh with its row/column register-communication
+//!   buses, including the step counts of mesh-based reductions.
+//! * [`machine`] — the whole system: nodes of 4 CGs, super-nodes of 256
+//!   nodes, a central-switch fat tree above them, and communication-class
+//!   queries between any two CPEs.
+//! * [`placement`] — mapping logical computation units (CG groups, CPE
+//!   groups) onto physical resources; topology-aware placement keeps a CG
+//!   group inside one super-node whenever it fits.
+//!
+//! Everything is deterministic and `Copy`-friendly: the model is consumed by
+//! both the analytic performance model and the discrete-event simulator.
+
+pub mod cg;
+pub mod ids;
+pub mod ldm;
+pub mod machine;
+pub mod params;
+pub mod placement;
+
+pub use cg::{CoreGroup, MeshCoord, ReductionSchedule};
+pub use ids::{CgId, CpeId, GlobalCpe, NodeId, Rank, SupernodeId};
+pub use ldm::{LdmBudget, LdmError, LdmLayout, LdmRegion};
+pub use machine::{CommClass, Machine, MachineConfig};
+pub use params::MachineParams;
+pub use placement::{CgGroupPlacement, PlacementError, PlacementPolicy};

@@ -1,0 +1,222 @@
+//! The whole Sunway TaihuLight system: nodes of four core groups, super-nodes
+//! of 256 nodes, and the central routing switch above them.
+//!
+//! The machine is pure topology data — no threads, no state. Its job is to
+//! answer "how far apart are these two computation units?" so communication
+//! can be priced by class: register communication inside a CG, shared memory
+//! inside a node, one fat-tree level inside a super-node, two levels across
+//! super-nodes.
+
+use crate::cg::CoreGroup;
+use crate::ids::{CgId, NodeId, SupernodeId};
+use crate::params::MachineParams;
+use serde::{Deserialize, Serialize};
+
+/// How many hardware levels separate two communicating units. Ordered from
+/// cheapest to most expensive.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub enum CommClass {
+    /// Same core group: register communication over the 8×8 mesh buses.
+    IntraCg,
+    /// Same node, different CG: through shared DDR3 memory.
+    IntraNode,
+    /// Same super-node, different node: one level of the fat tree.
+    IntraSupernode,
+    /// Different super-nodes: through the central routing server.
+    InterSupernode,
+}
+
+impl CommClass {
+    /// Bandwidth of this link class in bytes/s under `params`.
+    pub fn bandwidth(&self, params: &MachineParams) -> f64 {
+        match self {
+            CommClass::IntraCg => params.reg_bw,
+            CommClass::IntraNode => params.dma_bw,
+            CommClass::IntraSupernode => params.net_bw,
+            CommClass::InterSupernode => params.net_bw_inter_supernode,
+        }
+    }
+
+    /// One-way message latency of this link class in seconds under `params`.
+    pub fn latency(&self, params: &MachineParams) -> f64 {
+        match self {
+            CommClass::IntraCg => params.reg_lat,
+            CommClass::IntraNode => params.dma_lat,
+            CommClass::IntraSupernode => params.net_lat_intra,
+            CommClass::InterSupernode => params.net_lat_inter,
+        }
+    }
+}
+
+/// Size of a machine allocation: how many nodes the job runs on.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct MachineConfig {
+    /// Number of SW26010 nodes in the allocation.
+    pub nodes: usize,
+}
+
+impl MachineConfig {
+    pub fn new(nodes: usize) -> Self {
+        MachineConfig { nodes }
+    }
+}
+
+/// A machine allocation: physical constants plus an allocation size.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Machine {
+    pub params: MachineParams,
+    pub config: MachineConfig,
+    pub core_group: CoreGroup,
+}
+
+impl Machine {
+    /// A TaihuLight allocation of `nodes` nodes.
+    pub fn taihulight(nodes: usize) -> Self {
+        Machine {
+            params: MachineParams::taihulight(),
+            config: MachineConfig::new(nodes),
+            core_group: CoreGroup::sw26010(),
+        }
+    }
+
+    /// Total core groups in the allocation.
+    pub fn total_cgs(&self) -> usize {
+        self.config.nodes * self.params.cgs_per_node
+    }
+
+    /// Total CPEs in the allocation (the paper's `m` for Levels 1–2).
+    pub fn total_cpes(&self) -> usize {
+        self.total_cgs() * self.params.cpes_per_cg
+    }
+
+    /// Total cores including the MPE of each CG (how the paper counts
+    /// "1,064,496 cores" for 4,096 nodes: 4,096 × 4 × (64 + 1) = 1,064,960;
+    /// the paper's printed figure differs by a typo, see EXPERIMENTS.md).
+    pub fn total_cores_with_mpes(&self) -> usize {
+        self.total_cgs() * (self.params.cpes_per_cg + 1)
+    }
+
+    /// Number of super-nodes spanned by the allocation (ceiling division).
+    pub fn supernodes(&self) -> usize {
+        self.config.nodes.div_ceil(self.params.nodes_per_supernode)
+    }
+
+    /// The super-node of a node in the allocation.
+    pub fn supernode_of(&self, node: NodeId) -> SupernodeId {
+        node.supernode(self.params.nodes_per_supernode)
+    }
+
+    /// The node hosting a global CG index.
+    pub fn node_of_cg(&self, cg: CgId) -> NodeId {
+        cg.node(self.params.cgs_per_node)
+    }
+
+    /// Communication class between two global CG indices.
+    pub fn comm_class_between_cgs(&self, a: CgId, b: CgId) -> CommClass {
+        if a == b {
+            return CommClass::IntraCg;
+        }
+        let (na, nb) = (self.node_of_cg(a), self.node_of_cg(b));
+        if na == nb {
+            return CommClass::IntraNode;
+        }
+        if self.supernode_of(na) == self.supernode_of(nb) {
+            return CommClass::IntraSupernode;
+        }
+        CommClass::InterSupernode
+    }
+
+    /// The most expensive communication class appearing among a set of CGs —
+    /// what a collective over those CGs is priced at.
+    pub fn worst_comm_class(&self, cgs: &[CgId]) -> CommClass {
+        let mut worst = CommClass::IntraCg;
+        for (i, &a) in cgs.iter().enumerate() {
+            for &b in &cgs[i + 1..] {
+                let c = self.comm_class_between_cgs(a, b);
+                if c > worst {
+                    worst = c;
+                }
+            }
+        }
+        worst
+    }
+
+    /// True if the allocation fits inside one super-node.
+    pub fn single_supernode(&self) -> bool {
+        self.config.nodes <= self.params.nodes_per_supernode
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn allocation_totals_match_paper_setups() {
+        // Level 1 setup: one processor = 4 CGs = 256 CPEs.
+        let m1 = Machine::taihulight(1);
+        assert_eq!(m1.total_cgs(), 4);
+        assert_eq!(m1.total_cpes(), 256);
+
+        // Level 2 setup: 256 processors = 1,024 CGs = 65,536 CPEs.
+        let m2 = Machine::taihulight(256);
+        assert_eq!(m2.total_cgs(), 1024);
+        assert_eq!(m2.total_cpes(), 65_536);
+
+        // Level 3 setup: 4,096 processors = 16,384 CGs.
+        let m3 = Machine::taihulight(4096);
+        assert_eq!(m3.total_cgs(), 16_384);
+        assert_eq!(m3.total_cpes(), 1_048_576);
+        assert_eq!(m3.total_cores_with_mpes(), 1_064_960);
+        assert_eq!(m3.supernodes(), 16);
+    }
+
+    #[test]
+    fn comm_class_ordering_matches_cost() {
+        assert!(CommClass::IntraCg < CommClass::IntraNode);
+        assert!(CommClass::IntraNode < CommClass::IntraSupernode);
+        assert!(CommClass::IntraSupernode < CommClass::InterSupernode);
+        let p = MachineParams::taihulight();
+        assert!(CommClass::IntraCg.bandwidth(&p) > CommClass::IntraSupernode.bandwidth(&p));
+        assert!(CommClass::IntraCg.latency(&p) < CommClass::InterSupernode.latency(&p));
+    }
+
+    #[test]
+    fn comm_class_between_cgs_walks_the_hierarchy() {
+        let m = Machine::taihulight(512);
+        // Same CG.
+        assert_eq!(m.comm_class_between_cgs(CgId(5), CgId(5)), CommClass::IntraCg);
+        // CGs 0 and 3 are both on node 0.
+        assert_eq!(m.comm_class_between_cgs(CgId(0), CgId(3)), CommClass::IntraNode);
+        // CG 4 is on node 1; node 0 and node 1 share super-node 0.
+        assert_eq!(
+            m.comm_class_between_cgs(CgId(0), CgId(4)),
+            CommClass::IntraSupernode
+        );
+        // Node 256 is in super-node 1: CG 1024 lives there.
+        assert_eq!(
+            m.comm_class_between_cgs(CgId(0), CgId(1024)),
+            CommClass::InterSupernode
+        );
+    }
+
+    #[test]
+    fn worst_comm_class_over_sets() {
+        let m = Machine::taihulight(512);
+        assert_eq!(m.worst_comm_class(&[CgId(9)]), CommClass::IntraCg);
+        assert_eq!(
+            m.worst_comm_class(&[CgId(0), CgId(1), CgId(2)]),
+            CommClass::IntraNode
+        );
+        assert_eq!(
+            m.worst_comm_class(&[CgId(0), CgId(1), CgId(1025)]),
+            CommClass::InterSupernode
+        );
+    }
+
+    #[test]
+    fn single_supernode_boundary() {
+        assert!(Machine::taihulight(256).single_supernode());
+        assert!(!Machine::taihulight(257).single_supernode());
+    }
+}

@@ -1,0 +1,155 @@
+//! Published physical constants of the SW26010 processor and the Sunway
+//! TaihuLight interconnect.
+//!
+//! All values come straight from the paper's experimental-configuration
+//! section (and the TaihuLight system paper it cites): 64 KB LDM per CPE,
+//! 1.45 GHz clock, 32 GB/s DMA bandwidth per core group, 46.4 GB/s register
+//! communication bandwidth, and a 16 GB/s bidirectional node network link.
+//! They are plain `f64`/`usize` fields rather than constants so experiments
+//! can ablate them (e.g. "what if register communication were no faster than
+//! DMA?").
+
+use serde::{Deserialize, Serialize};
+
+/// Physical machine constants used by the cost model, the LDM budget checker
+/// and the discrete-event simulator.
+///
+/// Bandwidths are in **bytes per second**, capacities in **bytes**,
+/// frequencies in **Hz** and latencies in **seconds**.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct MachineParams {
+    /// Local Directive Memory (scratchpad) per CPE, in bytes. 64 KB on SW26010.
+    pub ldm_bytes: usize,
+    /// L1 instruction cache per CPE, in bytes (16 KB). Not used by the cost
+    /// model but kept for completeness of the architectural description.
+    pub cpe_icache_bytes: usize,
+    /// Computing processing elements per core group (an 8×8 mesh).
+    pub cpes_per_cg: usize,
+    /// Core groups per SW26010 processor (= per node).
+    pub cgs_per_node: usize,
+    /// Nodes per super-node: 256 nodes share a customized interconnection
+    /// board; super-nodes connect through the central routing switch.
+    pub nodes_per_supernode: usize,
+    /// CPE clock frequency in Hz (1.45 GHz).
+    pub clock_hz: f64,
+    /// Double-precision FLOPs per cycle per CPE. Each CPE has a 256-bit FMA
+    /// vector pipe: 4 lanes × 2 (fused multiply-add) = 8 flop/cycle.
+    pub flops_per_cycle: f64,
+    /// DMA bandwidth between main memory and the LDMs of one core group,
+    /// in bytes/s (32 GB/s theoretical).
+    pub dma_bw: f64,
+    /// Register-communication bandwidth across the 8×8 CPE mesh, in bytes/s
+    /// (46.4 GB/s theoretical). The paper reports a 3–4× speedup of register
+    /// communication over DMA/MPI for the reduction bottleneck.
+    pub reg_bw: f64,
+    /// Bidirectional peak network bandwidth per node, in bytes/s (16 GB/s).
+    pub net_bw: f64,
+    /// Effective per-node network bandwidth for traffic that crosses
+    /// super-node boundaries (the upper fat-tree level is tapered), bytes/s.
+    pub net_bw_inter_supernode: f64,
+    /// One-way latency of an intra-super-node MPI message, seconds.
+    pub net_lat_intra: f64,
+    /// One-way latency of an inter-super-node MPI message (through the
+    /// central routing server), seconds.
+    pub net_lat_inter: f64,
+    /// DMA request startup latency, seconds.
+    pub dma_lat: f64,
+    /// Register-communication per-hop latency, seconds (~10 cycles).
+    pub reg_lat: f64,
+    /// Main (DDR3) memory per node, bytes (32 GB).
+    pub node_mem_bytes: usize,
+}
+
+impl MachineParams {
+    /// The Sunway TaihuLight configuration as published in the paper.
+    pub fn taihulight() -> Self {
+        MachineParams {
+            ldm_bytes: 64 * 1024,
+            cpe_icache_bytes: 16 * 1024,
+            cpes_per_cg: 64,
+            cgs_per_node: 4,
+            nodes_per_supernode: 256,
+            clock_hz: 1.45e9,
+            flops_per_cycle: 8.0,
+            dma_bw: 32.0e9,
+            reg_bw: 46.4e9,
+            net_bw: 16.0e9,
+            // The upper level of the fat tree is tapered 4:1 relative to the
+            // intra-super-node boards.
+            net_bw_inter_supernode: 4.0e9,
+            net_lat_intra: 1.0e-6,
+            net_lat_inter: 4.0e-6,
+            dma_lat: 1.0e-6,
+            reg_lat: 7.0e-9,
+            node_mem_bytes: 32 * (1 << 30),
+        }
+    }
+
+    /// CPEs per node (4 CGs × 64 CPEs = 256).
+    pub fn cpes_per_node(&self) -> usize {
+        self.cpes_per_cg * self.cgs_per_node
+    }
+
+    /// Peak double-precision FLOP/s of one CPE.
+    pub fn cpe_flops(&self) -> f64 {
+        self.clock_hz * self.flops_per_cycle
+    }
+
+    /// Peak double-precision FLOP/s of one core group (CPEs only; the MPE
+    /// is reserved for management and communication).
+    pub fn cg_flops(&self) -> f64 {
+        self.cpe_flops() * self.cpes_per_cg as f64
+    }
+
+    /// LDM capacity in `elem_bytes`-sized elements (e.g. 16384 `f32`s).
+    pub fn ldm_elems(&self, elem_bytes: usize) -> usize {
+        self.ldm_bytes / elem_bytes
+    }
+
+    /// An ablation variant where register communication is no faster than
+    /// DMA — used to quantify how much the fast on-mesh reduction buys.
+    pub fn without_register_communication(mut self) -> Self {
+        self.reg_bw = self.dma_bw;
+        self.reg_lat = self.dma_lat;
+        self
+    }
+}
+
+impl Default for MachineParams {
+    fn default() -> Self {
+        Self::taihulight()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn taihulight_headline_numbers() {
+        let p = MachineParams::taihulight();
+        assert_eq!(p.ldm_bytes, 65536);
+        assert_eq!(p.cpes_per_node(), 256);
+        assert_eq!(p.ldm_elems(4), 16384);
+        assert_eq!(p.ldm_elems(8), 8192);
+        // 1.45 GHz × 8 flops × 64 CPEs ≈ 742.4 GFLOP/s per CG; 4 CGs ≈ 2.97
+        // TFLOP/s per node, matching the published ~3.06 TFLOP/s per node to
+        // within the MPE contribution we deliberately exclude.
+        assert!((p.cg_flops() - 742.4e9).abs() < 1e6);
+    }
+
+    #[test]
+    fn register_comm_is_faster_than_dma() {
+        let p = MachineParams::taihulight();
+        assert!(p.reg_bw > p.dma_bw);
+        let ablated = p.without_register_communication();
+        assert_eq!(ablated.reg_bw, ablated.dma_bw);
+    }
+
+    #[test]
+    fn copy_round_trip() {
+        let p = MachineParams::taihulight();
+        let q = p;
+        assert_eq!(p, q);
+    }
+}

@@ -1,0 +1,224 @@
+//! Placement of logical computation units onto physical core groups.
+//!
+//! Level 3 organises CGs into *CG groups* of `m'_group` members that jointly
+//! hold the k centroids; every sample is broadcast to all members of its
+//! group, so intra-group traffic dominates. The paper notes that a CG group
+//! should be placed inside one super-node whenever possible. This module
+//! implements both that topology-aware policy and a naive round-robin
+//! scatter, so the benefit can be measured (an ablation the paper asserts but
+//! does not plot).
+
+use crate::ids::CgId;
+use crate::machine::{CommClass, Machine};
+use serde::{Deserialize, Serialize};
+
+/// How logical CG groups are laid out on physical CGs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum PlacementPolicy {
+    /// Consecutive CGs form a group: a group of `g` CGs spans
+    /// `ceil(g / cgs_per_node)` adjacent nodes, staying inside one super-node
+    /// whenever the group is small enough. This is the paper's recommended
+    /// layout.
+    TopologyAware,
+    /// CG `i` of group `j` is placed at physical CG `i * n_groups + j`:
+    /// members of one group are scattered as far apart as possible. Used as
+    /// the ablation baseline.
+    RoundRobinScatter,
+}
+
+/// Error produced when a requested grouping cannot be placed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PlacementError {
+    /// `group_size * n_groups` exceeds the CGs available in the allocation.
+    NotEnoughCgs {
+        requested: usize,
+        available: usize,
+    },
+    /// Group size of zero or group count of zero.
+    EmptyGrouping,
+}
+
+impl std::fmt::Display for PlacementError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            PlacementError::NotEnoughCgs {
+                requested,
+                available,
+            } => write!(
+                f,
+                "placement needs {requested} CGs but the allocation has {available}"
+            ),
+            PlacementError::EmptyGrouping => write!(f, "group size and count must be non-zero"),
+        }
+    }
+}
+
+impl std::error::Error for PlacementError {}
+
+/// A concrete assignment of every CG group to physical CGs.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CgGroupPlacement {
+    /// `groups[g]` lists the physical CGs of logical group `g`, in member
+    /// order (member 0 holds the first centroid shard, etc.).
+    groups: Vec<Vec<CgId>>,
+    policy: PlacementPolicy,
+}
+
+impl CgGroupPlacement {
+    /// Place `n_groups` groups of `group_size` CGs each on `machine`.
+    pub fn new(
+        machine: &Machine,
+        n_groups: usize,
+        group_size: usize,
+        policy: PlacementPolicy,
+    ) -> Result<Self, PlacementError> {
+        if n_groups == 0 || group_size == 0 {
+            return Err(PlacementError::EmptyGrouping);
+        }
+        let needed = n_groups * group_size;
+        let available = machine.total_cgs();
+        if needed > available {
+            return Err(PlacementError::NotEnoughCgs {
+                requested: needed,
+                available,
+            });
+        }
+        let groups = match policy {
+            PlacementPolicy::TopologyAware => (0..n_groups)
+                .map(|g| {
+                    (0..group_size)
+                        .map(|i| CgId(g * group_size + i))
+                        .collect()
+                })
+                .collect(),
+            PlacementPolicy::RoundRobinScatter => (0..n_groups)
+                .map(|g| {
+                    (0..group_size)
+                        .map(|i| CgId(i * n_groups + g))
+                        .collect()
+                })
+                .collect(),
+        };
+        Ok(CgGroupPlacement { groups, policy })
+    }
+
+    pub fn policy(&self) -> PlacementPolicy {
+        self.policy
+    }
+
+    pub fn n_groups(&self) -> usize {
+        self.groups.len()
+    }
+
+    pub fn group_size(&self) -> usize {
+        self.groups[0].len()
+    }
+
+    /// Physical CGs of group `g`.
+    pub fn group(&self, g: usize) -> &[CgId] {
+        &self.groups[g]
+    }
+
+    /// Iterate over all groups.
+    pub fn groups(&self) -> impl Iterator<Item = &[CgId]> {
+        self.groups.iter().map(|g| g.as_slice())
+    }
+
+    /// The worst communication class *within* any single group — the price
+    /// of the per-sample argmin merge in Level 3.
+    pub fn worst_intra_group_class(&self, machine: &Machine) -> CommClass {
+        self.groups
+            .iter()
+            .map(|g| machine.worst_comm_class(g))
+            .max()
+            .unwrap_or(CommClass::IntraCg)
+    }
+
+    /// The worst communication class *across* groups — the price of the
+    /// global centroid AllReduce.
+    pub fn worst_inter_group_class(&self, machine: &Machine) -> CommClass {
+        // Representatives: member 0 of each group performs the global stage.
+        let reps: Vec<CgId> = self.groups.iter().map(|g| g[0]).collect();
+        machine.worst_comm_class(&reps)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn topology_aware_groups_are_contiguous() {
+        let m = Machine::taihulight(8); // 32 CGs
+        let p = CgGroupPlacement::new(&m, 4, 8, PlacementPolicy::TopologyAware).unwrap();
+        assert_eq!(p.n_groups(), 4);
+        assert_eq!(p.group(0), &[0, 1, 2, 3, 4, 5, 6, 7].map(CgId));
+        assert_eq!(p.group(3)[0], CgId(24));
+    }
+
+    #[test]
+    fn scatter_groups_interleave() {
+        let m = Machine::taihulight(8);
+        let p = CgGroupPlacement::new(&m, 4, 8, PlacementPolicy::RoundRobinScatter).unwrap();
+        assert_eq!(p.group(0)[0], CgId(0));
+        assert_eq!(p.group(0)[1], CgId(4));
+        assert_eq!(p.group(1)[0], CgId(1));
+    }
+
+    #[test]
+    fn every_cg_used_at_most_once() {
+        let m = Machine::taihulight(16); // 64 CGs
+        for policy in [PlacementPolicy::TopologyAware, PlacementPolicy::RoundRobinScatter] {
+            let p = CgGroupPlacement::new(&m, 8, 8, policy).unwrap();
+            let mut seen = std::collections::HashSet::new();
+            for g in p.groups() {
+                for &cg in g {
+                    assert!(seen.insert(cg), "CG {cg} placed twice under {policy:?}");
+                    assert!(cg.0 < m.total_cgs());
+                }
+            }
+            assert_eq!(seen.len(), 64);
+        }
+    }
+
+    #[test]
+    fn oversubscription_is_rejected() {
+        let m = Machine::taihulight(1); // 4 CGs
+        let err = CgGroupPlacement::new(&m, 2, 4, PlacementPolicy::TopologyAware).unwrap_err();
+        assert_eq!(
+            err,
+            PlacementError::NotEnoughCgs {
+                requested: 8,
+                available: 4
+            }
+        );
+        assert!(CgGroupPlacement::new(&m, 0, 4, PlacementPolicy::TopologyAware).is_err());
+    }
+
+    #[test]
+    fn topology_aware_beats_scatter_on_intra_group_class() {
+        // 512 nodes = 2 super-nodes = 2,048 CGs. Groups of 8 CGs (2 nodes).
+        let m = Machine::taihulight(512);
+        let aware =
+            CgGroupPlacement::new(&m, 256, 8, PlacementPolicy::TopologyAware).unwrap();
+        let scatter =
+            CgGroupPlacement::new(&m, 256, 8, PlacementPolicy::RoundRobinScatter).unwrap();
+        // Contiguous groups of 2 nodes never leave a super-node here.
+        assert_eq!(
+            aware.worst_intra_group_class(&m),
+            CommClass::IntraSupernode
+        );
+        // Scattered members are ~256 groups apart: guaranteed to cross.
+        assert_eq!(
+            scatter.worst_intra_group_class(&m),
+            CommClass::InterSupernode
+        );
+    }
+
+    #[test]
+    fn inter_group_class_reflects_allocation_size() {
+        let small = Machine::taihulight(4);
+        let p = CgGroupPlacement::new(&small, 4, 4, PlacementPolicy::TopologyAware).unwrap();
+        assert!(p.worst_inter_group_class(&small) <= CommClass::IntraSupernode);
+    }
+}

@@ -1,0 +1,293 @@
+//! The event calendar and execution loop.
+
+use crate::resource::{ResourceId, ResourceState, TransferStats};
+use crate::time::SimTime;
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+/// Identifier of a scheduled event (monotonically increasing sequence
+/// number). Also the deterministic tie-breaker for same-time events.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub struct EventId(u64);
+
+type EventFn = Box<dyn FnOnce(&mut Engine)>;
+
+/// Heap key: earliest time first, then insertion order.
+#[derive(PartialEq, Eq, PartialOrd, Ord)]
+struct Key(SimTime, EventId);
+
+/// A deterministic discrete-event simulation engine.
+///
+/// ```
+/// use sw_des::{Engine, SimTime};
+///
+/// let mut engine = Engine::new();
+/// let dma = engine.add_resource("dma", 32.0e9, 1.0e-6);
+/// engine.transfer(dma, 1 << 20, |_| {});
+/// engine.transfer(dma, 1 << 20, |_| {});
+/// let end = engine.run();
+/// // Two 1 MiB transfers at 32 GB/s + 1 µs startup each, serviced FIFO.
+/// assert!(end.as_secs_f64() > 2.0 * (1e-6 + (1 << 20) as f64 / 32.0e9) * 0.99);
+/// ```
+pub struct Engine {
+    now: SimTime,
+    next_id: u64,
+    // BinaryHeap is a max-heap; Reverse turns it into the required min-heap.
+    calendar: BinaryHeap<Reverse<Key>>,
+    // Closures can't live inside the heap key, so they're parked here,
+    // indexed by sequence number. The Vec<Option<..>> grows monotonically
+    // within one run; `compact` trims it between runs.
+    bodies: Vec<Option<EventFn>>,
+    resources: Vec<ResourceState>,
+    events_executed: u64,
+}
+
+impl Engine {
+    pub fn new() -> Self {
+        Engine {
+            now: SimTime::ZERO,
+            next_id: 0,
+            calendar: BinaryHeap::new(),
+            bodies: Vec::new(),
+            resources: Vec::new(),
+            events_executed: 0,
+        }
+    }
+
+    /// Current simulated time.
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Total events executed so far.
+    pub fn events_executed(&self) -> u64 {
+        self.events_executed
+    }
+
+    /// Schedule `f` to run `delay` after the current time.
+    pub fn schedule(&mut self, delay: SimTime, f: impl FnOnce(&mut Engine) + 'static) -> EventId {
+        self.schedule_at(self.now + delay, f)
+    }
+
+    /// Schedule `f` at an absolute time (must not be in the simulated past).
+    pub fn schedule_at(&mut self, at: SimTime, f: impl FnOnce(&mut Engine) + 'static) -> EventId {
+        assert!(at >= self.now, "cannot schedule into the past");
+        let id = EventId(self.next_id);
+        self.next_id += 1;
+        self.calendar.push(Reverse(Key(at, id)));
+        let idx = id.0 as usize;
+        if self.bodies.len() <= idx {
+            self.bodies.resize_with(idx + 1, || None);
+        }
+        self.bodies[idx] = Some(Box::new(f));
+        id
+    }
+
+    /// Register a FIFO resource with service `rate` (bytes/s) and per-request
+    /// startup `latency` (s). Returns its handle.
+    pub fn add_resource(&mut self, name: impl Into<String>, rate: f64, latency: f64) -> ResourceId {
+        assert!(rate > 0.0, "resource rate must be positive");
+        let id = ResourceId(self.resources.len());
+        self.resources.push(ResourceState::new(name.into(), rate, latency));
+        id
+    }
+
+    /// Request a transfer of `bytes` over `res`, invoking `on_done` at
+    /// completion. The resource services requests in FIFO order: the
+    /// transfer starts when the resource frees up and occupies it for
+    /// `latency + bytes / rate`.
+    pub fn transfer(
+        &mut self,
+        res: ResourceId,
+        bytes: u64,
+        on_done: impl FnOnce(&mut Engine) + 'static,
+    ) {
+        let now = self.now;
+        let state = &mut self.resources[res.0];
+        let done = state.enqueue(now, bytes);
+        self.schedule_at(done, on_done);
+    }
+
+    /// Completion time a transfer *would* have, without enqueueing it.
+    pub fn transfer_eta(&self, res: ResourceId, bytes: u64) -> SimTime {
+        self.resources[res.0].eta(self.now, bytes)
+    }
+
+    /// Statistics for a resource.
+    pub fn resource_stats(&self, res: ResourceId) -> &TransferStats {
+        self.resources[res.0].stats()
+    }
+
+    /// Name a resource was registered under.
+    pub fn resource_name(&self, res: ResourceId) -> &str {
+        self.resources[res.0].name()
+    }
+
+    /// Run until the calendar is empty; returns the final time.
+    pub fn run(&mut self) -> SimTime {
+        self.run_until(SimTime(u64::MAX))
+    }
+
+    /// Run until the calendar is empty or the next event is after `deadline`;
+    /// returns the time reached.
+    pub fn run_until(&mut self, deadline: SimTime) -> SimTime {
+        while let Some(Reverse(Key(at, id))) = self.calendar.peek().map(|r| Reverse(Key(r.0 .0, r.0 .1))) {
+            if at > deadline {
+                break;
+            }
+            self.calendar.pop();
+            let body = self.bodies[id.0 as usize]
+                .take()
+                .expect("event body executed twice");
+            debug_assert!(at >= self.now, "calendar went backwards");
+            self.now = at;
+            self.events_executed += 1;
+            body(self);
+        }
+        if self.calendar.is_empty() {
+            self.bodies.clear();
+        }
+        self.now
+    }
+
+    /// True if no events remain.
+    pub fn idle(&self) -> bool {
+        self.calendar.is_empty()
+    }
+}
+
+impl Default for Engine {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::cell::RefCell;
+    use std::rc::Rc;
+
+    #[test]
+    fn events_run_in_time_order() {
+        let mut e = Engine::new();
+        let log = Rc::new(RefCell::new(Vec::new()));
+        for (delay, tag) in [(30u64, 'c'), (10, 'a'), (20, 'b')] {
+            let log = log.clone();
+            e.schedule(SimTime(delay), move |_| log.borrow_mut().push(tag));
+        }
+        e.run();
+        assert_eq!(*log.borrow(), vec!['a', 'b', 'c']);
+        assert_eq!(e.events_executed(), 3);
+    }
+
+    #[test]
+    fn same_time_events_run_in_scheduling_order() {
+        let mut e = Engine::new();
+        let log = Rc::new(RefCell::new(Vec::new()));
+        for tag in 0..10 {
+            let log = log.clone();
+            e.schedule(SimTime(5), move |_| log.borrow_mut().push(tag));
+        }
+        e.run();
+        assert_eq!(*log.borrow(), (0..10).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn events_can_schedule_events() {
+        let mut e = Engine::new();
+        let hits = Rc::new(RefCell::new(0u32));
+        let h = hits.clone();
+        e.schedule(SimTime(1), move |eng| {
+            *h.borrow_mut() += 1;
+            let h2 = h.clone();
+            eng.schedule(SimTime(1), move |_| {
+                *h2.borrow_mut() += 1;
+            });
+        });
+        let end = e.run();
+        assert_eq!(*hits.borrow(), 2);
+        assert_eq!(end, SimTime(2));
+    }
+
+    #[test]
+    fn run_until_stops_at_deadline() {
+        let mut e = Engine::new();
+        let hits = Rc::new(RefCell::new(0u32));
+        for t in [10u64, 20, 30] {
+            let h = hits.clone();
+            e.schedule(SimTime(t), move |_| *h.borrow_mut() += 1);
+        }
+        e.run_until(SimTime(20));
+        assert_eq!(*hits.borrow(), 2);
+        assert!(!e.idle());
+        e.run();
+        assert_eq!(*hits.borrow(), 3);
+        assert!(e.idle());
+    }
+
+    #[test]
+    fn fifo_resource_serialises_transfers() {
+        let mut e = Engine::new();
+        // 1 GB/s, zero latency: 1000 bytes take 1 µs.
+        let r = e.add_resource("link", 1e9, 0.0);
+        let done = Rc::new(RefCell::new(Vec::new()));
+        for _ in 0..3 {
+            let d = done.clone();
+            e.transfer(r, 1000, move |eng| d.borrow_mut().push(eng.now()));
+        }
+        e.run();
+        let times = done.borrow();
+        assert_eq!(times.len(), 3);
+        assert_eq!(times[0], SimTime(1000));
+        assert_eq!(times[1], SimTime(2000));
+        assert_eq!(times[2], SimTime(3000));
+    }
+
+    #[test]
+    fn resource_latency_is_per_request() {
+        let mut e = Engine::new();
+        let r = e.add_resource("dma", 1e9, 1e-6); // 1 µs startup
+        let end_time = Rc::new(RefCell::new(SimTime::ZERO));
+        let et = end_time.clone();
+        e.transfer(r, 0, move |eng| *et.borrow_mut() = eng.now());
+        e.run();
+        assert_eq!(*end_time.borrow(), SimTime(1000));
+    }
+
+    #[test]
+    fn stats_accumulate() {
+        let mut e = Engine::new();
+        let r = e.add_resource("net", 1e9, 0.0);
+        e.transfer(r, 500, |_| {});
+        e.transfer(r, 1500, |_| {});
+        e.run();
+        let s = e.resource_stats(r);
+        assert_eq!(s.transfers, 2);
+        assert_eq!(s.bytes, 2000);
+        assert_eq!(s.busy, SimTime(2000));
+        assert_eq!(e.resource_name(r), "net");
+    }
+
+    #[test]
+    fn eta_matches_actual_completion() {
+        let mut e = Engine::new();
+        let r = e.add_resource("link", 2e9, 5e-7);
+        let eta = e.transfer_eta(r, 4000);
+        let done = Rc::new(RefCell::new(SimTime::ZERO));
+        let d = done.clone();
+        e.transfer(r, 4000, move |eng| *d.borrow_mut() = eng.now());
+        e.run();
+        assert_eq!(*done.borrow(), eta);
+    }
+
+    #[test]
+    #[should_panic(expected = "past")]
+    fn scheduling_into_the_past_panics() {
+        let mut e = Engine::new();
+        e.schedule(SimTime(10), |eng| {
+            eng.schedule_at(SimTime(5), |_| {});
+        });
+        e.run();
+    }
+}

@@ -1,0 +1,33 @@
+//! A small deterministic discrete-event simulation (DES) engine with
+//! bandwidth-shared resources.
+//!
+//! The analytic cost model in `perf-model` prices each phase of a k-means
+//! iteration with closed-form formulas. Those formulas assume ideal FIFO
+//! pipelining of DMA transfers, register-bus hops and network messages. This
+//! crate provides the machinery to *check* that assumption: resources with a
+//! service rate and startup latency, an event calendar, and statistics.
+//! Contention effects (e.g. 64 CPEs hammering one CG's DMA engine) emerge
+//! from the queueing rather than being hand-waved.
+//!
+//! Design notes:
+//! * Time is a fixed-point nanosecond counter ([`SimTime`]), so simulations
+//!   are exactly reproducible — no floating-point drift in the calendar.
+//! * Events are boxed `FnOnce(&mut Engine)` closures ordered by
+//!   `(time, sequence)`; ties resolve in scheduling order, which makes runs
+//!   deterministic.
+//! * A [`Resource`] is a FIFO server: a transfer of `b` bytes occupies it for
+//!   `latency + b / rate`. Completion events re-enter the calendar.
+
+pub mod engine;
+pub mod network;
+pub mod pipeline;
+pub mod resource;
+pub mod stats;
+pub mod time;
+
+pub use engine::{Engine, EventId};
+pub use network::FatTreeSim;
+pub use pipeline::{simulate as simulate_pipeline, PipelineConfig, PipelineResult};
+pub use resource::{ResourceId, TransferStats};
+pub use stats::{Counter, Histogram, OnlineMean};
+pub use time::SimTime;

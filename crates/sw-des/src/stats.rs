@@ -1,0 +1,202 @@
+//! Lightweight statistics helpers used by simulations and benchmarks.
+
+/// A monotone event counter.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct Counter(u64);
+
+impl Counter {
+    pub fn incr(&mut self) {
+        self.0 += 1;
+    }
+
+    pub fn add(&mut self, n: u64) {
+        self.0 += n;
+    }
+
+    pub fn get(&self) -> u64 {
+        self.0
+    }
+}
+
+/// Numerically stable online mean/variance (Welford's algorithm).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct OnlineMean {
+    n: u64,
+    mean: f64,
+    m2: f64,
+    min: f64,
+    max: f64,
+}
+
+impl OnlineMean {
+    pub fn new() -> Self {
+        OnlineMean {
+            n: 0,
+            mean: 0.0,
+            m2: 0.0,
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+        }
+    }
+
+    pub fn push(&mut self, x: f64) {
+        self.n += 1;
+        let delta = x - self.mean;
+        self.mean += delta / self.n as f64;
+        self.m2 += delta * (x - self.mean);
+        self.min = self.min.min(x);
+        self.max = self.max.max(x);
+    }
+
+    pub fn count(&self) -> u64 {
+        self.n
+    }
+
+    pub fn mean(&self) -> f64 {
+        self.mean
+    }
+
+    /// Population variance; zero for fewer than two samples.
+    pub fn variance(&self) -> f64 {
+        if self.n < 2 {
+            0.0
+        } else {
+            self.m2 / self.n as f64
+        }
+    }
+
+    pub fn std_dev(&self) -> f64 {
+        self.variance().sqrt()
+    }
+
+    pub fn min(&self) -> f64 {
+        self.min
+    }
+
+    pub fn max(&self) -> f64 {
+        self.max
+    }
+}
+
+/// A power-of-two bucketed histogram for positive integer measurements
+/// (bytes, nanoseconds). Bucket `i` covers `[2^i, 2^(i+1))`; bucket 0 also
+/// catches zero.
+#[derive(Debug, Clone)]
+pub struct Histogram {
+    buckets: Vec<u64>,
+    total: u64,
+}
+
+impl Histogram {
+    pub fn new() -> Self {
+        Histogram {
+            buckets: vec![0; 64],
+            total: 0,
+        }
+    }
+
+    fn bucket_of(value: u64) -> usize {
+        if value <= 1 {
+            0
+        } else {
+            63 - value.leading_zeros() as usize
+        }
+    }
+
+    pub fn record(&mut self, value: u64) {
+        self.buckets[Self::bucket_of(value)] += 1;
+        self.total += 1;
+    }
+
+    pub fn count(&self) -> u64 {
+        self.total
+    }
+
+    /// Count of samples in the bucket containing `value`.
+    pub fn bucket_count(&self, value: u64) -> u64 {
+        self.buckets[Self::bucket_of(value)]
+    }
+
+    /// Upper bound `q`-quantile estimate from bucket boundaries,
+    /// `q ∈ [0, 1]`.
+    pub fn quantile_upper_bound(&self, q: f64) -> u64 {
+        assert!((0.0..=1.0).contains(&q));
+        if self.total == 0 {
+            return 0;
+        }
+        let target = (q * self.total as f64).ceil().max(1.0) as u64;
+        let mut seen = 0;
+        for (i, &c) in self.buckets.iter().enumerate() {
+            seen += c;
+            if seen >= target {
+                return if i >= 63 { u64::MAX } else { (2u64 << i) - 1 };
+            }
+        }
+        u64::MAX
+    }
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counter_counts() {
+        let mut c = Counter::default();
+        c.incr();
+        c.add(4);
+        assert_eq!(c.get(), 5);
+    }
+
+    #[test]
+    fn online_mean_matches_batch() {
+        let xs = [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0];
+        let mut m = OnlineMean::new();
+        for &x in &xs {
+            m.push(x);
+        }
+        assert_eq!(m.count(), 8);
+        assert!((m.mean() - 5.0).abs() < 1e-12);
+        assert!((m.std_dev() - 2.0).abs() < 1e-12);
+        assert_eq!(m.min(), 2.0);
+        assert_eq!(m.max(), 9.0);
+    }
+
+    #[test]
+    fn variance_of_singleton_is_zero() {
+        let mut m = OnlineMean::new();
+        m.push(42.0);
+        assert_eq!(m.variance(), 0.0);
+    }
+
+    #[test]
+    fn histogram_buckets() {
+        let mut h = Histogram::new();
+        for v in [0u64, 1, 2, 3, 4, 1000] {
+            h.record(v);
+        }
+        assert_eq!(h.count(), 6);
+        assert_eq!(h.bucket_count(0), 2); // 0 and 1
+        assert_eq!(h.bucket_count(2), 2); // 2 and 3
+        assert_eq!(h.bucket_count(4), 1);
+        assert_eq!(h.bucket_count(512), 1); // 1000 lives in [512, 1024)
+    }
+
+    #[test]
+    fn histogram_quantiles() {
+        let mut h = Histogram::new();
+        for _ in 0..99 {
+            h.record(4);
+        }
+        h.record(1 << 20);
+        assert_eq!(h.quantile_upper_bound(0.5), 7); // bucket [4,8)
+        assert_eq!(h.quantile_upper_bound(1.0), (2u64 << 20) - 1);
+        assert_eq!(Histogram::new().quantile_upper_bound(0.9), 0);
+    }
+}

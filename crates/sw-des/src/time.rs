@@ -1,0 +1,134 @@
+//! Fixed-point simulated time.
+//!
+//! The calendar orders events by time; using integer nanoseconds makes that
+//! ordering total and platform-independent, where `f64` timestamps would
+//! accumulate rounding differences between accumulation orders.
+
+use std::ops::{Add, AddAssign, Sub};
+
+/// A point in simulated time, in nanoseconds since simulation start.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct SimTime(pub u64);
+
+impl SimTime {
+    pub const ZERO: SimTime = SimTime(0);
+
+    /// Convert a duration in seconds to simulated nanoseconds, rounding to
+    /// the nearest nanosecond (never truncating a positive duration to zero
+    /// unless it is below half a nanosecond).
+    pub fn from_secs_f64(secs: f64) -> Self {
+        assert!(secs >= 0.0 && secs.is_finite(), "invalid duration: {secs}");
+        SimTime((secs * 1e9).round() as u64)
+    }
+
+    /// This time as seconds.
+    pub fn as_secs_f64(&self) -> f64 {
+        self.0 as f64 * 1e-9
+    }
+
+    /// Nanosecond count.
+    pub fn as_nanos(&self) -> u64 {
+        self.0
+    }
+
+    /// Saturating difference.
+    pub fn saturating_sub(self, rhs: SimTime) -> SimTime {
+        SimTime(self.0.saturating_sub(rhs.0))
+    }
+}
+
+impl Add for SimTime {
+    type Output = SimTime;
+    fn add(self, rhs: SimTime) -> SimTime {
+        SimTime(self.0 + rhs.0)
+    }
+}
+
+impl AddAssign for SimTime {
+    fn add_assign(&mut self, rhs: SimTime) {
+        self.0 += rhs.0;
+    }
+}
+
+impl Sub for SimTime {
+    type Output = SimTime;
+    fn sub(self, rhs: SimTime) -> SimTime {
+        SimTime(
+            self.0
+                .checked_sub(rhs.0)
+                .expect("SimTime subtraction underflow"),
+        )
+    }
+}
+
+impl std::fmt::Display for SimTime {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let secs = self.as_secs_f64();
+        if secs >= 1.0 {
+            write!(f, "{secs:.6} s")
+        } else if secs >= 1e-3 {
+            write!(f, "{:.3} ms", secs * 1e3)
+        } else if secs >= 1e-6 {
+            write!(f, "{:.3} µs", secs * 1e6)
+        } else {
+            write!(f, "{} ns", self.0)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn seconds_round_trip() {
+        let t = SimTime::from_secs_f64(1.5);
+        assert_eq!(t.as_nanos(), 1_500_000_000);
+        assert!((t.as_secs_f64() - 1.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn sub_nanosecond_durations_round() {
+        assert_eq!(SimTime::from_secs_f64(0.4e-9), SimTime(0));
+        assert_eq!(SimTime::from_secs_f64(0.6e-9), SimTime(1));
+    }
+
+    #[test]
+    fn arithmetic() {
+        let a = SimTime(100);
+        let b = SimTime(40);
+        assert_eq!(a + b, SimTime(140));
+        assert_eq!(a - b, SimTime(60));
+        assert_eq!(b.saturating_sub(a), SimTime::ZERO);
+        let mut c = a;
+        c += b;
+        assert_eq!(c, SimTime(140));
+    }
+
+    #[test]
+    #[should_panic(expected = "underflow")]
+    fn checked_sub_panics_on_underflow() {
+        let _ = SimTime(1) - SimTime(2);
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid duration")]
+    fn negative_duration_rejected() {
+        let _ = SimTime::from_secs_f64(-1.0);
+    }
+
+    #[test]
+    fn display_picks_unit() {
+        assert_eq!(SimTime::from_secs_f64(2.0).to_string(), "2.000000 s");
+        assert_eq!(SimTime::from_secs_f64(2e-3).to_string(), "2.000 ms");
+        assert_eq!(SimTime::from_secs_f64(2e-6).to_string(), "2.000 µs");
+        assert_eq!(SimTime(5).to_string(), "5 ns");
+    }
+
+    #[test]
+    fn ordering_is_total() {
+        let mut v = vec![SimTime(3), SimTime(1), SimTime(2)];
+        v.sort();
+        assert_eq!(v, vec![SimTime(1), SimTime(2), SimTime(3)]);
+    }
+}

@@ -1,0 +1,64 @@
+//! Demographic segmentation on the US-Census-1990 stand-in — the paper's
+//! Fig. 3/4 workload as an application: pick the level automatically,
+//! cluster, and profile the segments.
+//!
+//! ```text
+//! cargo run --release --example census_clusters [-- <n_samples> <k>]
+//! ```
+
+use sunway_kmeans::hier_kmeans::choose_level;
+use sunway_kmeans::prelude::*;
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    let n: usize = args
+        .next()
+        .map(|v| v.parse().expect("n_samples"))
+        .unwrap_or(20_000);
+    let k: usize = args.next().map(|v| v.parse().expect("k")).unwrap_or(12);
+
+    let census = datasets::uci::us_census_1990();
+    let data = census.generate(n.min(census.full_n));
+    println!(
+        "{}: clustering {} of {} records, d = {}, k = {k}",
+        census.name,
+        data.rows(),
+        census.full_n,
+        data.cols()
+    );
+
+    // Ask the model which level the full-size problem would use on the
+    // real machine, then run that level functionally here.
+    let level = choose_level(census.full_n, k, census.d, 1);
+    println!("cost model picks {level} for the full problem on one node");
+
+    let init = init_centroids(&data, k, InitMethod::KMeansPlusPlus, 1990);
+    let result = HierKMeans::new(level)
+        .with_units(8)
+        .with_group_units(if level == Level::L1 { 1 } else { 4 })
+        .with_max_iters(60)
+        .fit(&data, init)
+        .expect("clustering");
+    println!(
+        "{} iterations (converged = {}), objective {:.3}",
+        result.iterations, result.converged, result.objective
+    );
+
+    // Profile the segments: size plus the most distinctive dimensions
+    // (largest |mean| — the codes are centred around zero).
+    let sizes = kmeans_core::objective::cluster_sizes(&result.labels, k);
+    let mut order: Vec<usize> = (0..k).collect();
+    order.sort_by_key(|&j| std::cmp::Reverse(sizes[j]));
+    println!("\nsegment  size     top distinctive dimensions (value)");
+    for &j in order.iter().take(8) {
+        let row = result.centroids.row(j);
+        let mut dims: Vec<(usize, f32)> = row.iter().copied().enumerate().collect();
+        dims.sort_by(|a, b| b.1.abs().partial_cmp(&a.1.abs()).unwrap());
+        let tops: Vec<String> = dims
+            .iter()
+            .take(3)
+            .map(|(u, v)| format!("attr{u}={v:.1}"))
+            .collect();
+        println!("{j:>7}  {:>5}    {}", sizes[j], tops.join(", "));
+    }
+}

@@ -1,0 +1,64 @@
+//! Quickstart: cluster a synthetic mixture with each of the three partition
+//! levels and check they agree with serial Lloyd.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+
+use sunway_kmeans::prelude::*;
+
+fn main() {
+    // A 3,000-sample, 32-dimensional mixture of 6 well-separated blobs.
+    let blobs = GaussianMixture::new(3_000, 32, 6)
+        .with_seed(42)
+        .with_spread(30.0)
+        .generate::<f64>();
+    let k = 6;
+    let init = init_centroids(&blobs.data, k, InitMethod::KMeansPlusPlus, 7);
+
+    // Reference: serial Lloyd.
+    let serial = Lloyd::run_from(
+        &blobs.data,
+        init.clone(),
+        &KMeansConfig::new(k).with_max_iters(50),
+    )
+    .expect("serial run");
+    println!(
+        "serial Lloyd:   {} iterations, objective {:.4}",
+        serial.iterations, serial.objective
+    );
+
+    // The three hierarchical levels, each on 8 virtual units.
+    for (level, group_units) in [(Level::L1, 1), (Level::L2, 4), (Level::L3, 2)] {
+        let result = HierKMeans::new(level)
+            .with_units(8)
+            .with_group_units(group_units)
+            .with_cpes_per_cg(8)
+            .with_max_iters(50)
+            .fit(&blobs.data, init.clone())
+            .expect("hierarchical run");
+        let diff = result.centroids.max_abs_diff(&serial.centroids);
+        println!(
+            "{level}: {} iterations, objective {:.4}, max centroid diff vs serial {diff:.2e}, \
+             {} msgs / {} bytes, phases: assign {:.1} ms / merge {:.1} ms / update {:.1} ms",
+            result.iterations,
+            result.objective,
+            result.comm_messages,
+            result.comm_bytes,
+            result.timings.assign * 1e3,
+            result.timings.merge * 1e3,
+            result.timings.update * 1e3,
+        );
+        assert!(diff < 1e-6, "hierarchical diverged from serial");
+    }
+
+    // What would this cost on the real machine? Ask the model.
+    let model = CostModel::taihulight(1);
+    let shape = ProblemShape::f64(3_000, k as u64, 32);
+    let (level, cost) = best_level(&model, &shape).expect("some level runs");
+    println!(
+        "cost model picks {level} on one node: {:.2} µs/iteration (dominated by {})",
+        cost.total() * 1e6,
+        cost.dominant_phase()
+    );
+}

@@ -1,0 +1,83 @@
+//! Scaling study: interrogate the cost model the way the paper's
+//! evaluation does — which level wins where, and why.
+//!
+//! Prints (1) the feasibility frontier of each level over a (k, d) grid,
+//! (2) the Fig. 7-style Level-2/Level-3 crossover, and (3) the per-phase
+//! breakdown of the headline configuration.
+//!
+//! ```text
+//! cargo run --release --example scaling_study
+//! ```
+
+use sunway_kmeans::perf_model::{find_crossover_d, Level};
+use sunway_kmeans::prelude::*;
+
+fn main() {
+    let nodes = 128;
+    let model = CostModel::taihulight(nodes);
+    let n = 1_265_723u64;
+
+    // ---- (1) Feasibility / winner grid. ----
+    println!("Winner per (k, d) on {nodes} nodes (— = nothing feasible):\n");
+    let ks = [16u64, 256, 2_000, 16_384, 131_072];
+    let ds = [4u64, 68, 1_024, 4_096, 49_152, 196_608];
+    print!("{:>10}", "k \\ d");
+    for d in ds {
+        print!("{d:>10}");
+    }
+    println!();
+    for k in ks {
+        print!("{k:>10}");
+        for d in ds {
+            let shape = ProblemShape::f32(n, k, d);
+            let cell = match best_level(&model, &shape) {
+                Ok((Level::L1, _)) => "L1",
+                Ok((Level::L2, _)) => "L2",
+                Ok((Level::L3, _)) => "L3",
+                Err(_) => "—",
+            };
+            print!("{cell:>10}");
+        }
+        println!();
+    }
+
+    // ---- (2) The crossover. ----
+    println!("\nLevel-2 → Level-3 crossover at k=2,000 (Fig. 7):");
+    match find_crossover_d(&model, n, 2_000, 512, 8_192, 512) {
+        Some(d) => println!("  Level 3 becomes faster at d = {d} (paper: ~2,560–3,072)"),
+        None => println!("  no crossover in range"),
+    }
+
+    // ---- (3) Headline breakdown. ----
+    println!("\nHeadline configuration (n=1.27M, k=2,000, d=196,608, 4,096 nodes):");
+    let headline = CostModel::taihulight(4_096)
+        .iteration_time(&ProblemShape::imgnet_headline(), Level::L3)
+        .expect("headline is feasible");
+    println!("  compute      {:>9.4} s", headline.compute);
+    println!("  read (DMA)   {:>9.4} s", headline.read);
+    println!("  assign comm  {:>9.4} s", headline.assign_comm);
+    println!("  update comm  {:>9.4} s", headline.update_comm);
+    println!(
+        "  total        {:>9.4} s  (paper claims < 18 s) — plan: {} CGs per group, {} groups",
+        headline.total(),
+        headline.plan.group_units,
+        headline.plan.n_groups
+    );
+
+    // ---- (4) What the functional executor's traffic implies. ----
+    println!("\nFunctional cross-check (8 virtual CGs, scaled data):");
+    let blobs = GaussianMixture::new(2_048, 64, 8).with_seed(3).generate::<f32>();
+    let init = init_centroids(&blobs.data, 8, InitMethod::Forgy, 1);
+    let result = HierKMeans::new(Level::L3)
+        .with_units(8)
+        .with_group_units(4)
+        .with_cpes_per_cg(8)
+        .with_max_iters(3)
+        .with_tol(0.0)
+        .fit(&blobs.data, init)
+        .expect("functional run");
+    println!(
+        "  3 iterations moved {} messages / {} bytes across the virtual machine",
+        result.comm_messages, result.comm_bytes
+    );
+}

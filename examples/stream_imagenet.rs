@@ -1,0 +1,71 @@
+//! Out-of-core clustering of a virtual ImageNet-scale source.
+//!
+//! The paper's full-resolution configuration describes ~1 TB of pixels; on
+//! the real machine they stream through each CPE's double-buffered LDM via
+//! DMA. This example does the software equivalent: clusters a virtual
+//! [`ImageNetSource`] (samples generated on demand, never materialised)
+//! with the streaming executor, then asks the cost model what the same
+//! pattern costs at the paper's scale.
+//!
+//! ```text
+//! cargo run --release --example stream_imagenet [-- <n_images> <d>]
+//! ```
+
+use sunway_kmeans::prelude::*;
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    let n: u64 = args
+        .next()
+        .map(|v| v.parse().expect("n_images"))
+        .unwrap_or(2_000);
+    let d: usize = args.next().map(|v| v.parse().expect("d")).unwrap_or(3_072);
+
+    let source = ImageNetSource::new(n, d, 0x1357);
+    println!(
+        "virtual source: {} images × {d} dims ({:.2} GB if materialised — we never do)",
+        source.len(),
+        source.len() as f64 * d as f64 * 4.0 / 1e9
+    );
+
+    // Seed centroids from a small materialised window.
+    let k = 10;
+    let seed_window = source.materialize(0, 64.min(n as usize));
+    let init = init_centroids(&seed_window, k, InitMethod::KMeansPlusPlus, 17);
+
+    let cfg = StreamConfig {
+        units: 8,
+        group_units: 2,
+        window: 256,
+        max_iters: 12,
+        tol: 1e-5,
+    };
+    let start = std::time::Instant::now();
+    let result = fit_source(&source, init, &cfg).expect("streaming fit");
+    let wall = start.elapsed().as_secs_f64();
+    println!(
+        "streamed {} iterations in {wall:.2} s (window {} samples/rank), converged = {}",
+        result.iterations, cfg.window, result.converged
+    );
+    println!(
+        "objective {:.5}; moved {} messages / {:.1} MB between virtual units",
+        result.objective,
+        result.comm_messages,
+        result.comm_bytes as f64 / 1e6
+    );
+    let sizes = kmeans_core::objective::cluster_sizes(&result.labels, k);
+    println!("cluster sizes: {sizes:?}");
+
+    // Price the paper-scale equivalent of this pattern.
+    for (nodes, d_paper) in [(4_096usize, 196_608u64), (128, 12_288)] {
+        let shape = ProblemShape::f32(datasets::imagenet::PAPER_N, k as u64, d_paper);
+        match CostModel::taihulight(nodes).iteration_time(&shape, Level::L3) {
+            Ok(cost) => println!(
+                "paper scale d={d_paper} on {nodes} nodes: {:.3} s/iteration (model, {})",
+                cost.total(),
+                cost.dominant_phase()
+            ),
+            Err(e) => println!("paper scale d={d_paper} on {nodes} nodes: {e}"),
+        }
+    }
+}

@@ -1,0 +1,134 @@
+//! Discrete-event-simulation validation of the analytic cost terms: the
+//! closed-form formulas in `perf-model` assume ideal FIFO pipelining; the
+//! DES engine reproduces the same numbers from first principles (explicit
+//! per-request queueing), confirming the model's read/communication terms.
+
+use std::cell::RefCell;
+use std::rc::Rc;
+use sunway_kmeans::sw_arch::{CoreGroup, MachineParams};
+use sunway_kmeans::sw_des::{Engine, SimTime};
+
+#[test]
+fn cg_dma_contention_matches_bandwidth_share() {
+    // 64 CPEs streaming their sample slices through one CG's DMA engine:
+    // the wall time must equal total_bytes / dma_bw (FIFO, fully utilised),
+    // which is what the model's per-CPE share B/64 assumes.
+    let p = MachineParams::taihulight();
+    let mut engine = Engine::new();
+    let dma = engine.add_resource("cg_dma", p.dma_bw, 0.0);
+    let bytes_per_cpe: u64 = 3_072 * 4; // one Level-3 slice at d=196,608, f32
+    for _ in 0..64 {
+        engine.transfer(dma, bytes_per_cpe, |_| {});
+    }
+    let end = engine.run();
+    let expected = 64.0 * bytes_per_cpe as f64 / p.dma_bw;
+    let measured = end.as_secs_f64();
+    assert!(
+        (measured - expected).abs() / expected < 1e-3,
+        "DES {measured} vs analytic {expected}"
+    );
+    let stats = engine.resource_stats(dma);
+    assert_eq!(stats.transfers, 64);
+    assert!(stats.utilisation(end) > 0.999);
+}
+
+#[test]
+fn dma_latency_serialises_small_requests() {
+    // Many tiny requests are latency-bound — the regime the merge_batch
+    // calibration knob models. 1000 requests of 12 B at 1 µs startup must
+    // take ~1 ms, not 12 µs.
+    let p = MachineParams::taihulight();
+    let mut engine = Engine::new();
+    let link = engine.add_resource("net", p.net_bw, p.net_lat_intra);
+    for _ in 0..1_000 {
+        engine.transfer(link, 12, |_| {});
+    }
+    let end = engine.run().as_secs_f64();
+    assert!(end > 0.9e-3, "latency-bound regime: {end}");
+    assert!(end < 1.2e-3);
+}
+
+#[test]
+fn mesh_reduce_schedule_matches_des_pipeline() {
+    // Model the 2(side-1)-hop mesh reduce as a chain of register-bus
+    // transfers in the DES; the closed-form ReductionSchedule::time must
+    // agree.
+    let p = MachineParams::taihulight();
+    let cg = CoreGroup::sw26010();
+    let schedule = cg.reduce_schedule(1_024);
+    let analytic = schedule.time(p.reg_bw, p.reg_lat);
+
+    let mut engine = Engine::new();
+    let bus = engine.add_resource("reg_bus", p.reg_bw, p.reg_lat);
+    // Sequential dependency: hop h starts when hop h-1 completes — exactly
+    // a FIFO resource fed one request at a time.
+    let remaining = Rc::new(RefCell::new(schedule.critical_hops));
+    fn hop(engine: &mut Engine, bus: sunway_kmeans::sw_des::ResourceId, remaining: Rc<RefCell<usize>>) {
+        let more = {
+            let mut r = remaining.borrow_mut();
+            *r -= 1;
+            *r > 0
+        };
+        if more {
+            engine.transfer(bus, 1_024, move |e| hop(e, bus, remaining));
+        }
+    }
+    engine.transfer(bus, 1_024, {
+        let remaining = remaining.clone();
+        move |e| hop(e, bus, remaining)
+    });
+    let des = engine.run().as_secs_f64();
+    assert!(
+        (des - analytic).abs() / analytic < 1e-2,
+        "DES {des} vs analytic {analytic}"
+    );
+}
+
+#[test]
+fn register_comm_beats_dma_for_the_update_reduce() {
+    // The paper cites a 3–4× advantage of register communication over
+    // DMA-based reduction for the Update bottleneck; replay both through
+    // the DES with the published bandwidths and latencies.
+    let p = MachineParams::taihulight();
+    let payload = 64 * 1024u64; // a k·d shard chunk
+
+    let run_chain = |rate: f64, lat: f64, hops: usize| -> f64 {
+        let mut engine = Engine::new();
+        let bus = engine.add_resource("bus", rate, lat);
+        for _ in 0..hops {
+            // FIFO chaining: successive hops queue behind each other.
+            engine.transfer(bus, payload, |_| {});
+        }
+        engine.run().as_secs_f64()
+    };
+
+    let hops = 14; // 2(side-1)
+    let reg = run_chain(p.reg_bw, p.reg_lat, hops);
+    // A DMA-staged reduce bounces through main memory: same hops, DMA
+    // bandwidth and latency, plus write+read per hop (factor 2).
+    let dma = run_chain(p.dma_bw / 2.0, p.dma_lat, hops);
+    let advantage = dma / reg;
+    assert!(
+        (2.0..8.0).contains(&advantage),
+        "register-comm advantage {advantage}x (paper: 3–4×)"
+    );
+}
+
+#[test]
+fn simulated_time_is_deterministic() {
+    let build = || {
+        let mut engine = Engine::new();
+        let a = engine.add_resource("a", 1e9, 1e-7);
+        let b = engine.add_resource("b", 2e9, 2e-7);
+        for i in 0..100u64 {
+            let (r, bytes) = if i % 3 == 0 { (a, 1_000) } else { (b, 5_000) };
+            engine.transfer(r, bytes, move |e| {
+                if i % 7 == 0 {
+                    e.schedule(SimTime(50), |_| {});
+                }
+            });
+        }
+        engine.run()
+    };
+    assert_eq!(build(), build());
+}

@@ -1,0 +1,117 @@
+//! End-to-end application pipelines: datasets → featurisation → level
+//! selection → hierarchical clustering → evaluation, exactly as the
+//! examples drive them.
+
+use sunway_kmeans::hier_kmeans::choose_level;
+use sunway_kmeans::prelude::*;
+
+#[test]
+fn landcover_pipeline_recovers_classes() {
+    let scene = SyntheticScene::generate(SceneConfig::small(99));
+    let features = scene.block_features(3);
+    assert_eq!(features.rows(), scene.n_pixels());
+    let init = init_centroids(&features, 7, InitMethod::KMeansPlusPlus, 5);
+    let result = HierKMeans::new(Level::L3)
+        .with_units(8)
+        .with_group_units(2)
+        .with_cpes_per_cg(4)
+        .with_max_iters(25)
+        .with_tol(1e-6)
+        .fit(&features, init)
+        .unwrap();
+    let accuracy = scene.clustering_accuracy(&result.labels, 7);
+    assert!(accuracy > 0.55, "recovered only {:.1}%", accuracy * 100.0);
+}
+
+#[test]
+fn imagenet_window_clusters_by_image_structure() {
+    // Materialise a window of the virtual ImageNet source and cluster it;
+    // the pipeline must run at the paper's lowest resolution (d = 3,072).
+    let src = ImageNetSource::new(96, 3_072, 7);
+    let data = src.materialize(0, 96);
+    let init = init_centroids(&data, 8, InitMethod::KMeansPlusPlus, 3);
+    let result = HierKMeans::new(Level::L3)
+        .with_units(4)
+        .with_group_units(2)
+        .with_cpes_per_cg(64)
+        .with_max_iters(15)
+        .fit(&data, init)
+        .unwrap();
+    assert_eq!(result.centroids.rows(), 8);
+    assert_eq!(result.centroids.cols(), 3_072);
+    assert!(result.objective.is_finite());
+    // Every cluster centroid stays inside the pixel range.
+    for j in 0..8 {
+        for &v in result.centroids.row(j) {
+            assert!((0.0..=1.0).contains(&(v as f64)));
+        }
+    }
+}
+
+#[test]
+fn census_pipeline_with_automatic_level() {
+    let census = datasets::uci::us_census_1990();
+    let data = census.generate(4_000);
+    let level = choose_level(census.full_n, 12, census.d, 1);
+    let init = init_centroids(&data, 12, InitMethod::KMeansPlusPlus, 1);
+    let result = HierKMeans::new(level)
+        .with_units(8)
+        .with_group_units(if level == Level::L1 { 1 } else { 4 })
+        .with_max_iters(40)
+        .fit(&data, init)
+        .unwrap();
+    let sizes = kmeans_core::objective::cluster_sizes(&result.labels, 12);
+    assert_eq!(sizes.iter().sum::<u64>(), 4_000);
+    // The mixture has 12 underlying profiles; a sane clustering populates
+    // most of them.
+    assert!(sizes.iter().filter(|&&s| s > 0).count() >= 8);
+}
+
+#[test]
+fn road_network_spatial_clusters_are_compact() {
+    let road = datasets::uci::road_network();
+    let data = road.generate(6_000);
+    let init = init_centroids(&data, 16, InitMethod::KMeansPlusPlus, 2);
+    let result = HierKMeans::new(Level::L1)
+        .with_units(8)
+        .with_max_iters(30)
+        .fit(&data, init)
+        .unwrap();
+    // Objective (mean squared distance) should be far below the raw data
+    // variance: clustering found structure in the road segments.
+    let naive = kmeans_core::objective::mean_objective(
+        &data,
+        &init_centroids(&data, 1, InitMethod::Forgy, 0),
+    );
+    assert!(
+        result.objective < naive / 3.0,
+        "objective {} vs single-cluster {naive}",
+        result.objective
+    );
+}
+
+#[test]
+fn prelude_exposes_the_full_surface() {
+    // Compile-time check that the façade exports everything an
+    // application needs (this test exists to catch accidental removals).
+    let _machine: Machine = Machine::taihulight(4);
+    let _params: MachineParams = MachineParams::taihulight();
+    let _shape = ProblemShape::f32(10, 2, 4);
+    let _cfg: HierConfig = HierConfig::new(Level::L1);
+    let _init: InitMethod = InitMethod::Forgy;
+    let data = GaussianMixture::new(12, 3, 2).generate::<f32>().data;
+    let init = init_centroids(&data, 2, InitMethod::Forgy, 0);
+    let _result: HierResult<f32> = fit(&data, init, &HierConfig::new(Level::L1)).unwrap();
+}
+
+#[test]
+fn streaming_source_never_materialises_full_scale() {
+    // The full-resolution source describes ~1 TB of data but costs nothing
+    // to hold; only the window we materialise allocates.
+    use sunway_kmeans::datasets::SampleSource;
+    let src = ImageNetSource::paper(196_608);
+    assert_eq!(src.len(), 1_265_723);
+    let window = src.materialize(1_265_700, 4);
+    assert_eq!(window.rows(), 4);
+    assert_eq!(window.cols(), 196_608);
+}

@@ -1,0 +1,229 @@
+//! Cross-crate equivalence: every hierarchical executor must compute the
+//! same clustering as serial Lloyd, across precisions, levels and
+//! partition geometries.
+
+use sunway_kmeans::prelude::*;
+
+fn mixture(n: usize, d: usize, k: usize, seed: u64) -> (Matrix<f64>, Matrix<f64>) {
+    let blobs = GaussianMixture::new(n, d, k)
+        .with_seed(seed)
+        .with_spread(15.0)
+        .generate::<f64>();
+    let init = init_centroids(&blobs.data, k, InitMethod::Forgy, seed ^ 0xabc);
+    (blobs.data, init)
+}
+
+fn serial(data: &Matrix<f64>, init: Matrix<f64>, iters: usize) -> kmeans_core::KMeansResult<f64> {
+    let k = init.rows();
+    Lloyd::run_from(
+        data,
+        init,
+        &KMeansConfig::new(k).with_max_iters(iters).with_tol(0.0),
+    )
+    .unwrap()
+}
+
+#[test]
+fn all_levels_match_serial_on_a_bigger_problem() {
+    let (data, init) = mixture(2_000, 24, 10, 1);
+    let reference = serial(&data, init.clone(), 8);
+    for (level, units, group) in [
+        (Level::L1, 12, 1),
+        (Level::L2, 12, 3),
+        (Level::L2, 12, 12),
+        (Level::L3, 12, 4),
+        (Level::L3, 12, 6),
+    ] {
+        let result = HierKMeans::new(level)
+            .with_units(units)
+            .with_group_units(group)
+            .with_cpes_per_cg(8)
+            .with_max_iters(8)
+            .with_tol(0.0)
+            .fit(&data, init.clone())
+            .unwrap();
+        let diff = result.centroids.max_abs_diff(&reference.centroids);
+        assert!(
+            diff < 1e-9,
+            "{level} units={units} group={group}: diff {diff}"
+        );
+        assert_eq!(
+            result.labels, reference.labels,
+            "{level} units={units} group={group}"
+        );
+        assert_eq!(result.iterations, reference.iterations);
+    }
+}
+
+#[test]
+fn f32_levels_track_their_f32_serial() {
+    let (data64, init64) = mixture(800, 16, 6, 2);
+    let data: Matrix<f32> = data64.cast();
+    let init: Matrix<f32> = init64.cast();
+    let reference = Lloyd::run_from(
+        &data,
+        init.clone(),
+        &KMeansConfig::new(6).with_max_iters(5).with_tol(0.0),
+    )
+    .unwrap();
+    for level in [Level::L1, Level::L2, Level::L3] {
+        let result = HierKMeans::new(level)
+            .with_units(8)
+            .with_group_units(2)
+            .with_cpes_per_cg(4)
+            .with_max_iters(5)
+            .with_tol(0.0)
+            .fit(&data, init.clone())
+            .unwrap();
+        let diff = result.centroids.max_abs_diff(&reference.centroids);
+        assert!(diff < 1e-2, "{level}: f32 diff {diff}");
+    }
+}
+
+#[test]
+fn hierarchical_objective_is_non_increasing() {
+    // Run the Level-3 executor one extra iteration at a time; the mean
+    // objective of the returned centroids must never increase.
+    let (data, init) = mixture(600, 12, 5, 3);
+    let mut prev = f64::INFINITY;
+    for iters in 1..=6 {
+        let result = HierKMeans::new(Level::L3)
+            .with_units(6)
+            .with_group_units(3)
+            .with_cpes_per_cg(4)
+            .with_max_iters(iters)
+            .with_tol(0.0)
+            .fit(&data, init.clone())
+            .unwrap();
+        assert!(
+            result.objective <= prev + 1e-9,
+            "objective rose at iteration {iters}: {prev} -> {}",
+            result.objective
+        );
+        prev = result.objective;
+    }
+}
+
+#[test]
+fn rayon_baseline_agrees_with_hierarchical() {
+    let (data, init) = mixture(1_500, 20, 8, 4);
+    let hier = HierKMeans::new(Level::L2)
+        .with_units(8)
+        .with_group_units(4)
+        .with_max_iters(6)
+        .with_tol(0.0)
+        .fit(&data, init.clone())
+        .unwrap();
+    let base = sunway_kmeans::hier_kmeans::baseline::run(
+        &data,
+        init,
+        &sunway_kmeans::hier_kmeans::baseline::BaselineConfig {
+            max_iters: 6,
+            tol: 0.0,
+            chunk: 128,
+        },
+    )
+    .unwrap();
+    assert!(hier.centroids.max_abs_diff(&base.centroids) < 1e-9);
+    assert_eq!(hier.labels, base.labels);
+}
+
+#[test]
+fn phase_timings_are_populated() {
+    let (data, init) = mixture(1_000, 16, 6, 8);
+    for (level, g) in [(Level::L1, 1), (Level::L2, 3), (Level::L3, 2)] {
+        let r = HierKMeans::new(level)
+            .with_units(6)
+            .with_group_units(g)
+            .with_cpes_per_cg(4)
+            .with_max_iters(5)
+            .with_tol(0.0)
+            .fit(&data, init.clone())
+            .unwrap();
+        let t = r.timings;
+        assert!(t.assign > 0.0, "{level}: no assign time recorded");
+        assert!(t.update > 0.0, "{level}: no update time recorded");
+        if level != Level::L1 {
+            assert!(t.merge > 0.0, "{level}: no merge time recorded");
+        }
+        assert!(t.total() < 60.0, "{level}: implausible total {}", t.total());
+    }
+}
+
+#[test]
+fn convergence_flag_agrees_between_levels() {
+    let (data, init) = mixture(900, 8, 4, 5);
+    let mut results = Vec::new();
+    for level in [Level::L1, Level::L2, Level::L3] {
+        let r = HierKMeans::new(level)
+            .with_units(4)
+            .with_group_units(2)
+            .with_cpes_per_cg(4)
+            .with_max_iters(100)
+            .with_tol(1e-9)
+            .fit(&data, init.clone())
+            .unwrap();
+        assert!(r.converged, "{level} failed to converge");
+        results.push(r);
+    }
+    // All levels converge to the same fixed point in the same number of
+    // iterations.
+    assert_eq!(results[0].iterations, results[1].iterations);
+    assert_eq!(results[1].iterations, results[2].iterations);
+    assert!(results[0]
+        .centroids
+        .max_abs_diff(&results[2].centroids)
+        < 1e-8);
+}
+
+#[test]
+fn communication_volume_is_exactly_linear_in_iterations() {
+    // The executors' traffic is the quantity the cost model prices: per
+    // iteration it must be exactly constant (same collectives, same
+    // payloads), so total bytes are affine in the iteration count.
+    let (data, init) = mixture(400, 10, 6, 12);
+    let bytes_at = |iters: usize| {
+        let r = HierKMeans::new(Level::L3)
+            .with_units(6)
+            .with_group_units(3)
+            .with_cpes_per_cg(4)
+            .with_max_iters(iters)
+            .with_tol(0.0)
+            .fit(&data, init.clone())
+            .unwrap();
+        assert_eq!(r.iterations, iters, "converged early; pick harder data");
+        r.comm_bytes
+    };
+    let (b1, b2, b3) = (bytes_at(1), bytes_at(2), bytes_at(3));
+    assert_eq!(b2 - b1, b3 - b2, "per-iteration traffic must be constant");
+    assert!(b2 > b1);
+}
+
+#[test]
+fn update_traffic_scales_with_centroid_payload() {
+    // Doubling d doubles the k·d accumulator payload; the per-iteration
+    // traffic (minus the d-independent min-loc/count/convergence part)
+    // must scale accordingly.
+    let per_iter_bytes = |d: usize| {
+        let blobs = GaussianMixture::new(240, d, 4).with_seed(5).generate::<f64>();
+        let init = init_centroids(&blobs.data, 4, InitMethod::Forgy, 5);
+        let run = |iters: usize| {
+            let r = HierKMeans::new(Level::L2)
+                .with_units(4)
+                .with_group_units(2)
+                .with_max_iters(iters)
+                .with_tol(0.0)
+                .fit(&blobs.data, init.clone())
+                .unwrap();
+            assert_eq!(r.iterations, iters, "converged early");
+            r.comm_bytes
+        };
+        run(2) - run(1)
+    };
+    let small = per_iter_bytes(16);
+    let big = per_iter_bytes(32);
+    assert!(big > small);
+    // The d-dependent part doubles: big - fixed = 2·(small - fixed), so
+    // big < 2·small (the fixed part does not double).
+    assert!(big < 2 * small, "d-independent traffic should not double: {small} -> {big}");
+}

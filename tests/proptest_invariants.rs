@@ -1,0 +1,168 @@
+//! Property-based invariants spanning crates: arbitrary shapes and
+//! partition geometries must preserve the algebraic identities the
+//! hierarchy is built on.
+
+use proptest::prelude::*;
+use sunway_kmeans::hier_kmeans::split_range;
+use sunway_kmeans::perf_model::feasibility;
+use sunway_kmeans::perf_model::{Level, ProblemShape};
+use sunway_kmeans::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Any (units, group) geometry of any level reproduces serial Lloyd.
+    #[test]
+    fn executors_match_serial_on_random_problems(
+        seed in 0u64..1_000,
+        n in 20usize..120,
+        d in 1usize..24,
+        k in 1usize..10,
+        units in 1usize..6,
+        group in 1usize..6,
+        cpes in 1usize..9,
+        level_pick in 0usize..3,
+    ) {
+        let k = k.min(n);
+        let units = units * group; // divisibility requirement
+        let blobs = GaussianMixture::new(n, d, k).with_seed(seed).generate::<f64>();
+        let init = init_centroids(&blobs.data, k, InitMethod::Forgy, seed);
+        let level = [Level::L1, Level::L2, Level::L3][level_pick];
+        let serial = Lloyd::run_from(
+            &blobs.data,
+            init.clone(),
+            &KMeansConfig::new(k).with_max_iters(3).with_tol(0.0),
+        )
+        .unwrap();
+        let hier = HierKMeans::new(level)
+            .with_units(units)
+            .with_group_units(group)
+            .with_cpes_per_cg(cpes)
+            .with_max_iters(3)
+            .with_tol(0.0)
+            .fit(&blobs.data, init)
+            .unwrap();
+        let diff = hier.centroids.max_abs_diff(&serial.centroids);
+        prop_assert!(diff < 1e-8, "{level} diff {diff}");
+    }
+
+    /// The three partitions (samples, centroids, dimensions) jointly cover
+    /// the problem: every (sample, centroid, dimension) triple is owned by
+    /// exactly one (group, member, cpe).
+    #[test]
+    fn three_level_partition_is_exact(
+        n in 1usize..500,
+        k in 1usize..50,
+        d in 1usize..200,
+        groups in 1usize..8,
+        members in 1usize..8,
+        cpes in 1usize..8,
+    ) {
+        let mut sample_cover = 0usize;
+        for g in 0..groups {
+            sample_cover += split_range(n, groups, g).len();
+        }
+        prop_assert_eq!(sample_cover, n);
+        let mut centroid_cover = 0usize;
+        for m in 0..members {
+            centroid_cover += split_range(k, members, m).len();
+        }
+        prop_assert_eq!(centroid_cover, k);
+        let mut dim_cover = 0usize;
+        for c in 0..cpes {
+            dim_cover += split_range(d, cpes, c).len();
+        }
+        prop_assert_eq!(dim_cover, d);
+    }
+
+    /// Feasibility planning is monotone in the machine: anything resident-
+    /// feasible on `nodes` stays feasible on `2·nodes`, with no larger
+    /// per-unit shard.
+    #[test]
+    fn feasibility_is_monotone_in_machine_size(
+        k in 1u64..100_000,
+        d in 1u64..300_000,
+        nodes_pow in 0u32..7,
+    ) {
+        let nodes = 1usize << nodes_pow;
+        let shape = ProblemShape::f32(1_000_000, k, d);
+        let small = Machine::taihulight(nodes);
+        let big = Machine::taihulight(nodes * 2);
+        for level in [Level::L1, Level::L2, Level::L3] {
+            if let Ok(p_small) = feasibility::plan(level, &shape, &small, false) {
+                let p_big = feasibility::plan(level, &shape, &big, false)
+                    .expect("bigger machine lost feasibility");
+                prop_assert!(p_big.centroids_per_unit <= p_small.centroids_per_unit);
+                prop_assert!(!p_big.spilled);
+            }
+        }
+    }
+
+    /// The modelled iteration time is monotone: more centroids never get
+    /// cheaper at fixed d, machine and level.
+    #[test]
+    fn model_cost_monotone_in_k(
+        k in 64u64..8_192,
+        d in 16u64..4_096,
+    ) {
+        let model = CostModel::taihulight(64);
+        let t = |k: u64| {
+            model
+                .iteration_time(&ProblemShape::f32(500_000, k, d), Level::L3)
+                .map(|c| c.total())
+        };
+        if let (Ok(t1), Ok(t2)) = (t(k), t(k * 2)) {
+            prop_assert!(t2 >= t1 * 0.95, "k={k}, d={d}: {t1} -> {t2}");
+        }
+    }
+
+    /// PPM round-trips arbitrary small images.
+    #[test]
+    fn ppm_round_trip(w in 1usize..20, h in 1usize..20, fill in any::<u8>()) {
+        let mut img = datasets::ppm::Image::new(w, h);
+        for y in 0..h {
+            for x in 0..w {
+                img.put(x, y, [fill, (x * 7) as u8, (y * 13) as u8]);
+            }
+        }
+        let mut buf = Vec::new();
+        img.write_ppm(&mut buf).unwrap();
+        let back = datasets::ppm::Image::read_ppm(buf.as_slice()).unwrap();
+        prop_assert_eq!(back, img);
+    }
+
+    /// min-loc AllReduce equals the serial argmin merge for arbitrary
+    /// inputs (including ties and empty shards).
+    #[test]
+    fn min_loc_matches_serial_merge(
+        values in proptest::collection::vec(
+            proptest::collection::vec((0.0f64..100.0, 0u64..64), 5),
+            2..6
+        ),
+    ) {
+        let ranks = values.len();
+        let expected: Vec<(f64, u64)> = (0..5)
+            .map(|slot| {
+                values
+                    .iter()
+                    .map(|rank_vals| rank_vals[slot])
+                    .fold((f64::INFINITY, u64::MAX), |best, cand| {
+                        if cand.0 < best.0 || (cand.0 == best.0 && cand.1 < best.1) {
+                            cand
+                        } else {
+                            best
+                        }
+                    })
+            })
+            .collect();
+        let values_ref = &values;
+        let outs = msg::World::run(ranks, move |comm| {
+            let mut pairs = values_ref[comm.rank()].clone();
+            comm.allreduce_min_loc(&mut pairs);
+            pairs
+        });
+        for out in outs {
+            prop_assert_eq!(&out, &expected);
+        }
+    }
+}
