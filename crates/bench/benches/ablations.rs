@@ -54,11 +54,9 @@ fn merge_batch_ablation(c: &mut Criterion) {
         );
         let total = model.iteration_time(&shape, Level::L3).unwrap().total();
         println!("merge_batch {batch}: {total:.3} s/iter");
-        group.bench_with_input(
-            BenchmarkId::from_parameter(batch as u64),
-            &batch,
-            |b, _| b.iter(|| model.iteration_time(&shape, Level::L3).unwrap().total()),
-        );
+        group.bench_with_input(BenchmarkId::from_parameter(batch as u64), &batch, |b, _| {
+            b.iter(|| model.iteration_time(&shape, Level::L3).unwrap().total())
+        });
     }
     group.finish();
 }

@@ -21,17 +21,13 @@ fn fig5(c: &mut Criterion) {
         for &k in &[8usize, 16, 32] {
             let init = bench_init(&data, k);
             let cfg = bench_config(Level::L3, 8, 4);
-            group.bench_with_input(
-                BenchmarkId::new(format!("d{d}"), k),
-                &k,
-                |b, _| {
-                    b.iter(|| {
-                        let r = fit(&data, init.clone(), &cfg).unwrap();
-                        assert_eq!(r.iterations, BENCH_ITERS);
-                        r.objective
-                    })
-                },
-            );
+            group.bench_with_input(BenchmarkId::new(format!("d{d}"), k), &k, |b, _| {
+                b.iter(|| {
+                    let r = fit(&data, init.clone(), &cfg).unwrap();
+                    assert_eq!(r.iterations, BENCH_ITERS);
+                    r.objective
+                })
+            });
         }
     }
     group.finish();

@@ -42,11 +42,8 @@ fn argmin_scan(c: &mut Criterion) {
     group.measurement_time(std::time::Duration::from_millis(1500));
     for &k in &[16usize, 256, 2_048] {
         let d = 128;
-        let centroids = Matrix::from_vec(
-            k,
-            d,
-            (0..k * d).map(|i| (i as f32 * 0.13).sin()).collect(),
-        );
+        let centroids =
+            Matrix::from_vec(k, d, (0..k * d).map(|i| (i as f32 * 0.13).sin()).collect());
         let sample: Vec<f32> = (0..d).map(|i| (i as f32 * 0.7).cos()).collect();
         group.throughput(Throughput::Elements((k * d) as u64));
         group.bench_with_input(BenchmarkId::new("direct", k), &k, |b, _| {

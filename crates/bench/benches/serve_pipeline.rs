@@ -1,0 +1,58 @@
+//! Serving-path benchmarks: the sharded index scan (exact vs norm-trick,
+//! varying shard counts) and the end-to-end request pipeline.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use kmeans_core::Matrix;
+use swkm_serve::{Kernel, PipelineConfig, Server, ShardedIndex};
+
+fn synthetic_centroids(k: usize, d: usize) -> Matrix<f32> {
+    Matrix::from_vec(k, d, (0..k * d).map(|i| (i as f32 * 0.13).sin()).collect())
+}
+
+fn synthetic_queries(n: usize, d: usize) -> Matrix<f32> {
+    Matrix::from_vec(n, d, (0..n * d).map(|i| (i as f32 * 0.71).cos()).collect())
+}
+
+fn sharded_scan(c: &mut Criterion) {
+    let mut group = c.benchmark_group("serve_sharded_scan");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_millis(300));
+    group.measurement_time(std::time::Duration::from_millis(1500));
+    let (k, d, n) = (512usize, 128usize, 64usize);
+    let centroids = synthetic_centroids(k, d);
+    let queries = synthetic_queries(n, d);
+    group.throughput(Throughput::Elements((n * k * d) as u64));
+    for &shards in &[1usize, 2, 4, 8] {
+        let exact = ShardedIndex::new(centroids.clone(), shards);
+        group.bench_with_input(BenchmarkId::new("exact", shards), &shards, |b, _| {
+            b.iter(|| exact.assign_batch(&queries))
+        });
+        let norm = ShardedIndex::new(centroids.clone(), shards).with_kernel(Kernel::NormTrick);
+        group.bench_with_input(BenchmarkId::new("norm_trick", shards), &shards, |b, _| {
+            b.iter(|| norm.assign_batch(&queries))
+        });
+    }
+    group.finish();
+}
+
+fn pipeline_round_trip(c: &mut Criterion) {
+    let mut group = c.benchmark_group("serve_pipeline_round_trip");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_millis(300));
+    group.measurement_time(std::time::Duration::from_millis(1500));
+    let (k, d) = (256usize, 64usize);
+    let index = ShardedIndex::new(synthetic_centroids(k, d), 4);
+    let server = Server::start(index, PipelineConfig::default());
+    let client = server.client();
+    let sample: Vec<f32> = (0..d).map(|i| (i as f32 * 0.7).cos()).collect();
+    group.throughput(Throughput::Elements(1));
+    group.bench_function("predict", |b| {
+        b.iter(|| client.predict(sample.clone()).unwrap())
+    });
+    group.finish();
+    drop(client);
+    server.shutdown();
+}
+
+criterion_group!(benches, sharded_scan, pipeline_round_trip);
+criterion_main!(benches);

@@ -21,16 +21,36 @@ fn table3(c: &mut Criterion) {
     let init = bench_init(&data, k);
 
     group.bench_function("serial_lloyd", |b| {
-        let cfg = KMeansConfig::new(k).with_max_iters(BENCH_ITERS).with_tol(0.0);
-        b.iter(|| Lloyd::run_from(&data, init.clone(), &cfg).unwrap().objective)
+        let cfg = KMeansConfig::new(k)
+            .with_max_iters(BENCH_ITERS)
+            .with_tol(0.0);
+        b.iter(|| {
+            Lloyd::run_from(&data, init.clone(), &cfg)
+                .unwrap()
+                .objective
+        })
     });
     group.bench_function("elkan", |b| {
-        let cfg = KMeansConfig::new(k).with_max_iters(BENCH_ITERS).with_tol(0.0);
-        b.iter(|| elkan::run_from(&data, init.clone(), &cfg).unwrap().0.objective)
+        let cfg = KMeansConfig::new(k)
+            .with_max_iters(BENCH_ITERS)
+            .with_tol(0.0);
+        b.iter(|| {
+            elkan::run_from(&data, init.clone(), &cfg)
+                .unwrap()
+                .0
+                .objective
+        })
     });
     group.bench_function("yinyang", |b| {
-        let cfg = KMeansConfig::new(k).with_max_iters(BENCH_ITERS).with_tol(0.0);
-        b.iter(|| yinyang::run_from(&data, init.clone(), &cfg).unwrap().0.objective)
+        let cfg = KMeansConfig::new(k)
+            .with_max_iters(BENCH_ITERS)
+            .with_tol(0.0);
+        b.iter(|| {
+            yinyang::run_from(&data, init.clone(), &cfg)
+                .unwrap()
+                .0
+                .objective
+        })
     });
     group.bench_function("minibatch", |b| {
         let mb = MiniBatchConfig {

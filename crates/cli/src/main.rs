@@ -6,9 +6,13 @@
 //! swkm sweep --n 1265723 --k 2000 --d-lo 512 --d-hi 8192 --step 512 --nodes 128
 //! swkm fit   --dataset kegg --n 4096 --k 64 [--level 3] [--units 8] [--group 2]
 //! swkm landcover --size 128 --out target/landcover-cli
+//! swkm train --dataset mixture --n 4096 --k 64 --save-model model.swkm [--standardize]
+//! swkm predict --model model.swkm --n 1024 [--shards 4] [--kernel exact|norm-trick]
+//! swkm serve-bench --k 64 --clients 8 --requests 2000 [--queue 1024] [--workers 2]
 //! ```
 
 mod args;
+mod serve_cmd;
 
 use args::Args;
 use hier_kmeans::{choose_level, HierKMeans};
@@ -23,7 +27,9 @@ fn main() {
         Err(msg) => {
             eprintln!("swkm: {msg}");
             eprintln!();
-            eprintln!("usage: swkm <plan|model|sweep|fit|landcover> [--flags]");
+            eprintln!(
+                "usage: swkm <plan|model|sweep|fit|landcover|train|predict|serve-bench> [--flags]"
+            );
             2
         }
     };
@@ -48,6 +54,9 @@ fn run(argv: &[String]) -> Result<(), String> {
         "sweep" => cmd_sweep(&args),
         "fit" => cmd_fit(&args),
         "landcover" => cmd_landcover(&args),
+        "train" => serve_cmd::cmd_train(&args),
+        "predict" => serve_cmd::cmd_predict(&args),
+        "serve-bench" => serve_cmd::cmd_serve_bench(&args),
         other => Err(format!("unknown subcommand `{other}`")),
     }
 }
@@ -60,7 +69,10 @@ fn cmd_plan(args: &Args) -> Result<(), String> {
     let nodes: usize = args.get_or("nodes", 128)?;
     let shape = ProblemShape::f32(n, k, d);
     let machine = Machine::taihulight(nodes);
-    println!("shape: n={n} k={k} d={d} on {nodes} nodes ({} CPEs)", machine.total_cpes());
+    println!(
+        "shape: n={n} k={k} d={d} on {nodes} nodes ({} CPEs)",
+        machine.total_cpes()
+    );
     for level in [Level::L1, Level::L2, Level::L3] {
         match feasibility::plan(level, &shape, &machine, true) {
             Ok(plan) => {
@@ -72,7 +84,11 @@ fn cmd_plan(args: &Args) -> Result<(), String> {
                     plan.n_groups,
                     plan.slice,
                     plan.resident_bytes,
-                    if plan.spilled { " [SPILLED to DDR]" } else { "" }
+                    if plan.spilled {
+                        " [SPILLED to DDR]"
+                    } else {
+                        ""
+                    }
                 );
             }
             Err(e) => println!("  {level}: INFEASIBLE — {e}"),
@@ -92,17 +108,27 @@ fn cmd_model(args: &Args) -> Result<(), String> {
     let (level, cost) = match parse_level(args)? {
         Some(level) => (
             level,
-            model.iteration_time(&shape, level).map_err(|e| e.to_string())?,
+            model
+                .iteration_time(&shape, level)
+                .map_err(|e| e.to_string())?,
         ),
-        None => perf_model::best_level(&model, &shape)
-            .map_err(|errs| errs.iter().map(|e| e.to_string()).collect::<Vec<_>>().join("; "))?,
+        None => perf_model::best_level(&model, &shape).map_err(|errs| {
+            errs.iter()
+                .map(|e| e.to_string())
+                .collect::<Vec<_>>()
+                .join("; ")
+        })?,
     };
     println!("{level} on {nodes} nodes:");
     println!("  compute      {:>12.6} s", cost.compute);
     println!("  read (DMA)   {:>12.6} s", cost.read);
     println!("  assign comm  {:>12.6} s", cost.assign_comm);
     println!("  update comm  {:>12.6} s", cost.update_comm);
-    println!("  total        {:>12.6} s per iteration ({})", cost.total(), cost.dominant_phase());
+    println!(
+        "  total        {:>12.6} s per iteration ({})",
+        cost.total(),
+        cost.dominant_phase()
+    );
     Ok(())
 }
 
@@ -164,7 +190,11 @@ fn cmd_fit(args: &Args) -> Result<(), String> {
                 .generate()
                 .data
         }
-        other => return Err(format!("unknown dataset `{other}` (kegg|road|census|mixture)")),
+        other => {
+            return Err(format!(
+                "unknown dataset `{other}` (kegg|road|census|mixture)"
+            ))
+        }
     };
     let level = match parse_level(args)? {
         Some(level) => level,
@@ -175,7 +205,12 @@ fn cmd_fit(args: &Args) -> Result<(), String> {
         data.rows(),
         data.cols()
     );
-    let init = init_centroids(&data, k, InitMethod::KMeansPlusPlus, args.get_or("seed", 0u64)?);
+    let init = init_centroids(
+        &data,
+        k,
+        InitMethod::KMeansPlusPlus,
+        args.get_or("seed", 0u64)?,
+    );
     let result = HierKMeans::new(level)
         .with_units(units)
         .with_group_units(if level == Level::L1 { 1 } else { group })
@@ -200,7 +235,10 @@ fn cmd_fit(args: &Args) -> Result<(), String> {
 /// The Fig. 10 pipeline at a chosen scene size.
 fn cmd_landcover(args: &Args) -> Result<(), String> {
     let size: usize = args.get_or("size", 192)?;
-    let out = args.get_str("out").unwrap_or("target/landcover-cli").to_string();
+    let out = args
+        .get_str("out")
+        .unwrap_or("target/landcover-cli")
+        .to_string();
     let scene = datasets::SyntheticScene::generate(datasets::SceneConfig {
         width: size,
         height: size,
@@ -248,19 +286,31 @@ mod tests {
     fn plan_and_model_commands_run() {
         run(&argv("plan --n 1265723 --k 2000 --d 4096 --nodes 128")).unwrap();
         run(&argv("model --n 1265723 --k 2000 --d 4096 --nodes 128")).unwrap();
-        run(&argv("model --n 1265723 --k 2000 --d 4096 --nodes 128 --level 3")).unwrap();
+        run(&argv(
+            "model --n 1265723 --k 2000 --d 4096 --nodes 128 --level 3",
+        ))
+        .unwrap();
     }
 
     #[test]
     fn sweep_command_runs() {
-        run(&argv("sweep --n 1265723 --k 2000 --d-lo 512 --d-hi 1536 --step 512")).unwrap();
+        run(&argv(
+            "sweep --n 1265723 --k 2000 --d-lo 512 --d-hi 1536 --step 512",
+        ))
+        .unwrap();
         assert!(run(&argv("sweep --n 1 --k 1 --d-lo 10 --d-hi 5")).is_err());
     }
 
     #[test]
     fn fit_command_runs_each_dataset() {
-        run(&argv("fit --dataset mixture --n 256 --k 4 --d 8 --max-iters 5")).unwrap();
-        run(&argv("fit --dataset kegg --n 256 --k 4 --max-iters 3 --level 2")).unwrap();
+        run(&argv(
+            "fit --dataset mixture --n 256 --k 4 --d 8 --max-iters 5",
+        ))
+        .unwrap();
+        run(&argv(
+            "fit --dataset kegg --n 256 --k 4 --max-iters 3 --level 2",
+        ))
+        .unwrap();
         assert!(run(&argv("fit --dataset nope --k 3")).is_err());
     }
 
@@ -273,6 +323,62 @@ mod tests {
         )))
         .unwrap();
         assert!(out.join("clusters.ppm").exists());
+    }
+
+    #[test]
+    fn train_predict_serve_bench_round_trip() {
+        let model = std::env::temp_dir().join("swkm_cli_model_test.swkm");
+        let model = model.display().to_string();
+        run(&argv(&format!(
+            "train --dataset mixture --n 256 --k 4 --d 8 --max-iters 5 --standardize \
+             --save-model {model}"
+        )))
+        .unwrap();
+        run(&argv(&format!(
+            "predict --model {model} --n 128 --d 8 --shards 3"
+        )))
+        .unwrap();
+        run(&argv(&format!(
+            "predict --model {model} --n 128 --d 8 --kernel norm-trick"
+        )))
+        .unwrap();
+        run(&argv(&format!(
+            "serve-bench --model {model} --n 128 --d 8 --clients 2 --requests 50"
+        )))
+        .unwrap();
+        std::fs::remove_file(&model).ok();
+    }
+
+    #[test]
+    fn serve_bench_trains_in_process_without_model() {
+        run(&argv(
+            "serve-bench --k 4 --n 128 --d 8 --clients 2 --requests 25 --max-iters 3",
+        ))
+        .unwrap();
+    }
+
+    #[test]
+    fn serve_command_arg_errors() {
+        assert!(run(&argv("train --k 4")).is_err()); // no --save-model
+        assert!(run(&argv("predict --n 16")).is_err()); // no --model
+
+        // Degenerate pipeline knobs are CLI errors, not worker panics:
+        assert!(run(&argv("serve-bench --k 2 --n 32 --d 4 --queue 0")).is_err());
+        assert!(run(&argv("serve-bench --k 2 --n 32 --d 4 --clients 0")).is_err());
+        assert!(run(&argv("predict --model /nonexistent/model.swkm")).is_err());
+        let model = std::env::temp_dir().join("swkm_cli_kernel_err.swkm");
+        let model = model.display().to_string();
+        run(&argv(&format!(
+            "train --dataset mixture --n 64 --k 2 --d 4 --max-iters 2 --save-model {model}"
+        )))
+        .unwrap();
+        assert!(run(&argv(&format!(
+            "predict --model {model} --d 4 --kernel warp-drive"
+        )))
+        .is_err());
+        // Query d mismatching the model's d is a typed CLI error.
+        assert!(run(&argv(&format!("predict --model {model} --d 9"))).is_err());
+        std::fs::remove_file(&model).ok();
     }
 
     #[test]

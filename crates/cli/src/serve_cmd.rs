@@ -1,0 +1,198 @@
+//! The serving-side subcommands: `train` (fit + freeze an artifact),
+//! `predict` (load an artifact, label a batch) and `serve-bench` (closed-
+//! loop load test of the request pipeline).
+
+use crate::args::Args;
+use kmeans_core::{ColumnStats, InitMethod, KMeansConfig, Lloyd, Matrix};
+use std::time::Duration;
+use swkm_serve::prelude::*;
+
+/// The CLI works in `f32` end to end (the paper's serving precision).
+type Elem = f32;
+
+/// Generate the query/training matrix for a named dataset — the same
+/// catalogue `fit` uses.
+fn dataset_matrix(args: &Args, k: usize) -> Result<Matrix<Elem>, String> {
+    let dataset = args.get_str("dataset").unwrap_or("mixture");
+    let n: usize = args.get_or("n", 4_096)?;
+    Ok(match dataset {
+        "kegg" => datasets::uci::kegg_network().generate(n),
+        "road" => datasets::uci::road_network().generate(n),
+        "census" => datasets::uci::us_census_1990().generate(n),
+        "mixture" => {
+            let d: usize = args.get_or("d", 16)?;
+            datasets::GaussianMixture::new(n, d, k.max(2))
+                .with_seed(args.get_or("seed", 0u64)?)
+                .generate()
+                .data
+        }
+        other => {
+            return Err(format!(
+                "unknown dataset `{other}` (kegg|road|census|mixture)"
+            ))
+        }
+    })
+}
+
+fn parse_kernel(args: &Args) -> Result<Kernel, String> {
+    match args.get_str("kernel") {
+        None | Some("exact") => Ok(Kernel::Exact),
+        Some("norm-trick") => Ok(Kernel::NormTrick),
+        Some(other) => Err(format!("--kernel must be exact|norm-trick, got `{other}`")),
+    }
+}
+
+/// Train with the serial Lloyd reference and freeze the model to disk.
+pub fn cmd_train(args: &Args) -> Result<(), String> {
+    let k: usize = args.require("k")?;
+    let path = args
+        .get_str("save-model")
+        .ok_or("train needs --save-model <path>")?
+        .to_string();
+    let mut data = dataset_matrix(args, k)?;
+    let standardize = args.get_str("standardize").is_some();
+    let stats = if standardize {
+        let stats = ColumnStats::compute(&data);
+        stats.standardize(&mut data);
+        Some(stats)
+    } else {
+        None
+    };
+    let config = KMeansConfig::new(k)
+        .with_seed(args.get_or("seed", 0u64)?)
+        .with_max_iters(args.get_or("max-iters", 100usize)?)
+        .with_init(InitMethod::KMeansPlusPlus);
+    let fit = Lloyd::run(&data, &config).map_err(|e| e.to_string())?;
+    println!(
+        "trained k={k} on n={} d={}: {} iterations (converged = {}), objective {:.5}",
+        data.rows(),
+        data.cols(),
+        fit.iterations,
+        fit.converged,
+        fit.objective
+    );
+    let artifact = ModelArtifact::new(
+        data.rows() as u64,
+        fit.centroids,
+        fit.iterations as u64,
+        fit.objective,
+        fit.converged,
+        stats,
+    );
+    artifact.save(&path).map_err(|e| e.to_string())?;
+    println!(
+        "wrote {path} ({} bytes, format v{})",
+        artifact.to_bytes().len(),
+        swkm_serve::FORMAT_VERSION
+    );
+    Ok(())
+}
+
+/// Load a model artifact and label a batch of samples with the sharded
+/// index, printing the label distribution.
+pub fn cmd_predict(args: &Args) -> Result<(), String> {
+    let path = args
+        .get_str("model")
+        .ok_or("predict needs --model <path>")?;
+    let artifact = ModelArtifact::<Elem>::load(path).map_err(|e| e.to_string())?;
+    let shards: usize = args.get_or("shards", 4)?;
+    let mut queries = dataset_matrix(args, artifact.meta.k)?;
+    if queries.cols() != artifact.meta.d {
+        return Err(format!(
+            "query dimensionality {} does not match the model's d = {}",
+            queries.cols(),
+            artifact.meta.d
+        ));
+    }
+    artifact.preprocess(&mut queries);
+    let index = ShardedIndex::from_artifact(&artifact, shards).with_kernel(parse_kernel(args)?);
+    println!(
+        "model: k={} d={} (trained on {} samples, objective {:.5}); {} shard(s), {:?} kernel",
+        artifact.meta.k,
+        artifact.meta.d,
+        artifact.meta.trained_samples,
+        artifact.meta.objective,
+        index.num_shards(),
+        index.kernel()
+    );
+    let labels = index.assign_batch(&queries);
+    let sizes = kmeans_core::objective::cluster_sizes(&labels, artifact.meta.k);
+    println!(
+        "labelled {} queries; cluster sizes: {sizes:?}",
+        labels.len()
+    );
+    Ok(())
+}
+
+/// Closed-loop load test: train (or load) a model, serve it through the
+/// full pipeline and report QPS / latency / shed fraction.
+pub fn cmd_serve_bench(args: &Args) -> Result<(), String> {
+    let k: usize = args.get_or("k", 64)?;
+    let artifact = match args.get_str("model") {
+        Some(path) => ModelArtifact::<Elem>::load(path).map_err(|e| e.to_string())?,
+        None => {
+            // No artifact given: fit a quick in-process model.
+            let data = dataset_matrix(args, k)?;
+            let config = KMeansConfig::new(k)
+                .with_seed(args.get_or("seed", 0u64)?)
+                .with_max_iters(args.get_or("max-iters", 10usize)?)
+                .with_init(InitMethod::KMeansPlusPlus);
+            let fit = Lloyd::run(&data, &config).map_err(|e| e.to_string())?;
+            ModelArtifact::new(
+                data.rows() as u64,
+                fit.centroids,
+                fit.iterations as u64,
+                fit.objective,
+                fit.converged,
+                None,
+            )
+        }
+    };
+    let mut queries = dataset_matrix(args, artifact.meta.k)?;
+    if queries.cols() != artifact.meta.d {
+        return Err(format!(
+            "query dimensionality {} does not match the model's d = {}",
+            queries.cols(),
+            artifact.meta.d
+        ));
+    }
+    artifact.preprocess(&mut queries);
+
+    let shards: usize = args.get_or("shards", 4)?;
+    let pipeline = PipelineConfig {
+        queue_capacity: args.get_or("queue", 1024usize)?,
+        workers: args.get_or("workers", 2usize)?,
+        max_batch: args.get_or("batch", 64usize)?,
+        linger: Duration::from_micros(args.get_or("linger-us", 200u64)?),
+    };
+    if pipeline.queue_capacity == 0 || pipeline.workers == 0 || pipeline.max_batch == 0 {
+        return Err("--queue, --workers and --batch must all be positive".into());
+    }
+    let load = LoadGenConfig {
+        clients: args.get_or("clients", 4usize)?,
+        requests_per_client: args.get_or("requests", 2_500usize)?,
+    };
+    if load.clients == 0 {
+        return Err("--clients must be positive".into());
+    }
+    println!(
+        "serve-bench: k={} d={} over {} shard(s); queue {}, {} worker(s), batch ≤ {}, \
+         linger {:?}; {} closed-loop client(s) × {} request(s)",
+        artifact.meta.k,
+        artifact.meta.d,
+        shards.clamp(1, artifact.meta.k),
+        pipeline.queue_capacity,
+        pipeline.workers,
+        pipeline.max_batch,
+        pipeline.linger,
+        load.clients,
+        load.requests_per_client
+    );
+    let index = ShardedIndex::from_artifact(&artifact, shards).with_kernel(parse_kernel(args)?);
+    let server = Server::start(index, pipeline);
+    let report = run_closed_loop(&server, &queries, load);
+    println!("{report}");
+    let snapshot = server.shutdown();
+    println!("{snapshot}");
+    Ok(())
+}

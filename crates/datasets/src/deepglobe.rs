@@ -111,9 +111,9 @@ impl SyntheticScene {
                     .2;
                 truth.push(class);
                 let (mean, texture) = CLASS_APPEARANCE[class as usize];
-                for ch in 0..3 {
-                    let noise: f32 = rng.gen_range(-1.0..1.0) * texture;
-                    pixels.push((mean[ch] + noise).clamp(0.0, 1.0));
+                for m in mean {
+                    let noise: f32 = rng.gen_range(-1.0f32..1.0) * texture;
+                    pixels.push((m + noise).clamp(0.0, 1.0));
                 }
             }
         }

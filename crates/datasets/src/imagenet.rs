@@ -28,7 +28,7 @@ pub struct ImageNetSource {
 impl ImageNetSource {
     /// A source of `len` images with `d = side²·3` dimensions.
     pub fn new(len: u64, d: usize, seed: u64) -> Self {
-        assert!(d % 3 == 0, "d must be side²×3");
+        assert!(d.is_multiple_of(3), "d must be side²×3");
         let pixels = d / 3;
         let side = (pixels as f64).sqrt() as usize;
         assert_eq!(side * side * 3, d, "d = {d} is not a square image×3");
@@ -88,12 +88,9 @@ impl SampleSource for ImageNetSource {
                 let base = (y * side + x) * 3;
                 for ch in 0..3 {
                     let p = &params[ch];
-                    let wave = 0.25
-                        * ((p[1] * x as f32 * inv + p[2] * y as f32 * inv
-                            + p[3])
-                            .cos());
-                    let noise = 0.2
-                        * (unit(splitmix(img ^ ((base + ch) as u64) << 3)) - 0.5);
+                    let wave =
+                        0.25 * ((p[1] * x as f32 * inv + p[2] * y as f32 * inv + p[3]).cos());
+                    let noise = 0.2 * (unit(splitmix(img ^ ((base + ch) as u64) << 3)) - 0.5);
                     out[base + ch] = (p[0] + wave + noise).clamp(0.0, 1.0);
                 }
             }

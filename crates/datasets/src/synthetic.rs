@@ -132,9 +132,7 @@ mod tests {
         // center there is a recovered centroid within a few noise σ.
         for j in 0..3 {
             let best = (0..3)
-                .map(|r| {
-                    kmeans_core::sq_euclidean(out.centers.row(j), res.centroids.row(r)).sqrt()
-                })
+                .map(|r| kmeans_core::sq_euclidean(out.centers.row(j), res.centroids.row(r)).sqrt())
                 .fold(f64::INFINITY, f64::min);
             assert!(best < 2.0, "true center {j} missed by {best}");
         }
@@ -153,10 +151,7 @@ mod tests {
         let spread = |ld: &LabelledData<f64>| {
             (0..ld.data.rows())
                 .map(|i| {
-                    kmeans_core::sq_euclidean(
-                        ld.data.row(i),
-                        ld.centers.row(ld.truth[i] as usize),
-                    )
+                    kmeans_core::sq_euclidean(ld.data.row(i), ld.centers.row(ld.truth[i] as usize))
                 })
                 .sum::<f64>()
         };

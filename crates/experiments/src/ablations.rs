@@ -11,7 +11,12 @@ pub fn abl_regcomm() -> Report {
     let mut r = Report::new(
         "abl_regcomm",
         "Ablation: register communication vs DMA-only mesh reduction",
-        &["d", "assign_comm with reg (s)", "assign_comm without (s)", "slowdown"],
+        &[
+            "d",
+            "assign_comm with reg (s)",
+            "assign_comm without (s)",
+            "slowdown",
+        ],
     );
     let stock = CostModel::taihulight(128);
     let mut no_reg = stock;
@@ -38,16 +43,26 @@ pub fn abl_placement() -> Report {
     let mut r = Report::new(
         "abl_placement",
         "Ablation: topology-aware vs round-robin CG-group placement",
-        &["nodes", "groups × size", "aware intra-class", "scatter intra-class", "update slowdown"],
+        &[
+            "nodes",
+            "groups × size",
+            "aware intra-class",
+            "scatter intra-class",
+            "update slowdown",
+        ],
     );
     for &nodes in &[512usize, 1_024, 4_096] {
         let machine = Machine::taihulight(nodes);
         let cgs = machine.total_cgs();
         let group_size = 64;
         let n_groups = cgs / group_size;
-        let aware =
-            CgGroupPlacement::new(&machine, n_groups, group_size, PlacementPolicy::TopologyAware)
-                .unwrap();
+        let aware = CgGroupPlacement::new(
+            &machine,
+            n_groups,
+            group_size,
+            PlacementPolicy::TopologyAware,
+        )
+        .unwrap();
         let scatter = CgGroupPlacement::new(
             &machine,
             n_groups,
@@ -57,8 +72,8 @@ pub fn abl_placement() -> Report {
         .unwrap();
         let aware_class = aware.worst_intra_group_class(&machine);
         let scatter_class = scatter.worst_intra_group_class(&machine);
-        let slowdown = aware_class.bandwidth(&machine.params)
-            / scatter_class.bandwidth(&machine.params);
+        let slowdown =
+            aware_class.bandwidth(&machine.params) / scatter_class.bandwidth(&machine.params);
         r.row(vec![
             nodes.to_string(),
             format!("{n_groups} × {group_size}"),
@@ -132,13 +147,8 @@ pub fn weak_scaling() -> Report {
         "Weak scaling: 10,000 samples/node, k=1,024, d=3,072 (Level 3)",
         &["nodes", "n", "model (s)", "efficiency"],
     );
-    let series = perf_model::weak_scaling(
-        10_000,
-        1_024,
-        3_072,
-        Level::L3,
-        &[64, 128, 256, 512, 1_024],
-    );
+    let series =
+        perf_model::weak_scaling(10_000, 1_024, 3_072, Level::L3, &[64, 128, 256, 512, 1_024]);
     let base = series[0].1.unwrap();
     for (nodes, t) in series {
         let t = t.unwrap();
@@ -199,7 +209,11 @@ mod tests {
     fn ldm_ablation_unspills_and_speeds_up() {
         let r = abl_spill();
         assert_eq!(r.rows[0][1], "true", "64 KB must spill: {:?}", r.rows[0]);
-        assert_eq!(r.rows.last().unwrap()[1], "false", "512 KB must be resident");
+        assert_eq!(
+            r.rows.last().unwrap()[1],
+            "false",
+            "512 KB must be resident"
+        );
         let t0: f64 = r.rows[0][3].parse().unwrap();
         let t3: f64 = r.rows.last().unwrap()[3].parse().unwrap();
         assert!(t3 < t0, "more LDM must not slow things down: {t0} -> {t3}");

@@ -54,7 +54,10 @@ pub fn fig10(out_dir: &Path) -> Report {
     ]);
     r.row(vec![
         "class recovery".into(),
-        format!("{:.1}% of pixels (optimal cluster→class matching)", accuracy * 100.0),
+        format!(
+            "{:.1}% of pixels (optimal cluster→class matching)",
+            accuracy * 100.0
+        ),
     ]);
 
     std::fs::create_dir_all(out_dir).expect("output dir");
@@ -98,15 +101,14 @@ mod tests {
             .iter()
             .find(|row| row[0] == "class recovery")
             .unwrap();
-        let pct: f64 = recovery_row[1]
-            .split('%')
-            .next()
-            .unwrap()
-            .parse()
-            .unwrap();
+        let pct: f64 = recovery_row[1].split('%').next().unwrap().parse().unwrap();
         assert!(pct > 60.0, "class recovery only {pct}%");
         // The three PPMs exist and parse back.
-        for name in ["fig10_truth.ppm", "fig10_satellite.ppm", "fig10_clusters.ppm"] {
+        for name in [
+            "fig10_truth.ppm",
+            "fig10_satellite.ppm",
+            "fig10_clusters.ppm",
+        ] {
             let bytes = std::fs::read(dir.join(name)).unwrap();
             let img = datasets::ppm::Image::read_ppm(bytes.as_slice()).unwrap();
             assert_eq!(img.width(), 192);

@@ -34,7 +34,15 @@ pub fn fig3() -> Report {
     let mut r = Report::new(
         "fig3",
         "Level 1 (n-partition): iteration time vs k, 1 node",
-        &["dataset", "n", "d", "k", "model (s)", "paper axis (s)", "functional scaled (ms)"],
+        &[
+            "dataset",
+            "n",
+            "d",
+            "k",
+            "model (s)",
+            "paper axis (s)",
+            "functional scaled (ms)",
+        ],
     );
     let model = CostModel::taihulight(1);
     for ds in datasets::uci::all() {
@@ -77,7 +85,14 @@ pub fn fig4() -> Report {
     let mut r = Report::new(
         "fig4",
         "Level 2 (nk-partition): iteration time vs large k, 256 nodes",
-        &["dataset", "k", "group CPEs", "model (s)", "paper axis (s)", "functional scaled (ms)"],
+        &[
+            "dataset",
+            "k",
+            "group CPEs",
+            "model (s)",
+            "paper axis (s)",
+            "functional scaled (ms)",
+        ],
     );
     let model = CostModel::taihulight(256);
     for ds in datasets::uci::all() {
@@ -234,7 +249,14 @@ pub fn fig8() -> Report {
     let mut r = Report::new(
         "fig8",
         "L2 vs L3: varying k, d=4,096, 128 nodes",
-        &["k", "L2 (s)", "L2 spilled", "L3 (s)", "L3 spilled", "L3/L2 gap (s)"],
+        &[
+            "k",
+            "L2 (s)",
+            "L2 spilled",
+            "L3 (s)",
+            "L3 spilled",
+            "L3/L2 gap (s)",
+        ],
     );
     let model = CostModel::taihulight(128);
     let mut k = 256u64;

@@ -18,11 +18,25 @@ mod report;
 mod tables;
 
 use report::Report;
-use std::path::PathBuf;
+use std::path::{Path, PathBuf};
 
 const EXPERIMENTS: [&str; 17] = [
-    "table1", "table2", "table3", "fig3", "fig4", "fig5", "fig6a", "fig6b", "fig7", "fig8",
-    "fig9", "fig10", "abl_regcomm", "abl_placement", "abl_batch", "abl_spill",
+    "table1",
+    "table2",
+    "table3",
+    "fig3",
+    "fig4",
+    "fig5",
+    "fig6a",
+    "fig6b",
+    "fig7",
+    "fig8",
+    "fig9",
+    "fig10",
+    "abl_regcomm",
+    "abl_placement",
+    "abl_batch",
+    "abl_spill",
     "weak_scaling",
 ];
 
@@ -32,7 +46,7 @@ fn usage() -> ! {
     std::process::exit(2);
 }
 
-fn run_one(name: &str, out_dir: &PathBuf) -> Report {
+fn run_one(name: &str, out_dir: &Path) -> Report {
     match name {
         "table1" => tables::table1(),
         "table2" => tables::table2(),

@@ -15,14 +15,28 @@ pub fn table1() -> Report {
     );
     let lit: [(&str, &str, &str, &str, &str, &str); 9] = [
         ("Böhm et al.", "Multi-core", "MIMD/SIMD", "1e7", "40", "20"),
-        ("Hadian & Shahrivari", "Multi-core", "threads", "1e9", "100", "68"),
+        (
+            "Hadian & Shahrivari",
+            "Multi-core",
+            "threads",
+            "1e9",
+            "100",
+            "68",
+        ),
         ("Zechner & Granitzer", "GPU", "CUDA", "1e6", "128", "200"),
         ("Li et al.", "GPU", "CUDA", "1e7", "512", "160"),
         ("Haut et al.", "Cloud", "OpenStack", "1e8", "8", "58"),
         ("Cui et al.", "Cluster", "Hadoop", "1e5", "100", "9"),
         ("Kumar et al.", "Jaguar (ORNL)", "MPI", "1e10", "1000", "30"),
         ("Cai et al.", "Gordon (SDSC)", "parallel R", "1e6", "8", "8"),
-        ("Bender et al.", "Trinity (NNSA)", "OpenMP", "370", "18", "140,256"),
+        (
+            "Bender et al.",
+            "Trinity (NNSA)",
+            "OpenMP",
+            "370",
+            "18",
+            "140,256",
+        ),
     ];
     for (a, h, m, n, k, d) in lit {
         r.row(vec![

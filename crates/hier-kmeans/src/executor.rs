@@ -132,11 +132,7 @@ pub(crate) fn validate<S: Scalar>(
         return Err(KMeansError::ZeroK.into());
     }
     if k > data.rows() {
-        return Err(KMeansError::KExceedsN {
-            k,
-            n: data.rows(),
-        }
-        .into());
+        return Err(KMeansError::KExceedsN { k, n: data.rows() }.into());
     }
     if init.cols() != data.cols() {
         return Err(KMeansError::CentroidShape {

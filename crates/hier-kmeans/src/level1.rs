@@ -140,8 +140,7 @@ mod tests {
             tol: 1e-9,
         };
         let hier = run(&data, init.clone(), &cfg).unwrap();
-        let serial =
-            Lloyd::run_from(&data, init, &KMeansConfig::new(4).with_tol(1e-9)).unwrap();
+        let serial = Lloyd::run_from(&data, init, &KMeansConfig::new(4).with_tol(1e-9)).unwrap();
         assert!(hier.centroids.max_abs_diff(&serial.centroids) < 1e-9);
         assert_eq!(hier.labels, serial.labels);
     }
@@ -162,10 +161,7 @@ mod tests {
             };
             let r = run(&data, init.clone(), &cfg).unwrap();
             if let Some(ref m) = reference {
-                assert!(
-                    r.centroids.max_abs_diff(m) < 1e-9,
-                    "units={units} diverged"
-                );
+                assert!(r.centroids.max_abs_diff(m) < 1e-9, "units={units} diverged");
             } else {
                 reference = Some(r.centroids);
             }

@@ -27,7 +27,7 @@ pub(crate) fn run<S: Scalar>(
     cfg: &HierConfig,
 ) -> Result<HierResult<S>, HierError> {
     let g = cfg.group_units;
-    if cfg.units % g != 0 {
+    if !cfg.units.is_multiple_of(g) {
         return Err(HierError::InvalidConfig(format!(
             "units {} must be a multiple of group_units {g}",
             cfg.units
@@ -67,10 +67,7 @@ pub(crate) fn run<S: Scalar>(
                     pairs.push(MINLOC_NEUTRAL);
                 } else {
                     let (j_local, dist) = argmin_centroid(data.row(i), &shard);
-                    pairs.push((
-                        dist.to_f64(),
-                        (my_centroids.start + j_local) as u64,
-                    ));
+                    pairs.push((dist.to_f64(), (my_centroids.start + j_local) as u64));
                 }
             }
             timings.assign += t0.elapsed().as_secs_f64();
@@ -133,9 +130,7 @@ pub(crate) fn run<S: Scalar>(
         // ---- Assemble the full centroid matrix on world rank 0. ----
         // Group 0's members hold one copy of every shard (identical to all
         // other groups after the shard AllReduce).
-        let contribution = (group == 0).then(|| {
-            (my_centroids.start, shard.clone().into_vec())
-        });
+        let contribution = (group == 0).then(|| (my_centroids.start, shard.clone().into_vec()));
         let gathered = comm.gather(0, contribution);
         let full = gathered.map(|parts| {
             let mut flat = vec![S::ZERO; k * d];

@@ -25,11 +25,7 @@ use msg::World;
 
 /// Distance of `sample` to `centroid` computed the Level-3 way: per-CPE
 /// partials over dimension slices, folded in CPE order.
-pub(crate) fn sliced_distance<S: Scalar>(
-    sample: &[S],
-    centroid: &[S],
-    cpes: usize,
-) -> S {
+pub(crate) fn sliced_distance<S: Scalar>(sample: &[S], centroid: &[S], cpes: usize) -> S {
     let d = sample.len();
     let mut acc = S::ZERO;
     for cpe in 0..cpes {
@@ -45,7 +41,7 @@ pub(crate) fn run<S: Scalar>(
     cfg: &HierConfig,
 ) -> Result<HierResult<S>, HierError> {
     let g = cfg.group_units;
-    if cfg.units % g != 0 {
+    if !cfg.units.is_multiple_of(g) {
         return Err(HierError::InvalidConfig(format!(
             "units {} must be a multiple of group_units {g}",
             cfg.units
@@ -91,8 +87,7 @@ pub(crate) fn run<S: Scalar>(
                 let sample = data.row(i);
                 let mut best = MINLOC_NEUTRAL;
                 for j_local in 0..shard_k {
-                    let dist =
-                        sliced_distance(sample, shard.row(j_local), cpes).to_f64();
+                    let dist = sliced_distance(sample, shard.row(j_local), cpes).to_f64();
                     let j_global = (my_centroids.start + j_local) as u64;
                     if dist < best.0 || (dist == best.0 && j_global < best.1) {
                         best = (dist, j_global);
@@ -161,8 +156,7 @@ pub(crate) fn run<S: Scalar>(
             }
         }
 
-        let contribution =
-            (group == 0).then(|| (my_centroids.start, shard.clone().into_vec()));
+        let contribution = (group == 0).then(|| (my_centroids.start, shard.clone().into_vec()));
         let gathered = comm.gather(0, contribution);
         let full = gathered.map(|parts| {
             let mut flat = vec![S::ZERO; k * d];

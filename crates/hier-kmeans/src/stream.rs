@@ -67,7 +67,7 @@ pub fn fit_source<Src: SampleSource + Sync>(
         }
         .into());
     }
-    if cfg.units == 0 || cfg.group_units == 0 || cfg.units % cfg.group_units != 0 {
+    if cfg.units == 0 || cfg.group_units == 0 || !cfg.units.is_multiple_of(cfg.group_units) {
         return Err(HierError::InvalidConfig(format!(
             "units {} must be a positive multiple of group_units {}",
             cfg.units, cfg.group_units
@@ -115,8 +115,7 @@ pub fn fit_source<Src: SampleSource + Sync>(
                         if shard_k == 0 {
                             MINLOC_NEUTRAL
                         } else {
-                            let (j_local, dist) =
-                                argmin_centroid(window_buf.row(w), &shard);
+                            let (j_local, dist) = argmin_centroid(window_buf.row(w), &shard);
                             (dist as f64, (my_centroids.start + j_local) as u64)
                         }
                     })
@@ -166,8 +165,7 @@ pub fn fit_source<Src: SampleSource + Sync>(
             }
         }
 
-        let contribution =
-            (group == 0).then(|| (my_centroids.start, shard.clone().into_vec()));
+        let contribution = (group == 0).then(|| (my_centroids.start, shard.clone().into_vec()));
         let gathered = comm.gather(0, contribution);
         let full = gathered.map(|parts| {
             let mut flat = vec![0.0f32; k * d];

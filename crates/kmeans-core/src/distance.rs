@@ -222,8 +222,7 @@ mod tests {
 
     #[test]
     fn argmin_range_offsets_globally() {
-        let centroids =
-            Matrix::from_rows(&[&[0.0f64], &[10.0], &[2.9], &[100.0]]);
+        let centroids = Matrix::from_rows(&[&[0.0f64], &[10.0], &[2.9], &[100.0]]);
         // Search only rows 2..4 but report indices as if offset by 10.
         let (j, d) = argmin_centroid_range(&[3.0], &centroids, 2..4, 10);
         assert_eq!(j, 10);
@@ -256,13 +255,16 @@ mod tests {
         let centroids = Matrix::from_vec(
             k,
             d,
-            (0..k * d).map(|i| ((i * 37 % 101) as f64 - 50.0) * 0.1).collect(),
+            (0..k * d)
+                .map(|i| ((i * 37 % 101) as f64 - 50.0) * 0.1)
+                .collect(),
         );
         let norms = CentroidNorms::new(&centroids);
         assert_eq!(norms.len(), k);
         for s in 0..25 {
-            let sample: Vec<f64> =
-                (0..d).map(|u| ((s * 13 + u * 7) % 97) as f64 * 0.1 - 4.0).collect();
+            let sample: Vec<f64> = (0..d)
+                .map(|u| ((s * 13 + u * 7) % 97) as f64 * 0.1 - 4.0)
+                .collect();
             let (direct, direct_d) = argmin_centroid(&sample, &centroids);
             let (trick, score) = norms.argmin(&sample, &centroids);
             assert_eq!(direct, trick, "sample {s}");

@@ -110,21 +110,12 @@ pub fn run_from<S: Scalar>(
         converged = true;
     }
     // Bounds adjust for the first movement.
-    adjust_bounds(
-        &mut upper,
-        &mut upper_stale,
-        &mut lower,
-        &labels,
-        &drift,
-        k,
-    );
+    adjust_bounds(&mut upper, &mut upper_stale, &mut lower, &labels, &drift, k);
 
     while !converged && iterations < config.max_iters {
         stats.lloyd_equivalent += (n * k) as u64;
         // ---- Inter-centroid distances and s(j). ----
-        for a in 0..k {
-            s[a] = f64::INFINITY;
-        }
+        s.fill(f64::INFINITY);
         for a in 0..k {
             for b in a + 1..k {
                 let dab = dist(
@@ -188,19 +179,11 @@ pub fn run_from<S: Scalar>(
         if shift <= config.tol {
             converged = true;
         }
-        adjust_bounds(
-            &mut upper,
-            &mut upper_stale,
-            &mut lower,
-            &labels,
-            &drift,
-            k,
-        );
+        adjust_bounds(&mut upper, &mut upper_stale, &mut lower, &labels, &drift, k);
     }
 
     let mut final_labels = vec![0u32; n];
-    let objective =
-        crate::lloyd::assign_step(data, &centroids, &mut final_labels) / n as f64;
+    let objective = crate::lloyd::assign_step(data, &centroids, &mut final_labels) / n as f64;
     Ok((
         KMeansResult {
             centroids,
@@ -216,9 +199,11 @@ pub fn run_from<S: Scalar>(
 /// Per-centroid movement; returns the maximum.
 fn drifts<S: Scalar>(old: &Matrix<S>, new: &Matrix<S>, drift: &mut [f64]) -> f64 {
     let mut worst = 0.0f64;
-    for j in 0..old.rows() {
-        let m = sq_euclidean_unrolled(old.row(j), new.row(j)).to_f64().sqrt();
-        drift[j] = m;
+    for (j, slot) in drift.iter_mut().enumerate().take(old.rows()) {
+        let m = sq_euclidean_unrolled(old.row(j), new.row(j))
+            .to_f64()
+            .sqrt();
+        *slot = m;
         worst = worst.max(m);
     }
     worst

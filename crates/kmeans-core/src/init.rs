@@ -59,9 +59,9 @@ pub fn init_centroids<S: Scalar>(
                     *a += *x;
                 }
             }
-            for j in 0..k {
-                if counts[j] > 0 {
-                    let inv = S::ONE / S::from_usize(counts[j]);
+            for (j, &count) in counts.iter().enumerate().take(k) {
+                if count > 0 {
+                    let inv = S::ONE / S::from_usize(count);
                     for a in sums.row_mut(j) {
                         *a = *a * inv;
                     }
@@ -105,10 +105,10 @@ pub fn init_centroids<S: Scalar>(
                     pick
                 };
                 chosen.push(next);
-                for i in 0..n {
+                for (i, slot) in d2.iter_mut().enumerate().take(n) {
                     let d = sq_euclidean_unrolled(data.row(i), data.row(next)).to_f64();
-                    if d < d2[i] {
-                        d2[i] = d;
+                    if d < *slot {
+                        *slot = d;
                     }
                 }
             }

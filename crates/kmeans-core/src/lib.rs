@@ -32,10 +32,15 @@ pub mod minibatch;
 pub mod objective;
 pub mod preprocess;
 pub mod scalar;
+#[cfg(feature = "serde")]
+pub mod serde_impls;
 pub mod source;
 pub mod yinyang;
 
-pub use distance::{argmin_centroid, dot_unrolled, sq_euclidean, sq_euclidean_unrolled, CentroidNorms};
+pub use distance::{
+    argmin_centroid, dot_unrolled, sq_euclidean, sq_euclidean_unrolled, CentroidNorms,
+};
+pub use elkan::ElkanStats;
 pub use init::{init_centroids, InitMethod};
 pub use lloyd::{assign_step, update_step, KMeansConfig, KMeansError, KMeansResult, Lloyd};
 pub use matrix::Matrix;
@@ -45,5 +50,4 @@ pub use objective::mean_objective;
 pub use preprocess::{standardized, ColumnStats};
 pub use scalar::Scalar;
 pub use source::{MatrixSource, SampleSource};
-pub use elkan::ElkanStats;
 pub use yinyang::YinyangStats;

@@ -114,16 +114,12 @@ pub struct KMeansResult<S: Scalar> {
 /// Assign each sample to its nearest centroid, filling `labels` and
 /// returning the summed squared distance (so the mean objective is
 /// `returned / n`). Ties break toward the lower centroid index.
-pub fn assign_step<S: Scalar>(
-    data: &Matrix<S>,
-    centroids: &Matrix<S>,
-    labels: &mut [u32],
-) -> f64 {
+pub fn assign_step<S: Scalar>(data: &Matrix<S>, centroids: &Matrix<S>, labels: &mut [u32]) -> f64 {
     assert_eq!(labels.len(), data.rows());
     let mut total = 0.0f64;
-    for i in 0..data.rows() {
+    for (i, label) in labels.iter_mut().enumerate() {
         let (j, d) = argmin_centroid(data.row(i), centroids);
-        labels[i] = j as u32;
+        *label = j as u32;
         total += d.to_f64();
     }
     total
@@ -144,8 +140,8 @@ pub fn update_step<S: Scalar>(
     assert_eq!(next.cols(), prev.cols());
     next.fill_zero();
     let mut counts = vec![0u64; k];
-    for i in 0..data.rows() {
-        let j = labels[i] as usize;
+    for (i, &label) in labels.iter().enumerate().take(data.rows()) {
+        let j = label as usize;
         counts[j] += 1;
         let acc = next.row_mut(j);
         let row = data.row(i);
@@ -153,11 +149,11 @@ pub fn update_step<S: Scalar>(
             *a += *x;
         }
     }
-    for j in 0..k {
-        if counts[j] == 0 {
+    for (j, &count) in counts.iter().enumerate().take(k) {
+        if count == 0 {
             next.row_mut(j).copy_from_slice(prev.row(j));
         } else {
-            let inv = S::ONE / S::from_usize(counts[j] as usize);
+            let inv = S::ONE / S::from_usize(count as usize);
             for a in next.row_mut(j) {
                 *a = *a * inv;
             }

@@ -73,7 +73,11 @@ impl Contingency {
         let max_index = 0.5 * (sum_a + sum_b);
         if (max_index - expected).abs() < 1e-12 {
             // Degenerate: both partitions trivial.
-            return if (sum_ij - expected).abs() < 1e-12 { 1.0 } else { 0.0 };
+            return if (sum_ij - expected).abs() < 1e-12 {
+                1.0
+            } else {
+                0.0
+            };
         }
         (sum_ij - expected) / (max_index - expected)
     }

@@ -20,8 +20,8 @@ pub fn mean_objective<S: Scalar>(data: &Matrix<S>, centroids: &Matrix<S>) -> f64
 pub fn wcss<S: Scalar>(data: &Matrix<S>, centroids: &Matrix<S>, labels: &[u32]) -> f64 {
     assert_eq!(labels.len(), data.rows());
     let mut total = 0.0f64;
-    for i in 0..data.rows() {
-        let j = labels[i] as usize;
+    for (i, &label) in labels.iter().enumerate() {
+        let j = label as usize;
         total += sq_euclidean_unrolled(data.row(i), centroids.row(j)).to_f64();
     }
     total

@@ -58,12 +58,12 @@ impl ColumnStats {
         assert_eq!(d, self.mean.len(), "stats computed for another width");
         for i in 0..data.rows() {
             let row = data.row_mut(i);
-            for u in 0..d {
-                let mut v = row[u].to_f64() - self.mean[u];
+            for (u, x) in row.iter_mut().enumerate().take(d) {
+                let mut v = x.to_f64() - self.mean[u];
                 if self.std_dev[u] > 0.0 {
                     v /= self.std_dev[u];
                 }
-                row[u] = S::from_f64(v);
+                *x = S::from_f64(v);
             }
         }
     }
@@ -75,14 +75,14 @@ impl ColumnStats {
         assert_eq!(d, self.mean.len(), "stats computed for another width");
         for i in 0..data.rows() {
             let row = data.row_mut(i);
-            for u in 0..d {
+            for (u, x) in row.iter_mut().enumerate().take(d) {
                 let range = self.max[u] - self.min[u];
                 let v = if range > 0.0 {
-                    (row[u].to_f64() - self.min[u]) / range
+                    (x.to_f64() - self.min[u]) / range
                 } else {
                     0.0
                 };
-                row[u] = S::from_f64(v);
+                *x = S::from_f64(v);
             }
         }
     }

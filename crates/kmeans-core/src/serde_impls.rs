@@ -1,0 +1,129 @@
+//! Serialization for the core model types, behind the `serde` cargo
+//! feature. Matrices travel as `(rows, cols, elements…)` with elements in
+//! their native width (`f32` → 4 bytes, `f64` → 8), so an artifact's size
+//! matches its in-memory footprint and precision is never silently widened.
+
+use crate::matrix::Matrix;
+use crate::preprocess::ColumnStats;
+use crate::scalar::Scalar;
+use serde::{DecodeError, Deserialize, Serialize};
+
+impl<S: Scalar + Serialize + Deserialize> Serialize for Matrix<S> {
+    fn serialize(&self, out: &mut Vec<u8>) {
+        self.rows().serialize(out);
+        self.cols().serialize(out);
+        for v in self.as_slice() {
+            v.serialize(out);
+        }
+    }
+}
+
+impl<S: Scalar + Serialize + Deserialize> Deserialize for Matrix<S> {
+    fn deserialize(input: &mut &[u8]) -> Result<Self, DecodeError> {
+        let rows = usize::deserialize(input)?;
+        let cols = usize::deserialize(input)?;
+        let len = rows
+            .checked_mul(cols)
+            .ok_or(DecodeError::Invalid("matrix shape overflow"))?;
+        // Guard against hostile shapes before allocating: every element
+        // needs at least S::BYTES bytes of remaining input.
+        if input.len() < len.saturating_mul(S::BYTES) {
+            return Err(DecodeError::UnexpectedEof {
+                needed: len * S::BYTES,
+                remaining: input.len(),
+            });
+        }
+        let mut data = Vec::with_capacity(len);
+        for _ in 0..len {
+            data.push(S::deserialize(input)?);
+        }
+        Ok(Matrix::from_vec(rows, cols, data))
+    }
+}
+
+impl Serialize for ColumnStats {
+    fn serialize(&self, out: &mut Vec<u8>) {
+        self.mean.serialize(out);
+        self.std_dev.serialize(out);
+        self.min.serialize(out);
+        self.max.serialize(out);
+    }
+}
+
+impl Deserialize for ColumnStats {
+    fn deserialize(input: &mut &[u8]) -> Result<Self, DecodeError> {
+        let mean = Vec::<f64>::deserialize(input)?;
+        let std_dev = Vec::<f64>::deserialize(input)?;
+        let min = Vec::<f64>::deserialize(input)?;
+        let max = Vec::<f64>::deserialize(input)?;
+        if std_dev.len() != mean.len() || min.len() != mean.len() || max.len() != mean.len() {
+            return Err(DecodeError::Invalid("ragged column stats"));
+        }
+        Ok(ColumnStats {
+            mean,
+            std_dev,
+            min,
+            max,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn round_trip<T: Serialize + Deserialize>(value: &T) -> T {
+        let mut bytes = Vec::new();
+        value.serialize(&mut bytes);
+        let mut cursor = bytes.as_slice();
+        let back = T::deserialize(&mut cursor).expect("decode");
+        assert!(cursor.is_empty(), "trailing bytes");
+        back
+    }
+
+    #[test]
+    fn matrix_f64_round_trip() {
+        let m = Matrix::from_rows(&[&[1.0f64, 2.0, 3.0], &[4.0, 5.0, 6.0]]);
+        assert_eq!(round_trip(&m), m);
+    }
+
+    #[test]
+    fn matrix_f32_is_compact() {
+        let m = Matrix::<f32>::zeros(4, 8);
+        let mut bytes = Vec::new();
+        m.serialize(&mut bytes);
+        // 2 × u64 header + 32 × 4-byte elements.
+        assert_eq!(bytes.len(), 16 + 32 * 4);
+        assert_eq!(round_trip(&m), m);
+    }
+
+    #[test]
+    fn column_stats_round_trip() {
+        let m = Matrix::from_rows(&[&[1.0f64, -3.0], &[5.0, 9.0]]);
+        let stats = ColumnStats::compute(&m);
+        assert_eq!(round_trip(&stats), stats);
+    }
+
+    #[test]
+    fn hostile_matrix_shape_is_rejected_without_allocation() {
+        let mut bytes = Vec::new();
+        (u64::MAX / 2).serialize(&mut bytes);
+        (u64::MAX / 2).serialize(&mut bytes);
+        let mut cursor = bytes.as_slice();
+        assert!(Matrix::<f64>::deserialize(&mut cursor).is_err());
+    }
+
+    #[test]
+    fn ragged_stats_are_rejected() {
+        let stats = ColumnStats {
+            mean: vec![0.0, 0.0],
+            std_dev: vec![1.0],
+            min: vec![0.0, 0.0],
+            max: vec![0.0, 0.0],
+        };
+        let mut bytes = Vec::new();
+        stats.serialize(&mut bytes);
+        let mut cursor = bytes.as_slice();
+        assert!(ColumnStats::deserialize(&mut cursor).is_err());
+    }
+}

@@ -132,10 +132,7 @@ pub fn run_from<S: Scalar>(
 
     while !converged && iterations < config.max_iters {
         for g in 0..t {
-            group_drift[g] = members[g]
-                .iter()
-                .map(|&j| drift[j])
-                .fold(0.0f64, f64::max);
+            group_drift[g] = members[g].iter().map(|&j| drift[j]).fold(0.0f64, f64::max);
         }
         stats.lloyd_equivalent += (n * k) as u64;
 
@@ -216,8 +213,7 @@ pub fn run_from<S: Scalar>(
 
     // Final exact assign so labels match the returned centroids.
     let mut final_labels = vec![0u32; n];
-    let objective =
-        crate::lloyd::assign_step(data, &centroids, &mut final_labels) / n as f64;
+    let objective = crate::lloyd::assign_step(data, &centroids, &mut final_labels) / n as f64;
     Ok((
         KMeansResult {
             centroids,
@@ -258,9 +254,11 @@ fn group_centroids<S: Scalar>(centroids: &Matrix<S>, t: usize) -> Vec<usize> {
 /// Per-centroid movement (Euclidean); returns the maximum.
 fn compute_drifts<S: Scalar>(old: &Matrix<S>, new: &Matrix<S>, drift: &mut [f64]) -> f64 {
     let mut worst = 0.0f64;
-    for j in 0..old.rows() {
-        let d = sq_euclidean_unrolled(old.row(j), new.row(j)).to_f64().sqrt();
-        drift[j] = d;
+    for (j, slot) in drift.iter_mut().enumerate().take(old.rows()) {
+        let d = sq_euclidean_unrolled(old.row(j), new.row(j))
+            .to_f64()
+            .sqrt();
+        *slot = d;
         worst = worst.max(d);
     }
     worst

@@ -129,10 +129,8 @@ impl Comm {
         if self.rank() == root {
             let mut slots: Vec<Option<T>> = (0..size).map(|_| None).collect();
             slots[root] = Some(value);
-            for r in 0..size {
-                if r != root {
-                    slots[r] = Some(self.crecv::<T>(r, tag));
-                }
+            for r in (0..size).filter(|&r| r != root) {
+                slots[r] = Some(self.crecv::<T>(r, tag));
             }
             Some(slots.into_iter().map(|s| s.unwrap()).collect())
         } else {
@@ -155,7 +153,11 @@ impl Comm {
         let tag = self.next_collective_tag();
         if self.rank() == root {
             let values = values.expect("scatter root must supply values");
-            assert_eq!(values.len(), self.size(), "scatter needs one value per rank");
+            assert_eq!(
+                values.len(),
+                self.size(),
+                "scatter needs one value per rank"
+            );
             let mut own = None;
             let bytes = std::mem::size_of::<T>();
             for (r, v) in values.into_iter().enumerate() {
@@ -191,10 +193,8 @@ impl Comm {
         }
         let mut out: Vec<Option<T>> = (0..size).map(|_| None).collect();
         out[rank] = own;
-        for src in 0..size {
-            if src != rank {
-                out[src] = Some(self.crecv::<T>(src, tag));
-            }
+        for src in (0..size).filter(|&src| src != rank) {
+            out[src] = Some(self.crecv::<T>(src, tag));
         }
         out.into_iter().map(|v| v.unwrap()).collect()
     }
@@ -361,7 +361,11 @@ mod tests {
         for n in [1, 2, 3, 4, 7] {
             for root in 0..n {
                 let out = World::run(n, move |comm| {
-                    let v = if comm.rank() == root { Some(42u64 + root as u64) } else { None };
+                    let v = if comm.rank() == root {
+                        Some(42u64 + root as u64)
+                    } else {
+                        None
+                    };
                     comm.broadcast(root, v)
                 });
                 assert_eq!(out, vec![42 + root as u64; n]);
@@ -397,8 +401,8 @@ mod tests {
             });
             let expect_sum = (n * (n - 1) / 2) as f64;
             assert_eq!(out[0].as_ref().unwrap(), &vec![expect_sum, n as f64]);
-            for r in 1..n {
-                assert!(out[r].is_none());
+            for slot in &out[1..n] {
+                assert!(slot.is_none());
             }
         }
     }

@@ -116,7 +116,10 @@ impl std::fmt::Display for RecvError {
                 "rank {receiver_world_rank} timed out waiting for message from rank \
                  {from_world_rank} (tag {tag}); likely SPMD deadlock"
             ),
-            RecvError::TypeMismatch { from_world_rank, tag } => write!(
+            RecvError::TypeMismatch {
+                from_world_rank,
+                tag,
+            } => write!(
                 f,
                 "message from rank {from_world_rank} (tag {tag}) had unexpected payload type"
             ),
@@ -304,7 +307,13 @@ impl Comm {
             tag & COLLECTIVE_TAG_BIT == 0,
             "user tags must not set the collective bit"
         );
-        self.send_sized(dst, tag, value, std::mem::size_of::<T>(), OpKind::PointToPoint);
+        self.send_sized(
+            dst,
+            tag,
+            value,
+            std::mem::size_of::<T>(),
+            OpKind::PointToPoint,
+        );
     }
 
     /// Send a `Vec<T>`, accounting its true payload size.
@@ -326,7 +335,9 @@ impl Comm {
         kind: OpKind,
     ) {
         let dst_world = self.world_rank_of(dst);
-        self.cost.borrow_mut().record(kind, self.world_rank, dst_world, bytes);
+        self.cost
+            .borrow_mut()
+            .record(kind, self.world_rank, dst_world, bytes);
         self.shared.senders[dst_world]
             .send(Packet {
                 src_world: self.world_rank,
@@ -490,14 +501,16 @@ impl<T: Any + Send> RecvRequest<T> {
             .borrow_mut()
             .try_match_packet(self.src_world, self.comm_id, self.tag)
         {
-            Some(packet) => packet
-                .data
-                .downcast::<T>()
-                .map(|b| Some(*b))
-                .map_err(|_| RecvError::TypeMismatch {
-                    from_world_rank: self.src_world,
-                    tag: self.tag,
-                }),
+            Some(packet) => {
+                packet
+                    .data
+                    .downcast::<T>()
+                    .map(|b| Some(*b))
+                    .map_err(|_| RecvError::TypeMismatch {
+                        from_world_rank: self.src_world,
+                        tag: self.tag,
+                    })
+            }
             None => Ok(None),
         }
     }

@@ -25,9 +25,9 @@
 //!   with a precise description instead of hanging a test run forever.
 
 pub mod collectives;
-pub mod ring;
 pub mod comm;
 pub mod cost;
+pub mod ring;
 
 pub use comm::{wait_all, Comm, RecvError, RecvRequest, World};
 pub use cost::{CostLog, OpKind, OpRecord};

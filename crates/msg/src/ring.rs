@@ -127,19 +127,14 @@ mod tests {
         for p in [1usize, 2, 3, 4, 5, 8, 13] {
             for len in [1usize, 2, p.saturating_sub(1).max(1), p, 3 * p + 1, 100] {
                 let out = World::run(p, move |comm| {
-                    let mut v: Vec<f64> =
-                        (0..len).map(|i| (comm.rank() + i) as f64).collect();
+                    let mut v: Vec<f64> = (0..len).map(|i| (comm.rank() + i) as f64).collect();
                     comm.allreduce_ring_sum_f64(&mut v);
                     v
                 });
                 let rank_sum = (p * (p - 1) / 2) as f64;
                 for v in &out {
                     for (i, &x) in v.iter().enumerate() {
-                        assert_eq!(
-                            x,
-                            rank_sum + (p * i) as f64,
-                            "p={p} len={len} slot {i}"
-                        );
+                        assert_eq!(x, rank_sum + (p * i) as f64, "p={p} len={len} slot {i}");
                     }
                 }
             }
@@ -191,8 +186,10 @@ mod tests {
                     comm.allreduce_sum_f64(&mut v);
                 }
             });
-            let per_rank: Vec<u64> =
-                costs.iter().map(|c| c.bytes_of(OpKind::AllReduce)).collect();
+            let per_rank: Vec<u64> = costs
+                .iter()
+                .map(|c| c.bytes_of(OpKind::AllReduce))
+                .collect();
             (per_rank.iter().sum(), *per_rank.iter().max().unwrap())
         };
         let (ring_total, ring_max) = traffic(true);

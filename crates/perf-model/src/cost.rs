@@ -121,8 +121,7 @@ impl CostModel {
             //     spread over the group's units.
             let centroid_stream = samples_per_group * shard_elems_per_cpe * s;
             let winners_per_unit = samples_per_group / plan.group_units as f64;
-            let accumulator_rmw =
-                self.calib.spill_penalty * winners_per_unit * 2.0 * slice * s;
+            let accumulator_rmw = self.calib.spill_penalty * winners_per_unit * 2.0 * slice * s;
             (sample_elems_per_cpe * s + centroid_stream + accumulator_rmw) / dma_per_cpe
         } else {
             (sample_elems_per_cpe + shard_elems_per_cpe) * s / dma_per_cpe
@@ -171,8 +170,7 @@ impl CostModel {
             Level::L1 => self.machine.total_cgs() as f64,
             _ => n_groups,
         };
-        let net_per_cg =
-            inter_class.bandwidth(p) * self.calib.net_eff / p.cgs_per_node as f64;
+        let net_per_cg = inter_class.bandwidth(p) * self.calib.net_eff / p.cgs_per_node as f64;
         let mut update_comm = if participants > 1.0 {
             2.0 * accumulator_bytes_per_cg / net_per_cg
                 + participants.log2().ceil() * inter_class.latency(p)
@@ -244,8 +242,7 @@ impl CostModel {
         let inter_rounds = (node_span as f64).log2().ceil();
         let dma = CommClass::IntraNode;
         intra_rounds * (dma.latency(p) + bytes / (dma.bandwidth(p) * self.calib.dma_eff))
-            + inter_rounds
-                * (class.latency(p) + bytes / (class.bandwidth(p) * self.calib.net_eff))
+            + inter_rounds * (class.latency(p) + bytes / (class.bandwidth(p) * self.calib.net_eff))
     }
 }
 
@@ -271,7 +268,11 @@ mod tests {
             cost.total(),
             cost
         );
-        assert!(cost.total() > 0.5, "suspiciously fast: {:.3} s", cost.total());
+        assert!(
+            cost.total() > 0.5,
+            "suspiciously fast: {:.3} s",
+            cost.total()
+        );
     }
 
     #[test]
@@ -279,11 +280,31 @@ mod tests {
         // On 128 nodes at k=2,000: Level 2 wins at small d, Level 3 wins for
         // d > ~2,560.
         let model = CostModel::taihulight(128);
-        let l2 = |d| model.iteration_time(&fig7_shape(d), Level::L2).unwrap().total();
-        let l3 = |d| model.iteration_time(&fig7_shape(d), Level::L3).unwrap().total();
-        assert!(l2(512) < l3(512), "L2 must win at d=512: {} vs {}", l2(512), l3(512));
+        let l2 = |d| {
+            model
+                .iteration_time(&fig7_shape(d), Level::L2)
+                .unwrap()
+                .total()
+        };
+        let l3 = |d| {
+            model
+                .iteration_time(&fig7_shape(d), Level::L3)
+                .unwrap()
+                .total()
+        };
+        assert!(
+            l2(512) < l3(512),
+            "L2 must win at d=512: {} vs {}",
+            l2(512),
+            l3(512)
+        );
         assert!(l2(1024) < l3(1024));
-        assert!(l3(3072) < l2(3072), "L3 must win at d=3072: {} vs {}", l3(3072), l2(3072));
+        assert!(
+            l3(3072) < l2(3072),
+            "L3 must win at d=3072: {} vs {}",
+            l3(3072),
+            l2(3072)
+        );
         assert!(l3(4096) < l2(4096));
     }
 

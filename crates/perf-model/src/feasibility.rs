@@ -63,7 +63,11 @@ pub struct Infeasibility {
 
 impl std::fmt::Display for Infeasibility {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        write!(f, "{} infeasible ({}): {}", self.level, self.constraint, self.detail)
+        write!(
+            f,
+            "{} infeasible ({}): {}",
+            self.level, self.constraint, self.detail
+        )
     }
 }
 
@@ -309,10 +313,7 @@ mod tests {
         let plan = plan_l2(&ProblemShape::f32(65_554, 8_192, 28), &m).unwrap();
         assert!(plan.group_units <= 64, "group {}", plan.group_units);
         assert!(!plan.spilled);
-        assert_eq!(
-            plan.group_units * plan.n_groups,
-            m.total_cpes() as u64
-        );
+        assert_eq!(plan.group_units * plan.n_groups, m.total_cpes() as u64);
     }
 
     #[test]
@@ -393,15 +394,9 @@ mod tests {
     fn plan_dispatch_matches_direct_calls() {
         let m = Machine::taihulight(16);
         let shape = ProblemShape::f32(10_000, 100, 32);
-        assert_eq!(
-            plan(Level::L1, &shape, &m, false),
-            plan_l1(&shape, &m)
-        );
+        assert_eq!(plan(Level::L1, &shape, &m, false), plan_l1(&shape, &m));
         assert_eq!(plan(Level::L2, &shape, &m, false), plan_l2(&shape, &m));
-        assert_eq!(
-            plan(Level::L3, &shape, &m, true),
-            plan_l3(&shape, &m, true)
-        );
+        assert_eq!(plan(Level::L3, &shape, &m, true), plan_l3(&shape, &m, true));
     }
 
     #[test]

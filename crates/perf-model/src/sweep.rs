@@ -19,33 +19,25 @@ impl SweepPoint {
 }
 
 /// Sweep the centroid count at fixed `n`, `d`, machine and level.
-pub fn sweep_k(
-    model: &CostModel,
-    level: Level,
-    n: u64,
-    d: u64,
-    ks: &[u64],
-) -> Vec<SweepPoint> {
+pub fn sweep_k(model: &CostModel, level: Level, n: u64, d: u64, ks: &[u64]) -> Vec<SweepPoint> {
     ks.iter()
         .map(|&k| SweepPoint {
             x: k,
-            cost: model.iteration_time(&ProblemShape::f32(n, k, d), level).ok(),
+            cost: model
+                .iteration_time(&ProblemShape::f32(n, k, d), level)
+                .ok(),
         })
         .collect()
 }
 
 /// Sweep the dimensionality at fixed `n`, `k`, machine and level.
-pub fn sweep_d(
-    model: &CostModel,
-    level: Level,
-    n: u64,
-    k: u64,
-    ds: &[u64],
-) -> Vec<SweepPoint> {
+pub fn sweep_d(model: &CostModel, level: Level, n: u64, k: u64, ds: &[u64]) -> Vec<SweepPoint> {
     ds.iter()
         .map(|&d| SweepPoint {
             x: d,
-            cost: model.iteration_time(&ProblemShape::f32(n, k, d), level).ok(),
+            cost: model
+                .iteration_time(&ProblemShape::f32(n, k, d), level)
+                .ok(),
         })
         .collect()
 }
@@ -94,9 +86,7 @@ pub fn weak_scaling(
 /// Parallel efficiency of a strong-scaling series relative to its first
 /// feasible point: `E(p) = t₀·p₀ / (t_p·p)`.
 pub fn parallel_efficiency(series: &[(usize, Option<f64>)]) -> Vec<(usize, Option<f64>)> {
-    let base = series
-        .iter()
-        .find_map(|&(p, t)| t.map(|t| (p as f64, t)));
+    let base = series.iter().find_map(|&(p, t)| t.map(|t| (p as f64, t)));
     series
         .iter()
         .map(|&(p, t)| {
@@ -156,9 +146,9 @@ mod tests {
         // across a 8× allocation growth (collective terms grow slowly).
         let series = weak_scaling(10_000, 1_024, 3_072, Level::L3, &[64, 128, 256, 512]);
         let times: Vec<f64> = series.iter().map(|(_, t)| t.unwrap()).collect();
-        let (min, max) = times
-            .iter()
-            .fold((f64::INFINITY, 0.0f64), |(lo, hi), &t| (lo.min(t), hi.max(t)));
+        let (min, max) = times.iter().fold((f64::INFINITY, 0.0f64), |(lo, hi), &t| {
+            (lo.min(t), hi.max(t))
+        });
         assert!(max / min < 2.0, "weak scaling spread {times:?}");
     }
 

@@ -1,0 +1,375 @@
+//! Versioned, checksummed model artifacts.
+//!
+//! A trained model (centroids + shape metadata + optional preprocessing
+//! statistics) is frozen into a self-describing binary blob:
+//!
+//! ```text
+//! [ magic 8B ][ version u32 ][ dtype u8 ][ body … ][ crc32 u32 ]
+//! ```
+//!
+//! The CRC covers everything before it, so a flipped bit anywhere —
+//! header or body — is caught before decoding. The version is checked
+//! *before* the checksum so a reader meeting a future format reports
+//! [`ArtifactError::VersionMismatch`] rather than a misleading checksum
+//! failure. The dtype byte (element width) keeps an `f32` model from being
+//! silently reinterpreted as `f64`.
+
+use kmeans_core::{ColumnStats, Matrix, Scalar};
+use serde::{DecodeError, Deserialize, Serialize};
+use std::path::Path;
+
+/// File signature; never changes across versions.
+pub const MAGIC: [u8; 8] = *b"SWKM-MDL";
+
+/// Current artifact format version.
+pub const FORMAT_VERSION: u32 = 1;
+
+/// What can go wrong reading or writing an artifact.
+#[derive(Debug)]
+pub enum ArtifactError {
+    Io(std::io::Error),
+    /// The file does not start with [`MAGIC`] — not an artifact at all.
+    BadMagic,
+    /// Artifact written by an incompatible format revision.
+    VersionMismatch {
+        found: u32,
+        supported: u32,
+    },
+    /// The payload does not hash to the stored checksum — corruption.
+    ChecksumMismatch {
+        stored: u32,
+        computed: u32,
+    },
+    /// Element width disagrees with the requested scalar type.
+    DtypeMismatch {
+        expected: u8,
+        found: u8,
+    },
+    /// Structurally undecodable payload.
+    Corrupt(DecodeError),
+    /// Decoded fields are mutually inconsistent.
+    ShapeInvalid(&'static str),
+}
+
+impl std::fmt::Display for ArtifactError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ArtifactError::Io(e) => write!(f, "artifact I/O error: {e}"),
+            ArtifactError::BadMagic => write!(f, "not a model artifact (bad magic)"),
+            ArtifactError::VersionMismatch { found, supported } => {
+                write!(
+                    f,
+                    "artifact format v{found}, this build supports v{supported}"
+                )
+            }
+            ArtifactError::ChecksumMismatch { stored, computed } => write!(
+                f,
+                "artifact corrupted: checksum {computed:08x}, expected {stored:08x}"
+            ),
+            ArtifactError::DtypeMismatch { expected, found } => write!(
+                f,
+                "artifact holds {found}-byte elements, expected {expected}-byte"
+            ),
+            ArtifactError::Corrupt(e) => write!(f, "artifact payload undecodable: {e}"),
+            ArtifactError::ShapeInvalid(why) => write!(f, "artifact inconsistent: {why}"),
+        }
+    }
+}
+
+impl std::error::Error for ArtifactError {}
+
+impl From<std::io::Error> for ArtifactError {
+    fn from(e: std::io::Error) -> Self {
+        ArtifactError::Io(e)
+    }
+}
+
+impl From<DecodeError> for ArtifactError {
+    fn from(e: DecodeError) -> Self {
+        ArtifactError::Corrupt(e)
+    }
+}
+
+/// Training provenance stored alongside the centroids.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ModelMeta {
+    /// Samples the model was trained on (0 for hand-built centroid sets).
+    pub trained_samples: u64,
+    /// Number of centroids.
+    pub k: usize,
+    /// Dimensionality.
+    pub d: usize,
+    /// Lloyd iterations executed during training.
+    pub iterations: u64,
+    /// Final mean objective at convergence.
+    pub objective: f64,
+    /// Whether training converged before the iteration cap.
+    pub converged: bool,
+}
+
+impl Serialize for ModelMeta {
+    fn serialize(&self, out: &mut Vec<u8>) {
+        self.trained_samples.serialize(out);
+        self.k.serialize(out);
+        self.d.serialize(out);
+        self.iterations.serialize(out);
+        self.objective.serialize(out);
+        self.converged.serialize(out);
+    }
+}
+
+impl Deserialize for ModelMeta {
+    fn deserialize(input: &mut &[u8]) -> Result<Self, DecodeError> {
+        Ok(ModelMeta {
+            trained_samples: u64::deserialize(input)?,
+            k: usize::deserialize(input)?,
+            d: usize::deserialize(input)?,
+            iterations: u64::deserialize(input)?,
+            objective: f64::deserialize(input)?,
+            converged: bool::deserialize(input)?,
+        })
+    }
+}
+
+/// A frozen model: everything `predict` needs, nothing training needs.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ModelArtifact<S: Scalar> {
+    pub meta: ModelMeta,
+    /// `k × d` centroid matrix.
+    pub centroids: Matrix<S>,
+    /// Per-column statistics of the training data, when the model was
+    /// trained on standardized features. `predict` must apply the same
+    /// transform to incoming samples.
+    pub stats: Option<ColumnStats>,
+}
+
+impl<S: Scalar + Serialize + Deserialize> ModelArtifact<S> {
+    /// Freeze a training result.
+    pub fn new(
+        trained_samples: u64,
+        centroids: Matrix<S>,
+        iterations: u64,
+        objective: f64,
+        converged: bool,
+        stats: Option<ColumnStats>,
+    ) -> Self {
+        let meta = ModelMeta {
+            trained_samples,
+            k: centroids.rows(),
+            d: centroids.cols(),
+            iterations,
+            objective,
+            converged,
+        };
+        ModelArtifact {
+            meta,
+            centroids,
+            stats,
+        }
+    }
+
+    /// Freeze a bare centroid set (no training run behind it).
+    pub fn from_centroids(centroids: Matrix<S>) -> Self {
+        Self::new(0, centroids, 0, 0.0, false, None)
+    }
+
+    /// Apply the stored preprocessing to a batch of raw samples, making
+    /// them comparable with the centroids. No-op when the model was
+    /// trained on raw features.
+    pub fn preprocess(&self, data: &mut Matrix<S>) {
+        if let Some(stats) = &self.stats {
+            stats.standardize(data);
+        }
+    }
+
+    /// Serialize to the framed, checksummed wire format.
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut out = Vec::new();
+        out.extend_from_slice(&MAGIC);
+        out.extend_from_slice(&FORMAT_VERSION.to_le_bytes());
+        out.push(S::BYTES as u8);
+        self.meta.serialize(&mut out);
+        self.centroids.serialize(&mut out);
+        self.stats.serialize(&mut out);
+        let crc = crc32(&out);
+        out.extend_from_slice(&crc.to_le_bytes());
+        out
+    }
+
+    /// Parse and validate the wire format. Checks, in order: magic,
+    /// version, checksum, dtype, payload structure, shape consistency.
+    pub fn from_bytes(bytes: &[u8]) -> Result<Self, ArtifactError> {
+        // Smallest conceivable artifact: header + crc.
+        if bytes.len() < MAGIC.len() + 4 + 1 + 4 {
+            return Err(ArtifactError::BadMagic);
+        }
+        if bytes[..MAGIC.len()] != MAGIC {
+            return Err(ArtifactError::BadMagic);
+        }
+        let version = u32::from_le_bytes(bytes[8..12].try_into().unwrap());
+        if version != FORMAT_VERSION {
+            return Err(ArtifactError::VersionMismatch {
+                found: version,
+                supported: FORMAT_VERSION,
+            });
+        }
+        let (payload, crc_bytes) = bytes.split_at(bytes.len() - 4);
+        let stored = u32::from_le_bytes(crc_bytes.try_into().unwrap());
+        let computed = crc32(payload);
+        if stored != computed {
+            return Err(ArtifactError::ChecksumMismatch { stored, computed });
+        }
+        let dtype = payload[12];
+        if dtype as usize != S::BYTES {
+            return Err(ArtifactError::DtypeMismatch {
+                expected: S::BYTES as u8,
+                found: dtype,
+            });
+        }
+        let mut cursor = &payload[13..];
+        let meta = ModelMeta::deserialize(&mut cursor)?;
+        let centroids = Matrix::<S>::deserialize(&mut cursor)?;
+        let stats = Option::<ColumnStats>::deserialize(&mut cursor)?;
+        if !cursor.is_empty() {
+            return Err(ArtifactError::ShapeInvalid("trailing payload bytes"));
+        }
+        if centroids.rows() == 0 {
+            return Err(ArtifactError::ShapeInvalid("artifact has no centroids"));
+        }
+        if meta.k != centroids.rows() || meta.d != centroids.cols() {
+            return Err(ArtifactError::ShapeInvalid(
+                "metadata shape disagrees with centroid matrix",
+            ));
+        }
+        if let Some(stats) = &stats {
+            if stats.mean.len() != meta.d {
+                return Err(ArtifactError::ShapeInvalid(
+                    "preprocessing stats width disagrees with d",
+                ));
+            }
+        }
+        if centroids.as_slice().iter().any(|v| !v.is_finite_s()) {
+            return Err(ArtifactError::ShapeInvalid("non-finite centroid value"));
+        }
+        Ok(ModelArtifact {
+            meta,
+            centroids,
+            stats,
+        })
+    }
+
+    /// Write the artifact to disk (atomically via a sibling temp file, so
+    /// a crash mid-write never leaves a truncated artifact at `path`).
+    pub fn save(&self, path: impl AsRef<Path>) -> Result<(), ArtifactError> {
+        let path = path.as_ref();
+        let tmp = path.with_extension("tmp");
+        std::fs::write(&tmp, self.to_bytes())?;
+        std::fs::rename(&tmp, path)?;
+        Ok(())
+    }
+
+    /// Read and validate an artifact from disk.
+    pub fn load(path: impl AsRef<Path>) -> Result<Self, ArtifactError> {
+        let bytes = std::fs::read(path)?;
+        Self::from_bytes(&bytes)
+    }
+}
+
+/// CRC-32 (IEEE 802.3, reflected), table-driven.
+pub fn crc32(bytes: &[u8]) -> u32 {
+    const TABLE: [u32; 256] = crc32_table();
+    let mut crc = !0u32;
+    for &b in bytes {
+        crc = (crc >> 8) ^ TABLE[((crc ^ b as u32) & 0xFF) as usize];
+    }
+    !crc
+}
+
+const fn crc32_table() -> [u32; 256] {
+    let mut table = [0u32; 256];
+    let mut i = 0;
+    while i < 256 {
+        let mut crc = i as u32;
+        let mut bit = 0;
+        while bit < 8 {
+            crc = if crc & 1 != 0 {
+                (crc >> 1) ^ 0xEDB8_8320
+            } else {
+                crc >> 1
+            };
+            bit += 1;
+        }
+        table[i] = crc;
+        i += 1;
+    }
+    table
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn artifact() -> ModelArtifact<f64> {
+        let centroids = Matrix::from_rows(&[&[0.0f64, 1.0, 2.0], &[3.0, 4.0, 5.0]]);
+        ModelArtifact::new(100, centroids, 12, 0.5, true, None)
+    }
+
+    #[test]
+    fn crc32_known_vector() {
+        // The classic check value for "123456789".
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+        assert_eq!(crc32(b""), 0);
+    }
+
+    #[test]
+    fn bytes_round_trip() {
+        let a = artifact();
+        let back = ModelArtifact::<f64>::from_bytes(&a.to_bytes()).unwrap();
+        assert_eq!(back, a);
+    }
+
+    #[test]
+    fn every_flipped_bit_is_detected() {
+        let bytes = artifact().to_bytes();
+        // Flip one bit in each byte position; every corruption must be
+        // rejected (magic, version, checksum or dtype — never Ok).
+        for pos in 0..bytes.len() {
+            let mut bad = bytes.clone();
+            bad[pos] ^= 0x10;
+            assert!(
+                ModelArtifact::<f64>::from_bytes(&bad).is_err(),
+                "flip at byte {pos} went undetected"
+            );
+        }
+    }
+
+    #[test]
+    fn version_is_checked_before_checksum() {
+        let mut bytes = artifact().to_bytes();
+        bytes[8..12].copy_from_slice(&99u32.to_le_bytes());
+        match ModelArtifact::<f64>::from_bytes(&bytes) {
+            Err(ArtifactError::VersionMismatch { found: 99, .. }) => {}
+            other => panic!("expected VersionMismatch, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn dtype_mismatch_is_typed() {
+        let bytes = artifact().to_bytes();
+        match ModelArtifact::<f32>::from_bytes(&bytes) {
+            Err(ArtifactError::DtypeMismatch {
+                expected: 4,
+                found: 8,
+            }) => {}
+            other => panic!("expected DtypeMismatch, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn truncated_file_is_rejected() {
+        let bytes = artifact().to_bytes();
+        for keep in [0, 4, 12, bytes.len() - 5] {
+            assert!(ModelArtifact::<f64>::from_bytes(&bytes[..keep]).is_err());
+        }
+    }
+}

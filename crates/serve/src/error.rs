@@ -1,0 +1,60 @@
+//! Typed request-path errors. `Overloaded` is the load-shedding signal:
+//! the bounded admission queue was full, so the request was rejected
+//! immediately instead of growing an unbounded backlog.
+
+/// Why a predict request was not served.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ServeError {
+    /// The admission queue is at capacity; the request was shed. Retry
+    /// with backoff, or provision a deeper queue / more workers.
+    Overloaded {
+        /// Queue depth observed at rejection time (== capacity).
+        queue_depth: usize,
+        /// Configured admission-queue capacity.
+        capacity: usize,
+    },
+    /// The server is draining and no longer admits work.
+    ShuttingDown,
+    /// The sample's dimensionality does not match the model's.
+    DimensionMismatch { expected: usize, got: usize },
+}
+
+impl std::fmt::Display for ServeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ServeError::Overloaded {
+                queue_depth,
+                capacity,
+            } => write!(
+                f,
+                "overloaded: admission queue at {queue_depth}/{capacity}, request shed"
+            ),
+            ServeError::ShuttingDown => write!(f, "server is shutting down"),
+            ServeError::DimensionMismatch { expected, got } => {
+                write!(f, "sample has {got} dimensions, model expects {expected}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ServeError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let e = ServeError::Overloaded {
+            queue_depth: 8,
+            capacity: 8,
+        };
+        assert!(e.to_string().contains("8/8"));
+        assert!(ServeError::DimensionMismatch {
+            expected: 4,
+            got: 3
+        }
+        .to_string()
+        .contains("expects 4"));
+    }
+}

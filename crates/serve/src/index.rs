@@ -1,0 +1,255 @@
+//! Sharded nearest-centroid index — the serving analogue of the paper's
+//! k-partition. The centroid set is split into contiguous shards (the same
+//! `split_range` arithmetic Level 2 uses to spread centroids over CPE
+//! groups); a query fans out across shards in parallel, each shard returns
+//! its local argmin, and the partial results merge with the same
+//! lowest-index tie-breaking the training assign step uses — so sharded
+//! serving is *bit-identical* to a serial full scan.
+
+use crate::artifact::ModelArtifact;
+use hier_kmeans::partition::split_range;
+use kmeans_core::distance::{argmin_centroid_range, dot_unrolled};
+use kmeans_core::{Matrix, Scalar};
+use rayon::prelude::*;
+use std::ops::Range;
+
+/// Distance kernel used per shard.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Kernel {
+    /// Plain squared-Euclidean scan (`sq_euclidean_unrolled`). Produces
+    /// exactly the same labels as the serial training assign step, bit for
+    /// bit — the default, and what the equivalence tests pin down.
+    #[default]
+    Exact,
+    /// The norm expansion `‖x−c‖² = ‖x‖² + ‖c‖² − 2·x·c` with centroid
+    /// norms precomputed at index build time (`dot_unrolled`). One dot
+    /// product per centroid instead of subtract-square — faster for large
+    /// `d`, but a numerically different expression, so labels can differ
+    /// from `Exact` when two centroids are near-equidistant. Opt-in.
+    NormTrick,
+}
+
+/// A single shard's claim on the global argmin.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ShardVote<S> {
+    /// Global centroid index of the shard-local winner.
+    pub index: usize,
+    /// The winner's comparison key (squared distance for [`Kernel::Exact`];
+    /// the norm-trick score `‖c‖² − 2·x·c` for [`Kernel::NormTrick`] —
+    /// keys are comparable across shards either way because `‖x‖²` is
+    /// constant per query).
+    pub key: S,
+}
+
+/// Immutable, thread-safe nearest-centroid index over sharded centroids.
+#[derive(Debug, Clone)]
+pub struct ShardedIndex<S: Scalar> {
+    centroids: Matrix<S>,
+    shards: Vec<Range<usize>>,
+    /// `‖c_j‖²` for every centroid, present only for [`Kernel::NormTrick`].
+    norms: Option<Vec<S>>,
+    kernel: Kernel,
+}
+
+impl<S: Scalar> ShardedIndex<S> {
+    /// Build an index over `num_shards` contiguous centroid shards using
+    /// the default [`Kernel::Exact`]. Shard count is clamped to `k`, so
+    /// over-sharding a small model is harmless.
+    pub fn new(centroids: Matrix<S>, num_shards: usize) -> Self {
+        assert!(centroids.rows() > 0, "index needs at least one centroid");
+        let parts = num_shards.clamp(1, centroids.rows());
+        let shards = (0..parts)
+            .map(|i| split_range(centroids.rows(), parts, i))
+            .filter(|r| !r.is_empty())
+            .collect();
+        ShardedIndex {
+            centroids,
+            shards,
+            norms: None,
+            kernel: Kernel::Exact,
+        }
+    }
+
+    /// Build from a validated artifact.
+    pub fn from_artifact(artifact: &ModelArtifact<S>, num_shards: usize) -> Self {
+        Self::new(artifact.centroids.clone(), num_shards)
+    }
+
+    /// Switch the per-shard kernel; `NormTrick` precomputes centroid norms
+    /// once here, amortised over every subsequent query.
+    pub fn with_kernel(mut self, kernel: Kernel) -> Self {
+        self.kernel = kernel;
+        self.norms = match kernel {
+            Kernel::Exact => None,
+            Kernel::NormTrick => Some(
+                (0..self.centroids.rows())
+                    .map(|j| {
+                        let row = self.centroids.row(j);
+                        dot_unrolled(row, row)
+                    })
+                    .collect(),
+            ),
+        };
+        self
+    }
+
+    pub fn k(&self) -> usize {
+        self.centroids.rows()
+    }
+
+    pub fn dim(&self) -> usize {
+        self.centroids.cols()
+    }
+
+    pub fn num_shards(&self) -> usize {
+        self.shards.len()
+    }
+
+    pub fn kernel(&self) -> Kernel {
+        self.kernel
+    }
+
+    pub fn centroids(&self) -> &Matrix<S> {
+        &self.centroids
+    }
+
+    /// Shard-local argmin with globally comparable key.
+    fn shard_vote(&self, sample: &[S], shard: &Range<usize>) -> ShardVote<S> {
+        match &self.norms {
+            None => {
+                let (index, key) =
+                    argmin_centroid_range(sample, &self.centroids, shard.clone(), shard.start);
+                ShardVote { index, key }
+            }
+            Some(norms) => {
+                let two = S::from_f64(2.0);
+                let mut best = ShardVote {
+                    index: shard.start,
+                    key: norms[shard.start]
+                        - two * dot_unrolled(sample, self.centroids.row(shard.start)),
+                };
+                for (j, &norm) in norms
+                    .iter()
+                    .enumerate()
+                    .take(shard.end)
+                    .skip(shard.start + 1)
+                {
+                    let key = norm - two * dot_unrolled(sample, self.centroids.row(j));
+                    if key < best.key {
+                        best = ShardVote { index: j, key };
+                    }
+                }
+                best
+            }
+        }
+    }
+
+    /// Merge shard votes in shard order: strictly smaller key wins, ties
+    /// keep the earlier (lower-index) vote — the `assign_step` convention.
+    fn merge_votes(votes: impl IntoIterator<Item = ShardVote<S>>) -> u32 {
+        let mut it = votes.into_iter();
+        let mut best = it.next().expect("at least one shard");
+        for vote in it {
+            if vote.key < best.key {
+                best = vote;
+            }
+        }
+        best.index as u32
+    }
+
+    /// Nearest-centroid label for a single sample (serial over shards).
+    pub fn assign_one(&self, sample: &[S]) -> u32 {
+        assert_eq!(sample.len(), self.dim(), "dimension mismatch");
+        Self::merge_votes(self.shards.iter().map(|s| self.shard_vote(sample, s)))
+    }
+
+    /// Labels for a whole batch, fanning the shard scans out over the
+    /// rayon pool: each shard scans every row independently, then the
+    /// per-row votes merge in shard order. Work per shard is
+    /// `rows × shard_k × d`, the same total as a serial scan.
+    pub fn assign_batch(&self, batch: &Matrix<S>) -> Vec<u32> {
+        assert_eq!(batch.cols(), self.dim(), "dimension mismatch");
+        if batch.rows() == 0 {
+            return Vec::new();
+        }
+        let per_shard: Vec<Vec<ShardVote<S>>> = self
+            .shards
+            .par_iter()
+            .map(|shard| {
+                batch
+                    .iter_rows()
+                    .map(|row| self.shard_vote(row, shard))
+                    .collect()
+            })
+            .collect();
+        (0..batch.rows())
+            .map(|i| Self::merge_votes(per_shard.iter().map(|votes| votes[i])))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use kmeans_core::argmin_centroid;
+
+    fn grid_centroids(k: usize, d: usize) -> Matrix<f64> {
+        let data = (0..k * d).map(|i| (i % 17) as f64 * 0.25 - 2.0).collect();
+        Matrix::from_vec(k, d, data)
+    }
+
+    #[test]
+    fn sharded_matches_serial_scan_exactly() {
+        let centroids = grid_centroids(23, 7);
+        let samples = grid_centroids(50, 7);
+        for shards in [1, 2, 3, 8, 23, 64] {
+            let index = ShardedIndex::new(centroids.clone(), shards);
+            let labels = index.assign_batch(&samples);
+            for (i, row) in samples.iter_rows().enumerate() {
+                let (serial, _) = argmin_centroid(row, &centroids);
+                assert_eq!(labels[i], serial as u32, "shards={shards} row={i}");
+            }
+        }
+    }
+
+    #[test]
+    fn ties_break_to_lowest_index_across_shard_boundaries() {
+        // Duplicate centroids in different shards: the lower global index
+        // must win, exactly as in a serial scan.
+        let centroids = Matrix::from_rows(&[&[5.0f64, 5.0], &[1.0, 1.0], &[1.0, 1.0], &[9.0, 9.0]]);
+        for shards in [1, 2, 4] {
+            let index = ShardedIndex::new(centroids.clone(), shards);
+            assert_eq!(index.assign_one(&[1.0, 1.0]), 1, "shards={shards}");
+        }
+    }
+
+    #[test]
+    fn norm_trick_agrees_on_well_separated_data() {
+        let centroids = Matrix::from_rows(&[&[0.0f64, 0.0], &[10.0, 0.0], &[0.0, 10.0]]);
+        let exact = ShardedIndex::new(centroids.clone(), 2);
+        let trick = ShardedIndex::new(centroids, 2).with_kernel(Kernel::NormTrick);
+        for sample in [[1.0, 1.0], [9.0, 1.0], [1.0, 9.0], [-3.0, -3.0]] {
+            assert_eq!(exact.assign_one(&sample), trick.assign_one(&sample));
+        }
+    }
+
+    #[test]
+    fn over_sharding_clamps_to_k() {
+        let index = ShardedIndex::new(grid_centroids(3, 2), 100);
+        assert_eq!(index.num_shards(), 3);
+        assert_eq!(index.k(), 3);
+    }
+
+    #[test]
+    fn single_centroid_always_wins() {
+        let index = ShardedIndex::new(Matrix::from_rows(&[&[1.0f64, 2.0]]), 4);
+        assert_eq!(index.assign_one(&[100.0, -50.0]), 0);
+        assert_eq!(index.num_shards(), 1);
+    }
+
+    #[test]
+    fn empty_batch_is_fine() {
+        let index = ShardedIndex::new(grid_centroids(4, 3), 2);
+        assert!(index.assign_batch(&Matrix::<f64>::zeros(0, 3)).is_empty());
+    }
+}

@@ -1,0 +1,78 @@
+//! `swkm-serve` — the model-serving subsystem.
+//!
+//! Training (the rest of this workspace) answers "where are the
+//! centroids?"; this crate answers "which centroid is nearest?" at request
+//! time, production-style:
+//!
+//! * [`artifact`] — versioned, checksummed model artifacts: centroids,
+//!   `(n, k, d)` provenance and preprocessing statistics frozen to disk,
+//!   with typed errors for corruption, version skew and dtype skew.
+//! * [`index`] — the sharded nearest-centroid index: the serving analogue
+//!   of the paper's k-partition. Per-shard argmin with the training
+//!   kernels, merged with the same lowest-index tie-breaking as
+//!   `assign_step`, so a sharded scan is bit-identical to a serial one.
+//! * [`pipeline`] — a multi-threaded request pipeline over bounded
+//!   crossbeam channels: `try_send` admission (typed
+//!   [`error::ServeError::Overloaded`] load shedding), adaptive
+//!   micro-batching, rayon shard fan-out, graceful drain on shutdown.
+//! * [`metrics`] — throughput counters and per-stage log₂ latency
+//!   histograms (shared with the simulator's `sw_des::stats`), exposed as
+//!   a printable [`metrics::Snapshot`].
+//! * [`loadgen`] — a closed-loop load generator reporting QPS and
+//!   p50/p99 latency, used by `swkm serve-bench`.
+//!
+//! End to end:
+//!
+//! ```
+//! use kmeans_core::{KMeansConfig, Lloyd, Matrix};
+//! use swkm_serve::prelude::*;
+//!
+//! // Train, freeze, reload.
+//! let data = Matrix::from_rows(&[
+//!     &[0.0f64, 0.0], &[0.5, 0.1], &[9.0, 9.0], &[9.5, 8.9],
+//! ]);
+//! let fit = Lloyd::run(&data, &KMeansConfig::new(2).with_seed(7)).unwrap();
+//! let artifact = ModelArtifact::new(
+//!     data.rows() as u64, fit.centroids, fit.iterations as u64,
+//!     fit.objective, fit.converged, None,
+//! );
+//! let bytes = artifact.to_bytes();
+//! let reloaded = ModelArtifact::<f64>::from_bytes(&bytes).unwrap();
+//!
+//! // Serve it.
+//! let server = Server::start(
+//!     ShardedIndex::from_artifact(&reloaded, 2),
+//!     PipelineConfig::default(),
+//! );
+//! let client = server.client();
+//! let hot = client.predict(vec![9.1, 9.1]).unwrap();
+//! let cold = client.predict(vec![0.2, 0.0]).unwrap();
+//! assert_ne!(hot.label, cold.label);
+//! drop(client);
+//! let snapshot = server.shutdown();
+//! assert_eq!(snapshot.completed, 2);
+//! ```
+
+pub mod artifact;
+pub mod error;
+pub mod index;
+pub mod loadgen;
+pub mod metrics;
+pub mod pipeline;
+
+pub use artifact::{ArtifactError, ModelArtifact, ModelMeta, FORMAT_VERSION, MAGIC};
+pub use error::ServeError;
+pub use index::{Kernel, ShardedIndex};
+pub use loadgen::{run_closed_loop, LoadGenConfig, LoadReport};
+pub use metrics::{ServeMetrics, Snapshot};
+pub use pipeline::{Client, PipelineConfig, Prediction, Server};
+
+/// One-stop imports for serving call sites.
+pub mod prelude {
+    pub use crate::artifact::{ArtifactError, ModelArtifact, ModelMeta};
+    pub use crate::error::ServeError;
+    pub use crate::index::{Kernel, ShardedIndex};
+    pub use crate::loadgen::{run_closed_loop, LoadGenConfig, LoadReport};
+    pub use crate::metrics::Snapshot;
+    pub use crate::pipeline::{Client, PipelineConfig, Prediction, Server};
+}

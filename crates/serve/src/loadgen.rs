@@ -1,0 +1,159 @@
+//! Closed-loop load generator for `serve-bench`: `clients` threads each
+//! issue requests back-to-back (the next request waits for the previous
+//! reply), cycling through a pool of query samples. Shed requests
+//! ([`ServeError::Overloaded`]) are counted, not retried — the report
+//! shows exactly how much load the configured queue admitted.
+
+use crate::error::ServeError;
+use crate::pipeline::Server;
+use kmeans_core::{Matrix, Scalar};
+use std::time::{Duration, Instant};
+use sw_des::stats::Histogram;
+
+/// Load-generation parameters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LoadGenConfig {
+    /// Concurrent closed-loop clients.
+    pub clients: usize,
+    /// Requests each client issues.
+    pub requests_per_client: usize,
+}
+
+impl Default for LoadGenConfig {
+    fn default() -> Self {
+        LoadGenConfig {
+            clients: 4,
+            requests_per_client: 2_500,
+        }
+    }
+}
+
+/// Aggregate result of a load run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LoadReport {
+    pub issued: u64,
+    pub completed: u64,
+    /// Requests shed with [`ServeError::Overloaded`].
+    pub shed: u64,
+    pub elapsed: Duration,
+    /// Completed requests per wall-clock second.
+    pub qps: f64,
+    /// End-to-end latency quantiles over completed requests
+    /// (log₂-bucket upper bounds).
+    pub p50_ns: u64,
+    pub p99_ns: u64,
+}
+
+impl LoadReport {
+    pub fn shed_fraction(&self) -> f64 {
+        if self.issued == 0 {
+            0.0
+        } else {
+            self.shed as f64 / self.issued as f64
+        }
+    }
+}
+
+impl std::fmt::Display for LoadReport {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{} issued, {} completed, {} shed ({:.1}%) in {:.2?} — {:.0} QPS, p50 {:.1}µs, p99 {:.1}µs",
+            self.issued,
+            self.completed,
+            self.shed,
+            self.shed_fraction() * 100.0,
+            self.elapsed,
+            self.qps,
+            self.p50_ns as f64 / 1e3,
+            self.p99_ns as f64 / 1e3
+        )
+    }
+}
+
+/// Drive a closed-loop load test against a running server. Each client
+/// starts at a different offset into `queries` so concurrent clients do
+/// not issue identical request streams.
+pub fn run_closed_loop<S: Scalar>(
+    server: &Server<S>,
+    queries: &Matrix<S>,
+    config: LoadGenConfig,
+) -> LoadReport {
+    assert!(queries.rows() > 0, "need at least one query sample");
+    assert!(config.clients > 0, "need at least one client");
+    let start = Instant::now();
+    let per_client: Vec<(u64, u64, Histogram)> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..config.clients)
+            .map(|c| {
+                let client = server.client();
+                scope.spawn(move || {
+                    let mut completed = 0u64;
+                    let mut shed = 0u64;
+                    let mut latency = Histogram::new();
+                    for i in 0..config.requests_per_client {
+                        let row = (c * 7919 + i) % queries.rows();
+                        let sample = queries.row(row).to_vec();
+                        let issued_at = Instant::now();
+                        match client.predict(sample) {
+                            Ok(_) => {
+                                latency.record(issued_at.elapsed().as_nanos() as u64);
+                                completed += 1;
+                            }
+                            Err(ServeError::Overloaded { .. }) => shed += 1,
+                            Err(e) => panic!("load generator hit {e}"),
+                        }
+                    }
+                    (completed, shed, latency)
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().unwrap()).collect()
+    });
+    let elapsed = start.elapsed();
+    let mut latency = Histogram::new();
+    let (mut completed, mut shed) = (0u64, 0u64);
+    for (c, s, hist) in &per_client {
+        completed += c;
+        shed += s;
+        latency.merge(hist);
+    }
+    let issued = (config.clients * config.requests_per_client) as u64;
+    LoadReport {
+        issued,
+        completed,
+        shed,
+        elapsed,
+        qps: completed as f64 / elapsed.as_secs_f64().max(1e-9),
+        p50_ns: latency.quantile_upper_bound(0.5),
+        p99_ns: latency.quantile_upper_bound(0.99),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::index::ShardedIndex;
+    use crate::pipeline::PipelineConfig;
+
+    #[test]
+    fn closed_loop_completes_everything_with_ample_queue() {
+        let centroids = Matrix::from_rows(&[&[0.0f64, 0.0], &[5.0, 5.0]]);
+        let server = Server::start(ShardedIndex::new(centroids, 2), PipelineConfig::default());
+        let queries = Matrix::from_rows(&[&[0.1f64, 0.1], &[4.9, 5.1], &[1.0, 1.0]]);
+        let report = run_closed_loop(
+            &server,
+            &queries,
+            LoadGenConfig {
+                clients: 3,
+                requests_per_client: 40,
+            },
+        );
+        assert_eq!(report.issued, 120);
+        assert_eq!(report.completed, 120);
+        assert_eq!(report.shed, 0);
+        assert!(report.qps > 0.0);
+        let line = report.to_string();
+        assert!(line.contains("QPS"));
+        server.shutdown();
+    }
+}

@@ -1,0 +1,204 @@
+//! Serving metrics: throughput counters plus per-stage log₂ latency
+//! histograms (reusing `sw_des::stats::Histogram`, the same instrument the
+//! simulator uses for transfer sizes). Workers record into thread-local
+//! histograms per batch and fold them in with `Histogram::merge` under a
+//! single short lock, so the hot path never contends per-request.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+use std::time::{Duration, Instant};
+use sw_des::stats::Histogram;
+
+/// One histogram per pipeline stage plus the batch-size distribution.
+#[derive(Debug, Clone, Default)]
+pub struct StageHists {
+    /// Nanoseconds from admission to batch formation.
+    pub queue_wait_ns: Histogram,
+    /// Nanoseconds spent in the sharded index scan, per batch.
+    pub execute_ns: Histogram,
+    /// Nanoseconds from admission to reply, per request.
+    pub total_ns: Histogram,
+    /// Requests per formed micro-batch.
+    pub batch_size: Histogram,
+}
+
+impl StageHists {
+    pub fn merge(&mut self, other: &StageHists) {
+        self.queue_wait_ns.merge(&other.queue_wait_ns);
+        self.execute_ns.merge(&other.execute_ns);
+        self.total_ns.merge(&other.total_ns);
+        self.batch_size.merge(&other.batch_size);
+    }
+}
+
+/// Shared, thread-safe serving metrics.
+#[derive(Debug)]
+pub struct ServeMetrics {
+    accepted: AtomicU64,
+    rejected: AtomicU64,
+    completed: AtomicU64,
+    hists: Mutex<StageHists>,
+    started: Instant,
+}
+
+impl ServeMetrics {
+    pub fn new() -> Self {
+        ServeMetrics {
+            accepted: AtomicU64::new(0),
+            rejected: AtomicU64::new(0),
+            completed: AtomicU64::new(0),
+            hists: Mutex::new(StageHists::default()),
+            started: Instant::now(),
+        }
+    }
+
+    pub fn record_accepted(&self) {
+        self.accepted.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub fn record_rejected(&self) {
+        self.rejected.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub fn record_completed(&self, n: u64) {
+        self.completed.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Fold a worker's per-batch histograms into the shared set.
+    pub fn merge_hists(&self, local: &StageHists) {
+        self.hists.lock().unwrap().merge(local);
+    }
+
+    /// Point-in-time view. `queue_depth` is sampled by the caller (it
+    /// lives in the channel, not here).
+    pub fn snapshot(&self, queue_depth: usize) -> Snapshot {
+        let hists = self.hists.lock().unwrap().clone();
+        let completed = self.completed.load(Ordering::Relaxed);
+        let elapsed = self.started.elapsed();
+        Snapshot {
+            accepted: self.accepted.load(Ordering::Relaxed),
+            rejected: self.rejected.load(Ordering::Relaxed),
+            completed,
+            queue_depth,
+            elapsed,
+            qps: completed as f64 / elapsed.as_secs_f64().max(1e-9),
+            queue_wait_p50_ns: hists.queue_wait_ns.quantile_upper_bound(0.5),
+            queue_wait_p99_ns: hists.queue_wait_ns.quantile_upper_bound(0.99),
+            execute_p50_ns: hists.execute_ns.quantile_upper_bound(0.5),
+            execute_p99_ns: hists.execute_ns.quantile_upper_bound(0.99),
+            total_p50_ns: hists.total_ns.quantile_upper_bound(0.5),
+            total_p99_ns: hists.total_ns.quantile_upper_bound(0.99),
+            batch_p50: hists.batch_size.quantile_upper_bound(0.5),
+            batches: hists.batch_size.count(),
+        }
+    }
+}
+
+impl Default for ServeMetrics {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// A consistent view of the serving counters and latency quantiles.
+/// Latency quantiles are upper bounds of the winning log₂ bucket.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Snapshot {
+    pub accepted: u64,
+    pub rejected: u64,
+    pub completed: u64,
+    pub queue_depth: usize,
+    pub elapsed: Duration,
+    /// Completed requests per second since the server started.
+    pub qps: f64,
+    pub queue_wait_p50_ns: u64,
+    pub queue_wait_p99_ns: u64,
+    pub execute_p50_ns: u64,
+    pub execute_p99_ns: u64,
+    pub total_p50_ns: u64,
+    pub total_p99_ns: u64,
+    /// Median micro-batch size.
+    pub batch_p50: u64,
+    /// Micro-batches formed.
+    pub batches: u64,
+}
+
+fn fmt_ns(ns: u64) -> String {
+    if ns >= 1_000_000_000 {
+        format!("{:.2}s", ns as f64 / 1e9)
+    } else if ns >= 1_000_000 {
+        format!("{:.2}ms", ns as f64 / 1e6)
+    } else if ns >= 1_000 {
+        format!("{:.1}µs", ns as f64 / 1e3)
+    } else {
+        format!("{ns}ns")
+    }
+}
+
+impl std::fmt::Display for Snapshot {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        writeln!(
+            f,
+            "requests: {} accepted, {} shed, {} completed ({:.0} req/s, queue depth {})",
+            self.accepted, self.rejected, self.completed, self.qps, self.queue_depth
+        )?;
+        writeln!(
+            f,
+            "latency:  queue-wait p50 {} p99 {} | execute p50 {} p99 {} | total p50 {} p99 {}",
+            fmt_ns(self.queue_wait_p50_ns),
+            fmt_ns(self.queue_wait_p99_ns),
+            fmt_ns(self.execute_p50_ns),
+            fmt_ns(self.execute_p99_ns),
+            fmt_ns(self.total_p50_ns),
+            fmt_ns(self.total_p99_ns)
+        )?;
+        write!(
+            f,
+            "batching: {} micro-batches, median size {}",
+            self.batches, self.batch_p50
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_accumulate() {
+        let m = ServeMetrics::new();
+        m.record_accepted();
+        m.record_accepted();
+        m.record_rejected();
+        m.record_completed(2);
+        let snap = m.snapshot(3);
+        assert_eq!(snap.accepted, 2);
+        assert_eq!(snap.rejected, 1);
+        assert_eq!(snap.completed, 2);
+        assert_eq!(snap.queue_depth, 3);
+    }
+
+    #[test]
+    fn merged_hists_feed_quantiles() {
+        let m = ServeMetrics::new();
+        let mut local = StageHists::default();
+        for _ in 0..100 {
+            local.total_ns.record(1000);
+        }
+        local.total_ns.record(1 << 30);
+        local.batch_size.record(8);
+        m.merge_hists(&local);
+        let snap = m.snapshot(0);
+        assert!(snap.total_p50_ns >= 1000 && snap.total_p50_ns < 2048);
+        assert!(snap.total_p99_ns >= 1000);
+        assert_eq!(snap.batches, 1);
+    }
+
+    #[test]
+    fn display_mentions_all_sections() {
+        let s = ServeMetrics::new().snapshot(0).to_string();
+        assert!(s.contains("requests:"));
+        assert!(s.contains("latency:"));
+        assert!(s.contains("batching:"));
+    }
+}

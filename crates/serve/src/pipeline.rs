@@ -1,0 +1,323 @@
+//! The multi-threaded request pipeline:
+//!
+//! ```text
+//! Client::predict ──try_send──▶ [bounded admission queue] ──▶ worker threads
+//!        │                            │ full?                    │ micro-batch,
+//!        │                            ▼                          │ shard fan-out
+//!        │                     Err(Overloaded)                   ▼
+//!        ◀──────────────── reply channel ◀──────────────── per-request reply
+//! ```
+//!
+//! Backpressure is structural: admission is a `try_send` into a bounded
+//! crossbeam channel, so a saturated server sheds load with a typed
+//! [`ServeError::Overloaded`] instead of queueing unboundedly. Workers form
+//! *adaptive micro-batches* — drain whatever is already queued, then linger
+//! briefly for stragglers — so batch size grows with load (amortising the
+//! shard fan-out) and shrinks to 1 when idle (minimising latency).
+//! Shutdown is graceful: dropping the last sender lets workers drain every
+//! admitted request before exiting.
+
+use crate::error::ServeError;
+use crate::index::ShardedIndex;
+use crate::metrics::{ServeMetrics, Snapshot, StageHists};
+use crossbeam_channel::{bounded, Receiver, Sender, TrySendError};
+use kmeans_core::{Matrix, Scalar};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+/// Tuning knobs for the request pipeline.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PipelineConfig {
+    /// Bounded admission-queue capacity; the backpressure limit.
+    pub queue_capacity: usize,
+    /// Worker threads forming and executing micro-batches.
+    pub workers: usize,
+    /// Largest micro-batch a worker will form.
+    pub max_batch: usize,
+    /// How long a worker waits for stragglers after the first request of a
+    /// batch arrives. Zero disables lingering (pure drain batching).
+    pub linger: Duration,
+}
+
+impl Default for PipelineConfig {
+    fn default() -> Self {
+        PipelineConfig {
+            queue_capacity: 1024,
+            workers: 2,
+            max_batch: 64,
+            linger: Duration::from_micros(200),
+        }
+    }
+}
+
+/// A served prediction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Prediction {
+    /// Nearest-centroid label.
+    pub label: u32,
+}
+
+struct Job<S> {
+    sample: Vec<S>,
+    enqueued: Instant,
+    reply: Sender<Prediction>,
+}
+
+/// A running prediction server. Dropping every [`Client`] and calling
+/// [`Server::shutdown`] drains the queue and joins the workers.
+pub struct Server<S: Scalar> {
+    sender: Option<Sender<Job<S>>>,
+    workers: Vec<JoinHandle<()>>,
+    metrics: Arc<ServeMetrics>,
+    index: Arc<ShardedIndex<S>>,
+    config: PipelineConfig,
+}
+
+impl<S: Scalar> Server<S> {
+    /// Spawn the worker pool and start serving.
+    pub fn start(index: ShardedIndex<S>, config: PipelineConfig) -> Self {
+        assert!(config.queue_capacity > 0, "queue capacity must be positive");
+        assert!(config.workers > 0, "need at least one worker");
+        assert!(config.max_batch > 0, "max batch must be positive");
+        let (sender, receiver) = bounded::<Job<S>>(config.queue_capacity);
+        let metrics = Arc::new(ServeMetrics::new());
+        let index = Arc::new(index);
+        let workers = (0..config.workers)
+            .map(|_| {
+                let receiver = receiver.clone();
+                let index = Arc::clone(&index);
+                let metrics = Arc::clone(&metrics);
+                std::thread::spawn(move || worker_loop(receiver, index, metrics, config))
+            })
+            .collect();
+        Server {
+            sender: Some(sender),
+            workers,
+            metrics,
+            index,
+            config,
+        }
+    }
+
+    /// A handle for issuing predictions; cheap to clone, safe to share
+    /// across threads. All clients must be dropped before
+    /// [`Server::shutdown`] can finish draining.
+    pub fn client(&self) -> Client<S> {
+        Client {
+            sender: self.sender.clone().expect("server already shut down"),
+            metrics: Arc::clone(&self.metrics),
+            dim: self.index.dim(),
+            capacity: self.config.queue_capacity,
+        }
+    }
+
+    /// Current metrics view, including live queue depth.
+    pub fn snapshot(&self) -> Snapshot {
+        let depth = self.sender.as_ref().map_or(0, Sender::len);
+        self.metrics.snapshot(depth)
+    }
+
+    pub fn index(&self) -> &ShardedIndex<S> {
+        &self.index
+    }
+
+    /// Stop admitting work, drain every already-admitted request, join the
+    /// workers and return the final metrics. Requires all [`Client`]
+    /// handles to have been dropped (they hold the admission queue open).
+    pub fn shutdown(mut self) -> Snapshot {
+        drop(self.sender.take());
+        for worker in self.workers.drain(..) {
+            worker.join().expect("serve worker panicked");
+        }
+        self.metrics.snapshot(0)
+    }
+}
+
+/// A request-issuing handle onto a running [`Server`].
+pub struct Client<S: Scalar> {
+    sender: Sender<Job<S>>,
+    metrics: Arc<ServeMetrics>,
+    dim: usize,
+    capacity: usize,
+}
+
+impl<S: Scalar> Clone for Client<S> {
+    fn clone(&self) -> Self {
+        Client {
+            sender: self.sender.clone(),
+            metrics: Arc::clone(&self.metrics),
+            dim: self.dim,
+            capacity: self.capacity,
+        }
+    }
+}
+
+impl<S: Scalar> Client<S> {
+    /// Closed-loop predict: non-blocking admission (sheds with
+    /// [`ServeError::Overloaded`] when the queue is full), then blocks
+    /// until the worker replies.
+    pub fn predict(&self, sample: Vec<S>) -> Result<Prediction, ServeError> {
+        if sample.len() != self.dim {
+            return Err(ServeError::DimensionMismatch {
+                expected: self.dim,
+                got: sample.len(),
+            });
+        }
+        let (reply_tx, reply_rx) = bounded(1);
+        let job = Job {
+            sample,
+            enqueued: Instant::now(),
+            reply: reply_tx,
+        };
+        match self.sender.try_send(job) {
+            Ok(()) => self.metrics.record_accepted(),
+            Err(TrySendError::Full(_)) => {
+                self.metrics.record_rejected();
+                return Err(ServeError::Overloaded {
+                    queue_depth: self.sender.len(),
+                    capacity: self.capacity,
+                });
+            }
+            Err(TrySendError::Disconnected(_)) => return Err(ServeError::ShuttingDown),
+        }
+        reply_rx.recv().map_err(|_| ServeError::ShuttingDown)
+    }
+}
+
+/// Pull a micro-batch: the blocking first job, then everything already
+/// queued, then linger for stragglers until `max_batch` or the deadline.
+fn next_batch<S>(jobs: &Receiver<Job<S>>, config: &PipelineConfig) -> Option<Vec<Job<S>>> {
+    let first = jobs.recv().ok()?;
+    let deadline = Instant::now() + config.linger;
+    let mut batch = vec![first];
+    while batch.len() < config.max_batch {
+        match jobs.try_recv() {
+            Ok(job) => batch.push(job),
+            Err(_) => {
+                let now = Instant::now();
+                if now >= deadline {
+                    break;
+                }
+                match jobs.recv_timeout(deadline - now) {
+                    Ok(job) => batch.push(job),
+                    Err(_) => break,
+                }
+            }
+        }
+    }
+    Some(batch)
+}
+
+fn worker_loop<S: Scalar>(
+    jobs: Receiver<Job<S>>,
+    index: Arc<ShardedIndex<S>>,
+    metrics: Arc<ServeMetrics>,
+    config: PipelineConfig,
+) {
+    let d = index.dim();
+    while let Some(batch) = next_batch(&jobs, &config) {
+        let formed = Instant::now();
+        let mut local = StageHists::default();
+        local.batch_size.record(batch.len() as u64);
+        for job in &batch {
+            local
+                .queue_wait_ns
+                .record(formed.duration_since(job.enqueued).as_nanos() as u64);
+        }
+        let mut data = Vec::with_capacity(batch.len() * d);
+        for job in &batch {
+            data.extend_from_slice(&job.sample);
+        }
+        let samples = Matrix::from_vec(batch.len(), d, data);
+        let exec_start = Instant::now();
+        let labels = index.assign_batch(&samples);
+        local
+            .execute_ns
+            .record(exec_start.elapsed().as_nanos() as u64);
+        let done = Instant::now();
+        for (job, &label) in batch.iter().zip(&labels) {
+            local
+                .total_ns
+                .record(done.duration_since(job.enqueued).as_nanos() as u64);
+            // A client that gave up is not an error; drop its reply.
+            let _ = job.reply.send(Prediction { label });
+        }
+        metrics.record_completed(batch.len() as u64);
+        metrics.merge_hists(&local);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small_index() -> ShardedIndex<f64> {
+        let centroids = Matrix::from_rows(&[
+            &[0.0f64, 0.0],
+            &[10.0, 10.0],
+            &[-10.0, 10.0],
+            &[10.0, -10.0],
+        ]);
+        ShardedIndex::new(centroids, 2)
+    }
+
+    #[test]
+    fn predictions_flow_end_to_end() {
+        let server = Server::start(small_index(), PipelineConfig::default());
+        let client = server.client();
+        assert_eq!(client.predict(vec![0.1, -0.2]).unwrap().label, 0);
+        assert_eq!(client.predict(vec![9.0, 9.0]).unwrap().label, 1);
+        drop(client);
+        let snap = server.shutdown();
+        assert_eq!(snap.completed, 2);
+        assert_eq!(snap.accepted, 2);
+    }
+
+    #[test]
+    fn dimension_mismatch_is_rejected_before_admission() {
+        let server = Server::start(small_index(), PipelineConfig::default());
+        let client = server.client();
+        let err = client.predict(vec![1.0]).unwrap_err();
+        assert_eq!(
+            err,
+            ServeError::DimensionMismatch {
+                expected: 2,
+                got: 1
+            }
+        );
+        drop(client);
+        assert_eq!(server.shutdown().accepted, 0);
+    }
+
+    #[test]
+    fn shutdown_drains_inflight_work() {
+        let config = PipelineConfig {
+            queue_capacity: 256,
+            workers: 2,
+            max_batch: 16,
+            linger: Duration::ZERO,
+        };
+        let server = Server::start(small_index(), config);
+        let handles: Vec<_> = (0..4)
+            .map(|t| {
+                let client = server.client();
+                std::thread::spawn(move || {
+                    let mut ok = 0u64;
+                    for i in 0..50 {
+                        let v = (t * 50 + i) as f64 % 7.0;
+                        if client.predict(vec![v, -v]).is_ok() {
+                            ok += 1;
+                        }
+                    }
+                    ok
+                })
+            })
+            .collect();
+        let served: u64 = handles.into_iter().map(|h| h.join().unwrap()).sum();
+        let snap = server.shutdown();
+        assert_eq!(served, 200);
+        assert_eq!(snap.completed, 200);
+        assert!(snap.batches >= 1);
+    }
+}

@@ -150,7 +150,10 @@ impl LdmLayout {
 
     /// Size in bytes of the region with the given label, if present.
     pub fn region_bytes(&self, label: &str) -> Option<usize> {
-        self.regions.iter().find(|r| r.label == label).map(|r| r.bytes)
+        self.regions
+            .iter()
+            .find(|r| r.label == label)
+            .map(|r| r.bytes)
     }
 }
 

@@ -185,9 +185,15 @@ mod tests {
     fn comm_class_between_cgs_walks_the_hierarchy() {
         let m = Machine::taihulight(512);
         // Same CG.
-        assert_eq!(m.comm_class_between_cgs(CgId(5), CgId(5)), CommClass::IntraCg);
+        assert_eq!(
+            m.comm_class_between_cgs(CgId(5), CgId(5)),
+            CommClass::IntraCg
+        );
         // CGs 0 and 3 are both on node 0.
-        assert_eq!(m.comm_class_between_cgs(CgId(0), CgId(3)), CommClass::IntraNode);
+        assert_eq!(
+            m.comm_class_between_cgs(CgId(0), CgId(3)),
+            CommClass::IntraNode
+        );
         // CG 4 is on node 1; node 0 and node 1 share super-node 0.
         assert_eq!(
             m.comm_class_between_cgs(CgId(0), CgId(4)),

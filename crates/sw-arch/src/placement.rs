@@ -30,10 +30,7 @@ pub enum PlacementPolicy {
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum PlacementError {
     /// `group_size * n_groups` exceeds the CGs available in the allocation.
-    NotEnoughCgs {
-        requested: usize,
-        available: usize,
-    },
+    NotEnoughCgs { requested: usize, available: usize },
     /// Group size of zero or group count of zero.
     EmptyGrouping,
 }
@@ -85,18 +82,10 @@ impl CgGroupPlacement {
         }
         let groups = match policy {
             PlacementPolicy::TopologyAware => (0..n_groups)
-                .map(|g| {
-                    (0..group_size)
-                        .map(|i| CgId(g * group_size + i))
-                        .collect()
-                })
+                .map(|g| (0..group_size).map(|i| CgId(g * group_size + i)).collect())
                 .collect(),
             PlacementPolicy::RoundRobinScatter => (0..n_groups)
-                .map(|g| {
-                    (0..group_size)
-                        .map(|i| CgId(i * n_groups + g))
-                        .collect()
-                })
+                .map(|g| (0..group_size).map(|i| CgId(i * n_groups + g)).collect())
                 .collect(),
         };
         Ok(CgGroupPlacement { groups, policy })
@@ -168,7 +157,10 @@ mod tests {
     #[test]
     fn every_cg_used_at_most_once() {
         let m = Machine::taihulight(16); // 64 CGs
-        for policy in [PlacementPolicy::TopologyAware, PlacementPolicy::RoundRobinScatter] {
+        for policy in [
+            PlacementPolicy::TopologyAware,
+            PlacementPolicy::RoundRobinScatter,
+        ] {
             let p = CgGroupPlacement::new(&m, 8, 8, policy).unwrap();
             let mut seen = std::collections::HashSet::new();
             for g in p.groups() {
@@ -199,15 +191,11 @@ mod tests {
     fn topology_aware_beats_scatter_on_intra_group_class() {
         // 512 nodes = 2 super-nodes = 2,048 CGs. Groups of 8 CGs (2 nodes).
         let m = Machine::taihulight(512);
-        let aware =
-            CgGroupPlacement::new(&m, 256, 8, PlacementPolicy::TopologyAware).unwrap();
+        let aware = CgGroupPlacement::new(&m, 256, 8, PlacementPolicy::TopologyAware).unwrap();
         let scatter =
             CgGroupPlacement::new(&m, 256, 8, PlacementPolicy::RoundRobinScatter).unwrap();
         // Contiguous groups of 2 nodes never leave a super-node here.
-        assert_eq!(
-            aware.worst_intra_group_class(&m),
-            CommClass::IntraSupernode
-        );
+        assert_eq!(aware.worst_intra_group_class(&m), CommClass::IntraSupernode);
         // Scattered members are ~256 groups apart: guaranteed to cross.
         assert_eq!(
             scatter.worst_intra_group_class(&m),

@@ -88,7 +88,8 @@ impl Engine {
     pub fn add_resource(&mut self, name: impl Into<String>, rate: f64, latency: f64) -> ResourceId {
         assert!(rate > 0.0, "resource rate must be positive");
         let id = ResourceId(self.resources.len());
-        self.resources.push(ResourceState::new(name.into(), rate, latency));
+        self.resources
+            .push(ResourceState::new(name.into(), rate, latency));
         id
     }
 
@@ -131,7 +132,9 @@ impl Engine {
     /// Run until the calendar is empty or the next event is after `deadline`;
     /// returns the time reached.
     pub fn run_until(&mut self, deadline: SimTime) -> SimTime {
-        while let Some(Reverse(Key(at, id))) = self.calendar.peek().map(|r| Reverse(Key(r.0 .0, r.0 .1))) {
+        while let Some(Reverse(Key(at, id))) =
+            self.calendar.peek().map(|r| Reverse(Key(r.0 .0, r.0 .1)))
+        {
             if at > deadline {
                 break;
             }

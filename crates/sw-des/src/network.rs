@@ -68,7 +68,10 @@ impl FatTreeSim {
         on_done: impl FnOnce(&mut Engine) + 'static,
     ) {
         assert!(from.0 < self.node_links.len(), "source out of allocation");
-        assert!(to.0 < self.node_links.len(), "destination out of allocation");
+        assert!(
+            to.0 < self.node_links.len(),
+            "destination out of allocation"
+        );
         if from == to {
             self.engine.schedule(SimTime::ZERO, on_done);
             return;

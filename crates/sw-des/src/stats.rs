@@ -117,6 +117,18 @@ impl Histogram {
         self.buckets[Self::bucket_of(value)]
     }
 
+    /// Fold another histogram into this one bucket-wise. Because buckets
+    /// are fixed powers of two, merging per-worker histograms loses no
+    /// precision relative to recording every sample centrally — which is
+    /// what lets serving workers keep thread-local latency histograms and
+    /// combine them only at snapshot time.
+    pub fn merge(&mut self, other: &Histogram) {
+        for (mine, theirs) in self.buckets.iter_mut().zip(&other.buckets) {
+            *mine += theirs;
+        }
+        self.total += other.total;
+    }
+
     /// Upper bound `q`-quantile estimate from bucket boundaries,
     /// `q ∈ [0, 1]`.
     pub fn quantile_upper_bound(&self, q: f64) -> u64 {
@@ -198,5 +210,40 @@ mod tests {
         assert_eq!(h.quantile_upper_bound(0.5), 7); // bucket [4,8)
         assert_eq!(h.quantile_upper_bound(1.0), (2u64 << 20) - 1);
         assert_eq!(Histogram::new().quantile_upper_bound(0.9), 0);
+    }
+
+    #[test]
+    fn histogram_merge_matches_central_recording() {
+        let samples_a = [1u64, 4, 4, 900, 1 << 19];
+        let samples_b = [0u64, 7, 63, 64, 1 << 30];
+        let mut central = Histogram::new();
+        let mut a = Histogram::new();
+        let mut b = Histogram::new();
+        for &v in &samples_a {
+            central.record(v);
+            a.record(v);
+        }
+        for &v in &samples_b {
+            central.record(v);
+            b.record(v);
+        }
+        a.merge(&b);
+        assert_eq!(a.count(), central.count());
+        for q in [0.0, 0.25, 0.5, 0.9, 0.99, 1.0] {
+            assert_eq!(a.quantile_upper_bound(q), central.quantile_upper_bound(q));
+        }
+        for &v in samples_a.iter().chain(&samples_b) {
+            assert_eq!(a.bucket_count(v), central.bucket_count(v));
+        }
+    }
+
+    #[test]
+    fn merge_with_empty_is_identity() {
+        let mut h = Histogram::new();
+        h.record(42);
+        let before_count = h.count();
+        h.merge(&Histogram::new());
+        assert_eq!(h.count(), before_count);
+        assert_eq!(h.bucket_count(42), 1);
     }
 }

@@ -66,7 +66,9 @@ fn main() {
 
     // ---- (4) What the functional executor's traffic implies. ----
     println!("\nFunctional cross-check (8 virtual CGs, scaled data):");
-    let blobs = GaussianMixture::new(2_048, 64, 8).with_seed(3).generate::<f32>();
+    let blobs = GaussianMixture::new(2_048, 64, 8)
+        .with_seed(3)
+        .generate::<f32>();
     let init = init_centroids(&blobs.data, 8, InitMethod::Forgy, 1);
     let result = HierKMeans::new(Level::L3)
         .with_units(8)

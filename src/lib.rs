@@ -22,6 +22,7 @@
 //! | [`sw_des`] | discrete-event simulator for contention studies |
 //! | [`perf_model`] | per-iteration cost model, feasibility, crossover |
 //! | [`datasets`] | shape-matched synthetic workloads (UCI, ImgNet, DeepGlobe) |
+//! | [`swkm_serve`] | model artifacts, sharded serving index, request pipeline |
 //!
 //! ## Quickstart
 //!
@@ -53,6 +54,7 @@ pub use msg;
 pub use perf_model;
 pub use sw_arch;
 pub use sw_des;
+pub use swkm_serve;
 
 /// One-stop imports for applications.
 pub mod prelude {
@@ -60,13 +62,15 @@ pub mod prelude {
         GaussianMixture, ImageNetSource, SampleSource, SceneConfig, SyntheticScene,
     };
     pub use hier_kmeans::{
-        choose_level, fit, fit_source, HierConfig, HierKMeans, HierResult, Level,
-        StreamConfig,
+        choose_level, fit, fit_source, HierConfig, HierKMeans, HierResult, Level, StreamConfig,
     };
     pub use kmeans_core::{
-        adjusted_rand_index, init_centroids, nmi, purity, standardized, InitMethod,
-        KMeansConfig, Lloyd, Matrix, MatrixSource, MiniBatchConfig, Scalar,
+        adjusted_rand_index, init_centroids, nmi, purity, standardized, InitMethod, KMeansConfig,
+        Lloyd, Matrix, MatrixSource, MiniBatchConfig, Scalar,
     };
     pub use perf_model::{best_level, CostModel, ProblemShape};
     pub use sw_arch::{Machine, MachineParams};
+    pub use swkm_serve::{
+        run_closed_loop, LoadGenConfig, ModelArtifact, PipelineConfig, Server, ShardedIndex,
+    };
 }

@@ -63,7 +63,11 @@ fn mesh_reduce_schedule_matches_des_pipeline() {
     // Sequential dependency: hop h starts when hop h-1 completes — exactly
     // a FIFO resource fed one request at a time.
     let remaining = Rc::new(RefCell::new(schedule.critical_hops));
-    fn hop(engine: &mut Engine, bus: sunway_kmeans::sw_des::ResourceId, remaining: Rc<RefCell<usize>>) {
+    fn hop(
+        engine: &mut Engine,
+        bus: sunway_kmeans::sw_des::ResourceId,
+        remaining: Rc<RefCell<usize>>,
+    ) {
         let more = {
             let mut r = remaining.borrow_mut();
             *r -= 1;

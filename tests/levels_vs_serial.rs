@@ -170,10 +170,7 @@ fn convergence_flag_agrees_between_levels() {
     // iterations.
     assert_eq!(results[0].iterations, results[1].iterations);
     assert_eq!(results[1].iterations, results[2].iterations);
-    assert!(results[0]
-        .centroids
-        .max_abs_diff(&results[2].centroids)
-        < 1e-8);
+    assert!(results[0].centroids.max_abs_diff(&results[2].centroids) < 1e-8);
 }
 
 #[test]
@@ -205,7 +202,9 @@ fn update_traffic_scales_with_centroid_payload() {
     // traffic (minus the d-independent min-loc/count/convergence part)
     // must scale accordingly.
     let per_iter_bytes = |d: usize| {
-        let blobs = GaussianMixture::new(240, d, 4).with_seed(5).generate::<f64>();
+        let blobs = GaussianMixture::new(240, d, 4)
+            .with_seed(5)
+            .generate::<f64>();
         let init = init_centroids(&blobs.data, 4, InitMethod::Forgy, 5);
         let run = |iters: usize| {
             let r = HierKMeans::new(Level::L2)
@@ -225,5 +224,8 @@ fn update_traffic_scales_with_centroid_payload() {
     assert!(big > small);
     // The d-dependent part doubles: big - fixed = 2·(small - fixed), so
     // big < 2·small (the fixed part does not double).
-    assert!(big < 2 * small, "d-independent traffic should not double: {small} -> {big}");
+    assert!(
+        big < 2 * small,
+        "d-independent traffic should not double: {small} -> {big}"
+    );
 }

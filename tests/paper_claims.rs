@@ -3,9 +3,9 @@
 //! EXPERIMENTS.md reports; if one regresses, the reproduction is broken.
 
 use sunway_kmeans::perf_model::feasibility::{max_k_l1, plan, plan_l2};
+use sunway_kmeans::perf_model::ProblemShape as Shape;
 use sunway_kmeans::perf_model::{find_crossover_d, Level};
 use sunway_kmeans::prelude::*;
-use sunway_kmeans::perf_model::ProblemShape as Shape;
 
 const E_F32: u64 = 16_384;
 
@@ -42,7 +42,10 @@ fn fig3_k_ranges_are_exactly_the_c1_frontier() {
     for (d, top) in [(68u64, 64u64), (4, 1_024), (28, 256)] {
         let max = max_k_l1(d, E_F32);
         assert!(top <= max, "d={d}: top {top} > C1 max {max}");
-        assert!(2 * top > max, "d={d}: doubling {top} should overflow C1 ({max})");
+        assert!(
+            2 * top > max,
+            "d={d}: doubling {top} should overflow C1 ({max})"
+        );
     }
 }
 

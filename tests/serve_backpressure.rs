@@ -1,0 +1,120 @@
+//! Backpressure under load: an undersized admission queue must shed with
+//! the typed `Overloaded` error (never block unboundedly, never OOM), and
+//! every admitted request must still complete.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use sunway_kmeans::kmeans_core::Matrix;
+use sunway_kmeans::prelude::*;
+use sunway_kmeans::swkm_serve::ServeError;
+
+/// A deliberately slow index: large k·d so each scan takes real time.
+fn heavy_index(shards: usize) -> ShardedIndex<f64> {
+    let (k, d) = (256usize, 256usize);
+    let centroids = Matrix::from_vec(k, d, (0..k * d).map(|i| (i as f64 * 0.37).sin()).collect());
+    ShardedIndex::new(centroids, shards)
+}
+
+#[test]
+fn undersized_queue_sheds_with_typed_overloaded() {
+    let server = Server::start(
+        heavy_index(2),
+        PipelineConfig {
+            queue_capacity: 2, // deliberately tiny
+            workers: 1,
+            max_batch: 2,
+            linger: std::time::Duration::ZERO,
+        },
+    );
+    let shed = AtomicU64::new(0);
+    let completed = AtomicU64::new(0);
+    std::thread::scope(|scope| {
+        for c in 0..16 {
+            let client = server.client();
+            let (shed, completed) = (&shed, &completed);
+            scope.spawn(move || {
+                for i in 0..25 {
+                    let v = (c * 25 + i) as f64;
+                    match client.predict(vec![v % 3.0; 256]) {
+                        Ok(_) => {
+                            completed.fetch_add(1, Ordering::Relaxed);
+                        }
+                        Err(ServeError::Overloaded {
+                            queue_depth,
+                            capacity,
+                        }) => {
+                            assert_eq!(capacity, 2);
+                            assert!(queue_depth <= capacity);
+                            shed.fetch_add(1, Ordering::Relaxed);
+                        }
+                        Err(e) => panic!("unexpected serve error: {e}"),
+                    }
+                }
+            });
+        }
+    });
+    let snap = server.shutdown();
+    let (shed, completed) = (shed.into_inner(), completed.into_inner());
+    assert_eq!(shed + completed, 16 * 25, "every request resolved one way");
+    assert!(
+        shed > 0,
+        "16 closed-loop clients against a 2-deep queue must shed"
+    );
+    // Accounting is exact: the server's counters match the clients' view.
+    assert_eq!(snap.rejected, shed);
+    assert_eq!(snap.completed, completed);
+    assert_eq!(snap.accepted, completed);
+}
+
+#[test]
+fn load_generator_reports_shedding() {
+    let server = Server::start(
+        heavy_index(2),
+        PipelineConfig {
+            queue_capacity: 1,
+            workers: 1,
+            max_batch: 1,
+            linger: std::time::Duration::ZERO,
+        },
+    );
+    let queries = Matrix::from_vec(8, 256, (0..8 * 256).map(|i| (i as f64).cos()).collect());
+    let report = run_closed_loop(
+        &server,
+        &queries,
+        LoadGenConfig {
+            clients: 12,
+            requests_per_client: 30,
+        },
+    );
+    server.shutdown();
+    assert_eq!(report.issued, 360);
+    assert_eq!(report.completed + report.shed, 360);
+    assert!(report.shed > 0, "expected shedding, got {report}");
+    assert!(report.shed_fraction() > 0.0 && report.shed_fraction() < 1.0);
+}
+
+#[test]
+fn generous_queue_does_not_shed() {
+    let server = Server::start(
+        heavy_index(4),
+        PipelineConfig {
+            queue_capacity: 4_096,
+            workers: 2,
+            max_batch: 32,
+            linger: std::time::Duration::from_micros(100),
+        },
+    );
+    let queries = Matrix::from_vec(4, 256, (0..4 * 256).map(|i| (i as f64).sin()).collect());
+    let report = run_closed_loop(
+        &server,
+        &queries,
+        LoadGenConfig {
+            clients: 4,
+            requests_per_client: 50,
+        },
+    );
+    server.shutdown();
+    // Closed-loop clients can never have more than `clients` requests in
+    // flight, so a queue far deeper than that admits everything.
+    assert_eq!(report.completed, 200);
+    assert_eq!(report.shed, 0);
+}

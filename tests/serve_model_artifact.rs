@@ -1,0 +1,143 @@
+//! Model-artifact lifecycle: save/load round-trips, corruption and version
+//! skew are rejected with typed errors, and degenerate models (no training
+//! provenance, k = 1) still serve.
+
+use sunway_kmeans::kmeans_core::{ColumnStats, Matrix};
+use sunway_kmeans::prelude::*;
+use sunway_kmeans::swkm_serve::{ArtifactError, FORMAT_VERSION, MAGIC};
+
+fn trained_artifact(seed: u64, k: usize) -> (Matrix<f64>, ModelArtifact<f64>) {
+    let blobs = GaussianMixture::new(200, 6, k.max(2))
+        .with_seed(seed)
+        .generate::<f64>();
+    let mut data = blobs.data;
+    let stats = ColumnStats::compute(&data);
+    stats.standardize(&mut data);
+    let fit = Lloyd::run(&data, &KMeansConfig::new(k).with_seed(seed)).unwrap();
+    let artifact = ModelArtifact::new(
+        data.rows() as u64,
+        fit.centroids,
+        fit.iterations as u64,
+        fit.objective,
+        fit.converged,
+        Some(stats),
+    );
+    (data, artifact)
+}
+
+#[test]
+fn save_load_round_trip_preserves_everything() {
+    let (data, artifact) = trained_artifact(11, 5);
+    let path = std::env::temp_dir().join("swkm_artifact_round_trip.swkm");
+    artifact.save(&path).unwrap();
+    let reloaded = ModelArtifact::<f64>::load(&path).unwrap();
+    std::fs::remove_file(&path).ok();
+    assert_eq!(reloaded.meta, artifact.meta);
+    assert_eq!(reloaded.centroids.max_abs_diff(&artifact.centroids), 0.0);
+    assert!(reloaded.stats.is_some());
+    // The reloaded model labels data identically to the original.
+    let original = ShardedIndex::from_artifact(&artifact, 3).assign_batch(&data);
+    let restored = ShardedIndex::from_artifact(&reloaded, 3).assign_batch(&data);
+    assert_eq!(original, restored);
+}
+
+#[test]
+fn every_corrupted_byte_is_rejected() {
+    let (_, artifact) = trained_artifact(13, 3);
+    let bytes = artifact.to_bytes();
+    // Flip one bit in a few positions spread over header, body and
+    // trailer; each must fail (BadMagic / checksum / version — anything
+    // typed, never a silent success).
+    for pos in [0, 9, MAGIC.len() + 5, bytes.len() / 2, bytes.len() - 1] {
+        let mut bad = bytes.clone();
+        bad[pos] ^= 0x40;
+        assert!(
+            ModelArtifact::<f64>::from_bytes(&bad).is_err(),
+            "corruption at byte {pos} was not detected"
+        );
+    }
+    // A flipped body byte specifically reports the checksum, not garbage.
+    let mut bad = bytes.clone();
+    bad[bytes.len() / 2] ^= 0x01;
+    assert!(matches!(
+        ModelArtifact::<f64>::from_bytes(&bad),
+        Err(ArtifactError::ChecksumMismatch { .. })
+    ));
+}
+
+#[test]
+fn version_skew_is_a_typed_error() {
+    let (_, artifact) = trained_artifact(17, 2);
+    let mut bytes = artifact.to_bytes();
+    let future = (FORMAT_VERSION + 7).to_le_bytes();
+    bytes[MAGIC.len()..MAGIC.len() + 4].copy_from_slice(&future);
+    match ModelArtifact::<f64>::from_bytes(&bytes) {
+        Err(ArtifactError::VersionMismatch { found, supported }) => {
+            assert_eq!(found, FORMAT_VERSION + 7);
+            assert_eq!(supported, FORMAT_VERSION);
+        }
+        other => panic!("expected VersionMismatch, got {other:?}"),
+    }
+}
+
+#[test]
+fn zero_sample_artifact_serves_fixed_centroids() {
+    // A model frozen from externally supplied centroids — no training run.
+    let centroids = Matrix::from_rows(&[&[0.0f64, 0.0], &[10.0, 10.0]]);
+    let artifact = ModelArtifact::from_centroids(centroids);
+    assert_eq!(artifact.meta.trained_samples, 0);
+    let bytes = artifact.to_bytes();
+    let reloaded = ModelArtifact::<f64>::from_bytes(&bytes).unwrap();
+    let index = ShardedIndex::from_artifact(&reloaded, 2);
+    let queries = Matrix::from_rows(&[&[1.0f64, 1.0], &[9.0, 9.0]]);
+    assert_eq!(index.assign_batch(&queries), vec![0, 1]);
+}
+
+#[test]
+fn k_equals_one_model_round_trips_and_serves() {
+    let blobs = GaussianMixture::new(50, 4, 2)
+        .with_seed(3)
+        .generate::<f32>();
+    let fit = Lloyd::run(&blobs.data, &KMeansConfig::new(1).with_seed(3)).unwrap();
+    let artifact = ModelArtifact::new(
+        50,
+        fit.centroids,
+        fit.iterations as u64,
+        fit.objective,
+        fit.converged,
+        None,
+    );
+    let reloaded = ModelArtifact::<f32>::from_bytes(&artifact.to_bytes()).unwrap();
+    assert_eq!(reloaded.meta.k, 1);
+    // Shard request above k clamps to one shard; everything labels 0.
+    let index = ShardedIndex::from_artifact(&reloaded, 8);
+    assert_eq!(index.num_shards(), 1);
+    assert!(index.assign_batch(&blobs.data).iter().all(|&l| l == 0));
+}
+
+#[test]
+fn wrong_dtype_is_a_typed_error() {
+    let (_, artifact) = trained_artifact(19, 2);
+    let bytes = artifact.to_bytes(); // f64 artifact
+    assert!(matches!(
+        ModelArtifact::<f32>::from_bytes(&bytes),
+        Err(ArtifactError::DtypeMismatch {
+            expected: 4,
+            found: 8
+        })
+    ));
+}
+
+#[test]
+fn preprocess_applies_saved_standardization() {
+    let (_, artifact) = trained_artifact(23, 3);
+    let raw = GaussianMixture::new(40, 6, 3)
+        .with_seed(23)
+        .generate::<f64>()
+        .data;
+    let mut served = raw.clone();
+    artifact.preprocess(&mut served);
+    let mut expected = raw.clone();
+    artifact.stats.as_ref().unwrap().standardize(&mut expected);
+    assert_eq!(served.max_abs_diff(&expected), 0.0);
+}

@@ -1,0 +1,32 @@
+//! Offline stand-in for the `crossbeam` facade crate: only the channel
+//! module is re-exported (the rest of crossbeam is unused here).
+
+pub use crossbeam_channel as channel;
+
+/// Structured scoped threads, deferring to `std::thread::scope`.
+pub fn scope<'env, F, T>(f: F) -> std::thread::Result<T>
+where
+    F: for<'scope> FnOnce(&'scope std::thread::Scope<'scope, 'env>) -> T,
+{
+    Ok(std::thread::scope(f))
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn channel_reexport_works() {
+        let (tx, rx) = crate::channel::unbounded();
+        tx.send(3u8).unwrap();
+        assert_eq!(rx.recv().unwrap(), 3);
+    }
+
+    #[test]
+    fn scope_joins() {
+        let total = crate::scope(|s| {
+            let h = s.spawn(|| 21);
+            h.join().unwrap() * 2
+        })
+        .unwrap();
+        assert_eq!(total, 42);
+    }
+}

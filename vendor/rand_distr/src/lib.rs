@@ -1,0 +1,177 @@
+//! Offline stand-in for `rand_distr`: the [`Distribution`] trait plus the
+//! [`Normal`] and [`LogNormal`] distributions (Box–Muller transform),
+//! generic over `f32`/`f64` like upstream.
+
+use rand::RngCore;
+use std::marker::PhantomData;
+
+/// A distribution over values of `T`, sampled with any RNG.
+pub trait Distribution<T> {
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> T;
+}
+
+/// Floating-point types the distributions are generic over. Parameters and
+/// samples are carried as `f64` internally and converted at the boundary.
+pub trait Float: Copy {
+    fn to_f64(self) -> f64;
+    fn from_f64(v: f64) -> Self;
+}
+
+impl Float for f64 {
+    fn to_f64(self) -> f64 {
+        self
+    }
+
+    fn from_f64(v: f64) -> f64 {
+        v
+    }
+}
+
+impl Float for f32 {
+    fn to_f64(self) -> f64 {
+        self as f64
+    }
+
+    fn from_f64(v: f64) -> f32 {
+        v as f32
+    }
+}
+
+/// Errors from invalid distribution parameters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum NormalError {
+    /// Standard deviation (or shape) was not finite and non-negative.
+    BadVariance,
+    /// Mean was not finite.
+    MeanTooSmall,
+}
+
+impl std::fmt::Display for NormalError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            NormalError::BadVariance => write!(f, "standard deviation must be finite and >= 0"),
+            NormalError::MeanTooSmall => write!(f, "mean must be finite"),
+        }
+    }
+}
+
+impl std::error::Error for NormalError {}
+
+/// The normal (Gaussian) distribution `N(mean, std_dev²)`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Normal<F: Float = f64> {
+    mean: f64,
+    std_dev: f64,
+    _marker: PhantomData<F>,
+}
+
+impl<F: Float> Normal<F> {
+    pub fn new(mean: F, std_dev: F) -> Result<Normal<F>, NormalError> {
+        let (mean, std_dev) = (mean.to_f64(), std_dev.to_f64());
+        if !mean.is_finite() {
+            return Err(NormalError::MeanTooSmall);
+        }
+        if !std_dev.is_finite() || std_dev < 0.0 {
+            return Err(NormalError::BadVariance);
+        }
+        Ok(Normal {
+            mean,
+            std_dev,
+            _marker: PhantomData,
+        })
+    }
+
+    pub fn mean(&self) -> F {
+        F::from_f64(self.mean)
+    }
+
+    pub fn std_dev(&self) -> F {
+        F::from_f64(self.std_dev)
+    }
+}
+
+/// One standard-normal draw via Box–Muller (the cosine branch; the second
+/// variate is discarded to keep the sampler stateless).
+#[inline]
+fn standard_normal<R: RngCore + ?Sized>(rng: &mut R) -> f64 {
+    // u1 in (0, 1] so the log is finite.
+    let u1 = 1.0 - (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64);
+    let u2 = (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64);
+    (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos()
+}
+
+impl<F: Float> Distribution<F> for Normal<F> {
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> F {
+        F::from_f64(self.mean + self.std_dev * standard_normal(rng))
+    }
+}
+
+/// The log-normal distribution: `exp(N(mu, sigma²))`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LogNormal<F: Float = f64> {
+    norm: Normal<F>,
+}
+
+impl<F: Float> LogNormal<F> {
+    pub fn new(mu: F, sigma: F) -> Result<LogNormal<F>, NormalError> {
+        Ok(LogNormal {
+            norm: Normal::new(mu, sigma)?,
+        })
+    }
+}
+
+impl<F: Float> Distribution<F> for LogNormal<F> {
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> F {
+        F::from_f64(self.norm.sample(rng).to_f64().exp())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    struct Sm(u64);
+    impl RngCore for Sm {
+        fn next_u64(&mut self) -> u64 {
+            self.0 = self.0.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = self.0;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        }
+    }
+
+    #[test]
+    fn normal_moments() {
+        let dist = Normal::new(3.0, 2.0).unwrap();
+        let mut rng = Sm(1);
+        let n = 50_000;
+        let samples: Vec<f64> = (0..n).map(|_| dist.sample(&mut rng)).collect();
+        let mean = samples.iter().sum::<f64>() / n as f64;
+        let var = samples.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / n as f64;
+        assert!((mean - 3.0).abs() < 0.05, "mean {mean}");
+        assert!((var - 4.0).abs() < 0.15, "var {var}");
+    }
+
+    #[test]
+    fn lognormal_is_positive_and_f32_works() {
+        let dist: LogNormal<f32> = LogNormal::new(0.5f32, 0.8).unwrap();
+        let mut rng = Sm(7);
+        for _ in 0..1000 {
+            let x: f32 = dist.sample(&mut rng);
+            assert!(x > 0.0);
+        }
+    }
+
+    #[test]
+    fn invalid_parameters_are_rejected() {
+        assert_eq!(
+            Normal::<f64>::new(0.0, -1.0).unwrap_err(),
+            NormalError::BadVariance
+        );
+        assert_eq!(
+            Normal::<f64>::new(f64::NAN, 1.0).unwrap_err(),
+            NormalError::MeanTooSmall
+        );
+    }
+}

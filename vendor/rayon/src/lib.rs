@@ -1,0 +1,261 @@
+//! Offline stand-in for `rayon`.
+//!
+//! Real rayon is a lazy work-stealing scheduler; this stand-in is an *eager*
+//! data-parallel evaluator: every combinator materialises a `Vec`, and the
+//! element-wise stages (`map`, `for_each`, the per-chunk part of `reduce`)
+//! execute on `std::thread::scope` with one contiguous block per thread.
+//! Results preserve input order, and `reduce` folds per-thread partials
+//! left-to-right, so outcomes are deterministic for a fixed input — a
+//! stronger guarantee than rayon's (which permits arbitrary reduction
+//! trees), and one the k-means baselines implicitly rely on in tests.
+
+use std::num::NonZeroUsize;
+
+/// Worker threads used for parallel stages.
+pub fn current_num_threads() -> usize {
+    std::thread::available_parallelism()
+        .map(NonZeroUsize::get)
+        .unwrap_or(1)
+}
+
+/// Run two closures, potentially in parallel, returning both results.
+pub fn join<A, B, RA, RB>(a: A, b: B) -> (RA, RB)
+where
+    A: FnOnce() -> RA + Send,
+    B: FnOnce() -> RB + Send,
+    RA: Send,
+    RB: Send,
+{
+    std::thread::scope(|s| {
+        let hb = s.spawn(b);
+        let ra = a();
+        (ra, hb.join().unwrap())
+    })
+}
+
+/// Split `items` into at most `parts` contiguous chunks, preserving order.
+fn split_chunks<T>(mut items: Vec<T>, parts: usize) -> Vec<Vec<T>> {
+    let parts = parts.clamp(1, items.len().max(1));
+    let chunk = items.len().div_ceil(parts);
+    let mut out = Vec::with_capacity(parts);
+    while !items.is_empty() {
+        let tail = items.split_off(items.len().min(chunk).min(items.len()));
+        // split_off returns the tail; we want the head — swap them.
+        out.push(std::mem::replace(&mut items, tail));
+    }
+    out
+}
+
+/// Apply `f` to every item on scoped threads, preserving order.
+fn parallel_apply<T, R, F>(items: Vec<T>, f: &F) -> Vec<R>
+where
+    T: Send,
+    R: Send,
+    F: Fn(T) -> R + Sync,
+{
+    if items.len() < 2 || current_num_threads() == 1 {
+        return items.into_iter().map(f).collect();
+    }
+    let chunks = split_chunks(items, current_num_threads());
+    let results: Vec<Vec<R>> = std::thread::scope(|s| {
+        let handles: Vec<_> = chunks
+            .into_iter()
+            .map(|chunk| s.spawn(move || chunk.into_iter().map(f).collect::<Vec<R>>()))
+            .collect();
+        handles.into_iter().map(|h| h.join().unwrap()).collect()
+    });
+    results.into_iter().flatten().collect()
+}
+
+/// An eagerly materialised parallel iterator.
+pub struct ParIter<T> {
+    items: Vec<T>,
+}
+
+/// The combinator surface of [`ParIter`] (named like rayon's trait so
+/// `use rayon::prelude::*` imports keep working and keep being *used*).
+pub trait ParallelIterator: Sized {
+    type Item: Send;
+
+    fn into_item_vec(self) -> Vec<Self::Item>;
+
+    /// Parallel element-wise transform (order-preserving).
+    fn map<R, F>(self, f: F) -> ParIter<R>
+    where
+        R: Send,
+        F: Fn(Self::Item) -> R + Sync,
+    {
+        ParIter {
+            items: parallel_apply(self.into_item_vec(), &f),
+        }
+    }
+
+    /// Group into `Vec`s of `size` items (last may be short).
+    fn chunks(self, size: usize) -> ParIter<Vec<Self::Item>> {
+        assert!(size > 0, "chunk size must be positive");
+        let mut items = self.into_item_vec();
+        let mut out = Vec::with_capacity(items.len().div_ceil(size.max(1)));
+        while !items.is_empty() {
+            let tail = items.split_off(items.len().min(size));
+            out.push(std::mem::replace(&mut items, tail));
+        }
+        ParIter { items: out }
+    }
+
+    /// Parallel fold: each thread folds its block from `identity()`, then
+    /// the per-thread partials fold left-to-right.
+    fn reduce<ID, OP>(self, identity: ID, op: OP) -> Self::Item
+    where
+        ID: Fn() -> Self::Item + Sync,
+        OP: Fn(Self::Item, Self::Item) -> Self::Item + Sync,
+    {
+        let items = self.into_item_vec();
+        if items.len() < 2 || current_num_threads() == 1 {
+            return items.into_iter().fold(identity(), &op);
+        }
+        let chunks = split_chunks(items, current_num_threads());
+        let (identity, op) = (&identity, &op);
+        let partials: Vec<Self::Item> = std::thread::scope(|s| {
+            let handles: Vec<_> = chunks
+                .into_iter()
+                .map(|chunk| s.spawn(move || chunk.into_iter().fold(identity(), op)))
+                .collect();
+            handles.into_iter().map(|h| h.join().unwrap()).collect()
+        });
+        partials.into_iter().fold(identity(), op)
+    }
+
+    /// Parallel side-effecting visit.
+    fn for_each<F>(self, f: F)
+    where
+        F: Fn(Self::Item) + Sync,
+    {
+        let _ = self.map(f);
+    }
+
+    /// Materialise into a collection.
+    fn collect<C: FromIterator<Self::Item>>(self) -> C {
+        self.into_item_vec().into_iter().collect()
+    }
+}
+
+impl<T: Send> ParallelIterator for ParIter<T> {
+    type Item = T;
+
+    fn into_item_vec(self) -> Vec<T> {
+        self.items
+    }
+}
+
+/// Conversion into a parallel iterator by value.
+pub trait IntoParallelIterator {
+    type Item: Send;
+
+    fn into_par_iter(self) -> ParIter<Self::Item>;
+}
+
+impl<T: Send> IntoParallelIterator for Vec<T> {
+    type Item = T;
+
+    fn into_par_iter(self) -> ParIter<T> {
+        ParIter { items: self }
+    }
+}
+
+impl IntoParallelIterator for std::ops::Range<usize> {
+    type Item = usize;
+
+    fn into_par_iter(self) -> ParIter<usize> {
+        ParIter {
+            items: self.collect(),
+        }
+    }
+}
+
+/// Conversion into a parallel iterator over references.
+pub trait IntoParallelRefIterator<'a> {
+    type Item: Send + 'a;
+
+    fn par_iter(&'a self) -> ParIter<Self::Item>;
+}
+
+impl<'a, T: Sync + 'a> IntoParallelRefIterator<'a> for [T] {
+    type Item = &'a T;
+
+    fn par_iter(&'a self) -> ParIter<&'a T> {
+        ParIter {
+            items: self.iter().collect(),
+        }
+    }
+}
+
+impl<'a, T: Sync + 'a> IntoParallelRefIterator<'a> for Vec<T> {
+    type Item = &'a T;
+
+    fn par_iter(&'a self) -> ParIter<&'a T> {
+        ParIter {
+            items: self.iter().collect(),
+        }
+    }
+}
+
+pub mod prelude {
+    pub use crate::{IntoParallelIterator, IntoParallelRefIterator, ParallelIterator};
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn map_preserves_order() {
+        let out: Vec<usize> = (0..1000).into_par_iter().map(|i| i * 2).collect();
+        assert_eq!(out, (0..1000).map(|i| i * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn chunks_then_reduce_matches_serial() {
+        let total = (0..10_000)
+            .into_par_iter()
+            .chunks(37)
+            .map(|c| c.into_iter().sum::<usize>())
+            .reduce(|| 0, |a, b| a + b);
+        assert_eq!(total, (0..10_000).sum::<usize>());
+    }
+
+    #[test]
+    fn chunk_sizes_are_right() {
+        let sizes: Vec<usize> = (0..10).into_par_iter().chunks(4).map(|c| c.len()).collect();
+        assert_eq!(sizes, vec![4, 4, 2]);
+    }
+
+    #[test]
+    fn reduce_on_empty_uses_identity() {
+        let v: Vec<u64> = Vec::new();
+        assert_eq!(v.into_par_iter().reduce(|| 9, |a, b| a + b), 9);
+    }
+
+    #[test]
+    fn par_iter_over_refs() {
+        let v = vec![1u64, 2, 3];
+        let s = v.par_iter().map(|x| *x * 10).reduce(|| 0, |a, b| a + b);
+        assert_eq!(s, 60);
+    }
+
+    #[test]
+    fn for_each_visits_everything() {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        let counter = AtomicUsize::new(0);
+        (0..500).into_par_iter().for_each(|_| {
+            counter.fetch_add(1, Ordering::Relaxed);
+        });
+        assert_eq!(counter.into_inner(), 500);
+    }
+
+    #[test]
+    fn join_runs_both() {
+        let (a, b) = crate::join(|| 2 + 2, || "ok");
+        assert_eq!(a, 4);
+        assert_eq!(b, "ok");
+    }
+}

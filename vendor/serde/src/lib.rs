@@ -1,0 +1,245 @@
+//! Offline stand-in for `serde`.
+//!
+//! Real serde is a zero-copy serialization *framework* mediated by proc-macro
+//! derives; none of that machinery is available offline. This stand-in keeps
+//! the crate name and trait names so existing `use serde::…` imports and
+//! `#[derive(Serialize, Deserialize)]` attributes compile unchanged, while
+//! providing a small but genuine byte-oriented codec:
+//!
+//! * [`Serialize`] appends a little-endian, length-prefixed encoding of the
+//!   value to a `Vec<u8>`.
+//! * [`Deserialize`] reads the value back from a `&[u8]` cursor, returning a
+//!   typed [`DecodeError`] on malformed input.
+//!
+//! The `derive` feature re-exports **no-op** derive macros (the workspace
+//! only derives these traits on config structs it never round-trips);
+//! anything that truly serializes — the `swkm-serve` model artifact —
+//! implements the traits by hand.
+
+#[cfg(feature = "derive")]
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Decoding failures.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DecodeError {
+    /// Input ended before the value was complete.
+    UnexpectedEof { needed: usize, remaining: usize },
+    /// A length prefix or tag had an impossible value.
+    Invalid(&'static str),
+    /// A UTF-8 string field held invalid bytes.
+    Utf8,
+}
+
+impl std::fmt::Display for DecodeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            DecodeError::UnexpectedEof { needed, remaining } => {
+                write!(
+                    f,
+                    "unexpected end of input: needed {needed} bytes, {remaining} left"
+                )
+            }
+            DecodeError::Invalid(what) => write!(f, "invalid encoding: {what}"),
+            DecodeError::Utf8 => write!(f, "invalid UTF-8 in string field"),
+        }
+    }
+}
+
+impl std::error::Error for DecodeError {}
+
+/// Serialize into a growing byte buffer.
+pub trait Serialize {
+    fn serialize(&self, out: &mut Vec<u8>);
+}
+
+/// Deserialize from a byte cursor; on success the cursor is advanced past
+/// the consumed bytes.
+pub trait Deserialize: Sized {
+    fn deserialize(input: &mut &[u8]) -> Result<Self, DecodeError>;
+}
+
+/// Pull `n` bytes off the front of the cursor.
+pub fn take<'a>(input: &mut &'a [u8], n: usize) -> Result<&'a [u8], DecodeError> {
+    if input.len() < n {
+        return Err(DecodeError::UnexpectedEof {
+            needed: n,
+            remaining: input.len(),
+        });
+    }
+    let (head, tail) = input.split_at(n);
+    *input = tail;
+    Ok(head)
+}
+
+macro_rules! impl_le_primitive {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn serialize(&self, out: &mut Vec<u8>) {
+                out.extend_from_slice(&self.to_le_bytes());
+            }
+        }
+        impl Deserialize for $t {
+            fn deserialize(input: &mut &[u8]) -> Result<Self, DecodeError> {
+                let bytes = take(input, std::mem::size_of::<$t>())?;
+                Ok(<$t>::from_le_bytes(bytes.try_into().unwrap()))
+            }
+        }
+    )*};
+}
+
+impl_le_primitive!(u8, u16, u32, u64, i8, i16, i32, i64, f32, f64);
+
+// usize always travels as u64 so artifacts are portable across word sizes.
+impl Serialize for usize {
+    fn serialize(&self, out: &mut Vec<u8>) {
+        (*self as u64).serialize(out);
+    }
+}
+
+impl Deserialize for usize {
+    fn deserialize(input: &mut &[u8]) -> Result<Self, DecodeError> {
+        let v = u64::deserialize(input)?;
+        usize::try_from(v).map_err(|_| DecodeError::Invalid("usize overflow"))
+    }
+}
+
+impl Serialize for bool {
+    fn serialize(&self, out: &mut Vec<u8>) {
+        out.push(*self as u8);
+    }
+}
+
+impl Deserialize for bool {
+    fn deserialize(input: &mut &[u8]) -> Result<Self, DecodeError> {
+        match u8::deserialize(input)? {
+            0 => Ok(false),
+            1 => Ok(true),
+            _ => Err(DecodeError::Invalid("bool tag")),
+        }
+    }
+}
+
+impl Serialize for String {
+    fn serialize(&self, out: &mut Vec<u8>) {
+        self.len().serialize(out);
+        out.extend_from_slice(self.as_bytes());
+    }
+}
+
+impl Deserialize for String {
+    fn deserialize(input: &mut &[u8]) -> Result<Self, DecodeError> {
+        let len = usize::deserialize(input)?;
+        let bytes = take(input, len)?;
+        String::from_utf8(bytes.to_vec()).map_err(|_| DecodeError::Utf8)
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn serialize(&self, out: &mut Vec<u8>) {
+        self.len().serialize(out);
+        for item in self {
+            item.serialize(out);
+        }
+    }
+}
+
+impl<T: Deserialize> Deserialize for Vec<T> {
+    fn deserialize(input: &mut &[u8]) -> Result<Self, DecodeError> {
+        let len = usize::deserialize(input)?;
+        // Guard allocation: each element needs at least one input byte.
+        if len > input.len() && std::mem::size_of::<T>() > 0 {
+            return Err(DecodeError::Invalid("sequence length exceeds input"));
+        }
+        let mut v = Vec::with_capacity(len);
+        for _ in 0..len {
+            v.push(T::deserialize(input)?);
+        }
+        Ok(v)
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn serialize(&self, out: &mut Vec<u8>) {
+        match self {
+            None => out.push(0),
+            Some(v) => {
+                out.push(1);
+                v.serialize(out);
+            }
+        }
+    }
+}
+
+impl<T: Deserialize> Deserialize for Option<T> {
+    fn deserialize(input: &mut &[u8]) -> Result<Self, DecodeError> {
+        match u8::deserialize(input)? {
+            0 => Ok(None),
+            1 => Ok(Some(T::deserialize(input)?)),
+            _ => Err(DecodeError::Invalid("option tag")),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn round_trip<T: Serialize + Deserialize + PartialEq + std::fmt::Debug>(v: T) {
+        let mut buf = Vec::new();
+        v.serialize(&mut buf);
+        let mut cursor = buf.as_slice();
+        assert_eq!(T::deserialize(&mut cursor).unwrap(), v);
+        assert!(cursor.is_empty(), "trailing bytes after {v:?}");
+    }
+
+    #[test]
+    fn primitives_round_trip() {
+        round_trip(42u8);
+        round_trip(0xDEAD_BEEFu32);
+        round_trip(-17i64);
+        round_trip(3.5f32);
+        round_trip(-0.125f64);
+        round_trip(usize::MAX);
+        round_trip(true);
+        round_trip(false);
+    }
+
+    #[test]
+    fn compounds_round_trip() {
+        round_trip(String::from("swkm model"));
+        round_trip(vec![1.0f64, -2.0, 3.25]);
+        round_trip(Option::<u32>::None);
+        round_trip(Some(vec![String::from("a"), String::new()]));
+    }
+
+    #[test]
+    fn truncated_input_is_typed_eof() {
+        let mut buf = Vec::new();
+        123456u64.serialize(&mut buf);
+        let mut cursor = &buf[..3];
+        assert!(matches!(
+            u64::deserialize(&mut cursor),
+            Err(DecodeError::UnexpectedEof { .. })
+        ));
+    }
+
+    #[test]
+    fn hostile_length_prefix_rejected() {
+        let mut buf = Vec::new();
+        u64::MAX.serialize(&mut buf);
+        let mut cursor = buf.as_slice();
+        let err = Vec::<f64>::deserialize(&mut cursor).unwrap_err();
+        assert!(matches!(err, DecodeError::Invalid(_)));
+    }
+
+    #[test]
+    fn bad_tags_rejected() {
+        let mut cursor = &[7u8][..];
+        assert_eq!(
+            bool::deserialize(&mut cursor),
+            Err(DecodeError::Invalid("bool tag"))
+        );
+        let mut cursor = &[9u8][..];
+        assert!(Option::<u8>::deserialize(&mut cursor).is_err());
+    }
+}

@@ -1,0 +1,17 @@
+//! No-op `Serialize`/`Deserialize` derive macros for the offline serde
+//! stand-in. The workspace only ever *derives* these traits (on plain-data
+//! config structs) without round-tripping through a serde data format, so
+//! the derives expand to nothing. Types that genuinely serialize (model
+//! artifacts) implement the stand-in's byte-oriented traits by hand.
+
+use proc_macro::TokenStream;
+
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(_item: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(_item: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
