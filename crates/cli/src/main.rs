@@ -5,10 +5,12 @@
 //! swkm model --n 1265723 --k 2000 --d 4096 --nodes 128 [--level 2]
 //! swkm sweep --n 1265723 --k 2000 --d-lo 512 --d-hi 8192 --step 512 --nodes 128
 //! swkm fit   --dataset kegg --n 4096 --k 64 [--level 3] [--units 8] [--group 2]
+//!            [--metrics-json out.json] [--metrics-prom out.prom]
 //! swkm landcover --size 128 --out target/landcover-cli
 //! swkm train --dataset mixture --n 4096 --k 64 --save-model model.swkm [--standardize]
 //! swkm predict --model model.swkm --n 1024 [--shards 4] [--kernel exact|norm-trick]
 //! swkm serve-bench --k 64 --clients 8 --requests 2000 [--queue 1024] [--workers 2]
+//!                  [--metrics-interval 1] [--metrics-json out.json]
 //! ```
 
 mod args;
@@ -34,6 +36,27 @@ fn main() {
         }
     };
     std::process::exit(code);
+}
+
+/// Write `--metrics-json` / `--metrics-prom` exports if requested. Shared
+/// by `fit` and `serve-bench` so every instrumented path speaks the same
+/// flag vocabulary.
+pub(crate) fn write_metrics_outputs(
+    args: &Args,
+    registry: &swkm_obs::MetricsRegistry,
+) -> Result<(), String> {
+    if let Some(path) = args.get_str("metrics-json") {
+        let mut doc = swkm_obs::export::to_json(registry);
+        doc.push('\n');
+        std::fs::write(path, doc).map_err(|e| format!("--metrics-json {path}: {e}"))?;
+        println!("wrote metrics JSON to {path}");
+    }
+    if let Some(path) = args.get_str("metrics-prom") {
+        std::fs::write(path, swkm_obs::export::to_prometheus(registry))
+            .map_err(|e| format!("--metrics-prom {path}: {e}"))?;
+        println!("wrote Prometheus metrics to {path}");
+    }
+    Ok(())
 }
 
 fn parse_level(args: &Args) -> Result<Option<Level>, String> {
@@ -229,6 +252,19 @@ fn cmd_fit(args: &Args) -> Result<(), String> {
         result.comm_messages,
         result.comm_bytes as f64 / 1e6
     );
+    println!(
+        "phases: assign {:.4}s, merge {:.4}s, update {:.4}s, exchange {:.4}s \
+         over {} iterations (assign imbalance {:.2}×)",
+        result.timings.assign,
+        result.timings.merge,
+        result.timings.update,
+        result.timings.exchange,
+        result.trace.iterations(),
+        result.trace.assign_imbalance()
+    );
+    let registry = swkm_obs::MetricsRegistry::new();
+    result.export_metrics(&registry);
+    write_metrics_outputs(args, &registry)?;
     Ok(())
 }
 
@@ -315,6 +351,44 @@ mod tests {
     }
 
     #[test]
+    fn fit_writes_metrics_exports() {
+        let json = std::env::temp_dir().join("swkm_fit_metrics_test.json");
+        let prom = std::env::temp_dir().join("swkm_fit_metrics_test.prom");
+        run(&argv(&format!(
+            "fit --dataset mixture --n 192 --k 3 --d 6 --max-iters 4 --level 3 \
+             --units 4 --group 2 --metrics-json {} --metrics-prom {}",
+            json.display(),
+            prom.display()
+        )))
+        .unwrap();
+        let doc = std::fs::read_to_string(&json).unwrap();
+        for key in [
+            "train_assign_ns",
+            "train_merge_ns",
+            "train_update_ns",
+            "train_exchange_ns",
+            "train_iter_wall_ns",
+            "comm_total_bytes",
+            "train_objective",
+        ] {
+            assert!(doc.contains(key), "metrics JSON missing `{key}`: {doc}");
+        }
+        let text = std::fs::read_to_string(&prom).unwrap();
+        assert!(text.contains("# TYPE train_assign_ns histogram"));
+        std::fs::remove_file(&json).ok();
+        std::fs::remove_file(&prom).ok();
+    }
+
+    #[test]
+    fn metrics_json_to_unwritable_path_is_a_cli_error() {
+        assert!(run(&argv(
+            "fit --dataset mixture --n 64 --k 2 --d 4 --max-iters 2 \
+             --metrics-json /nonexistent-dir/metrics.json"
+        ))
+        .is_err());
+    }
+
+    #[test]
     fn landcover_command_runs() {
         let out = std::env::temp_dir().join("swkm_landcover_test");
         run(&argv(&format!(
@@ -355,6 +429,22 @@ mod tests {
             "serve-bench --k 4 --n 128 --d 8 --clients 2 --requests 25 --max-iters 3",
         ))
         .unwrap();
+    }
+
+    #[test]
+    fn serve_bench_periodic_reporting_and_metrics_export() {
+        let json = std::env::temp_dir().join("swkm_serve_bench_metrics_test.json");
+        run(&argv(&format!(
+            "serve-bench --k 4 --n 256 --d 8 --clients 2 --requests 400 --max-iters 3 \
+             --metrics-interval 0.05 --metrics-json {}",
+            json.display()
+        )))
+        .unwrap();
+        let doc = std::fs::read_to_string(&json).unwrap();
+        for key in ["serve_accepted", "serve_completed", "serve_total_ns"] {
+            assert!(doc.contains(key), "metrics JSON missing `{key}`: {doc}");
+        }
+        std::fs::remove_file(&json).ok();
     }
 
     #[test]

@@ -4,6 +4,8 @@
 
 use crate::args::Args;
 use kmeans_core::{ColumnStats, InitMethod, KMeansConfig, Lloyd, Matrix};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
 use std::time::Duration;
 use swkm_serve::prelude::*;
 
@@ -189,10 +191,41 @@ pub fn cmd_serve_bench(args: &Args) -> Result<(), String> {
         load.requests_per_client
     );
     let index = ShardedIndex::from_artifact(&artifact, shards).with_kernel(parse_kernel(args)?);
-    let server = Server::start(index, pipeline);
-    let report = run_closed_loop(&server, &queries, load);
+    let registry = swkm_obs::MetricsRegistry::shared();
+    let server = Server::start_with_registry(index, pipeline, Arc::clone(&registry));
+
+    // Periodic steady-state reporting: every --metrics-interval seconds
+    // print the *windowed* throughput (`Snapshot::qps_since`), which is
+    // not diluted by warm-up the way the since-start rate is.
+    let interval_s: f64 = args.get_or("metrics-interval", 0.0f64)?;
+    let stop = AtomicBool::new(false);
+    let report = std::thread::scope(|scope| {
+        if interval_s > 0.0 {
+            let stop = &stop;
+            let server = &server;
+            scope.spawn(move || {
+                let mut prev = server.snapshot();
+                while !stop.load(Ordering::Relaxed) {
+                    std::thread::sleep(Duration::from_secs_f64(interval_s));
+                    let snap = server.snapshot();
+                    println!(
+                        "[{interval_s:.1}s window] {:.0} req/s \
+                         ({} completed, queue depth {})",
+                        snap.qps_since(&prev),
+                        snap.completed,
+                        snap.queue_depth
+                    );
+                    prev = snap;
+                }
+            });
+        }
+        let report = run_closed_loop(&server, &queries, load);
+        stop.store(true, Ordering::Relaxed);
+        report
+    });
     println!("{report}");
     let snapshot = server.shutdown();
     println!("{snapshot}");
+    crate::write_metrics_outputs(args, &registry)?;
     Ok(())
 }

@@ -151,6 +151,10 @@ pub fn fig5() -> Report {
         }
     }
     r.note("paper headline: < 18 s/iter at d=196,608, k=2,000 (see fig6b)");
+    r.note(
+        "the `phase` column is the model's dominant phase; run `phase_trace` for the \
+         measured per-phase breakdown of the same executors",
+    );
     r
 }
 

@@ -14,13 +14,14 @@
 mod ablations;
 mod fig10;
 mod figs;
+mod obs_trace;
 mod report;
 mod tables;
 
 use report::Report;
 use std::path::{Path, PathBuf};
 
-const EXPERIMENTS: [&str; 17] = [
+const EXPERIMENTS: [&str; 18] = [
     "table1",
     "table2",
     "table3",
@@ -38,6 +39,7 @@ const EXPERIMENTS: [&str; 17] = [
     "abl_batch",
     "abl_spill",
     "weak_scaling",
+    "phase_trace",
 ];
 
 fn usage() -> ! {
@@ -65,6 +67,7 @@ fn run_one(name: &str, out_dir: &Path) -> Report {
         "abl_batch" => ablations::abl_batch(),
         "abl_spill" => ablations::abl_spill(),
         "weak_scaling" => ablations::weak_scaling(),
+        "phase_trace" => obs_trace::phase_trace(),
         other => {
             eprintln!("unknown experiment `{other}`");
             usage()

@@ -148,6 +148,10 @@ pub fn table3() -> Report {
         ]);
     }
     r.note("published times are quoted from the cited papers; Sunway times are modelled");
+    r.note(
+        "per-phase composition of the modelled Sunway times: see `phase_trace` for the \
+         measured breakdown and EXPERIMENTS.md for how to read it",
+    );
     r
 }
 

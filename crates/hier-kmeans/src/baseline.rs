@@ -125,6 +125,8 @@ pub fn run<S: Scalar>(
         comm_bytes: 0,
         comm_messages: 0,
         timings: crate::executor::PhaseTimings::default(),
+        trace: crate::executor::TrainTrace::default(),
+        comm: msg::CostLog::new(),
     })
 }
 

@@ -76,12 +76,15 @@ pub struct PhaseTimings {
     pub merge: f64,
     /// Update collectives, centroid division and convergence check.
     pub update: f64,
+    /// Dimension-sliced accumulation — the functional stand-in for the
+    /// register-bus dimension exchange. Nonzero only for Level 3.
+    pub exchange: f64,
 }
 
 impl PhaseTimings {
     /// Total accounted time.
     pub fn total(&self) -> f64 {
-        self.assign + self.merge + self.update
+        self.assign + self.merge + self.update + self.exchange
     }
 
     /// Per-phase maximum across ranks (the slowest rank bounds each phase).
@@ -91,8 +94,137 @@ impl PhaseTimings {
             out.assign = out.assign.max(t.assign);
             out.merge = out.merge.max(t.merge);
             out.update = out.update.max(t.update);
+            out.exchange = out.exchange.max(t.exchange);
         }
         out
+    }
+}
+
+/// One iteration's phase wall times on one rank, in seconds.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct IterTiming {
+    /// Local distance kernels and (Levels 1–2) accumulation.
+    pub assign: f64,
+    /// Min-loc merge collective within the centroid-sharing group.
+    pub merge: f64,
+    /// Update collectives, centroid division and convergence check.
+    pub update: f64,
+    /// Dimension-sliced accumulation (Level 3 only).
+    pub exchange: f64,
+    /// Wall time of the whole iteration, loop top to convergence check —
+    /// the reference the per-phase times are validated against.
+    pub wall: f64,
+}
+
+impl IterTiming {
+    /// Sum of the accounted phases (excludes `wall`).
+    pub fn phase_sum(&self) -> f64 {
+        self.assign + self.merge + self.update + self.exchange
+    }
+
+    fn add(&mut self, other: &IterTiming) {
+        self.assign += other.assign;
+        self.merge += other.merge;
+        self.update += other.update;
+        self.exchange += other.exchange;
+        self.wall += other.wall;
+    }
+}
+
+/// Per-rank, per-iteration phase trace of a training run:
+/// `per_rank[r][i]` is rank `r`'s timing of iteration `i`. Convergence is
+/// globally synchronised, so every rank records the same iteration count.
+#[derive(Debug, Clone, Default)]
+pub struct TrainTrace {
+    pub per_rank: Vec<Vec<IterTiming>>,
+}
+
+impl TrainTrace {
+    pub fn ranks(&self) -> usize {
+        self.per_rank.len()
+    }
+
+    pub fn iterations(&self) -> usize {
+        self.per_rank.iter().map(Vec::len).max().unwrap_or(0)
+    }
+
+    /// Rank `r`'s phase times summed over all iterations.
+    pub fn rank_total(&self, r: usize) -> IterTiming {
+        let mut out = IterTiming::default();
+        for it in &self.per_rank[r] {
+            out.add(it);
+        }
+        out
+    }
+
+    /// Critical path of iteration `i`: per-phase maximum across ranks.
+    pub fn iter_critical(&self, i: usize) -> IterTiming {
+        let mut out = IterTiming::default();
+        for rank in &self.per_rank {
+            if let Some(it) = rank.get(i) {
+                out.assign = out.assign.max(it.assign);
+                out.merge = out.merge.max(it.merge);
+                out.update = out.update.max(it.update);
+                out.exchange = out.exchange.max(it.exchange);
+                out.wall = out.wall.max(it.wall);
+            }
+        }
+        out
+    }
+
+    /// Assign-phase imbalance: max over ranks of total assign time divided
+    /// by the mean (1.0 = perfectly balanced). Returns 1.0 for degenerate
+    /// traces.
+    pub fn assign_imbalance(&self) -> f64 {
+        let totals: Vec<f64> = (0..self.ranks())
+            .map(|r| self.rank_total(r).assign)
+            .collect();
+        if totals.is_empty() {
+            return 1.0;
+        }
+        let mean = totals.iter().sum::<f64>() / totals.len() as f64;
+        if mean <= 0.0 {
+            return 1.0;
+        }
+        totals.iter().cloned().fold(0.0f64, f64::max) / mean
+    }
+
+    /// Publish the trace under `prefix`: one histogram of per-rank,
+    /// per-iteration phase times in nanoseconds per phase
+    /// (`<prefix>_assign_ns`, `<prefix>_merge_ns`, `<prefix>_update_ns`,
+    /// `<prefix>_exchange_ns`, `<prefix>_iter_wall_ns`), plus gauges for
+    /// the critical-path per-phase totals in seconds
+    /// (`<prefix>_assign_s`, …), the run wall time, rank/iteration counts
+    /// and the assign imbalance factor.
+    pub fn export_into(&self, registry: &swkm_obs::MetricsRegistry, prefix: &str) {
+        let to_ns = |s: f64| (s * 1e9).round().max(0.0) as u64;
+        for rank in &self.per_rank {
+            for it in rank {
+                registry.record(&format!("{prefix}_assign_ns"), to_ns(it.assign));
+                registry.record(&format!("{prefix}_merge_ns"), to_ns(it.merge));
+                registry.record(&format!("{prefix}_update_ns"), to_ns(it.update));
+                registry.record(&format!("{prefix}_exchange_ns"), to_ns(it.exchange));
+                registry.record(&format!("{prefix}_iter_wall_ns"), to_ns(it.wall));
+            }
+        }
+        let mut critical = IterTiming::default();
+        for i in 0..self.iterations() {
+            critical.add(&self.iter_critical(i));
+        }
+        registry.gauge_set(&format!("{prefix}_assign_s"), critical.assign);
+        registry.gauge_set(&format!("{prefix}_merge_s"), critical.merge);
+        registry.gauge_set(&format!("{prefix}_update_s"), critical.update);
+        registry.gauge_set(&format!("{prefix}_exchange_s"), critical.exchange);
+        let wall = (0..self.ranks())
+            .map(|r| self.rank_total(r).wall)
+            .fold(0.0f64, f64::max);
+        registry.gauge_set(&format!("{prefix}_wall_s"), wall);
+        registry.gauge_set(&format!("{prefix}_ranks"), self.ranks() as f64);
+        registry.gauge_set(&format!("{prefix}_iterations"), self.iterations() as f64);
+        registry.gauge_set(
+            &format!("{prefix}_assign_imbalance"),
+            self.assign_imbalance(),
+        );
     }
 }
 
@@ -116,6 +248,23 @@ pub struct HierResult<S: Scalar> {
     pub comm_messages: u64,
     /// Critical-path phase breakdown (per-phase max across ranks).
     pub timings: PhaseTimings,
+    /// Per-rank, per-iteration phase trace.
+    pub trace: TrainTrace,
+    /// All ranks' communication records merged — per-collective bytes and
+    /// message counts for the run.
+    pub comm: msg::CostLog,
+}
+
+impl<S: Scalar> HierResult<S> {
+    /// Publish this run into a metrics registry: the phase trace under
+    /// `train_*`, the communication tallies under `comm_*`, and run-level
+    /// gauges (`train_objective`, `train_converged`).
+    pub fn export_metrics(&self, registry: &swkm_obs::MetricsRegistry) {
+        self.trace.export_into(registry, "train");
+        self.comm.export_into(registry, "comm");
+        registry.gauge_set("train_objective", self.objective);
+        registry.gauge_set("train_converged", if self.converged { 1.0 } else { 0.0 });
+    }
 }
 
 /// Validate inputs shared by all levels.
@@ -167,21 +316,27 @@ pub(crate) fn validate<S: Scalar>(
     Ok(())
 }
 
+/// What each SPMD rank hands back: the final centroids (exactly one rank),
+/// iterations run, the convergence flag, and its per-iteration phase trace.
+pub(crate) type RankOutput<S> = (Option<Matrix<S>>, usize, bool, Vec<IterTiming>);
+
 /// Assemble a [`HierResult`] from per-rank outputs: exactly one rank
 /// returns the final centroids; labels and objective are recomputed against
 /// them with the serial assign kernel (the same final-assign step
-/// `Lloyd::run_from` performs).
+/// `Lloyd::run_from` performs). Each rank hands back its per-iteration
+/// phase trace; the legacy [`PhaseTimings`] critical path is derived from
+/// the per-rank totals.
 pub(crate) fn assemble<S: Scalar>(
     data: &Matrix<S>,
-    outs: Vec<(Option<Matrix<S>>, usize, bool, PhaseTimings)>,
+    outs: Vec<RankOutput<S>>,
     costs: Vec<msg::CostLog>,
 ) -> HierResult<S> {
     let mut iterations = 0;
     let mut converged = false;
     let mut centroids = None;
-    let all_timings: Vec<PhaseTimings> = outs.iter().map(|(_, _, _, t)| *t).collect();
-    let timings = PhaseTimings::critical_path(&all_timings);
-    for (c, iters, conv, _) in outs {
+    let mut per_rank = Vec::with_capacity(outs.len());
+    for (c, iters, conv, trace) in outs {
+        per_rank.push(trace);
         if let Some(c) = c {
             assert!(centroids.is_none(), "two ranks returned centroids");
             centroids = Some(c);
@@ -189,20 +344,37 @@ pub(crate) fn assemble<S: Scalar>(
             converged = conv;
         }
     }
+    let trace = TrainTrace { per_rank };
+    let rank_totals: Vec<PhaseTimings> = (0..trace.ranks())
+        .map(|r| {
+            let t = trace.rank_total(r);
+            PhaseTimings {
+                assign: t.assign,
+                merge: t.merge,
+                update: t.update,
+                exchange: t.exchange,
+            }
+        })
+        .collect();
+    let timings = PhaseTimings::critical_path(&rank_totals);
     let centroids = centroids.expect("no rank returned centroids");
     let mut labels = vec![0u32; data.rows()];
     let objective = kmeans_core::assign_step(data, &centroids, &mut labels) / data.rows() as f64;
-    let comm_bytes = costs.iter().map(|c| c.total_bytes()).sum();
-    let comm_messages = costs.iter().map(|c| c.total_messages()).sum();
+    let mut comm = msg::CostLog::new();
+    for c in &costs {
+        comm.merge(c);
+    }
     HierResult {
         centroids,
         labels,
         iterations,
         converged,
         objective,
-        comm_bytes,
-        comm_messages,
+        comm_bytes: comm.total_bytes(),
+        comm_messages: comm.total_messages(),
         timings,
+        trace,
+        comm,
     }
 }
 
@@ -269,6 +441,55 @@ mod tests {
         let mut cfg = HierConfig::new(Level::L3);
         cfg.cpes_per_cg = 0;
         assert!(fit(&data, init, &cfg).is_err());
+    }
+
+    #[test]
+    fn train_trace_critical_path_and_imbalance() {
+        let fast = IterTiming {
+            assign: 0.1,
+            merge: 0.05,
+            update: 0.02,
+            exchange: 0.0,
+            wall: 0.18,
+        };
+        let slow = IterTiming {
+            assign: 0.3,
+            merge: 0.01,
+            update: 0.04,
+            exchange: 0.0,
+            wall: 0.36,
+        };
+        let trace = TrainTrace {
+            per_rank: vec![vec![fast, fast], vec![slow, slow]],
+        };
+        assert_eq!(trace.ranks(), 2);
+        assert_eq!(trace.iterations(), 2);
+        let crit = trace.iter_critical(0);
+        assert_eq!(crit.assign, 0.3);
+        assert_eq!(crit.merge, 0.05);
+        assert_eq!(crit.update, 0.04);
+        assert_eq!(crit.wall, 0.36);
+        // max assign total 0.6 vs mean 0.4 → 1.5× imbalance.
+        assert!((trace.assign_imbalance() - 1.5).abs() < 1e-12);
+        assert!((fast.phase_sum() - 0.17).abs() < 1e-12);
+
+        let reg = swkm_obs::MetricsRegistry::new();
+        trace.export_into(&reg, "train");
+        assert_eq!(reg.histogram("train_assign_ns").unwrap().count(), 4);
+        assert_eq!(reg.gauge("train_ranks"), Some(2.0));
+        assert_eq!(reg.gauge("train_iterations"), Some(2.0));
+        assert!((reg.gauge("train_assign_s").unwrap() - 0.6).abs() < 1e-12);
+        assert!((reg.gauge("train_wall_s").unwrap() - 0.72).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_trace_is_degenerate_but_safe() {
+        let trace = TrainTrace::default();
+        assert_eq!(trace.iterations(), 0);
+        assert_eq!(trace.assign_imbalance(), 1.0);
+        let reg = swkm_obs::MetricsRegistry::new();
+        trace.export_into(&reg, "train");
+        assert_eq!(reg.gauge("train_ranks"), Some(0.0));
     }
 
     #[test]

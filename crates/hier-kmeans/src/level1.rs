@@ -7,7 +7,7 @@
 //! centroids at all times and the convergence decision needs no extra
 //! synchronisation.
 
-use crate::executor::{HierConfig, HierError, HierResult, PhaseTimings};
+use crate::executor::{HierConfig, HierError, HierResult, IterTiming};
 use crate::partition::split_range;
 use kmeans_core::{argmin_centroid, Matrix, Scalar};
 use msg::World;
@@ -29,8 +29,10 @@ pub(crate) fn run<S: Scalar>(
         let mut converged = false;
         let mut sums = vec![S::ZERO; k * d];
         let mut counts = vec![0u64; k];
-        let mut timings = PhaseTimings::default();
+        let mut trace: Vec<IterTiming> = Vec::new();
         for _ in 0..cfg.max_iters {
+            let iter_start = std::time::Instant::now();
+            let mut it = IterTiming::default();
             // ---- Assign: stripe of samples against all k centroids. ----
             let t0 = std::time::Instant::now();
             sums.iter_mut().for_each(|v| *v = S::ZERO);
@@ -43,7 +45,7 @@ pub(crate) fn run<S: Scalar>(
                     *a += *x;
                 }
             }
-            timings.assign += t0.elapsed().as_secs_f64();
+            it.assign += t0.elapsed().as_secs_f64();
             // ---- Update: two AllReduces, then local division. ----
             let t1 = std::time::Instant::now();
             comm.allreduce_with(&mut sums, sum_slices::<S>);
@@ -63,7 +65,9 @@ pub(crate) fn run<S: Scalar>(
                 }
                 worst_shift_sq = worst_shift_sq.max(shift_sq);
             }
-            timings.update += t1.elapsed().as_secs_f64();
+            it.update += t1.elapsed().as_secs_f64();
+            it.wall = iter_start.elapsed().as_secs_f64();
+            trace.push(it);
             iterations += 1;
             if worst_shift_sq.sqrt() <= cfg.tol {
                 converged = true;
@@ -71,7 +75,7 @@ pub(crate) fn run<S: Scalar>(
             }
         }
         let result_centroids = (comm.rank() == 0).then_some(centroids);
-        (result_centroids, iterations, converged, timings)
+        (result_centroids, iterations, converged, trace)
     });
 
     Ok(crate::executor::assemble(data, outs, costs))

@@ -11,7 +11,7 @@
 //! same-member communicator) — never materialising all of `k·d` on one
 //! unit.
 
-use crate::executor::{assemble, HierConfig, HierError, HierResult, PhaseTimings};
+use crate::executor::{assemble, HierConfig, HierError, HierResult, IterTiming};
 use crate::level1::sum_slices;
 use crate::partition::split_range;
 use kmeans_core::{argmin_centroid, Matrix, Scalar};
@@ -56,9 +56,11 @@ pub(crate) fn run<S: Scalar>(
         let mut sums = vec![S::ZERO; shard_k * d];
         let mut counts = vec![0u64; shard_k];
         let mut pairs: Vec<(f64, u64)> = Vec::with_capacity(my_samples.len());
-        let mut timings = PhaseTimings::default();
+        let mut trace: Vec<IterTiming> = Vec::new();
 
         for _ in 0..cfg.max_iters {
+            let iter_start = std::time::Instant::now();
+            let mut it = IterTiming::default();
             // ---- Assign: partial argmin over my shard (lines 9–10). ----
             let t0 = std::time::Instant::now();
             pairs.clear();
@@ -70,12 +72,12 @@ pub(crate) fn run<S: Scalar>(
                     pairs.push((dist.to_f64(), (my_centroids.start + j_local) as u64));
                 }
             }
-            timings.assign += t0.elapsed().as_secs_f64();
+            it.assign += t0.elapsed().as_secs_f64();
             // The min-loc merge produces the global a(i) for every sample
             // of the stripe, on every member.
             let t1 = std::time::Instant::now();
             group_comm.allreduce_min_loc(&mut pairs);
-            timings.merge += t1.elapsed().as_secs_f64();
+            it.merge += t1.elapsed().as_secs_f64();
 
             // ---- Accumulate winners that land in my shard (11–12). ----
             let t2 = std::time::Instant::now();
@@ -93,7 +95,7 @@ pub(crate) fn run<S: Scalar>(
                 }
             }
 
-            timings.assign += t2.elapsed().as_secs_f64();
+            it.assign += t2.elapsed().as_secs_f64();
             // ---- Update: reduce my shard across groups (13–15). ----
             let t3 = std::time::Instant::now();
             shard_comm.allreduce_with(&mut sums, sum_slices::<S>);
@@ -119,7 +121,9 @@ pub(crate) fn run<S: Scalar>(
             comm.allreduce_with(&mut shift, |acc, x| {
                 acc[0] = acc[0].max(x[0]);
             });
-            timings.update += t3.elapsed().as_secs_f64();
+            it.update += t3.elapsed().as_secs_f64();
+            it.wall = iter_start.elapsed().as_secs_f64();
+            trace.push(it);
             iterations += 1;
             if shift[0].sqrt() <= cfg.tol {
                 converged = true;
@@ -139,7 +143,7 @@ pub(crate) fn run<S: Scalar>(
             }
             Matrix::from_vec(k, d, flat)
         });
-        (full, iterations, converged, timings)
+        (full, iterations, converged, trace)
     });
 
     Ok(assemble(data, outs, costs))

@@ -15,7 +15,7 @@
 //! `⌈k/G⌉ · d` centroid elements, and no CPE slice exceeds `⌈k/G⌉ · ⌈d/64⌉`
 //! — so `k·d` scales with the machine, not with any single memory.
 
-use crate::executor::{assemble, HierConfig, HierError, HierResult, PhaseTimings};
+use crate::executor::{assemble, HierConfig, HierError, HierResult, IterTiming};
 use crate::level1::sum_slices;
 use crate::level2::MINLOC_NEUTRAL;
 use crate::partition::split_range;
@@ -73,9 +73,11 @@ pub(crate) fn run<S: Scalar>(
         let mut sums = vec![S::ZERO; shard_k * d];
         let mut counts = vec![0u64; shard_k];
         let mut pairs: Vec<(f64, u64)> = Vec::with_capacity(my_samples.len());
-        let mut timings = PhaseTimings::default();
+        let mut trace: Vec<IterTiming> = Vec::new();
 
         for _ in 0..cfg.max_iters {
+            let iter_start = std::time::Instant::now();
+            let mut it = IterTiming::default();
             // ---- Assign: per-CPE partial distances (lines 8–10). ----
             let t0 = std::time::Instant::now();
             pairs.clear();
@@ -95,11 +97,11 @@ pub(crate) fn run<S: Scalar>(
                 }
                 pairs.push(best);
             }
-            timings.assign += t0.elapsed().as_secs_f64();
+            it.assign += t0.elapsed().as_secs_f64();
             // Line 11: min-loc merge across the G CGs of the group.
             let t1 = std::time::Instant::now();
             group_comm.allreduce_min_loc(&mut pairs);
-            timings.merge += t1.elapsed().as_secs_f64();
+            it.merge += t1.elapsed().as_secs_f64();
 
             // ---- Accumulate winners in my shard (lines 12–13), with the
             // accumulator itself dimension-sliced across virtual CPEs
@@ -123,7 +125,10 @@ pub(crate) fn run<S: Scalar>(
                 }
             }
 
-            timings.assign += t2.elapsed().as_secs_f64();
+            // The dimension-sliced accumulation stands in for the
+            // register-bus dimension exchange, so it is traced as its own
+            // phase rather than folded into Assign.
+            it.exchange += t2.elapsed().as_secs_f64();
             // ---- Update: AllReduce shards across groups (lines 14–16). ----
             let t3 = std::time::Instant::now();
             shard_comm.allreduce_with(&mut sums, sum_slices::<S>);
@@ -148,7 +153,9 @@ pub(crate) fn run<S: Scalar>(
             comm.allreduce_with(&mut shift, |acc, x| {
                 acc[0] = acc[0].max(x[0]);
             });
-            timings.update += t3.elapsed().as_secs_f64();
+            it.update += t3.elapsed().as_secs_f64();
+            it.wall = iter_start.elapsed().as_secs_f64();
+            trace.push(it);
             iterations += 1;
             if shift[0].sqrt() <= cfg.tol {
                 converged = true;
@@ -165,7 +172,7 @@ pub(crate) fn run<S: Scalar>(
             }
             Matrix::from_vec(k, d, flat)
         });
-        (full, iterations, converged, timings)
+        (full, iterations, converged, trace)
     });
 
     Ok(assemble(data, outs, costs))

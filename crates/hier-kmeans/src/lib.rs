@@ -35,7 +35,7 @@ pub mod plan;
 pub mod stream;
 
 pub use auto::choose_level;
-pub use executor::{fit, HierConfig, HierError, HierResult, PhaseTimings};
+pub use executor::{fit, HierConfig, HierError, HierResult, IterTiming, PhaseTimings, TrainTrace};
 pub use partition::split_range;
 pub use perf_model::Level;
 pub use stream::{fit_source, StreamConfig};

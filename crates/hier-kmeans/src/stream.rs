@@ -212,6 +212,14 @@ pub fn fit_source<Src: SampleSource + Sync>(
         comm_bytes: costs.iter().map(|c| c.total_bytes()).sum(),
         comm_messages: costs.iter().map(|c| c.total_messages()).sum(),
         timings: crate::executor::PhaseTimings::default(),
+        trace: crate::executor::TrainTrace::default(),
+        comm: {
+            let mut merged = msg::CostLog::new();
+            for c in &costs {
+                merged.merge(c);
+            }
+            merged
+        },
     })
 }
 

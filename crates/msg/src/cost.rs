@@ -34,6 +34,22 @@ impl OpKind {
         OpKind::MinLoc,
     ];
 
+    /// Stable lower-case name used in exported metric keys
+    /// (`comm_allreduce_bytes` and friends).
+    pub fn metric_name(self) -> &'static str {
+        match self {
+            OpKind::PointToPoint => "p2p",
+            OpKind::Barrier => "barrier",
+            OpKind::Broadcast => "bcast",
+            OpKind::Reduce => "reduce",
+            OpKind::AllReduce => "allreduce",
+            OpKind::Gather => "gather",
+            OpKind::AllGather => "allgather",
+            OpKind::Scatter => "scatter",
+            OpKind::MinLoc => "minloc",
+        }
+    }
+
     fn index(self) -> usize {
         match self {
             OpKind::PointToPoint => 0,
@@ -116,6 +132,35 @@ impl CostLog {
             self.msgs_by_kind[i] += other.msgs_by_kind[i];
         }
     }
+
+    /// Publish this log into a metrics registry under `prefix`: one
+    /// `<prefix>_<kind>_bytes` / `<prefix>_<kind>_messages` counter pair per
+    /// operation kind with traffic, `<prefix>_total_bytes` /
+    /// `<prefix>_total_messages` grand totals, and a `<prefix>_msg_bytes`
+    /// histogram of individual message sizes. Counters accumulate, so
+    /// exporting several ranks' logs under one prefix yields the aggregate
+    /// communication volume.
+    pub fn export_into(&self, registry: &swkm_obs::MetricsRegistry, prefix: &str) {
+        for kind in OpKind::ALL {
+            let bytes = self.bytes_of(kind);
+            let msgs = self.messages_of(kind);
+            if bytes == 0 && msgs == 0 {
+                continue;
+            }
+            let name = kind.metric_name();
+            registry.counter_add(&format!("{prefix}_{name}_bytes"), bytes);
+            registry.counter_add(&format!("{prefix}_{name}_messages"), msgs);
+        }
+        registry.counter_add(&format!("{prefix}_total_bytes"), self.total_bytes());
+        registry.counter_add(&format!("{prefix}_total_messages"), self.total_messages());
+        if !self.records.is_empty() {
+            let mut sizes = sw_des::stats::Histogram::new();
+            for r in &self.records {
+                sizes.record(r.bytes as u64);
+            }
+            registry.merge_histogram(&format!("{prefix}_msg_bytes"), &sizes);
+        }
+    }
 }
 
 #[cfg(test)]
@@ -147,6 +192,34 @@ mod tests {
         assert_eq!(a.total_bytes(), 30);
         assert_eq!(a.total_messages(), 3);
         assert_eq!(a.messages_of(OpKind::Barrier), 1);
+    }
+
+    #[test]
+    fn export_into_registry_accumulates_across_ranks() {
+        let reg = swkm_obs::MetricsRegistry::new();
+        let mut rank0 = CostLog::new();
+        rank0.record(OpKind::AllReduce, 0, 1, 800);
+        rank0.record(OpKind::Broadcast, 0, 2, 100);
+        let mut rank1 = CostLog::new();
+        rank1.record(OpKind::AllReduce, 1, 0, 800);
+        rank0.export_into(&reg, "comm");
+        rank1.export_into(&reg, "comm");
+        assert_eq!(reg.counter("comm_allreduce_bytes"), 1600);
+        assert_eq!(reg.counter("comm_allreduce_messages"), 2);
+        assert_eq!(reg.counter("comm_bcast_bytes"), 100);
+        assert_eq!(reg.counter("comm_total_bytes"), 1700);
+        assert_eq!(reg.counter("comm_total_messages"), 3);
+        assert_eq!(reg.histogram("comm_msg_bytes").unwrap().count(), 3);
+        // Kinds with no traffic are not exported.
+        assert_eq!(reg.counter("comm_gather_messages"), 0);
+    }
+
+    #[test]
+    fn metric_names_are_unique() {
+        let mut names: Vec<_> = OpKind::ALL.iter().map(|k| k.metric_name()).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), OpKind::ALL.len());
     }
 
     #[test]

@@ -1,0 +1,218 @@
+//! Exporters: structured JSON (stable key order, hand-rolled — the
+//! workspace has no JSON dependency) and Prometheus text exposition.
+
+use crate::registry::{MetricValue, MetricsRegistry};
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+use sw_des::stats::Histogram;
+
+/// Escape a string for inclusion in a JSON document.
+fn escape_json(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Format an `f64` as a JSON value. JSON has no NaN/±inf, so non-finite
+/// values become `null` rather than producing an unparseable document.
+fn json_f64(v: f64) -> String {
+    if v.is_finite() {
+        // `{:?}` keeps a decimal point or exponent so the value reads back
+        // as a float (`1.0`, not `1`).
+        format!("{v:?}")
+    } else {
+        "null".to_string()
+    }
+}
+
+fn json_histogram(h: &Histogram) -> String {
+    let buckets: Vec<String> = h
+        .nonzero_buckets()
+        .into_iter()
+        .map(|(lo, c)| format!("[{lo},{c}]"))
+        .collect();
+    format!(
+        "{{\"count\":{},\"p50\":{},\"p99\":{},\"buckets\":[{}]}}",
+        h.count(),
+        h.quantile_upper_bound(0.50),
+        h.quantile_upper_bound(0.99),
+        buckets.join(",")
+    )
+}
+
+/// Render a snapshot as one JSON document with stable key order:
+///
+/// ```json
+/// {
+///   "counters": { "comm_allreduce_bytes": 2160 },
+///   "gauges": { "train_wall_s": 0.0123 },
+///   "histograms": {
+///     "train_assign_ns": { "count": 3, "p50": 1023, "p99": 1023,
+///                          "buckets": [[512, 3]] }
+///   }
+/// }
+/// ```
+///
+/// Keys are sorted within each section, so two exports of the same run are
+/// byte-identical and committed `BENCH_*.json` files diff cleanly.
+pub fn to_json(registry: &MetricsRegistry) -> String {
+    snapshot_to_json(&registry.snapshot())
+}
+
+/// [`to_json`] over an already-taken snapshot.
+pub fn snapshot_to_json(snapshot: &BTreeMap<String, MetricValue>) -> String {
+    let mut counters = Vec::new();
+    let mut gauges = Vec::new();
+    let mut hists = Vec::new();
+    for (name, value) in snapshot {
+        let key = escape_json(name);
+        match value {
+            MetricValue::Counter(c) => counters.push(format!("\"{key}\":{c}")),
+            MetricValue::Gauge(g) => gauges.push(format!("\"{key}\":{}", json_f64(*g))),
+            MetricValue::Histogram(h) => hists.push(format!("\"{key}\":{}", json_histogram(h))),
+        }
+    }
+    format!(
+        "{{\"counters\":{{{}}},\"gauges\":{{{}}},\"histograms\":{{{}}}}}",
+        counters.join(","),
+        gauges.join(","),
+        hists.join(",")
+    )
+}
+
+/// Sanitise a metric name for Prometheus (`[a-zA-Z_:][a-zA-Z0-9_:]*`).
+fn prom_name(name: &str) -> String {
+    let mut out: String = name
+        .chars()
+        .map(|c| {
+            if c.is_ascii_alphanumeric() || c == '_' || c == ':' {
+                c
+            } else {
+                '_'
+            }
+        })
+        .collect();
+    if out.chars().next().is_some_and(|c| c.is_ascii_digit()) {
+        out.insert(0, '_');
+    }
+    out
+}
+
+/// Render a snapshot in the Prometheus text exposition format.
+///
+/// Histograms emit cumulative `_bucket{le="…"}` series plus `_count`;
+/// `_sum` is omitted because the log₂ buckets do not retain exact sums.
+pub fn to_prometheus(registry: &MetricsRegistry) -> String {
+    snapshot_to_prometheus(&registry.snapshot())
+}
+
+/// [`to_prometheus`] over an already-taken snapshot.
+pub fn snapshot_to_prometheus(snapshot: &BTreeMap<String, MetricValue>) -> String {
+    let mut out = String::new();
+    for (name, value) in snapshot {
+        let name = prom_name(name);
+        match value {
+            MetricValue::Counter(c) => {
+                let _ = writeln!(out, "# TYPE {name} counter\n{name} {c}");
+            }
+            MetricValue::Gauge(g) => {
+                let _ = writeln!(out, "# TYPE {name} gauge\n{name} {g}");
+            }
+            MetricValue::Histogram(h) => {
+                let _ = writeln!(out, "# TYPE {name} histogram");
+                let mut cumulative = 0u64;
+                for (lo, count) in h.nonzero_buckets() {
+                    cumulative += count;
+                    let le = Histogram::bucket_upper_bound(lo);
+                    let _ = writeln!(out, "{name}_bucket{{le=\"{le}\"}} {cumulative}");
+                }
+                let _ = writeln!(out, "{name}_bucket{{le=\"+Inf\"}} {cumulative}");
+                let _ = writeln!(out, "{name}_count {}", h.count());
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_registry() -> MetricsRegistry {
+        let reg = MetricsRegistry::new();
+        reg.counter_add("comm_allreduce_bytes", 2160);
+        reg.gauge_set("train_wall_s", 0.5);
+        reg.record("train_assign_ns", 700);
+        reg.record("train_assign_ns", 800);
+        reg
+    }
+
+    #[test]
+    fn json_has_stable_shape() {
+        let reg = sample_registry();
+        let json = to_json(&reg);
+        assert_eq!(
+            json,
+            "{\"counters\":{\"comm_allreduce_bytes\":2160},\
+             \"gauges\":{\"train_wall_s\":0.5},\
+             \"histograms\":{\"train_assign_ns\":{\"count\":2,\"p50\":1023,\
+             \"p99\":1023,\"buckets\":[[512,2]]}}}"
+        );
+        // Re-export is byte-identical (stable ordering).
+        assert_eq!(json, to_json(&reg));
+    }
+
+    #[test]
+    fn json_handles_non_finite_gauges_and_empty_registry() {
+        let reg = MetricsRegistry::new();
+        reg.gauge_set("bad", f64::NAN);
+        assert!(to_json(&reg).contains("\"bad\":null"));
+        assert_eq!(
+            to_json(&MetricsRegistry::new()),
+            "{\"counters\":{},\"gauges\":{},\"histograms\":{}}"
+        );
+    }
+
+    #[test]
+    fn json_floats_read_back_as_floats() {
+        assert_eq!(json_f64(1.0), "1.0");
+        assert_eq!(json_f64(0.125), "0.125");
+        assert_eq!(json_f64(f64::INFINITY), "null");
+    }
+
+    #[test]
+    fn prometheus_emits_cumulative_buckets() {
+        let reg = sample_registry();
+        let text = to_prometheus(&reg);
+        assert!(text.contains("# TYPE comm_allreduce_bytes counter"));
+        assert!(text.contains("comm_allreduce_bytes 2160"));
+        assert!(text.contains("# TYPE train_wall_s gauge"));
+        assert!(text.contains("train_assign_ns_bucket{le=\"1023\"} 2"));
+        assert!(text.contains("train_assign_ns_bucket{le=\"+Inf\"} 2"));
+        assert!(text.contains("train_assign_ns_count 2"));
+    }
+
+    #[test]
+    fn prom_name_sanitises() {
+        assert_eq!(prom_name("a.b-c/d"), "a_b_c_d");
+        assert_eq!(prom_name("9lives"), "_9lives");
+    }
+
+    #[test]
+    fn escape_json_escapes_controls() {
+        assert_eq!(escape_json("a\"b\\c\n"), "a\\\"b\\\\c\\n");
+        assert_eq!(escape_json("\u{1}"), "\\u0001");
+    }
+}

@@ -1,0 +1,60 @@
+//! Workspace-wide observability: a unified [`MetricsRegistry`] of named
+//! counters, gauges and log₂ histograms, RAII [`Span`] timers, and two
+//! exporters ([JSON](export::to_json) and
+//! [Prometheus text](export::to_prometheus)).
+//!
+//! Every layer of the workspace reports into the same vocabulary:
+//!
+//! - the hierarchical training executors record per-iteration, per-phase
+//!   wall times (`train_assign_ns`, `train_update_ns`, `train_reduce_ns`,
+//!   `train_exchange_ns`) and per-rank imbalance gauges;
+//! - the `msg` collectives account bytes moved and message counts per
+//!   collective kind (`comm_allreduce_bytes`, `comm_bcast_messages`, …);
+//! - the serving pipeline exposes its request counters and stage latency
+//!   histograms through the same registry (no second vocabulary).
+//!
+//! The registry is deliberately dependency-free: histograms reuse
+//! [`sw_des::stats::Histogram`] (fixed power-of-two buckets, lossless
+//! merge), and the JSON exporter emits documents with stable key order so
+//! runs can be committed as `BENCH_*.json` trajectory points and diffed.
+//!
+//! # Quick start
+//!
+//! ```
+//! use swkm_obs::{span, MetricsRegistry};
+//!
+//! let reg = MetricsRegistry::new();
+//! reg.counter_add("requests", 3);
+//! reg.gauge_set("queue_depth", 7.0);
+//! {
+//!     let _guard = span!(reg, "assign"); // records into `assign_ns` on drop
+//! }
+//! assert_eq!(reg.counter("requests"), 3);
+//! assert_eq!(reg.histogram("assign_ns").unwrap().count(), 1);
+//! let json = swkm_obs::export::to_json(&reg);
+//! assert!(json.starts_with('{'));
+//! ```
+//!
+//! # Thread-local fold-in
+//!
+//! Hot paths should not take the registry lock per sample. Workers keep a
+//! [`LocalHists`] scratch pad and fold it into the shared registry once, on
+//! drop — mirroring the `StageHists` merge pattern the serving pipeline
+//! established (power-of-two buckets make the merge lossless).
+
+pub mod export;
+pub mod registry;
+pub mod span;
+
+pub use registry::{MetricValue, MetricsRegistry};
+pub use span::{LocalHists, Span};
+
+/// Open an RAII timing span against a registry: `span!(reg, "assign")`
+/// returns a guard that records its elapsed nanoseconds into the histogram
+/// `assign_ns` when dropped.
+#[macro_export]
+macro_rules! span {
+    ($reg:expr, $name:expr) => {
+        $crate::Span::enter(&$reg, $name)
+    };
+}

@@ -1,0 +1,228 @@
+//! The metrics registry: a named map of counters, gauges and histograms
+//! shared by training, communication and serving code.
+
+use std::collections::BTreeMap;
+use std::sync::{Arc, Mutex};
+use sw_des::stats::Histogram;
+
+/// One metric's current value. Counters are monotone `u64`s, gauges are
+/// instantaneous `f64`s, histograms are log₂-bucketed sample distributions
+/// (see [`sw_des::stats::Histogram`]).
+#[derive(Debug, Clone, PartialEq)]
+pub enum MetricValue {
+    Counter(u64),
+    Gauge(f64),
+    Histogram(Histogram),
+}
+
+impl MetricValue {
+    fn kind(&self) -> &'static str {
+        match self {
+            MetricValue::Counter(_) => "counter",
+            MetricValue::Gauge(_) => "gauge",
+            MetricValue::Histogram(_) => "histogram",
+        }
+    }
+}
+
+/// A thread-safe registry of named metrics with a stable (sorted) iteration
+/// order. Names are flat strings; the workspace convention is
+/// `<subsystem>_<what>_<unit>` (`train_assign_ns`, `comm_allreduce_bytes`,
+/// `serve_queue_depth`).
+///
+/// A name is bound to its metric kind on first use; mixing kinds under one
+/// name (e.g. `counter_add` after `gauge_set`) panics, since that is always
+/// a programming error and would silently corrupt exports.
+#[derive(Debug, Default)]
+pub struct MetricsRegistry {
+    inner: Mutex<BTreeMap<String, MetricValue>>,
+}
+
+impl MetricsRegistry {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// A fresh registry behind an `Arc`, for sharing across threads.
+    pub fn shared() -> Arc<Self> {
+        Arc::new(Self::new())
+    }
+
+    fn with_inner<R>(&self, f: impl FnOnce(&mut BTreeMap<String, MetricValue>) -> R) -> R {
+        let mut inner = self.inner.lock().unwrap_or_else(|e| e.into_inner());
+        f(&mut inner)
+    }
+
+    /// Add `delta` to the counter `name`, creating it at zero if absent.
+    pub fn counter_add(&self, name: &str, delta: u64) {
+        self.with_inner(
+            |m| match m.entry(name.to_string()).or_insert(MetricValue::Counter(0)) {
+                MetricValue::Counter(c) => *c += delta,
+                other => panic!("metric `{name}` is a {}, not a counter", other.kind()),
+            },
+        );
+    }
+
+    /// Increment the counter `name` by one.
+    pub fn counter_inc(&self, name: &str) {
+        self.counter_add(name, 1);
+    }
+
+    /// Current value of counter `name`; zero if it was never touched.
+    pub fn counter(&self, name: &str) -> u64 {
+        self.with_inner(|m| match m.get(name) {
+            Some(MetricValue::Counter(c)) => *c,
+            Some(other) => panic!("metric `{name}` is a {}, not a counter", other.kind()),
+            None => 0,
+        })
+    }
+
+    /// Set the gauge `name` to `value` (last write wins).
+    pub fn gauge_set(&self, name: &str, value: f64) {
+        self.with_inner(|m| {
+            match m
+                .entry(name.to_string())
+                .or_insert(MetricValue::Gauge(value))
+            {
+                MetricValue::Gauge(g) => *g = value,
+                other => panic!("metric `{name}` is a {}, not a gauge", other.kind()),
+            }
+        });
+    }
+
+    /// Current value of gauge `name`, if it has been set.
+    pub fn gauge(&self, name: &str) -> Option<f64> {
+        self.with_inner(|m| match m.get(name) {
+            Some(MetricValue::Gauge(g)) => Some(*g),
+            Some(other) => panic!("metric `{name}` is a {}, not a gauge", other.kind()),
+            None => None,
+        })
+    }
+
+    /// Record one sample into the histogram `name`, creating it if absent.
+    pub fn record(&self, name: &str, value: u64) {
+        self.with_inner(|m| {
+            match m
+                .entry(name.to_string())
+                .or_insert_with(|| MetricValue::Histogram(Histogram::new()))
+            {
+                MetricValue::Histogram(h) => h.record(value),
+                other => panic!("metric `{name}` is a {}, not a histogram", other.kind()),
+            }
+        });
+    }
+
+    /// Fold a locally-accumulated histogram into `name` bucket-wise — the
+    /// cheap end of the thread-local fold-in pattern (see
+    /// [`crate::LocalHists`]). Lossless because buckets are fixed powers of
+    /// two.
+    pub fn merge_histogram(&self, name: &str, hist: &Histogram) {
+        self.with_inner(|m| {
+            match m
+                .entry(name.to_string())
+                .or_insert_with(|| MetricValue::Histogram(Histogram::new()))
+            {
+                MetricValue::Histogram(h) => h.merge(hist),
+                other => panic!("metric `{name}` is a {}, not a histogram", other.kind()),
+            }
+        });
+    }
+
+    /// A clone of histogram `name`, if any samples were recorded.
+    pub fn histogram(&self, name: &str) -> Option<Histogram> {
+        self.with_inner(|m| match m.get(name) {
+            Some(MetricValue::Histogram(h)) => Some(h.clone()),
+            Some(other) => panic!("metric `{name}` is a {}, not a histogram", other.kind()),
+            None => None,
+        })
+    }
+
+    /// A consistent point-in-time copy of every metric, in sorted name
+    /// order — the input to both exporters.
+    pub fn snapshot(&self) -> BTreeMap<String, MetricValue> {
+        self.with_inner(|m| m.clone())
+    }
+
+    /// Drop every metric (used between benchmark repetitions).
+    pub fn clear(&self) {
+        self.with_inner(|m| m.clear());
+    }
+
+    /// Number of registered metrics.
+    pub fn len(&self) -> usize {
+        self.with_inner(|m| m.len())
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::thread;
+
+    #[test]
+    fn counters_gauges_histograms_round_trip() {
+        let reg = MetricsRegistry::new();
+        reg.counter_inc("hits");
+        reg.counter_add("hits", 4);
+        assert_eq!(reg.counter("hits"), 5);
+        assert_eq!(reg.counter("never_touched"), 0);
+
+        reg.gauge_set("depth", 3.0);
+        reg.gauge_set("depth", 7.5);
+        assert_eq!(reg.gauge("depth"), Some(7.5));
+        assert_eq!(reg.gauge("missing"), None);
+
+        reg.record("lat_ns", 100);
+        reg.record("lat_ns", 900);
+        let h = reg.histogram("lat_ns").unwrap();
+        assert_eq!(h.count(), 2);
+        assert_eq!(reg.len(), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "not a counter")]
+    fn kind_mismatch_panics() {
+        let reg = MetricsRegistry::new();
+        reg.gauge_set("x", 1.0);
+        reg.counter_add("x", 1);
+    }
+
+    #[test]
+    fn snapshot_is_sorted_and_detached() {
+        let reg = MetricsRegistry::new();
+        reg.counter_add("zebra", 1);
+        reg.counter_add("alpha", 1);
+        let snap = reg.snapshot();
+        let names: Vec<_> = snap.keys().cloned().collect();
+        assert_eq!(names, vec!["alpha", "zebra"]);
+        reg.counter_add("alpha", 10);
+        assert_eq!(snap["alpha"], MetricValue::Counter(1));
+    }
+
+    #[test]
+    fn concurrent_counter_and_histogram_recording() {
+        let reg = MetricsRegistry::shared();
+        let threads = 8;
+        let per_thread = 1_000u64;
+        let handles: Vec<_> = (0..threads)
+            .map(|t| {
+                let reg = Arc::clone(&reg);
+                thread::spawn(move || {
+                    for i in 0..per_thread {
+                        reg.counter_inc("ops");
+                        reg.record("vals", t * per_thread + i);
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(reg.counter("ops"), threads * per_thread);
+        assert_eq!(reg.histogram("vals").unwrap().count(), threads * per_thread);
+    }
+}

@@ -1,0 +1,177 @@
+//! RAII timing spans and the thread-local histogram fold-in pattern.
+
+use crate::registry::MetricsRegistry;
+use std::collections::BTreeMap;
+use std::time::Instant;
+use sw_des::stats::Histogram;
+
+/// An RAII timing guard: created by [`Span::enter`] (or the
+/// [`span!`](crate::span!) macro), it records its elapsed wall time in
+/// nanoseconds into the histogram `<name>_ns` when dropped.
+///
+/// ```
+/// use swkm_obs::{span, MetricsRegistry};
+/// let reg = MetricsRegistry::new();
+/// {
+///     let _s = span!(reg, "update");
+///     // ... timed work ...
+/// }
+/// assert_eq!(reg.histogram("update_ns").unwrap().count(), 1);
+/// ```
+#[must_use = "a span records on drop; binding it to `_` drops it immediately"]
+#[derive(Debug)]
+pub struct Span<'r> {
+    registry: &'r MetricsRegistry,
+    name: String,
+    start: Instant,
+    finished: bool,
+}
+
+impl<'r> Span<'r> {
+    /// Start timing `name` against `registry`.
+    pub fn enter(registry: &'r MetricsRegistry, name: &str) -> Self {
+        Span {
+            registry,
+            name: format!("{name}_ns"),
+            start: Instant::now(),
+            finished: false,
+        }
+    }
+
+    /// Nanoseconds elapsed so far, without closing the span.
+    pub fn elapsed_ns(&self) -> u64 {
+        self.start.elapsed().as_nanos() as u64
+    }
+
+    /// Close the span now and return the recorded nanoseconds.
+    pub fn finish(mut self) -> u64 {
+        let ns = self.elapsed_ns();
+        self.registry.record(&self.name, ns);
+        self.finished = true;
+        ns
+    }
+}
+
+impl Drop for Span<'_> {
+    fn drop(&mut self) {
+        if !self.finished {
+            let ns = self.elapsed_ns();
+            self.registry.record(&self.name, ns);
+        }
+    }
+}
+
+/// A per-thread scratch pad of histograms that folds into the shared
+/// registry exactly once, on drop — so hot loops never contend on the
+/// registry lock per sample. This generalises the `StageHists` pattern the
+/// serving workers use: record locally, merge bucket-wise at the end
+/// (lossless, because buckets are fixed powers of two).
+///
+/// ```
+/// use swkm_obs::{LocalHists, MetricsRegistry};
+/// let reg = MetricsRegistry::new();
+/// {
+///     let mut local = LocalHists::new(&reg);
+///     for v in 0..100u64 {
+///         local.record("batch_size", v); // no registry lock taken
+///     }
+/// } // fold-in happens here
+/// assert_eq!(reg.histogram("batch_size").unwrap().count(), 100);
+/// ```
+#[derive(Debug)]
+pub struct LocalHists<'r> {
+    registry: &'r MetricsRegistry,
+    hists: BTreeMap<String, Histogram>,
+}
+
+impl<'r> LocalHists<'r> {
+    pub fn new(registry: &'r MetricsRegistry) -> Self {
+        LocalHists {
+            registry,
+            hists: BTreeMap::new(),
+        }
+    }
+
+    /// Record one sample into the local histogram `name`.
+    pub fn record(&mut self, name: &str, value: u64) {
+        self.hists
+            .entry(name.to_string())
+            .or_default()
+            .record(value);
+    }
+
+    /// Samples accumulated locally under `name` so far.
+    pub fn local_count(&self, name: &str) -> u64 {
+        self.hists.get(name).map_or(0, Histogram::count)
+    }
+}
+
+impl Drop for LocalHists<'_> {
+    fn drop(&mut self) {
+        for (name, hist) in &self.hists {
+            self.registry.merge_histogram(name, hist);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+    use std::thread;
+
+    #[test]
+    fn span_records_on_drop() {
+        let reg = MetricsRegistry::new();
+        {
+            let _s = Span::enter(&reg, "phase");
+        }
+        let h = reg.histogram("phase_ns").unwrap();
+        assert_eq!(h.count(), 1);
+    }
+
+    #[test]
+    fn span_finish_records_once() {
+        let reg = MetricsRegistry::new();
+        let s = Span::enter(&reg, "phase");
+        let ns = s.finish();
+        let h = reg.histogram("phase_ns").unwrap();
+        assert_eq!(h.count(), 1);
+        assert_eq!(h.bucket_count(ns), 1);
+    }
+
+    #[test]
+    fn span_macro_expands() {
+        let reg = MetricsRegistry::new();
+        {
+            let _s = crate::span!(reg, "assign");
+        }
+        assert_eq!(reg.histogram("assign_ns").unwrap().count(), 1);
+    }
+
+    #[test]
+    fn local_hists_fold_in_from_many_threads() {
+        let reg = MetricsRegistry::shared();
+        let threads = 6;
+        let per_thread = 500u64;
+        let handles: Vec<_> = (0..threads)
+            .map(|_| {
+                let reg = Arc::clone(&reg);
+                thread::spawn(move || {
+                    let mut local = LocalHists::new(&reg);
+                    for v in 0..per_thread {
+                        local.record("work_ns", v);
+                    }
+                    assert_eq!(local.local_count("work_ns"), per_thread);
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(
+            reg.histogram("work_ns").unwrap().count(),
+            threads as u64 * per_thread
+        );
+    }
+}

@@ -1,13 +1,15 @@
-//! Serving metrics: throughput counters plus per-stage log₂ latency
-//! histograms (reusing `sw_des::stats::Histogram`, the same instrument the
-//! simulator uses for transfer sizes). Workers record into thread-local
-//! histograms per batch and fold them in with `Histogram::merge` under a
-//! single short lock, so the hot path never contends per-request.
+//! Serving metrics on the workspace-wide observability registry: throughput
+//! counters plus per-stage log₂ latency histograms, stored as
+//! `serve_*`-prefixed metrics in a [`swkm_obs::MetricsRegistry`] so serving
+//! and training share one vocabulary and one set of exporters. Workers
+//! record into thread-local histograms per batch and fold them in with
+//! `Histogram::merge` under a single short lock, so the hot path never
+//! contends per-request.
 
-use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::Mutex;
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 use sw_des::stats::Histogram;
+use swkm_obs::MetricsRegistry;
 
 /// One histogram per pipeline stage plus the batch-size distribution.
 #[derive(Debug, Clone, Default)]
@@ -31,65 +33,91 @@ impl StageHists {
     }
 }
 
-/// Shared, thread-safe serving metrics.
+/// Shared, thread-safe serving metrics, backed by a
+/// [`MetricsRegistry`]. The registry names are `serve_accepted`,
+/// `serve_rejected`, `serve_completed` (counters), `serve_queue_depth`
+/// (gauge, refreshed at snapshot time) and `serve_queue_wait_ns`,
+/// `serve_execute_ns`, `serve_total_ns`, `serve_batch_size` (histograms).
 #[derive(Debug)]
 pub struct ServeMetrics {
-    accepted: AtomicU64,
-    rejected: AtomicU64,
-    completed: AtomicU64,
-    hists: Mutex<StageHists>,
+    registry: Arc<MetricsRegistry>,
     started: Instant,
 }
 
 impl ServeMetrics {
     pub fn new() -> Self {
+        Self::with_registry(MetricsRegistry::shared())
+    }
+
+    /// Record into an existing registry — this is how a process that both
+    /// trains and serves keeps one metrics namespace and one export.
+    pub fn with_registry(registry: Arc<MetricsRegistry>) -> Self {
         ServeMetrics {
-            accepted: AtomicU64::new(0),
-            rejected: AtomicU64::new(0),
-            completed: AtomicU64::new(0),
-            hists: Mutex::new(StageHists::default()),
+            registry,
             started: Instant::now(),
         }
     }
 
+    /// The backing registry, for exporting alongside training metrics.
+    pub fn registry(&self) -> &Arc<MetricsRegistry> {
+        &self.registry
+    }
+
     pub fn record_accepted(&self) {
-        self.accepted.fetch_add(1, Ordering::Relaxed);
+        self.registry.counter_inc("serve_accepted");
     }
 
     pub fn record_rejected(&self) {
-        self.rejected.fetch_add(1, Ordering::Relaxed);
+        self.registry.counter_inc("serve_rejected");
     }
 
     pub fn record_completed(&self, n: u64) {
-        self.completed.fetch_add(n, Ordering::Relaxed);
+        self.registry.counter_add("serve_completed", n);
     }
 
     /// Fold a worker's per-batch histograms into the shared set.
     pub fn merge_hists(&self, local: &StageHists) {
-        self.hists.lock().unwrap().merge(local);
+        self.registry
+            .merge_histogram("serve_queue_wait_ns", &local.queue_wait_ns);
+        self.registry
+            .merge_histogram("serve_execute_ns", &local.execute_ns);
+        self.registry
+            .merge_histogram("serve_total_ns", &local.total_ns);
+        self.registry
+            .merge_histogram("serve_batch_size", &local.batch_size);
     }
 
     /// Point-in-time view. `queue_depth` is sampled by the caller (it
-    /// lives in the channel, not here).
+    /// lives in the channel, not here) and mirrored into the
+    /// `serve_queue_depth` gauge.
     pub fn snapshot(&self, queue_depth: usize) -> Snapshot {
-        let hists = self.hists.lock().unwrap().clone();
-        let completed = self.completed.load(Ordering::Relaxed);
+        self.registry
+            .gauge_set("serve_queue_depth", queue_depth as f64);
+        let quantile = |name: &str, q: f64| {
+            self.registry
+                .histogram(name)
+                .map_or(0, |h| h.quantile_upper_bound(q))
+        };
+        let completed = self.registry.counter("serve_completed");
         let elapsed = self.started.elapsed();
         Snapshot {
-            accepted: self.accepted.load(Ordering::Relaxed),
-            rejected: self.rejected.load(Ordering::Relaxed),
+            accepted: self.registry.counter("serve_accepted"),
+            rejected: self.registry.counter("serve_rejected"),
             completed,
             queue_depth,
             elapsed,
             qps: completed as f64 / elapsed.as_secs_f64().max(1e-9),
-            queue_wait_p50_ns: hists.queue_wait_ns.quantile_upper_bound(0.5),
-            queue_wait_p99_ns: hists.queue_wait_ns.quantile_upper_bound(0.99),
-            execute_p50_ns: hists.execute_ns.quantile_upper_bound(0.5),
-            execute_p99_ns: hists.execute_ns.quantile_upper_bound(0.99),
-            total_p50_ns: hists.total_ns.quantile_upper_bound(0.5),
-            total_p99_ns: hists.total_ns.quantile_upper_bound(0.99),
-            batch_p50: hists.batch_size.quantile_upper_bound(0.5),
-            batches: hists.batch_size.count(),
+            queue_wait_p50_ns: quantile("serve_queue_wait_ns", 0.5),
+            queue_wait_p99_ns: quantile("serve_queue_wait_ns", 0.99),
+            execute_p50_ns: quantile("serve_execute_ns", 0.5),
+            execute_p99_ns: quantile("serve_execute_ns", 0.99),
+            total_p50_ns: quantile("serve_total_ns", 0.5),
+            total_p99_ns: quantile("serve_total_ns", 0.99),
+            batch_p50: quantile("serve_batch_size", 0.5),
+            batches: self
+                .registry
+                .histogram("serve_batch_size")
+                .map_or(0, |h| h.count()),
         }
     }
 }
@@ -109,7 +137,8 @@ pub struct Snapshot {
     pub completed: u64,
     pub queue_depth: usize,
     pub elapsed: Duration,
-    /// Completed requests per second since the server started.
+    /// Completed requests per second since the server started. Warm-up
+    /// dilutes this; prefer [`Snapshot::qps_since`] for steady-state rates.
     pub qps: f64,
     pub queue_wait_p50_ns: u64,
     pub queue_wait_p99_ns: u64,
@@ -121,6 +150,18 @@ pub struct Snapshot {
     pub batch_p50: u64,
     /// Micro-batches formed.
     pub batches: u64,
+}
+
+impl Snapshot {
+    /// Windowed throughput: completed requests per second between `prev`
+    /// and this snapshot (taken later from the same server). Unlike
+    /// [`Snapshot::qps`], this is not diluted by anything that happened
+    /// before `prev` — it is what periodic reporting should print.
+    pub fn qps_since(&self, prev: &Snapshot) -> f64 {
+        let dn = self.completed.saturating_sub(prev.completed);
+        let dt = self.elapsed.saturating_sub(prev.elapsed).as_secs_f64();
+        dn as f64 / dt.max(1e-9)
+    }
 }
 
 fn fmt_ns(ns: u64) -> String {
@@ -192,6 +233,41 @@ mod tests {
         assert!(snap.total_p50_ns >= 1000 && snap.total_p50_ns < 2048);
         assert!(snap.total_p99_ns >= 1000);
         assert_eq!(snap.batches, 1);
+    }
+
+    #[test]
+    fn metrics_land_in_the_shared_registry() {
+        let reg = MetricsRegistry::shared();
+        let m = ServeMetrics::with_registry(Arc::clone(&reg));
+        m.record_accepted();
+        m.record_completed(1);
+        let mut local = StageHists::default();
+        local.execute_ns.record(500);
+        m.merge_hists(&local);
+        m.snapshot(4);
+        // The same vocabulary is visible through the registry's exporters.
+        assert_eq!(reg.counter("serve_accepted"), 1);
+        assert_eq!(reg.counter("serve_completed"), 1);
+        assert_eq!(reg.gauge("serve_queue_depth"), Some(4.0));
+        assert_eq!(reg.histogram("serve_execute_ns").unwrap().count(), 1);
+        let json = swkm_obs::export::to_json(&reg);
+        assert!(json.contains("\"serve_accepted\":1"));
+    }
+
+    #[test]
+    fn windowed_qps_ignores_warmup() {
+        let mut first = ServeMetrics::new().snapshot(0);
+        first.completed = 100;
+        first.elapsed = Duration::from_secs(10); // slow warm-up: 10 qps
+        let mut second = first.clone();
+        second.completed = 1100;
+        second.elapsed = Duration::from_secs(11); // then 1000 qps steady
+        assert!((second.qps_since(&first) - 1000.0).abs() < 1e-9);
+        // Since-start rate is diluted to 100 qps; the window is not.
+        let since_start = second.completed as f64 / second.elapsed.as_secs_f64();
+        assert!(since_start < 101.0);
+        // Degenerate window (no time elapsed) does not divide by zero.
+        assert!(second.qps_since(&second.clone()).is_finite());
     }
 
     #[test]

@@ -75,13 +75,25 @@ pub struct Server<S: Scalar> {
 }
 
 impl<S: Scalar> Server<S> {
-    /// Spawn the worker pool and start serving.
+    /// Spawn the worker pool and start serving with a private metrics
+    /// registry (see [`Server::start_with_registry`] to share one).
     pub fn start(index: ShardedIndex<S>, config: PipelineConfig) -> Self {
+        Self::start_with_registry(index, config, swkm_obs::MetricsRegistry::shared())
+    }
+
+    /// Spawn the worker pool recording `serve_*` metrics into an existing
+    /// registry, so one process exports training and serving metrics as a
+    /// single document.
+    pub fn start_with_registry(
+        index: ShardedIndex<S>,
+        config: PipelineConfig,
+        registry: Arc<swkm_obs::MetricsRegistry>,
+    ) -> Self {
         assert!(config.queue_capacity > 0, "queue capacity must be positive");
         assert!(config.workers > 0, "need at least one worker");
         assert!(config.max_batch > 0, "max batch must be positive");
         let (sender, receiver) = bounded::<Job<S>>(config.queue_capacity);
-        let metrics = Arc::new(ServeMetrics::new());
+        let metrics = Arc::new(ServeMetrics::with_registry(registry));
         let index = Arc::new(index);
         let workers = (0..config.workers)
             .map(|_| {
@@ -116,6 +128,12 @@ impl<S: Scalar> Server<S> {
     pub fn snapshot(&self) -> Snapshot {
         let depth = self.sender.as_ref().map_or(0, Sender::len);
         self.metrics.snapshot(depth)
+    }
+
+    /// The metrics registry this server records into — hand it to the
+    /// `swkm_obs` exporters for JSON/Prometheus output.
+    pub fn registry(&self) -> &Arc<swkm_obs::MetricsRegistry> {
+        self.metrics.registry()
     }
 
     pub fn index(&self) -> &ShardedIndex<S> {

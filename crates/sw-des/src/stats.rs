@@ -19,13 +19,21 @@ impl Counter {
 }
 
 /// Numerically stable online mean/variance (Welford's algorithm).
-#[derive(Debug, Clone, Copy, Default)]
+#[derive(Debug, Clone, Copy)]
 pub struct OnlineMean {
     n: u64,
     mean: f64,
     m2: f64,
     min: f64,
     max: f64,
+}
+
+/// `Default` must agree with [`OnlineMean::new`]: a derived default would
+/// start `min`/`max` at zero and corrupt the extrema of the first pushes.
+impl Default for OnlineMean {
+    fn default() -> Self {
+        Self::new()
+    }
 }
 
 impl OnlineMean {
@@ -81,7 +89,7 @@ impl OnlineMean {
 /// A power-of-two bucketed histogram for positive integer measurements
 /// (bytes, nanoseconds). Bucket `i` covers `[2^i, 2^(i+1))`; bucket 0 also
 /// catches zero.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Histogram {
     buckets: Vec<u64>,
     total: u64,
@@ -127,6 +135,33 @@ impl Histogram {
             *mine += theirs;
         }
         self.total += other.total;
+    }
+
+    /// `(lower bound, count)` for every non-empty bucket, ascending — the
+    /// exporter view. Bucket 0 reports lower bound 0 (it also catches zero);
+    /// bucket `i > 0` reports `2^i`.
+    pub fn nonzero_buckets(&self) -> Vec<(u64, u64)> {
+        self.buckets
+            .iter()
+            .enumerate()
+            .filter(|&(_, &c)| c > 0)
+            .map(|(i, &c)| (if i == 0 { 0 } else { 1u64 << i }, c))
+            .collect()
+    }
+
+    /// Inclusive upper bound of the bucket whose lower bound is `lower`
+    /// (as reported by [`Histogram::nonzero_buckets`]).
+    pub fn bucket_upper_bound(lower: u64) -> u64 {
+        let i = if lower == 0 {
+            0
+        } else {
+            lower.trailing_zeros() as usize
+        };
+        if i >= 63 {
+            u64::MAX
+        } else {
+            (2u64 << i) - 1
+        }
     }
 
     /// Upper bound `q`-quantile estimate from bucket boundaries,
@@ -178,6 +213,37 @@ mod tests {
         assert!((m.std_dev() - 2.0).abs() < 1e-12);
         assert_eq!(m.min(), 2.0);
         assert_eq!(m.max(), 9.0);
+    }
+
+    #[test]
+    fn online_mean_default_tracks_extrema() {
+        // Regression: a derived `Default` would start min/max at 0.0, so the
+        // first push of 5.0 would leave min stuck at 0.0.
+        let mut m = OnlineMean::default();
+        m.push(5.0);
+        assert_eq!(m.min(), 5.0);
+        assert_eq!(m.max(), 5.0);
+        m.push(-3.0);
+        assert_eq!(m.min(), -3.0);
+        assert_eq!(m.max(), 5.0);
+        m.push(9.0);
+        assert_eq!(m.min(), -3.0);
+        assert_eq!(m.max(), 9.0);
+    }
+
+    #[test]
+    fn nonzero_buckets_cover_all_samples() {
+        let mut h = Histogram::new();
+        for v in [0u64, 1, 5, 5, 900] {
+            h.record(v);
+        }
+        let buckets = h.nonzero_buckets();
+        assert_eq!(buckets, vec![(0, 2), (4, 2), (512, 1)]);
+        assert_eq!(buckets.iter().map(|&(_, c)| c).sum::<u64>(), h.count());
+        assert_eq!(Histogram::bucket_upper_bound(0), 1);
+        assert_eq!(Histogram::bucket_upper_bound(4), 7);
+        assert_eq!(Histogram::bucket_upper_bound(512), 1023);
+        assert_eq!(Histogram::bucket_upper_bound(1u64 << 63), u64::MAX);
     }
 
     #[test]

@@ -23,6 +23,7 @@
 //! | [`perf_model`] | per-iteration cost model, feasibility, crossover |
 //! | [`datasets`] | shape-matched synthetic workloads (UCI, ImgNet, DeepGlobe) |
 //! | [`swkm_serve`] | model artifacts, sharded serving index, request pipeline |
+//! | [`swkm_obs`] | metrics registry, RAII spans, JSON/Prometheus exporters |
 //!
 //! ## Quickstart
 //!
@@ -54,6 +55,7 @@ pub use msg;
 pub use perf_model;
 pub use sw_arch;
 pub use sw_des;
+pub use swkm_obs;
 pub use swkm_serve;
 
 /// One-stop imports for applications.
@@ -70,6 +72,7 @@ pub mod prelude {
     };
     pub use perf_model::{best_level, CostModel, ProblemShape};
     pub use sw_arch::{Machine, MachineParams};
+    pub use swkm_obs::MetricsRegistry;
     pub use swkm_serve::{
         run_closed_loop, LoadGenConfig, ModelArtifact, PipelineConfig, Server, ShardedIndex,
     };

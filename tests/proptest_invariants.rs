@@ -131,6 +131,48 @@ proptest! {
         prop_assert_eq!(back, img);
     }
 
+    /// Histogram folding is a commutative, associative, count-preserving
+    /// monoid action — the property the whole observability layer leans on
+    /// when per-rank / per-worker histograms are merged into one registry
+    /// in whatever order threads finish.
+    #[test]
+    fn histogram_merge_is_a_commutative_monoid(
+        a in proptest::collection::vec(0u64..1_000_000, 0..40),
+        b in proptest::collection::vec(0u64..1_000_000, 0..40),
+        c in proptest::collection::vec(0u64..1_000_000, 0..40),
+    ) {
+        use sunway_kmeans::sw_des::stats::Histogram;
+        let hist_of = |samples: &[u64]| {
+            let mut h = Histogram::new();
+            for &s in samples {
+                h.record(s);
+            }
+            h
+        };
+        let (ha, hb, hc) = (hist_of(&a), hist_of(&b), hist_of(&c));
+
+        // Commutative: a ∪ b == b ∪ a.
+        let mut ab = ha.clone();
+        ab.merge(&hb);
+        let mut ba = hb.clone();
+        ba.merge(&ha);
+        prop_assert_eq!(&ab, &ba);
+
+        // Associative: (a ∪ b) ∪ c == a ∪ (b ∪ c).
+        let mut ab_c = ab.clone();
+        ab_c.merge(&hc);
+        let mut bc = hb.clone();
+        bc.merge(&hc);
+        let mut a_bc = ha.clone();
+        a_bc.merge(&bc);
+        prop_assert_eq!(&ab_c, &a_bc);
+
+        // Count-preserving, and identical to recording centrally.
+        prop_assert_eq!(ab_c.count(), (a.len() + b.len() + c.len()) as u64);
+        let all: Vec<u64> = a.iter().chain(&b).chain(&c).copied().collect();
+        prop_assert_eq!(&ab_c, &hist_of(&all));
+    }
+
     /// min-loc AllReduce equals the serial argmin merge for arbitrary
     /// inputs (including ties and empty shards).
     #[test]
