@@ -1,9 +1,10 @@
 //! Micro-benchmarks of the distance kernels: straightforward vs unrolled
-//! vs Level-3 sliced, plus the argmin scan.
+//! vs Level-3 sliced, the argmin scan, and the batch-assign kernels
+//! (scalar / expanded / tiled) at paper-like shapes.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use kmeans_core::distance::{argmin_centroid, sq_euclidean, sq_euclidean_unrolled, CentroidNorms};
-use kmeans_core::Matrix;
+use kmeans_core::{AssignKernel, AssignPlan, Matrix};
 
 fn distance_kernels(c: &mut Criterion) {
     let mut group = c.benchmark_group("kernels_distance");
@@ -57,5 +58,38 @@ fn argmin_scan(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, distance_kernels, argmin_scan);
+/// The batch-assign kernels across the C1 boundary: `k·d·4 B` below,
+/// near, and far above the 64 KB LDM budget — the regimes where tiling
+/// is pointless, ideal, and forced to spill respectively.
+fn assign_kernels(c: &mut Criterion) {
+    let mut group = c.benchmark_group("kernels_assign");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_millis(300));
+    group.measurement_time(std::time::Duration::from_millis(1500));
+    // (n, k, d): k·d·4 = 16 KB (fits), 64 KB (the boundary), 1 MB (spills).
+    for &(n, k, d) in &[
+        (2_048usize, 64usize, 64usize),
+        (2_048, 256, 64),
+        (512, 256, 1_024),
+    ] {
+        let data = bench::bench_data(n, d, 3);
+        let centroids = bench::bench_init(&data, k);
+        group.throughput(Throughput::Elements((n * k * d) as u64));
+        for kernel in AssignKernel::ALL {
+            let plan = AssignPlan::new(kernel, &centroids);
+            let label = format!("n{n}_k{k}_d{d}");
+            group.bench_with_input(BenchmarkId::new(kernel.name(), &label), &label, |b, _| {
+                let mut out: Vec<(u32, f32)> = Vec::with_capacity(n);
+                b.iter(|| {
+                    out.clear();
+                    plan.assign_batch_into(&data, 0..n, &centroids, 0..k, 0, &mut out);
+                    out.len()
+                })
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, distance_kernels, argmin_scan, assign_kernels);
 criterion_main!(benches);

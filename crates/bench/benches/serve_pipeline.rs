@@ -27,7 +27,7 @@ fn sharded_scan(c: &mut Criterion) {
         group.bench_with_input(BenchmarkId::new("exact", shards), &shards, |b, _| {
             b.iter(|| exact.assign_batch(&queries))
         });
-        let norm = ShardedIndex::new(centroids.clone(), shards).with_kernel(Kernel::NormTrick);
+        let norm = ShardedIndex::new(centroids.clone(), shards).with_kernel(Kernel::Expanded);
         group.bench_with_input(BenchmarkId::new("norm_trick", shards), &shards, |b, _| {
             b.iter(|| norm.assign_batch(&queries))
         });

@@ -1,0 +1,111 @@
+//! Reproducible assign-kernel snapshot: times every [`AssignKernel`] at
+//! paper-like shapes and writes `BENCH_kernels.json` (checked in at the
+//! repo root, regenerated with
+//! `cargo run --release -p bench --bin kernels_snapshot`).
+//!
+//! Shapes bracket the C1 boundary: the centroid set (`k·d·4 B`) fits the
+//! 64 KB LDM at the small shape, sits at the boundary at the paper-like
+//! n=100k/d=64/k=256 shape, and spills far past it at d=1024.
+
+use kmeans_core::{AssignKernel, AssignPlan, Matrix};
+use std::time::Instant;
+
+struct Row {
+    n: usize,
+    k: usize,
+    d: usize,
+    /// Samples/s per kernel, in `AssignKernel::ALL` order.
+    rates: [f64; 3],
+    checksum: u64,
+}
+
+fn time_kernel(
+    kernel: AssignKernel,
+    data: &Matrix<f32>,
+    centroids: &Matrix<f32>,
+    reps: usize,
+) -> (f64, u64) {
+    let n = data.rows();
+    let k = centroids.rows();
+    let plan = AssignPlan::new(kernel, centroids);
+    let mut out: Vec<(u32, f32)> = Vec::with_capacity(n);
+    // Warm-up (also computes the label checksum used as a cross-kernel
+    // sanity anchor).
+    out.clear();
+    plan.assign_batch_into(data, 0..n, centroids, 0..k, 0, &mut out);
+    let checksum = out.iter().map(|&(j, _)| j as u64).sum();
+    let mut best = f64::INFINITY;
+    for _ in 0..reps {
+        out.clear();
+        let t = Instant::now();
+        plan.assign_batch_into(data, 0..n, centroids, 0..k, 0, &mut out);
+        best = best.min(t.elapsed().as_secs_f64());
+    }
+    (n as f64 / best, checksum)
+}
+
+fn bench_shape(n: usize, k: usize, d: usize, reps: usize) -> Row {
+    let data = bench::bench_data(n, d, 3);
+    let centroids = bench::bench_init(&data, k);
+    let mut rates = [0.0f64; 3];
+    let mut checksum = 0u64;
+    for (slot, kernel) in rates.iter_mut().zip(AssignKernel::ALL) {
+        let (rate, sum) = time_kernel(kernel, &data, &centroids, reps);
+        *slot = rate;
+        if kernel == AssignKernel::Scalar {
+            checksum = sum;
+        }
+        eprintln!("n={n} k={k} d={d} {kernel}: {rate:.0} samples/s");
+    }
+    Row {
+        n,
+        k,
+        d,
+        rates,
+        checksum,
+    }
+}
+
+fn main() {
+    // (n, k, d, reps): k·d·4 B spans 16 KB → 64 KB → 1 MB across C1.
+    let shapes = [
+        (20_000usize, 64usize, 64usize, 5usize),
+        (100_000, 256, 64, 3),
+        (10_000, 256, 1_024, 3),
+    ];
+    let rows: Vec<Row> = shapes
+        .iter()
+        .map(|&(n, k, d, reps)| bench_shape(n, k, d, reps))
+        .collect();
+
+    let mut json = String::from(
+        "{\n  \"bench\": \"assign_kernels\",\n  \"unit\": \"samples_per_s\",\n  \"rows\": [\n",
+    );
+    for (i, row) in rows.iter().enumerate() {
+        json.push_str(&format!(
+            "    {{\"n\": {}, \"k\": {}, \"d\": {}, \"scalar\": {:.0}, \"expanded\": {:.0}, \
+             \"tiled\": {:.0}, \"tiled_speedup_vs_scalar\": {:.2}, \"label_checksum\": {}}}{}\n",
+            row.n,
+            row.k,
+            row.d,
+            row.rates[0],
+            row.rates[1],
+            row.rates[2],
+            row.rates[2] / row.rates[0],
+            row.checksum,
+            if i + 1 < rows.len() { "," } else { "" }
+        ));
+    }
+    json.push_str("  ]\n}\n");
+    std::fs::write("BENCH_kernels.json", &json).expect("write BENCH_kernels.json");
+    println!("{json}");
+
+    let paper = &rows[1];
+    assert!(
+        paper.rates[2] > paper.rates[0],
+        "tiled ({:.0}/s) must beat scalar ({:.0}/s) at n=100k k=256 d=64",
+        paper.rates[2],
+        paper.rates[0]
+    );
+    println!("wrote BENCH_kernels.json (tiled beats scalar at the paper shape)");
+}

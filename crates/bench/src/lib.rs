@@ -9,7 +9,7 @@
 //! model. Run everything with `cargo bench --workspace`.
 
 use hier_kmeans::HierConfig;
-use kmeans_core::{init_centroids, InitMethod, Matrix};
+use kmeans_core::{init_centroids, AssignKernel, InitMethod, Matrix};
 use perf_model::Level;
 
 /// Deterministic benchmark dataset: a Gaussian mixture at the given shape.
@@ -36,6 +36,7 @@ pub fn bench_config(level: Level, units: usize, group_units: usize) -> HierConfi
         cpes_per_cg: 8,
         max_iters: 2,
         tol: 0.0,
+        kernel: AssignKernel::Scalar,
     }
 }
 

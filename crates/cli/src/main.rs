@@ -5,10 +5,11 @@
 //! swkm model --n 1265723 --k 2000 --d 4096 --nodes 128 [--level 2]
 //! swkm sweep --n 1265723 --k 2000 --d-lo 512 --d-hi 8192 --step 512 --nodes 128
 //! swkm fit   --dataset kegg --n 4096 --k 64 [--level 3] [--units 8] [--group 2]
-//!            [--metrics-json out.json] [--metrics-prom out.prom]
+//!            [--kernel scalar|expanded|tiled] [--metrics-json out.json]
+//!            [--metrics-prom out.prom]
 //! swkm landcover --size 128 --out target/landcover-cli
 //! swkm train --dataset mixture --n 4096 --k 64 --save-model model.swkm [--standardize]
-//! swkm predict --model model.swkm --n 1024 [--shards 4] [--kernel exact|norm-trick]
+//! swkm predict --model model.swkm --n 1024 [--shards 4] [--kernel scalar|expanded|tiled]
 //! swkm serve-bench --k 64 --clients 8 --requests 2000 [--queue 1024] [--workers 2]
 //!                  [--metrics-interval 1] [--metrics-json out.json]
 //! ```
@@ -57,6 +58,13 @@ pub(crate) fn write_metrics_outputs(
         println!("wrote Prometheus metrics to {path}");
     }
     Ok(())
+}
+
+fn parse_assign_kernel(args: &Args) -> Result<kmeans_core::AssignKernel, String> {
+    match args.get_str("kernel") {
+        None => Ok(kmeans_core::AssignKernel::Scalar),
+        Some(spec) => kmeans_core::AssignKernel::parse(spec).map_err(|e| format!("--kernel: {e}")),
+    }
 }
 
 fn parse_level(args: &Args) -> Result<Option<Level>, String> {
@@ -223,8 +231,10 @@ fn cmd_fit(args: &Args) -> Result<(), String> {
         Some(level) => level,
         None => choose_level(n, k, data.cols(), 1),
     };
+    let kernel = parse_assign_kernel(args)?;
     println!(
-        "fitting {dataset}: n={} d={} k={k} with {level} ({units} units, groups of {group})",
+        "fitting {dataset}: n={} d={} k={k} with {level} ({units} units, groups of {group}, \
+         {kernel} kernel)",
         data.rows(),
         data.cols()
     );
@@ -239,12 +249,16 @@ fn cmd_fit(args: &Args) -> Result<(), String> {
         .with_group_units(if level == Level::L1 { 1 } else { group })
         .with_cpes_per_cg(8)
         .with_max_iters(args.get_or("max-iters", 100usize)?)
+        .with_kernel(kernel)
         .fit(&data, init)
         .map_err(|e| e.to_string())?;
     println!(
         "done: {} iterations (converged = {}), objective {:.5}",
         result.iterations, result.converged, result.objective
     );
+    if let Some(rate) = result.assign_samples_per_s() {
+        println!("assign kernel {}: {rate:.0} samples/s", result.kernel);
+    }
     let sizes = kmeans_core::objective::cluster_sizes(&result.labels, k);
     println!("cluster sizes: {sizes:?}");
     println!(
@@ -348,6 +362,41 @@ mod tests {
         ))
         .unwrap();
         assert!(run(&argv("fit --dataset nope --k 3")).is_err());
+    }
+
+    #[test]
+    fn fit_accepts_every_kernel_and_rejects_unknown_ones() {
+        for kernel in ["scalar", "expanded", "tiled"] {
+            run(&argv(&format!(
+                "fit --dataset mixture --n 128 --k 3 --d 8 --max-iters 3 --kernel {kernel}"
+            )))
+            .unwrap();
+        }
+        assert!(run(&argv(
+            "fit --dataset mixture --n 128 --k 3 --d 8 --kernel warp-drive"
+        ))
+        .is_err());
+    }
+
+    #[test]
+    fn fit_exports_kernel_and_throughput_gauges() {
+        let json = std::env::temp_dir().join("swkm_fit_kernel_gauges_test.json");
+        run(&argv(&format!(
+            "fit --dataset mixture --n 192 --k 3 --d 6 --max-iters 4 --level 2 \
+             --units 4 --group 2 --kernel tiled --metrics-json {}",
+            json.display()
+        )))
+        .unwrap();
+        let doc = std::fs::read_to_string(&json).unwrap();
+        assert!(
+            doc.contains("\"train_assign_kernel\":2.0"),
+            "tiled gauge missing: {doc}"
+        );
+        assert!(
+            doc.contains("train_assign_samples_per_s"),
+            "throughput gauge missing: {doc}"
+        );
+        std::fs::remove_file(&json).ok();
     }
 
     #[test]

@@ -38,9 +38,8 @@ fn dataset_matrix(args: &Args, k: usize) -> Result<Matrix<Elem>, String> {
 
 fn parse_kernel(args: &Args) -> Result<Kernel, String> {
     match args.get_str("kernel") {
-        None | Some("exact") => Ok(Kernel::Exact),
-        Some("norm-trick") => Ok(Kernel::NormTrick),
-        Some(other) => Err(format!("--kernel must be exact|norm-trick, got `{other}`")),
+        None => Ok(Kernel::Scalar),
+        Some(spec) => Kernel::parse(spec).map_err(|e| format!("--kernel: {e}")),
     }
 }
 

@@ -9,7 +9,7 @@
 use crate::report::{secs, Report};
 use datasets::{SceneConfig, SyntheticScene};
 use hier_kmeans::{fit, HierConfig};
-use kmeans_core::{init_centroids, InitMethod};
+use kmeans_core::{init_centroids, AssignKernel, InitMethod};
 use perf_model::{CostModel, Level, ProblemShape};
 use std::path::Path;
 
@@ -32,6 +32,7 @@ pub fn fig10(out_dir: &Path) -> Report {
         cpes_per_cg: 4,
         max_iters: 30,
         tol: 1e-6,
+        kernel: AssignKernel::Scalar,
     };
     let result = fit(&features, init, &cfg).expect("landcover clustering");
     let accuracy = scene.clustering_accuracy(&result.labels, k);

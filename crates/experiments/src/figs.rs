@@ -22,6 +22,7 @@ fn functional_ms(level: Level, data: &Matrix<f32>, k: usize, group_units: usize)
         cpes_per_cg: 8,
         max_iters: 2,
         tol: 0.0,
+        kernel: kmeans_core::AssignKernel::Scalar,
     };
     let start = Instant::now();
     let result = fit(data, init, &cfg).expect("functional run");

@@ -43,12 +43,12 @@ const EXPERIMENTS: [&str; 18] = [
 ];
 
 fn usage() -> ! {
-    eprintln!("usage: experiments [--out DIR] <experiment>...");
+    eprintln!("usage: experiments [--out DIR] [--kernel scalar|expanded|tiled] <experiment>...");
     eprintln!("experiments: {} | all", EXPERIMENTS.join(" | "));
     std::process::exit(2);
 }
 
-fn run_one(name: &str, out_dir: &Path) -> Report {
+fn run_one(name: &str, out_dir: &Path, kernel: kmeans_core::AssignKernel) -> Report {
     match name {
         "table1" => tables::table1(),
         "table2" => tables::table2(),
@@ -67,7 +67,7 @@ fn run_one(name: &str, out_dir: &Path) -> Report {
         "abl_batch" => ablations::abl_batch(),
         "abl_spill" => ablations::abl_spill(),
         "weak_scaling" => ablations::weak_scaling(),
-        "phase_trace" => obs_trace::phase_trace(),
+        "phase_trace" => obs_trace::phase_trace_with(kernel),
         other => {
             eprintln!("unknown experiment `{other}`");
             usage()
@@ -85,6 +85,22 @@ fn main() {
         out_dir = PathBuf::from(args.remove(pos + 1));
         args.remove(pos);
     }
+    // `--kernel` selects the assign kernel for the experiments that run
+    // real training loops (currently `phase_trace`).
+    let mut kernel = kmeans_core::AssignKernel::Scalar;
+    if let Some(pos) = args.iter().position(|a| a == "--kernel") {
+        if pos + 1 >= args.len() {
+            usage();
+        }
+        match kmeans_core::AssignKernel::parse(&args.remove(pos + 1)) {
+            Ok(k) => kernel = k,
+            Err(e) => {
+                eprintln!("{e}");
+                usage();
+            }
+        }
+        args.remove(pos);
+    }
     if args.is_empty() {
         usage();
     }
@@ -99,7 +115,7 @@ fn main() {
         out_dir.display()
     );
     for name in selected {
-        let report = run_one(name, &out_dir);
+        let report = run_one(name, &out_dir, kernel);
         report.emit(&out_dir);
     }
 }

@@ -6,13 +6,13 @@
 
 use crate::report::Report;
 use hier_kmeans::{fit, HierConfig};
-use kmeans_core::{init_centroids, InitMethod};
+use kmeans_core::{init_centroids, AssignKernel, InitMethod};
 use perf_model::Level;
 use swkm_obs::MetricsRegistry;
 
 /// One instrumented run, reported exclusively through the registry —
 /// exactly what a `--metrics-json` consumer sees.
-fn traced_row(level: Level, k: usize, group_units: usize) -> Vec<String> {
+fn traced_row(level: Level, k: usize, group_units: usize, kernel: AssignKernel) -> Vec<String> {
     let data = datasets::uci::kegg_network().generate(1_024);
     let init = init_centroids(&data, k, InitMethod::Forgy, 1);
     let cfg = HierConfig {
@@ -22,6 +22,7 @@ fn traced_row(level: Level, k: usize, group_units: usize) -> Vec<String> {
         cpes_per_cg: 8,
         max_iters: 3,
         tol: 0.0,
+        kernel,
     };
     let result = fit(&data, init, &cfg).expect("phase_trace run");
     let registry = MetricsRegistry::new();
@@ -55,8 +56,9 @@ fn traced_row(level: Level, k: usize, group_units: usize) -> Vec<String> {
     ]
 }
 
-/// The `phase_trace` experiment: measured per-phase breakdown per level.
-pub fn phase_trace() -> Report {
+/// The `phase_trace` experiment: measured per-phase breakdown per level,
+/// with every level's Assign routed through `kernel`.
+pub fn phase_trace_with(kernel: AssignKernel) -> Report {
     let mut r = Report::new(
         "phase_trace",
         "Measured per-phase critical path via the metrics registry (Kegg 1024×28, k=16, 3 iters)",
@@ -74,8 +76,9 @@ pub fn phase_trace() -> Report {
         ],
     );
     for (level, group_units) in [(Level::L1, 1), (Level::L2, 4), (Level::L3, 2)] {
-        r.row(traced_row(level, 16, group_units));
+        r.row(traced_row(level, 16, group_units, kernel));
     }
+    r.note(format!("assign kernel: {kernel}"));
     r.note("values read back through swkm_obs::MetricsRegistry — same source as `swkm fit --metrics-json`");
     r.note(
         "sum/wall is critical-path phase total over max-rank wall; it can exceed 1 \
@@ -83,6 +86,12 @@ pub fn phase_trace() -> Report {
     );
     r.note("exchange is nonzero only at Level 3 (the dimension-sliced accumulation)");
     r
+}
+
+/// The `phase_trace` experiment with the default (exact scalar) kernel.
+#[cfg(test)]
+fn phase_trace() -> Report {
+    phase_trace_with(AssignKernel::Scalar)
 }
 
 #[cfg(test)]
@@ -105,6 +114,13 @@ mod tests {
             let msgs: u64 = row[8].parse().unwrap();
             assert!(bytes > 0 && msgs > 0, "{row:?}");
         }
+    }
+
+    #[test]
+    fn phase_trace_runs_with_the_tiled_kernel() {
+        let r = phase_trace_with(AssignKernel::Tiled);
+        assert_eq!(r.rows.len(), 3);
+        assert!(r.notes.iter().any(|n| n.contains("tiled")), "{:?}", r.notes);
     }
 
     #[test]

@@ -127,6 +127,7 @@ pub fn run<S: Scalar>(
         timings: crate::executor::PhaseTimings::default(),
         trace: crate::executor::TrainTrace::default(),
         comm: msg::CostLog::new(),
+        kernel: kmeans_core::AssignKernel::Scalar,
     })
 }
 

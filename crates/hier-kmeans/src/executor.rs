@@ -1,6 +1,6 @@
 //! Shared executor configuration, result type and dispatch.
 
-use kmeans_core::{KMeansError, Matrix, Scalar};
+use kmeans_core::{AssignKernel, KMeansError, Matrix, Scalar};
 use perf_model::Level;
 
 /// Configuration of a functional hierarchical run.
@@ -24,6 +24,11 @@ pub struct HierConfig {
     pub max_iters: usize,
     /// Convergence threshold on maximum centroid movement (Euclidean).
     pub tol: f64,
+    /// Assign kernel every rank's inner loop runs (see
+    /// [`kmeans_core::AssignKernel`]). `Scalar` is bit-identical to the
+    /// serial reference; `Expanded`/`Tiled` use the norm expansion and may
+    /// resolve exact ties differently.
+    pub kernel: AssignKernel,
 }
 
 impl HierConfig {
@@ -35,6 +40,7 @@ impl HierConfig {
             cpes_per_cg: 64,
             max_iters: 100,
             tol: 1e-9,
+            kernel: AssignKernel::Scalar,
         }
     }
 }
@@ -253,17 +259,36 @@ pub struct HierResult<S: Scalar> {
     /// All ranks' communication records merged — per-collective bytes and
     /// message counts for the run.
     pub comm: msg::CostLog,
+    /// Assign kernel the run executed with.
+    pub kernel: AssignKernel,
 }
 
 impl<S: Scalar> HierResult<S> {
+    /// Assign-phase throughput: samples scored per critical-path assign
+    /// second, over every iteration. `None` when the assign phase was too
+    /// fast to measure.
+    pub fn assign_samples_per_s(&self) -> Option<f64> {
+        if self.timings.assign > 0.0 {
+            Some(self.labels.len() as f64 * self.iterations as f64 / self.timings.assign)
+        } else {
+            None
+        }
+    }
+
     /// Publish this run into a metrics registry: the phase trace under
     /// `train_*`, the communication tallies under `comm_*`, and run-level
-    /// gauges (`train_objective`, `train_converged`).
+    /// gauges (`train_objective`, `train_converged`, the selected kernel's
+    /// code as `train_assign_kernel` and the assign throughput).
     pub fn export_metrics(&self, registry: &swkm_obs::MetricsRegistry) {
         self.trace.export_into(registry, "train");
         self.comm.export_into(registry, "comm");
         registry.gauge_set("train_objective", self.objective);
         registry.gauge_set("train_converged", if self.converged { 1.0 } else { 0.0 });
+        registry.gauge_set("train_assign_kernel", self.kernel.code() as f64);
+        registry.gauge_set(
+            "train_assign_samples_per_s",
+            self.assign_samples_per_s().unwrap_or(0.0),
+        );
     }
 }
 
@@ -330,6 +355,7 @@ pub(crate) fn assemble<S: Scalar>(
     data: &Matrix<S>,
     outs: Vec<RankOutput<S>>,
     costs: Vec<msg::CostLog>,
+    kernel: AssignKernel,
 ) -> HierResult<S> {
     let mut iterations = 0;
     let mut converged = false;
@@ -375,6 +401,7 @@ pub(crate) fn assemble<S: Scalar>(
         timings,
         trace,
         comm,
+        kernel,
     }
 }
 

@@ -9,8 +9,9 @@
 
 use crate::executor::{HierConfig, HierError, HierResult, IterTiming};
 use crate::partition::split_range;
-use kmeans_core::{argmin_centroid, Matrix, Scalar};
+use kmeans_core::{AssignPlan, Matrix, Scalar};
 use msg::World;
+use sw_arch::MachineParams;
 
 pub(crate) fn run<S: Scalar>(
     data: &Matrix<S>,
@@ -21,6 +22,7 @@ pub(crate) fn run<S: Scalar>(
     let d = data.cols();
     let k = init.rows();
     let units = cfg.units;
+    let ldm_bytes = MachineParams::taihulight().ldm_bytes;
 
     let (outs, costs) = World::run_with_cost(units, |comm| {
         let mut centroids = init.clone();
@@ -29,16 +31,22 @@ pub(crate) fn run<S: Scalar>(
         let mut converged = false;
         let mut sums = vec![S::ZERO; k * d];
         let mut counts = vec![0u64; k];
+        let mut assigned: Vec<(u32, S)> = Vec::with_capacity(my_samples.len());
         let mut trace: Vec<IterTiming> = Vec::new();
         for _ in 0..cfg.max_iters {
             let iter_start = std::time::Instant::now();
             let mut it = IterTiming::default();
-            // ---- Assign: stripe of samples against all k centroids. ----
+            // ---- Assign: stripe of samples against all k centroids, via
+            // the configured kernel. One plan per iteration amortises the
+            // centroid norms across the stripe (once per Update).
             let t0 = std::time::Instant::now();
             sums.iter_mut().for_each(|v| *v = S::ZERO);
             counts.iter_mut().for_each(|v| *v = 0);
-            for i in my_samples.clone() {
-                let (j, _) = argmin_centroid(data.row(i), &centroids);
+            let plan = AssignPlan::with_ldm_budget(cfg.kernel, &centroids, ldm_bytes);
+            assigned.clear();
+            plan.assign_batch_into(data, my_samples.clone(), &centroids, 0..k, 0, &mut assigned);
+            for (i, &(label, _)) in my_samples.clone().zip(&assigned) {
+                let j = label as usize;
                 counts[j] += 1;
                 let acc = &mut sums[j * d..(j + 1) * d];
                 for (a, x) in acc.iter_mut().zip(data.row(i)) {
@@ -78,7 +86,7 @@ pub(crate) fn run<S: Scalar>(
         (result_centroids, iterations, converged, trace)
     });
 
-    Ok(crate::executor::assemble(data, outs, costs))
+    Ok(crate::executor::assemble(data, outs, costs, cfg.kernel))
 }
 
 /// Element-wise sum combine for AllReduce payloads.
@@ -91,7 +99,7 @@ pub(crate) fn sum_slices<S: Scalar>(acc: &mut [S], x: &[S]) {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use kmeans_core::{init_centroids, InitMethod, KMeansConfig, Lloyd};
+    use kmeans_core::{init_centroids, AssignKernel, InitMethod, KMeansConfig, Lloyd};
     use perf_model::Level;
     use rand::{Rng, SeedableRng};
     use rand_chacha::ChaCha8Rng;
@@ -113,6 +121,7 @@ mod tests {
             cpes_per_cg: 64,
             max_iters: 5,
             tol: 0.0,
+            kernel: AssignKernel::Scalar,
         };
         let hier = run(&data, init.clone(), &cfg).unwrap();
         let serial = Lloyd::run_from(
@@ -142,6 +151,7 @@ mod tests {
             cpes_per_cg: 64,
             max_iters: 20,
             tol: 1e-9,
+            kernel: AssignKernel::Scalar,
         };
         let hier = run(&data, init.clone(), &cfg).unwrap();
         let serial = Lloyd::run_from(&data, init, &KMeansConfig::new(4).with_tol(1e-9)).unwrap();
@@ -162,6 +172,7 @@ mod tests {
                 cpes_per_cg: 64,
                 max_iters: 10,
                 tol: 0.0,
+                kernel: AssignKernel::Scalar,
             };
             let r = run(&data, init.clone(), &cfg).unwrap();
             if let Some(ref m) = reference {
@@ -183,6 +194,7 @@ mod tests {
             cpes_per_cg: 64,
             max_iters: 3,
             tol: 0.0,
+            kernel: AssignKernel::Scalar,
         };
         let r = run(&data, init, &cfg).unwrap();
         // 3 iterations × (sums k·d f64 + counts k u64) over a 4-rank
@@ -204,6 +216,7 @@ mod tests {
             cpes_per_cg: 64,
             max_iters: 100,
             tol: 1e-9,
+            kernel: AssignKernel::Scalar,
         };
         let r = run(&data, init, &cfg).unwrap();
         assert!(r.converged);

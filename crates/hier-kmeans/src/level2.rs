@@ -14,8 +14,9 @@
 use crate::executor::{assemble, HierConfig, HierError, HierResult, IterTiming};
 use crate::level1::sum_slices;
 use crate::partition::split_range;
-use kmeans_core::{argmin_centroid, Matrix, Scalar};
+use kmeans_core::{AssignPlan, Matrix, Scalar};
 use msg::World;
+use sw_arch::MachineParams;
 
 /// Neutral element of the min-loc merge: never wins against a real
 /// distance.
@@ -37,6 +38,7 @@ pub(crate) fn run<S: Scalar>(
     let d = data.cols();
     let k = init.rows();
     let n_groups = cfg.units / g;
+    let ldm_bytes = MachineParams::taihulight().ldm_bytes;
 
     let (outs, costs) = World::run_with_cost(cfg.units, |comm| {
         let rank = comm.rank();
@@ -56,21 +58,33 @@ pub(crate) fn run<S: Scalar>(
         let mut sums = vec![S::ZERO; shard_k * d];
         let mut counts = vec![0u64; shard_k];
         let mut pairs: Vec<(f64, u64)> = Vec::with_capacity(my_samples.len());
+        let mut assigned: Vec<(u32, S)> = Vec::with_capacity(my_samples.len());
         let mut trace: Vec<IterTiming> = Vec::new();
 
         for _ in 0..cfg.max_iters {
             let iter_start = std::time::Instant::now();
             let mut it = IterTiming::default();
-            // ---- Assign: partial argmin over my shard (lines 9–10). ----
+            // ---- Assign: partial argmin over my shard (lines 9–10), via
+            // the configured kernel. One plan per iteration = shard norms
+            // recomputed once per Update. Under Expanded/Tiled the merge
+            // key is `‖x‖² + ‖c‖² − 2·x·c`; `‖x‖²` is computed identically
+            // on every member, so keys stay comparable across the group.
             let t0 = std::time::Instant::now();
             pairs.clear();
-            for i in my_samples.clone() {
-                if shard_k == 0 {
-                    pairs.push(MINLOC_NEUTRAL);
-                } else {
-                    let (j_local, dist) = argmin_centroid(data.row(i), &shard);
-                    pairs.push((dist.to_f64(), (my_centroids.start + j_local) as u64));
-                }
+            if shard_k == 0 {
+                pairs.resize(my_samples.len(), MINLOC_NEUTRAL);
+            } else {
+                let plan = AssignPlan::with_ldm_budget(cfg.kernel, &shard, ldm_bytes);
+                assigned.clear();
+                plan.assign_batch_into(
+                    data,
+                    my_samples.clone(),
+                    &shard,
+                    0..shard_k,
+                    my_centroids.start,
+                    &mut assigned,
+                );
+                pairs.extend(assigned.iter().map(|&(j, key)| (key.to_f64(), j as u64)));
             }
             it.assign += t0.elapsed().as_secs_f64();
             // The min-loc merge produces the global a(i) for every sample
@@ -146,13 +160,13 @@ pub(crate) fn run<S: Scalar>(
         (full, iterations, converged, trace)
     });
 
-    Ok(assemble(data, outs, costs))
+    Ok(assemble(data, outs, costs, cfg.kernel))
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use kmeans_core::{init_centroids, InitMethod, KMeansConfig, Lloyd};
+    use kmeans_core::{init_centroids, AssignKernel, InitMethod, KMeansConfig, Lloyd};
     use perf_model::Level;
     use rand::{Rng, SeedableRng};
     use rand_chacha::ChaCha8Rng;
@@ -171,6 +185,7 @@ mod tests {
             cpes_per_cg: 64,
             max_iters,
             tol: 0.0,
+            kernel: AssignKernel::Scalar,
         }
     }
 
@@ -261,6 +276,24 @@ mod tests {
         // f32 accumulation order differs between serial (single pass) and
         // hierarchical (per-stripe then tree) — tolerance reflects that.
         assert!(hier.centroids.max_abs_diff(&serial.centroids) < 1e-3);
+    }
+
+    #[test]
+    fn expanded_and_tiled_kernels_match_scalar() {
+        let data = random_data(150, 5, 21);
+        let init = init_centroids(&data, 8, InitMethod::Forgy, 13);
+        let reference = run(&data, init.clone(), &cfg(8, 4, 5)).unwrap();
+        for kernel in [AssignKernel::Expanded, AssignKernel::Tiled] {
+            let mut c = cfg(8, 4, 5);
+            c.kernel = kernel;
+            let r = run(&data, init.clone(), &c).unwrap();
+            assert_eq!(r.labels, reference.labels, "{kernel}");
+            assert!(
+                r.centroids.max_abs_diff(&reference.centroids) < 1e-9,
+                "{kernel}"
+            );
+            assert_eq!(r.kernel, kernel);
+        }
     }
 
     #[test]

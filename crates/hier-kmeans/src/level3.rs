@@ -19,18 +19,30 @@ use crate::executor::{assemble, HierConfig, HierError, HierResult, IterTiming};
 use crate::level1::sum_slices;
 use crate::level2::MINLOC_NEUTRAL;
 use crate::partition::split_range;
-use kmeans_core::distance::sq_euclidean_unrolled;
-use kmeans_core::{Matrix, Scalar};
+use kmeans_core::{AssignPlan, Matrix, Scalar};
 use msg::World;
+use std::ops::Range;
+use sw_arch::MachineParams;
+
+/// The per-CPE dimension slices of one CG, computed once per run — the
+/// inner loops used to re-derive `split_range` per sample × centroid.
+pub(crate) fn cpe_slices(d: usize, cpes: usize) -> Vec<Range<usize>> {
+    (0..cpes).map(|cpe| split_range(d, cpes, cpe)).collect()
+}
 
 /// Distance of `sample` to `centroid` computed the Level-3 way: per-CPE
-/// partials over dimension slices, folded in CPE order.
-pub(crate) fn sliced_distance<S: Scalar>(sample: &[S], centroid: &[S], cpes: usize) -> S {
-    let d = sample.len();
+/// partials over precomputed dimension slices, folded in CPE order. The
+/// production Assign path now lives in [`kmeans_core::assign`] (the
+/// `Scalar` kernel with slices reproduces exactly this scan); this is kept
+/// as the test oracle for the slicing identity.
+#[cfg(test)]
+fn sliced_distance<S: Scalar>(sample: &[S], centroid: &[S], slices: &[Range<usize>]) -> S {
     let mut acc = S::ZERO;
-    for cpe in 0..cpes {
-        let slice = split_range(d, cpes, cpe);
-        acc += sq_euclidean_unrolled(&sample[slice.clone()], &centroid[slice]);
+    for slice in slices {
+        acc += kmeans_core::distance::sq_euclidean_unrolled(
+            &sample[slice.clone()],
+            &centroid[slice.clone()],
+        );
     }
     acc
 }
@@ -52,6 +64,10 @@ pub(crate) fn run<S: Scalar>(
     let k = init.rows();
     let n_groups = cfg.units / g;
     let cpes = cfg.cpes_per_cg;
+    let ldm_bytes = MachineParams::taihulight().ldm_bytes;
+    // The CPE slice boundaries depend only on (d, cpes): compute them once
+    // per run instead of per sample × centroid inside the inner loops.
+    let slices = cpe_slices(d, cpes);
 
     let (outs, costs) = World::run_with_cost(cfg.units, |comm| {
         let rank = comm.rank();
@@ -73,29 +89,33 @@ pub(crate) fn run<S: Scalar>(
         let mut sums = vec![S::ZERO; shard_k * d];
         let mut counts = vec![0u64; shard_k];
         let mut pairs: Vec<(f64, u64)> = Vec::with_capacity(my_samples.len());
+        let mut assigned: Vec<(u32, S)> = Vec::with_capacity(my_samples.len());
         let mut trace: Vec<IterTiming> = Vec::new();
 
         for _ in 0..cfg.max_iters {
             let iter_start = std::time::Instant::now();
             let mut it = IterTiming::default();
-            // ---- Assign: per-CPE partial distances (lines 8–10). ----
+            // ---- Assign: per-CPE partial dot products / distances over
+            // the precomputed dimension slices (lines 8–10), via the
+            // configured kernel — exact under slicing because dots are
+            // additive over disjoint slices. ----
             let t0 = std::time::Instant::now();
             pairs.clear();
-            for i in my_samples.clone() {
-                if shard_k == 0 {
-                    pairs.push(MINLOC_NEUTRAL);
-                    continue;
-                }
-                let sample = data.row(i);
-                let mut best = MINLOC_NEUTRAL;
-                for j_local in 0..shard_k {
-                    let dist = sliced_distance(sample, shard.row(j_local), cpes).to_f64();
-                    let j_global = (my_centroids.start + j_local) as u64;
-                    if dist < best.0 || (dist == best.0 && j_global < best.1) {
-                        best = (dist, j_global);
-                    }
-                }
-                pairs.push(best);
+            if shard_k == 0 {
+                pairs.resize(my_samples.len(), MINLOC_NEUTRAL);
+            } else {
+                let plan =
+                    AssignPlan::with_options(cfg.kernel, &shard, ldm_bytes, Some(slices.clone()));
+                assigned.clear();
+                plan.assign_batch_into(
+                    data,
+                    my_samples.clone(),
+                    &shard,
+                    0..shard_k,
+                    my_centroids.start,
+                    &mut assigned,
+                );
+                pairs.extend(assigned.iter().map(|&(j, key)| (key.to_f64(), j as u64)));
             }
             it.assign += t0.elapsed().as_secs_f64();
             // Line 11: min-loc merge across the G CGs of the group.
@@ -115,10 +135,9 @@ pub(crate) fn run<S: Scalar>(
                     let j_local = j - my_centroids.start;
                     counts[j_local] += 1;
                     let row = data.row(i);
-                    for cpe in 0..cpes {
-                        let slice = split_range(d, cpes, cpe);
+                    for slice in &slices {
                         let acc = &mut sums[j_local * d + slice.start..j_local * d + slice.end];
-                        for (a, x) in acc.iter_mut().zip(&row[slice]) {
+                        for (a, x) in acc.iter_mut().zip(&row[slice.clone()]) {
                             *a += *x;
                         }
                     }
@@ -175,13 +194,15 @@ pub(crate) fn run<S: Scalar>(
         (full, iterations, converged, trace)
     });
 
-    Ok(assemble(data, outs, costs))
+    Ok(assemble(data, outs, costs, cfg.kernel))
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use kmeans_core::{init_centroids, sq_euclidean, InitMethod, KMeansConfig, Lloyd};
+    use kmeans_core::{
+        init_centroids, sq_euclidean, AssignKernel, InitMethod, KMeansConfig, Lloyd,
+    };
     use perf_model::Level;
     use rand::{Rng, SeedableRng};
     use rand_chacha::ChaCha8Rng;
@@ -200,6 +221,7 @@ mod tests {
             cpes_per_cg: cpes,
             max_iters,
             tol: 0.0,
+            kernel: AssignKernel::Scalar,
         }
     }
 
@@ -211,7 +233,7 @@ mod tests {
             let b: Vec<f64> = (0..d).map(|_| rng.gen_range(-1.0..1.0)).collect();
             let full = sq_euclidean(&a, &b);
             for cpes in [1usize, 2, 8, 64, 100] {
-                let sliced = sliced_distance(&a, &b, cpes);
+                let sliced = sliced_distance(&a, &b, &cpe_slices(d, cpes));
                 assert!(
                     (full - sliced).abs() < 1e-12 * (1.0 + full),
                     "d={d} cpes={cpes}: {full} vs {sliced}"
@@ -289,6 +311,26 @@ mod tests {
     }
 
     #[test]
+    fn expanded_and_tiled_kernels_match_scalar() {
+        // Every partition axis active (ragged n/k/d splits) under all
+        // three kernels — the slice-aware expansion must agree with the
+        // sliced scalar scan.
+        let data = random_data(90, 23, 71);
+        let init = init_centroids(&data, 10, InitMethod::Forgy, 23);
+        let reference = run(&data, init.clone(), &cfg(6, 2, 5, 4)).unwrap();
+        for kernel in [AssignKernel::Expanded, AssignKernel::Tiled] {
+            let mut c = cfg(6, 2, 5, 4);
+            c.kernel = kernel;
+            let r = run(&data, init.clone(), &c).unwrap();
+            assert_eq!(r.labels, reference.labels, "{kernel}");
+            assert!(
+                r.centroids.max_abs_diff(&reference.centroids) < 1e-9,
+                "{kernel}"
+            );
+        }
+    }
+
+    #[test]
     fn converges_on_separated_blobs() {
         let mut rows = Vec::new();
         let mut rng = ChaCha8Rng::seed_from_u64(5);
@@ -323,6 +365,7 @@ mod tests {
             cpes_per_cg: 64,
             max_iters: 3,
             tol: 0.0,
+            kernel: AssignKernel::Scalar,
         };
         let l1 = crate::level1::run(&data, init, &l1_cfg).unwrap();
         assert!(

@@ -110,6 +110,13 @@ impl HierKMeans {
         self
     }
 
+    /// Assign kernel for every rank's inner loop (default: the exact
+    /// scalar reference; see [`kmeans_core::AssignKernel`]).
+    pub fn with_kernel(mut self, kernel: kmeans_core::AssignKernel) -> Self {
+        self.config.kernel = kernel;
+        self
+    }
+
     /// Access the underlying configuration.
     pub fn config(&self) -> &HierConfig {
         &self.config

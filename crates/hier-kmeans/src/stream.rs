@@ -220,6 +220,7 @@ pub fn fit_source<Src: SampleSource + Sync>(
             }
             merged
         },
+        kernel: kmeans_core::AssignKernel::Scalar,
     })
 }
 

@@ -1,0 +1,884 @@
+//! The batch-assign kernel layer: one entry point for the Assign phase,
+//! with three interchangeable kernels behind it.
+//!
+//! * [`AssignKernel::Scalar`] — the exact reference: per-sample
+//!   subtract-square scans (`sq_euclidean_unrolled`), bit-identical to
+//!   [`crate::distance::argmin_centroid`] and to the seed executors.
+//! * [`AssignKernel::Expanded`] — the norm expansion
+//!   `‖x−c‖² = ‖x‖² + ‖c‖² − 2·x·c` with `‖c‖²` precomputed once per plan
+//!   (i.e. once per Update), one dot product per centroid.
+//! * [`AssignKernel::Tiled`] — the expansion evaluated tile-by-tile: a tile
+//!   of T samples against a tile of B centroids at a time, with a 4×4
+//!   register-blocked micro-dot-product inside each tile. Tile sizes come
+//!   from the LDM budget ([`TileShape::for_budget`]), so host cache
+//!   blocking mirrors the paper's 64 KB scratchpad tiling (constraint C1).
+//!
+//! All three kernels preserve the workspace-wide lowest-index tie-break:
+//! candidates are scanned in ascending centroid index with a strict `<`
+//! comparison, and — decisively for distributed min-loc merges — the tiled
+//! kernel accumulates every dot product in plain ascending-dimension order,
+//! so two bitwise-equal centroid rows produce bitwise-equal scores no
+//! matter where they land in the tile grid.
+//!
+//! For Level 3 the plan carries the per-CPE dimension slices: dots and
+//! norms are computed per slice and summed, which is exact because dot
+//! products are additive over disjoint dimension slices (the same identity
+//! the sliced squared distance relies on).
+
+use crate::distance::{argmin_centroid_range, dot_unrolled, sq_euclidean_unrolled};
+use crate::matrix::Matrix;
+use crate::scalar::Scalar;
+use std::ops::Range;
+
+/// LDM capacity of one SW26010 CPE — the default blocking budget when the
+/// caller does not thread `sw-arch`'s machine parameters through.
+pub const LDM_BYTES_DEFAULT: usize = 64 * 1024;
+
+/// Micro-kernel block edge: 4 samples × 4 centroids = 16 independent
+/// accumulators per inner loop (Rust's strict FP semantics make the
+/// accumulator count the instruction-level parallelism).
+const MR: usize = 4;
+const NR: usize = 4;
+
+/// Which kernel the Assign phase runs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum AssignKernel {
+    /// Exact subtract-square scan — bit-identical to the serial reference.
+    #[default]
+    Scalar,
+    /// Norm expansion with per-plan centroid norms (`CentroidNorms` made
+    /// load-bearing): numerically different from `Scalar`, so labels can
+    /// differ on near-exact ties.
+    Expanded,
+    /// Norm expansion over LDM-sized sample×centroid tiles with a 4×4
+    /// register-blocked micro-dot kernel.
+    Tiled,
+}
+
+impl AssignKernel {
+    pub const ALL: [AssignKernel; 3] = [
+        AssignKernel::Scalar,
+        AssignKernel::Expanded,
+        AssignKernel::Tiled,
+    ];
+
+    /// Stable lowercase name (CLI vocabulary and metrics labels).
+    pub fn name(self) -> &'static str {
+        match self {
+            AssignKernel::Scalar => "scalar",
+            AssignKernel::Expanded => "expanded",
+            AssignKernel::Tiled => "tiled",
+        }
+    }
+
+    /// Stable numeric code for gauge export (`0 = scalar`, `1 = expanded`,
+    /// `2 = tiled`).
+    pub fn code(self) -> u32 {
+        match self {
+            AssignKernel::Scalar => 0,
+            AssignKernel::Expanded => 1,
+            AssignKernel::Tiled => 2,
+        }
+    }
+
+    /// Parse a CLI spelling. Accepts the legacy serving names (`exact`,
+    /// `norm-trick`) as aliases so existing invocations keep working.
+    pub fn parse(s: &str) -> Result<AssignKernel, String> {
+        match s {
+            "scalar" | "exact" => Ok(AssignKernel::Scalar),
+            "expanded" | "norm-trick" => Ok(AssignKernel::Expanded),
+            "tiled" => Ok(AssignKernel::Tiled),
+            other => Err(format!("unknown kernel `{other}` (scalar|expanded|tiled)")),
+        }
+    }
+}
+
+impl std::fmt::Display for AssignKernel {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+impl std::str::FromStr for AssignKernel {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        AssignKernel::parse(s)
+    }
+}
+
+/// The tile grid of the blocked kernel: `samples × centroids` rows per
+/// tile, sized so one tile's working set fits the LDM budget.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TileShape {
+    /// Sample rows per tile (the paper's T).
+    pub samples: usize,
+    /// Centroid rows per tile (the paper's B).
+    pub centroids: usize,
+}
+
+impl TileShape {
+    /// Derive tile sizes from an LDM budget, mirroring constraint C1: a
+    /// sample tile (`T·d`), a centroid tile (`B·d`), the `T×B` score block
+    /// and the per-row norm/`‖x‖²` vectors must all fit in `ldm_bytes`.
+    /// The centroid tile gets at most a third of the budget; the sample
+    /// tile takes what remains. Both edges round down to multiples of the
+    /// 4×4 micro-kernel when possible and clamp to at least 1 — a 1×1 tile
+    /// is the host-side analogue of the paper's spill-to-DDR regime (a row
+    /// alone exceeds the scratchpad).
+    pub fn for_budget(ldm_bytes: usize, d: usize, elem_bytes: usize) -> TileShape {
+        let row = d.max(1) * elem_bytes.max(1);
+        let round = |v: usize| if v >= MR { v - v % MR } else { v };
+        let b = round((ldm_bytes / (3 * row)).clamp(1, 512)).max(1);
+        let remaining = ldm_bytes.saturating_sub(b * row + b * elem_bytes);
+        // Each extra sample row costs its data (`row`), one score row
+        // (`b·e`) and one `‖x‖²` slot.
+        let t = round((remaining / (row + (b + 1) * elem_bytes)).clamp(1, 512)).max(1);
+        TileShape {
+            samples: t,
+            centroids: b,
+        }
+    }
+
+    /// Bytes one tile's working set occupies under this shape.
+    pub fn footprint_bytes(&self, d: usize, elem_bytes: usize) -> usize {
+        let row = d.max(1) * elem_bytes;
+        self.samples * row                       // sample tile
+            + self.centroids * row               // centroid tile
+            + self.samples * self.centroids * elem_bytes // score block
+            + (self.samples + self.centroids) * elem_bytes // ‖x‖² + norms
+    }
+}
+
+/// A prepared Assign pass over one centroid set: the selected kernel plus
+/// everything derived from the centroids (norms, tile shape, dimension
+/// slices). Build it once per Update — the executors rebuild after every
+/// centroid movement, which is exactly the "norms recomputed once per
+/// Update" amortisation [`crate::distance::CentroidNorms`] documents.
+///
+/// The plan does not borrow the centroid matrix; every call takes it
+/// explicitly and asserts the shape still matches, so a stale plan fails
+/// loudly instead of scoring against moved centroids.
+#[derive(Debug, Clone)]
+pub struct AssignPlan<S: Scalar> {
+    kernel: AssignKernel,
+    /// Centroid row/column counts the plan was built against.
+    k: usize,
+    d: usize,
+    /// `‖c_j‖²` per centroid row; empty for [`AssignKernel::Scalar`].
+    norms: Vec<S>,
+    tile: TileShape,
+    /// Per-CPE dimension slices (Level 3); `None` means whole rows.
+    slices: Option<Vec<Range<usize>>>,
+}
+
+impl<S: Scalar> AssignPlan<S> {
+    /// Plan with the default LDM budget and whole-row dots.
+    pub fn new(kernel: AssignKernel, centroids: &Matrix<S>) -> Self {
+        Self::with_options(kernel, centroids, LDM_BYTES_DEFAULT, None)
+    }
+
+    /// Plan with an explicit LDM budget (callers with `sw-arch` in scope
+    /// pass `MachineParams::taihulight().ldm_bytes`).
+    pub fn with_ldm_budget(kernel: AssignKernel, centroids: &Matrix<S>, ldm_bytes: usize) -> Self {
+        Self::with_options(kernel, centroids, ldm_bytes, None)
+    }
+
+    /// Full constructor. `slices`, when given, must be the contiguous
+    /// ascending partition of `0..d` the Level-3 executor derives from
+    /// `split_range` (empty member slices are fine); dots and norms are
+    /// then computed per slice and summed — exact, because dot products
+    /// are additive over disjoint dimension slices.
+    pub fn with_options(
+        kernel: AssignKernel,
+        centroids: &Matrix<S>,
+        ldm_bytes: usize,
+        slices: Option<Vec<Range<usize>>>,
+    ) -> Self {
+        let k = centroids.rows();
+        let d = centroids.cols();
+        if let Some(sl) = &slices {
+            let mut at = 0usize;
+            for r in sl {
+                assert_eq!(r.start, at, "dimension slices must be contiguous");
+                assert!(r.end >= r.start && r.end <= d, "slice out of bounds");
+                at = r.end;
+            }
+            assert_eq!(at, d, "dimension slices must cover 0..d");
+        }
+        let full = 0..d;
+        let sl: &[Range<usize>] = slices.as_deref().unwrap_or(std::slice::from_ref(&full));
+        let norms = match kernel {
+            AssignKernel::Scalar => Vec::new(),
+            AssignKernel::Expanded => (0..k)
+                .map(|j| {
+                    let row = centroids.row(j);
+                    dot_sliced_unrolled(row, row, sl)
+                })
+                .collect(),
+            // The tiled kernel accumulates every dot in linear order, so
+            // its norms must too (identical rows ⇒ identical scores).
+            AssignKernel::Tiled => (0..k)
+                .map(|j| {
+                    let row = centroids.row(j);
+                    dot_sliced_linear(row, row, sl)
+                })
+                .collect(),
+        };
+        AssignPlan {
+            kernel,
+            k,
+            d,
+            norms,
+            tile: TileShape::for_budget(ldm_bytes, d, S::BYTES),
+            slices,
+        }
+    }
+
+    pub fn kernel(&self) -> AssignKernel {
+        self.kernel
+    }
+
+    pub fn tile(&self) -> TileShape {
+        self.tile
+    }
+
+    fn check(&self, centroids: &Matrix<S>, crows: &Range<usize>) {
+        assert_eq!(
+            centroids.rows(),
+            self.k,
+            "stale plan: centroid count changed"
+        );
+        assert_eq!(centroids.cols(), self.d, "stale plan: dimension changed");
+        assert!(!crows.is_empty(), "empty centroid range");
+        assert!(crows.end <= self.k, "centroid range out of bounds");
+    }
+
+    /// Assign every sample row in `srows` to its nearest centroid among
+    /// rows `crows` of `centroids`, appending one `(index, key)` pair per
+    /// sample (in `srows` order) to `out`. The index is reported from
+    /// `global_offset` (i.e. `global_offset + (winner − crows.start)`),
+    /// matching [`argmin_centroid_range`]. The key is the exact squared
+    /// distance for `Scalar`; for `Expanded`/`Tiled` it is
+    /// `‖x‖² + ‖c‖² − 2·x·c` — the same quantity up to floating-point
+    /// reassociation, and computed identically on every rank, so keys stay
+    /// comparable across distributed min-loc merges.
+    pub fn assign_batch_into(
+        &self,
+        data: &Matrix<S>,
+        srows: Range<usize>,
+        centroids: &Matrix<S>,
+        crows: Range<usize>,
+        global_offset: usize,
+        out: &mut Vec<(u32, S)>,
+    ) {
+        self.check(centroids, &crows);
+        assert_eq!(data.cols(), self.d, "sample dimension mismatch");
+        out.reserve(srows.len());
+        match self.kernel {
+            AssignKernel::Scalar => {
+                self.scalar_batch(data, srows, centroids, crows, global_offset, out)
+            }
+            AssignKernel::Expanded => {
+                self.expanded_batch(data, srows, centroids, crows, global_offset, out)
+            }
+            AssignKernel::Tiled => {
+                self.tiled_batch(data, srows, centroids, crows, global_offset, out)
+            }
+        }
+    }
+
+    /// Single-sample variant of [`AssignPlan::assign_batch_into`] with the
+    /// same index and key semantics (serving's per-query path).
+    pub fn assign_one(
+        &self,
+        sample: &[S],
+        centroids: &Matrix<S>,
+        crows: Range<usize>,
+        global_offset: usize,
+    ) -> (u32, S) {
+        self.check(centroids, &crows);
+        assert_eq!(sample.len(), self.d, "sample dimension mismatch");
+        let full = 0..self.d;
+        let sl: &[Range<usize>] = self
+            .slices
+            .as_deref()
+            .unwrap_or(std::slice::from_ref(&full));
+        match self.kernel {
+            AssignKernel::Scalar => match &self.slices {
+                None => {
+                    let (j, dist) = argmin_centroid_range(sample, centroids, crows, global_offset);
+                    (j as u32, dist)
+                }
+                Some(sl) => {
+                    let (j, dist) = scalar_sliced_argmin(sample, centroids, &crows, sl);
+                    ((global_offset + (j - crows.start)) as u32, dist)
+                }
+            },
+            AssignKernel::Expanded => {
+                let x2 = dot_sliced_unrolled(sample, sample, sl);
+                let (j, score) = self.score_scan(sample, centroids, &crows, |a, b| {
+                    dot_sliced_unrolled(a, b, sl)
+                });
+                ((global_offset + (j - crows.start)) as u32, x2 + score)
+            }
+            AssignKernel::Tiled => {
+                // One sample degenerates the tile grid to a column of
+                // per-pair linear dots — identical values to the blocked
+                // path by the shared accumulation order.
+                let x2 = dot_sliced_linear(sample, sample, sl);
+                let (j, score) = self.score_scan(sample, centroids, &crows, |a, b| {
+                    dot_sliced_linear(a, b, sl)
+                });
+                ((global_offset + (j - crows.start)) as u32, x2 + score)
+            }
+        }
+    }
+
+    /// Ascending-index strict-`<` scan of `‖c‖² − 2·x·c` with a caller-
+    /// supplied dot kernel. Returns the winning absolute row and score.
+    fn score_scan(
+        &self,
+        sample: &[S],
+        centroids: &Matrix<S>,
+        crows: &Range<usize>,
+        dot: impl Fn(&[S], &[S]) -> S,
+    ) -> (usize, S) {
+        let two = S::from_f64(2.0);
+        let mut best_j = crows.start;
+        let mut best = self.norms[crows.start] - two * dot(sample, centroids.row(crows.start));
+        for j in crows.start + 1..crows.end {
+            let score = self.norms[j] - two * dot(sample, centroids.row(j));
+            if score < best {
+                best = score;
+                best_j = j;
+            }
+        }
+        (best_j, best)
+    }
+
+    fn scalar_batch(
+        &self,
+        data: &Matrix<S>,
+        srows: Range<usize>,
+        centroids: &Matrix<S>,
+        crows: Range<usize>,
+        global_offset: usize,
+        out: &mut Vec<(u32, S)>,
+    ) {
+        match &self.slices {
+            None => {
+                for i in srows {
+                    let (j, dist) =
+                        argmin_centroid_range(data.row(i), centroids, crows.clone(), global_offset);
+                    out.push((j as u32, dist));
+                }
+            }
+            Some(sl) => {
+                for i in srows {
+                    let (j, dist) = scalar_sliced_argmin(data.row(i), centroids, &crows, sl);
+                    out.push(((global_offset + (j - crows.start)) as u32, dist));
+                }
+            }
+        }
+    }
+
+    fn expanded_batch(
+        &self,
+        data: &Matrix<S>,
+        srows: Range<usize>,
+        centroids: &Matrix<S>,
+        crows: Range<usize>,
+        global_offset: usize,
+        out: &mut Vec<(u32, S)>,
+    ) {
+        let full = 0..self.d;
+        let sl: &[Range<usize>] = self
+            .slices
+            .as_deref()
+            .unwrap_or(std::slice::from_ref(&full));
+        for i in srows {
+            let sample = data.row(i);
+            let x2 = dot_sliced_unrolled(sample, sample, sl);
+            let (j, score) = self.score_scan(sample, centroids, &crows, |a, b| {
+                dot_sliced_unrolled(a, b, sl)
+            });
+            out.push(((global_offset + (j - crows.start)) as u32, x2 + score));
+        }
+    }
+
+    fn tiled_batch(
+        &self,
+        data: &Matrix<S>,
+        srows: Range<usize>,
+        centroids: &Matrix<S>,
+        crows: Range<usize>,
+        global_offset: usize,
+        out: &mut Vec<(u32, S)>,
+    ) {
+        let full = 0..self.d;
+        let sl: &[Range<usize>] = self
+            .slices
+            .as_deref()
+            .unwrap_or(std::slice::from_ref(&full));
+        let two = S::from_f64(2.0);
+        let inf = S::from_f64(f64::INFINITY);
+        let ts = self.tile.samples.max(1);
+        let tc = self.tile.centroids.max(1);
+        let mut x2 = vec![S::ZERO; ts];
+        // (absolute centroid row, running best score) per sample of the tile.
+        let mut best = vec![(u32::MAX, inf); ts];
+        let mut s0 = srows.start;
+        while s0 < srows.end {
+            let s1 = (s0 + ts).min(srows.end);
+            let m = s1 - s0;
+            for (ii, slot) in best.iter_mut().enumerate().take(m) {
+                let row = data.row(s0 + ii);
+                x2[ii] = dot_sliced_linear(row, row, sl);
+                *slot = (u32::MAX, inf);
+            }
+            let mut c0 = crows.start;
+            while c0 < crows.end {
+                let c1 = (c0 + tc).min(crows.end);
+                self.score_tile(data, s0, m, centroids, c0, c1, sl, two, &mut best);
+                c0 = c1;
+            }
+            for ii in 0..m {
+                let (j, score) = best[ii];
+                debug_assert_ne!(j, u32::MAX);
+                out.push((
+                    (global_offset + (j as usize - crows.start)) as u32,
+                    x2[ii] + score,
+                ));
+            }
+            s0 = s1;
+        }
+    }
+
+    /// Score one sample tile (`m` rows from `s0`) against one centroid
+    /// tile (`c0..c1`), folding winners into `best`. Full 4×4 blocks run
+    /// the register-blocked micro kernel; edge blocks fall back to
+    /// per-pair linear dots, which produce bitwise-identical values
+    /// because both accumulate in ascending-dimension order.
+    #[allow(clippy::too_many_arguments)]
+    fn score_tile(
+        &self,
+        data: &Matrix<S>,
+        s0: usize,
+        m: usize,
+        centroids: &Matrix<S>,
+        c0: usize,
+        c1: usize,
+        sl: &[Range<usize>],
+        two: S,
+        best: &mut [(u32, S)],
+    ) {
+        let mut ii = 0;
+        while ii < m {
+            let mr = (m - ii).min(MR);
+            let mut j = c0;
+            while j < c1 {
+                let nr = (c1 - j).min(NR);
+                if mr == MR && nr == NR {
+                    let a = [
+                        data.row(s0 + ii),
+                        data.row(s0 + ii + 1),
+                        data.row(s0 + ii + 2),
+                        data.row(s0 + ii + 3),
+                    ];
+                    let b = [
+                        centroids.row(j),
+                        centroids.row(j + 1),
+                        centroids.row(j + 2),
+                        centroids.row(j + 3),
+                    ];
+                    let mut acc = [[S::ZERO; NR]; MR];
+                    for r in sl {
+                        micro_dots_4x4(&a, &b, r.clone(), &mut acc);
+                    }
+                    for (bi, row) in acc.iter().enumerate() {
+                        let slot = &mut best[ii + bi];
+                        for (bj, &dot) in row.iter().enumerate() {
+                            let score = self.norms[j + bj] - two * dot;
+                            if score < slot.1 {
+                                *slot = ((j + bj) as u32, score);
+                            }
+                        }
+                    }
+                } else {
+                    for bi in 0..mr {
+                        let sample = data.row(s0 + ii + bi);
+                        let slot = &mut best[ii + bi];
+                        for bj in 0..nr {
+                            let dot = dot_sliced_linear(sample, centroids.row(j + bj), sl);
+                            let score = self.norms[j + bj] - two * dot;
+                            if score < slot.1 {
+                                *slot = ((j + bj) as u32, score);
+                            }
+                        }
+                    }
+                }
+                j += nr;
+            }
+            ii += mr;
+        }
+    }
+}
+
+/// The Level-3 Scalar path: per-slice partial squared distances folded in
+/// slice order, scanned in ascending centroid index with strict `<` — the
+/// executor's historical inner loop, verbatim.
+fn scalar_sliced_argmin<S: Scalar>(
+    sample: &[S],
+    centroids: &Matrix<S>,
+    crows: &Range<usize>,
+    sl: &[Range<usize>],
+) -> (usize, S) {
+    let sliced = |j: usize| {
+        let row = centroids.row(j);
+        let mut acc = S::ZERO;
+        for r in sl {
+            acc += sq_euclidean_unrolled(&sample[r.clone()], &row[r.clone()]);
+        }
+        acc
+    };
+    let mut best_j = crows.start;
+    let mut best = sliced(crows.start);
+    for j in crows.start + 1..crows.end {
+        let d = sliced(j);
+        if d < best {
+            best = d;
+            best_j = j;
+        }
+    }
+    (best_j, best)
+}
+
+/// Plain ascending-order dot product summed over dimension slices. This is
+/// the *canonical accumulation order* of the tiled kernel: the 4×4 micro
+/// kernel and every edge fallback reproduce exactly this sequence of
+/// fused adds per (sample, centroid) pair.
+pub fn dot_sliced_linear<S: Scalar>(a: &[S], b: &[S], slices: &[Range<usize>]) -> S {
+    debug_assert_eq!(a.len(), b.len());
+    let mut acc = S::ZERO;
+    for r in slices {
+        let (xa, xb) = (&a[r.clone()], &b[r.clone()]);
+        for (x, y) in xa.iter().zip(xb) {
+            acc += *x * *y;
+        }
+    }
+    acc
+}
+
+/// 4-way-unrolled dot product summed over dimension slices (the Expanded
+/// kernel's dot; matches [`dot_unrolled`] when there is a single slice).
+pub fn dot_sliced_unrolled<S: Scalar>(a: &[S], b: &[S], slices: &[Range<usize>]) -> S {
+    debug_assert_eq!(a.len(), b.len());
+    let mut acc = S::ZERO;
+    for r in slices {
+        acc += dot_unrolled(&a[r.clone()], &b[r.clone()]);
+    }
+    acc
+}
+
+/// The register-blocked micro kernel: 16 dot-product accumulators advanced
+/// together over `range`, each in ascending-dimension order (bitwise equal
+/// to [`dot_sliced_linear`] restricted to that range). Loading 4 sample
+/// and 4 centroid values per step gives 4× register reuse of each row and
+/// 16 independent FMA chains.
+fn micro_dots_4x4<S: Scalar>(
+    a: &[&[S]; MR],
+    b: &[&[S]; NR],
+    range: Range<usize>,
+    acc: &mut [[S; NR]; MR],
+) {
+    for u in range {
+        let av = [a[0][u], a[1][u], a[2][u], a[3][u]];
+        let bv = [b[0][u], b[1][u], b[2][u], b[3][u]];
+        for (row, &x) in acc.iter_mut().zip(&av) {
+            for (cell, &y) in row.iter_mut().zip(&bv) {
+                *cell += x * y;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::distance::argmin_centroid;
+    use crate::init::{init_centroids, InitMethod};
+    use rand::{Rng, SeedableRng};
+    use rand_chacha::ChaCha8Rng;
+
+    fn random_matrix(rows: usize, cols: usize, seed: u64) -> Matrix<f64> {
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        Matrix::from_vec(
+            rows,
+            cols,
+            (0..rows * cols).map(|_| rng.gen_range(-3.0..3.0)).collect(),
+        )
+    }
+
+    fn batch(
+        plan: &AssignPlan<f64>,
+        data: &Matrix<f64>,
+        centroids: &Matrix<f64>,
+    ) -> Vec<(u32, f64)> {
+        let mut out = Vec::new();
+        plan.assign_batch_into(
+            data,
+            0..data.rows(),
+            centroids,
+            0..centroids.rows(),
+            0,
+            &mut out,
+        );
+        out
+    }
+
+    #[test]
+    fn kernel_names_codes_and_parsing() {
+        for k in AssignKernel::ALL {
+            assert_eq!(AssignKernel::parse(k.name()), Ok(k));
+            assert_eq!(format!("{k}").parse::<AssignKernel>(), Ok(k));
+        }
+        assert_eq!(AssignKernel::parse("exact"), Ok(AssignKernel::Scalar));
+        assert_eq!(
+            AssignKernel::parse("norm-trick"),
+            Ok(AssignKernel::Expanded)
+        );
+        assert!(AssignKernel::parse("warp-drive").is_err());
+        assert_eq!(AssignKernel::default(), AssignKernel::Scalar);
+        let codes: Vec<u32> = AssignKernel::ALL.iter().map(|k| k.code()).collect();
+        assert_eq!(codes, vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn tile_shape_respects_budget() {
+        for d in [1usize, 4, 16, 64, 100, 256, 1_000, 4_096] {
+            for e in [4usize, 8] {
+                for ldm in [1usize << 12, LDM_BYTES_DEFAULT, 1 << 20] {
+                    let t = TileShape::for_budget(ldm, d, e);
+                    assert!(t.samples >= 1 && t.centroids >= 1, "d={d} e={e}");
+                    if t.samples > 1 || t.centroids > 1 {
+                        assert!(
+                            t.footprint_bytes(d, e) <= ldm,
+                            "d={d} e={e} ldm={ldm}: {t:?} uses {} B",
+                            t.footprint_bytes(d, e)
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn huge_rows_degenerate_to_1x1_spill() {
+        // One f32 row of the paper's d=196608 is 768 KB > 64 KB LDM:
+        // the tile degenerates exactly where C1 forces a spill.
+        let t = TileShape::for_budget(LDM_BYTES_DEFAULT, 196_608, 4);
+        assert_eq!(
+            t,
+            TileShape {
+                samples: 1,
+                centroids: 1
+            }
+        );
+    }
+
+    #[test]
+    fn default_budget_tiles_are_multiples_of_the_micro_kernel() {
+        let t = TileShape::for_budget(LDM_BYTES_DEFAULT, 64, 4);
+        assert_eq!(t.samples % 4, 0);
+        assert_eq!(t.centroids % 4, 0);
+        assert!(t.samples >= 16 && t.centroids >= 16, "{t:?}");
+    }
+
+    #[test]
+    fn scalar_plan_is_bitwise_identical_to_argmin_centroid() {
+        let data = random_matrix(60, 13, 1);
+        let centroids = init_centroids(&data, 9, InitMethod::Forgy, 2);
+        let plan = AssignPlan::new(AssignKernel::Scalar, &centroids);
+        for (i, &(j, dist)) in batch(&plan, &data, &centroids).iter().enumerate() {
+            let (sj, sd) = argmin_centroid(data.row(i), &centroids);
+            assert_eq!(j as usize, sj);
+            assert_eq!(dist, sd, "sample {i}: keys must be bitwise equal");
+        }
+    }
+
+    #[test]
+    fn expanded_and_tiled_match_scalar_argmin() {
+        for (n, k, d, seed) in [
+            (100usize, 7usize, 16usize, 3u64),
+            (37, 13, 5, 4),
+            (64, 24, 64, 5),
+            (200, 3, 1, 6),
+            (9, 9, 33, 7),
+        ] {
+            let data = random_matrix(n, d, seed);
+            let centroids = init_centroids(&data, k, InitMethod::Forgy, seed + 100);
+            let scalar = batch(
+                &AssignPlan::new(AssignKernel::Scalar, &centroids),
+                &data,
+                &centroids,
+            );
+            for kernel in [AssignKernel::Expanded, AssignKernel::Tiled] {
+                let got = batch(&AssignPlan::new(kernel, &centroids), &data, &centroids);
+                for i in 0..n {
+                    assert_eq!(
+                        got[i].0, scalar[i].0,
+                        "{kernel} n={n} k={k} d={d} sample {i}"
+                    );
+                    // Keys agree up to reassociation of the expansion.
+                    let rel = (got[i].1 - scalar[i].1).abs() / (1.0 + scalar[i].1);
+                    assert!(rel < 1e-9, "{kernel} key drift {rel}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn duplicate_centroids_tie_to_lowest_index_under_every_kernel() {
+        let data = random_matrix(50, 6, 11);
+        let base = init_centroids(&data, 5, InitMethod::Forgy, 12);
+        // Duplicate every row so ties occur at every block position of the
+        // tile grid (tiny tiles force duplicates into different blocks).
+        let mut rows: Vec<&[f64]> = Vec::new();
+        for j in 0..base.rows() {
+            rows.push(base.row(j));
+            rows.push(base.row(j));
+        }
+        let centroids = Matrix::from_rows(&rows);
+        for kernel in AssignKernel::ALL {
+            for ldm in [64usize, 512, LDM_BYTES_DEFAULT] {
+                let plan = AssignPlan::with_ldm_budget(kernel, &centroids, ldm);
+                for (i, &(j, _)) in batch(&plan, &data, &centroids).iter().enumerate() {
+                    let (sj, _) = argmin_centroid(data.row(i), &centroids);
+                    assert_eq!(j as usize, sj, "{kernel} ldm={ldm} sample {i}");
+                    assert_eq!(j % 2, 0, "a duplicate's higher index won");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn dimension_slices_are_exact_for_every_kernel() {
+        let data = random_matrix(40, 23, 21);
+        let centroids = init_centroids(&data, 6, InitMethod::Forgy, 22);
+        // Slice 23 dims over 5 "CPEs" like split_range does: 5,5,5,4,4.
+        let slices = vec![0..5, 5..10, 10..15, 15..19, 19..23];
+        for kernel in AssignKernel::ALL {
+            let whole = AssignPlan::new(kernel, &centroids);
+            let sliced = AssignPlan::with_options(
+                kernel,
+                &centroids,
+                LDM_BYTES_DEFAULT,
+                Some(slices.clone()),
+            );
+            let a = batch(&whole, &data, &centroids);
+            let b = batch(&sliced, &data, &centroids);
+            for i in 0..data.rows() {
+                assert_eq!(a[i].0, b[i].0, "{kernel} sample {i}");
+                let rel = (a[i].1 - b[i].1).abs() / (1.0 + a[i].1);
+                assert!(rel < 1e-9, "{kernel} sliced key drift {rel}");
+            }
+        }
+    }
+
+    #[test]
+    fn range_assignment_offsets_globally() {
+        let data = random_matrix(20, 8, 31);
+        let centroids = init_centroids(&data, 10, InitMethod::Forgy, 32);
+        for kernel in AssignKernel::ALL {
+            let plan = AssignPlan::new(kernel, &centroids);
+            let mut out = Vec::new();
+            plan.assign_batch_into(&data, 0..data.rows(), &centroids, 4..10, 100, &mut out);
+            for (i, &(j, key)) in out.iter().enumerate() {
+                assert!((100..106).contains(&(j as usize)), "sample {i}: index {j}");
+                let (oj, okey) = plan.assign_one(data.row(i), &centroids, 4..10, 100);
+                assert_eq!((j, key), (oj, okey), "{kernel} one-vs-batch sample {i}");
+            }
+        }
+    }
+
+    #[test]
+    fn tiny_tiles_agree_with_huge_tiles() {
+        // Forcing 1×1 .. 4×4 tiles exercises every edge-block path; the
+        // result must be bitwise identical to one big tile.
+        let data = random_matrix(33, 17, 41);
+        let centroids = init_centroids(&data, 11, InitMethod::Forgy, 42);
+        let big = batch(
+            &AssignPlan::with_ldm_budget(AssignKernel::Tiled, &centroids, 1 << 24),
+            &data,
+            &centroids,
+        );
+        for ldm in [1usize, 100, 300, 700, 2_000] {
+            let small = batch(
+                &AssignPlan::with_ldm_budget(AssignKernel::Tiled, &centroids, ldm),
+                &data,
+                &centroids,
+            );
+            assert_eq!(small, big, "ldm={ldm}");
+        }
+    }
+
+    #[test]
+    fn f32_kernels_agree_on_separated_data() {
+        // f32 near-tie tolerance story: on well-separated data all kernels
+        // agree exactly; near-exact ties may legitimately differ between
+        // Scalar and the expansion kernels (documented, not asserted).
+        let mut rng = ChaCha8Rng::seed_from_u64(51);
+        let centroids = Matrix::from_vec(
+            4,
+            8,
+            (0..32)
+                .map(|i| (i / 8) as f32 * 50.0 + (i % 8) as f32)
+                .collect(),
+        );
+        let data = Matrix::from_vec(
+            24,
+            8,
+            (0..24 * 8)
+                .map(|i| (i / 8 % 4) as f32 * 50.0 + rng.gen_range(-1.0f32..1.0))
+                .collect(),
+        );
+        let reference: Vec<u32> = (0..24)
+            .map(|i| argmin_centroid(data.row(i), &centroids).0 as u32)
+            .collect();
+        for kernel in AssignKernel::ALL {
+            let plan = AssignPlan::new(kernel, &centroids);
+            let mut out = Vec::new();
+            plan.assign_batch_into(&data, 0..24, &centroids, 0..4, 0, &mut out);
+            let got: Vec<u32> = out.iter().map(|&(j, _)| j).collect();
+            assert_eq!(got, reference, "{kernel}");
+        }
+    }
+
+    #[test]
+    fn stale_plan_panics() {
+        let c1 = random_matrix(4, 3, 61);
+        let c2 = random_matrix(5, 3, 62);
+        let plan = AssignPlan::new(AssignKernel::Expanded, &c1);
+        let data = random_matrix(2, 3, 63);
+        let result = std::panic::catch_unwind(|| {
+            let mut out = Vec::new();
+            plan.assign_batch_into(&data, 0..2, &c2, 0..5, 0, &mut out);
+        });
+        assert!(result.is_err(), "stale plan must fail loudly");
+    }
+
+    #[test]
+    #[allow(clippy::single_range_in_vec_init)] // a one-slice covering is a case under test
+    fn linear_and_unrolled_sliced_dots_match_reference() {
+        let a: Vec<f64> = (0..97).map(|i| (i as f64 * 0.31).sin()).collect();
+        let b: Vec<f64> = (0..97).map(|i| (i as f64 * 0.73).cos()).collect();
+        let naive: f64 = a.iter().zip(&b).map(|(x, y)| x * y).sum();
+        for slices in [vec![0..97], vec![0..13, 13..64, 64..97], vec![0..0, 0..97]] {
+            let lin = dot_sliced_linear(&a, &b, &slices);
+            let unr = dot_sliced_unrolled(&a, &b, &slices);
+            assert!((lin - naive).abs() < 1e-12 * (1.0 + naive.abs()));
+            assert!((unr - naive).abs() < 1e-12 * (1.0 + naive.abs()));
+        }
+    }
+}

@@ -14,6 +14,8 @@
 //!   often want f64).
 //! * [`matrix`] — row-major sample/centroid storage with per-row
 //!   column-range views (the unit Level 3 partitions by dimension).
+//! * [`assign`] — the batch-assign kernel layer: scalar, norm-expanded and
+//!   LDM-tiled kernels behind one [`AssignKernel`] entry point.
 //! * [`distance`] — squared-Euclidean kernels: simple, unrolled, and
 //!   partial-dimension variants.
 //! * [`init`] — Forgy, random-partition and k-means++ seeding.
@@ -22,6 +24,7 @@
 //!   the parallel levels distribute).
 //! * [`objective`] — within-cluster sum of squares and mean objective.
 
+pub mod assign;
 pub mod distance;
 pub mod elkan;
 pub mod init;
@@ -37,6 +40,7 @@ pub mod serde_impls;
 pub mod source;
 pub mod yinyang;
 
+pub use assign::{AssignKernel, AssignPlan, TileShape, LDM_BYTES_DEFAULT};
 pub use distance::{
     argmin_centroid, dot_unrolled, sq_euclidean, sq_euclidean_unrolled, CentroidNorms,
 };

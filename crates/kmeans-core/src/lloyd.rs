@@ -2,6 +2,7 @@
 //! level is validated against, decomposed into the Assign and Update steps
 //! the hierarchy distributes.
 
+use crate::assign::{AssignKernel, AssignPlan};
 use crate::distance::argmin_centroid;
 use crate::init::{init_centroids, InitMethod};
 use crate::matrix::Matrix;
@@ -22,6 +23,9 @@ pub struct KMeansConfig {
     pub init: InitMethod,
     /// RNG seed for the seeding strategy.
     pub seed: u64,
+    /// Which Assign kernel the iteration loop runs (the final
+    /// labels-vs-centroids Assign always uses the exact scalar reference).
+    pub kernel: AssignKernel,
 }
 
 impl KMeansConfig {
@@ -32,6 +36,7 @@ impl KMeansConfig {
             tol: 1e-9,
             init: InitMethod::Forgy,
             seed: 0,
+            kernel: AssignKernel::Scalar,
         }
     }
 
@@ -52,6 +57,11 @@ impl KMeansConfig {
 
     pub fn with_seed(mut self, seed: u64) -> Self {
         self.seed = seed;
+        self
+    }
+
+    pub fn with_kernel(mut self, kernel: AssignKernel) -> Self {
+        self.kernel = kernel;
         self
     }
 }
@@ -208,8 +218,17 @@ impl Lloyd {
         let mut labels = vec![0u32; n];
         let mut converged = false;
         let mut iterations = 0;
+        let mut assigned: Vec<(u32, S)> = Vec::with_capacity(n);
         for _ in 0..config.max_iters {
-            assign_step(data, &current, &mut labels);
+            // One plan per iteration = centroid norms recomputed once per
+            // Update; the Scalar kernel's plan path is bit-identical to the
+            // historical per-sample `argmin_centroid` scan.
+            let plan = AssignPlan::new(config.kernel, &current);
+            assigned.clear();
+            plan.assign_batch_into(data, 0..n, &current, 0..config.k, 0, &mut assigned);
+            for (label, &(j, _)) in labels.iter_mut().zip(&assigned) {
+                *label = j;
+            }
             update_step(data, &labels, &current, &mut next);
             iterations += 1;
             let shift = max_centroid_shift(&current, &next);
@@ -374,6 +393,28 @@ mod tests {
         let mut labels = vec![0u32; data.rows()];
         assign_step(&data, &res.centroids, &mut labels);
         assert_eq!(labels, res.labels);
+    }
+
+    #[test]
+    fn expanded_and_tiled_kernels_reach_the_same_fit() {
+        let data = blobs();
+        let reference = Lloyd::run(&data, &KMeansConfig::new(3).with_seed(1)).unwrap();
+        for kernel in [AssignKernel::Expanded, AssignKernel::Tiled] {
+            let cfg = KMeansConfig::new(3).with_seed(1).with_kernel(kernel);
+            let res = Lloyd::run(&data, &cfg).unwrap();
+            // A near-tie early on may permute cluster identities, so compare
+            // the induced partition and the objective, not raw label ids.
+            for i in 0..res.labels.len() {
+                for j in 0..i {
+                    assert_eq!(
+                        res.labels[i] == res.labels[j],
+                        reference.labels[i] == reference.labels[j],
+                        "{kernel}: samples {i},{j} split differently"
+                    );
+                }
+            }
+            assert!((res.objective - reference.objective).abs() < 1e-9);
+        }
     }
 
     #[test]

@@ -4,7 +4,7 @@
 //! cheap approximation for web-scale data, and the streaming executor in
 //! `hier-kmeans` uses the same update rule for out-of-core sources.
 
-use crate::distance::argmin_centroid;
+use crate::assign::AssignPlan;
 use crate::lloyd::{KMeansConfig, KMeansError, KMeansResult};
 use crate::matrix::Matrix;
 use crate::scalar::Scalar;
@@ -71,19 +71,31 @@ pub fn run_from<S: Scalar>(
     let mut centroids = init;
     let mut lifetime = vec![0u64; k];
     let mut indices: Vec<usize> = (0..n).collect();
-    let mut assignments: Vec<usize> = Vec::with_capacity(config.batch);
+    let mut gathered = Matrix::<S>::zeros(config.batch.min(n), d);
+    let mut assignments: Vec<(u32, S)> = Vec::with_capacity(config.batch);
 
     for _ in 0..config.batches {
         indices.shuffle(&mut rng);
         let batch = &indices[..config.batch.min(n)];
         // Assign the whole batch against the frozen centroids first (the
-        // two-phase structure keeps the update order-independent).
-        assignments.clear();
-        for &i in batch {
-            let (j, _) = argmin_centroid(data.row(i), &centroids);
-            assignments.push(j);
+        // two-phase structure keeps the update order-independent). The
+        // batch rows are gathered into contiguous storage so the tiled
+        // kernel gets real sample tiles to block over.
+        for (row, &i) in batch.iter().enumerate() {
+            gathered.row_mut(row).copy_from_slice(data.row(i));
         }
-        for (&i, &j) in batch.iter().zip(&assignments) {
+        let plan = AssignPlan::new(k_config.kernel, &centroids);
+        assignments.clear();
+        plan.assign_batch_into(
+            &gathered,
+            0..batch.len(),
+            &centroids,
+            0..k,
+            0,
+            &mut assignments,
+        );
+        for (&i, &(j, _)) in batch.iter().zip(&assignments) {
+            let j = j as usize;
             lifetime[j] += 1;
             let eta = S::ONE / S::from_usize(lifetime[j] as usize);
             let one_minus = S::ONE - eta;
@@ -168,6 +180,24 @@ mod tests {
         let b = run_from(&data, init, &cfg, &KMeansConfig::new(3)).unwrap();
         assert_eq!(a.centroids, b.centroids);
         assert_eq!(a.labels, b.labels);
+    }
+
+    #[test]
+    fn kernels_agree_on_separated_blobs() {
+        use crate::assign::AssignKernel;
+        let data = blobs(500, 4, 3, 7);
+        let init = init_centroids(&data, 3, InitMethod::Forgy, 7);
+        let cfg = MiniBatchConfig {
+            batch: 64,
+            batches: 20,
+            seed: 9,
+        };
+        let scalar = run_from(&data, init.clone(), &cfg, &KMeansConfig::new(3)).unwrap();
+        for kernel in [AssignKernel::Expanded, AssignKernel::Tiled] {
+            let cfg_k = KMeansConfig::new(3).with_kernel(kernel);
+            let r = run_from(&data, init.clone(), &cfg, &cfg_k).unwrap();
+            assert_eq!(r.labels, scalar.labels, "{kernel}");
+        }
     }
 
     #[test]

@@ -4,40 +4,35 @@
 //! groups); a query fans out across shards in parallel, each shard returns
 //! its local argmin, and the partial results merge with the same
 //! lowest-index tie-breaking the training assign step uses — so sharded
-//! serving is *bit-identical* to a serial full scan.
+//! serving with the default kernel is *bit-identical* to a serial full
+//! scan.
+//!
+//! Per-shard scoring routes through the shared [`AssignPlan`] from
+//! `kmeans-core`, so serving uses exactly the kernels training uses:
+//! [`Kernel::Scalar`] (exact subtract-square, the default),
+//! [`Kernel::Expanded`] (norm expansion, previously `NormTrick`) and
+//! [`Kernel::Tiled`] (LDM-blocked expansion with the 4×4 micro kernel).
 
 use crate::artifact::ModelArtifact;
 use hier_kmeans::partition::split_range;
-use kmeans_core::distance::{argmin_centroid_range, dot_unrolled};
-use kmeans_core::{Matrix, Scalar};
+use kmeans_core::{AssignPlan, Matrix, Scalar};
 use rayon::prelude::*;
 use std::ops::Range;
 
-/// Distance kernel used per shard.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
-pub enum Kernel {
-    /// Plain squared-Euclidean scan (`sq_euclidean_unrolled`). Produces
-    /// exactly the same labels as the serial training assign step, bit for
-    /// bit — the default, and what the equivalence tests pin down.
-    #[default]
-    Exact,
-    /// The norm expansion `‖x−c‖² = ‖x‖² + ‖c‖² − 2·x·c` with centroid
-    /// norms precomputed at index build time (`dot_unrolled`). One dot
-    /// product per centroid instead of subtract-square — faster for large
-    /// `d`, but a numerically different expression, so labels can differ
-    /// from `Exact` when two centroids are near-equidistant. Opt-in.
-    NormTrick,
-}
+/// Distance kernel used per shard — the training assign kernel, re-exported.
+/// The legacy serving names still parse: `exact` → `Scalar`, `norm-trick`
+/// → `Expanded`.
+pub use kmeans_core::AssignKernel as Kernel;
 
 /// A single shard's claim on the global argmin.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct ShardVote<S> {
     /// Global centroid index of the shard-local winner.
     pub index: usize,
-    /// The winner's comparison key (squared distance for [`Kernel::Exact`];
-    /// the norm-trick score `‖c‖² − 2·x·c` for [`Kernel::NormTrick`] —
-    /// keys are comparable across shards either way because `‖x‖²` is
-    /// constant per query).
+    /// The winner's comparison key (squared distance for [`Kernel::Scalar`];
+    /// the expansion `‖x‖² + ‖c‖² − 2·x·c` for [`Kernel::Expanded`] /
+    /// [`Kernel::Tiled`] — keys are comparable across shards either way
+    /// because `‖x‖²` is computed identically for every shard's vote).
     pub key: S,
 }
 
@@ -46,14 +41,14 @@ pub struct ShardVote<S> {
 pub struct ShardedIndex<S: Scalar> {
     centroids: Matrix<S>,
     shards: Vec<Range<usize>>,
-    /// `‖c_j‖²` for every centroid, present only for [`Kernel::NormTrick`].
-    norms: Option<Vec<S>>,
-    kernel: Kernel,
+    /// The prepared assign pass (kernel + centroid norms + tile shape),
+    /// built once at index construction and amortised over every query.
+    plan: AssignPlan<S>,
 }
 
 impl<S: Scalar> ShardedIndex<S> {
     /// Build an index over `num_shards` contiguous centroid shards using
-    /// the default [`Kernel::Exact`]. Shard count is clamped to `k`, so
+    /// the default [`Kernel::Scalar`]. Shard count is clamped to `k`, so
     /// over-sharding a small model is harmless.
     pub fn new(centroids: Matrix<S>, num_shards: usize) -> Self {
         assert!(centroids.rows() > 0, "index needs at least one centroid");
@@ -62,11 +57,11 @@ impl<S: Scalar> ShardedIndex<S> {
             .map(|i| split_range(centroids.rows(), parts, i))
             .filter(|r| !r.is_empty())
             .collect();
+        let plan = AssignPlan::new(Kernel::Scalar, &centroids);
         ShardedIndex {
             centroids,
             shards,
-            norms: None,
-            kernel: Kernel::Exact,
+            plan,
         }
     }
 
@@ -75,21 +70,10 @@ impl<S: Scalar> ShardedIndex<S> {
         Self::new(artifact.centroids.clone(), num_shards)
     }
 
-    /// Switch the per-shard kernel; `NormTrick` precomputes centroid norms
-    /// once here, amortised over every subsequent query.
+    /// Switch the per-shard kernel; `Expanded`/`Tiled` precompute centroid
+    /// norms once here, amortised over every subsequent query.
     pub fn with_kernel(mut self, kernel: Kernel) -> Self {
-        self.kernel = kernel;
-        self.norms = match kernel {
-            Kernel::Exact => None,
-            Kernel::NormTrick => Some(
-                (0..self.centroids.rows())
-                    .map(|j| {
-                        let row = self.centroids.row(j);
-                        dot_unrolled(row, row)
-                    })
-                    .collect(),
-            ),
-        };
+        self.plan = AssignPlan::new(kernel, &self.centroids);
         self
     }
 
@@ -106,7 +90,7 @@ impl<S: Scalar> ShardedIndex<S> {
     }
 
     pub fn kernel(&self) -> Kernel {
-        self.kernel
+        self.plan.kernel()
     }
 
     pub fn centroids(&self) -> &Matrix<S> {
@@ -115,32 +99,12 @@ impl<S: Scalar> ShardedIndex<S> {
 
     /// Shard-local argmin with globally comparable key.
     fn shard_vote(&self, sample: &[S], shard: &Range<usize>) -> ShardVote<S> {
-        match &self.norms {
-            None => {
-                let (index, key) =
-                    argmin_centroid_range(sample, &self.centroids, shard.clone(), shard.start);
-                ShardVote { index, key }
-            }
-            Some(norms) => {
-                let two = S::from_f64(2.0);
-                let mut best = ShardVote {
-                    index: shard.start,
-                    key: norms[shard.start]
-                        - two * dot_unrolled(sample, self.centroids.row(shard.start)),
-                };
-                for (j, &norm) in norms
-                    .iter()
-                    .enumerate()
-                    .take(shard.end)
-                    .skip(shard.start + 1)
-                {
-                    let key = norm - two * dot_unrolled(sample, self.centroids.row(j));
-                    if key < best.key {
-                        best = ShardVote { index: j, key };
-                    }
-                }
-                best
-            }
+        let (index, key) =
+            self.plan
+                .assign_one(sample, &self.centroids, shard.clone(), shard.start);
+        ShardVote {
+            index: index as usize,
+            key,
         }
     }
 
@@ -164,26 +128,37 @@ impl<S: Scalar> ShardedIndex<S> {
     }
 
     /// Labels for a whole batch, fanning the shard scans out over the
-    /// rayon pool: each shard scans every row independently, then the
-    /// per-row votes merge in shard order. Work per shard is
-    /// `rows × shard_k × d`, the same total as a serial scan.
+    /// rayon pool: each shard runs the batched kernel over every row
+    /// independently, then the per-row votes merge in shard order. Work
+    /// per shard is `rows × shard_k × d`, the same total as a serial scan.
     pub fn assign_batch(&self, batch: &Matrix<S>) -> Vec<u32> {
         assert_eq!(batch.cols(), self.dim(), "dimension mismatch");
         if batch.rows() == 0 {
             return Vec::new();
         }
-        let per_shard: Vec<Vec<ShardVote<S>>> = self
+        let per_shard: Vec<Vec<(u32, S)>> = self
             .shards
             .par_iter()
             .map(|shard| {
-                batch
-                    .iter_rows()
-                    .map(|row| self.shard_vote(row, shard))
-                    .collect()
+                let mut votes = Vec::with_capacity(batch.rows());
+                self.plan.assign_batch_into(
+                    batch,
+                    0..batch.rows(),
+                    &self.centroids,
+                    shard.clone(),
+                    shard.start,
+                    &mut votes,
+                );
+                votes
             })
             .collect();
         (0..batch.rows())
-            .map(|i| Self::merge_votes(per_shard.iter().map(|votes| votes[i])))
+            .map(|i| {
+                Self::merge_votes(per_shard.iter().map(|votes| ShardVote {
+                    index: votes[i].0 as usize,
+                    key: votes[i].1,
+                }))
+            })
             .collect()
     }
 }
@@ -215,21 +190,43 @@ mod tests {
     #[test]
     fn ties_break_to_lowest_index_across_shard_boundaries() {
         // Duplicate centroids in different shards: the lower global index
-        // must win, exactly as in a serial scan.
+        // must win, exactly as in a serial scan — under every kernel.
         let centroids = Matrix::from_rows(&[&[5.0f64, 5.0], &[1.0, 1.0], &[1.0, 1.0], &[9.0, 9.0]]);
-        for shards in [1, 2, 4] {
-            let index = ShardedIndex::new(centroids.clone(), shards);
-            assert_eq!(index.assign_one(&[1.0, 1.0]), 1, "shards={shards}");
+        for kernel in Kernel::ALL {
+            for shards in [1, 2, 4] {
+                let index = ShardedIndex::new(centroids.clone(), shards).with_kernel(kernel);
+                assert_eq!(index.assign_one(&[1.0, 1.0]), 1, "{kernel} shards={shards}");
+            }
         }
     }
 
     #[test]
-    fn norm_trick_agrees_on_well_separated_data() {
+    fn expansion_kernels_agree_on_well_separated_data() {
         let centroids = Matrix::from_rows(&[&[0.0f64, 0.0], &[10.0, 0.0], &[0.0, 10.0]]);
         let exact = ShardedIndex::new(centroids.clone(), 2);
-        let trick = ShardedIndex::new(centroids, 2).with_kernel(Kernel::NormTrick);
-        for sample in [[1.0, 1.0], [9.0, 1.0], [1.0, 9.0], [-3.0, -3.0]] {
-            assert_eq!(exact.assign_one(&sample), trick.assign_one(&sample));
+        for kernel in [Kernel::Expanded, Kernel::Tiled] {
+            let fast = ShardedIndex::new(centroids.clone(), 2).with_kernel(kernel);
+            assert_eq!(fast.kernel(), kernel);
+            for sample in [[1.0, 1.0], [9.0, 1.0], [1.0, 9.0], [-3.0, -3.0]] {
+                assert_eq!(
+                    exact.assign_one(&sample),
+                    fast.assign_one(&sample),
+                    "{kernel}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn batch_matches_per_sample_path_under_every_kernel() {
+        let centroids = grid_centroids(13, 5);
+        let samples = grid_centroids(40, 5);
+        for kernel in Kernel::ALL {
+            let index = ShardedIndex::new(centroids.clone(), 3).with_kernel(kernel);
+            let batched = index.assign_batch(&samples);
+            for (i, row) in samples.iter_rows().enumerate() {
+                assert_eq!(batched[i], index.assign_one(row), "{kernel} row={i}");
+            }
         }
     }
 

@@ -93,6 +93,7 @@ impl<S: Scalar> Server<S> {
         assert!(config.workers > 0, "need at least one worker");
         assert!(config.max_batch > 0, "max batch must be positive");
         let (sender, receiver) = bounded::<Job<S>>(config.queue_capacity);
+        registry.gauge_set("serve_assign_kernel", index.kernel().code() as f64);
         let metrics = Arc::new(ServeMetrics::with_registry(registry));
         let index = Arc::new(index);
         let workers = (0..config.workers)

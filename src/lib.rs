@@ -67,8 +67,8 @@ pub mod prelude {
         choose_level, fit, fit_source, HierConfig, HierKMeans, HierResult, Level, StreamConfig,
     };
     pub use kmeans_core::{
-        adjusted_rand_index, init_centroids, nmi, purity, standardized, InitMethod, KMeansConfig,
-        Lloyd, Matrix, MatrixSource, MiniBatchConfig, Scalar,
+        adjusted_rand_index, init_centroids, nmi, purity, standardized, AssignKernel, AssignPlan,
+        InitMethod, KMeansConfig, Lloyd, Matrix, MatrixSource, MiniBatchConfig, Scalar,
     };
     pub use perf_model::{best_level, CostModel, ProblemShape};
     pub use sw_arch::{Machine, MachineParams};

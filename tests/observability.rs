@@ -5,6 +5,7 @@
 //! through one registry with stable exports.
 
 use sunway_kmeans::hier_kmeans::{fit, HierConfig, Level};
+use sunway_kmeans::kmeans_core::AssignKernel;
 use sunway_kmeans::msg::OpKind;
 use sunway_kmeans::prelude::*;
 use sunway_kmeans::swkm_obs::export::to_json;
@@ -26,6 +27,7 @@ fn l3_phase_sums_account_for_iteration_wall_time() {
         cpes_per_cg: 4,
         max_iters: 4,
         tol: 0.0,
+        kernel: AssignKernel::Scalar,
     };
     let result = fit(&blobs.data, init, &cfg).unwrap();
     assert_eq!(result.trace.ranks(), 8);
@@ -72,6 +74,7 @@ fn comm_accounting_matches_analytic_collective_volume() {
         cpes_per_cg: 8,
         max_iters: 3,
         tol: 0.0,
+        kernel: AssignKernel::Scalar,
     };
     let result = fit(&blobs.data, init, &cfg).unwrap();
     assert_eq!(result.iterations, 3, "tol=0 must run all 3 iterations");
@@ -114,6 +117,7 @@ fn training_and_serving_share_one_registry() {
         cpes_per_cg: 4,
         max_iters: 3,
         tol: 0.0,
+        kernel: AssignKernel::Scalar,
     };
     let trained = fit(&blobs.data, init, &cfg).unwrap();
 
@@ -150,4 +154,73 @@ fn training_and_serving_share_one_registry() {
     }
     assert!(json.contains("\"serve_completed\":32"), "{json}");
     assert_eq!(json, to_json(&registry), "export must be deterministic");
+}
+
+/// The kernel selection and assign throughput reach the registry: training
+/// exports `train_assign_kernel` (the kernel's stable code) plus a
+/// positive `train_assign_samples_per_s`, and serving exports the mirror
+/// `serve_assign_kernel` gauge.
+#[test]
+fn kernel_choice_and_assign_throughput_are_exported() {
+    let blobs = GaussianMixture::new(512, 16, 4)
+        .with_seed(21)
+        .generate::<f64>();
+    let init = init_centroids(&blobs.data, 8, InitMethod::Forgy, 3);
+    for kernel in [
+        AssignKernel::Scalar,
+        AssignKernel::Expanded,
+        AssignKernel::Tiled,
+    ] {
+        let cfg = HierConfig {
+            level: Level::L2,
+            units: 4,
+            group_units: 2,
+            cpes_per_cg: 4,
+            max_iters: 3,
+            tol: 0.0,
+            kernel,
+        };
+        let result = fit(&blobs.data, init.clone(), &cfg).unwrap();
+        assert_eq!(result.kernel, kernel);
+        let registry = MetricsRegistry::new();
+        result.export_metrics(&registry);
+        assert_eq!(
+            registry.gauge("train_assign_kernel"),
+            Some(kernel.code() as f64),
+            "{kernel}"
+        );
+        let rate = registry
+            .gauge("train_assign_samples_per_s")
+            .expect("throughput gauge");
+        assert!(rate > 0.0, "{kernel}: assign throughput {rate}");
+        let json = to_json(&registry);
+        assert!(json.contains("\"train_assign_kernel\""), "{json}");
+    }
+
+    // Serving mirrors the choice under its own prefix.
+    let trained = fit(
+        &blobs.data,
+        init,
+        &HierConfig {
+            level: Level::L1,
+            units: 2,
+            group_units: 1,
+            cpes_per_cg: 4,
+            max_iters: 2,
+            tol: 0.0,
+            kernel: AssignKernel::Tiled,
+        },
+    )
+    .unwrap();
+    let registry = MetricsRegistry::shared();
+    let index = ShardedIndex::new(trained.centroids.clone(), 2).with_kernel(AssignKernel::Tiled);
+    let server = Server::start_with_registry(index, PipelineConfig::default(), registry.clone());
+    let client = server.client();
+    client.predict(blobs.data.row(0).to_vec()).unwrap();
+    drop(client);
+    server.shutdown();
+    assert_eq!(
+        registry.gauge("serve_assign_kernel"),
+        Some(AssignKernel::Tiled.code() as f64)
+    );
 }

@@ -117,7 +117,7 @@ fn norm_trick_agrees_on_separated_clusters() {
     ]);
     let expected = serial_labels(&queries, &centroids);
     for shards in [1usize, 2, 4] {
-        let index = ShardedIndex::new(centroids.clone(), shards).with_kernel(Kernel::NormTrick);
+        let index = ShardedIndex::new(centroids.clone(), shards).with_kernel(Kernel::Expanded);
         assert_eq!(index.assign_batch(&queries), expected, "{shards} shard(s)");
     }
 }
