@@ -1,0 +1,177 @@
+//! Reproducible update-path snapshot: times the three `--update` modes on
+//! the paper-like n=100k/k=256/d=64 Level-1 fit and writes
+//! `BENCH_update.json` (checked in at the repo root, regenerated with
+//! `cargo run --release -p bench --bin update_snapshot`).
+//!
+//! Three sections, matching the acceptance criteria of the fused-update
+//! work:
+//! * **modes** — converged twopass/fused/delta fits under a tree merge,
+//!   with bitwise-identical labels and objective asserted, per-iteration
+//!   wall time and training throughput reported, and the delta speedup
+//!   (which must reach ≥ 1.5×) computed from the same runs;
+//! * **merge** — tree vs ring AllReduce traffic for the dense k·d merge at
+//!   the same shape (total bytes match; the ring's advantage is the
+//!   per-rank maximum, which the cost model prices);
+//! * **minloc** — the census Level-3 fit from `BENCH_baseline.json`'s
+//!   command, showing the packed-u64 min-loc payload at exactly half the
+//!   unpacked (f64, u64) baseline bytes.
+
+use hier_kmeans::{HierKMeans, Level, MergeStrategy, UpdateMode};
+use kmeans_core::{init_centroids, AssignKernel, InitMethod};
+use std::time::Instant;
+
+struct ModeRun {
+    mode: UpdateMode,
+    iterations: usize,
+    wall_s: f64,
+    samples_per_s: f64,
+    labels: Vec<u32>,
+    objective: f64,
+}
+
+fn main() {
+    let (n, k, d, units) = (100_000usize, 256usize, 64usize, 8usize);
+    // Mirrors `swkm fit --dataset mixture --n 100000 --d 64 --k 256
+    // --level 1 --units 8 --kernel tiled --update <mode> --merge tree`:
+    // a k-component mixture, k-means++ seeding, so the run converges and
+    // the delta path's long low-churn tail is represented. (The 16-blob
+    // `bench_data` helper over-fragments at k=256 and never settles —
+    // delta still wins there, but only ~1.1×, all of it from the fused
+    // accumulate and the sparse merges.)
+    let data = datasets::GaussianMixture::new(n, d, k)
+        .with_seed(0)
+        .generate::<f32>()
+        .data;
+    let init = init_centroids(&data, k, InitMethod::KMeansPlusPlus, 0);
+
+    // ---- Section 1: the three update paths, converged, tree merge. ----
+    let mut modes: Vec<ModeRun> = Vec::new();
+    for mode in UpdateMode::ALL {
+        let t = Instant::now();
+        let r = HierKMeans::new(Level::L1)
+            .with_units(units)
+            .with_kernel(AssignKernel::Tiled)
+            .with_update(mode)
+            .with_merge(MergeStrategy::Tree)
+            .with_max_iters(200)
+            .fit(&data, init.clone())
+            .expect("L1 fit");
+        let wall = t.elapsed().as_secs_f64();
+        assert!(r.converged, "{mode} did not converge within 200 iterations");
+        eprintln!(
+            "{mode}: {} iterations in {wall:.2}s ({:.4}s/iter)",
+            r.iterations,
+            wall / r.iterations as f64
+        );
+        modes.push(ModeRun {
+            mode,
+            iterations: r.iterations,
+            wall_s: wall,
+            samples_per_s: (n * r.iterations) as f64 / wall,
+            labels: r.labels,
+            objective: r.objective,
+        });
+    }
+    // Bitwise agreement is the contract that makes the speedup honest.
+    for m in &modes[1..] {
+        assert_eq!(m.labels, modes[0].labels, "{} labels diverged", m.mode);
+        assert_eq!(
+            m.objective.to_bits(),
+            modes[0].objective.to_bits(),
+            "{} objective bits diverged",
+            m.mode
+        );
+        assert_eq!(m.iterations, modes[0].iterations);
+    }
+    let per_iter = |m: &ModeRun| m.wall_s / m.iterations as f64;
+    let fused_speedup = per_iter(&modes[0]) / per_iter(&modes[1]);
+    let delta_speedup = per_iter(&modes[0]) / per_iter(&modes[2]);
+
+    // ---- Section 2: tree vs ring traffic for the dense k·d merge. ----
+    let merge_fit = |merge: MergeStrategy| {
+        HierKMeans::new(Level::L1)
+            .with_units(units)
+            .with_kernel(AssignKernel::Tiled)
+            .with_update(UpdateMode::Fused)
+            .with_merge(merge)
+            .with_max_iters(3)
+            .with_tol(0.0)
+            .fit(&data, init.clone())
+            .expect("merge fit")
+    };
+    let tree = merge_fit(MergeStrategy::Tree);
+    let ring = merge_fit(MergeStrategy::Ring);
+    assert!(!tree.merge_ring && ring.merge_ring);
+    let tree_bytes = tree.comm.bytes_of(msg::OpKind::AllReduce);
+    let ring_bytes = ring.comm.bytes_of(msg::OpKind::AllReduce);
+    let auto = merge_fit(MergeStrategy::Auto);
+    eprintln!(
+        "merge: tree {tree_bytes} B / {} msgs, ring {ring_bytes} B / {} msgs, auto→ring={}",
+        tree.comm.messages_of(msg::OpKind::AllReduce),
+        ring.comm.messages_of(msg::OpKind::AllReduce),
+        auto.merge_ring
+    );
+
+    // ---- Section 3: packed min-loc on the BENCH_baseline census fit. ----
+    let census = datasets::uci::us_census_1990().generate(8_192);
+    let census_init = init_centroids(&census, 12, InitMethod::KMeansPlusPlus, 0);
+    let l3 = HierKMeans::new(Level::L3)
+        .with_units(8)
+        .with_group_units(2)
+        .with_cpes_per_cg(8)
+        .with_max_iters(10)
+        .fit(&census, census_init)
+        .expect("census L3 fit");
+    let minloc_bytes = l3.comm.bytes_of(msg::OpKind::MinLoc);
+    const PR3_MINLOC_BYTES: u64 = 2_621_440; // from BENCH_baseline.json
+    eprintln!("minloc: {minloc_bytes} B (baseline {PR3_MINLOC_BYTES} B)");
+
+    let mut json = String::from("{\n  \"bench\": \"update_paths\",\n");
+    json.push_str(&format!(
+        "  \"command\": \"swkm fit --dataset mixture --n {n} --d {d} --k {k} --level 1 \
+         --units {units} --kernel tiled --update <mode> --merge tree\",\n"
+    ));
+    json.push_str(&format!(
+        "  \"shape\": {{\"n\": {n}, \"k\": {k}, \"d\": {d}, \"units\": {units}, \
+         \"kernel\": \"tiled\", \"merge\": \"tree\"}},\n  \"modes\": [\n"
+    ));
+    for (i, m) in modes.iter().enumerate() {
+        json.push_str(&format!(
+            "    {{\"mode\": \"{}\", \"iterations\": {}, \"wall_s\": {:.3}, \
+             \"wall_per_iter_s\": {:.4}, \"samples_per_s\": {:.0}}}{}\n",
+            m.mode,
+            m.iterations,
+            m.wall_s,
+            per_iter(m),
+            m.samples_per_s,
+            if i + 1 < modes.len() { "," } else { "" }
+        ));
+    }
+    json.push_str(&format!(
+        "  ],\n  \"bitwise_identical_labels_and_objective\": true,\n  \
+         \"fused_speedup_per_iter\": {fused_speedup:.2},\n  \
+         \"delta_speedup_per_iter\": {delta_speedup:.2},\n"
+    ));
+    json.push_str(&format!(
+        "  \"merge\": {{\"dense_bytes\": {}, \"tree_allreduce_bytes\": {tree_bytes}, \
+         \"ring_allreduce_bytes\": {ring_bytes}, \"auto_selects_ring\": {}}},\n",
+        k * d * 4,
+        auto.merge_ring
+    ));
+    json.push_str(&format!(
+        "  \"minloc\": {{\"fit\": \"census n=8192 k=12 L3 units=8 group=2 iters=10\", \
+         \"packed_bytes\": {minloc_bytes}, \"pr3_unpacked_bytes\": {PR3_MINLOC_BYTES}}}\n}}\n"
+    ));
+    std::fs::write("BENCH_update.json", &json).expect("write BENCH_update.json");
+    println!("{json}");
+
+    assert!(
+        delta_speedup >= 1.5,
+        "delta per-iteration speedup {delta_speedup:.2}× is below the 1.5× acceptance bar"
+    );
+    assert!(
+        minloc_bytes * 2 <= PR3_MINLOC_BYTES,
+        "packed min-loc bytes {minloc_bytes} must be at most half of {PR3_MINLOC_BYTES}"
+    );
+    println!("wrote BENCH_update.json (delta ≥1.5×/iter, min-loc halved)");
+}

@@ -37,6 +37,7 @@ pub fn bench_config(level: Level, units: usize, group_units: usize) -> HierConfi
         max_iters: 2,
         tol: 0.0,
         kernel: AssignKernel::Scalar,
+        ..HierConfig::new(level)
     }
 }
 

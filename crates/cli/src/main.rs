@@ -5,7 +5,8 @@
 //! swkm model --n 1265723 --k 2000 --d 4096 --nodes 128 [--level 2]
 //! swkm sweep --n 1265723 --k 2000 --d-lo 512 --d-hi 8192 --step 512 --nodes 128
 //! swkm fit   --dataset kegg --n 4096 --k 64 [--level 3] [--units 8] [--group 2]
-//!            [--kernel scalar|expanded|tiled] [--metrics-json out.json]
+//!            [--kernel scalar|expanded|tiled] [--update twopass|fused|delta]
+//!            [--merge auto|tree|ring] [--metrics-json out.json]
 //!            [--metrics-prom out.prom]
 //! swkm landcover --size 128 --out target/landcover-cli
 //! swkm train --dataset mixture --n 4096 --k 64 --save-model model.swkm [--standardize]
@@ -64,6 +65,20 @@ fn parse_assign_kernel(args: &Args) -> Result<kmeans_core::AssignKernel, String>
     match args.get_str("kernel") {
         None => Ok(kmeans_core::AssignKernel::Scalar),
         Some(spec) => kmeans_core::AssignKernel::parse(spec).map_err(|e| format!("--kernel: {e}")),
+    }
+}
+
+fn parse_update_mode(args: &Args) -> Result<kmeans_core::UpdateMode, String> {
+    match args.get_str("update") {
+        None => Ok(kmeans_core::UpdateMode::TwoPass),
+        Some(spec) => kmeans_core::UpdateMode::parse(spec).map_err(|e| format!("--update: {e}")),
+    }
+}
+
+fn parse_merge_strategy(args: &Args) -> Result<hier_kmeans::MergeStrategy, String> {
+    match args.get_str("merge") {
+        None => Ok(hier_kmeans::MergeStrategy::Auto),
+        Some(spec) => hier_kmeans::MergeStrategy::parse(spec).map_err(|e| format!("--merge: {e}")),
     }
 }
 
@@ -232,9 +247,11 @@ fn cmd_fit(args: &Args) -> Result<(), String> {
         None => choose_level(n, k, data.cols(), 1),
     };
     let kernel = parse_assign_kernel(args)?;
+    let update = parse_update_mode(args)?;
+    let merge = parse_merge_strategy(args)?;
     println!(
         "fitting {dataset}: n={} d={} k={k} with {level} ({units} units, groups of {group}, \
-         {kernel} kernel)",
+         {kernel} kernel, {update} update, {merge} merge)",
         data.rows(),
         data.cols()
     );
@@ -250,6 +267,8 @@ fn cmd_fit(args: &Args) -> Result<(), String> {
         .with_cpes_per_cg(8)
         .with_max_iters(args.get_or("max-iters", 100usize)?)
         .with_kernel(kernel)
+        .with_update(update)
+        .with_merge(merge)
         .fit(&data, init)
         .map_err(|e| e.to_string())?;
     println!(
@@ -376,6 +395,54 @@ mod tests {
             "fit --dataset mixture --n 128 --k 3 --d 8 --kernel warp-drive"
         ))
         .is_err());
+    }
+
+    #[test]
+    fn fit_accepts_every_update_mode_and_merge_strategy() {
+        for update in ["twopass", "fused", "delta"] {
+            run(&argv(&format!(
+                "fit --dataset mixture --n 128 --k 3 --d 8 --max-iters 3 --update {update}"
+            )))
+            .unwrap();
+        }
+        for merge in ["auto", "tree", "ring"] {
+            run(&argv(&format!(
+                "fit --dataset mixture --n 128 --k 3 --d 8 --max-iters 3 --merge {merge}"
+            )))
+            .unwrap();
+        }
+        let err = run(&argv(
+            "fit --dataset mixture --n 128 --k 3 --d 8 --update sideways",
+        ))
+        .unwrap_err();
+        assert!(err.contains("sideways"), "{err}");
+        let err = run(&argv(
+            "fit --dataset mixture --n 128 --k 3 --d 8 --merge mesh",
+        ))
+        .unwrap_err();
+        assert!(err.contains("mesh"), "{err}");
+        // The incompatible combination surfaces the executor's rejection.
+        let err = run(&argv(
+            "fit --dataset mixture --n 128 --k 3 --d 8 --update delta --merge ring",
+        ))
+        .unwrap_err();
+        assert!(err.contains("incompatible"), "{err}");
+    }
+
+    #[test]
+    fn fit_exports_update_mode_and_moved_fraction_gauges() {
+        let json = std::env::temp_dir().join("swkm_fit_update_gauges_test.json");
+        run(&argv(&format!(
+            "fit --dataset mixture --n 192 --k 3 --d 6 --max-iters 50 --level 2 \
+             --units 4 --group 2 --update delta --metrics-json {}",
+            json.display()
+        )))
+        .unwrap();
+        let doc = std::fs::read_to_string(&json).unwrap();
+        assert!(doc.contains("\"train_update_mode\":2.0"), "{doc}");
+        assert!(doc.contains("\"train_moved_fraction\":0.0"), "{doc}");
+        assert!(doc.contains("\"train_merge_ring\":0.0"), "{doc}");
+        std::fs::remove_file(&json).ok();
     }
 
     #[test]

@@ -33,6 +33,7 @@ pub fn fig10(out_dir: &Path) -> Report {
         max_iters: 30,
         tol: 1e-6,
         kernel: AssignKernel::Scalar,
+        ..HierConfig::new(Level::L3)
     };
     let result = fit(&features, init, &cfg).expect("landcover clustering");
     let accuracy = scene.clustering_accuracy(&result.labels, k);

@@ -23,6 +23,7 @@ fn functional_ms(level: Level, data: &Matrix<f32>, k: usize, group_units: usize)
         max_iters: 2,
         tol: 0.0,
         kernel: kmeans_core::AssignKernel::Scalar,
+        ..HierConfig::new(level)
     };
     let start = Instant::now();
     let result = fit(data, init, &cfg).expect("functional run");

@@ -23,6 +23,7 @@ fn traced_row(level: Level, k: usize, group_units: usize, kernel: AssignKernel) 
         max_iters: 3,
         tol: 0.0,
         kernel,
+        ..HierConfig::new(level)
     };
     let result = fit(&data, init, &cfg).expect("phase_trace run");
     let registry = MetricsRegistry::new();

@@ -128,6 +128,8 @@ pub fn run<S: Scalar>(
         trace: crate::executor::TrainTrace::default(),
         comm: msg::CostLog::new(),
         kernel: kmeans_core::AssignKernel::Scalar,
+        update: kmeans_core::UpdateMode::TwoPass,
+        merge_ring: false,
     })
 }
 

@@ -1,6 +1,6 @@
 //! Shared executor configuration, result type and dispatch.
 
-use kmeans_core::{AssignKernel, KMeansError, Matrix, Scalar};
+use kmeans_core::{AssignKernel, KMeansError, Matrix, Scalar, UpdateMode};
 use perf_model::Level;
 
 /// Configuration of a functional hierarchical run.
@@ -29,6 +29,16 @@ pub struct HierConfig {
     /// serial reference; `Expanded`/`Tiled` use the norm expansion and may
     /// resolve exact ties differently.
     pub kernel: AssignKernel,
+    /// Update path (see [`kmeans_core::UpdateMode`]). All modes produce
+    /// bitwise-identical centroids, labels and objective for a given
+    /// kernel and merge strategy; only wall time changes.
+    pub update: UpdateMode,
+    /// How dense Update merges run their sums AllReduce (see
+    /// [`MergeStrategy`]). Delta's sparse merges always use the tree:
+    /// the binomial fold order is per-element and independent of payload
+    /// length, which is what makes merging only the touched rows bitwise
+    /// equal to the dense merge.
+    pub merge: MergeStrategy,
 }
 
 impl HierConfig {
@@ -41,7 +51,91 @@ impl HierConfig {
             max_iters: 100,
             tol: 1e-9,
             kernel: AssignKernel::Scalar,
+            update: UpdateMode::TwoPass,
+            merge: MergeStrategy::Auto,
         }
+    }
+}
+
+/// Dense-merge buffer size (bytes) at which [`MergeStrategy::Auto`] picks
+/// the ring over the binomial tree: below it the tree's log₂(p) latency
+/// wins, above it the ring's 2·(p−1)/p per-rank byte volume wins.
+pub const RING_CROSSOVER_BYTES: usize = 64 * 1024;
+
+/// Which AllReduce the executors use for the dense centroid-sums merge.
+///
+/// Tree and ring fold partial sums in different orders, so their results
+/// differ in floating-point low-order bits (each is still deterministic and
+/// rank-identical). Bitwise guarantees therefore hold *per strategy*:
+/// twopass/fused/delta agree bitwise under the tree, and twopass/fused
+/// agree bitwise under the ring. Delta is pinned to the tree — its sparse
+/// merges rely on the tree's per-element, length-independent fold order —
+/// so `--merge ring --update delta` is rejected.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum MergeStrategy {
+    /// Pick by buffer size: ring when the dense payload reaches
+    /// [`RING_CROSSOVER_BYTES`] on ≥ 4 merging ranks (and the update path
+    /// is not delta), tree otherwise.
+    #[default]
+    Auto,
+    /// Always the binomial tree ([`msg::Comm::allreduce_with`]).
+    Tree,
+    /// Always the bandwidth-optimal ring ([`msg::Comm::allreduce_ring`]).
+    Ring,
+}
+
+impl MergeStrategy {
+    pub const ALL: [MergeStrategy; 3] = [
+        MergeStrategy::Auto,
+        MergeStrategy::Tree,
+        MergeStrategy::Ring,
+    ];
+
+    /// Stable lowercase name (CLI vocabulary and metrics labels).
+    pub fn name(self) -> &'static str {
+        match self {
+            MergeStrategy::Auto => "auto",
+            MergeStrategy::Tree => "tree",
+            MergeStrategy::Ring => "ring",
+        }
+    }
+
+    /// Parse a CLI spelling.
+    pub fn parse(s: &str) -> Result<MergeStrategy, String> {
+        match s {
+            "auto" => Ok(MergeStrategy::Auto),
+            "tree" => Ok(MergeStrategy::Tree),
+            "ring" => Ok(MergeStrategy::Ring),
+            other => Err(format!("unknown merge strategy `{other}` (auto|tree|ring)")),
+        }
+    }
+
+    /// Resolve the strategy for one merging communicator: `true` means the
+    /// ring runs the dense sums AllReduce. The decision depends only on
+    /// configuration and partition arithmetic, so every rank of the
+    /// communicator resolves identically.
+    pub fn use_ring(self, dense_bytes: usize, ranks: usize, update: UpdateMode) -> bool {
+        match self {
+            MergeStrategy::Tree => false,
+            MergeStrategy::Ring => update != UpdateMode::Delta,
+            MergeStrategy::Auto => {
+                update != UpdateMode::Delta && ranks >= 4 && dense_bytes >= RING_CROSSOVER_BYTES
+            }
+        }
+    }
+}
+
+impl std::fmt::Display for MergeStrategy {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+impl std::str::FromStr for MergeStrategy {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        MergeStrategy::parse(s)
     }
 }
 
@@ -120,6 +214,11 @@ pub struct IterTiming {
     /// Wall time of the whole iteration, loop top to convergence check —
     /// the reference the per-phase times are validated against.
     pub wall: f64,
+    /// Fraction of this rank's samples whose label changed this iteration
+    /// (in `[0, 1]`). Computed locally from the previous iteration's labels,
+    /// so recording it adds no collectives. Not a time: excluded from
+    /// [`IterTiming::phase_sum`] and never summed, only max'd across ranks.
+    pub moved_fraction: f64,
 }
 
 impl IterTiming {
@@ -173,6 +272,7 @@ impl TrainTrace {
                 out.update = out.update.max(it.update);
                 out.exchange = out.exchange.max(it.exchange);
                 out.wall = out.wall.max(it.wall);
+                out.moved_fraction = out.moved_fraction.max(it.moved_fraction);
             }
         }
         out
@@ -231,6 +331,14 @@ impl TrainTrace {
             &format!("{prefix}_assign_imbalance"),
             self.assign_imbalance(),
         );
+        // The last iteration's worst-rank moved fraction: 0.0 on a converged
+        // run, and the quantity the delta path's sparse/dense decision keys on.
+        let last_moved = if self.iterations() > 0 {
+            self.iter_critical(self.iterations() - 1).moved_fraction
+        } else {
+            0.0
+        };
+        registry.gauge_set(&format!("{prefix}_moved_fraction"), last_moved);
     }
 }
 
@@ -261,6 +369,12 @@ pub struct HierResult<S: Scalar> {
     pub comm: msg::CostLog,
     /// Assign kernel the run executed with.
     pub kernel: AssignKernel,
+    /// Update path the run executed with.
+    pub update: UpdateMode,
+    /// Whether the dense centroid-sums merge resolved to the ring
+    /// AllReduce (from [`MergeStrategy::use_ring`] at the configured
+    /// geometry).
+    pub merge_ring: bool,
 }
 
 impl<S: Scalar> HierResult<S> {
@@ -285,6 +399,8 @@ impl<S: Scalar> HierResult<S> {
         registry.gauge_set("train_objective", self.objective);
         registry.gauge_set("train_converged", if self.converged { 1.0 } else { 0.0 });
         registry.gauge_set("train_assign_kernel", self.kernel.code() as f64);
+        registry.gauge_set("train_update_mode", self.update.code() as f64);
+        registry.gauge_set("train_merge_ring", if self.merge_ring { 1.0 } else { 0.0 });
         registry.gauge_set(
             "train_assign_samples_per_s",
             self.assign_samples_per_s().unwrap_or(0.0),
@@ -338,6 +454,13 @@ pub(crate) fn validate<S: Scalar>(
             "cpes_per_cg must be positive".into(),
         ));
     }
+    if cfg.merge == MergeStrategy::Ring && cfg.update == UpdateMode::Delta {
+        return Err(HierError::InvalidConfig(
+            "merge strategy `ring` is incompatible with `--update delta`: delta's \
+             sparse merges depend on the tree's length-independent fold order"
+                .into(),
+        ));
+    }
     Ok(())
 }
 
@@ -355,7 +478,8 @@ pub(crate) fn assemble<S: Scalar>(
     data: &Matrix<S>,
     outs: Vec<RankOutput<S>>,
     costs: Vec<msg::CostLog>,
-    kernel: AssignKernel,
+    cfg: &HierConfig,
+    merge_ring: bool,
 ) -> HierResult<S> {
     let mut iterations = 0;
     let mut converged = false;
@@ -401,7 +525,9 @@ pub(crate) fn assemble<S: Scalar>(
         timings,
         trace,
         comm,
-        kernel,
+        kernel: cfg.kernel,
+        update: cfg.update,
+        merge_ring,
     }
 }
 
@@ -478,6 +604,7 @@ mod tests {
             update: 0.02,
             exchange: 0.0,
             wall: 0.18,
+            moved_fraction: 0.5,
         };
         let slow = IterTiming {
             assign: 0.3,
@@ -485,6 +612,7 @@ mod tests {
             update: 0.04,
             exchange: 0.0,
             wall: 0.36,
+            moved_fraction: 0.125,
         };
         let trace = TrainTrace {
             per_rank: vec![vec![fast, fast], vec![slow, slow]],
@@ -496,6 +624,7 @@ mod tests {
         assert_eq!(crit.merge, 0.05);
         assert_eq!(crit.update, 0.04);
         assert_eq!(crit.wall, 0.36);
+        assert_eq!(crit.moved_fraction, 0.5);
         // max assign total 0.6 vs mean 0.4 → 1.5× imbalance.
         assert!((trace.assign_imbalance() - 1.5).abs() < 1e-12);
         assert!((fast.phase_sum() - 0.17).abs() < 1e-12);
@@ -507,6 +636,39 @@ mod tests {
         assert_eq!(reg.gauge("train_iterations"), Some(2.0));
         assert!((reg.gauge("train_assign_s").unwrap() - 0.6).abs() < 1e-12);
         assert!((reg.gauge("train_wall_s").unwrap() - 0.72).abs() < 1e-12);
+        assert_eq!(reg.gauge("train_moved_fraction"), Some(0.5));
+    }
+
+    #[test]
+    fn merge_strategy_names_parse_and_resolve() {
+        for m in MergeStrategy::ALL {
+            assert_eq!(MergeStrategy::parse(m.name()), Ok(m));
+            assert_eq!(m.name().parse::<MergeStrategy>(), Ok(m));
+        }
+        assert!(MergeStrategy::parse("mesh").unwrap_err().contains("mesh"));
+        assert_eq!(MergeStrategy::default(), MergeStrategy::Auto);
+
+        let big = RING_CROSSOVER_BYTES;
+        // Tree never rings; Ring always does (except under delta).
+        assert!(!MergeStrategy::Tree.use_ring(big, 8, UpdateMode::TwoPass));
+        assert!(MergeStrategy::Ring.use_ring(16, 2, UpdateMode::TwoPass));
+        assert!(!MergeStrategy::Ring.use_ring(big, 8, UpdateMode::Delta));
+        // Auto needs size, rank count, and a non-delta update path.
+        assert!(MergeStrategy::Auto.use_ring(big, 4, UpdateMode::Fused));
+        assert!(!MergeStrategy::Auto.use_ring(big - 1, 4, UpdateMode::Fused));
+        assert!(!MergeStrategy::Auto.use_ring(big, 3, UpdateMode::Fused));
+        assert!(!MergeStrategy::Auto.use_ring(big, 8, UpdateMode::Delta));
+    }
+
+    #[test]
+    fn ring_plus_delta_is_rejected() {
+        let data = small_data();
+        let init = Matrix::from_rows(&[&[0.0f64, 0.0], &[10.0, 10.0]]);
+        let mut cfg = HierConfig::new(Level::L1);
+        cfg.update = UpdateMode::Delta;
+        cfg.merge = MergeStrategy::Ring;
+        let err = fit(&data, init, &cfg).unwrap_err();
+        assert!(err.to_string().contains("incompatible"));
     }
 
     #[test]

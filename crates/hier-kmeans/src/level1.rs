@@ -6,12 +6,38 @@
 //! division — identical on every rank, so all ranks hold bitwise-identical
 //! centroids at all times and the convergence decision needs no extra
 //! synchronisation.
+//!
+//! Three update paths share this skeleton (see [`kmeans_core::UpdateMode`]):
+//! * **two-pass** — assign, then a separate accumulate sweep (the baseline);
+//! * **fused** — the kernel folds each scored sample into the per-cluster
+//!   sums while it is still cache-resident, eliminating the sweep;
+//! * **delta** — keep the previous labels; when few samples moved, recompute
+//!   only the *touched* clusters (any moved sample's old or new cluster) and
+//!   merge just those rows. Untouched rows reproduce bitwise (same members,
+//!   same accumulation order, same fold), so skipping them changes nothing.
+//!   Once the Update reports which centroid rows actually *changed*, the next
+//!   Assign also shrinks (Elkan-style work avoidance): a sample anchored to
+//!   an unchanged row only needs rescoring against the changed rows — its
+//!   cached `(key, label)` already lexicographically dominates every other
+//!   unchanged candidate, and per-pair keys are batch-independent
+//!   ([`AssignPlan::score_pair`]), so the skip scan reproduces the full
+//!   ascending scan bit for bit.
+//!
+//! All three produce bitwise-identical centroids, labels and iteration
+//! counts for a given kernel and merge strategy.
 
 use crate::executor::{HierConfig, HierError, HierResult, IterTiming};
 use crate::partition::split_range;
-use kmeans_core::{AssignPlan, Matrix, Scalar};
+use kmeans_core::{AssignPlan, Matrix, Scalar, TouchedSet, UpdateMode, DELTA_FALLBACK_FRACTION};
 use msg::World;
 use sw_arch::MachineParams;
+
+/// The delta skip scan rescans `|changed|` rows per sample through the
+/// per-pair path, which lacks the batch kernels' register blocking; only
+/// engage it when the changed set is comfortably smaller than `k`. The
+/// decision depends solely on rank-identical state (the changed set), so
+/// every rank takes the same branch.
+const SKIP_SCAN_FACTOR: usize = 4;
 
 pub(crate) fn run<S: Scalar>(
     data: &Matrix<S>,
@@ -23,6 +49,7 @@ pub(crate) fn run<S: Scalar>(
     let k = init.rows();
     let units = cfg.units;
     let ldm_bytes = MachineParams::taihulight().ldm_bytes;
+    let ring = cfg.merge.use_ring(k * d * S::BYTES, units, cfg.update);
 
     let (outs, costs) = World::run_with_cost(units, |comm| {
         let mut centroids = init.clone();
@@ -32,48 +59,277 @@ pub(crate) fn run<S: Scalar>(
         let mut sums = vec![S::ZERO; k * d];
         let mut counts = vec![0u64; k];
         let mut assigned: Vec<(u32, S)> = Vec::with_capacity(my_samples.len());
+        let mut prev_labels: Vec<u32> = Vec::with_capacity(my_samples.len());
+        // Delta-only state: each sample's cached winning comparison key,
+        // the centroid rows whose bits changed in the last Update, and a
+        // pre-Update snapshot for detecting those changes.
+        let mut prev_keys: Vec<S> = Vec::with_capacity(my_samples.len());
+        let mut changed = TouchedSet::new(k);
+        let mut changed_rows: Vec<usize> = Vec::new();
+        let mut before: Vec<S> = Vec::new();
+        let mut touched = TouchedSet::new(k);
+        let mut row_slot = vec![u32::MAX; k];
+        let mut compact_sums: Vec<S> = Vec::new();
+        let mut compact_counts: Vec<u64> = Vec::new();
         let mut trace: Vec<IterTiming> = Vec::new();
-        for _ in 0..cfg.max_iters {
+        for iter in 0..cfg.max_iters {
             let iter_start = std::time::Instant::now();
             let mut it = IterTiming::default();
             // ---- Assign: stripe of samples against all k centroids, via
             // the configured kernel. One plan per iteration amortises the
             // centroid norms across the stripe (once per Update).
             let t0 = std::time::Instant::now();
-            sums.iter_mut().for_each(|v| *v = S::ZERO);
-            counts.iter_mut().for_each(|v| *v = 0);
             let plan = AssignPlan::with_ldm_budget(cfg.kernel, &centroids, ldm_bytes);
             assigned.clear();
-            plan.assign_batch_into(data, my_samples.clone(), &centroids, 0..k, 0, &mut assigned);
-            for (i, &(label, _)) in my_samples.clone().zip(&assigned) {
-                let j = label as usize;
-                counts[j] += 1;
-                let acc = &mut sums[j * d..(j + 1) * d];
-                for (a, x) in acc.iter_mut().zip(data.row(i)) {
-                    *a += *x;
+            match cfg.update {
+                UpdateMode::TwoPass => {
+                    sums.iter_mut().for_each(|v| *v = S::ZERO);
+                    counts.iter_mut().for_each(|v| *v = 0);
+                    plan.assign_batch_into(
+                        data,
+                        my_samples.clone(),
+                        &centroids,
+                        0..k,
+                        0,
+                        &mut assigned,
+                    );
+                    for (i, &(label, _)) in my_samples.clone().zip(&assigned) {
+                        let j = label as usize;
+                        counts[j] += 1;
+                        let acc = &mut sums[j * d..(j + 1) * d];
+                        for (a, x) in acc.iter_mut().zip(data.row(i)) {
+                            *a += *x;
+                        }
+                    }
+                }
+                UpdateMode::Fused => {
+                    sums.iter_mut().for_each(|v| *v = S::ZERO);
+                    counts.iter_mut().for_each(|v| *v = 0);
+                    plan.assign_accumulate_into(
+                        data,
+                        my_samples.clone(),
+                        &centroids,
+                        0..k,
+                        0,
+                        &mut assigned,
+                        &mut sums,
+                        &mut counts,
+                    );
+                }
+                UpdateMode::Delta => {
+                    // The moved set is only known after scoring, so delta
+                    // assigns plain and accumulates selectively below. From
+                    // iteration 2 on, samples anchored to an unchanged row
+                    // rescan only the changed rows (see module docs).
+                    if iter > 0 && changed_rows.len() * SKIP_SCAN_FACTOR < k {
+                        for (i, idx) in my_samples.clone().enumerate() {
+                            let sample = data.row(idx);
+                            let anchor = prev_labels[i] as usize;
+                            if changed.contains(anchor) {
+                                // Stale anchor: its cached key no longer
+                                // bounds the unchanged rows — full rescan.
+                                plan.assign_batch_into(
+                                    data,
+                                    idx..idx + 1,
+                                    &centroids,
+                                    0..k,
+                                    0,
+                                    &mut assigned,
+                                );
+                                let (label, _) = *assigned.last().unwrap();
+                                prev_keys[i] = plan.score_pair(sample, &centroids, label as usize);
+                            } else {
+                                let mut best_j = anchor;
+                                let mut best_key = prev_keys[i];
+                                for &j in &changed_rows {
+                                    let key = plan.score_pair(sample, &centroids, j);
+                                    if key < best_key || (key == best_key && j < best_j) {
+                                        best_key = key;
+                                        best_j = j;
+                                    }
+                                }
+                                prev_keys[i] = best_key;
+                                assigned.push((best_j as u32, plan.key_to_dist(sample, best_key)));
+                            }
+                        }
+                    } else {
+                        plan.assign_batch_into(
+                            data,
+                            my_samples.clone(),
+                            &centroids,
+                            0..k,
+                            0,
+                            &mut assigned,
+                        );
+                        // Seed the key cache from the full scan (one O(d)
+                        // rescore per sample — 1/k of the scan itself).
+                        prev_keys.clear();
+                        for (i, idx) in my_samples.clone().enumerate() {
+                            prev_keys.push(plan.score_pair(
+                                data.row(idx),
+                                &centroids,
+                                assigned[i].0 as usize,
+                            ));
+                        }
+                    }
                 }
             }
             it.assign += t0.elapsed().as_secs_f64();
-            // ---- Update: two AllReduces, then local division. ----
-            let t1 = std::time::Instant::now();
-            comm.allreduce_with(&mut sums, sum_slices::<S>);
-            comm.allreduce_sum_u64(&mut counts);
+
+            // Local reassignment bookkeeping — a label compare against the
+            // previous iteration, no collectives (the default path's byte
+            // volume must not change).
+            let local_moved = if iter == 0 {
+                assigned.len() as u64
+            } else {
+                assigned
+                    .iter()
+                    .zip(&prev_labels)
+                    .filter(|((label, _), prev)| *label != **prev)
+                    .count() as u64
+            };
+            it.moved_fraction = if assigned.is_empty() {
+                0.0
+            } else {
+                local_moved as f64 / assigned.len() as f64
+            };
+
             let mut worst_shift_sq = 0.0f64;
-            for j in 0..k {
-                if counts[j] == 0 {
-                    continue; // empty cluster keeps its centroid
+            match cfg.update {
+                UpdateMode::TwoPass | UpdateMode::Fused => {
+                    // ---- Update: two AllReduces, then local division. ----
+                    let t1 = std::time::Instant::now();
+                    if ring {
+                        comm.allreduce_ring(&mut sums, sum_slices::<S>);
+                    } else {
+                        comm.allreduce_with(&mut sums, sum_slices::<S>);
+                    }
+                    comm.allreduce_sum_u64(&mut counts);
+                    worst_shift_sq = divide_rows(&mut centroids, &sums, &counts, d, 0..k);
+                    it.update += t1.elapsed().as_secs_f64();
                 }
-                let inv = S::ONE / S::from_usize(counts[j] as usize);
-                let mut shift_sq = 0.0f64;
-                for u in 0..d {
-                    let next = sums[j * d + u] * inv;
-                    let diff = next.to_f64() - centroids.get(j, u).to_f64();
-                    shift_sq += diff * diff;
-                    centroids.set(j, u, next);
+                UpdateMode::Delta => {
+                    // ---- Touched consensus: one small OR/sum AllReduce so
+                    // every rank agrees on the global touched set and moved
+                    // count (timed as merge — it is the extra collective the
+                    // delta path pays).
+                    let global_moved;
+                    if iter == 0 {
+                        global_moved = n as u64; // everything is new
+                    } else {
+                        let t1 = std::time::Instant::now();
+                        touched.clear();
+                        for ((label, _), prev) in assigned.iter().zip(&prev_labels) {
+                            if *label != *prev {
+                                touched.mark(*prev as usize);
+                                touched.mark(*label as usize);
+                            }
+                        }
+                        let mut consensus: Vec<u64> = touched.words().to_vec();
+                        consensus.push(local_moved);
+                        comm.allreduce_with(&mut consensus, or_words_sum_last);
+                        global_moved = *consensus.last().unwrap();
+                        touched.set_words(&consensus[..consensus.len() - 1]);
+                        it.merge += t1.elapsed().as_secs_f64();
+                    }
+
+                    let t2 = std::time::Instant::now();
+                    if iter == 0 || global_moved as f64 / n as f64 >= DELTA_FALLBACK_FRACTION {
+                        // Dense fallback: recompute every cluster, exactly
+                        // the two-pass Update (bitwise identical by
+                        // construction).
+                        sums.iter_mut().for_each(|v| *v = S::ZERO);
+                        counts.iter_mut().for_each(|v| *v = 0);
+                        for (i, &(label, _)) in my_samples.clone().zip(&assigned) {
+                            let j = label as usize;
+                            counts[j] += 1;
+                            let acc = &mut sums[j * d..(j + 1) * d];
+                            for (a, x) in acc.iter_mut().zip(data.row(i)) {
+                                *a += *x;
+                            }
+                        }
+                        comm.allreduce_with(&mut sums, sum_slices::<S>);
+                        comm.allreduce_sum_u64(&mut counts);
+                        before.clear();
+                        before.extend_from_slice(centroids.as_slice());
+                        worst_shift_sq = divide_rows(&mut centroids, &sums, &counts, d, 0..k);
+                        changed.clear();
+                        changed_rows.clear();
+                        for j in 0..k {
+                            let moved_bits = centroids
+                                .row(j)
+                                .iter()
+                                .zip(&before[j * d..(j + 1) * d])
+                                .any(|(a, b)| a.bits() != b.bits());
+                            if moved_bits {
+                                changed.mark(j);
+                                changed_rows.push(j);
+                            }
+                        }
+                    } else if touched.count() > 0 {
+                        // Sparse path: recompute only the touched rows from
+                        // scratch (ascending sample order — the same order
+                        // the dense sweep uses) and merge a compact buffer.
+                        let touched_rows: Vec<usize> = touched.iter().collect();
+                        for (slot, &j) in touched_rows.iter().enumerate() {
+                            row_slot[j] = slot as u32;
+                        }
+                        compact_sums.clear();
+                        compact_sums.resize(touched_rows.len() * d, S::ZERO);
+                        compact_counts.clear();
+                        compact_counts.resize(touched_rows.len(), 0);
+                        for (i, &(label, _)) in my_samples.clone().zip(&assigned) {
+                            let slot = row_slot[label as usize];
+                            if slot != u32::MAX {
+                                let slot = slot as usize;
+                                compact_counts[slot] += 1;
+                                let acc = &mut compact_sums[slot * d..(slot + 1) * d];
+                                for (a, x) in acc.iter_mut().zip(data.row(i)) {
+                                    *a += *x;
+                                }
+                            }
+                        }
+                        comm.allreduce_with(&mut compact_sums, sum_slices::<S>);
+                        comm.allreduce_sum_u64(&mut compact_counts);
+                        changed.clear();
+                        changed_rows.clear();
+                        for (slot, &j) in touched_rows.iter().enumerate() {
+                            if compact_counts[slot] == 0 {
+                                continue; // emptied cluster keeps its centroid
+                            }
+                            let inv = S::ONE / S::from_usize(compact_counts[slot] as usize);
+                            let mut shift_sq = 0.0f64;
+                            let mut row_changed = false;
+                            for u in 0..d {
+                                let next = compact_sums[slot * d + u] * inv;
+                                let old = centroids.get(j, u);
+                                let diff = next.to_f64() - old.to_f64();
+                                shift_sq += diff * diff;
+                                row_changed |= next.bits() != old.bits();
+                                centroids.set(j, u, next);
+                            }
+                            worst_shift_sq = worst_shift_sq.max(shift_sq);
+                            if row_changed {
+                                changed.mark(j);
+                                changed_rows.push(j);
+                            }
+                        }
+                        for &j in &touched_rows {
+                            row_slot[j] = u32::MAX;
+                        }
+                    } else {
+                        // Nothing moved anywhere: no centroid can change.
+                        changed.clear();
+                        changed_rows.clear();
+                    }
+                    // global_moved == 0: no centroid can change — the shift
+                    // is exactly 0.0, matching the dense recompute bitwise.
+                    it.update += t2.elapsed().as_secs_f64();
                 }
-                worst_shift_sq = worst_shift_sq.max(shift_sq);
             }
-            it.update += t1.elapsed().as_secs_f64();
+
+            prev_labels.clear();
+            prev_labels.extend(assigned.iter().map(|&(label, _)| label));
             it.wall = iter_start.elapsed().as_secs_f64();
             trace.push(it);
             iterations += 1;
@@ -86,7 +342,36 @@ pub(crate) fn run<S: Scalar>(
         (result_centroids, iterations, converged, trace)
     });
 
-    Ok(crate::executor::assemble(data, outs, costs, cfg.kernel))
+    Ok(crate::executor::assemble(data, outs, costs, cfg, ring))
+}
+
+/// Divide merged sums by merged counts into `centroids` for `rows`,
+/// returning the worst squared centroid shift. Empty clusters keep their
+/// centroid. The division expression is shared by every update path — that
+/// identity is what the bitwise-equivalence guarantee rests on.
+pub(crate) fn divide_rows<S: Scalar>(
+    centroids: &mut Matrix<S>,
+    sums: &[S],
+    counts: &[u64],
+    d: usize,
+    rows: std::ops::Range<usize>,
+) -> f64 {
+    let mut worst_shift_sq = 0.0f64;
+    for j in rows {
+        if counts[j] == 0 {
+            continue; // empty cluster keeps its centroid
+        }
+        let inv = S::ONE / S::from_usize(counts[j] as usize);
+        let mut shift_sq = 0.0f64;
+        for u in 0..d {
+            let next = sums[j * d + u] * inv;
+            let diff = next.to_f64() - centroids.get(j, u).to_f64();
+            shift_sq += diff * diff;
+            centroids.set(j, u, next);
+        }
+        worst_shift_sq = worst_shift_sq.max(shift_sq);
+    }
+    worst_shift_sq
 }
 
 /// Element-wise sum combine for AllReduce payloads.
@@ -94,6 +379,16 @@ pub(crate) fn sum_slices<S: Scalar>(acc: &mut [S], x: &[S]) {
     for (a, b) in acc.iter_mut().zip(x) {
         *a += *b;
     }
+}
+
+/// Combine for the delta touched-consensus AllReduce: bitwise OR over the
+/// mask words, integer sum on the trailing moved-count element.
+pub(crate) fn or_words_sum_last(acc: &mut [u64], x: &[u64]) {
+    let (last, words) = acc.split_last_mut().expect("consensus buffer is nonempty");
+    for (a, b) in words.iter_mut().zip(x) {
+        *a |= *b;
+    }
+    *last += x[x.len() - 1];
 }
 
 #[cfg(test)]
@@ -122,6 +417,7 @@ mod tests {
             max_iters: 5,
             tol: 0.0,
             kernel: AssignKernel::Scalar,
+            ..HierConfig::new(Level::L1)
         };
         let hier = run(&data, init.clone(), &cfg).unwrap();
         let serial = Lloyd::run_from(
@@ -152,6 +448,7 @@ mod tests {
             max_iters: 20,
             tol: 1e-9,
             kernel: AssignKernel::Scalar,
+            ..HierConfig::new(Level::L1)
         };
         let hier = run(&data, init.clone(), &cfg).unwrap();
         let serial = Lloyd::run_from(&data, init, &KMeansConfig::new(4).with_tol(1e-9)).unwrap();
@@ -173,6 +470,7 @@ mod tests {
                 max_iters: 10,
                 tol: 0.0,
                 kernel: AssignKernel::Scalar,
+                ..HierConfig::new(Level::L1)
             };
             let r = run(&data, init.clone(), &cfg).unwrap();
             if let Some(ref m) = reference {
@@ -195,6 +493,7 @@ mod tests {
             max_iters: 3,
             tol: 0.0,
             kernel: AssignKernel::Scalar,
+            ..HierConfig::new(Level::L1)
         };
         let r = run(&data, init, &cfg).unwrap();
         // 3 iterations × (sums k·d f64 + counts k u64) over a 4-rank
@@ -203,6 +502,68 @@ mod tests {
         assert!(r.comm_messages >= 3 * 2 * 3); // ≥ 3 msgs per allreduce × 2 × iters
         let upper = 3 * 2 * 6 * (3 * 4 * 8 + 3 * 8 + 64);
         assert!(r.comm_bytes < upper, "bytes {} vs {}", r.comm_bytes, upper);
+    }
+
+    #[test]
+    fn update_modes_agree_bitwise_with_twopass() {
+        use crate::executor::MergeStrategy;
+        let data = random_data(300, 5, 21);
+        let init = init_centroids(&data, 9, InitMethod::Forgy, 13);
+        let run_with = |update: UpdateMode, merge: MergeStrategy| {
+            let cfg = HierConfig {
+                level: Level::L1,
+                units: 4,
+                max_iters: 15,
+                tol: 0.0,
+                kernel: AssignKernel::Scalar,
+                update,
+                merge,
+                ..HierConfig::new(Level::L1)
+            };
+            run(&data, init.clone(), &cfg).unwrap()
+        };
+        let base = run_with(UpdateMode::TwoPass, MergeStrategy::Tree);
+        for update in [UpdateMode::Fused, UpdateMode::Delta] {
+            let r = run_with(update, MergeStrategy::Tree);
+            assert_eq!(r.iterations, base.iterations, "{update}");
+            assert_eq!(r.labels, base.labels, "{update}");
+            let bits = |m: &Matrix<f64>| -> Vec<u64> {
+                m.as_slice().iter().map(|v| v.to_bits()).collect()
+            };
+            assert_eq!(
+                bits(&r.centroids),
+                bits(&base.centroids),
+                "{update} centroids diverged bitwise"
+            );
+            assert_eq!(r.objective.to_bits(), base.objective.to_bits(), "{update}");
+            assert_eq!(r.update, update);
+        }
+        // Forced ring merge also reproduces the tree result on this data
+        // (the fold order differs, but the converged fit agrees here).
+        let ringed = run_with(UpdateMode::Fused, MergeStrategy::Ring);
+        assert!(ringed.merge_ring);
+        assert!(ringed.centroids.max_abs_diff(&base.centroids) < 1e-9);
+    }
+
+    #[test]
+    fn delta_run_reports_decaying_moved_fraction() {
+        let data = random_data(200, 3, 4);
+        let init = init_centroids(&data, 4, InitMethod::KMeansPlusPlus, 5);
+        let cfg = HierConfig {
+            level: Level::L1,
+            units: 4,
+            max_iters: 100,
+            tol: 1e-9,
+            kernel: AssignKernel::Scalar,
+            update: UpdateMode::Delta,
+            ..HierConfig::new(Level::L1)
+        };
+        let r = run(&data, init, &cfg).unwrap();
+        assert!(r.converged);
+        let first = r.trace.iter_critical(0).moved_fraction;
+        let last = r.trace.iter_critical(r.iterations - 1).moved_fraction;
+        assert_eq!(first, 1.0);
+        assert_eq!(last, 0.0, "converged run must end with nothing moving");
     }
 
     #[test]
@@ -217,6 +578,7 @@ mod tests {
             max_iters: 100,
             tol: 1e-9,
             kernel: AssignKernel::Scalar,
+            ..HierConfig::new(Level::L1)
         };
         let r = run(&data, init, &cfg).unwrap();
         assert!(r.converged);

@@ -12,15 +12,37 @@
 //! unit.
 
 use crate::executor::{assemble, HierConfig, HierError, HierResult, IterTiming};
-use crate::level1::sum_slices;
+use crate::level1::{divide_rows, or_words_sum_last, sum_slices};
 use crate::partition::split_range;
-use kmeans_core::{AssignPlan, Matrix, Scalar};
+use kmeans_core::{AssignPlan, Matrix, Scalar, TouchedSet, UpdateMode, DELTA_FALLBACK_FRACTION};
 use msg::World;
 use sw_arch::MachineParams;
 
 /// Neutral element of the min-loc merge: never wins against a real
 /// distance.
 pub(crate) const MINLOC_NEUTRAL: (f64, u64) = (f64::INFINITY, u64::MAX);
+
+/// The per-sample argmin merge. For `f32` problems the `(distance, index)`
+/// pair packs losslessly into one `u64` (order-preserving key bits ‖ index),
+/// halving the min-loc AllReduce payload; `f64` keeps the unpacked pairs.
+/// Both preserve the lowest-index tie-break. The neutral pair maps to the
+/// packed neutral (`u64::MAX as u32 == u32::MAX`), so empty shards need no
+/// special casing.
+pub(crate) fn merge_min_loc<S: Scalar>(comm: &mut msg::Comm, pairs: &mut Vec<(f64, u64)>) {
+    if S::BYTES == 4 {
+        let mut packed: Vec<u64> = pairs
+            .iter()
+            .map(|&(key, idx)| msg::pack_min_loc(key as f32, idx as u32))
+            .collect();
+        comm.allreduce_min_loc_packed(&mut packed);
+        for (pair, &p) in pairs.iter_mut().zip(&packed) {
+            let (key, idx) = msg::unpack_min_loc(p);
+            *pair = (key as f64, idx as u64);
+        }
+    } else {
+        comm.allreduce_min_loc(pairs);
+    }
+}
 
 pub(crate) fn run<S: Scalar>(
     data: &Matrix<S>,
@@ -39,6 +61,19 @@ pub(crate) fn run<S: Scalar>(
     let k = init.rows();
     let n_groups = cfg.units / g;
     let ldm_bytes = MachineParams::taihulight().ldm_bytes;
+    // The fused path folds winners during scoring, which needs the winner
+    // known at score time — true exactly when the member owns every
+    // centroid (g == 1; otherwise the winner emerges from the min-loc
+    // merge and fused keeps the post-merge sweep).
+    let fuse = cfg.update == UpdateMode::Fused && g == 1;
+    // Report the ring decision of the widest shard (member 0); each
+    // shard communicator resolves its own shard size identically on all
+    // of its members, so resolution is deadlock-safe.
+    let ring_report = cfg.merge.use_ring(
+        split_range(k, g, 0).len() * d * S::BYTES,
+        n_groups,
+        cfg.update,
+    );
 
     let (outs, costs) = World::run_with_cost(cfg.units, |comm| {
         let rank = comm.rank();
@@ -59,9 +94,18 @@ pub(crate) fn run<S: Scalar>(
         let mut counts = vec![0u64; shard_k];
         let mut pairs: Vec<(f64, u64)> = Vec::with_capacity(my_samples.len());
         let mut assigned: Vec<(u32, S)> = Vec::with_capacity(my_samples.len());
+        let mut prev_labels: Vec<u32> = Vec::with_capacity(my_samples.len());
+        let mut touched = TouchedSet::new(shard_k);
+        let mut slot_of: Vec<u32> = vec![u32::MAX; shard_k];
+        let mut compact_sums: Vec<S> = Vec::new();
+        let mut compact_counts: Vec<u64> = Vec::new();
+        let ring = shard_comm.size() > 1
+            && cfg
+                .merge
+                .use_ring(shard_k * d * S::BYTES, shard_comm.size(), cfg.update);
         let mut trace: Vec<IterTiming> = Vec::new();
 
-        for _ in 0..cfg.max_iters {
+        for iter in 0..cfg.max_iters {
             let iter_start = std::time::Instant::now();
             let mut it = IterTiming::default();
             // ---- Assign: partial argmin over my shard (lines 9–10), via
@@ -76,66 +120,199 @@ pub(crate) fn run<S: Scalar>(
             } else {
                 let plan = AssignPlan::with_ldm_budget(cfg.kernel, &shard, ldm_bytes);
                 assigned.clear();
-                plan.assign_batch_into(
-                    data,
-                    my_samples.clone(),
-                    &shard,
-                    0..shard_k,
-                    my_centroids.start,
-                    &mut assigned,
-                );
+                if fuse {
+                    // g == 1: my partial argmin IS the winner, so fold each
+                    // scored sample into the shard sums while it is hot.
+                    sums.iter_mut().for_each(|v| *v = S::ZERO);
+                    counts.iter_mut().for_each(|v| *v = 0);
+                    plan.assign_accumulate_into(
+                        data,
+                        my_samples.clone(),
+                        &shard,
+                        0..shard_k,
+                        my_centroids.start,
+                        &mut assigned,
+                        &mut sums,
+                        &mut counts,
+                    );
+                } else {
+                    plan.assign_batch_into(
+                        data,
+                        my_samples.clone(),
+                        &shard,
+                        0..shard_k,
+                        my_centroids.start,
+                        &mut assigned,
+                    );
+                }
                 pairs.extend(assigned.iter().map(|&(j, key)| (key.to_f64(), j as u64)));
             }
             it.assign += t0.elapsed().as_secs_f64();
             // The min-loc merge produces the global a(i) for every sample
             // of the stripe, on every member.
             let t1 = std::time::Instant::now();
-            group_comm.allreduce_min_loc(&mut pairs);
+            merge_min_loc::<S>(&mut group_comm, &mut pairs);
             it.merge += t1.elapsed().as_secs_f64();
 
-            // ---- Accumulate winners that land in my shard (11–12). ----
-            let t2 = std::time::Instant::now();
-            sums.iter_mut().for_each(|v| *v = S::ZERO);
-            counts.iter_mut().for_each(|v| *v = 0);
-            for (offset, i) in my_samples.clone().enumerate() {
-                let j = pairs[offset].1 as usize;
-                if my_centroids.contains(&j) {
-                    let j_local = j - my_centroids.start;
-                    counts[j_local] += 1;
-                    let acc = &mut sums[j_local * d..(j_local + 1) * d];
-                    for (a, x) in acc.iter_mut().zip(data.row(i)) {
-                        *a += *x;
-                    }
-                }
-            }
+            // Local reassignment bookkeeping against the previous
+            // iteration's winners — no collectives.
+            let local_moved = if iter == 0 {
+                pairs.len() as u64
+            } else {
+                pairs
+                    .iter()
+                    .zip(&prev_labels)
+                    .filter(|((_, j), prev)| *j != **prev as u64)
+                    .count() as u64
+            };
+            it.moved_fraction = if pairs.is_empty() {
+                0.0
+            } else {
+                local_moved as f64 / pairs.len() as f64
+            };
 
-            it.assign += t2.elapsed().as_secs_f64();
-            // ---- Update: reduce my shard across groups (13–15). ----
-            let t3 = std::time::Instant::now();
-            shard_comm.allreduce_with(&mut sums, sum_slices::<S>);
-            shard_comm.allreduce_sum_u64(&mut counts);
             let mut worst_shift_sq = 0.0f64;
-            for j_local in 0..shard_k {
-                if counts[j_local] == 0 {
-                    continue;
+            match cfg.update {
+                UpdateMode::TwoPass | UpdateMode::Fused => {
+                    // ---- Accumulate winners that land in my shard (11–12);
+                    // the fused g == 1 path already has them. ----
+                    if !fuse {
+                        let t2 = std::time::Instant::now();
+                        sums.iter_mut().for_each(|v| *v = S::ZERO);
+                        counts.iter_mut().for_each(|v| *v = 0);
+                        for (offset, i) in my_samples.clone().enumerate() {
+                            let j = pairs[offset].1 as usize;
+                            if my_centroids.contains(&j) {
+                                let j_local = j - my_centroids.start;
+                                counts[j_local] += 1;
+                                let acc = &mut sums[j_local * d..(j_local + 1) * d];
+                                for (a, x) in acc.iter_mut().zip(data.row(i)) {
+                                    *a += *x;
+                                }
+                            }
+                        }
+                        it.assign += t2.elapsed().as_secs_f64();
+                    }
+                    // ---- Update: reduce my shard across groups (13–15). ----
+                    let t3 = std::time::Instant::now();
+                    if ring {
+                        shard_comm.allreduce_ring(&mut sums, sum_slices::<S>);
+                    } else {
+                        shard_comm.allreduce_with(&mut sums, sum_slices::<S>);
+                    }
+                    shard_comm.allreduce_sum_u64(&mut counts);
+                    worst_shift_sq = divide_rows(&mut shard, &sums, &counts, d, 0..shard_k);
+                    it.update += t3.elapsed().as_secs_f64();
                 }
-                let inv = S::ONE / S::from_usize(counts[j_local] as usize);
-                let mut shift_sq = 0.0f64;
-                for u in 0..d {
-                    let next = sums[j_local * d + u] * inv;
-                    let diff = next.to_f64() - shard.get(j_local, u).to_f64();
-                    shift_sq += diff * diff;
-                    shard.set(j_local, u, next);
+                UpdateMode::Delta => {
+                    // ---- Touched consensus over my shard communicator:
+                    // OR the shard-row masks, sum the per-stripe moved
+                    // counts. Each group contributes its stripe through its
+                    // member of this communicator, so the sum is the global
+                    // moved count and identical on every rank.
+                    let global_moved;
+                    if iter == 0 {
+                        global_moved = n as u64;
+                    } else {
+                        let t1 = std::time::Instant::now();
+                        touched.clear();
+                        for (offset, &(_, j)) in pairs.iter().enumerate() {
+                            let old = prev_labels[offset] as usize;
+                            let new = j as usize;
+                            if old != new {
+                                if my_centroids.contains(&old) {
+                                    touched.mark(old - my_centroids.start);
+                                }
+                                if my_centroids.contains(&new) {
+                                    touched.mark(new - my_centroids.start);
+                                }
+                            }
+                        }
+                        let mut consensus: Vec<u64> = touched.words().to_vec();
+                        consensus.push(local_moved);
+                        shard_comm.allreduce_with(&mut consensus, or_words_sum_last);
+                        global_moved = *consensus.last().unwrap();
+                        touched.set_words(&consensus[..consensus.len() - 1]);
+                        it.merge += t1.elapsed().as_secs_f64();
+                    }
+
+                    let t2 = std::time::Instant::now();
+                    if iter == 0 || global_moved as f64 / n as f64 >= DELTA_FALLBACK_FRACTION {
+                        // Dense fallback: the two-pass accumulate + merge.
+                        sums.iter_mut().for_each(|v| *v = S::ZERO);
+                        counts.iter_mut().for_each(|v| *v = 0);
+                        for (offset, i) in my_samples.clone().enumerate() {
+                            let j = pairs[offset].1 as usize;
+                            if my_centroids.contains(&j) {
+                                let j_local = j - my_centroids.start;
+                                counts[j_local] += 1;
+                                let acc = &mut sums[j_local * d..(j_local + 1) * d];
+                                for (a, x) in acc.iter_mut().zip(data.row(i)) {
+                                    *a += *x;
+                                }
+                            }
+                        }
+                        shard_comm.allreduce_with(&mut sums, sum_slices::<S>);
+                        shard_comm.allreduce_sum_u64(&mut counts);
+                        worst_shift_sq = divide_rows(&mut shard, &sums, &counts, d, 0..shard_k);
+                    } else if touched.count() > 0 {
+                        // Sparse: recompute only the touched shard rows and
+                        // merge a compact buffer across groups.
+                        let touched_rows: Vec<usize> = touched.iter().collect();
+                        for (slot, &j_local) in touched_rows.iter().enumerate() {
+                            slot_of[j_local] = slot as u32;
+                        }
+                        compact_sums.clear();
+                        compact_sums.resize(touched_rows.len() * d, S::ZERO);
+                        compact_counts.clear();
+                        compact_counts.resize(touched_rows.len(), 0);
+                        for (offset, i) in my_samples.clone().enumerate() {
+                            let j = pairs[offset].1 as usize;
+                            if my_centroids.contains(&j) {
+                                let slot = slot_of[j - my_centroids.start];
+                                if slot != u32::MAX {
+                                    let slot = slot as usize;
+                                    compact_counts[slot] += 1;
+                                    let acc = &mut compact_sums[slot * d..(slot + 1) * d];
+                                    for (a, x) in acc.iter_mut().zip(data.row(i)) {
+                                        *a += *x;
+                                    }
+                                }
+                            }
+                        }
+                        shard_comm.allreduce_with(&mut compact_sums, sum_slices::<S>);
+                        shard_comm.allreduce_sum_u64(&mut compact_counts);
+                        for (slot, &j_local) in touched_rows.iter().enumerate() {
+                            if compact_counts[slot] == 0 {
+                                continue;
+                            }
+                            let inv = S::ONE / S::from_usize(compact_counts[slot] as usize);
+                            let mut shift_sq = 0.0f64;
+                            for u in 0..d {
+                                let next = compact_sums[slot * d + u] * inv;
+                                let diff = next.to_f64() - shard.get(j_local, u).to_f64();
+                                shift_sq += diff * diff;
+                                shard.set(j_local, u, next);
+                            }
+                            worst_shift_sq = worst_shift_sq.max(shift_sq);
+                        }
+                        for &j_local in &touched_rows {
+                            slot_of[j_local] = u32::MAX;
+                        }
+                    }
+                    it.update += t2.elapsed().as_secs_f64();
                 }
-                worst_shift_sq = worst_shift_sq.max(shift_sq);
             }
 
             // ---- Convergence: global max shift over all shards. ----
+            let t4 = std::time::Instant::now();
             let mut shift = vec![worst_shift_sq];
             comm.allreduce_with(&mut shift, |acc, x| {
                 acc[0] = acc[0].max(x[0]);
             });
-            it.update += t3.elapsed().as_secs_f64();
+            it.update += t4.elapsed().as_secs_f64();
+            prev_labels.clear();
+            prev_labels.extend(pairs.iter().map(|&(_, j)| j as u32));
             it.wall = iter_start.elapsed().as_secs_f64();
             trace.push(it);
             iterations += 1;
@@ -160,7 +337,7 @@ pub(crate) fn run<S: Scalar>(
         (full, iterations, converged, trace)
     });
 
-    Ok(assemble(data, outs, costs, cfg.kernel))
+    Ok(assemble(data, outs, costs, cfg, ring_report))
 }
 
 #[cfg(test)]
@@ -186,6 +363,7 @@ mod tests {
             max_iters,
             tol: 0.0,
             kernel: AssignKernel::Scalar,
+            ..HierConfig::new(Level::L2)
         }
     }
 
@@ -294,6 +472,50 @@ mod tests {
             );
             assert_eq!(r.kernel, kernel);
         }
+    }
+
+    #[test]
+    fn update_modes_agree_bitwise_with_twopass() {
+        let data = random_data(240, 5, 77);
+        let init = init_centroids(&data, 8, InitMethod::Forgy, 19);
+        for (units, g) in [(4, 1), (8, 2), (8, 4)] {
+            let mut base_cfg = cfg(units, g, 12);
+            base_cfg.update = UpdateMode::TwoPass;
+            let base = run(&data, init.clone(), &base_cfg).unwrap();
+            for update in [UpdateMode::Fused, UpdateMode::Delta] {
+                let mut c = cfg(units, g, 12);
+                c.update = update;
+                let r = run(&data, init.clone(), &c).unwrap();
+                assert_eq!(r.iterations, base.iterations, "{units}/{g} {update}");
+                assert_eq!(r.labels, base.labels, "{units}/{g} {update}");
+                let bits = |m: &Matrix<f64>| -> Vec<u64> {
+                    m.as_slice().iter().map(|v| v.to_bits()).collect()
+                };
+                assert_eq!(
+                    bits(&r.centroids),
+                    bits(&base.centroids),
+                    "{units}/{g} {update} centroids diverged bitwise"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn f32_packed_min_loc_merge_matches_f64_labels() {
+        // f32 runs take the packed single-u64 min-loc merge; the labels must
+        // agree with the f64 run's unpacked merge on well-separated data.
+        let data = random_data(120, 4, 91);
+        let data32: Matrix<f32> = data.cast();
+        let init = init_centroids(&data, 6, InitMethod::Forgy, 23);
+        let init32: Matrix<f32> = init.cast();
+        let r64 = run(&data, init, &cfg(8, 4, 3)).unwrap();
+        let r32 = run(&data32, init32, &cfg(8, 4, 3)).unwrap();
+        assert_eq!(r32.labels, r64.labels);
+        // Packed pairs are one u64 where unpacked pairs are (f64, u64):
+        // the f32 run's min-loc traffic must be half the f64 run's.
+        let minloc32 = r32.comm.bytes_of(msg::OpKind::MinLoc);
+        let minloc64 = r64.comm.bytes_of(msg::OpKind::MinLoc);
+        assert!(minloc32 * 2 == minloc64, "{minloc32} vs {minloc64}");
     }
 
     #[test]

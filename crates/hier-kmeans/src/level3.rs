@@ -16,10 +16,10 @@
 //! — so `k·d` scales with the machine, not with any single memory.
 
 use crate::executor::{assemble, HierConfig, HierError, HierResult, IterTiming};
-use crate::level1::sum_slices;
-use crate::level2::MINLOC_NEUTRAL;
+use crate::level1::{divide_rows, or_words_sum_last, sum_slices};
+use crate::level2::{merge_min_loc, MINLOC_NEUTRAL};
 use crate::partition::split_range;
-use kmeans_core::{AssignPlan, Matrix, Scalar};
+use kmeans_core::{AssignPlan, Matrix, Scalar, TouchedSet, UpdateMode, DELTA_FALLBACK_FRACTION};
 use msg::World;
 use std::ops::Range;
 use sw_arch::MachineParams;
@@ -68,6 +68,15 @@ pub(crate) fn run<S: Scalar>(
     // The CPE slice boundaries depend only on (d, cpes): compute them once
     // per run instead of per sample × centroid inside the inner loops.
     let slices = cpe_slices(d, cpes);
+    // Fuse only when the CG owns every centroid (g == 1): the winner is
+    // known at score time and each virtual CPE folds its dimension slice of
+    // the sample into the shard sums while it is resident.
+    let fuse = cfg.update == UpdateMode::Fused && g == 1;
+    let ring_report = cfg.merge.use_ring(
+        split_range(k, g, 0).len() * d * S::BYTES,
+        n_groups,
+        cfg.update,
+    );
 
     let (outs, costs) = World::run_with_cost(cfg.units, |comm| {
         let rank = comm.rank();
@@ -90,9 +99,18 @@ pub(crate) fn run<S: Scalar>(
         let mut counts = vec![0u64; shard_k];
         let mut pairs: Vec<(f64, u64)> = Vec::with_capacity(my_samples.len());
         let mut assigned: Vec<(u32, S)> = Vec::with_capacity(my_samples.len());
+        let mut prev_labels: Vec<u32> = Vec::with_capacity(my_samples.len());
+        let mut touched = TouchedSet::new(shard_k);
+        let mut slot_of: Vec<u32> = vec![u32::MAX; shard_k];
+        let mut compact_sums: Vec<S> = Vec::new();
+        let mut compact_counts: Vec<u64> = Vec::new();
+        let ring = shard_comm.size() > 1
+            && cfg
+                .merge
+                .use_ring(shard_k * d * S::BYTES, shard_comm.size(), cfg.update);
         let mut trace: Vec<IterTiming> = Vec::new();
 
-        for _ in 0..cfg.max_iters {
+        for iter in 0..cfg.max_iters {
             let iter_start = std::time::Instant::now();
             let mut it = IterTiming::default();
             // ---- Assign: per-CPE partial dot products / distances over
@@ -107,72 +125,218 @@ pub(crate) fn run<S: Scalar>(
                 let plan =
                     AssignPlan::with_options(cfg.kernel, &shard, ldm_bytes, Some(slices.clone()));
                 assigned.clear();
-                plan.assign_batch_into(
-                    data,
-                    my_samples.clone(),
-                    &shard,
-                    0..shard_k,
-                    my_centroids.start,
-                    &mut assigned,
-                );
+                if fuse {
+                    // The fold respects the plan's dimension slices, so the
+                    // accumulation models (and bitwise matches) the per-CPE
+                    // sliced sweep below.
+                    sums.iter_mut().for_each(|v| *v = S::ZERO);
+                    counts.iter_mut().for_each(|v| *v = 0);
+                    plan.assign_accumulate_into(
+                        data,
+                        my_samples.clone(),
+                        &shard,
+                        0..shard_k,
+                        my_centroids.start,
+                        &mut assigned,
+                        &mut sums,
+                        &mut counts,
+                    );
+                } else {
+                    plan.assign_batch_into(
+                        data,
+                        my_samples.clone(),
+                        &shard,
+                        0..shard_k,
+                        my_centroids.start,
+                        &mut assigned,
+                    );
+                }
                 pairs.extend(assigned.iter().map(|&(j, key)| (key.to_f64(), j as u64)));
             }
             it.assign += t0.elapsed().as_secs_f64();
             // Line 11: min-loc merge across the G CGs of the group.
             let t1 = std::time::Instant::now();
-            group_comm.allreduce_min_loc(&mut pairs);
+            merge_min_loc::<S>(&mut group_comm, &mut pairs);
             it.merge += t1.elapsed().as_secs_f64();
 
-            // ---- Accumulate winners in my shard (lines 12–13), with the
-            // accumulator itself dimension-sliced across virtual CPEs
-            // (disjoint writes, identical values). ----
-            let t2 = std::time::Instant::now();
-            sums.iter_mut().for_each(|v| *v = S::ZERO);
-            counts.iter_mut().for_each(|v| *v = 0);
-            for (offset, i) in my_samples.clone().enumerate() {
-                let j = pairs[offset].1 as usize;
-                if my_centroids.contains(&j) {
-                    let j_local = j - my_centroids.start;
-                    counts[j_local] += 1;
-                    let row = data.row(i);
-                    for slice in &slices {
-                        let acc = &mut sums[j_local * d + slice.start..j_local * d + slice.end];
-                        for (a, x) in acc.iter_mut().zip(&row[slice.clone()]) {
-                            *a += *x;
+            // Local reassignment bookkeeping — no collectives.
+            let local_moved = if iter == 0 {
+                pairs.len() as u64
+            } else {
+                pairs
+                    .iter()
+                    .zip(&prev_labels)
+                    .filter(|((_, j), prev)| *j != **prev as u64)
+                    .count() as u64
+            };
+            it.moved_fraction = if pairs.is_empty() {
+                0.0
+            } else {
+                local_moved as f64 / pairs.len() as f64
+            };
+
+            let mut worst_shift_sq = 0.0f64;
+            match cfg.update {
+                UpdateMode::TwoPass | UpdateMode::Fused => {
+                    // ---- Accumulate winners in my shard (lines 12–13),
+                    // with the accumulator itself dimension-sliced across
+                    // virtual CPEs (disjoint writes, identical values); the
+                    // fused g == 1 path already folded them in-kernel. ----
+                    if !fuse {
+                        let t2 = std::time::Instant::now();
+                        sums.iter_mut().for_each(|v| *v = S::ZERO);
+                        counts.iter_mut().for_each(|v| *v = 0);
+                        for (offset, i) in my_samples.clone().enumerate() {
+                            let j = pairs[offset].1 as usize;
+                            if my_centroids.contains(&j) {
+                                let j_local = j - my_centroids.start;
+                                counts[j_local] += 1;
+                                let row = data.row(i);
+                                for slice in &slices {
+                                    let acc = &mut sums
+                                        [j_local * d + slice.start..j_local * d + slice.end];
+                                    for (a, x) in acc.iter_mut().zip(&row[slice.clone()]) {
+                                        *a += *x;
+                                    }
+                                }
+                            }
                         }
+                        // The dimension-sliced accumulation stands in for
+                        // the register-bus dimension exchange, so it is
+                        // traced as its own phase rather than folded into
+                        // Assign.
+                        it.exchange += t2.elapsed().as_secs_f64();
+                    }
+                    // ---- Update: AllReduce shards across groups (14–16). ----
+                    let t3 = std::time::Instant::now();
+                    if ring {
+                        shard_comm.allreduce_ring(&mut sums, sum_slices::<S>);
+                    } else {
+                        shard_comm.allreduce_with(&mut sums, sum_slices::<S>);
+                    }
+                    shard_comm.allreduce_sum_u64(&mut counts);
+                    worst_shift_sq = divide_rows(&mut shard, &sums, &counts, d, 0..shard_k);
+                    it.update += t3.elapsed().as_secs_f64();
+                }
+                UpdateMode::Delta => {
+                    // ---- Touched consensus across groups (see level2). ----
+                    let global_moved;
+                    if iter == 0 {
+                        global_moved = n as u64;
+                    } else {
+                        let t1 = std::time::Instant::now();
+                        touched.clear();
+                        for (offset, &(_, j)) in pairs.iter().enumerate() {
+                            let old = prev_labels[offset] as usize;
+                            let new = j as usize;
+                            if old != new {
+                                if my_centroids.contains(&old) {
+                                    touched.mark(old - my_centroids.start);
+                                }
+                                if my_centroids.contains(&new) {
+                                    touched.mark(new - my_centroids.start);
+                                }
+                            }
+                        }
+                        let mut consensus: Vec<u64> = touched.words().to_vec();
+                        consensus.push(local_moved);
+                        shard_comm.allreduce_with(&mut consensus, or_words_sum_last);
+                        global_moved = *consensus.last().unwrap();
+                        touched.set_words(&consensus[..consensus.len() - 1]);
+                        it.merge += t1.elapsed().as_secs_f64();
+                    }
+
+                    if iter == 0 || global_moved as f64 / n as f64 >= DELTA_FALLBACK_FRACTION {
+                        // Dense fallback: the sliced two-pass accumulate.
+                        let t2 = std::time::Instant::now();
+                        sums.iter_mut().for_each(|v| *v = S::ZERO);
+                        counts.iter_mut().for_each(|v| *v = 0);
+                        for (offset, i) in my_samples.clone().enumerate() {
+                            let j = pairs[offset].1 as usize;
+                            if my_centroids.contains(&j) {
+                                let j_local = j - my_centroids.start;
+                                counts[j_local] += 1;
+                                let row = data.row(i);
+                                for slice in &slices {
+                                    let acc = &mut sums
+                                        [j_local * d + slice.start..j_local * d + slice.end];
+                                    for (a, x) in acc.iter_mut().zip(&row[slice.clone()]) {
+                                        *a += *x;
+                                    }
+                                }
+                            }
+                        }
+                        it.exchange += t2.elapsed().as_secs_f64();
+                        let t3 = std::time::Instant::now();
+                        shard_comm.allreduce_with(&mut sums, sum_slices::<S>);
+                        shard_comm.allreduce_sum_u64(&mut counts);
+                        worst_shift_sq = divide_rows(&mut shard, &sums, &counts, d, 0..shard_k);
+                        it.update += t3.elapsed().as_secs_f64();
+                    } else if touched.count() > 0 {
+                        // Sparse: recompute only the touched shard rows,
+                        // still dimension-sliced (the exchange phase), then
+                        // merge the compact buffer (the update phase).
+                        let t2 = std::time::Instant::now();
+                        let touched_rows: Vec<usize> = touched.iter().collect();
+                        for (slot, &j_local) in touched_rows.iter().enumerate() {
+                            slot_of[j_local] = slot as u32;
+                        }
+                        compact_sums.clear();
+                        compact_sums.resize(touched_rows.len() * d, S::ZERO);
+                        compact_counts.clear();
+                        compact_counts.resize(touched_rows.len(), 0);
+                        for (offset, i) in my_samples.clone().enumerate() {
+                            let j = pairs[offset].1 as usize;
+                            if my_centroids.contains(&j) {
+                                let slot = slot_of[j - my_centroids.start];
+                                if slot != u32::MAX {
+                                    let slot = slot as usize;
+                                    compact_counts[slot] += 1;
+                                    let row = data.row(i);
+                                    for slice in &slices {
+                                        let acc = &mut compact_sums
+                                            [slot * d + slice.start..slot * d + slice.end];
+                                        for (a, x) in acc.iter_mut().zip(&row[slice.clone()]) {
+                                            *a += *x;
+                                        }
+                                    }
+                                }
+                            }
+                        }
+                        it.exchange += t2.elapsed().as_secs_f64();
+                        let t3 = std::time::Instant::now();
+                        shard_comm.allreduce_with(&mut compact_sums, sum_slices::<S>);
+                        shard_comm.allreduce_sum_u64(&mut compact_counts);
+                        for (slot, &j_local) in touched_rows.iter().enumerate() {
+                            if compact_counts[slot] == 0 {
+                                continue;
+                            }
+                            let inv = S::ONE / S::from_usize(compact_counts[slot] as usize);
+                            let mut shift_sq = 0.0f64;
+                            for u in 0..d {
+                                let next = compact_sums[slot * d + u] * inv;
+                                let diff = next.to_f64() - shard.get(j_local, u).to_f64();
+                                shift_sq += diff * diff;
+                                shard.set(j_local, u, next);
+                            }
+                            worst_shift_sq = worst_shift_sq.max(shift_sq);
+                        }
+                        for &j_local in &touched_rows {
+                            slot_of[j_local] = u32::MAX;
+                        }
+                        it.update += t3.elapsed().as_secs_f64();
                     }
                 }
             }
 
-            // The dimension-sliced accumulation stands in for the
-            // register-bus dimension exchange, so it is traced as its own
-            // phase rather than folded into Assign.
-            it.exchange += t2.elapsed().as_secs_f64();
-            // ---- Update: AllReduce shards across groups (lines 14–16). ----
-            let t3 = std::time::Instant::now();
-            shard_comm.allreduce_with(&mut sums, sum_slices::<S>);
-            shard_comm.allreduce_sum_u64(&mut counts);
-            let mut worst_shift_sq = 0.0f64;
-            for j_local in 0..shard_k {
-                if counts[j_local] == 0 {
-                    continue;
-                }
-                let inv = S::ONE / S::from_usize(counts[j_local] as usize);
-                let mut shift_sq = 0.0f64;
-                for u in 0..d {
-                    let next = sums[j_local * d + u] * inv;
-                    let diff = next.to_f64() - shard.get(j_local, u).to_f64();
-                    shift_sq += diff * diff;
-                    shard.set(j_local, u, next);
-                }
-                worst_shift_sq = worst_shift_sq.max(shift_sq);
-            }
-
+            let t4 = std::time::Instant::now();
             let mut shift = vec![worst_shift_sq];
             comm.allreduce_with(&mut shift, |acc, x| {
                 acc[0] = acc[0].max(x[0]);
             });
-            it.update += t3.elapsed().as_secs_f64();
+            it.update += t4.elapsed().as_secs_f64();
+            prev_labels.clear();
+            prev_labels.extend(pairs.iter().map(|&(_, j)| j as u32));
             it.wall = iter_start.elapsed().as_secs_f64();
             trace.push(it);
             iterations += 1;
@@ -194,7 +358,7 @@ pub(crate) fn run<S: Scalar>(
         (full, iterations, converged, trace)
     });
 
-    Ok(assemble(data, outs, costs, cfg.kernel))
+    Ok(assemble(data, outs, costs, cfg, ring_report))
 }
 
 #[cfg(test)]
@@ -222,6 +386,7 @@ mod tests {
             max_iters,
             tol: 0.0,
             kernel: AssignKernel::Scalar,
+            ..HierConfig::new(Level::L3)
         }
     }
 
@@ -331,6 +496,33 @@ mod tests {
     }
 
     #[test]
+    fn update_modes_agree_bitwise_with_twopass() {
+        // Ragged n/k/d splits with all three partition axes active.
+        let data = random_data(90, 23, 71);
+        let init = init_centroids(&data, 10, InitMethod::Forgy, 23);
+        for (units, g, cpes) in [(4, 1, 5), (6, 2, 5), (8, 4, 3)] {
+            let mut base_cfg = cfg(units, g, cpes, 10);
+            base_cfg.update = UpdateMode::TwoPass;
+            let base = run(&data, init.clone(), &base_cfg).unwrap();
+            for update in [UpdateMode::Fused, UpdateMode::Delta] {
+                let mut c = cfg(units, g, cpes, 10);
+                c.update = update;
+                let r = run(&data, init.clone(), &c).unwrap();
+                assert_eq!(r.iterations, base.iterations, "{units}/{g}/{cpes} {update}");
+                assert_eq!(r.labels, base.labels, "{units}/{g}/{cpes} {update}");
+                let bits = |m: &Matrix<f64>| -> Vec<u64> {
+                    m.as_slice().iter().map(|v| v.to_bits()).collect()
+                };
+                assert_eq!(
+                    bits(&r.centroids),
+                    bits(&base.centroids),
+                    "{units}/{g}/{cpes} {update} centroids diverged bitwise"
+                );
+            }
+        }
+    }
+
+    #[test]
     fn converges_on_separated_blobs() {
         let mut rows = Vec::new();
         let mut rng = ChaCha8Rng::seed_from_u64(5);
@@ -366,6 +558,7 @@ mod tests {
             max_iters: 3,
             tol: 0.0,
             kernel: AssignKernel::Scalar,
+            ..HierConfig::new(Level::L1)
         };
         let l1 = crate::level1::run(&data, init, &l1_cfg).unwrap();
         assert!(

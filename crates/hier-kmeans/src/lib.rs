@@ -35,7 +35,11 @@ pub mod plan;
 pub mod stream;
 
 pub use auto::choose_level;
-pub use executor::{fit, HierConfig, HierError, HierResult, IterTiming, PhaseTimings, TrainTrace};
+pub use executor::{
+    fit, HierConfig, HierError, HierResult, IterTiming, MergeStrategy, PhaseTimings, TrainTrace,
+    RING_CROSSOVER_BYTES,
+};
+pub use kmeans_core::UpdateMode;
 pub use partition::split_range;
 pub use perf_model::Level;
 pub use stream::{fit_source, StreamConfig};
@@ -114,6 +118,21 @@ impl HierKMeans {
     /// scalar reference; see [`kmeans_core::AssignKernel`]).
     pub fn with_kernel(mut self, kernel: kmeans_core::AssignKernel) -> Self {
         self.config.kernel = kernel;
+        self
+    }
+
+    /// Update path (default: the two-pass baseline; see
+    /// [`kmeans_core::UpdateMode`]). All paths produce bitwise-identical
+    /// results for a given kernel and merge strategy.
+    pub fn with_update(mut self, update: UpdateMode) -> Self {
+        self.config.update = update;
+        self
+    }
+
+    /// Dense-merge AllReduce strategy (default: size-based auto; see
+    /// [`MergeStrategy`]).
+    pub fn with_merge(mut self, merge: MergeStrategy) -> Self {
+        self.config.merge = merge;
         self
     }
 

@@ -12,7 +12,7 @@
 
 use crate::executor::{HierError, HierResult};
 use crate::level1::sum_slices;
-use crate::level2::MINLOC_NEUTRAL;
+use crate::level2::{merge_min_loc, MINLOC_NEUTRAL};
 use crate::partition::split_range;
 use kmeans_core::{argmin_centroid, assign_step, Matrix, SampleSource};
 use msg::World;
@@ -120,7 +120,7 @@ pub fn fit_source<Src: SampleSource + Sync>(
                         }
                     })
                     .collect();
-                group_comm.allreduce_min_loc(&mut pairs);
+                merge_min_loc::<f32>(&mut group_comm, &mut pairs);
                 // Accumulate winners in my shard.
                 for (w, &(_, j)) in pairs.iter().enumerate() {
                     let j = j as usize;
@@ -221,6 +221,8 @@ pub fn fit_source<Src: SampleSource + Sync>(
             merged
         },
         kernel: kmeans_core::AssignKernel::Scalar,
+        update: kmeans_core::UpdateMode::TwoPass,
+        merge_ring: false,
     })
 }
 

@@ -172,6 +172,14 @@ pub struct AssignPlan<S: Scalar> {
     slices: Option<Vec<Range<usize>>>,
 }
 
+/// Accumulation target of the fused assign–accumulate path: per-cluster
+/// sums (`crows.len()·d`, row-major) and member counts, indexed by
+/// `winner − crows.start`.
+struct Acc<'a, S: Scalar> {
+    sums: &'a mut [S],
+    counts: &'a mut [u64],
+}
+
 impl<S: Scalar> AssignPlan<S> {
     /// Plan with the default LDM budget and whole-row dots.
     pub fn new(kernel: AssignKernel, centroids: &Matrix<S>) -> Self {
@@ -272,18 +280,97 @@ impl<S: Scalar> AssignPlan<S> {
         global_offset: usize,
         out: &mut Vec<(u32, S)>,
     ) {
+        self.dispatch(data, srows, centroids, crows, global_offset, out, None);
+    }
+
+    /// Fused assign–accumulate: like [`AssignPlan::assign_batch_into`],
+    /// but additionally folds each scored sample into per-cluster
+    /// accumulators while it is still cache-resident, eliminating the
+    /// separate full-data Update sweep. `sums` holds `crows.len()·d`
+    /// elements (row `j − crows.start` of the winner) and `counts` one
+    /// slot per `crows` row; both are accumulated into, not zeroed.
+    ///
+    /// Bitwise discipline: samples fold in ascending `srows` order — the
+    /// scalar and expanded kernels accumulate immediately after scoring
+    /// each sample, and the tiled kernel flushes each sample tile in
+    /// ascending order after its centroid sweep (tiles are visited in
+    /// ascending order, so the global fold sequence per cluster is the
+    /// ascending sample order the two-pass sweep uses). A plan carrying
+    /// Level-3 dimension slices folds per slice, modelling each CPE
+    /// accumulating its own dimension slice; per-element addition makes
+    /// this bitwise-identical to a whole-row fold.
+    #[allow(clippy::too_many_arguments)]
+    pub fn assign_accumulate_into(
+        &self,
+        data: &Matrix<S>,
+        srows: Range<usize>,
+        centroids: &Matrix<S>,
+        crows: Range<usize>,
+        global_offset: usize,
+        out: &mut Vec<(u32, S)>,
+        sums: &mut [S],
+        counts: &mut [u64],
+    ) {
+        assert_eq!(sums.len(), crows.len() * self.d, "sums shape mismatch");
+        assert_eq!(counts.len(), crows.len(), "counts shape mismatch");
+        self.dispatch(
+            data,
+            srows,
+            centroids,
+            crows,
+            global_offset,
+            out,
+            Some(Acc { sums, counts }),
+        );
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn dispatch(
+        &self,
+        data: &Matrix<S>,
+        srows: Range<usize>,
+        centroids: &Matrix<S>,
+        crows: Range<usize>,
+        global_offset: usize,
+        out: &mut Vec<(u32, S)>,
+        acc: Option<Acc<'_, S>>,
+    ) {
         self.check(centroids, &crows);
         assert_eq!(data.cols(), self.d, "sample dimension mismatch");
         out.reserve(srows.len());
         match self.kernel {
             AssignKernel::Scalar => {
-                self.scalar_batch(data, srows, centroids, crows, global_offset, out)
+                self.scalar_batch(data, srows, centroids, crows, global_offset, out, acc)
             }
             AssignKernel::Expanded => {
-                self.expanded_batch(data, srows, centroids, crows, global_offset, out)
+                self.expanded_batch(data, srows, centroids, crows, global_offset, out, acc)
             }
             AssignKernel::Tiled => {
-                self.tiled_batch(data, srows, centroids, crows, global_offset, out)
+                self.tiled_batch(data, srows, centroids, crows, global_offset, out, acc)
+            }
+        }
+    }
+
+    /// Fold one scored sample into the accumulators at `local_row`
+    /// (winner − `crows.start`). Iterates the plan's dimension slices when
+    /// present — each virtual CPE adds its own slice, exactly as Level 3
+    /// partitions the Update — which is bitwise-identical to a whole-row
+    /// add because the fold is per-element.
+    fn fold_sample(&self, acc: &mut Acc<'_, S>, local_row: usize, sample: &[S]) {
+        acc.counts[local_row] += 1;
+        let dst = &mut acc.sums[local_row * self.d..(local_row + 1) * self.d];
+        match &self.slices {
+            None => {
+                for (a, &x) in dst.iter_mut().zip(sample) {
+                    *a += x;
+                }
+            }
+            Some(sl) => {
+                for r in sl {
+                    for (a, &x) in dst[r.clone()].iter_mut().zip(&sample[r.clone()]) {
+                        *a += x;
+                    }
+                }
             }
         }
     }
@@ -335,6 +422,58 @@ impl<S: Scalar> AssignPlan<S> {
         }
     }
 
+    /// The exact comparison key the full scan evaluates for the single
+    /// pair (`sample`, centroid row `j`): the squared distance for
+    /// `Scalar`, the `‖c‖² − 2·x·c` score for `Expanded`/`Tiled`.
+    ///
+    /// Per-pair keys are batch-independent — the tiled micro kernel and
+    /// every edge fallback accumulate each dot in the same ascending order
+    /// (see [`dot_sliced_linear`]) — so a scan that lexicographically
+    /// minimises `(score_pair, j)` over *any* candidate subset reproduces
+    /// the batch scan's winner over that subset bit for bit. This is what
+    /// lets the delta update path rescore only the centroids that moved.
+    pub fn score_pair(&self, sample: &[S], centroids: &Matrix<S>, j: usize) -> S {
+        self.check(centroids, &(j..j + 1));
+        let full = 0..self.d;
+        let sl: &[Range<usize>] = self
+            .slices
+            .as_deref()
+            .unwrap_or(std::slice::from_ref(&full));
+        let two = S::from_f64(2.0);
+        let row = centroids.row(j);
+        match self.kernel {
+            AssignKernel::Scalar => match &self.slices {
+                None => sq_euclidean_unrolled(sample, row),
+                Some(sl) => {
+                    let mut acc = S::ZERO;
+                    for r in sl {
+                        acc += sq_euclidean_unrolled(&sample[r.clone()], &row[r.clone()]);
+                    }
+                    acc
+                }
+            },
+            AssignKernel::Expanded => self.norms[j] - two * dot_sliced_unrolled(sample, row, sl),
+            AssignKernel::Tiled => self.norms[j] - two * dot_sliced_linear(sample, row, sl),
+        }
+    }
+
+    /// Convert a winning [`AssignPlan::score_pair`] key into the distance
+    /// value [`AssignPlan::assign_batch_into`] reports for that sample
+    /// (`‖x‖²` is added back for the expanded forms, in the same order the
+    /// batch kernels use).
+    pub fn key_to_dist(&self, sample: &[S], key: S) -> S {
+        let full = 0..self.d;
+        let sl: &[Range<usize>] = self
+            .slices
+            .as_deref()
+            .unwrap_or(std::slice::from_ref(&full));
+        match self.kernel {
+            AssignKernel::Scalar => key,
+            AssignKernel::Expanded => dot_sliced_unrolled(sample, sample, sl) + key,
+            AssignKernel::Tiled => dot_sliced_linear(sample, sample, sl) + key,
+        }
+    }
+
     /// Ascending-index strict-`<` scan of `‖c‖² − 2·x·c` with a caller-
     /// supplied dot kernel. Returns the winning absolute row and score.
     fn score_scan(
@@ -357,6 +496,7 @@ impl<S: Scalar> AssignPlan<S> {
         (best_j, best)
     }
 
+    #[allow(clippy::too_many_arguments)]
     fn scalar_batch(
         &self,
         data: &Matrix<S>,
@@ -365,6 +505,7 @@ impl<S: Scalar> AssignPlan<S> {
         crows: Range<usize>,
         global_offset: usize,
         out: &mut Vec<(u32, S)>,
+        mut acc: Option<Acc<'_, S>>,
     ) {
         match &self.slices {
             None => {
@@ -372,17 +513,24 @@ impl<S: Scalar> AssignPlan<S> {
                     let (j, dist) =
                         argmin_centroid_range(data.row(i), centroids, crows.clone(), global_offset);
                     out.push((j as u32, dist));
+                    if let Some(acc) = acc.as_mut() {
+                        self.fold_sample(acc, j - global_offset, data.row(i));
+                    }
                 }
             }
             Some(sl) => {
                 for i in srows {
                     let (j, dist) = scalar_sliced_argmin(data.row(i), centroids, &crows, sl);
                     out.push(((global_offset + (j - crows.start)) as u32, dist));
+                    if let Some(acc) = acc.as_mut() {
+                        self.fold_sample(acc, j - crows.start, data.row(i));
+                    }
                 }
             }
         }
     }
 
+    #[allow(clippy::too_many_arguments)]
     fn expanded_batch(
         &self,
         data: &Matrix<S>,
@@ -391,6 +539,7 @@ impl<S: Scalar> AssignPlan<S> {
         crows: Range<usize>,
         global_offset: usize,
         out: &mut Vec<(u32, S)>,
+        mut acc: Option<Acc<'_, S>>,
     ) {
         let full = 0..self.d;
         let sl: &[Range<usize>] = self
@@ -404,9 +553,13 @@ impl<S: Scalar> AssignPlan<S> {
                 dot_sliced_unrolled(a, b, sl)
             });
             out.push(((global_offset + (j - crows.start)) as u32, x2 + score));
+            if let Some(acc) = acc.as_mut() {
+                self.fold_sample(acc, j - crows.start, sample);
+            }
         }
     }
 
+    #[allow(clippy::too_many_arguments)]
     fn tiled_batch(
         &self,
         data: &Matrix<S>,
@@ -415,6 +568,7 @@ impl<S: Scalar> AssignPlan<S> {
         crows: Range<usize>,
         global_offset: usize,
         out: &mut Vec<(u32, S)>,
+        mut acc: Option<Acc<'_, S>>,
     ) {
         let full = 0..self.d;
         let sl: &[Range<usize>] = self
@@ -443,6 +597,10 @@ impl<S: Scalar> AssignPlan<S> {
                 self.score_tile(data, s0, m, centroids, c0, c1, sl, two, &mut best);
                 c0 = c1;
             }
+            // Flush the sample tile in ascending order while it is still
+            // cache-resident: with tiles visited in ascending order this
+            // reproduces the two-pass sweep's global ascending-sample fold
+            // per cluster, bit for bit.
             for ii in 0..m {
                 let (j, score) = best[ii];
                 debug_assert_ne!(j, u32::MAX);
@@ -450,6 +608,9 @@ impl<S: Scalar> AssignPlan<S> {
                     (global_offset + (j as usize - crows.start)) as u32,
                     x2[ii] + score,
                 ));
+                if let Some(acc) = acc.as_mut() {
+                    self.fold_sample(acc, j as usize - crows.start, data.row(s0 + ii));
+                }
             }
             s0 = s1;
         }
@@ -635,6 +796,42 @@ mod tests {
             &mut out,
         );
         out
+    }
+
+    #[test]
+    fn score_pair_reconstructs_the_batch_scan_bitwise() {
+        // Ragged shapes exercise both the 4×4 micro kernel and the edge
+        // fallbacks of the tiled path; the sliced variant exercises the
+        // Level-3 per-CPE arithmetic.
+        let data = random_matrix(37, 23, 1);
+        let centroids = random_matrix(11, 23, 2);
+        let slice_sets: [Option<Vec<Range<usize>>>; 2] =
+            [None, Some(vec![0..9, 9..10, 10..10, 10..23])];
+        for kernel in AssignKernel::ALL {
+            for slices in &slice_sets {
+                let plan =
+                    AssignPlan::with_options(kernel, &centroids, LDM_BYTES_DEFAULT, slices.clone());
+                let out = batch(&plan, &data, &centroids);
+                for (i, batch_out) in out.iter().enumerate() {
+                    let sample = data.row(i);
+                    // Lexicographic min over per-pair keys == the batch
+                    // scan's strict-`<` ascending-index winner.
+                    let (best_j, best_key) = (0..centroids.rows())
+                        .map(|j| (j, plan.score_pair(sample, &centroids, j)))
+                        .fold(None::<(usize, f64)>, |acc, (j, key)| match acc {
+                            Some((_, bk)) if bk <= key => acc,
+                            _ => Some((j, key)),
+                        })
+                        .unwrap();
+                    assert_eq!(batch_out.0 as usize, best_j, "{kernel} sample {i}");
+                    assert_eq!(
+                        batch_out.1.to_bits(),
+                        plan.key_to_dist(sample, best_key).to_bits(),
+                        "{kernel} sample {i}: key→dist mismatch"
+                    );
+                }
+            }
+        }
     }
 
     #[test]
@@ -852,6 +1049,86 @@ mod tests {
             plan.assign_batch_into(&data, 0..24, &centroids, 0..4, 0, &mut out);
             let got: Vec<u32> = out.iter().map(|&(j, _)| j).collect();
             assert_eq!(got, reference, "{kernel}");
+        }
+    }
+
+    #[test]
+    fn fused_accumulate_is_bitwise_identical_to_a_separate_sweep() {
+        let data = random_matrix(73, 17, 71);
+        let centroids = init_centroids(&data, 9, InitMethod::Forgy, 72);
+        let (k, d) = (centroids.rows(), centroids.cols());
+        let slices = vec![0..5, 5..11, 11..17];
+        for kernel in AssignKernel::ALL {
+            for (ldm, sl) in [
+                (LDM_BYTES_DEFAULT, None),
+                (300, None),
+                (LDM_BYTES_DEFAULT, Some(slices.clone())),
+            ] {
+                let plan = AssignPlan::with_options(kernel, &centroids, ldm, sl);
+                let mut plain = Vec::new();
+                plan.assign_batch_into(&data, 0..73, &centroids, 0..k, 0, &mut plain);
+                // The reference two-pass sweep: ascending-sample whole-row
+                // adds into zeroed accumulators.
+                let mut want_sums = vec![0.0f64; k * d];
+                let mut want_counts = vec![0u64; k];
+                for (i, &(j, _)) in plain.iter().enumerate() {
+                    let j = j as usize;
+                    want_counts[j] += 1;
+                    for (a, &x) in want_sums[j * d..(j + 1) * d].iter_mut().zip(data.row(i)) {
+                        *a += x;
+                    }
+                }
+                let mut fused = Vec::new();
+                let mut sums = vec![0.0f64; k * d];
+                let mut counts = vec![0u64; k];
+                plan.assign_accumulate_into(
+                    &data,
+                    0..73,
+                    &centroids,
+                    0..k,
+                    0,
+                    &mut fused,
+                    &mut sums,
+                    &mut counts,
+                );
+                assert_eq!(fused, plain, "{kernel} ldm={ldm}: labels/keys differ");
+                assert_eq!(counts, want_counts, "{kernel} ldm={ldm}");
+                assert!(
+                    sums.iter()
+                        .zip(&want_sums)
+                        .all(|(a, b)| a.to_bits() == b.to_bits()),
+                    "{kernel} ldm={ldm}: fused sums not bitwise equal"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn fused_accumulate_respects_centroid_subranges() {
+        let data = random_matrix(20, 8, 81);
+        let centroids = init_centroids(&data, 10, InitMethod::Forgy, 82);
+        let d = centroids.cols();
+        let crows = 4..10;
+        for kernel in AssignKernel::ALL {
+            let plan = AssignPlan::new(kernel, &centroids);
+            let mut out = Vec::new();
+            let mut sums = vec![0.0f64; crows.len() * d];
+            let mut counts = vec![0u64; crows.len()];
+            plan.assign_accumulate_into(
+                &data,
+                0..20,
+                &centroids,
+                crows.clone(),
+                100,
+                &mut out,
+                &mut sums,
+                &mut counts,
+            );
+            assert_eq!(counts.iter().sum::<u64>(), 20, "{kernel}");
+            for (i, &(j, _)) in out.iter().enumerate() {
+                let local = j as usize - 100;
+                assert!(local < crows.len(), "sample {i}");
+            }
         }
     }
 

@@ -22,6 +22,9 @@
 //! * [`lloyd`] — the serial reference algorithm with pluggable convergence,
 //!   exposed both as a whole and as separate Assign/Update steps (the pieces
 //!   the parallel levels distribute).
+//! * [`update`] — Update-path selection ([`UpdateMode`]: two-pass, fused
+//!   assign–accumulate, incremental delta) and the touched-row bookkeeping
+//!   behind sparse merges; every mode is bitwise-equivalent.
 //! * [`objective`] — within-cluster sum of squares and mean objective.
 
 pub mod assign;
@@ -38,6 +41,7 @@ pub mod scalar;
 #[cfg(feature = "serde")]
 pub mod serde_impls;
 pub mod source;
+pub mod update;
 pub mod yinyang;
 
 pub use assign::{AssignKernel, AssignPlan, TileShape, LDM_BYTES_DEFAULT};
@@ -46,7 +50,10 @@ pub use distance::{
 };
 pub use elkan::ElkanStats;
 pub use init::{init_centroids, InitMethod};
-pub use lloyd::{assign_step, update_step, KMeansConfig, KMeansError, KMeansResult, Lloyd};
+pub use lloyd::{
+    assign_step, max_centroid_shift, max_centroid_shift_touched, update_step, KMeansConfig,
+    KMeansError, KMeansResult, Lloyd,
+};
 pub use matrix::Matrix;
 pub use metrics::{adjusted_rand_index, nmi, purity, Contingency};
 pub use minibatch::MiniBatchConfig;
@@ -54,4 +61,5 @@ pub use objective::mean_objective;
 pub use preprocess::{standardized, ColumnStats};
 pub use scalar::Scalar;
 pub use source::{MatrixSource, SampleSource};
+pub use update::{TouchedSet, UpdateMode, DELTA_FALLBACK_FRACTION};
 pub use yinyang::YinyangStats;

@@ -7,6 +7,7 @@ use crate::distance::argmin_centroid;
 use crate::init::{init_centroids, InitMethod};
 use crate::matrix::Matrix;
 use crate::scalar::Scalar;
+use crate::update::{TouchedSet, UpdateMode, DELTA_FALLBACK_FRACTION};
 
 /// Configuration of a k-means run.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -26,6 +27,9 @@ pub struct KMeansConfig {
     /// Which Assign kernel the iteration loop runs (the final
     /// labels-vs-centroids Assign always uses the exact scalar reference).
     pub kernel: AssignKernel,
+    /// Which Update path the iteration loop runs; all modes produce
+    /// bitwise-identical centroids, labels and objective.
+    pub update: UpdateMode,
 }
 
 impl KMeansConfig {
@@ -37,6 +41,7 @@ impl KMeansConfig {
             init: InitMethod::Forgy,
             seed: 0,
             kernel: AssignKernel::Scalar,
+            update: UpdateMode::TwoPass,
         }
     }
 
@@ -62,6 +67,11 @@ impl KMeansConfig {
 
     pub fn with_kernel(mut self, kernel: AssignKernel) -> Self {
         self.kernel = kernel;
+        self
+    }
+
+    pub fn with_update(mut self, update: UpdateMode) -> Self {
+        self.update = update;
         self
     }
 }
@@ -182,6 +192,49 @@ pub fn max_centroid_shift<S: Scalar>(a: &Matrix<S>, b: &Matrix<S>) -> f64 {
     worst.sqrt()
 }
 
+/// [`max_centroid_shift`] restricted to the touched rows. Exact — not an
+/// approximation — whenever every untouched row of `b` is bitwise equal to
+/// its row in `a` (the delta-update invariant): identical rows contribute a
+/// squared distance of exactly `0.0`, which can never be the maximum, so
+/// rescanning all `k·d` values is pure waste.
+pub fn max_centroid_shift_touched<S: Scalar>(
+    a: &Matrix<S>,
+    b: &Matrix<S>,
+    touched: &TouchedSet,
+) -> f64 {
+    let mut worst = 0.0f64;
+    for j in touched.iter() {
+        let d = crate::distance::sq_euclidean(a.row(j), b.row(j)).to_f64();
+        worst = worst.max(d);
+    }
+    worst.sqrt()
+}
+
+/// Divide accumulated `sums`/`counts` into `next` for the given rows,
+/// with the standard empty-cluster guard (a zero-count row keeps its
+/// `current` centroid). The division `sum · (1/count)` is the exact
+/// expression [`update_step`] applies, so results are bitwise identical.
+fn divide_rows_into<S: Scalar>(
+    sums: &[S],
+    counts: &[u64],
+    current: &Matrix<S>,
+    next: &mut Matrix<S>,
+    rows: impl Iterator<Item = usize>,
+) {
+    let d = current.cols();
+    for j in rows {
+        let dst = next.row_mut(j);
+        if counts[j] == 0 {
+            dst.copy_from_slice(current.row(j));
+        } else {
+            let inv = S::ONE / S::from_usize(counts[j] as usize);
+            for (a, &s) in dst.iter_mut().zip(&sums[j * d..(j + 1) * d]) {
+                *a = s * inv;
+            }
+        }
+    }
+}
+
 /// The serial Lloyd driver.
 pub struct Lloyd;
 
@@ -213,25 +266,127 @@ impl Lloyd {
             });
         }
         let n = data.rows();
+        let (k, d) = (config.k, data.cols());
         let mut current = centroids;
-        let mut next = Matrix::<S>::zeros(config.k, data.cols());
+        let mut next = Matrix::<S>::zeros(k, d);
         let mut labels = vec![0u32; n];
         let mut converged = false;
         let mut iterations = 0;
         let mut assigned: Vec<(u32, S)> = Vec::with_capacity(n);
+        // Fused/delta state: per-cluster accumulators (delta keeps them
+        // across iterations — global sums of the last full/partial
+        // recompute), the previous labels and the touched-row set.
+        let mut sums: Vec<S> = Vec::new();
+        let mut counts: Vec<u64> = Vec::new();
+        if config.update != UpdateMode::TwoPass {
+            sums = vec![S::ZERO; k * d];
+            counts = vec![0u64; k];
+        }
+        let mut prev_labels: Vec<u32> = Vec::new();
+        let mut touched = TouchedSet::new(if config.update == UpdateMode::Delta {
+            k
+        } else {
+            0
+        });
         for _ in 0..config.max_iters {
             // One plan per iteration = centroid norms recomputed once per
             // Update; the Scalar kernel's plan path is bit-identical to the
             // historical per-sample `argmin_centroid` scan.
             let plan = AssignPlan::new(config.kernel, &current);
             assigned.clear();
-            plan.assign_batch_into(data, 0..n, &current, 0..config.k, 0, &mut assigned);
-            for (label, &(j, _)) in labels.iter_mut().zip(&assigned) {
-                *label = j;
+            let shift;
+            match config.update {
+                UpdateMode::TwoPass => {
+                    plan.assign_batch_into(data, 0..n, &current, 0..k, 0, &mut assigned);
+                    for (label, &(j, _)) in labels.iter_mut().zip(&assigned) {
+                        *label = j;
+                    }
+                    update_step(data, &labels, &current, &mut next);
+                    shift = max_centroid_shift(&current, &next);
+                }
+                UpdateMode::Fused => {
+                    sums.fill(S::ZERO);
+                    counts.fill(0);
+                    plan.assign_accumulate_into(
+                        data,
+                        0..n,
+                        &current,
+                        0..k,
+                        0,
+                        &mut assigned,
+                        &mut sums,
+                        &mut counts,
+                    );
+                    for (label, &(j, _)) in labels.iter_mut().zip(&assigned) {
+                        *label = j;
+                    }
+                    divide_rows_into(&sums, &counts, &current, &mut next, 0..k);
+                    shift = max_centroid_shift(&current, &next);
+                }
+                UpdateMode::Delta => {
+                    plan.assign_batch_into(data, 0..n, &current, 0..k, 0, &mut assigned);
+                    for (label, &(j, _)) in labels.iter_mut().zip(&assigned) {
+                        *label = j;
+                    }
+                    let first = iterations == 0;
+                    let mut moved = n as u64;
+                    if !first {
+                        touched.clear();
+                        moved = 0;
+                        for (&new, &old) in labels.iter().zip(&prev_labels) {
+                            if new != old {
+                                moved += 1;
+                                touched.mark(old as usize);
+                                touched.mark(new as usize);
+                            }
+                        }
+                    }
+                    if first || moved as f64 / n as f64 >= DELTA_FALLBACK_FRACTION {
+                        // Fall back to a full recompute: the sparse path
+                        // would touch most rows anyway.
+                        sums.fill(S::ZERO);
+                        counts.fill(0);
+                        for (i, &label) in labels.iter().enumerate() {
+                            let j = label as usize;
+                            counts[j] += 1;
+                            for (a, &x) in sums[j * d..(j + 1) * d].iter_mut().zip(data.row(i)) {
+                                *a += x;
+                            }
+                        }
+                        divide_rows_into(&sums, &counts, &current, &mut next, 0..k);
+                        shift = max_centroid_shift(&current, &next);
+                    } else {
+                        // Recompute exactly the touched rows, from scratch,
+                        // in ascending sample order — the same fold sequence
+                        // the two-pass sweep produces for those rows — and
+                        // keep every untouched row bitwise as-is.
+                        for j in touched.iter() {
+                            counts[j] = 0;
+                            sums[j * d..(j + 1) * d].fill(S::ZERO);
+                        }
+                        for (i, &label) in labels.iter().enumerate() {
+                            let j = label as usize;
+                            if touched.contains(j) {
+                                counts[j] += 1;
+                                for (a, &x) in sums[j * d..(j + 1) * d].iter_mut().zip(data.row(i))
+                                {
+                                    *a += x;
+                                }
+                            }
+                        }
+                        for j in 0..k {
+                            if !touched.contains(j) {
+                                next.row_mut(j).copy_from_slice(current.row(j));
+                            }
+                        }
+                        divide_rows_into(&sums, &counts, &current, &mut next, touched.iter());
+                        shift = max_centroid_shift_touched(&current, &next, &touched);
+                    }
+                    prev_labels.clear();
+                    prev_labels.extend_from_slice(&labels);
+                }
             }
-            update_step(data, &labels, &current, &mut next);
             iterations += 1;
-            let shift = max_centroid_shift(&current, &next);
             std::mem::swap(&mut current, &mut next);
             if shift <= config.tol {
                 converged = true;
@@ -415,6 +570,69 @@ mod tests {
             }
             assert!((res.objective - reference.objective).abs() < 1e-9);
         }
+    }
+
+    #[test]
+    fn fused_and_delta_match_twopass_bitwise() {
+        let data = blobs();
+        for kernel in AssignKernel::ALL {
+            let base = KMeansConfig::new(3).with_seed(1).with_kernel(kernel);
+            let reference = Lloyd::run(&data, &base).unwrap();
+            for update in [UpdateMode::Fused, UpdateMode::Delta] {
+                let res = Lloyd::run(&data, &base.with_update(update)).unwrap();
+                assert_eq!(res.labels, reference.labels, "{kernel}/{update}");
+                assert_eq!(res.iterations, reference.iterations, "{kernel}/{update}");
+                assert_eq!(res.converged, reference.converged, "{kernel}/{update}");
+                assert_eq!(
+                    res.objective.to_bits(),
+                    reference.objective.to_bits(),
+                    "{kernel}/{update}: objective differs"
+                );
+                for j in 0..3 {
+                    assert!(
+                        res.centroids
+                            .row(j)
+                            .iter()
+                            .zip(reference.centroids.row(j))
+                            .all(|(a, b)| a.to_bits() == b.to_bits()),
+                        "{kernel}/{update}: centroid {j} not bitwise equal"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn delta_handles_empty_clusters_like_twopass() {
+        // k = n with a degenerate duplicate sample forces an empty cluster
+        // during iteration; the delta path must keep its centroid bitwise.
+        let data = Matrix::from_rows(&[&[0.0f64], &[0.0], &[10.0], &[20.0]]);
+        let base = KMeansConfig::new(4).with_seed(2).with_max_iters(6);
+        let reference = Lloyd::run(&data, &base).unwrap();
+        let delta = Lloyd::run(&data, &base.with_update(UpdateMode::Delta)).unwrap();
+        assert_eq!(delta.labels, reference.labels);
+        assert_eq!(delta.objective.to_bits(), reference.objective.to_bits());
+        for j in 0..4 {
+            assert_eq!(
+                delta.centroids.get(j, 0).to_bits(),
+                reference.centroids.get(j, 0).to_bits()
+            );
+        }
+    }
+
+    #[test]
+    fn touched_shift_equals_full_shift_under_the_delta_invariant() {
+        let a = Matrix::from_rows(&[&[0.0f64, 1.0], &[2.0, 3.0], &[4.0, 5.0]]);
+        let mut b = a.clone();
+        b.row_mut(1)[0] = 2.5; // only row 1 moves
+        let mut touched = TouchedSet::new(3);
+        touched.mark(1);
+        assert_eq!(
+            max_centroid_shift_touched(&a, &b, &touched).to_bits(),
+            max_centroid_shift(&a, &b).to_bits()
+        );
+        // An empty touched set means nothing moved.
+        assert_eq!(max_centroid_shift_touched(&a, &a, &TouchedSet::new(3)), 0.0);
     }
 
     #[test]

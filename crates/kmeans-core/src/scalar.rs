@@ -33,6 +33,9 @@ pub trait Scalar:
     fn from_f64(v: f64) -> Self;
     fn to_f64(self) -> f64;
     fn from_usize(v: usize) -> Self;
+    /// Raw IEEE-754 bits widened to `u64` — the workspace's bitwise-
+    /// equality currency (distinguishes `-0.0` from `0.0`, unlike `==`).
+    fn bits(self) -> u64;
     /// IEEE `max` (NaN-ignoring is not needed; inputs are finite).
     fn max_s(self, other: Self) -> Self;
     fn sqrt_s(self) -> Self;
@@ -54,6 +57,10 @@ impl Scalar for f32 {
 
     fn from_usize(v: usize) -> f32 {
         v as f32
+    }
+
+    fn bits(self) -> u64 {
+        self.to_bits() as u64
     }
 
     fn max_s(self, other: f32) -> f32 {
@@ -86,6 +93,10 @@ impl Scalar for f64 {
         v as f64
     }
 
+    fn bits(self) -> u64 {
+        self.to_bits()
+    }
+
     fn max_s(self, other: f64) -> f64 {
         self.max(other)
     }
@@ -111,6 +122,12 @@ mod tests {
         assert_eq!(S::from_f64(4.0).sqrt_s().to_f64(), 2.0);
         assert!(S::ONE.is_finite_s());
         assert_eq!(S::ZERO.max_s(S::ONE).to_f64(), 1.0);
+        assert_eq!(S::ZERO.bits(), 0);
+        assert_ne!(
+            S::from_f64(-0.0).bits(),
+            0,
+            "bits must see the sign of zero"
+        );
     }
 
     #[test]

@@ -121,6 +121,32 @@ impl Comm {
         *pairs = self.broadcast_tree(0, reduced, tag, OpKind::MinLoc);
     }
 
+    /// [`Comm::allreduce_min_loc`] over packed `u64` keys built with
+    /// [`pack_min_loc`]: the order-preserving f32 distance bits sit in the
+    /// high half and the sample/centroid index in the low half, so a plain
+    /// element-wise `u64` minimum implements min-by-distance with the
+    /// lowest-index tie-break — at half the bytes of the `(f64, u64)` pair
+    /// payload. Same [`OpKind::MinLoc`] accounting, so the packed path
+    /// shows up in the existing `comm_minloc_*` counters.
+    pub fn allreduce_min_loc_packed(&mut self, keys: &mut Vec<u64>) {
+        let tag = self.next_collective_tag();
+        let local = std::mem::take(keys);
+        let reduced = self.reduce_tree(
+            0,
+            local,
+            |acc, x| {
+                for (a, b) in acc.iter_mut().zip(x) {
+                    if *b < *a {
+                        *a = *b;
+                    }
+                }
+            },
+            tag,
+            OpKind::MinLoc,
+        );
+        *keys = self.broadcast_tree(0, reduced, tag, OpKind::MinLoc);
+    }
+
     /// Gather one value from every rank to `root` (rank order). Returns
     /// `Some(values)` on the root.
     pub fn gather<T: Any + Send>(&mut self, root: usize, value: T) -> Option<Vec<T>> {
@@ -341,8 +367,58 @@ impl Comm {
     }
 }
 
+/// Pack an `f32` min-loc key and a `u32` index into one `u64` whose plain
+/// unsigned comparison order equals "smaller key first, then smaller
+/// index": the key's bits are mapped through the standard order-preserving
+/// total-order transform (flip all bits for negatives, set the sign bit
+/// for non-negatives) into the high half, and the index fills the low
+/// half. `-0.0` is normalised to `+0.0` so the two zeros compare equal on
+/// the key and fall through to the index tie-break. NaN keys are not
+/// supported (squared distances are never NaN for finite inputs).
+pub fn pack_min_loc(key: f32, idx: u32) -> u64 {
+    let key = if key == 0.0 { 0.0 } else { key };
+    let bits = key.to_bits();
+    let mapped = if bits & 0x8000_0000 != 0 {
+        !bits
+    } else {
+        bits | 0x8000_0000
+    };
+    ((mapped as u64) << 32) | idx as u64
+}
+
+/// Invert [`pack_min_loc`]. The key is recovered exactly (modulo the
+/// `-0.0 → +0.0` normalisation applied when packing).
+pub fn unpack_min_loc(packed: u64) -> (f32, u32) {
+    let mapped = (packed >> 32) as u32;
+    let bits = if mapped & 0x8000_0000 != 0 {
+        mapped & 0x7FFF_FFFF
+    } else {
+        !mapped
+    };
+    (f32::from_bits(bits), packed as u32)
+}
+
+/// The neutral element of the packed min-loc reduction: an infinite
+/// distance at the highest index loses to every real candidate (the packed
+/// analogue of the executors' `(f64::INFINITY, u64::MAX)` slot for empty
+/// shards).
+pub const MIN_LOC_PACKED_NEUTRAL: u64 = pack_min_loc_const(f32::INFINITY, u32::MAX);
+
+/// `const` twin of [`pack_min_loc`] (no float comparison, so no `-0.0`
+/// normalisation — fine for the infinity neutral).
+const fn pack_min_loc_const(key: f32, idx: u32) -> u64 {
+    let bits = key.to_bits();
+    let mapped = if bits & 0x8000_0000 != 0 {
+        !bits
+    } else {
+        bits | 0x8000_0000
+    };
+    ((mapped as u64) << 32) | idx as u64
+}
+
 #[cfg(test)]
 mod tests {
+    use super::{pack_min_loc, unpack_min_loc, MIN_LOC_PACKED_NEUTRAL};
     use crate::comm::World;
     use crate::cost::OpKind;
 
@@ -459,6 +535,86 @@ mod tests {
             assert_eq!(pairs[0], (5.0, 500));
             assert_eq!(pairs[1], (1.0, 0));
         }
+    }
+
+    #[test]
+    fn packed_min_loc_roundtrips_and_orders_like_the_pair() {
+        let keys = [
+            0.0f32,
+            -0.0,
+            1.0,
+            -1.0,
+            0.5,
+            -0.5,
+            1e-30,
+            -1e-30,
+            3.25e7,
+            -3.25e7,
+            f32::INFINITY,
+            f32::NEG_INFINITY,
+            f32::MIN_POSITIVE,
+        ];
+        for &a in &keys {
+            for &b in &keys {
+                for (ia, ib) in [(0u32, 1u32), (1, 0), (7, 7)] {
+                    let (pa, pb) = (pack_min_loc(a, ia), pack_min_loc(b, ib));
+                    // Pair order: smaller key first, then smaller index
+                    // (with -0.0 == +0.0 on the key).
+                    let pair_less = a < b || (a == b && ia < ib);
+                    assert_eq!(pa < pb, pair_less, "a={a} b={b} ia={ia} ib={ib}");
+                }
+            }
+            let (k, i) = unpack_min_loc(pack_min_loc(a, 42));
+            assert_eq!(i, 42);
+            assert_eq!(k.to_bits(), if a == 0.0 { 0 } else { a.to_bits() }, "{a}");
+        }
+        assert_eq!(
+            MIN_LOC_PACKED_NEUTRAL,
+            pack_min_loc(f32::INFINITY, u32::MAX)
+        );
+        // The neutral loses to any finite candidate.
+        assert!(pack_min_loc(f32::MAX, u32::MAX) < MIN_LOC_PACKED_NEUTRAL);
+    }
+
+    #[test]
+    fn packed_min_loc_allreduce_matches_unpacked_at_half_the_bytes() {
+        let out = World::run_with_cost(6, |comm| {
+            let mut pairs = vec![
+                ((10 - comm.rank()) as f64, comm.rank() as u64 * 100),
+                (1.0, comm.rank() as u64),
+            ];
+            comm.allreduce_min_loc(&mut pairs);
+            let mut packed = vec![
+                pack_min_loc((10 - comm.rank()) as f32, comm.rank() as u32 * 100),
+                pack_min_loc(1.0, comm.rank() as u32),
+            ];
+            comm.allreduce_min_loc_packed(&mut packed);
+            (pairs, packed)
+        });
+        let (results, costs) = out;
+        for (pairs, packed) in results {
+            assert_eq!(pairs[0], (5.0, 500));
+            assert_eq!(pairs[1], (1.0, 0));
+            let got: Vec<(f64, u64)> = packed
+                .iter()
+                .map(|&p| {
+                    let (k, i) = unpack_min_loc(p);
+                    (k as f64, i as u64)
+                })
+                .collect();
+            assert_eq!(got, pairs, "packed winners must match the pair path");
+        }
+        // Both allreduces move the same message count; the packed payload
+        // is exactly half the bytes (8 B vs 16 B per element).
+        let mut merged = crate::cost::CostLog::default();
+        for log in costs {
+            merged.merge(&log);
+        }
+        // A 6-rank binomial allreduce is 5 reduce + 5 broadcast messages;
+        // each carries 2 elements: 32 B for the (f64, u64) pair, 16 B
+        // packed — the packed path moves exactly half the pair bytes.
+        assert_eq!(merged.messages_of(OpKind::MinLoc), 20);
+        assert_eq!(merged.bytes_of(OpKind::MinLoc), 10 * 32 + 10 * 16);
     }
 
     #[test]

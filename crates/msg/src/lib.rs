@@ -29,5 +29,6 @@ pub mod comm;
 pub mod cost;
 pub mod ring;
 
+pub use collectives::{pack_min_loc, unpack_min_loc, MIN_LOC_PACKED_NEUTRAL};
 pub use comm::{wait_all, Comm, RecvError, RecvRequest, World};
 pub use cost::{CostLog, OpKind, OpRecord};

@@ -28,6 +28,7 @@ fn l3_phase_sums_account_for_iteration_wall_time() {
         max_iters: 4,
         tol: 0.0,
         kernel: AssignKernel::Scalar,
+        ..HierConfig::new(Level::L3)
     };
     let result = fit(&blobs.data, init, &cfg).unwrap();
     assert_eq!(result.trace.ranks(), 8);
@@ -75,6 +76,7 @@ fn comm_accounting_matches_analytic_collective_volume() {
         max_iters: 3,
         tol: 0.0,
         kernel: AssignKernel::Scalar,
+        ..HierConfig::new(Level::L1)
     };
     let result = fit(&blobs.data, init, &cfg).unwrap();
     assert_eq!(result.iterations, 3, "tol=0 must run all 3 iterations");
@@ -118,6 +120,7 @@ fn training_and_serving_share_one_registry() {
         max_iters: 3,
         tol: 0.0,
         kernel: AssignKernel::Scalar,
+        ..HierConfig::new(Level::L2)
     };
     let trained = fit(&blobs.data, init, &cfg).unwrap();
 
@@ -179,6 +182,7 @@ fn kernel_choice_and_assign_throughput_are_exported() {
             max_iters: 3,
             tol: 0.0,
             kernel,
+            ..HierConfig::new(Level::L2)
         };
         let result = fit(&blobs.data, init.clone(), &cfg).unwrap();
         assert_eq!(result.kernel, kernel);
@@ -209,6 +213,7 @@ fn kernel_choice_and_assign_throughput_are_exported() {
             max_iters: 2,
             tol: 0.0,
             kernel: AssignKernel::Tiled,
+            ..HierConfig::new(Level::L1)
         },
     )
     .unwrap();
