@@ -6,13 +6,14 @@
 //! swkm sweep --n 1265723 --k 2000 --d-lo 512 --d-hi 8192 --step 512 --nodes 128
 //! swkm fit   --dataset kegg --n 4096 --k 64 [--level 3] [--units 8] [--group 2]
 //!            [--kernel scalar|expanded|tiled] [--update twopass|fused|delta]
-//!            [--merge auto|tree|ring] [--metrics-json out.json]
-//!            [--metrics-prom out.prom]
+//!            [--merge auto|tree|ring] [--faults seed=7,rate=0.25,...]
+//!            [--metrics-json out.json] [--metrics-prom out.prom]
 //! swkm landcover --size 128 --out target/landcover-cli
 //! swkm train --dataset mixture --n 4096 --k 64 --save-model model.swkm [--standardize]
 //! swkm predict --model model.swkm --n 1024 [--shards 4] [--kernel scalar|expanded|tiled]
 //! swkm serve-bench --k 64 --clients 8 --requests 2000 [--queue 1024] [--workers 2]
 //!                  [--metrics-interval 1] [--metrics-json out.json]
+//!                  [--faults kill-shards=0,kill-after-ms=50]
 //! ```
 
 mod args;
@@ -79,6 +80,17 @@ fn parse_merge_strategy(args: &Args) -> Result<hier_kmeans::MergeStrategy, Strin
     match args.get_str("merge") {
         None => Ok(hier_kmeans::MergeStrategy::Auto),
         Some(spec) => hier_kmeans::MergeStrategy::parse(spec).map_err(|e| format!("--merge: {e}")),
+    }
+}
+
+/// `--faults <spec>` — a [`hier_kmeans::FaultPlan`] spec like
+/// `seed=7,rate=0.25,kinds=drop+corrupt` (see `FaultPlan::parse`).
+pub(crate) fn parse_fault_plan(args: &Args) -> Result<Option<hier_kmeans::FaultPlan>, String> {
+    match args.get_str("faults") {
+        None => Ok(None),
+        Some(spec) => hier_kmeans::FaultPlan::parse(spec)
+            .map(Some)
+            .map_err(|e| format!("--faults: {e}")),
     }
 }
 
@@ -261,16 +273,18 @@ fn cmd_fit(args: &Args) -> Result<(), String> {
         InitMethod::KMeansPlusPlus,
         args.get_or("seed", 0u64)?,
     );
-    let result = HierKMeans::new(level)
+    let mut fitter = HierKMeans::new(level)
         .with_units(units)
         .with_group_units(if level == Level::L1 { 1 } else { group })
         .with_cpes_per_cg(8)
         .with_max_iters(args.get_or("max-iters", 100usize)?)
         .with_kernel(kernel)
         .with_update(update)
-        .with_merge(merge)
-        .fit(&data, init)
-        .map_err(|e| e.to_string())?;
+        .with_merge(merge);
+    if let Some(plan) = parse_fault_plan(args)? {
+        fitter = fitter.with_faults(plan);
+    }
+    let result = fitter.fit(&data, init).map_err(|e| e.to_string())?;
     println!(
         "done: {} iterations (converged = {}), objective {:.5}",
         result.iterations, result.converged, result.objective
@@ -295,6 +309,14 @@ fn cmd_fit(args: &Args) -> Result<(), String> {
         result.trace.iterations(),
         result.trace.assign_imbalance()
     );
+    if result.fault_stats.injected_total() > 0 || result.degraded_iterations > 0 {
+        println!(
+            "faults: {} injected, {} comm retries, {} degraded iteration(s) — recovered",
+            result.fault_stats.injected_total(),
+            result.fault_stats.retries(),
+            result.degraded_iterations
+        );
+    }
     let registry = swkm_obs::MetricsRegistry::new();
     result.export_metrics(&registry);
     write_metrics_outputs(args, &registry)?;
@@ -493,6 +515,46 @@ mod tests {
         assert!(text.contains("# TYPE train_assign_ns histogram"));
         std::fs::remove_file(&json).ok();
         std::fs::remove_file(&prom).ok();
+    }
+
+    #[test]
+    fn fit_with_faults_recovers_and_exports_fault_counters() {
+        let json = std::env::temp_dir().join("swkm_fit_faults_test.json");
+        run(&argv(&format!(
+            "fit --dataset mixture --n 192 --k 3 --d 6 --max-iters 5 --level 2 \
+             --units 4 --group 2 --faults seed=7,rate=0.25 --metrics-json {}",
+            json.display()
+        )))
+        .unwrap();
+        let doc = std::fs::read_to_string(&json).unwrap();
+        for key in [
+            "fault_injected_total",
+            "comm_retries_total",
+            "degraded_iterations",
+        ] {
+            assert!(doc.contains(key), "metrics JSON missing `{key}`: {doc}");
+        }
+        std::fs::remove_file(&json).ok();
+        // A malformed spec is a CLI error, not a panic.
+        let err = run(&argv(
+            "fit --dataset mixture --n 64 --k 2 --d 4 --faults warp=1",
+        ))
+        .unwrap_err();
+        assert!(err.contains("--faults"), "{err}");
+    }
+
+    #[test]
+    fn serve_bench_with_shard_kill_degrades_not_drops() {
+        let json = std::env::temp_dir().join("swkm_serve_bench_faults_test.json");
+        run(&argv(&format!(
+            "serve-bench --k 4 --n 256 --d 8 --clients 2 --requests 300 --max-iters 3 \
+             --shards 4 --faults kill-shards=0,kill-after-ms=5 --metrics-json {}",
+            json.display()
+        )))
+        .unwrap();
+        let doc = std::fs::read_to_string(&json).unwrap();
+        assert!(doc.contains("shard_failovers"), "{doc}");
+        std::fs::remove_file(&json).ok();
     }
 
     #[test]

@@ -189,6 +189,10 @@ pub fn cmd_serve_bench(args: &Args) -> Result<(), String> {
         load.clients,
         load.requests_per_client
     );
+    // `--faults kill-shards=0+2,kill-after-ms=50`: crash the listed shards
+    // that long into the load run; the pipeline re-dispatches to the
+    // survivors and marks replies degraded.
+    let kill_plan = crate::parse_fault_plan(args)?;
     let index = ShardedIndex::from_artifact(&artifact, shards).with_kernel(parse_kernel(args)?);
     let registry = swkm_obs::MetricsRegistry::shared();
     let server = Server::start_with_registry(index, pipeline, Arc::clone(&registry));
@@ -199,6 +203,27 @@ pub fn cmd_serve_bench(args: &Args) -> Result<(), String> {
     let interval_s: f64 = args.get_or("metrics-interval", 0.0f64)?;
     let stop = AtomicBool::new(false);
     let report = std::thread::scope(|scope| {
+        if let Some(plan) = &kill_plan {
+            let (victims, after) = plan.kill_schedule();
+            if !victims.is_empty() {
+                let stop = &stop;
+                let server = &server;
+                scope.spawn(move || {
+                    let deadline = std::time::Instant::now() + after;
+                    while std::time::Instant::now() < deadline {
+                        if stop.load(Ordering::Relaxed) {
+                            return;
+                        }
+                        std::thread::sleep(Duration::from_millis(1));
+                    }
+                    for &shard in victims {
+                        if server.kill_shard(shard) {
+                            println!("[faults] killed shard {shard} after {after:?}");
+                        }
+                    }
+                });
+            }
+        }
         if interval_s > 0.0 {
             let stop = &stop;
             let server = &server;

@@ -130,6 +130,8 @@ pub fn run<S: Scalar>(
         kernel: kmeans_core::AssignKernel::Scalar,
         update: kmeans_core::UpdateMode::TwoPass,
         merge_ring: false,
+        fault_stats: msg::FaultStats::new(),
+        degraded_iterations: 0,
     })
 }
 

@@ -39,6 +39,14 @@ pub struct HierConfig {
     /// length, which is what makes merging only the touched rows bitwise
     /// equal to the dense merge.
     pub merge: MergeStrategy,
+    /// Deterministic fault-injection schedule for the run (see
+    /// [`msg::FaultPlan`]). `None` (or an inactive plan) is the fault-free
+    /// fast path. An active plan routes every collective through the
+    /// transport's injection/retry machinery, applies the plan's receive
+    /// deadline, and — on iterations the plan marks degraded — falls back
+    /// delta→dense and ring→tree so the sparse/ring merge invariants can
+    /// never be violated by a faulted exchange.
+    pub faults: Option<msg::FaultPlan>,
 }
 
 impl HierConfig {
@@ -53,6 +61,7 @@ impl HierConfig {
             kernel: AssignKernel::Scalar,
             update: UpdateMode::TwoPass,
             merge: MergeStrategy::Auto,
+            faults: None,
         }
     }
 }
@@ -146,6 +155,9 @@ pub enum HierError {
     KMeans(KMeansError),
     /// The execution configuration is inconsistent.
     InvalidConfig(String),
+    /// A collective failed past the transport's retry budget — a persistent
+    /// fault the bounded retransmission could not recover from.
+    Comm(msg::CommError),
 }
 
 impl std::fmt::Display for HierError {
@@ -153,6 +165,7 @@ impl std::fmt::Display for HierError {
         match self {
             HierError::KMeans(e) => write!(f, "{e}"),
             HierError::InvalidConfig(msg) => write!(f, "invalid configuration: {msg}"),
+            HierError::Comm(e) => write!(f, "communication failed: {e}"),
         }
     }
 }
@@ -162,6 +175,12 @@ impl std::error::Error for HierError {}
 impl From<KMeansError> for HierError {
     fn from(e: KMeansError) -> Self {
         HierError::KMeans(e)
+    }
+}
+
+impl From<msg::CommError> for HierError {
+    fn from(e: msg::CommError) -> Self {
+        HierError::Comm(e)
     }
 }
 
@@ -375,6 +394,12 @@ pub struct HierResult<S: Scalar> {
     /// AllReduce (from [`MergeStrategy::use_ring`] at the configured
     /// geometry).
     pub merge_ring: bool,
+    /// All ranks' injected-fault and retry tallies merged (all zero when no
+    /// fault plan was active).
+    pub fault_stats: msg::FaultStats,
+    /// Iterations the fault plan forced into degraded mode (delta→dense,
+    /// ring→tree).
+    pub degraded_iterations: u64,
 }
 
 impl<S: Scalar> HierResult<S> {
@@ -405,6 +430,8 @@ impl<S: Scalar> HierResult<S> {
             "train_assign_samples_per_s",
             self.assign_samples_per_s().unwrap_or(0.0),
         );
+        self.fault_stats.export_into(registry);
+        registry.counter_add("degraded_iterations", self.degraded_iterations);
     }
 }
 
@@ -468,6 +495,55 @@ pub(crate) fn validate<S: Scalar>(
 /// iterations run, the convergence flag, and its per-iteration phase trace.
 pub(crate) type RankOutput<S> = (Option<Matrix<S>>, usize, bool, Vec<IterTiming>);
 
+/// Resolve a config's fault plan into what [`msg::World::run_with_faults`]
+/// wants: the active plan (if any) and the world receive deadline (the
+/// plan's override, or the historical 60 s default).
+pub(crate) fn fault_setup(
+    cfg: &HierConfig,
+) -> (Option<std::sync::Arc<msg::FaultPlan>>, std::time::Duration) {
+    let plan = cfg
+        .faults
+        .clone()
+        .filter(|p| p.is_active())
+        .map(std::sync::Arc::new);
+    let timeout = plan
+        .as_deref()
+        .and_then(|p| p.timeout())
+        .unwrap_or(std::time::Duration::from_secs(60));
+    (plan, timeout)
+}
+
+/// Unwrap per-rank closure results, surfacing the first rank's typed
+/// communication failure. Ranks fail together (a starved peer times out
+/// when its partner exhausts retries), so reporting the lowest rank's error
+/// is deterministic enough for tests.
+pub(crate) fn collect_ranks<S: Scalar>(
+    outs: Vec<Result<RankOutput<S>, msg::CommError>>,
+) -> Result<Vec<RankOutput<S>>, HierError> {
+    outs.into_iter()
+        .map(|r| r.map_err(HierError::Comm))
+        .collect()
+}
+
+/// Attach the merged per-rank fault tallies and the degraded-iteration
+/// count to an assembled result.
+pub(crate) fn finalize_faults<S: Scalar>(
+    result: &mut HierResult<S>,
+    cfg: &HierConfig,
+    stats: &[msg::FaultStats],
+) {
+    let mut merged = msg::FaultStats::new();
+    for s in stats {
+        merged.merge(s);
+    }
+    result.fault_stats = merged;
+    if let Some(plan) = &cfg.faults {
+        result.degraded_iterations = (0..result.iterations)
+            .filter(|&i| plan.degrade_iteration(i))
+            .count() as u64;
+    }
+}
+
 /// Assemble a [`HierResult`] from per-rank outputs: exactly one rank
 /// returns the final centroids; labels and objective are recomputed against
 /// them with the serial assign kernel (the same final-assign step
@@ -528,6 +604,8 @@ pub(crate) fn assemble<S: Scalar>(
         kernel: cfg.kernel,
         update: cfg.update,
         merge_ring,
+        fault_stats: msg::FaultStats::new(),
+        degraded_iterations: 0,
     }
 }
 

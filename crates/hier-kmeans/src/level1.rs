@@ -26,10 +26,13 @@
 //! All three produce bitwise-identical centroids, labels and iteration
 //! counts for a given kernel and merge strategy.
 
-use crate::executor::{HierConfig, HierError, HierResult, IterTiming};
+use crate::executor::{
+    collect_ranks, fault_setup, finalize_faults, HierConfig, HierError, HierResult, IterTiming,
+    RankOutput,
+};
 use crate::partition::split_range;
 use kmeans_core::{AssignPlan, Matrix, Scalar, TouchedSet, UpdateMode, DELTA_FALLBACK_FRACTION};
-use msg::World;
+use msg::{CommError, World};
 use sw_arch::MachineParams;
 
 /// The delta skip scan rescans `|changed|` rows per sample through the
@@ -50,8 +53,10 @@ pub(crate) fn run<S: Scalar>(
     let units = cfg.units;
     let ldm_bytes = MachineParams::taihulight().ldm_bytes;
     let ring = cfg.merge.use_ring(k * d * S::BYTES, units, cfg.update);
+    let (plan, timeout) = fault_setup(cfg);
+    let degrade = plan.clone();
 
-    let (outs, costs) = World::run_with_cost(units, |comm| {
+    let (outs, costs, fstats) = World::run_with_faults(units, timeout, plan, |comm| {
         let mut centroids = init.clone();
         let my_samples = split_range(n, units, comm.rank());
         let mut iterations = 0usize;
@@ -75,6 +80,11 @@ pub(crate) fn run<S: Scalar>(
         for iter in 0..cfg.max_iters {
             let iter_start = std::time::Instant::now();
             let mut it = IterTiming::default();
+            // Degraded iteration? Every rank evaluates the plan identically
+            // (it is a pure function of the seed) — consensus without a
+            // collective. Degraded iterations run the tree merge and the
+            // delta dense fallback, both bitwise-safe recovery paths.
+            let degraded = degrade.as_ref().is_some_and(|p| p.degrade_iteration(iter));
             // ---- Assign: stripe of samples against all k centroids, via
             // the configured kernel. One plan per iteration amortises the
             // centroid norms across the stripe (once per Update).
@@ -199,12 +209,12 @@ pub(crate) fn run<S: Scalar>(
                 UpdateMode::TwoPass | UpdateMode::Fused => {
                     // ---- Update: two AllReduces, then local division. ----
                     let t1 = std::time::Instant::now();
-                    if ring {
-                        comm.allreduce_ring(&mut sums, sum_slices::<S>);
+                    if ring && !degraded {
+                        comm.try_allreduce_ring(&mut sums, sum_slices::<S>)?;
                     } else {
-                        comm.allreduce_with(&mut sums, sum_slices::<S>);
+                        comm.try_allreduce_with(&mut sums, sum_slices::<S>)?;
                     }
-                    comm.allreduce_sum_u64(&mut counts);
+                    comm.try_allreduce_sum_u64(&mut counts)?;
                     worst_shift_sq = divide_rows(&mut centroids, &sums, &counts, d, 0..k);
                     it.update += t1.elapsed().as_secs_f64();
                 }
@@ -227,17 +237,21 @@ pub(crate) fn run<S: Scalar>(
                         }
                         let mut consensus: Vec<u64> = touched.words().to_vec();
                         consensus.push(local_moved);
-                        comm.allreduce_with(&mut consensus, or_words_sum_last);
+                        comm.try_allreduce_with(&mut consensus, or_words_sum_last)?;
                         global_moved = *consensus.last().unwrap();
                         touched.set_words(&consensus[..consensus.len() - 1]);
                         it.merge += t1.elapsed().as_secs_f64();
                     }
 
                     let t2 = std::time::Instant::now();
-                    if iter == 0 || global_moved as f64 / n as f64 >= DELTA_FALLBACK_FRACTION {
+                    if iter == 0
+                        || degraded
+                        || global_moved as f64 / n as f64 >= DELTA_FALLBACK_FRACTION
+                    {
                         // Dense fallback: recompute every cluster, exactly
                         // the two-pass Update (bitwise identical by
-                        // construction).
+                        // construction). Degraded iterations are forced here
+                        // so a faulted sparse merge can never be trusted.
                         sums.iter_mut().for_each(|v| *v = S::ZERO);
                         counts.iter_mut().for_each(|v| *v = 0);
                         for (i, &(label, _)) in my_samples.clone().zip(&assigned) {
@@ -248,8 +262,8 @@ pub(crate) fn run<S: Scalar>(
                                 *a += *x;
                             }
                         }
-                        comm.allreduce_with(&mut sums, sum_slices::<S>);
-                        comm.allreduce_sum_u64(&mut counts);
+                        comm.try_allreduce_with(&mut sums, sum_slices::<S>)?;
+                        comm.try_allreduce_sum_u64(&mut counts)?;
                         before.clear();
                         before.extend_from_slice(centroids.as_slice());
                         worst_shift_sq = divide_rows(&mut centroids, &sums, &counts, d, 0..k);
@@ -289,8 +303,8 @@ pub(crate) fn run<S: Scalar>(
                                 }
                             }
                         }
-                        comm.allreduce_with(&mut compact_sums, sum_slices::<S>);
-                        comm.allreduce_sum_u64(&mut compact_counts);
+                        comm.try_allreduce_with(&mut compact_sums, sum_slices::<S>)?;
+                        comm.try_allreduce_sum_u64(&mut compact_counts)?;
                         changed.clear();
                         changed_rows.clear();
                         for (slot, &j) in touched_rows.iter().enumerate() {
@@ -339,10 +353,13 @@ pub(crate) fn run<S: Scalar>(
             }
         }
         let result_centroids = (comm.rank() == 0).then_some(centroids);
-        (result_centroids, iterations, converged, trace)
+        Ok::<RankOutput<S>, CommError>((result_centroids, iterations, converged, trace))
     });
 
-    Ok(crate::executor::assemble(data, outs, costs, cfg, ring))
+    let outs = collect_ranks(outs)?;
+    let mut result = crate::executor::assemble(data, outs, costs, cfg, ring);
+    finalize_faults(&mut result, cfg, &fstats);
+    Ok(result)
 }
 
 /// Divide merged sums by merged counts into `centroids` for `rows`,

@@ -11,11 +11,14 @@
 //! same-member communicator) — never materialising all of `k·d` on one
 //! unit.
 
-use crate::executor::{assemble, HierConfig, HierError, HierResult, IterTiming};
+use crate::executor::{
+    assemble, collect_ranks, fault_setup, finalize_faults, HierConfig, HierError, HierResult,
+    IterTiming, RankOutput,
+};
 use crate::level1::{divide_rows, or_words_sum_last, sum_slices};
 use crate::partition::split_range;
 use kmeans_core::{AssignPlan, Matrix, Scalar, TouchedSet, UpdateMode, DELTA_FALLBACK_FRACTION};
-use msg::World;
+use msg::{CommError, World};
 use sw_arch::MachineParams;
 
 /// Neutral element of the min-loc merge: never wins against a real
@@ -28,20 +31,24 @@ pub(crate) const MINLOC_NEUTRAL: (f64, u64) = (f64::INFINITY, u64::MAX);
 /// Both preserve the lowest-index tie-break. The neutral pair maps to the
 /// packed neutral (`u64::MAX as u32 == u32::MAX`), so empty shards need no
 /// special casing.
-pub(crate) fn merge_min_loc<S: Scalar>(comm: &mut msg::Comm, pairs: &mut Vec<(f64, u64)>) {
+pub(crate) fn merge_min_loc<S: Scalar>(
+    comm: &mut msg::Comm,
+    pairs: &mut Vec<(f64, u64)>,
+) -> Result<(), CommError> {
     if S::BYTES == 4 {
         let mut packed: Vec<u64> = pairs
             .iter()
             .map(|&(key, idx)| msg::pack_min_loc(key as f32, idx as u32))
             .collect();
-        comm.allreduce_min_loc_packed(&mut packed);
+        comm.try_allreduce_min_loc_packed(&mut packed)?;
         for (pair, &p) in pairs.iter_mut().zip(&packed) {
             let (key, idx) = msg::unpack_min_loc(p);
             *pair = (key as f64, idx as u64);
         }
     } else {
-        comm.allreduce_min_loc(pairs);
+        comm.try_allreduce_min_loc(pairs)?;
     }
+    Ok(())
 }
 
 pub(crate) fn run<S: Scalar>(
@@ -74,8 +81,10 @@ pub(crate) fn run<S: Scalar>(
         n_groups,
         cfg.update,
     );
+    let (plan, timeout) = fault_setup(cfg);
+    let degrade = plan.clone();
 
-    let (outs, costs) = World::run_with_cost(cfg.units, |comm| {
+    let (outs, costs, fstats) = World::run_with_faults(cfg.units, timeout, plan, |comm| {
         let rank = comm.rank();
         let group = rank / g;
         let member = rank % g;
@@ -108,6 +117,9 @@ pub(crate) fn run<S: Scalar>(
         for iter in 0..cfg.max_iters {
             let iter_start = std::time::Instant::now();
             let mut it = IterTiming::default();
+            // Shared-seed degradation consensus (see level1): degraded
+            // iterations run tree merges and the delta dense fallback.
+            let degraded = degrade.as_ref().is_some_and(|p| p.degrade_iteration(iter));
             // ---- Assign: partial argmin over my shard (lines 9–10), via
             // the configured kernel. One plan per iteration = shard norms
             // recomputed once per Update. Under Expanded/Tiled the merge
@@ -151,7 +163,7 @@ pub(crate) fn run<S: Scalar>(
             // The min-loc merge produces the global a(i) for every sample
             // of the stripe, on every member.
             let t1 = std::time::Instant::now();
-            merge_min_loc::<S>(&mut group_comm, &mut pairs);
+            merge_min_loc::<S>(&mut group_comm, &mut pairs)?;
             it.merge += t1.elapsed().as_secs_f64();
 
             // Local reassignment bookkeeping against the previous
@@ -195,12 +207,12 @@ pub(crate) fn run<S: Scalar>(
                     }
                     // ---- Update: reduce my shard across groups (13–15). ----
                     let t3 = std::time::Instant::now();
-                    if ring {
-                        shard_comm.allreduce_ring(&mut sums, sum_slices::<S>);
+                    if ring && !degraded {
+                        shard_comm.try_allreduce_ring(&mut sums, sum_slices::<S>)?;
                     } else {
-                        shard_comm.allreduce_with(&mut sums, sum_slices::<S>);
+                        shard_comm.try_allreduce_with(&mut sums, sum_slices::<S>)?;
                     }
-                    shard_comm.allreduce_sum_u64(&mut counts);
+                    shard_comm.try_allreduce_sum_u64(&mut counts)?;
                     worst_shift_sq = divide_rows(&mut shard, &sums, &counts, d, 0..shard_k);
                     it.update += t3.elapsed().as_secs_f64();
                 }
@@ -230,14 +242,17 @@ pub(crate) fn run<S: Scalar>(
                         }
                         let mut consensus: Vec<u64> = touched.words().to_vec();
                         consensus.push(local_moved);
-                        shard_comm.allreduce_with(&mut consensus, or_words_sum_last);
+                        shard_comm.try_allreduce_with(&mut consensus, or_words_sum_last)?;
                         global_moved = *consensus.last().unwrap();
                         touched.set_words(&consensus[..consensus.len() - 1]);
                         it.merge += t1.elapsed().as_secs_f64();
                     }
 
                     let t2 = std::time::Instant::now();
-                    if iter == 0 || global_moved as f64 / n as f64 >= DELTA_FALLBACK_FRACTION {
+                    if iter == 0
+                        || degraded
+                        || global_moved as f64 / n as f64 >= DELTA_FALLBACK_FRACTION
+                    {
                         // Dense fallback: the two-pass accumulate + merge.
                         sums.iter_mut().for_each(|v| *v = S::ZERO);
                         counts.iter_mut().for_each(|v| *v = 0);
@@ -252,8 +267,8 @@ pub(crate) fn run<S: Scalar>(
                                 }
                             }
                         }
-                        shard_comm.allreduce_with(&mut sums, sum_slices::<S>);
-                        shard_comm.allreduce_sum_u64(&mut counts);
+                        shard_comm.try_allreduce_with(&mut sums, sum_slices::<S>)?;
+                        shard_comm.try_allreduce_sum_u64(&mut counts)?;
                         worst_shift_sq = divide_rows(&mut shard, &sums, &counts, d, 0..shard_k);
                     } else if touched.count() > 0 {
                         // Sparse: recompute only the touched shard rows and
@@ -280,8 +295,8 @@ pub(crate) fn run<S: Scalar>(
                                 }
                             }
                         }
-                        shard_comm.allreduce_with(&mut compact_sums, sum_slices::<S>);
-                        shard_comm.allreduce_sum_u64(&mut compact_counts);
+                        shard_comm.try_allreduce_with(&mut compact_sums, sum_slices::<S>)?;
+                        shard_comm.try_allreduce_sum_u64(&mut compact_counts)?;
                         for (slot, &j_local) in touched_rows.iter().enumerate() {
                             if compact_counts[slot] == 0 {
                                 continue;
@@ -307,9 +322,9 @@ pub(crate) fn run<S: Scalar>(
             // ---- Convergence: global max shift over all shards. ----
             let t4 = std::time::Instant::now();
             let mut shift = vec![worst_shift_sq];
-            comm.allreduce_with(&mut shift, |acc, x| {
+            comm.try_allreduce_with(&mut shift, |acc, x| {
                 acc[0] = acc[0].max(x[0]);
-            });
+            })?;
             it.update += t4.elapsed().as_secs_f64();
             prev_labels.clear();
             prev_labels.extend(pairs.iter().map(|&(_, j)| j as u32));
@@ -326,7 +341,7 @@ pub(crate) fn run<S: Scalar>(
         // Group 0's members hold one copy of every shard (identical to all
         // other groups after the shard AllReduce).
         let contribution = (group == 0).then(|| (my_centroids.start, shard.clone().into_vec()));
-        let gathered = comm.gather(0, contribution);
+        let gathered = comm.try_gather(0, contribution)?;
         let full = gathered.map(|parts| {
             let mut flat = vec![S::ZERO; k * d];
             for (start, rows) in parts.into_iter().flatten() {
@@ -334,10 +349,13 @@ pub(crate) fn run<S: Scalar>(
             }
             Matrix::from_vec(k, d, flat)
         });
-        (full, iterations, converged, trace)
+        Ok::<RankOutput<S>, CommError>((full, iterations, converged, trace))
     });
 
-    Ok(assemble(data, outs, costs, cfg, ring_report))
+    let outs = collect_ranks(outs)?;
+    let mut result = assemble(data, outs, costs, cfg, ring_report);
+    finalize_faults(&mut result, cfg, &fstats);
+    Ok(result)
 }
 
 #[cfg(test)]

@@ -15,12 +15,15 @@
 //! `⌈k/G⌉ · d` centroid elements, and no CPE slice exceeds `⌈k/G⌉ · ⌈d/64⌉`
 //! — so `k·d` scales with the machine, not with any single memory.
 
-use crate::executor::{assemble, HierConfig, HierError, HierResult, IterTiming};
+use crate::executor::{
+    assemble, collect_ranks, fault_setup, finalize_faults, HierConfig, HierError, HierResult,
+    IterTiming, RankOutput,
+};
 use crate::level1::{divide_rows, or_words_sum_last, sum_slices};
 use crate::level2::{merge_min_loc, MINLOC_NEUTRAL};
 use crate::partition::split_range;
 use kmeans_core::{AssignPlan, Matrix, Scalar, TouchedSet, UpdateMode, DELTA_FALLBACK_FRACTION};
-use msg::World;
+use msg::{CommError, World};
 use std::ops::Range;
 use sw_arch::MachineParams;
 
@@ -77,8 +80,10 @@ pub(crate) fn run<S: Scalar>(
         n_groups,
         cfg.update,
     );
+    let (plan, timeout) = fault_setup(cfg);
+    let degrade = plan.clone();
 
-    let (outs, costs) = World::run_with_cost(cfg.units, |comm| {
+    let (outs, costs, fstats) = World::run_with_faults(cfg.units, timeout, plan, |comm| {
         let rank = comm.rank();
         let group = rank / g;
         let member = rank % g;
@@ -113,6 +118,9 @@ pub(crate) fn run<S: Scalar>(
         for iter in 0..cfg.max_iters {
             let iter_start = std::time::Instant::now();
             let mut it = IterTiming::default();
+            // Shared-seed degradation consensus (see level1): degraded
+            // iterations run tree merges and the delta dense fallback.
+            let degraded = degrade.as_ref().is_some_and(|p| p.degrade_iteration(iter));
             // ---- Assign: per-CPE partial dot products / distances over
             // the precomputed dimension slices (lines 8–10), via the
             // configured kernel — exact under slicing because dots are
@@ -156,7 +164,7 @@ pub(crate) fn run<S: Scalar>(
             it.assign += t0.elapsed().as_secs_f64();
             // Line 11: min-loc merge across the G CGs of the group.
             let t1 = std::time::Instant::now();
-            merge_min_loc::<S>(&mut group_comm, &mut pairs);
+            merge_min_loc::<S>(&mut group_comm, &mut pairs)?;
             it.merge += t1.elapsed().as_secs_f64();
 
             // Local reassignment bookkeeping — no collectives.
@@ -209,12 +217,12 @@ pub(crate) fn run<S: Scalar>(
                     }
                     // ---- Update: AllReduce shards across groups (14–16). ----
                     let t3 = std::time::Instant::now();
-                    if ring {
-                        shard_comm.allreduce_ring(&mut sums, sum_slices::<S>);
+                    if ring && !degraded {
+                        shard_comm.try_allreduce_ring(&mut sums, sum_slices::<S>)?;
                     } else {
-                        shard_comm.allreduce_with(&mut sums, sum_slices::<S>);
+                        shard_comm.try_allreduce_with(&mut sums, sum_slices::<S>)?;
                     }
-                    shard_comm.allreduce_sum_u64(&mut counts);
+                    shard_comm.try_allreduce_sum_u64(&mut counts)?;
                     worst_shift_sq = divide_rows(&mut shard, &sums, &counts, d, 0..shard_k);
                     it.update += t3.elapsed().as_secs_f64();
                 }
@@ -240,13 +248,16 @@ pub(crate) fn run<S: Scalar>(
                         }
                         let mut consensus: Vec<u64> = touched.words().to_vec();
                         consensus.push(local_moved);
-                        shard_comm.allreduce_with(&mut consensus, or_words_sum_last);
+                        shard_comm.try_allreduce_with(&mut consensus, or_words_sum_last)?;
                         global_moved = *consensus.last().unwrap();
                         touched.set_words(&consensus[..consensus.len() - 1]);
                         it.merge += t1.elapsed().as_secs_f64();
                     }
 
-                    if iter == 0 || global_moved as f64 / n as f64 >= DELTA_FALLBACK_FRACTION {
+                    if iter == 0
+                        || degraded
+                        || global_moved as f64 / n as f64 >= DELTA_FALLBACK_FRACTION
+                    {
                         // Dense fallback: the sliced two-pass accumulate.
                         let t2 = std::time::Instant::now();
                         sums.iter_mut().for_each(|v| *v = S::ZERO);
@@ -268,8 +279,8 @@ pub(crate) fn run<S: Scalar>(
                         }
                         it.exchange += t2.elapsed().as_secs_f64();
                         let t3 = std::time::Instant::now();
-                        shard_comm.allreduce_with(&mut sums, sum_slices::<S>);
-                        shard_comm.allreduce_sum_u64(&mut counts);
+                        shard_comm.try_allreduce_with(&mut sums, sum_slices::<S>)?;
+                        shard_comm.try_allreduce_sum_u64(&mut counts)?;
                         worst_shift_sq = divide_rows(&mut shard, &sums, &counts, d, 0..shard_k);
                         it.update += t3.elapsed().as_secs_f64();
                     } else if touched.count() > 0 {
@@ -305,8 +316,8 @@ pub(crate) fn run<S: Scalar>(
                         }
                         it.exchange += t2.elapsed().as_secs_f64();
                         let t3 = std::time::Instant::now();
-                        shard_comm.allreduce_with(&mut compact_sums, sum_slices::<S>);
-                        shard_comm.allreduce_sum_u64(&mut compact_counts);
+                        shard_comm.try_allreduce_with(&mut compact_sums, sum_slices::<S>)?;
+                        shard_comm.try_allreduce_sum_u64(&mut compact_counts)?;
                         for (slot, &j_local) in touched_rows.iter().enumerate() {
                             if compact_counts[slot] == 0 {
                                 continue;
@@ -331,9 +342,9 @@ pub(crate) fn run<S: Scalar>(
 
             let t4 = std::time::Instant::now();
             let mut shift = vec![worst_shift_sq];
-            comm.allreduce_with(&mut shift, |acc, x| {
+            comm.try_allreduce_with(&mut shift, |acc, x| {
                 acc[0] = acc[0].max(x[0]);
-            });
+            })?;
             it.update += t4.elapsed().as_secs_f64();
             prev_labels.clear();
             prev_labels.extend(pairs.iter().map(|&(_, j)| j as u32));
@@ -347,7 +358,7 @@ pub(crate) fn run<S: Scalar>(
         }
 
         let contribution = (group == 0).then(|| (my_centroids.start, shard.clone().into_vec()));
-        let gathered = comm.gather(0, contribution);
+        let gathered = comm.try_gather(0, contribution)?;
         let full = gathered.map(|parts| {
             let mut flat = vec![S::ZERO; k * d];
             for (start, rows) in parts.into_iter().flatten() {
@@ -355,10 +366,13 @@ pub(crate) fn run<S: Scalar>(
             }
             Matrix::from_vec(k, d, flat)
         });
-        (full, iterations, converged, trace)
+        Ok::<RankOutput<S>, CommError>((full, iterations, converged, trace))
     });
 
-    Ok(assemble(data, outs, costs, cfg, ring_report))
+    let outs = collect_ranks(outs)?;
+    let mut result = assemble(data, outs, costs, cfg, ring_report);
+    finalize_faults(&mut result, cfg, &fstats);
+    Ok(result)
 }
 
 #[cfg(test)]

@@ -40,6 +40,7 @@ pub use executor::{
     RING_CROSSOVER_BYTES,
 };
 pub use kmeans_core::UpdateMode;
+pub use msg::{CommError, FaultKind, FaultPlan, FaultStats, ScriptedFault};
 pub use partition::split_range;
 pub use perf_model::Level;
 pub use stream::{fit_source, StreamConfig};
@@ -133,6 +134,16 @@ impl HierKMeans {
     /// [`MergeStrategy`]).
     pub fn with_merge(mut self, merge: MergeStrategy) -> Self {
         self.config.merge = merge;
+        self
+    }
+
+    /// Inject deterministic communication faults during training (default:
+    /// none). The executors retry, time out, and degrade per
+    /// [`FaultPlan`]; recovered runs stay bitwise-identical to fault-free
+    /// ones, and injected/retry counts land in
+    /// [`HierResult::fault_stats`](executor::HierResult::fault_stats).
+    pub fn with_faults(mut self, plan: FaultPlan) -> Self {
+        self.config.faults = Some(plan);
         self
     }
 

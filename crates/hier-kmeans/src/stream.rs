@@ -120,7 +120,8 @@ pub fn fit_source<Src: SampleSource + Sync>(
                         }
                     })
                     .collect();
-                merge_min_loc::<f32>(&mut group_comm, &mut pairs);
+                merge_min_loc::<f32>(&mut group_comm, &mut pairs)
+                    .unwrap_or_else(|e| panic!("stream min-loc merge failed: {e}"));
                 // Accumulate winners in my shard.
                 for (w, &(_, j)) in pairs.iter().enumerate() {
                     let j = j as usize;
@@ -223,6 +224,8 @@ pub fn fit_source<Src: SampleSource + Sync>(
         kernel: kmeans_core::AssignKernel::Scalar,
         update: kmeans_core::UpdateMode::TwoPass,
         merge_ring: false,
+        fault_stats: msg::FaultStats::new(),
+        degraded_iterations: 0,
     })
 }
 

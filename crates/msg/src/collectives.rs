@@ -4,31 +4,59 @@
 //! collectives never match each other's messages, and deterministic tree
 //! shapes, so floating-point reductions combine in the same order on every
 //! run (bitwise-reproducible results).
+//!
+//! Every collective comes in two flavours: the historical infallible form
+//! (`allreduce_with`, …), which panics on communication failure, and a
+//! fallible `try_` twin surfacing a typed [`CommError`] — the form the
+//! fault-tolerant executors use. The infallible wrappers are the `try_`
+//! bodies plus a panic, so there is exactly one implementation of each
+//! algorithm.
 
 use crate::comm::Comm;
 use crate::cost::OpKind;
+use crate::fault::CommError;
 use std::any::Any;
+
+/// Shared panic for the infallible wrappers.
+#[cold]
+fn die(e: CommError) -> ! {
+    panic!("collective failed: {e}")
+}
 
 impl Comm {
     /// Block until every rank of this communicator has entered the barrier.
     pub fn barrier(&mut self) {
+        self.try_barrier().unwrap_or_else(|e| die(e))
+    }
+
+    /// Fallible [`Comm::barrier`].
+    pub fn try_barrier(&mut self) -> Result<(), CommError> {
         let tag = self.next_collective_tag();
-        self.reduce_tree::<u8, _>(0, vec![0], |_, _| {}, tag, OpKind::Barrier);
-        self.broadcast_tree::<u8>(0, Some(vec![0]), tag, OpKind::Barrier);
+        self.try_reduce_tree::<u8, _>(0, vec![0], |_, _| {}, tag, OpKind::Barrier)?;
+        self.try_broadcast_tree::<u8>(0, Some(vec![0]), tag, OpKind::Barrier)?;
+        Ok(())
     }
 
     /// Broadcast `value` from `root` to every rank. `value` must be `Some`
     /// on the root; it is ignored elsewhere.
     pub fn broadcast<T: Any + Send + Clone>(&mut self, root: usize, value: Option<T>) -> T {
+        self.try_broadcast(root, value).unwrap_or_else(|e| die(e))
+    }
+
+    /// Fallible [`Comm::broadcast`].
+    pub fn try_broadcast<T: Any + Send + Clone>(
+        &mut self,
+        root: usize,
+        value: Option<T>,
+    ) -> Result<T, CommError> {
         let tag = self.next_collective_tag();
-        if self.rank() == root {
+        let wrapped = if self.rank() == root {
             let v = value.expect("broadcast root must supply a value");
-            let wrapped = self.broadcast_tree(root, Some(vec![v]), tag, OpKind::Broadcast);
-            wrapped.into_iter().next().unwrap()
+            self.try_broadcast_tree(root, Some(vec![v]), tag, OpKind::Broadcast)?
         } else {
-            let wrapped = self.broadcast_tree::<T>(root, None, tag, OpKind::Broadcast);
-            wrapped.into_iter().next().unwrap()
-        }
+            self.try_broadcast_tree::<T>(root, None, tag, OpKind::Broadcast)?
+        };
+        Ok(wrapped.into_iter().next().unwrap())
     }
 
     /// Broadcast a vector from `root` (avoids the scalar wrapper).
@@ -37,11 +65,21 @@ impl Comm {
         root: usize,
         value: Option<Vec<T>>,
     ) -> Vec<T> {
+        self.try_broadcast_vec(root, value)
+            .unwrap_or_else(|e| die(e))
+    }
+
+    /// Fallible [`Comm::broadcast_vec`].
+    pub fn try_broadcast_vec<T: Any + Send + Clone>(
+        &mut self,
+        root: usize,
+        value: Option<Vec<T>>,
+    ) -> Result<Vec<T>, CommError> {
         let tag = self.next_collective_tag();
         if self.rank() == root {
             assert!(value.is_some(), "broadcast root must supply a value");
         }
-        self.broadcast_tree(root, value, tag, OpKind::Broadcast)
+        self.try_broadcast_tree(root, value, tag, OpKind::Broadcast)
     }
 
     /// Element-wise reduction of `local` to `root` using `op`
@@ -52,8 +90,23 @@ impl Comm {
         T: Any + Send,
         F: Fn(&mut [T], &[T]),
     {
+        self.try_reduce_with(root, local, op)
+            .unwrap_or_else(|e| die(e))
+    }
+
+    /// Fallible [`Comm::reduce_with`].
+    pub fn try_reduce_with<T, F>(
+        &mut self,
+        root: usize,
+        local: Vec<T>,
+        op: F,
+    ) -> Result<Option<Vec<T>>, CommError>
+    where
+        T: Any + Send,
+        F: Fn(&mut [T], &[T]),
+    {
         let tag = self.next_collective_tag();
-        self.reduce_tree(root, local, op, tag, OpKind::Reduce)
+        self.try_reduce_tree(root, local, op, tag, OpKind::Reduce)
     }
 
     /// Element-wise all-reduce: every rank ends with the reduction of all
@@ -64,37 +117,62 @@ impl Comm {
         T: Any + Send + Clone,
         F: Fn(&mut [T], &[T]),
     {
+        self.try_allreduce_with(buf, op).unwrap_or_else(|e| die(e))
+    }
+
+    /// Fallible [`Comm::allreduce_with`].
+    pub fn try_allreduce_with<T, F>(&mut self, buf: &mut Vec<T>, op: F) -> Result<(), CommError>
+    where
+        T: Any + Send + Clone,
+        F: Fn(&mut [T], &[T]),
+    {
         let tag = self.next_collective_tag();
         let local = std::mem::take(buf);
-        let reduced = self.reduce_tree(0, local, op, tag, OpKind::AllReduce);
-        *buf = self.broadcast_tree(0, reduced, tag, OpKind::AllReduce);
+        let reduced = self.try_reduce_tree(0, local, op, tag, OpKind::AllReduce)?;
+        *buf = self.try_broadcast_tree(0, reduced, tag, OpKind::AllReduce)?;
+        Ok(())
     }
 
     /// Sum-all-reduce for `f64` buffers.
     pub fn allreduce_sum_f64(&mut self, buf: &mut Vec<f64>) {
-        self.allreduce_with(buf, |acc, x| {
+        self.try_allreduce_sum_f64(buf).unwrap_or_else(|e| die(e))
+    }
+
+    /// Fallible [`Comm::allreduce_sum_f64`].
+    pub fn try_allreduce_sum_f64(&mut self, buf: &mut Vec<f64>) -> Result<(), CommError> {
+        self.try_allreduce_with(buf, |acc, x| {
             for (a, b) in acc.iter_mut().zip(x) {
                 *a += b;
             }
-        });
+        })
     }
 
     /// Sum-all-reduce for `f32` buffers.
     pub fn allreduce_sum_f32(&mut self, buf: &mut Vec<f32>) {
-        self.allreduce_with(buf, |acc, x| {
+        self.try_allreduce_sum_f32(buf).unwrap_or_else(|e| die(e))
+    }
+
+    /// Fallible [`Comm::allreduce_sum_f32`].
+    pub fn try_allreduce_sum_f32(&mut self, buf: &mut Vec<f32>) -> Result<(), CommError> {
+        self.try_allreduce_with(buf, |acc, x| {
             for (a, b) in acc.iter_mut().zip(x) {
                 *a += b;
             }
-        });
+        })
     }
 
     /// Sum-all-reduce for `u64` buffers (sample counters).
     pub fn allreduce_sum_u64(&mut self, buf: &mut Vec<u64>) {
-        self.allreduce_with(buf, |acc, x| {
+        self.try_allreduce_sum_u64(buf).unwrap_or_else(|e| die(e))
+    }
+
+    /// Fallible [`Comm::allreduce_sum_u64`].
+    pub fn try_allreduce_sum_u64(&mut self, buf: &mut Vec<u64>) -> Result<(), CommError> {
+        self.try_allreduce_with(buf, |acc, x| {
             for (a, b) in acc.iter_mut().zip(x) {
                 *a += b;
             }
-        });
+        })
     }
 
     /// Element-wise minimum-with-location all-reduce: for each position,
@@ -103,9 +181,14 @@ impl Comm {
     /// Assign: each rank proposes its best centroid per sample, the pair
     /// with the globally smallest distance wins.
     pub fn allreduce_min_loc(&mut self, pairs: &mut Vec<(f64, u64)>) {
+        self.try_allreduce_min_loc(pairs).unwrap_or_else(|e| die(e))
+    }
+
+    /// Fallible [`Comm::allreduce_min_loc`].
+    pub fn try_allreduce_min_loc(&mut self, pairs: &mut Vec<(f64, u64)>) -> Result<(), CommError> {
         let tag = self.next_collective_tag();
         let local = std::mem::take(pairs);
-        let reduced = self.reduce_tree(
+        let reduced = self.try_reduce_tree(
             0,
             local,
             |acc, x| {
@@ -117,8 +200,9 @@ impl Comm {
             },
             tag,
             OpKind::MinLoc,
-        );
-        *pairs = self.broadcast_tree(0, reduced, tag, OpKind::MinLoc);
+        )?;
+        *pairs = self.try_broadcast_tree(0, reduced, tag, OpKind::MinLoc)?;
+        Ok(())
     }
 
     /// [`Comm::allreduce_min_loc`] over packed `u64` keys built with
@@ -129,9 +213,15 @@ impl Comm {
     /// payload. Same [`OpKind::MinLoc`] accounting, so the packed path
     /// shows up in the existing `comm_minloc_*` counters.
     pub fn allreduce_min_loc_packed(&mut self, keys: &mut Vec<u64>) {
+        self.try_allreduce_min_loc_packed(keys)
+            .unwrap_or_else(|e| die(e))
+    }
+
+    /// Fallible [`Comm::allreduce_min_loc_packed`].
+    pub fn try_allreduce_min_loc_packed(&mut self, keys: &mut Vec<u64>) -> Result<(), CommError> {
         let tag = self.next_collective_tag();
         let local = std::mem::take(keys);
-        let reduced = self.reduce_tree(
+        let reduced = self.try_reduce_tree(
             0,
             local,
             |acc, x| {
@@ -143,39 +233,63 @@ impl Comm {
             },
             tag,
             OpKind::MinLoc,
-        );
-        *keys = self.broadcast_tree(0, reduced, tag, OpKind::MinLoc);
+        )?;
+        *keys = self.try_broadcast_tree(0, reduced, tag, OpKind::MinLoc)?;
+        Ok(())
     }
 
     /// Gather one value from every rank to `root` (rank order). Returns
     /// `Some(values)` on the root.
     pub fn gather<T: Any + Send>(&mut self, root: usize, value: T) -> Option<Vec<T>> {
+        self.try_gather(root, value).unwrap_or_else(|e| die(e))
+    }
+
+    /// Fallible [`Comm::gather`].
+    pub fn try_gather<T: Any + Send>(
+        &mut self,
+        root: usize,
+        value: T,
+    ) -> Result<Option<Vec<T>>, CommError> {
         let tag = self.next_collective_tag();
         let size = self.size();
         if self.rank() == root {
             let mut slots: Vec<Option<T>> = (0..size).map(|_| None).collect();
             slots[root] = Some(value);
             for r in (0..size).filter(|&r| r != root) {
-                slots[r] = Some(self.crecv::<T>(r, tag));
+                slots[r] = Some(self.crecv::<T>(r, tag)?);
             }
-            Some(slots.into_iter().map(|s| s.unwrap()).collect())
+            Ok(Some(slots.into_iter().map(|s| s.unwrap()).collect()))
         } else {
             let bytes = std::mem::size_of::<T>();
-            self.csend(root, tag, value, bytes, OpKind::Gather);
-            None
+            self.csend(root, tag, value, bytes, OpKind::Gather)?;
+            Ok(None)
         }
     }
 
     /// All-gather one value from every rank; every rank gets the full
     /// rank-ordered vector.
     pub fn allgather<T: Any + Send + Clone>(&mut self, value: T) -> Vec<T> {
-        let gathered = self.gather(0, value);
-        self.broadcast_vec(0, gathered)
+        self.try_allgather(value).unwrap_or_else(|e| die(e))
+    }
+
+    /// Fallible [`Comm::allgather`].
+    pub fn try_allgather<T: Any + Send + Clone>(&mut self, value: T) -> Result<Vec<T>, CommError> {
+        let gathered = self.try_gather(0, value)?;
+        self.try_broadcast_vec(0, gathered)
     }
 
     /// Scatter one value per rank from `root` (must supply exactly
     /// `size` values there).
     pub fn scatter<T: Any + Send>(&mut self, root: usize, values: Option<Vec<T>>) -> T {
+        self.try_scatter(root, values).unwrap_or_else(|e| die(e))
+    }
+
+    /// Fallible [`Comm::scatter`].
+    pub fn try_scatter<T: Any + Send>(
+        &mut self,
+        root: usize,
+        values: Option<Vec<T>>,
+    ) -> Result<T, CommError> {
         let tag = self.next_collective_tag();
         if self.rank() == root {
             let values = values.expect("scatter root must supply values");
@@ -190,10 +304,10 @@ impl Comm {
                 if r == root {
                     own = Some(v);
                 } else {
-                    self.csend(r, tag, v, bytes, OpKind::Scatter);
+                    self.csend(r, tag, v, bytes, OpKind::Scatter)?;
                 }
             }
-            own.unwrap()
+            Ok(own.unwrap())
         } else {
             self.crecv::<T>(root, tag)
         }
@@ -204,6 +318,11 @@ impl Comm {
     /// rank `d`; the result's slot `s` came from rank `s`). The data
     /// shuffle underlying distributed re-partitioning.
     pub fn alltoall<T: Any + Send>(&mut self, values: Vec<T>) -> Vec<T> {
+        self.try_alltoall(values).unwrap_or_else(|e| die(e))
+    }
+
+    /// Fallible [`Comm::alltoall`].
+    pub fn try_alltoall<T: Any + Send>(&mut self, values: Vec<T>) -> Result<Vec<T>, CommError> {
         let size = self.size();
         assert_eq!(values.len(), size, "alltoall needs one value per rank");
         let tag = self.next_collective_tag() | (1 << 60); // alltoall tag space
@@ -214,21 +333,31 @@ impl Comm {
             if dst == rank {
                 own = Some(v);
             } else {
-                self.csend(dst, tag, v, bytes, OpKind::Gather);
+                self.csend(dst, tag, v, bytes, OpKind::Gather)?;
             }
         }
         let mut out: Vec<Option<T>> = (0..size).map(|_| None).collect();
         out[rank] = own;
         for src in (0..size).filter(|&src| src != rank) {
-            out[src] = Some(self.crecv::<T>(src, tag));
+            out[src] = Some(self.crecv::<T>(src, tag)?);
         }
-        out.into_iter().map(|v| v.unwrap()).collect()
+        Ok(out.into_iter().map(|v| v.unwrap()).collect())
     }
 
     /// Reduce-scatter: element-wise reduce all ranks' `buf`s, then hand
     /// rank `r` the `r`-th near-equal contiguous chunk of the result.
     /// (Phase 1 of the ring AllReduce, exposed directly.)
     pub fn reduce_scatter_with<T, F>(&mut self, buf: Vec<T>, op: F) -> Vec<T>
+    where
+        T: Any + Send + Clone,
+        F: Fn(&mut [T], &[T]),
+    {
+        self.try_reduce_scatter_with(buf, op)
+            .unwrap_or_else(|e| die(e))
+    }
+
+    /// Fallible [`Comm::reduce_scatter_with`].
+    pub fn try_reduce_scatter_with<T, F>(&mut self, buf: Vec<T>, op: F) -> Result<Vec<T>, CommError>
     where
         T: Any + Send + Clone,
         F: Fn(&mut [T], &[T]),
@@ -240,7 +369,7 @@ impl Comm {
         // correct; the bandwidth-optimal path is `allreduce_ring`.
         let reduced = {
             let tag = self.next_collective_tag();
-            self.reduce_tree(0, buf, op, tag, OpKind::Reduce)
+            self.try_reduce_tree(0, buf, op, tag, OpKind::Reduce)?
         };
         let chunks = reduced.map(|full| {
             (0..size)
@@ -262,10 +391,10 @@ impl Comm {
                     own = Some(chunk);
                 } else {
                     let bytes = std::mem::size_of::<T>() * chunk.len();
-                    self.csend(r, tag2, chunk, bytes, OpKind::Scatter);
+                    self.csend(r, tag2, chunk, bytes, OpKind::Scatter)?;
                 }
             }
-            own.unwrap()
+            Ok(own.unwrap())
         } else {
             self.crecv::<Vec<T>>(0, tag2)
         }
@@ -276,14 +405,14 @@ impl Comm {
     // ------------------------------------------------------------------
 
     /// Binomial-tree reduce of `local` toward `root`; `Some` on root.
-    fn reduce_tree<T, F>(
+    fn try_reduce_tree<T, F>(
         &mut self,
         root: usize,
         mut local: Vec<T>,
         op: F,
         tag: u64,
         kind: OpKind,
-    ) -> Option<Vec<T>>
+    ) -> Result<Option<Vec<T>>, CommError>
     where
         T: Any + Send,
         F: Fn(&mut [T], &[T]),
@@ -298,7 +427,7 @@ impl Comm {
                 let vpeer = vrank | mask;
                 if vpeer < size {
                     let peer = (vpeer + root) % size;
-                    let contribution = self.crecv::<Vec<T>>(peer, tag);
+                    let contribution = self.crecv::<Vec<T>>(peer, tag)?;
                     debug_assert_eq!(contribution.len(), local.len(), "reduce length mismatch");
                     op(&mut local, &contribution);
                 }
@@ -306,22 +435,22 @@ impl Comm {
                 let vpeer = vrank & !mask;
                 let peer = (vpeer + root) % size;
                 let bytes = elem_bytes * local.len();
-                self.csend(peer, tag, local, bytes, kind);
-                return None;
+                self.csend(peer, tag, local, bytes, kind)?;
+                return Ok(None);
             }
             mask <<= 1;
         }
-        Some(local)
+        Ok(Some(local))
     }
 
     /// Binomial-tree broadcast from `root`; `value` must be `Some` on root.
-    fn broadcast_tree<T>(
+    fn try_broadcast_tree<T>(
         &mut self,
         root: usize,
         value: Option<Vec<T>>,
         tag: u64,
         kind: OpKind,
-    ) -> Vec<T>
+    ) -> Result<Vec<T>, CommError>
     where
         T: Any + Send + Clone,
     {
@@ -338,7 +467,7 @@ impl Comm {
             let parent = (vparent + root) % size;
             // The broadcast tag is offset so it never collides with the
             // reduce phase of an allreduce sharing the same sequence tag.
-            self.crecv::<Vec<T>>(parent, tag | (1 << 62))
+            self.crecv::<Vec<T>>(parent, tag | (1 << 62))?
         };
         // Send phase: forward to children (set bits above our lowest set
         // bit, descending).
@@ -359,11 +488,11 @@ impl Comm {
             if vchild < size && vchild != vrank {
                 let child = (vchild + root) % size;
                 let bytes = elem_bytes * value.len();
-                self.csend(child, tag | (1 << 62), value.clone(), bytes, kind);
+                self.csend(child, tag | (1 << 62), value.clone(), bytes, kind)?;
             }
             mask >>= 1;
         }
-        value
+        Ok(value)
     }
 }
 

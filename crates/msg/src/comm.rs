@@ -1,6 +1,7 @@
 //! The SPMD world, communicators and point-to-point messaging.
 
 use crate::cost::{CostLog, OpKind};
+use crate::fault::{CommError, FaultKind, FaultPlan, FaultStats, MAX_COMM_ATTEMPTS};
 use crossbeam_channel::{unbounded, Receiver, Sender};
 use std::any::Any;
 use std::cell::RefCell;
@@ -13,8 +14,15 @@ struct Packet {
     src_world: usize,
     comm_id: u64,
     tag: u64,
+    /// Set on injected detectably-corrupt frames; the receiver discards the
+    /// packet (as a checksum failure would) and waits for the retransmit.
+    corrupt: bool,
     data: Box<dyn Any + Send>,
 }
+
+/// Placeholder payload of an injected corrupt frame (the real payload is
+/// retransmitted clean; corruption here is always *detectable*).
+struct CorruptFrame;
 
 /// State shared by every rank of a world.
 struct WorldShared {
@@ -175,12 +183,54 @@ impl World {
         T: Send,
         F: Fn(&mut Comm) -> T + Sync,
     {
-        Self::run_full(n_ranks, Duration::from_secs(60), f)
-            .into_iter()
-            .unzip()
+        let (out, costs, _) = Self::run_with_faults(n_ranks, Duration::from_secs(60), None, f);
+        (out, costs)
+    }
+
+    /// [`World::run_with_cost`] under a [`FaultPlan`]: every rank's
+    /// collective traffic passes through the plan's injection schedule, and
+    /// each rank's injected-fault / retry tally is returned alongside the
+    /// cost logs. `faults: None` (or an inactive plan) is exactly the
+    /// fault-free fast path.
+    pub fn run_with_faults<T, F>(
+        n_ranks: usize,
+        timeout: Duration,
+        faults: Option<Arc<FaultPlan>>,
+        f: F,
+    ) -> (Vec<T>, Vec<CostLog>, Vec<FaultStats>)
+    where
+        T: Send,
+        F: Fn(&mut Comm) -> T + Sync,
+    {
+        let faults = faults.filter(|p| p.is_active());
+        let mut out = Vec::with_capacity(n_ranks);
+        let mut costs = Vec::with_capacity(n_ranks);
+        let mut stats = Vec::with_capacity(n_ranks);
+        for (v, c, s) in Self::run_full_faulted(n_ranks, timeout, faults, f) {
+            out.push(v);
+            costs.push(c);
+            stats.push(s);
+        }
+        (out, costs, stats)
     }
 
     fn run_full<T, F>(n_ranks: usize, timeout: Duration, f: F) -> Vec<(T, CostLog)>
+    where
+        T: Send,
+        F: Fn(&mut Comm) -> T + Sync,
+    {
+        Self::run_full_faulted(n_ranks, timeout, None, f)
+            .into_iter()
+            .map(|(v, c, _)| (v, c))
+            .collect()
+    }
+
+    fn run_full_faulted<T, F>(
+        n_ranks: usize,
+        timeout: Duration,
+        faults: Option<Arc<FaultPlan>>,
+        f: F,
+    ) -> Vec<(T, CostLog, FaultStats)>
     where
         T: Send,
         F: Fn(&mut Comm) -> T + Sync,
@@ -195,11 +245,12 @@ impl World {
         }
         let shared = Arc::new(WorldShared { senders, n_ranks });
 
-        let mut out: Vec<Option<(T, CostLog)>> = (0..n_ranks).map(|_| None).collect();
+        let mut out: Vec<Option<(T, CostLog, FaultStats)>> = (0..n_ranks).map(|_| None).collect();
         std::thread::scope(|scope| {
             let mut handles = Vec::with_capacity(n_ranks);
             for (rank, rx) in receivers.into_iter().enumerate() {
                 let shared = shared.clone();
+                let faults = faults.clone();
                 let f = &f;
                 handles.push(scope.spawn(move || {
                     let mailbox = Rc::new(RefCell::new(Mailbox {
@@ -207,6 +258,7 @@ impl World {
                         stash: Vec::new(),
                     }));
                     let cost = Rc::new(RefCell::new(CostLog::new()));
+                    let fault_stats = Rc::new(RefCell::new(FaultStats::new()));
                     let mut comm = Comm {
                         world_rank: rank,
                         shared,
@@ -218,13 +270,19 @@ impl World {
                         next_comm_seed: 1,
                         collective_seq: 0,
                         cost: cost.clone(),
+                        faults,
+                        fault_stats: fault_stats.clone(),
+                        op_counter: Rc::new(RefCell::new(0)),
                     };
                     let result = f(&mut comm);
                     drop(comm);
                     let cost = Rc::try_unwrap(cost)
                         .map(|c| c.into_inner())
                         .unwrap_or_else(|rc| rc.borrow().clone());
-                    (result, cost)
+                    let fault_stats = Rc::try_unwrap(fault_stats)
+                        .map(|c| c.into_inner())
+                        .unwrap_or_else(|rc| rc.borrow().clone());
+                    (result, cost, fault_stats)
                 }));
             }
             for (rank, h) in handles.into_iter().enumerate() {
@@ -264,6 +322,16 @@ pub struct Comm {
     /// Per-rank communication accounting, shared across this rank's
     /// communicators.
     cost: Rc<RefCell<CostLog>>,
+    /// Active fault-injection schedule (`None` for the fault-free fast
+    /// path), shared across this rank's communicators.
+    faults: Option<Arc<FaultPlan>>,
+    /// Injected-fault and retry tallies, shared across this rank's
+    /// communicators.
+    fault_stats: Rc<RefCell<FaultStats>>,
+    /// Per-rank collective-send ordinal: the `op_index` coordinate of the
+    /// fault schedule. Shared across communicators so the sequence is a
+    /// deterministic property of the rank's whole SPMD program.
+    op_counter: Rc<RefCell<u64>>,
 }
 
 /// Tag bit reserved for collective-internal messages.
@@ -302,7 +370,21 @@ impl Comm {
     }
 
     /// Send `value` to communicator rank `dst` with `tag`. Never blocks.
+    /// Panics if the peer is gone; see [`Comm::try_send`] for the fallible
+    /// variant.
     pub fn send<T: Any + Send>(&mut self, dst: usize, tag: u64, value: T) {
+        self.try_send(dst, tag, value)
+            .unwrap_or_else(|e| panic!("send failed: {e}"));
+    }
+
+    /// Fallible [`Comm::send`]: returns [`CommError::PeerGone`] instead of
+    /// panicking when the destination rank has already exited.
+    pub fn try_send<T: Any + Send>(
+        &mut self,
+        dst: usize,
+        tag: u64,
+        value: T,
+    ) -> Result<(), CommError> {
         assert!(
             tag & COLLECTIVE_TAG_BIT == 0,
             "user tags must not set the collective bit"
@@ -313,17 +395,29 @@ impl Comm {
             value,
             std::mem::size_of::<T>(),
             OpKind::PointToPoint,
-        );
+        )
     }
 
-    /// Send a `Vec<T>`, accounting its true payload size.
+    /// Send a `Vec<T>`, accounting its true payload size. Panics if the
+    /// peer is gone; see [`Comm::try_send_vec`].
     pub fn send_vec<T: Any + Send>(&mut self, dst: usize, tag: u64, value: Vec<T>) {
+        self.try_send_vec(dst, tag, value)
+            .unwrap_or_else(|e| panic!("send failed: {e}"));
+    }
+
+    /// Fallible [`Comm::send_vec`].
+    pub fn try_send_vec<T: Any + Send>(
+        &mut self,
+        dst: usize,
+        tag: u64,
+        value: Vec<T>,
+    ) -> Result<(), CommError> {
         assert!(
             tag & COLLECTIVE_TAG_BIT == 0,
             "user tags must not set the collective bit"
         );
         let bytes = std::mem::size_of::<T>() * value.len();
-        self.send_sized(dst, tag, value, bytes, OpKind::PointToPoint);
+        self.send_sized(dst, tag, value, bytes, OpKind::PointToPoint)
     }
 
     fn send_sized<T: Any + Send>(
@@ -333,7 +427,7 @@ impl Comm {
         value: T,
         bytes: usize,
         kind: OpKind,
-    ) {
+    ) -> Result<(), CommError> {
         let dst_world = self.world_rank_of(dst);
         self.cost
             .borrow_mut()
@@ -343,9 +437,12 @@ impl Comm {
                 src_world: self.world_rank,
                 comm_id: self.comm_id,
                 tag,
+                corrupt: false,
                 data: Box::new(value),
             })
-            .expect("receiver channel closed");
+            .map_err(|_| CommError::PeerGone {
+                peer_world_rank: dst_world,
+            })
     }
 
     /// Receive a `T` from communicator rank `src` with `tag`, blocking until
@@ -382,7 +479,12 @@ impl Comm {
         self.recv::<Vec<T>>(src, tag)
     }
 
-    /// Collective-internal typed send (size accounted explicitly).
+    /// Collective-internal typed send (size accounted explicitly). This is
+    /// the single choke point all collective traffic routes through, so the
+    /// fault plan is consulted here: injected drops/corruptions/crash
+    /// stalls are recovered by bounded retransmission with exponential
+    /// backoff, and a persistent (scripted) fault surfaces as
+    /// [`CommError::RetriesExhausted`].
     pub(crate) fn csend<T: Any + Send>(
         &mut self,
         dst: usize,
@@ -390,15 +492,137 @@ impl Comm {
         value: T,
         bytes: usize,
         kind: OpKind,
-    ) {
-        self.send_sized(dst, COLLECTIVE_TAG_BIT | seq_tag, value, bytes, kind);
+    ) -> Result<(), CommError> {
+        let tag = COLLECTIVE_TAG_BIT | seq_tag;
+        let Some(plan) = self.faults.clone() else {
+            return self.send_sized(dst, tag, value, bytes, kind);
+        };
+        let op = {
+            let mut c = self.op_counter.borrow_mut();
+            let v = *c;
+            *c += 1;
+            v
+        };
+        let dst_world = self.world_rank_of(dst);
+        let mut attempt: u32 = 0;
+        loop {
+            match plan.decide(self.world_rank, op, attempt) {
+                None => return self.send_sized(dst, tag, value, bytes, kind),
+                Some(FaultKind::Delay) => {
+                    // Late delivery: the payload still goes out exactly once
+                    // (the receiver's timeout retry does the recovering).
+                    self.fault_stats
+                        .borrow_mut()
+                        .record_injected(FaultKind::Delay);
+                    std::thread::sleep(plan.delay());
+                    return self.send_sized(dst, tag, value, bytes, kind);
+                }
+                Some(injected) => {
+                    {
+                        let mut st = self.fault_stats.borrow_mut();
+                        st.record_injected(injected);
+                        st.record_retry();
+                    }
+                    match injected {
+                        // The transfer vanishes in the fabric: nothing to do
+                        // but retransmit after the backoff.
+                        FaultKind::Drop => {}
+                        // Deliver a detectably-corrupt frame so the receiver
+                        // exercises its discard path, then retransmit.
+                        FaultKind::Corrupt => {
+                            let _ = self.shared.senders[dst_world].send(Packet {
+                                src_world: self.world_rank,
+                                comm_id: self.comm_id,
+                                tag,
+                                corrupt: true,
+                                data: Box::new(CorruptFrame),
+                            });
+                        }
+                        // Crash + restart: a long stall before retransmission.
+                        FaultKind::Crash => std::thread::sleep(plan.restart_pause()),
+                        FaultKind::Delay => unreachable!("handled above"),
+                    }
+                    attempt += 1;
+                    if attempt >= MAX_COMM_ATTEMPTS {
+                        return Err(CommError::RetriesExhausted {
+                            world_rank: self.world_rank,
+                            dst_world_rank: dst_world,
+                            attempts: attempt,
+                        });
+                    }
+                    std::thread::sleep(backoff(attempt));
+                }
+            }
+        }
     }
 
-    /// Collective-internal typed receive; panics on failure (a collective
-    /// cannot meaningfully continue after a lost message).
-    pub(crate) fn crecv<T: Any + Send>(&mut self, src: usize, seq_tag: u64) -> T {
-        self.recv_any(src, COLLECTIVE_TAG_BIT | seq_tag)
-            .unwrap_or_else(|e| panic!("collective receive failed: {e}"))
+    /// Collective-internal typed receive. Without an active fault plan this
+    /// is a single blocking wait against the full deadline (the historical
+    /// behaviour); under a plan it retries with short, exponentially growing
+    /// per-attempt timeouts — discarding detectably-corrupt frames — and
+    /// only the final attempt waits out the full deadline.
+    pub(crate) fn crecv<T: Any + Send>(
+        &mut self,
+        src: usize,
+        seq_tag: u64,
+    ) -> Result<T, CommError> {
+        let tag = COLLECTIVE_TAG_BIT | seq_tag;
+        let src_world = self.world_rank_of(src);
+        if self.faults.is_none() {
+            let packet = self.mailbox.borrow_mut().match_packet(
+                self.world_rank,
+                src_world,
+                self.comm_id,
+                tag,
+                self.timeout,
+            )?;
+            return downcast_packet(packet, src_world, tag);
+        }
+        let mut timeouts: u32 = 0;
+        let mut discards: u32 = 0;
+        loop {
+            let wait = if timeouts + 1 >= MAX_COMM_ATTEMPTS {
+                self.timeout
+            } else {
+                attempt_timeout(timeouts)
+            };
+            let res = self.mailbox.borrow_mut().match_packet(
+                self.world_rank,
+                src_world,
+                self.comm_id,
+                tag,
+                wait,
+            );
+            match res {
+                Ok(packet) if packet.corrupt => {
+                    // Checksum failure: discard and wait for the retransmit.
+                    self.fault_stats.borrow_mut().record_retry();
+                    discards += 1;
+                    if discards > 2 * MAX_COMM_ATTEMPTS {
+                        return Err(CommError::Timeout {
+                            receiver_world_rank: self.world_rank,
+                            from_world_rank: src_world,
+                            tag,
+                            attempts: timeouts + discards,
+                        });
+                    }
+                }
+                Ok(packet) => return downcast_packet(packet, src_world, tag),
+                Err(RecvError::Timeout { .. }) => {
+                    timeouts += 1;
+                    if timeouts >= MAX_COMM_ATTEMPTS {
+                        return Err(CommError::Timeout {
+                            receiver_world_rank: self.world_rank,
+                            from_world_rank: src_world,
+                            tag,
+                            attempts: timeouts,
+                        });
+                    }
+                    self.fault_stats.borrow_mut().record_retry();
+                }
+                Err(e) => return Err(e.into()),
+            }
+        }
     }
 
     /// Fresh tag for the next collective on this communicator.
@@ -406,6 +630,16 @@ impl Comm {
         let t = self.collective_seq;
         self.collective_seq += 1;
         t
+    }
+
+    /// Snapshot of this rank's injected-fault / retry tally.
+    pub fn fault_stats_snapshot(&self) -> FaultStats {
+        self.fault_stats.borrow().clone()
+    }
+
+    /// The active fault plan, if any.
+    pub fn fault_plan(&self) -> Option<&FaultPlan> {
+        self.faults.as_deref()
     }
 
     /// Post a non-blocking receive: returns immediately with a
@@ -476,8 +710,38 @@ impl Comm {
             next_comm_seed: 1,
             collective_seq: 0,
             cost: self.cost.clone(),
+            faults: self.faults.clone(),
+            fault_stats: self.fault_stats.clone(),
+            op_counter: self.op_counter.clone(),
         }
     }
+}
+
+/// Downcast a matched packet's payload, mapping failure to the typed error.
+fn downcast_packet<T: Any + Send>(
+    packet: Packet,
+    src_world: usize,
+    tag: u64,
+) -> Result<T, CommError> {
+    packet
+        .data
+        .downcast::<T>()
+        .map(|b| *b)
+        .map_err(|_| CommError::TypeMismatch {
+            from_world_rank: src_world,
+            tag,
+        })
+}
+
+/// Exponential retransmission backoff: 1 ms, 2 ms, 4 ms, … (capped).
+fn backoff(attempt: u32) -> Duration {
+    Duration::from_micros(500u64 << attempt.min(6))
+}
+
+/// Per-attempt receive window under fault injection: 4 ms, 8 ms, … (the
+/// final attempt uses the communicator's full deadline instead).
+fn attempt_timeout(timeouts_so_far: u32) -> Duration {
+    Duration::from_millis(4u64 << timeouts_so_far.min(5))
 }
 
 /// A posted non-blocking receive (see [`Comm::irecv`]). The request is

@@ -1,0 +1,691 @@
+//! Deterministic fault injection for the simulated fabric.
+//!
+//! The paper assumes a healthy SW26010 interconnect; a production fleet does
+//! not get that luxury. This module defines a seed-reproducible [`FaultPlan`]
+//! that the transport layer ([`crate::comm`]) consults on every
+//! collective-internal send: per-rank/per-operation drop, delay,
+//! detectable-corruption and crash-stall faults, driven either by a pure
+//! counter-mode hash of a seed (so the same seed replays the identical fault
+//! sequence, bit for bit) or by an explicit script of `(rank, op)` events.
+//!
+//! Two properties make recovery testable:
+//!
+//! * **Determinism** — `decide(rank, op, attempt)` is a pure function; no
+//!   clock or shared RNG state is involved, so a replay with the same seed
+//!   injects exactly the same faults regardless of thread scheduling.
+//! * **Bounded villainy** — randomly scheduled faults only strike the first
+//!   [`FAULTABLE_ATTEMPTS`] delivery attempts of an operation, so every
+//!   transfer is structurally guaranteed to get through within the
+//!   transport's retry budget. Recovery is then pure retransmission of an
+//!   identical payload, which is why a faulted run stays bitwise identical
+//!   to a fault-free one. Scripted events may be marked `persistent` to
+//!   defeat the retry budget and exercise the typed-error paths instead.
+//!
+//! Every rank holds the same plan (it is a pure function of the seed), which
+//! doubles as a zero-message consensus mechanism: executors ask
+//! [`FaultPlan::degrade_iteration`] whether an iteration should run in
+//! degraded mode (delta→dense, ring→tree) and all ranks reach the same
+//! answer without any agreement protocol.
+
+use std::time::Duration;
+
+/// Random faults never strike an operation's attempt index at or above this
+/// bound, so bounded retry always succeeds against a seeded (non-scripted)
+/// plan.
+pub const FAULTABLE_ATTEMPTS: u32 = 3;
+
+/// Transport retry budget: a collective send or receive gives up (with a
+/// typed error) after this many attempts.
+pub const MAX_COMM_ATTEMPTS: u32 = 6;
+
+/// The kinds of fault the transport can inject.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum FaultKind {
+    /// The transfer vanishes in the fabric; the sender retransmits after a
+    /// backoff.
+    Drop,
+    /// The transfer is delivered late (the sender stalls first), typically
+    /// tripping the receiver's per-attempt timeout.
+    Delay,
+    /// A detectably-corrupt frame is delivered; the receiver discards it and
+    /// waits for the retransmission.
+    Corrupt,
+    /// The sending rank "crashes" and restarts: a long stall before the
+    /// retransmission.
+    Crash,
+}
+
+impl FaultKind {
+    pub const ALL: [FaultKind; 4] = [
+        FaultKind::Drop,
+        FaultKind::Delay,
+        FaultKind::Corrupt,
+        FaultKind::Crash,
+    ];
+
+    /// Stable lower-case name used in metric keys and `--faults` specs.
+    pub fn metric_name(self) -> &'static str {
+        match self {
+            FaultKind::Drop => "drop",
+            FaultKind::Delay => "delay",
+            FaultKind::Corrupt => "corrupt",
+            FaultKind::Crash => "crash",
+        }
+    }
+
+    fn index(self) -> usize {
+        match self {
+            FaultKind::Drop => 0,
+            FaultKind::Delay => 1,
+            FaultKind::Corrupt => 2,
+            FaultKind::Crash => 3,
+        }
+    }
+
+    /// Parse one kind name (as used in `kinds=drop+corrupt`).
+    pub fn parse(s: &str) -> Result<FaultKind, String> {
+        match s {
+            "drop" => Ok(FaultKind::Drop),
+            "delay" => Ok(FaultKind::Delay),
+            "corrupt" => Ok(FaultKind::Corrupt),
+            "crash" => Ok(FaultKind::Crash),
+            other => Err(format!(
+                "unknown fault kind `{other}` (drop|delay|corrupt|crash)"
+            )),
+        }
+    }
+}
+
+impl std::fmt::Display for FaultKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.metric_name())
+    }
+}
+
+/// One explicitly scripted fault: strike operation `op_index` of
+/// `world_rank`. Non-persistent events fault only the first attempt (the
+/// retransmission succeeds); persistent ones fault every attempt, defeating
+/// the retry budget so tests can reach the typed-error paths.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ScriptedFault {
+    pub world_rank: usize,
+    pub op_index: u64,
+    pub kind: FaultKind,
+    pub persistent: bool,
+}
+
+/// A deterministic, seed-reproducible fault schedule (see module docs).
+#[derive(Debug, Clone, PartialEq)]
+pub struct FaultPlan {
+    seed: u64,
+    rate: f64,
+    kinds: Vec<FaultKind>,
+    script: Vec<ScriptedFault>,
+    degrade_every: Option<u64>,
+    timeout_ms: Option<u64>,
+    delay_ms: u64,
+    restart_ms: u64,
+    kill_shards: Vec<usize>,
+    kill_after_ms: u64,
+}
+
+impl FaultPlan {
+    /// A plan injecting all four kinds at `rate` (fraction of collective
+    /// sends faulted, in `[0, 1]`), scheduled by `seed`.
+    pub fn seeded(seed: u64, rate: f64) -> FaultPlan {
+        FaultPlan {
+            seed,
+            rate: rate.clamp(0.0, 1.0),
+            kinds: FaultKind::ALL.to_vec(),
+            script: Vec::new(),
+            degrade_every: None,
+            timeout_ms: None,
+            delay_ms: 25,
+            restart_ms: 15,
+            kill_shards: Vec::new(),
+            kill_after_ms: 0,
+        }
+    }
+
+    /// A purely scripted plan (no random component).
+    pub fn scripted(script: Vec<ScriptedFault>) -> FaultPlan {
+        let mut plan = FaultPlan::seeded(0, 0.0);
+        plan.script = script;
+        plan
+    }
+
+    /// Restrict random injection to the given kinds.
+    pub fn with_kinds(mut self, kinds: &[FaultKind]) -> Self {
+        self.kinds = kinds.to_vec();
+        self
+    }
+
+    /// Add scripted events on top of the random schedule.
+    pub fn with_script(mut self, script: Vec<ScriptedFault>) -> Self {
+        self.script = script;
+        self
+    }
+
+    /// Schedule every `every`-th training iteration (1-based multiples) to
+    /// run in degraded mode: delta→dense fallback, ring→tree merge.
+    pub fn with_degrade_every(mut self, every: u64) -> Self {
+        self.degrade_every = if every == 0 { None } else { Some(every) };
+        self
+    }
+
+    /// Override the world receive deadline while this plan is active
+    /// (tests use a short deadline so retry exhaustion fails fast).
+    pub fn with_timeout_ms(mut self, ms: u64) -> Self {
+        self.timeout_ms = Some(ms);
+        self
+    }
+
+    /// Stall length for `Delay` faults (default 25 ms — longer than the
+    /// receiver's first per-attempt timeout, so delays surface as retries).
+    pub fn with_delay_ms(mut self, ms: u64) -> Self {
+        self.delay_ms = ms;
+        self
+    }
+
+    /// Crash-restart stall length (default 15 ms).
+    pub fn with_restart_ms(mut self, ms: u64) -> Self {
+        self.restart_ms = ms;
+        self
+    }
+
+    /// Serving-side schedule: shard indices to kill `kill_after_ms` into a
+    /// benchmark run (interpreted by the CLI / test harness, not the
+    /// transport).
+    pub fn with_kill_shards(mut self, shards: &[usize], after_ms: u64) -> Self {
+        self.kill_shards = shards.to_vec();
+        self.kill_after_ms = after_ms;
+        self
+    }
+
+    /// Parse a `--faults` spec: comma-separated `key=value` pairs.
+    ///
+    /// ```text
+    /// seed=42,rate=0.2                          # all kinds at 20%
+    /// seed=7,rate=0.25,kinds=drop+corrupt       # restrict kinds
+    /// seed=7,rate=0.1,degrade-every=2           # degrade every 2nd iter
+    /// script=0:12:drop:persistent+1:3:crash     # explicit events
+    /// kill-shards=0+2,kill-after-ms=50          # serving-side schedule
+    /// timeout-ms=2000,delay-ms=10,restart-ms=5  # tuning knobs
+    /// ```
+    pub fn parse(spec: &str) -> Result<FaultPlan, String> {
+        let mut plan = FaultPlan::seeded(0, 0.0);
+        for pair in spec.split(',').filter(|p| !p.is_empty()) {
+            let (key, value) = pair
+                .split_once('=')
+                .ok_or_else(|| format!("fault spec entry `{pair}` is not key=value"))?;
+            let parse_u64 = |v: &str| {
+                v.parse::<u64>()
+                    .map_err(|_| format!("fault spec {key}: cannot parse `{v}`"))
+            };
+            match key {
+                "seed" => plan.seed = parse_u64(value)?,
+                "rate" => {
+                    let r: f64 = value
+                        .parse()
+                        .map_err(|_| format!("fault spec rate: cannot parse `{value}`"))?;
+                    if !(0.0..=1.0).contains(&r) {
+                        return Err(format!("fault spec rate must be in [0,1], got {r}"));
+                    }
+                    plan.rate = r;
+                }
+                "kinds" => {
+                    plan.kinds = value
+                        .split('+')
+                        .map(FaultKind::parse)
+                        .collect::<Result<Vec<_>, _>>()?;
+                }
+                "script" => {
+                    plan.script = value
+                        .split('+')
+                        .map(parse_scripted)
+                        .collect::<Result<Vec<_>, _>>()?;
+                }
+                "degrade-every" => {
+                    let every = parse_u64(value)?;
+                    plan.degrade_every = if every == 0 { None } else { Some(every) };
+                }
+                "timeout-ms" => plan.timeout_ms = Some(parse_u64(value)?),
+                "delay-ms" => plan.delay_ms = parse_u64(value)?,
+                "restart-ms" => plan.restart_ms = parse_u64(value)?,
+                "kill-shards" => {
+                    plan.kill_shards = value
+                        .split('+')
+                        .map(|s| {
+                            s.parse::<usize>()
+                                .map_err(|_| format!("fault spec kill-shards: bad index `{s}`"))
+                        })
+                        .collect::<Result<Vec<_>, _>>()?;
+                }
+                "kill-after-ms" => plan.kill_after_ms = parse_u64(value)?,
+                other => return Err(format!("unknown fault spec key `{other}`")),
+            }
+        }
+        Ok(plan)
+    }
+
+    /// Decide whether attempt `attempt` of this rank's `op_index`-th
+    /// collective send is faulted, and how. Pure: same arguments, same
+    /// answer, on every rank and every run.
+    pub fn decide(&self, world_rank: usize, op_index: u64, attempt: u32) -> Option<FaultKind> {
+        for s in &self.script {
+            if s.world_rank == world_rank
+                && s.op_index == op_index
+                && (s.persistent || attempt == 0)
+            {
+                return Some(s.kind);
+            }
+        }
+        if self.kinds.is_empty() || self.rate <= 0.0 || attempt >= FAULTABLE_ATTEMPTS {
+            return None;
+        }
+        let h = mix(self.seed, world_rank as u64, op_index, attempt as u64);
+        // 53 uniform bits → [0, 1).
+        let draw = (h >> 11) as f64 / (1u64 << 53) as f64;
+        if draw < self.rate {
+            let pick = mix(
+                self.seed ^ 0x9e37_79b9_7f4a_7c15,
+                world_rank as u64,
+                op_index,
+                0xfa,
+            );
+            Some(self.kinds[(pick % self.kinds.len() as u64) as usize])
+        } else {
+            None
+        }
+    }
+
+    /// Should iteration `iter` (0-based) run in degraded mode? Every rank
+    /// evaluates this identically — the shared seed is the consensus.
+    pub fn degrade_iteration(&self, iter: usize) -> bool {
+        match self.degrade_every {
+            Some(every) => (iter as u64 + 1).is_multiple_of(every),
+            None => false,
+        }
+    }
+
+    /// World receive deadline override, if any.
+    pub fn timeout(&self) -> Option<Duration> {
+        self.timeout_ms.map(Duration::from_millis)
+    }
+
+    pub fn delay(&self) -> Duration {
+        Duration::from_millis(self.delay_ms)
+    }
+
+    pub fn restart_pause(&self) -> Duration {
+        Duration::from_millis(self.restart_ms)
+    }
+
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    pub fn rate(&self) -> f64 {
+        self.rate
+    }
+
+    /// Serving-side kill schedule: `(shard indices, delay before the kill)`.
+    pub fn kill_schedule(&self) -> (&[usize], Duration) {
+        (&self.kill_shards, Duration::from_millis(self.kill_after_ms))
+    }
+
+    /// True when the plan can actually do something (used to skip the
+    /// fault-aware slow paths entirely for empty plans).
+    pub fn is_active(&self) -> bool {
+        (self.rate > 0.0 && !self.kinds.is_empty()) || !self.script.is_empty()
+    }
+}
+
+fn parse_scripted(s: &str) -> Result<ScriptedFault, String> {
+    let parts: Vec<&str> = s.split(':').collect();
+    if parts.len() != 3 && parts.len() != 4 {
+        return Err(format!(
+            "scripted fault `{s}` must be rank:op:kind[:persistent]"
+        ));
+    }
+    let world_rank = parts[0]
+        .parse()
+        .map_err(|_| format!("scripted fault `{s}`: bad rank"))?;
+    let op_index = parts[1]
+        .parse()
+        .map_err(|_| format!("scripted fault `{s}`: bad op index"))?;
+    let kind = FaultKind::parse(parts[2])?;
+    let persistent = match parts.get(3) {
+        None | Some(&"once") => false,
+        Some(&"persistent") => true,
+        Some(other) => return Err(format!("scripted fault `{s}`: `{other}`?")),
+    };
+    Ok(ScriptedFault {
+        world_rank,
+        op_index,
+        kind,
+        persistent,
+    })
+}
+
+/// splitmix64-style avalanche over the four schedule coordinates.
+fn mix(seed: u64, a: u64, b: u64, c: u64) -> u64 {
+    let mut z = seed
+        .wrapping_add(a.wrapping_mul(0x9e37_79b9_7f4a_7c15))
+        .wrapping_add(b.wrapping_mul(0xbf58_476d_1ce4_e5b9))
+        .wrapping_add(c.wrapping_mul(0x94d0_49bb_1331_11eb));
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+/// Per-rank tally of injected faults and recovery retries, mirroring
+/// [`crate::cost::CostLog`]'s merge/export pattern.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct FaultStats {
+    injected_by_kind: [u64; 4],
+    retries: u64,
+}
+
+impl FaultStats {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    pub fn record_injected(&mut self, kind: FaultKind) {
+        self.injected_by_kind[kind.index()] += 1;
+    }
+
+    pub fn record_retry(&mut self) {
+        self.retries += 1;
+    }
+
+    /// Faults injected of one kind.
+    pub fn injected_of(&self, kind: FaultKind) -> u64 {
+        self.injected_by_kind[kind.index()]
+    }
+
+    /// Faults injected, all kinds.
+    pub fn injected_total(&self) -> u64 {
+        self.injected_by_kind.iter().sum()
+    }
+
+    /// Send retransmissions plus receive re-waits performed to recover.
+    pub fn retries(&self) -> u64 {
+        self.retries
+    }
+
+    /// Fold another rank's tally into this one.
+    pub fn merge(&mut self, other: &FaultStats) {
+        for i in 0..4 {
+            self.injected_by_kind[i] += other.injected_by_kind[i];
+        }
+        self.retries += other.retries;
+    }
+
+    /// Publish into a metrics registry: `fault_injected_total`,
+    /// `fault_<kind>_injected_total` per kind with activity, and
+    /// `comm_retries_total`. Counters accumulate across ranks.
+    pub fn export_into(&self, registry: &swkm_obs::MetricsRegistry) {
+        registry.counter_add("fault_injected_total", self.injected_total());
+        for kind in FaultKind::ALL {
+            let n = self.injected_of(kind);
+            if n > 0 {
+                registry.counter_add(&format!("fault_{}_injected_total", kind.metric_name()), n);
+            }
+        }
+        registry.counter_add("comm_retries_total", self.retries);
+    }
+}
+
+/// Typed communication failures surfaced by the fault-aware collectives.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CommError {
+    /// No matching message within the deadline, across every retry attempt.
+    Timeout {
+        receiver_world_rank: usize,
+        from_world_rank: usize,
+        tag: u64,
+        attempts: u32,
+    },
+    /// The sender's retry budget ran out (persistent fault on the link).
+    RetriesExhausted {
+        world_rank: usize,
+        dst_world_rank: usize,
+        attempts: u32,
+    },
+    /// The peer's channel is gone (the rank exited or panicked).
+    PeerGone { peer_world_rank: usize },
+    /// The message matched but carried a different payload type.
+    TypeMismatch { from_world_rank: usize, tag: u64 },
+}
+
+impl std::fmt::Display for CommError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CommError::Timeout {
+                receiver_world_rank,
+                from_world_rank,
+                tag,
+                attempts,
+            } => write!(
+                f,
+                "rank {receiver_world_rank} timed out waiting for rank {from_world_rank} \
+                 (tag {tag}) after {attempts} attempt(s)"
+            ),
+            CommError::RetriesExhausted {
+                world_rank,
+                dst_world_rank,
+                attempts,
+            } => write!(
+                f,
+                "rank {world_rank} exhausted {attempts} send attempts to rank {dst_world_rank}"
+            ),
+            CommError::PeerGone { peer_world_rank } => {
+                write!(
+                    f,
+                    "peer rank {peer_world_rank} is gone (exited or panicked)"
+                )
+            }
+            CommError::TypeMismatch {
+                from_world_rank,
+                tag,
+            } => write!(
+                f,
+                "message from rank {from_world_rank} (tag {tag}) had unexpected payload type"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for CommError {}
+
+impl From<crate::comm::RecvError> for CommError {
+    fn from(e: crate::comm::RecvError) -> CommError {
+        match e {
+            crate::comm::RecvError::Timeout {
+                receiver_world_rank,
+                from_world_rank,
+                tag,
+            } => CommError::Timeout {
+                receiver_world_rank,
+                from_world_rank,
+                tag,
+                attempts: 1,
+            },
+            crate::comm::RecvError::TypeMismatch {
+                from_world_rank,
+                tag,
+            } => CommError::TypeMismatch {
+                from_world_rank,
+                tag,
+            },
+            crate::comm::RecvError::Disconnected => CommError::PeerGone {
+                peer_world_rank: usize::MAX,
+            },
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn decide_is_deterministic_and_seed_sensitive() {
+        let plan = FaultPlan::seeded(42, 0.3);
+        let replay = FaultPlan::seeded(42, 0.3);
+        let other = FaultPlan::seeded(43, 0.3);
+        let mut agree_everywhere = true;
+        let mut differs_somewhere = false;
+        for rank in 0..4 {
+            for op in 0..200u64 {
+                for attempt in 0..3 {
+                    let a = plan.decide(rank, op, attempt);
+                    agree_everywhere &= a == replay.decide(rank, op, attempt);
+                    differs_somewhere |= a != other.decide(rank, op, attempt);
+                }
+            }
+        }
+        assert!(agree_everywhere, "same seed must replay identically");
+        assert!(differs_somewhere, "different seeds must differ somewhere");
+    }
+
+    #[test]
+    fn random_faults_respect_the_attempt_cap() {
+        let plan = FaultPlan::seeded(7, 0.99);
+        for rank in 0..4 {
+            for op in 0..500u64 {
+                assert_eq!(plan.decide(rank, op, FAULTABLE_ATTEMPTS), None);
+                assert_eq!(plan.decide(rank, op, FAULTABLE_ATTEMPTS + 1), None);
+            }
+        }
+    }
+
+    #[test]
+    fn injection_rate_tracks_the_requested_rate() {
+        let plan = FaultPlan::seeded(1, 0.25);
+        let mut hits = 0u32;
+        let total = 8_000u32;
+        for op in 0..total as u64 {
+            if plan.decide(0, op, 0).is_some() {
+                hits += 1;
+            }
+        }
+        let observed = hits as f64 / total as f64;
+        assert!(
+            (observed - 0.25).abs() < 0.03,
+            "observed rate {observed} too far from 0.25"
+        );
+    }
+
+    #[test]
+    fn scripted_faults_fire_exactly_where_told() {
+        let plan = FaultPlan::scripted(vec![
+            ScriptedFault {
+                world_rank: 1,
+                op_index: 5,
+                kind: FaultKind::Drop,
+                persistent: false,
+            },
+            ScriptedFault {
+                world_rank: 0,
+                op_index: 2,
+                kind: FaultKind::Crash,
+                persistent: true,
+            },
+        ]);
+        assert_eq!(plan.decide(1, 5, 0), Some(FaultKind::Drop));
+        assert_eq!(plan.decide(1, 5, 1), None, "one-shot event retries clean");
+        assert_eq!(plan.decide(0, 2, 0), Some(FaultKind::Crash));
+        assert_eq!(
+            plan.decide(0, 2, 99),
+            Some(FaultKind::Crash),
+            "persistent event defeats retries"
+        );
+        assert_eq!(plan.decide(2, 5, 0), None);
+    }
+
+    #[test]
+    fn degrade_schedule_is_shared_consensus() {
+        let plan = FaultPlan::seeded(3, 0.1).with_degrade_every(2);
+        let flags: Vec<bool> = (0..6).map(|i| plan.degrade_iteration(i)).collect();
+        assert_eq!(flags, vec![false, true, false, true, false, true]);
+        assert!(!FaultPlan::seeded(3, 0.1).degrade_iteration(1));
+    }
+
+    #[test]
+    fn spec_round_trip() {
+        let plan = FaultPlan::parse(
+            "seed=42,rate=0.2,kinds=drop+corrupt,degrade-every=3,timeout-ms=2000,\
+             delay-ms=10,restart-ms=5,kill-shards=0+2,kill-after-ms=50",
+        )
+        .unwrap();
+        assert_eq!(plan.seed(), 42);
+        assert_eq!(plan.rate(), 0.2);
+        assert_eq!(plan.timeout(), Some(Duration::from_millis(2000)));
+        assert_eq!(plan.delay(), Duration::from_millis(10));
+        assert_eq!(plan.restart_pause(), Duration::from_millis(5));
+        assert!(plan.degrade_iteration(2));
+        let (shards, after) = plan.kill_schedule();
+        assert_eq!(shards, &[0, 2]);
+        assert_eq!(after, Duration::from_millis(50));
+        assert!(plan.is_active());
+        // Only drop/corrupt can appear.
+        for op in 0..500 {
+            if let Some(k) = plan.decide(0, op, 0) {
+                assert!(matches!(k, FaultKind::Drop | FaultKind::Corrupt));
+            }
+        }
+    }
+
+    #[test]
+    fn spec_with_script_parses() {
+        let plan = FaultPlan::parse("script=0:12:drop:persistent+1:3:crash").unwrap();
+        assert_eq!(plan.decide(0, 12, 5), Some(FaultKind::Drop));
+        assert_eq!(plan.decide(1, 3, 0), Some(FaultKind::Crash));
+        assert_eq!(plan.decide(1, 3, 1), None);
+    }
+
+    #[test]
+    fn bad_specs_are_rejected() {
+        for bad in [
+            "seed",
+            "rate=1.5",
+            "rate=nope",
+            "kinds=warp",
+            "script=0:1",
+            "script=0:1:drop:sometimes",
+            "frequency=2",
+            "kill-shards=x",
+        ] {
+            assert!(FaultPlan::parse(bad).is_err(), "`{bad}` should not parse");
+        }
+        assert!(!FaultPlan::parse("").unwrap().is_active());
+        assert!(!FaultPlan::parse("seed=9,rate=0.0").unwrap().is_active());
+    }
+
+    #[test]
+    fn stats_merge_and_export() {
+        let mut a = FaultStats::new();
+        a.record_injected(FaultKind::Drop);
+        a.record_injected(FaultKind::Drop);
+        a.record_retry();
+        let mut b = FaultStats::new();
+        b.record_injected(FaultKind::Corrupt);
+        b.record_retry();
+        b.record_retry();
+        a.merge(&b);
+        assert_eq!(a.injected_total(), 3);
+        assert_eq!(a.injected_of(FaultKind::Drop), 2);
+        assert_eq!(a.injected_of(FaultKind::Corrupt), 1);
+        assert_eq!(a.retries(), 3);
+        let reg = swkm_obs::MetricsRegistry::new();
+        a.export_into(&reg);
+        assert_eq!(reg.counter("fault_injected_total"), 3);
+        assert_eq!(reg.counter("fault_drop_injected_total"), 2);
+        assert_eq!(reg.counter("fault_corrupt_injected_total"), 1);
+        assert_eq!(reg.counter("comm_retries_total"), 3);
+        assert_eq!(reg.counter("fault_delay_injected_total"), 0);
+    }
+}

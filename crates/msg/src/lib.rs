@@ -23,12 +23,20 @@
 //!   into simulated wall time afterwards.
 //! * **Deadlock surfacing** — receives time out (default 30 s) and panic
 //!   with a precise description instead of hanging a test run forever.
+//! * **Deterministic fault injection** — a seeded [`fault::FaultPlan`]
+//!   drops, delays, corrupts, or crash-stalls collective transfers at the
+//!   transport choke point; collectives come in fallible `try_` variants
+//!   returning typed [`fault::CommError`]s, with bounded retry and
+//!   exponential backoff underneath, and every injected fault and retry is
+//!   tallied in a [`fault::FaultStats`] exportable to `swkm-obs`.
 
 pub mod collectives;
 pub mod comm;
 pub mod cost;
+pub mod fault;
 pub mod ring;
 
 pub use collectives::{pack_min_loc, unpack_min_loc, MIN_LOC_PACKED_NEUTRAL};
 pub use comm::{wait_all, Comm, RecvError, RecvRequest, World};
 pub use cost::{CostLog, OpKind, OpRecord};
+pub use fault::{CommError, FaultKind, FaultPlan, FaultStats, ScriptedFault};

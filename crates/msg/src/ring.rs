@@ -16,6 +16,7 @@
 
 use crate::comm::Comm;
 use crate::cost::OpKind;
+use crate::fault::CommError;
 use std::any::Any;
 
 /// Chunk `idx` of `0..len` split into `parts` near-equal contiguous pieces.
@@ -34,9 +35,19 @@ impl Comm {
         T: Any + Send + Clone,
         F: Fn(&mut [T], &[T]),
     {
+        self.try_allreduce_ring(buf, op)
+            .unwrap_or_else(|e| panic!("collective failed: {e}"))
+    }
+
+    /// Fallible [`Comm::allreduce_ring`].
+    pub fn try_allreduce_ring<T, F>(&mut self, buf: &mut [T], op: F) -> Result<(), CommError>
+    where
+        T: Any + Send + Clone,
+        F: Fn(&mut [T], &[T]),
+    {
         let p = self.size();
         if p == 1 || buf.is_empty() {
-            return;
+            return Ok(());
         }
         // Ring tag space: bit 61 set, sequence in the high bits, step index in
         // the low 16 bits — consecutive ring collectives can never cross-match.
@@ -54,8 +65,8 @@ impl Comm {
             let send_range = chunk_range(buf.len(), p, send_chunk);
             let payload: Vec<T> = buf[send_range].to_vec();
             let bytes = elem_bytes * payload.len();
-            self.csend(right, tag | s as u64, payload, bytes, OpKind::AllReduce);
-            let incoming: Vec<T> = self.crecv(left, tag | s as u64);
+            self.csend(right, tag | s as u64, payload, bytes, OpKind::AllReduce)?;
+            let incoming: Vec<T> = self.crecv(left, tag | s as u64)?;
             let recv_range = chunk_range(buf.len(), p, recv_chunk);
             op(&mut buf[recv_range], &incoming);
         }
@@ -72,20 +83,27 @@ impl Comm {
                 payload,
                 bytes,
                 OpKind::AllReduce,
-            );
-            let incoming: Vec<T> = self.crecv(left, tag | (p + s) as u64);
+            )?;
+            let incoming: Vec<T> = self.crecv(left, tag | (p + s) as u64)?;
             let recv_range = chunk_range(buf.len(), p, recv_chunk);
             buf[recv_range].clone_from_slice(&incoming);
         }
+        Ok(())
     }
 
     /// Ring sum all-reduce for `f64` buffers.
     pub fn allreduce_ring_sum_f64(&mut self, buf: &mut [f64]) {
-        self.allreduce_ring(buf, |acc, x| {
+        self.try_allreduce_ring_sum_f64(buf)
+            .unwrap_or_else(|e| panic!("collective failed: {e}"))
+    }
+
+    /// Fallible [`Comm::allreduce_ring_sum_f64`].
+    pub fn try_allreduce_ring_sum_f64(&mut self, buf: &mut [f64]) -> Result<(), CommError> {
+        self.try_allreduce_ring(buf, |acc, x| {
             for (a, b) in acc.iter_mut().zip(x) {
                 *a += b;
             }
-        });
+        })
     }
 
     /// Combined send-to-`dst` / receive-from-`src` (sends never block, so

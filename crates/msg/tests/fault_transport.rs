@@ -1,0 +1,209 @@
+//! Transport-level fault-injection tests: the collectives must recover from
+//! seeded drop/delay/corrupt/crash faults with bitwise-identical results,
+//! replay the same fault sequence for the same seed, and surface typed
+//! errors when a scripted persistent fault defeats the retry budget.
+
+use msg::{Comm, CommError, FaultKind, FaultPlan, ScriptedFault, World};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// A workload exercising every collective family: tree allreduce, min-loc,
+/// ring allreduce, gather/broadcast. Returns everything bitwise-comparable.
+type WorkloadOut = (Vec<f64>, Vec<(f64, u64)>, Vec<f64>, Vec<u32>);
+
+fn workload(comm: &mut Comm) -> WorkloadOut {
+    let mut sums: Vec<f64> = (0..16)
+        .map(|i| ((comm.rank() + 1) as f64).powi(7) * 1e-3 + i as f64)
+        .collect();
+    comm.allreduce_sum_f64(&mut sums);
+
+    let mut pairs: Vec<(f64, u64)> = (0..8)
+        .map(|i| (((comm.rank() * 13 + i) % 7) as f64, comm.rank() as u64))
+        .collect();
+    comm.allreduce_min_loc(&mut pairs);
+
+    let mut ring: Vec<f64> = (0..24).map(|i| (comm.rank() * 31 + i) as f64).collect();
+    comm.allreduce_ring_sum_f64(&mut ring);
+
+    let gathered = comm.allgather(comm.rank() as u32 * 3);
+    (sums, pairs, ring, gathered)
+}
+
+#[test]
+fn seeded_faults_recover_bitwise_per_kind() {
+    let p = 4;
+    let baseline = World::run(p, workload);
+    for kind in FaultKind::ALL {
+        let plan = FaultPlan::seeded(0xFA017 + kind as u64, 0.25)
+            .with_kinds(&[kind])
+            .with_delay_ms(10)
+            .with_restart_ms(3);
+        let (out, _, stats) =
+            World::run_with_faults(p, Duration::from_secs(60), Some(Arc::new(plan)), workload);
+        assert_eq!(out, baseline, "{kind}: faulted run must match fault-free");
+        let mut total = msg::FaultStats::new();
+        for s in &stats {
+            total.merge(s);
+        }
+        assert!(
+            total.injected_of(kind) > 0,
+            "{kind}: expected at least one injected fault"
+        );
+        if kind != FaultKind::Delay {
+            assert!(total.retries() > 0, "{kind}: recovery must count retries");
+        }
+    }
+}
+
+#[test]
+fn seeded_faults_all_kinds_recover_bitwise() {
+    let p = 5;
+    let baseline = World::run(p, workload);
+    let plan = FaultPlan::seeded(2024, 0.25)
+        .with_delay_ms(10)
+        .with_restart_ms(3);
+    let (out, _, stats) =
+        World::run_with_faults(p, Duration::from_secs(60), Some(Arc::new(plan)), workload);
+    assert_eq!(out, baseline);
+    let injected: u64 = stats.iter().map(|s| s.injected_total()).sum();
+    assert!(injected > 0);
+}
+
+#[test]
+fn same_seed_replays_identical_injection_counts() {
+    let p = 4;
+    let plan = FaultPlan::seeded(77, 0.3)
+        .with_delay_ms(5)
+        .with_restart_ms(2);
+    let run = |plan: FaultPlan| {
+        let (out, _, stats) =
+            World::run_with_faults(p, Duration::from_secs(60), Some(Arc::new(plan)), workload);
+        let counts: Vec<[u64; 4]> = stats
+            .iter()
+            .map(|s| {
+                [
+                    s.injected_of(FaultKind::Drop),
+                    s.injected_of(FaultKind::Delay),
+                    s.injected_of(FaultKind::Corrupt),
+                    s.injected_of(FaultKind::Crash),
+                ]
+            })
+            .collect();
+        (out, counts)
+    };
+    let (out_a, counts_a) = run(plan.clone());
+    let (out_b, counts_b) = run(plan);
+    assert_eq!(out_a, out_b, "same seed must reproduce identical results");
+    assert_eq!(
+        counts_a, counts_b,
+        "same seed must inject the identical fault sequence"
+    );
+}
+
+#[test]
+fn persistent_scripted_fault_surfaces_typed_errors() {
+    // Rank 0's first collective send is persistently dropped: its retry
+    // budget runs out (RetriesExhausted) and the starved receiver times out.
+    let plan = FaultPlan::scripted(vec![ScriptedFault {
+        world_rank: 0,
+        op_index: 0,
+        kind: FaultKind::Drop,
+        persistent: true,
+    }]);
+    let (out, _, _) = World::run_with_faults(
+        2,
+        Duration::from_millis(250),
+        Some(Arc::new(plan)),
+        |comm| {
+            let mut v = vec![comm.rank() as f64];
+            comm.try_allreduce_sum_f64(&mut v)
+        },
+    );
+    match &out[0] {
+        Err(CommError::RetriesExhausted {
+            world_rank: 0,
+            dst_world_rank: 1,
+            attempts,
+        }) => assert!(*attempts >= 6),
+        other => panic!("rank 0 expected RetriesExhausted, got {other:?}"),
+    }
+    assert!(
+        matches!(out[1], Err(CommError::Timeout { .. })),
+        "rank 1 expected Timeout, got {:?}",
+        out[1]
+    );
+}
+
+#[test]
+fn corrupt_frame_is_discarded_and_retransmitted() {
+    let plan = FaultPlan::scripted(vec![ScriptedFault {
+        world_rank: 0,
+        op_index: 0,
+        kind: FaultKind::Corrupt,
+        persistent: false,
+    }]);
+    let (out, _, stats) =
+        World::run_with_faults(2, Duration::from_secs(10), Some(Arc::new(plan)), |comm| {
+            comm.broadcast(0, (comm.rank() == 0).then_some(vec![1.25f64; 4]))
+        });
+    assert_eq!(out, vec![vec![1.25; 4], vec![1.25; 4]]);
+    assert_eq!(stats[0].injected_of(FaultKind::Corrupt), 1);
+    assert!(
+        stats[1].retries() >= 1,
+        "receiver must count the corrupt-frame discard as a retry"
+    );
+}
+
+#[test]
+fn delayed_frame_is_delivered_once_and_counted() {
+    let plan = FaultPlan::scripted(vec![ScriptedFault {
+        world_rank: 0,
+        op_index: 0,
+        kind: FaultKind::Delay,
+        persistent: false,
+    }])
+    .with_delay_ms(30);
+    let (out, _, stats) =
+        World::run_with_faults(2, Duration::from_secs(10), Some(Arc::new(plan)), |comm| {
+            comm.broadcast(0, (comm.rank() == 0).then_some(7u64))
+        });
+    assert_eq!(out, vec![7, 7]);
+    assert_eq!(stats[0].injected_of(FaultKind::Delay), 1);
+}
+
+#[test]
+fn try_send_to_exited_rank_reports_peer_gone() {
+    // Regression for the unwrap()-on-channel-send audit: a peer that has
+    // already returned must surface as PeerGone, not a panic.
+    let out = World::run_with_timeout(2, Duration::from_secs(10), |comm| {
+        if comm.rank() == 1 {
+            return Ok(()); // exit immediately; rank 0 keeps sending at us
+        }
+        let deadline = std::time::Instant::now() + Duration::from_secs(5);
+        loop {
+            match comm.try_send(1, 9, 1u8) {
+                Ok(()) => {
+                    if std::time::Instant::now() > deadline {
+                        panic!("peer never observed as gone");
+                    }
+                    std::thread::sleep(Duration::from_millis(1));
+                }
+                Err(e) => return Err(e),
+            }
+        }
+    });
+    assert_eq!(out[0], Err(CommError::PeerGone { peer_world_rank: 1 }));
+}
+
+#[test]
+fn inactive_plan_is_the_fault_free_fast_path() {
+    let plan = FaultPlan::seeded(1, 0.0);
+    let baseline = World::run(3, workload);
+    let (out, _, stats) =
+        World::run_with_faults(3, Duration::from_secs(60), Some(Arc::new(plan)), workload);
+    assert_eq!(out, baseline);
+    for s in stats {
+        assert_eq!(s.injected_total(), 0);
+        assert_eq!(s.retries(), 0);
+    }
+}

@@ -17,6 +17,12 @@ pub enum ServeError {
     ShuttingDown,
     /// The sample's dimensionality does not match the model's.
     DimensionMismatch { expected: usize, got: usize },
+    /// Every centroid shard has crashed; no surviving shard can vote, so
+    /// the request cannot be answered even degraded.
+    AllShardsDown {
+        /// Total shards the index was built with.
+        shards: usize,
+    },
 }
 
 impl std::fmt::Display for ServeError {
@@ -32,6 +38,9 @@ impl std::fmt::Display for ServeError {
             ServeError::ShuttingDown => write!(f, "server is shutting down"),
             ServeError::DimensionMismatch { expected, got } => {
                 write!(f, "sample has {got} dimensions, model expects {expected}")
+            }
+            ServeError::AllShardsDown { shards } => {
+                write!(f, "all {shards} centroid shards are down")
             }
         }
     }

@@ -14,10 +14,13 @@
 //! [`Kernel::Tiled`] (LDM-blocked expansion with the 4×4 micro kernel).
 
 use crate::artifact::ModelArtifact;
+use crate::error::ServeError;
 use hier_kmeans::partition::split_range;
 use kmeans_core::{AssignPlan, Matrix, Scalar};
 use rayon::prelude::*;
 use std::ops::Range;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
 
 /// Distance kernel used per shard — the training assign kernel, re-exported.
 /// The legacy serving names still parse: `exact` → `Scalar`, `norm-trick`
@@ -36,7 +39,22 @@ pub struct ShardVote<S> {
     pub key: S,
 }
 
+/// Labels for a batch scanned over the surviving shards, plus how much of
+/// the index had to be routed around.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BatchOutcome {
+    /// Nearest surviving centroid per row.
+    pub labels: Vec<u32>,
+    /// Dead shards the scan skipped; nonzero means the labels are a
+    /// best-effort answer over a subset of the centroids (degraded).
+    pub skipped_shards: usize,
+}
+
 /// Immutable, thread-safe nearest-centroid index over sharded centroids.
+///
+/// Shards carry a liveness flag: [`ShardedIndex::kill_shard`] simulates a
+/// shard crash, after which scans re-dispatch to the survivors and report
+/// the answer as degraded (see [`BatchOutcome::skipped_shards`]).
 #[derive(Debug, Clone)]
 pub struct ShardedIndex<S: Scalar> {
     centroids: Matrix<S>,
@@ -44,6 +62,9 @@ pub struct ShardedIndex<S: Scalar> {
     /// The prepared assign pass (kernel + centroid norms + tile shape),
     /// built once at index construction and amortised over every query.
     plan: AssignPlan<S>,
+    /// Per-shard liveness, shared across clones so a kill is observed by
+    /// every handle onto the same index.
+    alive: Arc<Vec<AtomicBool>>,
 }
 
 impl<S: Scalar> ShardedIndex<S> {
@@ -53,15 +74,17 @@ impl<S: Scalar> ShardedIndex<S> {
     pub fn new(centroids: Matrix<S>, num_shards: usize) -> Self {
         assert!(centroids.rows() > 0, "index needs at least one centroid");
         let parts = num_shards.clamp(1, centroids.rows());
-        let shards = (0..parts)
+        let shards: Vec<Range<usize>> = (0..parts)
             .map(|i| split_range(centroids.rows(), parts, i))
             .filter(|r| !r.is_empty())
             .collect();
         let plan = AssignPlan::new(Kernel::Scalar, &centroids);
+        let alive = Arc::new(shards.iter().map(|_| AtomicBool::new(true)).collect());
         ShardedIndex {
             centroids,
             shards,
             plan,
+            alive,
         }
     }
 
@@ -97,6 +120,34 @@ impl<S: Scalar> ShardedIndex<S> {
         &self.centroids
     }
 
+    /// Simulate a shard crash: scans stop consulting the shard and report
+    /// degraded answers over the survivors. Returns whether the shard was
+    /// alive (idempotent; out-of-range indices are ignored).
+    pub fn kill_shard(&self, shard: usize) -> bool {
+        self.alive
+            .get(shard)
+            .is_some_and(|a| a.swap(false, Ordering::SeqCst))
+    }
+
+    /// Shards still answering queries.
+    pub fn alive_shards(&self) -> usize {
+        self.alive
+            .iter()
+            .filter(|a| a.load(Ordering::SeqCst))
+            .count()
+    }
+
+    /// Snapshot the surviving shard ranges (one liveness read per shard, so
+    /// a whole batch sees one consistent crash picture).
+    fn survivors(&self) -> Vec<Range<usize>> {
+        self.shards
+            .iter()
+            .zip(self.alive.iter())
+            .filter(|(_, a)| a.load(Ordering::SeqCst))
+            .map(|(s, _)| s.clone())
+            .collect()
+    }
+
     /// Shard-local argmin with globally comparable key.
     fn shard_vote(&self, sample: &[S], shard: &Range<usize>) -> ShardVote<S> {
         let (index, key) =
@@ -110,34 +161,63 @@ impl<S: Scalar> ShardedIndex<S> {
 
     /// Merge shard votes in shard order: strictly smaller key wins, ties
     /// keep the earlier (lower-index) vote — the `assign_step` convention.
-    fn merge_votes(votes: impl IntoIterator<Item = ShardVote<S>>) -> u32 {
+    /// `None` means no shard voted (every shard is down) — surfaced as a
+    /// typed [`ServeError::AllShardsDown`] by the callers, never a panic.
+    fn merge_votes(votes: impl IntoIterator<Item = ShardVote<S>>) -> Option<u32> {
         let mut it = votes.into_iter();
-        let mut best = it.next().expect("at least one shard");
+        let mut best = it.next()?;
         for vote in it {
             if vote.key < best.key {
                 best = vote;
             }
         }
-        best.index as u32
+        Some(best.index as u32)
     }
 
-    /// Nearest-centroid label for a single sample (serial over shards).
-    pub fn assign_one(&self, sample: &[S]) -> u32 {
+    /// Nearest-centroid label for a single sample (serial over the
+    /// surviving shards), with a degraded marker when dead shards were
+    /// skipped.
+    pub fn try_assign_one(&self, sample: &[S]) -> Result<(u32, bool), ServeError> {
         assert_eq!(sample.len(), self.dim(), "dimension mismatch");
-        Self::merge_votes(self.shards.iter().map(|s| self.shard_vote(sample, s)))
+        let survivors = self.survivors();
+        let label = Self::merge_votes(survivors.iter().map(|s| self.shard_vote(sample, s))).ok_or(
+            ServeError::AllShardsDown {
+                shards: self.shards.len(),
+            },
+        )?;
+        Ok((label, survivors.len() < self.shards.len()))
     }
 
-    /// Labels for a whole batch, fanning the shard scans out over the
-    /// rayon pool: each shard runs the batched kernel over every row
-    /// independently, then the per-row votes merge in shard order. Work
-    /// per shard is `rows × shard_k × d`, the same total as a serial scan.
-    pub fn assign_batch(&self, batch: &Matrix<S>) -> Vec<u32> {
+    /// Nearest-centroid label for a single sample. Panics if every shard
+    /// is down; failure-aware callers use [`ShardedIndex::try_assign_one`].
+    pub fn assign_one(&self, sample: &[S]) -> u32 {
+        self.try_assign_one(sample)
+            .unwrap_or_else(|e| panic!("index scan failed: {e}"))
+            .0
+    }
+
+    /// Labels for a whole batch over the surviving shards, fanning the
+    /// shard scans out over the rayon pool: each shard runs the batched
+    /// kernel over every row independently, then the per-row votes merge
+    /// in shard order. Work per shard is `rows × shard_k × d`, the same
+    /// total as a serial scan. Dead shards are skipped (re-dispatch to
+    /// survivors) and reported via [`BatchOutcome::skipped_shards`].
+    pub fn try_assign_batch(&self, batch: &Matrix<S>) -> Result<BatchOutcome, ServeError> {
         assert_eq!(batch.cols(), self.dim(), "dimension mismatch");
-        if batch.rows() == 0 {
-            return Vec::new();
+        let survivors = self.survivors();
+        let skipped_shards = self.shards.len() - survivors.len();
+        if survivors.is_empty() {
+            return Err(ServeError::AllShardsDown {
+                shards: self.shards.len(),
+            });
         }
-        let per_shard: Vec<Vec<(u32, S)>> = self
-            .shards
+        if batch.rows() == 0 {
+            return Ok(BatchOutcome {
+                labels: Vec::new(),
+                skipped_shards,
+            });
+        }
+        let per_shard: Vec<Vec<(u32, S)>> = survivors
             .par_iter()
             .map(|shard| {
                 let mut votes = Vec::with_capacity(batch.rows());
@@ -152,14 +232,27 @@ impl<S: Scalar> ShardedIndex<S> {
                 votes
             })
             .collect();
-        (0..batch.rows())
+        let labels = (0..batch.rows())
             .map(|i| {
                 Self::merge_votes(per_shard.iter().map(|votes| ShardVote {
                     index: votes[i].0 as usize,
                     key: votes[i].1,
                 }))
+                .expect("survivors is non-empty")
             })
-            .collect()
+            .collect();
+        Ok(BatchOutcome {
+            labels,
+            skipped_shards,
+        })
+    }
+
+    /// Labels for a whole batch. Panics if every shard is down;
+    /// failure-aware callers use [`ShardedIndex::try_assign_batch`].
+    pub fn assign_batch(&self, batch: &Matrix<S>) -> Vec<u32> {
+        self.try_assign_batch(batch)
+            .unwrap_or_else(|e| panic!("index scan failed: {e}"))
+            .labels
     }
 }
 
@@ -248,5 +341,50 @@ mod tests {
     fn empty_batch_is_fine() {
         let index = ShardedIndex::new(grid_centroids(4, 3), 2);
         assert!(index.assign_batch(&Matrix::<f64>::zeros(0, 3)).is_empty());
+    }
+
+    #[test]
+    fn killed_shard_fails_over_to_survivors() {
+        // Two well-separated centroids in separate shards: killing the
+        // shard that owns the true winner re-dispatches to the survivor,
+        // which answers with its own (farther) centroid, marked degraded.
+        let centroids = Matrix::from_rows(&[&[0.0f64, 0.0], &[10.0, 10.0]]);
+        let index = ShardedIndex::new(centroids, 2);
+        assert_eq!(index.num_shards(), 2);
+        assert_eq!(index.try_assign_one(&[0.1, 0.1]).unwrap(), (0, false));
+        assert!(index.kill_shard(0), "first kill reports the live shard");
+        assert!(!index.kill_shard(0), "kill is idempotent");
+        assert_eq!(index.alive_shards(), 1);
+        assert_eq!(index.try_assign_one(&[0.1, 0.1]).unwrap(), (1, true));
+        let out = index
+            .try_assign_batch(&Matrix::from_rows(&[&[0.1f64, 0.1], &[9.0, 9.0]]))
+            .unwrap();
+        assert_eq!(out.labels, vec![1, 1]);
+        assert_eq!(out.skipped_shards, 1);
+    }
+
+    #[test]
+    fn all_shards_down_is_a_typed_error_not_a_panic() {
+        // Regression for the unwrap()/expect() audit: merge_votes used to
+        // `expect("at least one shard")`; with every shard dead it must
+        // now surface ServeError::AllShardsDown.
+        let index = ShardedIndex::new(grid_centroids(4, 3), 2);
+        index.kill_shard(0);
+        index.kill_shard(1);
+        assert_eq!(index.alive_shards(), 0);
+        let err = index.try_assign_one(&[0.0, 0.0, 0.0]).unwrap_err();
+        assert_eq!(err, crate::error::ServeError::AllShardsDown { shards: 2 });
+        let err = index
+            .try_assign_batch(&Matrix::from_rows(&[&[0.0f64, 0.0, 0.0]]))
+            .unwrap_err();
+        assert_eq!(err, crate::error::ServeError::AllShardsDown { shards: 2 });
+    }
+
+    #[test]
+    fn kills_propagate_through_clones() {
+        let index = ShardedIndex::new(grid_centroids(4, 2), 2);
+        let clone = index.clone();
+        index.kill_shard(1);
+        assert_eq!(clone.alive_shards(), 1);
     }
 }

@@ -11,6 +11,10 @@
 //!   of the paper's k-partition. Per-shard argmin with the training
 //!   kernels, merged with the same lowest-index tie-breaking as
 //!   `assign_step`, so a sharded scan is bit-identical to a serial one.
+//!   Shards carry liveness flags: a killed shard is detected and scans
+//!   re-dispatch to the survivors, marking replies degraded and counting
+//!   `shard_failovers`; with every shard down requests fail with a typed
+//!   [`error::ServeError::AllShardsDown`] instead of being lost.
 //! * [`pipeline`] — a multi-threaded request pipeline over bounded
 //!   crossbeam channels: `try_send` admission (typed
 //!   [`error::ServeError::Overloaded`] load shedding), adaptive
@@ -62,7 +66,7 @@ pub mod pipeline;
 
 pub use artifact::{ArtifactError, ModelArtifact, ModelMeta, FORMAT_VERSION, MAGIC};
 pub use error::ServeError;
-pub use index::{Kernel, ShardedIndex};
+pub use index::{BatchOutcome, Kernel, ShardedIndex};
 pub use loadgen::{run_closed_loop, LoadGenConfig, LoadReport};
 pub use metrics::{ServeMetrics, Snapshot};
 pub use pipeline::{Client, PipelineConfig, Prediction, Server};
@@ -71,7 +75,7 @@ pub use pipeline::{Client, PipelineConfig, Prediction, Server};
 pub mod prelude {
     pub use crate::artifact::{ArtifactError, ModelArtifact, ModelMeta};
     pub use crate::error::ServeError;
-    pub use crate::index::{Kernel, ShardedIndex};
+    pub use crate::index::{BatchOutcome, Kernel, ShardedIndex};
     pub use crate::loadgen::{run_closed_loop, LoadGenConfig, LoadReport};
     pub use crate::metrics::Snapshot;
     pub use crate::pipeline::{Client, PipelineConfig, Prediction, Server};

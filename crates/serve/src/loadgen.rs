@@ -35,6 +35,12 @@ pub struct LoadReport {
     pub completed: u64,
     /// Requests shed with [`ServeError::Overloaded`].
     pub shed: u64,
+    /// Completed requests answered over a subset of the shards
+    /// ([`Prediction::degraded`](crate::pipeline::Prediction::degraded)).
+    pub degraded: u64,
+    /// Requests that failed with a typed error after admission (e.g.
+    /// [`ServeError::AllShardsDown`]) — counted, never silently lost.
+    pub failed: u64,
     pub elapsed: Duration,
     /// Completed requests per wall-clock second.
     pub qps: f64,
@@ -58,11 +64,13 @@ impl std::fmt::Display for LoadReport {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         write!(
             f,
-            "{} issued, {} completed, {} shed ({:.1}%) in {:.2?} — {:.0} QPS, p50 {:.1}µs, p99 {:.1}µs",
+            "{} issued, {} completed ({} degraded), {} shed ({:.1}%), {} failed in {:.2?} — {:.0} QPS, p50 {:.1}µs, p99 {:.1}µs",
             self.issued,
             self.completed,
+            self.degraded,
             self.shed,
             self.shed_fraction() * 100.0,
+            self.failed,
             self.elapsed,
             self.qps,
             self.p50_ns as f64 / 1e3,
@@ -82,28 +90,35 @@ pub fn run_closed_loop<S: Scalar>(
     assert!(queries.rows() > 0, "need at least one query sample");
     assert!(config.clients > 0, "need at least one client");
     let start = Instant::now();
-    let per_client: Vec<(u64, u64, Histogram)> = std::thread::scope(|scope| {
+    let per_client: Vec<(u64, u64, u64, u64, Histogram)> = std::thread::scope(|scope| {
         let handles: Vec<_> = (0..config.clients)
             .map(|c| {
                 let client = server.client();
                 scope.spawn(move || {
                     let mut completed = 0u64;
                     let mut shed = 0u64;
+                    let mut degraded = 0u64;
+                    let mut failed = 0u64;
                     let mut latency = Histogram::new();
                     for i in 0..config.requests_per_client {
                         let row = (c * 7919 + i) % queries.rows();
                         let sample = queries.row(row).to_vec();
                         let issued_at = Instant::now();
                         match client.predict(sample) {
-                            Ok(_) => {
+                            Ok(p) => {
                                 latency.record(issued_at.elapsed().as_nanos() as u64);
                                 completed += 1;
+                                if p.degraded {
+                                    degraded += 1;
+                                }
                             }
                             Err(ServeError::Overloaded { .. }) => shed += 1,
-                            Err(e) => panic!("load generator hit {e}"),
+                            // Shard crashes mid-run are an expected fault-
+                            // injection outcome: count them, don't panic.
+                            Err(_) => failed += 1,
                         }
                     }
-                    (completed, shed, latency)
+                    (completed, shed, degraded, failed, latency)
                 })
             })
             .collect();
@@ -111,10 +126,12 @@ pub fn run_closed_loop<S: Scalar>(
     });
     let elapsed = start.elapsed();
     let mut latency = Histogram::new();
-    let (mut completed, mut shed) = (0u64, 0u64);
-    for (c, s, hist) in &per_client {
+    let (mut completed, mut shed, mut degraded, mut failed) = (0u64, 0u64, 0u64, 0u64);
+    for (c, s, dg, fl, hist) in &per_client {
         completed += c;
         shed += s;
+        degraded += dg;
+        failed += fl;
         latency.merge(hist);
     }
     let issued = (config.clients * config.requests_per_client) as u64;
@@ -122,6 +139,8 @@ pub fn run_closed_loop<S: Scalar>(
         issued,
         completed,
         shed,
+        degraded,
+        failed,
         elapsed,
         qps: completed as f64 / elapsed.as_secs_f64().max(1e-9),
         p50_ns: latency.quantile_upper_bound(0.5),

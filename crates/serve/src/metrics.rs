@@ -52,6 +52,11 @@ impl ServeMetrics {
     /// Record into an existing registry — this is how a process that both
     /// trains and serves keeps one metrics namespace and one export.
     pub fn with_registry(registry: Arc<MetricsRegistry>) -> Self {
+        // Pre-register the fault counters at zero so exports always carry
+        // them — tests and dashboards can assert "no failovers" explicitly
+        // rather than inferring it from an absent key.
+        registry.counter_add("serve_failed", 0);
+        registry.counter_add("shard_failovers", 0);
         ServeMetrics {
             registry,
             started: Instant::now(),
@@ -73,6 +78,18 @@ impl ServeMetrics {
 
     pub fn record_completed(&self, n: u64) {
         self.registry.counter_add("serve_completed", n);
+    }
+
+    /// Requests that failed with a typed error after admission (e.g. every
+    /// shard down) — replied to, never silently dropped.
+    pub fn record_failed(&self, n: u64) {
+        self.registry.counter_add("serve_failed", n);
+    }
+
+    /// Batches re-dispatched around dead shards, counted per dead shard
+    /// per batch.
+    pub fn record_failovers(&self, n: u64) {
+        self.registry.counter_add("shard_failovers", n);
     }
 
     /// Fold a worker's per-batch histograms into the shared set.
@@ -104,6 +121,8 @@ impl ServeMetrics {
             accepted: self.registry.counter("serve_accepted"),
             rejected: self.registry.counter("serve_rejected"),
             completed,
+            failed: self.registry.counter("serve_failed"),
+            shard_failovers: self.registry.counter("shard_failovers"),
             queue_depth,
             elapsed,
             qps: completed as f64 / elapsed.as_secs_f64().max(1e-9),
@@ -135,6 +154,10 @@ pub struct Snapshot {
     pub accepted: u64,
     pub rejected: u64,
     pub completed: u64,
+    /// Admitted requests that failed with a typed error (all shards down).
+    pub failed: u64,
+    /// Batches re-dispatched around dead shards (per dead shard per batch).
+    pub shard_failovers: u64,
     pub queue_depth: usize,
     pub elapsed: Duration,
     /// Completed requests per second since the server started. Warm-up
@@ -180,9 +203,16 @@ impl std::fmt::Display for Snapshot {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         writeln!(
             f,
-            "requests: {} accepted, {} shed, {} completed ({:.0} req/s, queue depth {})",
-            self.accepted, self.rejected, self.completed, self.qps, self.queue_depth
+            "requests: {} accepted, {} shed, {} completed, {} failed ({:.0} req/s, queue depth {})",
+            self.accepted, self.rejected, self.completed, self.failed, self.qps, self.queue_depth
         )?;
+        if self.shard_failovers > 0 {
+            writeln!(
+                f,
+                "failover: {} batch×shard re-dispatches",
+                self.shard_failovers
+            )?;
+        }
         writeln!(
             f,
             "latency:  queue-wait p50 {} p99 {} | execute p50 {} p99 {} | total p50 {} p99 {}",

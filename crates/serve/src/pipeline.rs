@@ -56,12 +56,16 @@ impl Default for PipelineConfig {
 pub struct Prediction {
     /// Nearest-centroid label.
     pub label: u32,
+    /// True when dead shards were skipped while answering: the label is
+    /// the argmin over the *surviving* centroids only (partial
+    /// degradation), not a full-index answer.
+    pub degraded: bool,
 }
 
 struct Job<S> {
     sample: Vec<S>,
     enqueued: Instant,
-    reply: Sender<Prediction>,
+    reply: Sender<Result<Prediction, ServeError>>,
 }
 
 /// A running prediction server. Dropping every [`Client`] and calling
@@ -141,6 +145,15 @@ impl<S: Scalar> Server<S> {
         &self.index
     }
 
+    /// Simulate a shard crash while serving: subsequent batches re-dispatch
+    /// to the surviving shards and replies carry
+    /// [`Prediction::degraded`]`== true`. Returns whether the shard was
+    /// alive. Admitted requests are never lost — with every shard down
+    /// they fail with a typed [`ServeError::AllShardsDown`].
+    pub fn kill_shard(&self, shard: usize) -> bool {
+        self.index.kill_shard(shard)
+    }
+
     /// Stop admitting work, drain every already-admitted request, join the
     /// workers and return the final metrics. Requires all [`Client`]
     /// handles to have been dropped (they hold the admission queue open).
@@ -200,7 +213,7 @@ impl<S: Scalar> Client<S> {
             }
             Err(TrySendError::Disconnected(_)) => return Err(ServeError::ShuttingDown),
         }
-        reply_rx.recv().map_err(|_| ServeError::ShuttingDown)
+        reply_rx.recv().map_err(|_| ServeError::ShuttingDown)?
     }
 }
 
@@ -250,19 +263,37 @@ fn worker_loop<S: Scalar>(
         }
         let samples = Matrix::from_vec(batch.len(), d, data);
         let exec_start = Instant::now();
-        let labels = index.assign_batch(&samples);
+        let outcome = index.try_assign_batch(&samples);
         local
             .execute_ns
             .record(exec_start.elapsed().as_nanos() as u64);
         let done = Instant::now();
-        for (job, &label) in batch.iter().zip(&labels) {
-            local
-                .total_ns
-                .record(done.duration_since(job.enqueued).as_nanos() as u64);
-            // A client that gave up is not an error; drop its reply.
-            let _ = job.reply.send(Prediction { label });
+        match outcome {
+            Ok(outcome) => {
+                let degraded = outcome.skipped_shards > 0;
+                if degraded {
+                    // One failover event per dead shard the batch was
+                    // routed around.
+                    metrics.record_failovers(outcome.skipped_shards as u64);
+                }
+                for (job, &label) in batch.iter().zip(&outcome.labels) {
+                    local
+                        .total_ns
+                        .record(done.duration_since(job.enqueued).as_nanos() as u64);
+                    // A client that gave up is not an error; drop its reply.
+                    let _ = job.reply.send(Ok(Prediction { label, degraded }));
+                }
+                metrics.record_completed(batch.len() as u64);
+            }
+            Err(e) => {
+                // Nothing survived to answer — fail every request in the
+                // batch with the typed error instead of dropping it.
+                metrics.record_failed(batch.len() as u64);
+                for job in &batch {
+                    let _ = job.reply.send(Err(e.clone()));
+                }
+            }
         }
-        metrics.record_completed(batch.len() as u64);
         metrics.merge_hists(&local);
     }
 }
@@ -291,6 +322,47 @@ mod tests {
         let snap = server.shutdown();
         assert_eq!(snap.completed, 2);
         assert_eq!(snap.accepted, 2);
+    }
+
+    #[test]
+    fn killed_shard_degrades_but_keeps_serving() {
+        let server = Server::start(small_index(), PipelineConfig::default());
+        let client = server.client();
+        let healthy = client.predict(vec![0.1, -0.2]).unwrap();
+        assert!(!healthy.degraded);
+        // Kill the shard owning centroids {0, 1}: queries near centroid 0
+        // must fail over to the surviving shard's centroids {2, 3}.
+        assert!(server.kill_shard(0));
+        let degraded = client.predict(vec![0.1, -0.2]).unwrap();
+        assert!(degraded.degraded);
+        assert!(
+            degraded.label >= 2,
+            "label {} from a dead shard",
+            degraded.label
+        );
+        drop(client);
+        let snap = server.shutdown();
+        assert_eq!(snap.completed, 2);
+        assert!(snap.shard_failovers >= 1);
+        assert_eq!(snap.failed, 0);
+    }
+
+    #[test]
+    fn all_shards_down_fails_requests_with_typed_error() {
+        // Regression for the unwrap()/expect() audit: with every shard
+        // dead, admitted requests must be answered with AllShardsDown —
+        // not panic a worker, not hang the client.
+        let server = Server::start(small_index(), PipelineConfig::default());
+        server.kill_shard(0);
+        server.kill_shard(1);
+        let client = server.client();
+        let err = client.predict(vec![0.1, -0.2]).unwrap_err();
+        assert_eq!(err, ServeError::AllShardsDown { shards: 2 });
+        drop(client);
+        let snap = server.shutdown();
+        assert_eq!(snap.accepted, 1);
+        assert_eq!(snap.completed, 0);
+        assert_eq!(snap.failed, 1);
     }
 
     #[test]

@@ -1,0 +1,299 @@
+//! Fault-matrix suite: every fault kind × every hierarchical level ×
+//! both merge strategies × every update path. Recovery is pure
+//! retransmission, so a faulted run at ≤ 25% injection must reproduce the
+//! fault-free run *bitwise* — labels, centroid bits, objective bits and
+//! iteration count — while the obs registry shows the injected faults and
+//! the retries that recovered them.
+//!
+//! Also here (alongside `tests/proptest_invariants.rs`): the proptest that
+//! any seeded `FaultPlan` below 100% rate converges to the fault-free
+//! fixed point, the same-seed replay regression, the degradation paths
+//! (delta→dense, ring→tree) and the typed-error surface when a scripted
+//! persistent fault defeats the retry budget.
+
+use proptest::prelude::*;
+use sunway_kmeans::hier_kmeans::{
+    FaultKind, FaultPlan, HierError, MergeStrategy, ScriptedFault, UpdateMode,
+};
+use sunway_kmeans::prelude::*;
+use sunway_kmeans::swkm_obs::MetricsRegistry;
+
+fn blobs(n: usize, d: usize, k: usize, seed: u64) -> Matrix<f64> {
+    GaussianMixture::new(n, d, k)
+        .with_seed(seed)
+        .with_spread(25.0)
+        .generate::<f64>()
+        .data
+}
+
+fn fitter(level: Level, merge: MergeStrategy, update: UpdateMode) -> HierKMeans {
+    let group = if level == Level::L1 { 1 } else { 2 };
+    HierKMeans::new(level)
+        .with_units(4)
+        .with_group_units(group)
+        .with_cpes_per_cg(3)
+        .with_kernel(AssignKernel::Scalar)
+        .with_update(update)
+        .with_merge(merge)
+        .with_max_iters(4)
+        .with_tol(0.0)
+}
+
+fn centroid_bits(m: &Matrix<f64>) -> Vec<u64> {
+    m.as_slice().iter().map(|v| v.to_bits()).collect()
+}
+
+/// A fast-recovering seeded plan: tiny delay/restart stalls keep the
+/// matrix quick while still exercising the timeout-retry machinery.
+fn plan_for(kind: FaultKind, seed: u64) -> FaultPlan {
+    FaultPlan::seeded(seed, 0.25)
+        .with_kinds(&[kind])
+        .with_delay_ms(6)
+        .with_restart_ms(2)
+}
+
+/// The full matrix: {drop, delay, corrupt, crash} × {L1, L2, L3} ×
+/// {tree, ring} × {twopass, fused, delta}, minus the delta+ring pairing
+/// the executors reject by construction (the sparse merge is
+/// tree-only). Each faulted run must be bitwise-identical to its own
+/// fault-free baseline and must show injections (and, for kinds recovered
+/// by retransmission, retries) in the obs registry.
+#[test]
+fn fault_matrix_recovers_bitwise_on_every_combination() {
+    let data = blobs(120, 7, 4, 42);
+    let init = init_centroids(&data, 4, InitMethod::Forgy, 9);
+    for level in [Level::L1, Level::L2, Level::L3] {
+        for merge in [MergeStrategy::Tree, MergeStrategy::Ring] {
+            for update in [UpdateMode::TwoPass, UpdateMode::Fused, UpdateMode::Delta] {
+                if merge == MergeStrategy::Ring && update == UpdateMode::Delta {
+                    continue; // rejected combination: sparse merge is tree-only
+                }
+                let f = fitter(level, merge, update);
+                let baseline = f.fit(&data, init.clone()).unwrap();
+                assert_eq!(baseline.fault_stats.injected_total(), 0);
+                for kind in FaultKind::ALL {
+                    let tag = format!("{kind} @ {level:?}/{merge}/{update:?}");
+                    let r = f
+                        .clone()
+                        .with_faults(plan_for(kind, 0xC0FFEE + kind as u64))
+                        .fit(&data, init.clone())
+                        .unwrap();
+                    assert_eq!(r.labels, baseline.labels, "{tag}: labels diverged");
+                    assert_eq!(
+                        centroid_bits(&r.centroids),
+                        centroid_bits(&baseline.centroids),
+                        "{tag}: centroid bits diverged"
+                    );
+                    assert_eq!(
+                        r.objective.to_bits(),
+                        baseline.objective.to_bits(),
+                        "{tag}: objective bits diverged"
+                    );
+                    assert_eq!(r.iterations, baseline.iterations, "{tag}");
+                    assert!(
+                        r.fault_stats.injected_total() > 0,
+                        "{tag}: no faults injected"
+                    );
+                    // Recovery must be visible through the registry, as the
+                    // tests of downstream consumers will see it.
+                    let reg = MetricsRegistry::new();
+                    r.export_metrics(&reg);
+                    assert_eq!(
+                        reg.counter("fault_injected_total"),
+                        r.fault_stats.injected_total(),
+                        "{tag}"
+                    );
+                    assert!(
+                        reg.counter(&format!("fault_{kind}_injected_total")) > 0,
+                        "{tag}: per-kind counter missing"
+                    );
+                    if kind != FaultKind::Delay {
+                        assert!(
+                            reg.counter("comm_retries_total") > 0,
+                            "{tag}: recovery counted no retries"
+                        );
+                    }
+                    assert_eq!(reg.counter("degraded_iterations"), 0, "{tag}");
+                }
+            }
+        }
+    }
+}
+
+/// All four kinds at once, mixed by the seeded PRNG, on every level.
+#[test]
+fn mixed_kind_plans_recover_bitwise() {
+    let data = blobs(150, 9, 5, 7);
+    let init = init_centroids(&data, 5, InitMethod::Forgy, 3);
+    for level in [Level::L1, Level::L2, Level::L3] {
+        let f = fitter(level, MergeStrategy::Tree, UpdateMode::TwoPass);
+        let baseline = f.fit(&data, init.clone()).unwrap();
+        let plan = FaultPlan::seeded(2018, 0.25)
+            .with_delay_ms(6)
+            .with_restart_ms(2);
+        let r = f
+            .clone()
+            .with_faults(plan)
+            .fit(&data, init.clone())
+            .unwrap();
+        assert_eq!(r.labels, baseline.labels, "{level:?}");
+        assert_eq!(
+            centroid_bits(&r.centroids),
+            centroid_bits(&baseline.centroids),
+            "{level:?}"
+        );
+        assert!(r.fault_stats.injected_total() > 0, "{level:?}");
+        assert!(r.fault_stats.retries() > 0, "{level:?}");
+    }
+}
+
+/// Degradation consensus: `degrade-every` forces the delta path onto its
+/// dense (two-pass) fallback for the marked iterations. The fallback is a
+/// bitwise re-expression, so the result still matches the fault-free
+/// delta run bit for bit — and `degraded_iterations` counts the forcing.
+#[test]
+fn delta_degradation_is_bitwise_invisible_and_counted() {
+    let data = blobs(150, 8, 4, 21);
+    let init = init_centroids(&data, 4, InitMethod::Forgy, 5);
+    let f = fitter(Level::L2, MergeStrategy::Tree, UpdateMode::Delta);
+    let baseline = f.fit(&data, init.clone()).unwrap();
+    let plan = FaultPlan::seeded(5, 0.2)
+        .with_delay_ms(6)
+        .with_restart_ms(2)
+        .with_degrade_every(2);
+    let r = f
+        .clone()
+        .with_faults(plan)
+        .fit(&data, init.clone())
+        .unwrap();
+    assert_eq!(r.labels, baseline.labels);
+    assert_eq!(
+        centroid_bits(&r.centroids),
+        centroid_bits(&baseline.centroids)
+    );
+    assert!(r.degraded_iterations > 0);
+    let reg = MetricsRegistry::new();
+    r.export_metrics(&reg);
+    assert_eq!(reg.counter("degraded_iterations"), r.degraded_iterations);
+}
+
+/// Ring→tree degradation: the marked iterations run the tree merge
+/// instead. Tree and ring sum in different orders, so the comparison
+/// against the pure-ring baseline is semantic (labels + objective within
+/// float tolerance), not bitwise — the point is that the run completes
+/// correctly under faults, flagging the degraded iterations.
+#[test]
+fn ring_degrades_to_tree_and_stays_correct() {
+    let data = blobs(150, 8, 4, 33);
+    let init = init_centroids(&data, 4, InitMethod::KMeansPlusPlus, 11);
+    let f = fitter(Level::L2, MergeStrategy::Ring, UpdateMode::TwoPass);
+    let baseline = f.fit(&data, init.clone()).unwrap();
+    let plan = FaultPlan::seeded(17, 0.2)
+        .with_delay_ms(6)
+        .with_restart_ms(2)
+        .with_degrade_every(2);
+    let r = f
+        .clone()
+        .with_faults(plan)
+        .fit(&data, init.clone())
+        .unwrap();
+    assert_eq!(r.labels, baseline.labels);
+    assert!(
+        (r.objective - baseline.objective).abs() <= 1e-9 * (1.0 + baseline.objective.abs()),
+        "objective drifted: {} vs {}",
+        r.objective,
+        baseline.objective
+    );
+    assert!(r.degraded_iterations > 0);
+}
+
+/// A scripted persistent fault defeats the bounded retry budget: the fit
+/// must surface a typed `HierError::Comm`, not panic or hang — the
+/// executor-level regression for the channel-unwrap audit.
+#[test]
+fn persistent_fault_surfaces_typed_comm_error() {
+    let data = blobs(80, 5, 3, 2);
+    let init = init_centroids(&data, 3, InitMethod::Forgy, 2);
+    let plan = FaultPlan::scripted(vec![ScriptedFault {
+        world_rank: 0,
+        op_index: 0,
+        kind: FaultKind::Drop,
+        persistent: true,
+    }])
+    .with_timeout_ms(300);
+    let err = fitter(Level::L1, MergeStrategy::Tree, UpdateMode::TwoPass)
+        .with_faults(plan)
+        .fit(&data, init)
+        .unwrap_err();
+    match err {
+        HierError::Comm(e) => {
+            let msg = e.to_string();
+            assert!(
+                msg.contains("exhausted") || msg.contains("timed out"),
+                "unexpected comm error: {msg}"
+            );
+        }
+        other => panic!("expected HierError::Comm, got {other:?}"),
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// Any seeded plan below 100% rate converges to the fault-free fixed
+    /// point: random geometry, level, update path and fault mix, bitwise.
+    #[test]
+    fn any_seeded_plan_below_full_rate_reaches_the_fault_free_fixed_point(
+        seed in 0u64..10_000,
+        rate in 0.05f64..0.5,
+        n in 40usize..120,
+        d in 2usize..10,
+        k in 2usize..6,
+        level_pick in 0usize..3,
+        update_pick in 0usize..3,
+    ) {
+        let level = [Level::L1, Level::L2, Level::L3][level_pick];
+        let update = [UpdateMode::TwoPass, UpdateMode::Fused, UpdateMode::Delta][update_pick];
+        let data = blobs(n, d, k, seed);
+        let init = init_centroids(&data, k.min(n), InitMethod::Forgy, seed);
+        let f = fitter(level, MergeStrategy::Tree, update);
+        let baseline = f.fit(&data, init.clone()).unwrap();
+        let plan = FaultPlan::seeded(seed ^ 0x5EED, rate)
+            .with_delay_ms(4)
+            .with_restart_ms(1);
+        let r = f.clone().with_faults(plan).fit(&data, init).unwrap();
+        prop_assert_eq!(&r.labels, &baseline.labels, "{:?} {:?} labels", level, update);
+        prop_assert_eq!(
+            centroid_bits(&r.centroids),
+            centroid_bits(&baseline.centroids),
+            "{:?} {:?} centroid bits", level, update
+        );
+        prop_assert_eq!(r.objective.to_bits(), baseline.objective.to_bits());
+    }
+
+    /// Determinism regression: the same seed replays the identical fault
+    /// sequence — identical per-kind injection counts and identical
+    /// results, run to run.
+    #[test]
+    fn same_seed_replays_the_identical_fault_sequence(
+        seed in 0u64..10_000,
+        rate in 0.05f64..0.4,
+    ) {
+        let data = blobs(60, 5, 3, 77);
+        let init = init_centroids(&data, 3, InitMethod::Forgy, 1);
+        let f = fitter(Level::L2, MergeStrategy::Tree, UpdateMode::TwoPass);
+        let run = || {
+            let plan = FaultPlan::seeded(seed, rate).with_delay_ms(4).with_restart_ms(1);
+            f.clone().with_faults(plan).fit(&data, init.clone()).unwrap()
+        };
+        let (a, b) = (run(), run());
+        prop_assert_eq!(centroid_bits(&a.centroids), centroid_bits(&b.centroids));
+        for kind in FaultKind::ALL {
+            prop_assert_eq!(
+                a.fault_stats.injected_of(kind),
+                b.fault_stats.injected_of(kind),
+                "{} injection count not reproducible", kind
+            );
+        }
+    }
+}

@@ -92,6 +92,90 @@ fn load_generator_reports_shedding() {
     assert!(report.shed_fraction() > 0.0 && report.shed_fraction() < 1.0);
 }
 
+/// Kill a shard mid-load: the survivors absorb the traffic, replies come
+/// back marked degraded, and the accounting still balances exactly —
+/// issued = completed + shed + failed, no request silently lost.
+#[test]
+fn shard_killed_mid_load_loses_no_requests() {
+    let server = Server::start(
+        heavy_index(4),
+        PipelineConfig {
+            queue_capacity: 4_096,
+            workers: 2,
+            max_batch: 16,
+            linger: std::time::Duration::from_micros(100),
+        },
+    );
+    let queries = Matrix::from_vec(8, 256, (0..8 * 256).map(|i| (i as f64).sin()).collect());
+    let report = std::thread::scope(|scope| {
+        let server = &server;
+        scope.spawn(move || {
+            std::thread::sleep(std::time::Duration::from_millis(3));
+            assert!(server.kill_shard(0), "first kill reports the transition");
+            assert!(!server.kill_shard(0), "second kill is an idempotent no-op");
+        });
+        run_closed_loop(
+            server,
+            &queries,
+            LoadGenConfig {
+                clients: 6,
+                requests_per_client: 200,
+            },
+        )
+    });
+    let snap = server.shutdown();
+    assert_eq!(report.issued, 6 * 200);
+    assert_eq!(
+        report.completed + report.shed + report.failed,
+        report.issued,
+        "a request vanished: {report}"
+    );
+    // Three of four shards survive, so nothing should actually fail — the
+    // batches that span the dead shard complete degraded instead.
+    assert_eq!(report.failed, 0, "survivors should have absorbed the load");
+    assert!(
+        report.degraded > 0,
+        "requests served after the kill must be marked degraded"
+    );
+    assert!(snap.shard_failovers > 0, "failovers must be counted");
+    assert_eq!(snap.failed, 0);
+    assert_eq!(snap.completed, report.completed);
+}
+
+/// Every shard killed: requests fail with the typed `AllShardsDown`, are
+/// still replied to (counted in `failed`), and accounting stays exact.
+#[test]
+fn all_shards_killed_fails_typed_but_loses_nothing() {
+    let server = Server::start(
+        heavy_index(2),
+        PipelineConfig {
+            queue_capacity: 64,
+            workers: 1,
+            max_batch: 8,
+            linger: std::time::Duration::ZERO,
+        },
+    );
+    server.kill_shard(0);
+    server.kill_shard(1);
+    let client = server.client();
+    let mut failed = 0u64;
+    for _ in 0..20 {
+        match client.predict(vec![0.5; 256]) {
+            Err(ServeError::AllShardsDown { shards }) => {
+                assert_eq!(shards, 2);
+                failed += 1;
+            }
+            other => panic!("expected AllShardsDown, got {other:?}"),
+        }
+    }
+    drop(client);
+    let snap = server.shutdown();
+    assert_eq!(failed, 20);
+    assert_eq!(snap.failed, 20);
+    assert_eq!(snap.accepted, 20);
+    assert_eq!(snap.completed, 0);
+}
+
 #[test]
 fn generous_queue_does_not_shed() {
     let server = Server::start(
