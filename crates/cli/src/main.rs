@@ -11,13 +11,20 @@
 //! swkm landcover --size 128 --out target/landcover-cli
 //! swkm train --dataset mixture --n 4096 --k 64 --save-model model.swkm [--standardize]
 //! swkm predict --model model.swkm --n 1024 [--shards 4] [--kernel scalar|expanded|tiled]
+//! swkm predict --store models/ --model-name census --n 1024
 //! swkm serve-bench --k 64 --clients 8 --requests 2000 [--queue 1024] [--workers 2]
 //!                  [--metrics-interval 1] [--metrics-json out.json]
 //!                  [--faults kill-shards=0,kill-after-ms=50]
+//!                  [--store models/ --model-name census]
+//!                  [--model-churn 5 --churn-every-ms 20]
+//! swkm store put  --dir models/ --model-name census --k 64 [--from model.swkm]
+//! swkm store list --dir models/
+//! swkm store gc   --dir models/
 //! ```
 
 mod args;
 mod serve_cmd;
+mod store_cmd;
 
 use args::Args;
 use hier_kmeans::{choose_level, HierKMeans};
@@ -33,7 +40,7 @@ fn main() {
             eprintln!("swkm: {msg}");
             eprintln!();
             eprintln!(
-                "usage: swkm <plan|model|sweep|fit|landcover|train|predict|serve-bench> [--flags]"
+                "usage: swkm <plan|model|sweep|fit|landcover|train|predict|serve-bench|store> [--flags]"
             );
             2
         }
@@ -105,6 +112,12 @@ fn parse_level(args: &Args) -> Result<Option<Level>, String> {
 }
 
 fn run(argv: &[String]) -> Result<(), String> {
+    // `swkm store <verb> --flags` nests one level: peel the `store` token
+    // and let the verb be the parsed command.
+    if argv.first().map(String::as_str) == Some("store") {
+        let args = Args::parse(&argv[1..]).map_err(|e| format!("store: {e}"))?;
+        return store_cmd::cmd_store(&args);
+    }
     let args = Args::parse(argv)?;
     match args.command.as_str() {
         "plan" => cmd_plan(&args),
@@ -317,8 +330,28 @@ fn cmd_fit(args: &Args) -> Result<(), String> {
             result.degraded_iterations
         );
     }
-    let registry = swkm_obs::MetricsRegistry::new();
+    let registry = swkm_obs::MetricsRegistry::shared();
     result.export_metrics(&registry);
+    // `--store <dir>` publishes the fitted centroids as the next live
+    // generation of `--model-name` (default: the dataset name), so a
+    // serving process can hot-swap to it.
+    if let Some(dir) = args.get_str("store") {
+        let name = args.get_str("model-name").unwrap_or(dataset);
+        let vfs = swkm_store::StdVfs::open(dir).map_err(|e| format!("--store {dir}: {e}"))?;
+        let mut store =
+            swkm_store::ModelStore::open_with_registry(vfs, Some(std::sync::Arc::clone(&registry)))
+                .map_err(|e| format!("--store {dir}: {e}"))?;
+        let artifact = swkm_serve::ModelArtifact::new(
+            data.rows() as u64,
+            result.centroids.clone(),
+            result.iterations as u64,
+            result.objective,
+            result.converged,
+            None,
+        );
+        let generation = store.publish(name, &artifact).map_err(|e| e.to_string())?;
+        println!("published {name}@g{generation} to store {dir}");
+    }
     write_metrics_outputs(args, &registry)?;
     Ok(())
 }
@@ -654,5 +687,99 @@ mod tests {
         assert!(run(&argv("frobnicate")).is_err());
         assert!(run(&argv("model --n 10")).is_err());
         assert!(run(&argv("model --n 10 --k 2 --d 4 --level 9")).is_err());
+    }
+
+    fn store_dir(tag: &str) -> String {
+        let dir = std::env::temp_dir().join(format!("swkm_cli_store_{tag}"));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        dir.display().to_string()
+    }
+
+    #[test]
+    fn store_put_list_promote_gc_round_trip() {
+        let dir = store_dir("roundtrip");
+        run(&argv(&format!(
+            "store put --dir {dir} --model-name demo --k 3 --n 96 --d 6 --max-iters 2"
+        )))
+        .unwrap();
+        run(&argv(&format!(
+            "store put --dir {dir} --model-name demo --k 3 --n 96 --d 6 --max-iters 2 --seed 5"
+        )))
+        .unwrap();
+        run(&argv(&format!("store list --dir {dir}"))).unwrap();
+        // Roll back to g1, gc keeps only the live generation's file.
+        run(&argv(&format!(
+            "store promote --dir {dir} --model-name demo --generation 1"
+        )))
+        .unwrap();
+        run(&argv(&format!("store gc --dir {dir}"))).unwrap();
+        run(&argv(&format!(
+            "predict --store {dir} --model-name demo --n 32 --d 6"
+        )))
+        .unwrap();
+        run(&argv(&format!(
+            "store delete --dir {dir} --model-name demo"
+        )))
+        .unwrap();
+        std::fs::remove_dir_all(std::path::Path::new(&dir)).ok();
+    }
+
+    #[test]
+    fn store_verb_errors_are_cli_errors() {
+        let dir = store_dir("errors");
+        assert!(run(&argv("store list")).is_err()); // no --dir
+        assert!(run(&argv(&format!("store warp --dir {dir}"))).is_err());
+        assert!(run(&argv(&format!("store put --dir {dir} --model-name x"))).is_err()); // no --k
+        assert!(run(&argv(&format!(
+            "store promote --dir {dir} --model-name ghost --generation 1"
+        )))
+        .is_err());
+        assert!(run(&argv(&format!(
+            "predict --store {dir} --model-name ghost --d 4"
+        )))
+        .is_err());
+        std::fs::remove_dir_all(std::path::Path::new(&dir)).ok();
+    }
+
+    #[test]
+    fn fit_store_publish_feeds_predict_and_serve_bench() {
+        let dir = store_dir("fit");
+        run(&argv(&format!(
+            "fit --dataset mixture --n 128 --k 3 --d 8 --max-iters 3 --store {dir} --model-name mix"
+        )))
+        .unwrap();
+        run(&argv(&format!(
+            "predict --store {dir} --model-name mix --n 64 --d 8"
+        )))
+        .unwrap();
+        run(&argv(&format!(
+            "serve-bench --store {dir} --model-name mix --n 64 --d 8 --clients 2 --requests 25"
+        )))
+        .unwrap();
+        std::fs::remove_dir_all(std::path::Path::new(&dir)).ok();
+    }
+
+    #[test]
+    fn serve_bench_model_churn_swaps_without_losing_requests() {
+        let dir = store_dir("churn");
+        let json = std::env::temp_dir().join("swkm_serve_bench_churn_test.json");
+        run(&argv(&format!(
+            "serve-bench --k 4 --n 256 --d 8 --clients 2 --requests 300 --max-iters 3 \
+             --store {dir} --model-churn 3 --churn-every-ms 5 --metrics-json {}",
+            json.display()
+        )))
+        .unwrap();
+        let doc = std::fs::read_to_string(&json).unwrap();
+        assert!(doc.contains("\"serve_model_swaps\":3"), "{doc}");
+        assert!(doc.contains("\"serve_failed\":0"), "{doc}");
+        assert!(doc.contains("\"store_put_total\":4"), "{doc}"); // seed + 3 churn
+                                                                 // Cold restart: the churned generations survive on disk.
+        run(&argv(&format!(
+            "predict --store {dir} --model-name bench --n 64 --d 8"
+        )))
+        .unwrap();
+        std::fs::remove_file(&json).ok();
+        std::fs::remove_dir_all(std::path::Path::new(&dir)).ok();
     }
 }

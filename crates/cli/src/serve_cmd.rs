@@ -89,13 +89,27 @@ pub fn cmd_train(args: &Args) -> Result<(), String> {
     Ok(())
 }
 
-/// Load a model artifact and label a batch of samples with the sharded
-/// index, printing the label distribution.
+/// Load a model artifact — from a flat file (`--model <path>`) or from a
+/// model store's live generation (`--store <dir> --model-name <name>`) —
+/// and label a batch of samples with the sharded index, printing the label
+/// distribution.
 pub fn cmd_predict(args: &Args) -> Result<(), String> {
-    let path = args
-        .get_str("model")
-        .ok_or("predict needs --model <path>")?;
-    let artifact = ModelArtifact::<Elem>::load(path).map_err(|e| e.to_string())?;
+    let artifact = match (args.get_str("model"), args.get_str("store")) {
+        (Some(path), _) => ModelArtifact::<Elem>::load(path).map_err(|e| e.to_string())?,
+        (None, Some(dir)) => {
+            let name = args
+                .get_str("model-name")
+                .ok_or("predict --store needs --model-name <name>")?;
+            let vfs = swkm_store::StdVfs::open(dir).map_err(|e| format!("--store {dir}: {e}"))?;
+            let store =
+                swkm_store::ModelStore::open(vfs).map_err(|e| format!("--store {dir}: {e}"))?;
+            let (generation, artifact) =
+                store.load_live::<Elem>(name).map_err(|e| e.to_string())?;
+            println!("loaded {name}@g{generation} from store {dir}");
+            artifact
+        }
+        (None, None) => return Err("predict needs --model <path> or --store <dir>".into()),
+    };
     let shards: usize = args.get_or("shards", 4)?;
     let mut queries = dataset_matrix(args, artifact.meta.k)?;
     if queries.cols() != artifact.meta.d {
@@ -127,10 +141,37 @@ pub fn cmd_predict(args: &Args) -> Result<(), String> {
 
 /// Closed-loop load test: train (or load) a model, serve it through the
 /// full pipeline and report QPS / latency / shed fraction.
+///
+/// With `--model-churn N` a publisher thread runs alongside the load:
+/// every `--churn-every-ms` it trains a perturbed model generation,
+/// publishes it through a model store (`--store <dir>`, or an in-memory
+/// store), loads it back and hot-swaps it into the server — all N swaps
+/// complete even if the load finishes first, so `serve_model_swaps` is
+/// deterministic for CI.
 pub fn cmd_serve_bench(args: &Args) -> Result<(), String> {
     let k: usize = args.get_or("k", 64)?;
+    let model_name = args.get_str("model-name").unwrap_or("bench").to_string();
+    // The store backend behind churn/--store: a real directory when
+    // `--store` is given, a shared in-memory one otherwise.
+    let vfs: Box<dyn swkm_store::Vfs + Send> = match args.get_str("store") {
+        Some(dir) => {
+            Box::new(swkm_store::StdVfs::open(dir).map_err(|e| format!("--store {dir}: {e}"))?)
+        }
+        None => Box::new(swkm_store::SharedMemVfs::new()),
+    };
+    let registry = swkm_obs::MetricsRegistry::shared();
+    let mut store = swkm_store::ModelStore::open_with_registry(vfs, Some(Arc::clone(&registry)))
+        .map_err(|e| e.to_string())?;
     let artifact = match args.get_str("model") {
         Some(path) => ModelArtifact::<Elem>::load(path).map_err(|e| e.to_string())?,
+        None if args.get_str("store").is_some() && store.live_generation(&model_name).is_some() => {
+            // Serve the store's live generation of --model-name.
+            let (generation, artifact) = store
+                .load_live::<Elem>(&model_name)
+                .map_err(|e| e.to_string())?;
+            println!("serving {model_name}@g{generation} from the store");
+            artifact
+        }
         None => {
             // No artifact given: fit a quick in-process model.
             let data = dataset_matrix(args, k)?;
@@ -193,9 +234,21 @@ pub fn cmd_serve_bench(args: &Args) -> Result<(), String> {
     // that long into the load run; the pipeline re-dispatches to the
     // survivors and marks replies degraded.
     let kill_plan = crate::parse_fault_plan(args)?;
-    let index = ShardedIndex::from_artifact(&artifact, shards).with_kernel(parse_kernel(args)?);
-    let registry = swkm_obs::MetricsRegistry::shared();
+    let kernel = parse_kernel(args)?;
+    let index = ShardedIndex::from_artifact(&artifact, shards).with_kernel(kernel);
     let server = Server::start_with_registry(index, pipeline, Arc::clone(&registry));
+
+    // `--model-churn N`: publish + hot-swap N perturbed generations while
+    // the load runs.
+    let churn: u64 = args.get_or("model-churn", 0u64)?;
+    let churn_every = Duration::from_millis(args.get_or("churn-every-ms", 20u64)?);
+    if churn > 0 && store.live_generation(&model_name).is_none() {
+        // Seed the store so generation numbers under churn start above the
+        // generation already serving.
+        store
+            .publish(&model_name, &artifact)
+            .map_err(|e| e.to_string())?;
+    }
 
     // Periodic steady-state reporting: every --metrics-interval seconds
     // print the *windowed* throughput (`Snapshot::qps_since`), which is
@@ -203,6 +256,52 @@ pub fn cmd_serve_bench(args: &Args) -> Result<(), String> {
     let interval_s: f64 = args.get_or("metrics-interval", 0.0f64)?;
     let stop = AtomicBool::new(false);
     let report = std::thread::scope(|scope| {
+        if churn > 0 {
+            let server = &server;
+            let base = &artifact;
+            let name = model_name.clone();
+            let mut store = store;
+            scope.spawn(move || {
+                for round in 1..=churn {
+                    // Deterministic per-round perturbation of the base
+                    // centroids — swaps visibly change the model without
+                    // changing its shape.
+                    let mut centroids = base.centroids.clone();
+                    for (i, v) in centroids.as_mut_slice().iter_mut().enumerate() {
+                        *v += (round as Elem) * 1e-4 * (((i % 13) as Elem) - 6.0);
+                    }
+                    let next = ModelArtifact::new(
+                        base.meta.trained_samples,
+                        centroids,
+                        base.meta.iterations,
+                        base.meta.objective,
+                        base.meta.converged,
+                        base.stats.clone(),
+                    );
+                    // Durable first, then serve: publish to the store, load
+                    // the live generation back, swap it in.
+                    let swapped = store
+                        .publish(&name, &next)
+                        .and_then(|_| store.load_live::<Elem>(&name))
+                        .map_err(|e| e.to_string())
+                        .and_then(|(generation, loaded)| {
+                            let index =
+                                ShardedIndex::from_artifact(&loaded, shards).with_kernel(kernel);
+                            server
+                                .swap_model(index, generation)
+                                .map(|_| generation)
+                                .map_err(|e| e.to_string())
+                        });
+                    match swapped {
+                        Ok(generation) => {
+                            println!("[churn] swapped in {name}@g{generation} ({round}/{churn})")
+                        }
+                        Err(e) => eprintln!("[churn] round {round} failed: {e}"),
+                    }
+                    std::thread::sleep(churn_every);
+                }
+            });
+        }
         if let Some(plan) = &kill_plan {
             let (victims, after) = plan.kill_schedule();
             if !victims.is_empty() {

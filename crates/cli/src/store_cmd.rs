@@ -1,0 +1,180 @@
+//! `swkm store <verb>` — operate a persistent model store directory.
+//!
+//! ```text
+//! swkm store put     --dir models/ --model-name census [--from model.swkm]
+//!                    [--dataset mixture --n 4096 --k 64 --d 16] [--no-promote]
+//! swkm store list    --dir models/
+//! swkm store promote --dir models/ --model-name census --generation 2
+//! swkm store delete  --dir models/ --model-name census
+//! swkm store gc      --dir models/
+//! ```
+//!
+//! The store is the durable end of hot-swap serving: `put` writes a new
+//! immutable generation and (by default) promotes it live; a serving
+//! process picks the bump up via `serve-bench --store`/`swap_model`, and
+//! `gc` reclaims the superseded generations afterwards.
+
+use crate::args::Args;
+use kmeans_core::{InitMethod, KMeansConfig, Lloyd, Matrix};
+use swkm_serve::ModelArtifact;
+use swkm_store::{ModelStore, StdVfs};
+
+/// The CLI works in `f32` end to end (the paper's serving precision).
+type Elem = f32;
+
+fn open_store(args: &Args) -> Result<ModelStore<StdVfs>, String> {
+    let dir = args.get_str("dir").ok_or("store needs --dir <path>")?;
+    let vfs = StdVfs::open(dir).map_err(|e| e.to_string())?;
+    ModelStore::open(vfs).map_err(|e| e.to_string())
+}
+
+fn require_model_name(args: &Args) -> Result<String, String> {
+    args.get_str("model-name")
+        .map(|s| s.to_string())
+        .ok_or_else(|| "store needs --model-name <name>".to_string())
+}
+
+/// Dispatch `swkm store <verb> [--flags]`. `args.command` is the verb
+/// (the leading `store` token was peeled off by `main`).
+pub fn cmd_store(args: &Args) -> Result<(), String> {
+    match args.command.as_str() {
+        "put" => cmd_put(args),
+        "list" => cmd_list(args),
+        "promote" => cmd_promote(args),
+        "delete" => cmd_delete(args),
+        "gc" => cmd_gc(args),
+        other => Err(format!(
+            "unknown store verb `{other}` (put|list|promote|delete|gc)"
+        )),
+    }
+}
+
+/// Build the artifact to store: import `--from <file>`, or train one
+/// in-process with the same dataset flags `train` takes.
+fn build_artifact(args: &Args) -> Result<ModelArtifact<Elem>, String> {
+    if let Some(path) = args.get_str("from") {
+        return ModelArtifact::<Elem>::load(path).map_err(|e| format!("--from {path}: {e}"));
+    }
+    let k: usize = args.require("k")?;
+    let dataset = args.get_str("dataset").unwrap_or("mixture");
+    let n: usize = args.get_or("n", 4_096)?;
+    let data: Matrix<Elem> = match dataset {
+        "kegg" => datasets::uci::kegg_network().generate(n),
+        "road" => datasets::uci::road_network().generate(n),
+        "census" => datasets::uci::us_census_1990().generate(n),
+        "mixture" => {
+            let d: usize = args.get_or("d", 16)?;
+            datasets::GaussianMixture::new(n, d, k.max(2))
+                .with_seed(args.get_or("seed", 0u64)?)
+                .generate()
+                .data
+        }
+        other => {
+            return Err(format!(
+                "unknown dataset `{other}` (kegg|road|census|mixture)"
+            ))
+        }
+    };
+    let config = KMeansConfig::new(k)
+        .with_seed(args.get_or("seed", 0u64)?)
+        .with_max_iters(args.get_or("max-iters", 20usize)?)
+        .with_init(InitMethod::KMeansPlusPlus);
+    let fit = Lloyd::run(&data, &config).map_err(|e| e.to_string())?;
+    Ok(ModelArtifact::new(
+        data.rows() as u64,
+        fit.centroids,
+        fit.iterations as u64,
+        fit.objective,
+        fit.converged,
+        None,
+    ))
+}
+
+fn cmd_put(args: &Args) -> Result<(), String> {
+    let mut store = open_store(args)?;
+    let name = require_model_name(args)?;
+    let artifact = build_artifact(args)?;
+    let promote = args.get_str("no-promote").is_none();
+    let generation = if promote {
+        store.publish(&name, &artifact)
+    } else {
+        store.put(&name, &artifact)
+    }
+    .map_err(|e| e.to_string())?;
+    println!(
+        "{name}@g{generation}: k={} d={} ({} bytes){}",
+        artifact.meta.k,
+        artifact.meta.d,
+        artifact.to_bytes().len(),
+        if promote { ", live" } else { ", not promoted" }
+    );
+    Ok(())
+}
+
+fn cmd_list(args: &Args) -> Result<(), String> {
+    let store = open_store(args)?;
+    let models = store.models();
+    if models.is_empty() {
+        println!("store is empty");
+        return Ok(());
+    }
+    println!(
+        "{:<24} {:>6} {:>12} {:>12} {:>6}",
+        "model", "live", "generations", "bytes", "dtype"
+    );
+    for m in &models {
+        println!(
+            "{:<24} {:>6} {:>12} {:>12} {:>6}",
+            m.name,
+            m.live.map_or("—".to_string(), |g| format!("g{g}")),
+            m.generations,
+            m.bytes,
+            format!("f{}", m.dtype as usize * 8),
+        );
+    }
+    let report = store.replay_report();
+    println!(
+        "{} model(s), {} bytes total; manifest replayed {} record(s){}",
+        models.len(),
+        store.total_bytes(),
+        report.records,
+        if report.torn_bytes > 0 {
+            format!(" ({} torn byte(s) discarded)", report.torn_bytes)
+        } else {
+            String::new()
+        }
+    );
+    Ok(())
+}
+
+fn cmd_promote(args: &Args) -> Result<(), String> {
+    let mut store = open_store(args)?;
+    let name = require_model_name(args)?;
+    let generation: u64 = args.require("generation")?;
+    store
+        .promote(&name, generation)
+        .map_err(|e| e.to_string())?;
+    println!("{name}: generation g{generation} is live");
+    Ok(())
+}
+
+fn cmd_delete(args: &Args) -> Result<(), String> {
+    let mut store = open_store(args)?;
+    let name = require_model_name(args)?;
+    store.delete(&name).map_err(|e| e.to_string())?;
+    println!("{name}: removed from the registry (files reclaimed at gc)");
+    Ok(())
+}
+
+fn cmd_gc(args: &Args) -> Result<(), String> {
+    let mut store = open_store(args)?;
+    let report = store.compact().map_err(|e| e.to_string())?;
+    println!(
+        "gc: removed {} file(s), reclaimed {} bytes; manifest {} → {} bytes",
+        report.files_removed,
+        report.bytes_reclaimed,
+        report.manifest_bytes_before,
+        report.manifest_bytes_after
+    );
+    Ok(())
+}

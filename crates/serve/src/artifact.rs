@@ -206,7 +206,7 @@ impl<S: Scalar + Serialize + Deserialize> ModelArtifact<S> {
         if bytes[..MAGIC.len()] != MAGIC {
             return Err(ArtifactError::BadMagic);
         }
-        let version = u32::from_le_bytes(bytes[8..12].try_into().unwrap());
+        let version = u32::from_le_bytes([bytes[8], bytes[9], bytes[10], bytes[11]]);
         if version != FORMAT_VERSION {
             return Err(ArtifactError::VersionMismatch {
                 found: version,
@@ -214,7 +214,7 @@ impl<S: Scalar + Serialize + Deserialize> ModelArtifact<S> {
             });
         }
         let (payload, crc_bytes) = bytes.split_at(bytes.len() - 4);
-        let stored = u32::from_le_bytes(crc_bytes.try_into().unwrap());
+        let stored = u32::from_le_bytes([crc_bytes[0], crc_bytes[1], crc_bytes[2], crc_bytes[3]]);
         let computed = crc32(payload);
         if stored != computed {
             return Err(ArtifactError::ChecksumMismatch { stored, computed });
@@ -258,13 +258,46 @@ impl<S: Scalar + Serialize + Deserialize> ModelArtifact<S> {
         })
     }
 
-    /// Write the artifact to disk (atomically via a sibling temp file, so
-    /// a crash mid-write never leaves a truncated artifact at `path`).
+    /// Write the artifact to disk atomically: the bytes go to a uniquely
+    /// named sibling temp file, are fsynced, and are renamed over `path` in
+    /// one step. A crash mid-write never leaves a truncated artifact at
+    /// `path`, and concurrent saves — even to sibling paths that differ
+    /// only in extension — never collide on the temp name (each gets a
+    /// distinct pid + sequence suffix appended to the full file name, not
+    /// substituted for its extension). The temp file is removed if any
+    /// step after its creation fails.
     pub fn save(&self, path: impl AsRef<Path>) -> Result<(), ArtifactError> {
+        use std::io::Write;
+        use std::sync::atomic::{AtomicU64, Ordering};
+
+        static TEMP_SEQ: AtomicU64 = AtomicU64::new(0);
         let path = path.as_ref();
-        let tmp = path.with_extension("tmp");
-        std::fs::write(&tmp, self.to_bytes())?;
-        std::fs::rename(&tmp, path)?;
+        let file_name = path
+            .file_name()
+            .ok_or_else(|| {
+                ArtifactError::Io(std::io::Error::new(
+                    std::io::ErrorKind::InvalidInput,
+                    "artifact path has no file name",
+                ))
+            })?
+            .to_owned();
+        let mut tmp_name = file_name;
+        tmp_name.push(format!(
+            ".{}.{}.tmp",
+            std::process::id(),
+            TEMP_SEQ.fetch_add(1, Ordering::Relaxed)
+        ));
+        let tmp = path.with_file_name(tmp_name);
+        let commit = (|| {
+            let mut file = std::fs::File::create(&tmp)?;
+            file.write_all(&self.to_bytes())?;
+            file.sync_all()?;
+            std::fs::rename(&tmp, path)
+        })();
+        if let Err(e) = commit {
+            let _ = std::fs::remove_file(&tmp);
+            return Err(ArtifactError::Io(e));
+        }
         Ok(())
     }
 
@@ -370,6 +403,88 @@ mod tests {
         let bytes = artifact().to_bytes();
         for keep in [0, 4, 12, bytes.len() - 5] {
             assert!(ModelArtifact::<f64>::from_bytes(&bytes[..keep]).is_err());
+        }
+    }
+
+    fn scratch_dir(tag: &str) -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join(format!(
+            "swkm-artifact-{tag}-{}-{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    #[test]
+    fn save_is_atomic_and_leaves_no_temp_droppings() {
+        let dir = scratch_dir("atomic");
+        let path = dir.join("model.art");
+        let a = artifact();
+        a.save(&path).unwrap();
+        assert_eq!(ModelArtifact::<f64>::load(&path).unwrap(), a);
+        // Overwriting an existing artifact is also atomic and clean.
+        let b = ModelArtifact::from_centroids(Matrix::from_rows(&[&[9.0f64, 9.0, 9.0]]));
+        b.save(&path).unwrap();
+        assert_eq!(ModelArtifact::<f64>::load(&path).unwrap(), b);
+        let names: Vec<_> = std::fs::read_dir(&dir)
+            .unwrap()
+            .map(|e| e.unwrap().file_name().into_string().unwrap())
+            .collect();
+        assert_eq!(
+            names,
+            vec!["model.art".to_string()],
+            "temp files left behind"
+        );
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn concurrent_saves_to_extension_siblings_do_not_collide() {
+        // `path.with_extension("tmp")` would map model.a and model.b to the
+        // SAME temp file; the unique-suffix scheme must not.
+        let dir = scratch_dir("siblings");
+        let a = artifact();
+        std::thread::scope(|scope| {
+            for ext in ["a", "b", "c", "d"] {
+                let path = dir.join(format!("model.{ext}"));
+                let a = &a;
+                scope.spawn(move || {
+                    for _ in 0..50 {
+                        a.save(&path).unwrap();
+                        assert_eq!(ModelArtifact::<f64>::load(&path).unwrap(), *a);
+                    }
+                });
+            }
+        });
+        let mut names: Vec<_> = std::fs::read_dir(&dir)
+            .unwrap()
+            .map(|e| e.unwrap().file_name().into_string().unwrap())
+            .collect();
+        names.sort();
+        assert_eq!(names, ["model.a", "model.b", "model.c", "model.d"]);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn save_into_missing_directory_is_a_typed_io_error() {
+        let dir = scratch_dir("missing");
+        let path = dir.join("no-such-subdir").join("model.art");
+        match artifact().save(&path) {
+            Err(ArtifactError::Io(_)) => {}
+            other => panic!("expected Io error, got {other:?}"),
+        }
+        // The failed save left nothing behind.
+        assert_eq!(std::fs::read_dir(&dir).unwrap().count(), 0);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn save_to_bare_root_like_path_is_rejected_not_panicking() {
+        match artifact().save("..") {
+            Err(ArtifactError::Io(_)) => {}
+            other => panic!("expected Io error, got {other:?}"),
         }
     }
 }

@@ -19,6 +19,11 @@
 //!   crossbeam channels: `try_send` admission (typed
 //!   [`error::ServeError::Overloaded`] load shedding), adaptive
 //!   micro-batching, rayon shard fan-out, graceful drain on shutdown.
+//!   The model sits in a hot-swappable [`pipeline::ModelSlot`]: each batch
+//!   pins one generation for its whole scan, and
+//!   [`pipeline::Server::swap_model`] installs a new generation with zero
+//!   downtime — the durable end of that hand-off is the `swkm-store`
+//!   crate's versioned model store.
 //! * [`metrics`] — throughput counters and per-stage log₂ latency
 //!   histograms (shared with the simulator's `sw_des::stats`), exposed as
 //!   a printable [`metrics::Snapshot`].
@@ -69,7 +74,7 @@ pub use error::ServeError;
 pub use index::{BatchOutcome, Kernel, ShardedIndex};
 pub use loadgen::{run_closed_loop, LoadGenConfig, LoadReport};
 pub use metrics::{ServeMetrics, Snapshot};
-pub use pipeline::{Client, PipelineConfig, Prediction, Server};
+pub use pipeline::{Client, ModelSlot, PipelineConfig, Prediction, Server};
 
 /// One-stop imports for serving call sites.
 pub mod prelude {
@@ -78,5 +83,5 @@ pub mod prelude {
     pub use crate::index::{BatchOutcome, Kernel, ShardedIndex};
     pub use crate::loadgen::{run_closed_loop, LoadGenConfig, LoadReport};
     pub use crate::metrics::Snapshot;
-    pub use crate::pipeline::{Client, PipelineConfig, Prediction, Server};
+    pub use crate::pipeline::{Client, ModelSlot, PipelineConfig, Prediction, Server};
 }

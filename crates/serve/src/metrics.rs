@@ -52,11 +52,13 @@ impl ServeMetrics {
     /// Record into an existing registry — this is how a process that both
     /// trains and serves keeps one metrics namespace and one export.
     pub fn with_registry(registry: Arc<MetricsRegistry>) -> Self {
-        // Pre-register the fault counters at zero so exports always carry
-        // them — tests and dashboards can assert "no failovers" explicitly
-        // rather than inferring it from an absent key.
+        // Pre-register the fault and swap counters at zero so exports
+        // always carry them — tests and dashboards can assert "no
+        // failovers" / "no swaps" explicitly rather than inferring it from
+        // an absent key.
         registry.counter_add("serve_failed", 0);
         registry.counter_add("shard_failovers", 0);
+        registry.counter_add("serve_model_swaps", 0);
         ServeMetrics {
             registry,
             started: Instant::now(),
@@ -92,6 +94,16 @@ impl ServeMetrics {
         self.registry.counter_add("shard_failovers", n);
     }
 
+    /// A model hot-swap: bump the swap counter, mirror the new generation
+    /// into the `serve_model_generation` gauge and record how long the
+    /// installation (the write-locked window) took.
+    pub fn record_swap(&self, generation: u64, install_ns: u64) {
+        self.registry.counter_inc("serve_model_swaps");
+        self.registry
+            .gauge_set("serve_model_generation", generation as f64);
+        self.registry.record("serve_swap_ns", install_ns);
+    }
+
     /// Fold a worker's per-batch histograms into the shared set.
     pub fn merge_hists(&self, local: &StageHists) {
         self.registry
@@ -123,6 +135,7 @@ impl ServeMetrics {
             completed,
             failed: self.registry.counter("serve_failed"),
             shard_failovers: self.registry.counter("shard_failovers"),
+            model_swaps: self.registry.counter("serve_model_swaps"),
             queue_depth,
             elapsed,
             qps: completed as f64 / elapsed.as_secs_f64().max(1e-9),
@@ -158,6 +171,8 @@ pub struct Snapshot {
     pub failed: u64,
     /// Batches re-dispatched around dead shards (per dead shard per batch).
     pub shard_failovers: u64,
+    /// Model generations hot-swapped in while serving.
+    pub model_swaps: u64,
     pub queue_depth: usize,
     pub elapsed: Duration,
     /// Completed requests per second since the server started. Warm-up
@@ -211,6 +226,13 @@ impl std::fmt::Display for Snapshot {
                 f,
                 "failover: {} batch×shard re-dispatches",
                 self.shard_failovers
+            )?;
+        }
+        if self.model_swaps > 0 {
+            writeln!(
+                f,
+                "hot-swap: {} model generation(s) installed",
+                self.model_swaps
             )?;
         }
         writeln!(

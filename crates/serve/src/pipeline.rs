@@ -16,13 +16,22 @@
 //! shard fan-out) and shrinks to 1 when idle (minimising latency).
 //! Shutdown is graceful: dropping the last sender lets workers drain every
 //! admitted request before exiting.
+//!
+//! The index is **hot-swappable**: the server holds the model behind a
+//! [`ModelSlot`] (an `Arc` slot guarded by an `RwLock`), each micro-batch
+//! pins the current `Arc<ShardedIndex>` for its whole scan, and
+//! [`Server::swap_model`] installs a new generation with one short write
+//! lock — in-flight batches finish on the generation they pinned while
+//! every subsequent batch sees the new one. No request is ever dropped or
+//! failed by a swap.
 
 use crate::error::ServeError;
 use crate::index::ShardedIndex;
 use crate::metrics::{ServeMetrics, Snapshot, StageHists};
 use crossbeam_channel::{bounded, Receiver, Sender, TrySendError};
 use kmeans_core::{Matrix, Scalar};
-use std::sync::Arc;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, RwLock};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
@@ -68,13 +77,48 @@ struct Job<S> {
     reply: Sender<Result<Prediction, ServeError>>,
 }
 
+/// The hot-swappable model slot shared by the server handle and every
+/// worker. Readers pin the current index with one cheap `Arc` clone per
+/// micro-batch; [`Server::swap_model`] replaces it under a short write
+/// lock. The generation number is what observability reports.
+pub struct ModelSlot<S: Scalar> {
+    index: RwLock<Arc<ShardedIndex<S>>>,
+    generation: AtomicU64,
+}
+
+impl<S: Scalar> ModelSlot<S> {
+    fn new(index: ShardedIndex<S>, generation: u64) -> Self {
+        ModelSlot {
+            index: RwLock::new(Arc::new(index)),
+            generation: AtomicU64::new(generation),
+        }
+    }
+
+    /// Pin the current index. The returned `Arc` stays valid across swaps,
+    /// so a batch mid-scan is never yanked to a different generation.
+    pub fn current(&self) -> Arc<ShardedIndex<S>> {
+        Arc::clone(&self.index.read().unwrap_or_else(|e| e.into_inner()))
+    }
+
+    /// Generation of the currently-installed index.
+    pub fn generation(&self) -> u64 {
+        self.generation.load(Ordering::SeqCst)
+    }
+
+    fn install(&self, index: ShardedIndex<S>, generation: u64) {
+        *self.index.write().unwrap_or_else(|e| e.into_inner()) = Arc::new(index);
+        self.generation.store(generation, Ordering::SeqCst);
+    }
+}
+
 /// A running prediction server. Dropping every [`Client`] and calling
 /// [`Server::shutdown`] drains the queue and joins the workers.
 pub struct Server<S: Scalar> {
     sender: Option<Sender<Job<S>>>,
     workers: Vec<JoinHandle<()>>,
     metrics: Arc<ServeMetrics>,
-    index: Arc<ShardedIndex<S>>,
+    slot: Arc<ModelSlot<S>>,
+    dim: usize,
     config: PipelineConfig,
 }
 
@@ -98,21 +142,24 @@ impl<S: Scalar> Server<S> {
         assert!(config.max_batch > 0, "max batch must be positive");
         let (sender, receiver) = bounded::<Job<S>>(config.queue_capacity);
         registry.gauge_set("serve_assign_kernel", index.kernel().code() as f64);
+        registry.gauge_set("serve_model_generation", 0.0);
         let metrics = Arc::new(ServeMetrics::with_registry(registry));
-        let index = Arc::new(index);
+        let dim = index.dim();
+        let slot = Arc::new(ModelSlot::new(index, 0));
         let workers = (0..config.workers)
             .map(|_| {
                 let receiver = receiver.clone();
-                let index = Arc::clone(&index);
+                let slot = Arc::clone(&slot);
                 let metrics = Arc::clone(&metrics);
-                std::thread::spawn(move || worker_loop(receiver, index, metrics, config))
+                std::thread::spawn(move || worker_loop(receiver, slot, metrics, config))
             })
             .collect();
         Server {
             sender: Some(sender),
             workers,
             metrics,
-            index,
+            slot,
+            dim,
             config,
         }
     }
@@ -124,7 +171,7 @@ impl<S: Scalar> Server<S> {
         Client {
             sender: self.sender.clone().expect("server already shut down"),
             metrics: Arc::clone(&self.metrics),
-            dim: self.index.dim(),
+            dim: self.dim,
             capacity: self.config.queue_capacity,
         }
     }
@@ -141,17 +188,51 @@ impl<S: Scalar> Server<S> {
         self.metrics.registry()
     }
 
-    pub fn index(&self) -> &ShardedIndex<S> {
-        &self.index
+    /// Pin the currently-installed index (the model the *next* batch will
+    /// scan; in-flight batches may still hold an older generation).
+    pub fn current_index(&self) -> Arc<ShardedIndex<S>> {
+        self.slot.current()
+    }
+
+    /// Generation number of the currently-installed model (0 = the index
+    /// the server started with).
+    pub fn generation(&self) -> u64 {
+        self.slot.generation()
+    }
+
+    /// Zero-downtime hot swap: atomically install `index` as generation
+    /// `generation`. Micro-batches already scanning keep the generation
+    /// they pinned; every batch formed after this call sees the new one —
+    /// no request is dropped, failed or answered with a torn model. The
+    /// new index must match the served dimensionality (clients admit
+    /// against it); a mismatch is a typed error and the old model keeps
+    /// serving. Returns the previous generation.
+    ///
+    /// Swapping also resets shard liveness: the incoming index arrives
+    /// with every shard alive, healing any injected shard kills.
+    pub fn swap_model(&self, index: ShardedIndex<S>, generation: u64) -> Result<u64, ServeError> {
+        if index.dim() != self.dim {
+            return Err(ServeError::DimensionMismatch {
+                expected: self.dim,
+                got: index.dim(),
+            });
+        }
+        let start = Instant::now();
+        let previous = self.slot.generation();
+        self.slot.install(index, generation);
+        self.metrics
+            .record_swap(generation, start.elapsed().as_nanos() as u64);
+        Ok(previous)
     }
 
     /// Simulate a shard crash while serving: subsequent batches re-dispatch
     /// to the surviving shards and replies carry
     /// [`Prediction::degraded`]`== true`. Returns whether the shard was
     /// alive. Admitted requests are never lost — with every shard down
-    /// they fail with a typed [`ServeError::AllShardsDown`].
+    /// they fail with a typed [`ServeError::AllShardsDown`]. (Kills apply
+    /// to the current generation; a [`Server::swap_model`] heals them.)
     pub fn kill_shard(&self, shard: usize) -> bool {
-        self.index.kill_shard(shard)
+        self.slot.current().kill_shard(shard)
     }
 
     /// Stop admitting work, drain every already-admitted request, join the
@@ -243,12 +324,15 @@ fn next_batch<S>(jobs: &Receiver<Job<S>>, config: &PipelineConfig) -> Option<Vec
 
 fn worker_loop<S: Scalar>(
     jobs: Receiver<Job<S>>,
-    index: Arc<ShardedIndex<S>>,
+    slot: Arc<ModelSlot<S>>,
     metrics: Arc<ServeMetrics>,
     config: PipelineConfig,
 ) {
-    let d = index.dim();
     while let Some(batch) = next_batch(&jobs, &config) {
+        // Pin one generation for the whole batch: a concurrent swap_model
+        // must never hand half a batch to a different centroid set.
+        let index = slot.current();
+        let d = index.dim();
         let formed = Instant::now();
         let mut local = StageHists::default();
         local.batch_size.record(batch.len() as u64);
@@ -379,6 +463,97 @@ mod tests {
         );
         drop(client);
         assert_eq!(server.shutdown().accepted, 0);
+    }
+
+    #[test]
+    fn hot_swap_changes_answers_without_dropping_requests() {
+        let v1 = Matrix::from_rows(&[&[0.0f64, 0.0], &[10.0, 10.0]]);
+        // Generation 2 swaps the roles of the two centroids.
+        let v2 = Matrix::from_rows(&[&[10.0f64, 10.0], &[0.0, 0.0]]);
+        let server = Server::start(ShardedIndex::new(v1, 2), PipelineConfig::default());
+        let client = server.client();
+        assert_eq!(client.predict(vec![9.0, 9.0]).unwrap().label, 1);
+        assert_eq!(server.generation(), 0);
+        let previous = server.swap_model(ShardedIndex::new(v2, 2), 7).unwrap();
+        assert_eq!(previous, 0);
+        assert_eq!(server.generation(), 7);
+        assert_eq!(client.predict(vec![9.0, 9.0]).unwrap().label, 0);
+        drop(client);
+        let snap = server.shutdown();
+        assert_eq!(snap.completed, 2);
+        assert_eq!(snap.failed, 0);
+        assert_eq!(snap.model_swaps, 1);
+    }
+
+    #[test]
+    fn swap_rejects_dimension_mismatch_and_keeps_serving_old_model() {
+        let server = Server::start(small_index(), PipelineConfig::default());
+        let narrow = ShardedIndex::new(Matrix::from_rows(&[&[1.0f64, 2.0, 3.0]]), 1);
+        let err = server.swap_model(narrow, 1).unwrap_err();
+        assert_eq!(
+            err,
+            ServeError::DimensionMismatch {
+                expected: 2,
+                got: 3
+            }
+        );
+        assert_eq!(server.generation(), 0);
+        let client = server.client();
+        assert_eq!(client.predict(vec![0.1, -0.2]).unwrap().label, 0);
+        drop(client);
+        assert_eq!(server.shutdown().model_swaps, 0);
+    }
+
+    #[test]
+    fn swap_heals_killed_shards() {
+        let server = Server::start(small_index(), PipelineConfig::default());
+        let client = server.client();
+        assert!(server.kill_shard(0));
+        assert!(client.predict(vec![0.1, -0.2]).unwrap().degraded);
+        server.swap_model(small_index(), 1).unwrap();
+        assert!(!client.predict(vec![0.1, -0.2]).unwrap().degraded);
+        drop(client);
+        server.shutdown();
+    }
+
+    #[test]
+    fn swaps_under_concurrent_load_lose_nothing() {
+        let config = PipelineConfig {
+            queue_capacity: 512,
+            workers: 3,
+            max_batch: 16,
+            linger: Duration::from_micros(50),
+        };
+        let server = Server::start(small_index(), config);
+        let swaps = 20u64;
+        let served: u64 = std::thread::scope(|scope| {
+            let clients: Vec<_> = (0..4)
+                .map(|t| {
+                    let client = server.client();
+                    scope.spawn(move || {
+                        let mut ok = 0u64;
+                        for i in 0..250 {
+                            let v = (t * 250 + i) as f64 % 11.0;
+                            if client.predict(vec![v, -v]).is_ok() {
+                                ok += 1;
+                            }
+                        }
+                        ok
+                    })
+                })
+                .collect();
+            for g in 1..=swaps {
+                server.swap_model(small_index(), g).unwrap();
+                std::thread::sleep(Duration::from_micros(200));
+            }
+            clients.into_iter().map(|h| h.join().unwrap()).sum()
+        });
+        let snap = server.shutdown();
+        assert_eq!(served, 1000, "every request answered through 20 swaps");
+        assert_eq!(snap.completed, 1000);
+        assert_eq!(snap.failed, 0);
+        assert_eq!(snap.model_swaps, swaps);
+        assert_eq!(snap.accepted, snap.completed + snap.failed);
     }
 
     #[test]

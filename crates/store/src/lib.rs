@@ -1,0 +1,57 @@
+//! `swkm-store` — the persistent multi-model store beneath the serving
+//! tier.
+//!
+//! `swkm-serve` (PR 1) loads exactly one CRC-checked artifact into RAM at
+//! startup; production serving needs many models, online replacement and
+//! restart durability. This crate supplies the durable half of that story,
+//! LSM-flavored:
+//!
+//! * [`vfs`] — a small storage trait ([`Vfs`]) with std-filesystem
+//!   ([`StdVfs`]), in-memory ([`MemVfs`]) and thread-safe in-memory
+//!   ([`SharedMemVfs`]) backends, so crash-recovery properties are testable
+//!   at every byte boundary without touching a disk.
+//! * [`manifest`] — a write-ahead log of `Put` / `Promote` / `Delete`
+//!   edits in CRC-framed records; replay after a crash stops at the first
+//!   torn frame, recovering exactly the committed history.
+//! * [`store`] — the [`ModelStore`]: a registry of named models, each a
+//!   set of generation-numbered immutable artifact files (the
+//!   `ModelArtifact` wire format from `swkm-serve`, unchanged) with one
+//!   *live* generation. [`ModelStore::promote`] is the atomic version bump
+//!   behind zero-downtime hot swap; [`ModelStore::compact`]
+//!   garbage-collects stale generations and rewrites the log.
+//!
+//! End to end:
+//!
+//! ```
+//! use kmeans_core::Matrix;
+//! use swkm_serve::ModelArtifact;
+//! use swkm_store::{MemVfs, ModelStore};
+//!
+//! let mut store = ModelStore::open(MemVfs::new()).unwrap();
+//! let v1 = ModelArtifact::from_centroids(Matrix::from_rows(&[&[0.0f32, 0.0]]));
+//! let v2 = ModelArtifact::from_centroids(Matrix::from_rows(&[&[9.0f32, 9.0]]));
+//! assert_eq!(store.publish("demo", &v1).unwrap(), 1);
+//! assert_eq!(store.publish("demo", &v2).unwrap(), 2);
+//! let (generation, live) = store.load_live::<f32>("demo").unwrap();
+//! assert_eq!(generation, 2);
+//! assert_eq!(live, v2);
+//! store.promote("demo", 1).unwrap(); // rollback is just another promote
+//! assert_eq!(store.load_live::<f32>("demo").unwrap().0, 1);
+//! ```
+
+pub mod manifest;
+pub mod store;
+pub mod vfs;
+
+pub use manifest::{ManifestRecord, ReplayReport, MANIFEST};
+pub use store::{
+    artifact_file, CompactReport, GenInfo, ModelEntry, ModelState, ModelStore, StoreError,
+};
+pub use vfs::{MemVfs, SharedMemVfs, StdVfs, Vfs, VfsError};
+
+/// One-stop imports for store call sites.
+pub mod prelude {
+    pub use crate::manifest::{ManifestRecord, ReplayReport, MANIFEST};
+    pub use crate::store::{artifact_file, CompactReport, ModelEntry, ModelStore, StoreError};
+    pub use crate::vfs::{MemVfs, SharedMemVfs, StdVfs, Vfs, VfsError};
+}

@@ -1,0 +1,282 @@
+//! The write-ahead manifest log.
+//!
+//! Every edit to the store — a new artifact generation, a live-generation
+//! bump, a model deletion — is appended to `MANIFEST.log` *before* the
+//! in-memory registry reflects it. Each record is framed as
+//!
+//! ```text
+//! [ payload len u32 ][ crc32(payload) u32 ][ payload … ]
+//! ```
+//!
+//! so replay after a crash walks the log record by record and stops at the
+//! first frame that is incomplete or fails its checksum: everything before
+//! the tear is exactly the committed history, everything after it never
+//! happened. Artifact files are written (atomically) before their `Put`
+//! record is appended, so a record that survives replay always points at a
+//! complete, CRC-clean artifact.
+//!
+//! Compaction rewrites the whole log to just the live state (one `Put` +
+//! `Promote` pair per model) through an atomic whole-file replacement, so
+//! a crash mid-compaction leaves either the old log or the new.
+
+use crate::vfs::{Vfs, VfsError};
+use serde::{Deserialize, Serialize};
+use swkm_serve::artifact::crc32;
+
+/// Name of the manifest log inside a store directory.
+pub const MANIFEST: &str = "MANIFEST.log";
+
+/// One committed edit.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ManifestRecord {
+    /// Generation `generation` of `model` was durably written to its
+    /// artifact file (`bytes` long, artifact-CRC `crc`, element width
+    /// `dtype`). Not yet visible to readers.
+    Put {
+        model: String,
+        generation: u64,
+        bytes: u64,
+        crc: u32,
+        dtype: u8,
+    },
+    /// `generation` became the live generation of `model` — the atomic
+    /// version bump readers observe.
+    Promote { model: String, generation: u64 },
+    /// `model` was removed from the registry (its files linger until
+    /// compaction garbage-collects them).
+    Delete { model: String },
+}
+
+const TAG_PUT: u8 = 1;
+const TAG_PROMOTE: u8 = 2;
+const TAG_DELETE: u8 = 3;
+
+impl Serialize for ManifestRecord {
+    fn serialize(&self, out: &mut Vec<u8>) {
+        match self {
+            ManifestRecord::Put {
+                model,
+                generation,
+                bytes,
+                crc,
+                dtype,
+            } => {
+                out.push(TAG_PUT);
+                model.serialize(out);
+                generation.serialize(out);
+                bytes.serialize(out);
+                crc.serialize(out);
+                dtype.serialize(out);
+            }
+            ManifestRecord::Promote { model, generation } => {
+                out.push(TAG_PROMOTE);
+                model.serialize(out);
+                generation.serialize(out);
+            }
+            ManifestRecord::Delete { model } => {
+                out.push(TAG_DELETE);
+                model.serialize(out);
+            }
+        }
+    }
+}
+
+impl Deserialize for ManifestRecord {
+    fn deserialize(input: &mut &[u8]) -> Result<Self, serde::DecodeError> {
+        match u8::deserialize(input)? {
+            TAG_PUT => Ok(ManifestRecord::Put {
+                model: String::deserialize(input)?,
+                generation: u64::deserialize(input)?,
+                bytes: u64::deserialize(input)?,
+                crc: u32::deserialize(input)?,
+                dtype: u8::deserialize(input)?,
+            }),
+            TAG_PROMOTE => Ok(ManifestRecord::Promote {
+                model: String::deserialize(input)?,
+                generation: u64::deserialize(input)?,
+            }),
+            TAG_DELETE => Ok(ManifestRecord::Delete {
+                model: String::deserialize(input)?,
+            }),
+            _ => Err(serde::DecodeError::Invalid("manifest record tag")),
+        }
+    }
+}
+
+/// Frame one record for appending to the log.
+pub fn encode_record(record: &ManifestRecord) -> Vec<u8> {
+    let mut payload = Vec::new();
+    record.serialize(&mut payload);
+    let mut framed = Vec::with_capacity(payload.len() + 8);
+    framed.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+    framed.extend_from_slice(&crc32(&payload).to_le_bytes());
+    framed.extend_from_slice(&payload);
+    framed
+}
+
+/// What replay saw.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct ReplayReport {
+    /// Complete, checksum-clean records applied.
+    pub records: usize,
+    /// Bytes after the last committed record (a torn append, or garbage).
+    /// Nonzero means the process died mid-append; the tail is ignored.
+    pub torn_bytes: usize,
+}
+
+/// Decode every committed record from raw log bytes. Stops — without
+/// erroring — at the first incomplete or corrupt frame; the remainder is
+/// reported as [`ReplayReport::torn_bytes`].
+pub fn replay(bytes: &[u8]) -> (Vec<ManifestRecord>, ReplayReport) {
+    let mut records = Vec::new();
+    let mut offset = 0usize;
+    while bytes.len() - offset >= 8 {
+        let len = u32::from_le_bytes([
+            bytes[offset],
+            bytes[offset + 1],
+            bytes[offset + 2],
+            bytes[offset + 3],
+        ]) as usize;
+        let stored_crc = u32::from_le_bytes([
+            bytes[offset + 4],
+            bytes[offset + 5],
+            bytes[offset + 6],
+            bytes[offset + 7],
+        ]);
+        let start = offset + 8;
+        let Some(end) = start.checked_add(len).filter(|&e| e <= bytes.len()) else {
+            break; // frame extends past the tear
+        };
+        let payload = &bytes[start..end];
+        if crc32(payload) != stored_crc {
+            break; // torn or corrupted mid-log: nothing after it is trusted
+        }
+        let mut cursor = payload;
+        match ManifestRecord::deserialize(&mut cursor) {
+            Ok(record) if cursor.is_empty() => records.push(record),
+            _ => break, // checksum-clean but undecodable: treat as a tear
+        }
+        offset = end;
+    }
+    let report = ReplayReport {
+        records: records.len(),
+        torn_bytes: bytes.len() - offset,
+    };
+    (records, report)
+}
+
+/// Append one record to the store's manifest.
+pub fn append_record<V: Vfs>(vfs: &V, record: &ManifestRecord) -> Result<(), VfsError> {
+    vfs.append(MANIFEST, &encode_record(record))
+}
+
+/// Read and replay the store's manifest; a missing manifest is an empty
+/// history, not an error.
+pub fn load<V: Vfs>(vfs: &V) -> Result<(Vec<ManifestRecord>, ReplayReport), VfsError> {
+    match vfs.read(MANIFEST) {
+        Ok(bytes) => Ok(replay(&bytes)),
+        Err(VfsError::NotFound { .. }) => Ok((Vec::new(), ReplayReport::default())),
+        Err(e) => Err(e),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_records() -> Vec<ManifestRecord> {
+        vec![
+            ManifestRecord::Put {
+                model: "census".to_string(),
+                generation: 1,
+                bytes: 4096,
+                crc: 0xDEAD_BEEF,
+                dtype: 4,
+            },
+            ManifestRecord::Promote {
+                model: "census".to_string(),
+                generation: 1,
+            },
+            ManifestRecord::Put {
+                model: "roads".to_string(),
+                generation: 1,
+                bytes: 128,
+                crc: 7,
+                dtype: 8,
+            },
+            ManifestRecord::Delete {
+                model: "roads".to_string(),
+            },
+        ]
+    }
+
+    fn log_bytes(records: &[ManifestRecord]) -> Vec<u8> {
+        records.iter().flat_map(encode_record).collect()
+    }
+
+    #[test]
+    fn records_round_trip_through_the_log() {
+        let records = sample_records();
+        let (back, report) = replay(&log_bytes(&records));
+        assert_eq!(back, records);
+        assert_eq!(report.records, 4);
+        assert_eq!(report.torn_bytes, 0);
+    }
+
+    #[test]
+    fn truncation_at_any_byte_keeps_exactly_the_committed_prefix() {
+        let records = sample_records();
+        let bytes = log_bytes(&records);
+        // Committed-record boundaries, for computing the expected prefix.
+        let mut boundaries = vec![0usize];
+        for r in &records {
+            boundaries.push(boundaries.last().unwrap() + encode_record(r).len());
+        }
+        for cut in 0..=bytes.len() {
+            let (back, report) = replay(&bytes[..cut]);
+            let committed = boundaries.iter().filter(|&&b| b <= cut).count() - 1;
+            assert_eq!(back.len(), committed, "cut at {cut}");
+            assert_eq!(back, records[..committed], "cut at {cut}");
+            assert_eq!(
+                report.torn_bytes,
+                cut - boundaries[committed],
+                "cut at {cut}"
+            );
+        }
+    }
+
+    #[test]
+    fn corrupt_frame_stops_replay_at_the_last_good_record() {
+        let records = sample_records();
+        let mut bytes = log_bytes(&records);
+        let second_start = encode_record(&records[0]).len();
+        bytes[second_start + 10] ^= 0xFF; // flip a payload byte of record 2
+        let (back, report) = replay(&bytes);
+        assert_eq!(back, records[..1]);
+        assert!(report.torn_bytes > 0);
+    }
+
+    #[test]
+    fn absurd_length_prefix_is_a_tear_not_a_panic() {
+        let mut bytes = log_bytes(&sample_records()[..1]);
+        bytes.extend_from_slice(&u32::MAX.to_le_bytes());
+        bytes.extend_from_slice(&[0u8; 12]);
+        let (back, report) = replay(&bytes);
+        assert_eq!(back.len(), 1);
+        assert_eq!(report.torn_bytes, 16);
+    }
+
+    #[test]
+    fn append_and_load_through_a_vfs() {
+        let vfs = crate::vfs::MemVfs::new();
+        let (empty, report) = load(&vfs).unwrap();
+        assert!(empty.is_empty());
+        assert_eq!(report, ReplayReport::default());
+        for record in sample_records() {
+            append_record(&vfs, &record).unwrap();
+        }
+        let (back, report) = load(&vfs).unwrap();
+        assert_eq!(back, sample_records());
+        assert_eq!(report.records, 4);
+    }
+}

@@ -1,0 +1,722 @@
+//! The multi-model store: a registry of named models, each a set of
+//! generation-numbered immutable artifact files with one *live* generation,
+//! recovered from the write-ahead manifest on open and garbage-collected by
+//! compaction.
+
+use crate::manifest::{self, ManifestRecord, ReplayReport, MANIFEST};
+use crate::vfs::{Vfs, VfsError};
+use kmeans_core::Scalar;
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+use std::sync::Arc;
+use swkm_obs::MetricsRegistry;
+use swkm_serve::artifact::{crc32, ArtifactError, ModelArtifact, MAGIC};
+
+/// What can go wrong at the store layer.
+#[derive(Debug)]
+pub enum StoreError {
+    /// The storage backend failed.
+    Vfs(VfsError),
+    /// The bytes being stored or loaded are not a valid model artifact.
+    Artifact(ArtifactError),
+    /// Model names become file names; only `[A-Za-z0-9._-]` (not starting
+    /// with a dot) is allowed.
+    BadModelName { name: String },
+    /// The named model is not in the registry.
+    UnknownModel { name: String },
+    /// The model exists but has no such generation.
+    UnknownGeneration { name: String, generation: u64 },
+    /// The model exists but nothing was ever promoted live.
+    NotPromoted { name: String },
+    /// The manifest references an artifact file that is missing or does
+    /// not match its recorded length/checksum — external corruption, since
+    /// files are durably written before their manifest record.
+    ArtifactSkew {
+        name: String,
+        generation: u64,
+        file: String,
+    },
+}
+
+impl std::fmt::Display for StoreError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            StoreError::Vfs(e) => write!(f, "{e}"),
+            StoreError::Artifact(e) => write!(f, "{e}"),
+            StoreError::BadModelName { name } => {
+                write!(f, "bad model name `{name}` (use [A-Za-z0-9._-])")
+            }
+            StoreError::UnknownModel { name } => write!(f, "no model named `{name}` in the store"),
+            StoreError::UnknownGeneration { name, generation } => {
+                write!(f, "model `{name}` has no generation {generation}")
+            }
+            StoreError::NotPromoted { name } => {
+                write!(f, "model `{name}` has no live generation (never promoted)")
+            }
+            StoreError::ArtifactSkew {
+                name,
+                generation,
+                file,
+            } => write!(
+                f,
+                "artifact file `{file}` for {name}@g{generation} is missing or corrupt"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for StoreError {}
+
+impl From<VfsError> for StoreError {
+    fn from(e: VfsError) -> Self {
+        StoreError::Vfs(e)
+    }
+}
+
+impl From<ArtifactError> for StoreError {
+    fn from(e: ArtifactError) -> Self {
+        StoreError::Artifact(e)
+    }
+}
+
+/// One durably-stored generation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct GenInfo {
+    /// Artifact file length.
+    pub bytes: u64,
+    /// The artifact's own trailing CRC-32 (over everything before it).
+    pub crc: u32,
+    /// Element width in bytes (4 = f32, 8 = f64).
+    pub dtype: u8,
+}
+
+/// Registry state of one model.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct ModelState {
+    /// The generation readers see, if one was promoted.
+    pub live: Option<u64>,
+    /// Every durably-written generation still on record.
+    pub generations: BTreeMap<u64, GenInfo>,
+}
+
+/// A row of [`ModelStore::models`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ModelEntry {
+    pub name: String,
+    pub live: Option<u64>,
+    pub generations: usize,
+    /// Total artifact bytes on record across generations.
+    pub bytes: u64,
+    /// Element width of the live (or newest) generation.
+    pub dtype: u8,
+}
+
+/// What a compaction pass reclaimed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct CompactReport {
+    /// Artifact files deleted (stale generations + orphans).
+    pub files_removed: usize,
+    /// Bytes those files held.
+    pub bytes_reclaimed: u64,
+    /// Manifest size before and after the rewrite.
+    pub manifest_bytes_before: u64,
+    pub manifest_bytes_after: u64,
+}
+
+/// Persistent multi-model store over a [`Vfs`] backend.
+///
+/// All mutations are write-ahead logged: the artifact file lands
+/// (atomically) first, then the manifest record, then the in-memory
+/// registry — so a crash at any byte leaves the store recoverable to
+/// exactly the last committed record.
+#[derive(Debug)]
+pub struct ModelStore<V: Vfs> {
+    vfs: V,
+    models: BTreeMap<String, ModelState>,
+    replay: ReplayReport,
+    registry: Option<Arc<MetricsRegistry>>,
+}
+
+/// `model` + generation → immutable artifact file name.
+pub fn artifact_file(model: &str, generation: u64) -> String {
+    format!("{model}.g{generation:06}.art")
+}
+
+fn check_model_name(name: &str) -> Result<(), StoreError> {
+    let ok = !name.is_empty()
+        && !name.starts_with('.')
+        && name
+            .chars()
+            .all(|c| c.is_ascii_alphanumeric() || matches!(c, '.' | '_' | '-'))
+        && name != MANIFEST;
+    if ok {
+        Ok(())
+    } else {
+        Err(StoreError::BadModelName {
+            name: name.to_string(),
+        })
+    }
+}
+
+/// Validate raw bytes as a framed artifact without committing to a scalar
+/// type: magic + overall CRC. Returns `(artifact crc, dtype byte)`.
+fn validate_artifact_bytes(bytes: &[u8]) -> Result<(u32, u8), StoreError> {
+    if bytes.len() < MAGIC.len() + 4 + 1 + 4 || bytes[..MAGIC.len()] != MAGIC {
+        return Err(StoreError::Artifact(ArtifactError::BadMagic));
+    }
+    let (payload, crc_bytes) = bytes.split_at(bytes.len() - 4);
+    let stored = u32::from_le_bytes([crc_bytes[0], crc_bytes[1], crc_bytes[2], crc_bytes[3]]);
+    let computed = crc32(payload);
+    if stored != computed {
+        return Err(StoreError::Artifact(ArtifactError::ChecksumMismatch {
+            stored,
+            computed,
+        }));
+    }
+    Ok((stored, bytes[12]))
+}
+
+impl<V: Vfs> ModelStore<V> {
+    /// Open a store over `vfs`, replaying the manifest into the registry
+    /// and verifying that every *live* generation's artifact file is
+    /// present with its recorded length (cheap skew check; full CRC
+    /// validation happens on load).
+    pub fn open(vfs: V) -> Result<Self, StoreError> {
+        Self::open_with_registry(vfs, None)
+    }
+
+    /// [`ModelStore::open`] recording `store_*` metrics into `registry`.
+    pub fn open_with_registry(
+        vfs: V,
+        registry: Option<Arc<MetricsRegistry>>,
+    ) -> Result<Self, StoreError> {
+        let (records, replay) = manifest::load(&vfs)?;
+        let mut models: BTreeMap<String, ModelState> = BTreeMap::new();
+        for record in records {
+            match record {
+                ManifestRecord::Put {
+                    model,
+                    generation,
+                    bytes,
+                    crc,
+                    dtype,
+                } => {
+                    models
+                        .entry(model)
+                        .or_default()
+                        .generations
+                        .insert(generation, GenInfo { bytes, crc, dtype });
+                }
+                ManifestRecord::Promote { model, generation } => {
+                    // A Promote is only ever logged after its Put, so a
+                    // committed prefix always has the generation on record.
+                    if let Some(state) = models.get_mut(&model) {
+                        if state.generations.contains_key(&generation) {
+                            state.live = Some(generation);
+                        }
+                    }
+                }
+                ManifestRecord::Delete { model } => {
+                    models.remove(&model);
+                }
+            }
+        }
+        let store = ModelStore {
+            vfs,
+            models,
+            replay,
+            registry,
+        };
+        for (name, state) in &store.models {
+            if let Some(live) = state.live {
+                let info = state.generations[&live];
+                let file = artifact_file(name, live);
+                if store.vfs.size(&file).ok() != Some(info.bytes) {
+                    return Err(StoreError::ArtifactSkew {
+                        name: name.clone(),
+                        generation: live,
+                        file,
+                    });
+                }
+            }
+        }
+        if let Some(reg) = &store.registry {
+            reg.counter_add("store_replay_records_total", store.replay.records as u64);
+            reg.counter_add(
+                "store_replay_torn_bytes_total",
+                store.replay.torn_bytes as u64,
+            );
+        }
+        store.refresh_gauges();
+        Ok(store)
+    }
+
+    /// The replay outcome of the open that built this store.
+    pub fn replay_report(&self) -> ReplayReport {
+        self.replay
+    }
+
+    /// The backing filesystem.
+    pub fn vfs(&self) -> &V {
+        &self.vfs
+    }
+
+    fn count(&self, name: &str) {
+        if let Some(reg) = &self.registry {
+            reg.counter_inc(name);
+        }
+    }
+
+    fn refresh_gauges(&self) {
+        let Some(reg) = &self.registry else { return };
+        let generations: usize = self.models.values().map(|s| s.generations.len()).sum();
+        let bytes: u64 = self
+            .models
+            .values()
+            .flat_map(|s| s.generations.values())
+            .map(|g| g.bytes)
+            .sum();
+        reg.gauge_set("store_models", self.models.len() as f64);
+        reg.gauge_set("store_generations", generations as f64);
+        reg.gauge_set("store_bytes", bytes as f64);
+        reg.gauge_set(
+            "store_manifest_bytes",
+            self.vfs.size(MANIFEST).unwrap_or(0) as f64,
+        );
+    }
+
+    /// Durably add `bytes` (a complete framed artifact) as the next
+    /// generation of `model`. The generation is on record but **not live**
+    /// until [`ModelStore::promote`]. Returns the new generation number.
+    pub fn put_bytes(&mut self, model: &str, bytes: &[u8]) -> Result<u64, StoreError> {
+        check_model_name(model)?;
+        let (crc, dtype) = validate_artifact_bytes(bytes)?;
+        let state = self.models.entry(model.to_string()).or_default();
+        let generation = state.generations.keys().next_back().copied().unwrap_or(0) + 1;
+        // Artifact file first (atomic), manifest record second: a record
+        // that survives replay always points at a complete file.
+        self.vfs
+            .write_atomic(&artifact_file(model, generation), bytes)?;
+        manifest::append_record(
+            &self.vfs,
+            &ManifestRecord::Put {
+                model: model.to_string(),
+                generation,
+                bytes: bytes.len() as u64,
+                crc,
+                dtype,
+            },
+        )?;
+        self.models
+            .entry(model.to_string())
+            .or_default()
+            .generations
+            .insert(
+                generation,
+                GenInfo {
+                    bytes: bytes.len() as u64,
+                    crc,
+                    dtype,
+                },
+            );
+        self.count("store_put_total");
+        self.refresh_gauges();
+        Ok(generation)
+    }
+
+    /// Durably add an artifact as the next generation of `model` (not yet
+    /// live).
+    pub fn put<S: Scalar + Serialize + Deserialize>(
+        &mut self,
+        model: &str,
+        artifact: &ModelArtifact<S>,
+    ) -> Result<u64, StoreError> {
+        self.put_bytes(model, &artifact.to_bytes())
+    }
+
+    /// Atomically bump the live generation of `model` to `generation` —
+    /// the zero-downtime hot-swap commit point. Promoting an older
+    /// generation is a rollback.
+    pub fn promote(&mut self, model: &str, generation: u64) -> Result<(), StoreError> {
+        let state = self
+            .models
+            .get_mut(model)
+            .ok_or_else(|| StoreError::UnknownModel {
+                name: model.to_string(),
+            })?;
+        if !state.generations.contains_key(&generation) {
+            return Err(StoreError::UnknownGeneration {
+                name: model.to_string(),
+                generation,
+            });
+        }
+        manifest::append_record(
+            &self.vfs,
+            &ManifestRecord::Promote {
+                model: model.to_string(),
+                generation,
+            },
+        )?;
+        // The registry only moves after the record is durable.
+        if let Some(state) = self.models.get_mut(model) {
+            state.live = Some(generation);
+        }
+        self.count("store_promote_total");
+        self.refresh_gauges();
+        Ok(())
+    }
+
+    /// [`ModelStore::put`] + [`ModelStore::promote`] in one call: write the
+    /// next generation and make it live. Returns the generation.
+    pub fn publish<S: Scalar + Serialize + Deserialize>(
+        &mut self,
+        model: &str,
+        artifact: &ModelArtifact<S>,
+    ) -> Result<u64, StoreError> {
+        let generation = self.put(model, artifact)?;
+        self.promote(model, generation)?;
+        Ok(generation)
+    }
+
+    /// Live generation of `model`, if promoted.
+    pub fn live_generation(&self, model: &str) -> Option<u64> {
+        self.models.get(model).and_then(|s| s.live)
+    }
+
+    /// Registry state of `model`.
+    pub fn state(&self, model: &str) -> Option<&ModelState> {
+        self.models.get(model)
+    }
+
+    /// Load and fully validate (CRC, dtype, shape) a specific generation.
+    pub fn load_generation<S: Scalar + Serialize + Deserialize>(
+        &self,
+        model: &str,
+        generation: u64,
+    ) -> Result<ModelArtifact<S>, StoreError> {
+        let state = self
+            .models
+            .get(model)
+            .ok_or_else(|| StoreError::UnknownModel {
+                name: model.to_string(),
+            })?;
+        if !state.generations.contains_key(&generation) {
+            return Err(StoreError::UnknownGeneration {
+                name: model.to_string(),
+                generation,
+            });
+        }
+        let bytes = self.vfs.read(&artifact_file(model, generation))?;
+        Ok(ModelArtifact::from_bytes(&bytes)?)
+    }
+
+    /// Load the live generation. Returns `(generation, artifact)`.
+    pub fn load_live<S: Scalar + Serialize + Deserialize>(
+        &self,
+        model: &str,
+    ) -> Result<(u64, ModelArtifact<S>), StoreError> {
+        let state = self
+            .models
+            .get(model)
+            .ok_or_else(|| StoreError::UnknownModel {
+                name: model.to_string(),
+            })?;
+        let live = state.live.ok_or_else(|| StoreError::NotPromoted {
+            name: model.to_string(),
+        })?;
+        Ok((live, self.load_generation(model, live)?))
+    }
+
+    /// Remove `model` from the registry. Its artifact files linger until
+    /// [`ModelStore::compact`] garbage-collects them (LSM-style deferred
+    /// deletion: the delete itself is one cheap log append).
+    pub fn delete(&mut self, model: &str) -> Result<(), StoreError> {
+        if !self.models.contains_key(model) {
+            return Err(StoreError::UnknownModel {
+                name: model.to_string(),
+            });
+        }
+        manifest::append_record(
+            &self.vfs,
+            &ManifestRecord::Delete {
+                model: model.to_string(),
+            },
+        )?;
+        self.models.remove(model);
+        self.count("store_delete_total");
+        self.refresh_gauges();
+        Ok(())
+    }
+
+    /// Every model on record, sorted by name.
+    pub fn models(&self) -> Vec<ModelEntry> {
+        self.models
+            .iter()
+            .map(|(name, state)| {
+                let dtype = state
+                    .live
+                    .or_else(|| state.generations.keys().next_back().copied())
+                    .and_then(|g| state.generations.get(&g))
+                    .map_or(0, |info| info.dtype);
+                ModelEntry {
+                    name: name.clone(),
+                    live: state.live,
+                    generations: state.generations.len(),
+                    bytes: state.generations.values().map(|g| g.bytes).sum(),
+                    dtype,
+                }
+            })
+            .collect()
+    }
+
+    /// Total artifact bytes on record.
+    pub fn total_bytes(&self) -> u64 {
+        self.models
+            .values()
+            .flat_map(|s| s.generations.values())
+            .map(|g| g.bytes)
+            .sum()
+    }
+
+    /// Garbage-collect: drop every non-live generation from the registry,
+    /// rewrite the manifest to just the live state (atomic whole-file
+    /// replacement), and delete artifact files no surviving generation
+    /// references — including orphans from crashes between an artifact
+    /// write and its manifest append.
+    pub fn compact(&mut self) -> Result<CompactReport, StoreError> {
+        let manifest_bytes_before = self.vfs.size(MANIFEST).unwrap_or(0);
+        // Retain only live generations.
+        for state in self.models.values_mut() {
+            let live = state.live;
+            state.generations.retain(|g, _| Some(*g) == live);
+        }
+        self.models.retain(|_, s| !s.generations.is_empty());
+        // Rewrite the manifest first: after the (atomic) swap, no record
+        // references the files about to be deleted.
+        let mut log = Vec::new();
+        for (name, state) in &self.models {
+            for (&generation, info) in &state.generations {
+                log.extend_from_slice(&manifest::encode_record(&ManifestRecord::Put {
+                    model: name.clone(),
+                    generation,
+                    bytes: info.bytes,
+                    crc: info.crc,
+                    dtype: info.dtype,
+                }));
+            }
+            if let Some(live) = state.live {
+                log.extend_from_slice(&manifest::encode_record(&ManifestRecord::Promote {
+                    model: name.clone(),
+                    generation: live,
+                }));
+            }
+        }
+        self.vfs.write_atomic(MANIFEST, &log)?;
+        // Now delete unreferenced artifact files.
+        let referenced: std::collections::BTreeSet<String> = self
+            .models
+            .iter()
+            .flat_map(|(name, state)| {
+                state
+                    .generations
+                    .keys()
+                    .map(move |&g| artifact_file(name, g))
+            })
+            .collect();
+        let mut report = CompactReport {
+            manifest_bytes_before,
+            manifest_bytes_after: log.len() as u64,
+            ..CompactReport::default()
+        };
+        for file in self.vfs.list()? {
+            if file != MANIFEST && !referenced.contains(&file) {
+                report.bytes_reclaimed += self.vfs.size(&file).unwrap_or(0);
+                self.vfs.remove(&file)?;
+                report.files_removed += 1;
+            }
+        }
+        if let Some(reg) = &self.registry {
+            reg.counter_inc("store_compact_runs_total");
+            reg.counter_add("store_gc_files_total", report.files_removed as u64);
+            reg.counter_add("store_gc_bytes_total", report.bytes_reclaimed);
+        }
+        self.refresh_gauges();
+        Ok(report)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::vfs::MemVfs;
+    use kmeans_core::Matrix;
+
+    fn artifact(seed: f32, k: usize, d: usize) -> ModelArtifact<f32> {
+        let data = (0..k * d).map(|i| seed + i as f32 * 0.5).collect();
+        ModelArtifact::from_centroids(Matrix::from_vec(k, d, data))
+    }
+
+    fn store() -> ModelStore<MemVfs> {
+        ModelStore::open(MemVfs::new()).unwrap()
+    }
+
+    #[test]
+    fn publish_load_round_trip() {
+        let mut s = store();
+        let a = artifact(1.0, 4, 3);
+        assert_eq!(s.publish("m", &a).unwrap(), 1);
+        let (generation, back) = s.load_live::<f32>("m").unwrap();
+        assert_eq!(generation, 1);
+        assert_eq!(back, a);
+        assert_eq!(s.live_generation("m"), Some(1));
+    }
+
+    #[test]
+    fn generations_are_immutable_and_monotone() {
+        let mut s = store();
+        let g1 = s.publish("m", &artifact(1.0, 2, 2)).unwrap();
+        let g2 = s.publish("m", &artifact(9.0, 2, 2)).unwrap();
+        assert_eq!((g1, g2), (1, 2));
+        // Both generations remain loadable; live is the newest.
+        assert_eq!(
+            s.load_generation::<f32>("m", 1).unwrap(),
+            artifact(1.0, 2, 2)
+        );
+        assert_eq!(s.load_live::<f32>("m").unwrap().0, 2);
+    }
+
+    #[test]
+    fn promote_rolls_back_to_an_older_generation() {
+        let mut s = store();
+        s.publish("m", &artifact(1.0, 2, 2)).unwrap();
+        s.publish("m", &artifact(2.0, 2, 2)).unwrap();
+        s.promote("m", 1).unwrap();
+        assert_eq!(s.load_live::<f32>("m").unwrap().0, 1);
+        // Unknown generation / model are typed errors.
+        assert!(matches!(
+            s.promote("m", 9),
+            Err(StoreError::UnknownGeneration { generation: 9, .. })
+        ));
+        assert!(matches!(
+            s.promote("ghost", 1),
+            Err(StoreError::UnknownModel { .. })
+        ));
+    }
+
+    #[test]
+    fn put_without_promote_is_not_visible() {
+        let mut s = store();
+        s.put("m", &artifact(1.0, 2, 2)).unwrap();
+        assert_eq!(s.live_generation("m"), None);
+        assert!(matches!(
+            s.load_live::<f32>("m"),
+            Err(StoreError::NotPromoted { .. })
+        ));
+    }
+
+    #[test]
+    fn corrupt_bytes_are_rejected_before_touching_storage() {
+        let mut s = store();
+        let mut bytes = artifact(1.0, 2, 2).to_bytes();
+        bytes[20] ^= 1;
+        assert!(matches!(
+            s.put_bytes("m", &bytes),
+            Err(StoreError::Artifact(ArtifactError::ChecksumMismatch { .. }))
+        ));
+        assert!(matches!(
+            s.put_bytes("m", b"not an artifact"),
+            Err(StoreError::Artifact(ArtifactError::BadMagic))
+        ));
+        assert!(s.models().is_empty());
+        assert_eq!(s.vfs().list().unwrap(), Vec::<String>::new());
+    }
+
+    #[test]
+    fn bad_model_names_are_rejected() {
+        let mut s = store();
+        for name in ["", "a/b", ".hidden", "MANIFEST.log", "sp ace"] {
+            assert!(
+                matches!(
+                    s.put(name, &artifact(1.0, 2, 2)),
+                    Err(StoreError::BadModelName { .. })
+                ),
+                "`{name}` accepted"
+            );
+        }
+    }
+
+    #[test]
+    fn reopen_recovers_the_registry() {
+        let vfs = crate::vfs::SharedMemVfs::new();
+        let mut s = ModelStore::open(vfs.clone()).unwrap();
+        s.publish("a", &artifact(1.0, 3, 2)).unwrap();
+        s.publish("a", &artifact(2.0, 3, 2)).unwrap();
+        s.publish("b", &artifact(3.0, 2, 4)).unwrap();
+        s.delete("b").unwrap();
+        let before = s.models();
+        drop(s);
+        let reopened = ModelStore::open(vfs).unwrap();
+        assert_eq!(reopened.models(), before);
+        assert_eq!(reopened.load_live::<f32>("a").unwrap().0, 2);
+        assert!(matches!(
+            reopened.load_live::<f32>("b"),
+            Err(StoreError::UnknownModel { .. })
+        ));
+    }
+
+    #[test]
+    fn compaction_drops_stale_generations_and_orphans() {
+        let mut s = store();
+        s.publish("m", &artifact(1.0, 2, 2)).unwrap();
+        s.publish("m", &artifact(2.0, 2, 2)).unwrap();
+        s.publish("m", &artifact(3.0, 2, 2)).unwrap();
+        s.publish("dead", &artifact(4.0, 2, 2)).unwrap();
+        s.delete("dead").unwrap();
+        // An orphan from a simulated crash between file write and append.
+        s.vfs()
+            .write_atomic(&artifact_file("m", 99), b"orphan")
+            .unwrap();
+        let report = s.compact().unwrap();
+        // Stale m@1, m@2, dead@1 and the orphan are gone; live m@3 stays.
+        assert_eq!(report.files_removed, 4);
+        assert!(report.bytes_reclaimed > 0);
+        assert!(report.manifest_bytes_after < report.manifest_bytes_before);
+        assert_eq!(
+            s.vfs().list().unwrap(),
+            vec![MANIFEST.to_string(), artifact_file("m", 3)]
+        );
+        assert_eq!(s.load_live::<f32>("m").unwrap().0, 3);
+        // The next generation after compaction keeps counting upward.
+        assert_eq!(s.publish("m", &artifact(5.0, 2, 2)).unwrap(), 4);
+    }
+
+    #[test]
+    fn dtype_is_tracked_and_mismatches_are_typed() {
+        let mut s = store();
+        let f64_artifact =
+            ModelArtifact::<f64>::from_centroids(Matrix::from_rows(&[&[1.0f64, 2.0]]));
+        s.publish("wide", &f64_artifact).unwrap();
+        assert_eq!(s.models()[0].dtype, 8);
+        assert!(matches!(
+            s.load_live::<f32>("wide"),
+            Err(StoreError::Artifact(ArtifactError::DtypeMismatch { .. }))
+        ));
+        assert!(s.load_live::<f64>("wide").is_ok());
+    }
+
+    #[test]
+    fn metrics_flow_into_the_registry() {
+        let reg = MetricsRegistry::shared();
+        let mut s = ModelStore::open_with_registry(MemVfs::new(), Some(Arc::clone(&reg))).unwrap();
+        s.publish("m", &artifact(1.0, 2, 2)).unwrap();
+        s.publish("m", &artifact(2.0, 2, 2)).unwrap();
+        s.compact().unwrap();
+        assert_eq!(reg.counter("store_put_total"), 2);
+        assert_eq!(reg.counter("store_promote_total"), 2);
+        assert_eq!(reg.counter("store_compact_runs_total"), 1);
+        assert_eq!(reg.counter("store_gc_files_total"), 1);
+        assert_eq!(reg.gauge("store_models"), Some(1.0));
+        assert_eq!(reg.gauge("store_generations"), Some(1.0));
+        assert!(reg.gauge("store_bytes").unwrap() > 0.0);
+    }
+}

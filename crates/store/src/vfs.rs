@@ -1,0 +1,496 @@
+//! The virtual filesystem beneath the model store.
+//!
+//! [`ModelStore`](crate::ModelStore) never touches `std::fs` directly; it
+//! speaks this small trait, so the same store logic runs over three
+//! backends (mirroring the anchored-leveldb layering):
+//!
+//! * [`StdVfs`] — a directory on the real filesystem. Writes are made
+//!   durable: whole-file replacement goes through a unique sibling temp
+//!   file + `fsync` + atomic rename, and every log append is flushed
+//!   before it is acknowledged.
+//! * [`MemVfs`] — an in-memory map for single-threaded tests; cheap enough
+//!   to rebuild at every byte-boundary of a crash-recovery sweep.
+//! * [`SharedMemVfs`] — the thread-safe in-memory backend; clones share
+//!   one underlying map, so a "restarted" store opened from a clone sees
+//!   exactly what the "crashed" store had durably written.
+//!
+//! The namespace is flat: a store owns one directory, and names like
+//! `MANIFEST.log` or `census.g000003.art` never contain separators.
+
+use std::cell::RefCell;
+use std::collections::BTreeMap;
+use std::io::Write;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+/// What can go wrong at the storage layer.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum VfsError {
+    /// The named file does not exist.
+    NotFound { name: String },
+    /// An underlying I/O operation failed (std backend only).
+    Io {
+        name: String,
+        op: &'static str,
+        message: String,
+    },
+    /// The name is not usable in this flat namespace (empty, contains a
+    /// separator, or starts with the temp-file marker).
+    BadName { name: String },
+}
+
+impl std::fmt::Display for VfsError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            VfsError::NotFound { name } => write!(f, "no such store file `{name}`"),
+            VfsError::Io { name, op, message } => {
+                write!(f, "store I/O error: {op} `{name}`: {message}")
+            }
+            VfsError::BadName { name } => write!(f, "bad store file name `{name}`"),
+        }
+    }
+}
+
+impl std::error::Error for VfsError {}
+
+/// Leading marker for scratch files; [`Vfs::list`] hides them and
+/// [`check_name`] rejects them, so a crash mid-replacement can never leave
+/// a half-written file masquerading as a store file.
+const TEMP_PREFIX: &str = ".tmp.";
+
+fn check_name(name: &str) -> Result<(), VfsError> {
+    if name.is_empty()
+        || name.contains(['/', '\\'])
+        || name.starts_with(TEMP_PREFIX)
+        || name == "."
+        || name == ".."
+    {
+        return Err(VfsError::BadName {
+            name: name.to_string(),
+        });
+    }
+    Ok(())
+}
+
+/// Storage operations the model store needs — object-safe, so callers can
+/// hold a `Box<dyn Vfs + Send>` and pick the backend at runtime.
+pub trait Vfs {
+    /// Entire contents of `name`.
+    fn read(&self, name: &str) -> Result<Vec<u8>, VfsError>;
+
+    /// Durably replace `name` with `bytes`. All-or-nothing: a crash during
+    /// the call leaves either the old contents or the new, never a mix.
+    fn write_atomic(&self, name: &str, bytes: &[u8]) -> Result<(), VfsError>;
+
+    /// Append `bytes` to `name` (creating it empty first if absent),
+    /// flushed to stable storage before returning — the WAL primitive.
+    fn append(&self, name: &str, bytes: &[u8]) -> Result<(), VfsError>;
+
+    /// Delete `name`. Deleting a missing file is `NotFound`.
+    fn remove(&self, name: &str) -> Result<(), VfsError>;
+
+    /// Does `name` exist?
+    fn exists(&self, name: &str) -> bool;
+
+    /// All store files, sorted by name (scratch files excluded).
+    fn list(&self) -> Result<Vec<String>, VfsError>;
+
+    /// Size of `name` in bytes.
+    fn size(&self, name: &str) -> Result<u64, VfsError>;
+}
+
+impl<V: Vfs + ?Sized> Vfs for &V {
+    fn read(&self, name: &str) -> Result<Vec<u8>, VfsError> {
+        (**self).read(name)
+    }
+    fn write_atomic(&self, name: &str, bytes: &[u8]) -> Result<(), VfsError> {
+        (**self).write_atomic(name, bytes)
+    }
+    fn append(&self, name: &str, bytes: &[u8]) -> Result<(), VfsError> {
+        (**self).append(name, bytes)
+    }
+    fn remove(&self, name: &str) -> Result<(), VfsError> {
+        (**self).remove(name)
+    }
+    fn exists(&self, name: &str) -> bool {
+        (**self).exists(name)
+    }
+    fn list(&self) -> Result<Vec<String>, VfsError> {
+        (**self).list()
+    }
+    fn size(&self, name: &str) -> Result<u64, VfsError> {
+        (**self).size(name)
+    }
+}
+
+impl<V: Vfs + ?Sized> Vfs for Box<V> {
+    fn read(&self, name: &str) -> Result<Vec<u8>, VfsError> {
+        (**self).read(name)
+    }
+    fn write_atomic(&self, name: &str, bytes: &[u8]) -> Result<(), VfsError> {
+        (**self).write_atomic(name, bytes)
+    }
+    fn append(&self, name: &str, bytes: &[u8]) -> Result<(), VfsError> {
+        (**self).append(name, bytes)
+    }
+    fn remove(&self, name: &str) -> Result<(), VfsError> {
+        (**self).remove(name)
+    }
+    fn exists(&self, name: &str) -> bool {
+        (**self).exists(name)
+    }
+    fn list(&self) -> Result<Vec<String>, VfsError> {
+        (**self).list()
+    }
+    fn size(&self, name: &str) -> Result<u64, VfsError> {
+        (**self).size(name)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Std filesystem backend
+// ---------------------------------------------------------------------------
+
+/// A store directory on the real filesystem.
+#[derive(Debug)]
+pub struct StdVfs {
+    root: PathBuf,
+}
+
+/// Process-wide sequence for unique scratch names, so concurrent
+/// replacements of sibling files never share a temp file.
+static TEMP_SEQ: AtomicU64 = AtomicU64::new(0);
+
+fn io_err(name: &str, op: &'static str, e: std::io::Error) -> VfsError {
+    if e.kind() == std::io::ErrorKind::NotFound {
+        VfsError::NotFound {
+            name: name.to_string(),
+        }
+    } else {
+        VfsError::Io {
+            name: name.to_string(),
+            op,
+            message: e.to_string(),
+        }
+    }
+}
+
+impl StdVfs {
+    /// Open (creating if needed) the store directory at `root`.
+    pub fn open(root: impl AsRef<Path>) -> Result<Self, VfsError> {
+        let root = root.as_ref().to_path_buf();
+        std::fs::create_dir_all(&root)
+            .map_err(|e| io_err(&root.display().to_string(), "create dir", e))?;
+        Ok(StdVfs { root })
+    }
+
+    pub fn root(&self) -> &Path {
+        &self.root
+    }
+
+    fn path(&self, name: &str) -> PathBuf {
+        self.root.join(name)
+    }
+}
+
+impl Vfs for StdVfs {
+    fn read(&self, name: &str) -> Result<Vec<u8>, VfsError> {
+        check_name(name)?;
+        std::fs::read(self.path(name)).map_err(|e| io_err(name, "read", e))
+    }
+
+    fn write_atomic(&self, name: &str, bytes: &[u8]) -> Result<(), VfsError> {
+        check_name(name)?;
+        let seq = TEMP_SEQ.fetch_add(1, Ordering::Relaxed);
+        let tmp = self.path(&format!("{TEMP_PREFIX}{name}.{}.{seq}", std::process::id()));
+        let write = (|| {
+            let mut f = std::fs::File::create(&tmp)?;
+            f.write_all(bytes)?;
+            // Contents must hit the disk before the rename publishes them.
+            f.sync_all()
+        })();
+        if let Err(e) = write {
+            let _ = std::fs::remove_file(&tmp);
+            return Err(io_err(name, "write temp", e));
+        }
+        std::fs::rename(&tmp, self.path(name)).map_err(|e| {
+            let _ = std::fs::remove_file(&tmp);
+            io_err(name, "rename temp into place", e)
+        })
+    }
+
+    fn append(&self, name: &str, bytes: &[u8]) -> Result<(), VfsError> {
+        check_name(name)?;
+        let mut f = std::fs::OpenOptions::new()
+            .create(true)
+            .append(true)
+            .open(self.path(name))
+            .map_err(|e| io_err(name, "open for append", e))?;
+        f.write_all(bytes)
+            .and_then(|()| f.sync_all())
+            .map_err(|e| io_err(name, "append", e))
+    }
+
+    fn remove(&self, name: &str) -> Result<(), VfsError> {
+        check_name(name)?;
+        std::fs::remove_file(self.path(name)).map_err(|e| io_err(name, "remove", e))
+    }
+
+    fn exists(&self, name: &str) -> bool {
+        check_name(name).is_ok() && self.path(name).exists()
+    }
+
+    fn list(&self) -> Result<Vec<String>, VfsError> {
+        let dir = std::fs::read_dir(&self.root)
+            .map_err(|e| io_err(&self.root.display().to_string(), "list", e))?;
+        let mut names = Vec::new();
+        for entry in dir {
+            let entry =
+                entry.map_err(|e| io_err(&self.root.display().to_string(), "list entry", e))?;
+            if let Some(name) = entry.file_name().to_str() {
+                if !name.starts_with(TEMP_PREFIX) {
+                    names.push(name.to_string());
+                }
+            }
+        }
+        names.sort();
+        Ok(names)
+    }
+
+    fn size(&self, name: &str) -> Result<u64, VfsError> {
+        check_name(name)?;
+        std::fs::metadata(self.path(name))
+            .map(|m| m.len())
+            .map_err(|e| io_err(name, "stat", e))
+    }
+}
+
+// ---------------------------------------------------------------------------
+// In-memory backends
+// ---------------------------------------------------------------------------
+
+fn mem_read(files: &BTreeMap<String, Vec<u8>>, name: &str) -> Result<Vec<u8>, VfsError> {
+    files.get(name).cloned().ok_or_else(|| VfsError::NotFound {
+        name: name.to_string(),
+    })
+}
+
+fn mem_remove(files: &mut BTreeMap<String, Vec<u8>>, name: &str) -> Result<(), VfsError> {
+    files
+        .remove(name)
+        .map(|_| ())
+        .ok_or_else(|| VfsError::NotFound {
+            name: name.to_string(),
+        })
+}
+
+fn mem_size(files: &BTreeMap<String, Vec<u8>>, name: &str) -> Result<u64, VfsError> {
+    files
+        .get(name)
+        .map(|b| b.len() as u64)
+        .ok_or_else(|| VfsError::NotFound {
+            name: name.to_string(),
+        })
+}
+
+/// Single-threaded in-memory backend. `Send` but not `Sync`; for a store
+/// shared across threads use [`SharedMemVfs`].
+#[derive(Debug, Default)]
+pub struct MemVfs {
+    files: RefCell<BTreeMap<String, Vec<u8>>>,
+}
+
+impl MemVfs {
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+impl Vfs for MemVfs {
+    fn read(&self, name: &str) -> Result<Vec<u8>, VfsError> {
+        check_name(name)?;
+        mem_read(&self.files.borrow(), name)
+    }
+
+    fn write_atomic(&self, name: &str, bytes: &[u8]) -> Result<(), VfsError> {
+        check_name(name)?;
+        self.files
+            .borrow_mut()
+            .insert(name.to_string(), bytes.to_vec());
+        Ok(())
+    }
+
+    fn append(&self, name: &str, bytes: &[u8]) -> Result<(), VfsError> {
+        check_name(name)?;
+        self.files
+            .borrow_mut()
+            .entry(name.to_string())
+            .or_default()
+            .extend_from_slice(bytes);
+        Ok(())
+    }
+
+    fn remove(&self, name: &str) -> Result<(), VfsError> {
+        check_name(name)?;
+        mem_remove(&mut self.files.borrow_mut(), name)
+    }
+
+    fn exists(&self, name: &str) -> bool {
+        self.files.borrow().contains_key(name)
+    }
+
+    fn list(&self) -> Result<Vec<String>, VfsError> {
+        Ok(self.files.borrow().keys().cloned().collect())
+    }
+
+    fn size(&self, name: &str) -> Result<u64, VfsError> {
+        check_name(name)?;
+        mem_size(&self.files.borrow(), name)
+    }
+}
+
+/// Thread-safe in-memory backend. Cloning shares the underlying map, so a
+/// crash-recovery test can "restart" a store over the same bytes while the
+/// first handle is still in scope.
+#[derive(Debug, Clone, Default)]
+pub struct SharedMemVfs {
+    files: Arc<Mutex<BTreeMap<String, Vec<u8>>>>,
+}
+
+impl SharedMemVfs {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, BTreeMap<String, Vec<u8>>> {
+        self.files.lock().unwrap_or_else(|e| e.into_inner())
+    }
+}
+
+impl Vfs for SharedMemVfs {
+    fn read(&self, name: &str) -> Result<Vec<u8>, VfsError> {
+        check_name(name)?;
+        mem_read(&self.lock(), name)
+    }
+
+    fn write_atomic(&self, name: &str, bytes: &[u8]) -> Result<(), VfsError> {
+        check_name(name)?;
+        self.lock().insert(name.to_string(), bytes.to_vec());
+        Ok(())
+    }
+
+    fn append(&self, name: &str, bytes: &[u8]) -> Result<(), VfsError> {
+        check_name(name)?;
+        self.lock()
+            .entry(name.to_string())
+            .or_default()
+            .extend_from_slice(bytes);
+        Ok(())
+    }
+
+    fn remove(&self, name: &str) -> Result<(), VfsError> {
+        check_name(name)?;
+        mem_remove(&mut self.lock(), name)
+    }
+
+    fn exists(&self, name: &str) -> bool {
+        self.lock().contains_key(name)
+    }
+
+    fn list(&self) -> Result<Vec<String>, VfsError> {
+        Ok(self.lock().keys().cloned().collect())
+    }
+
+    fn size(&self, name: &str) -> Result<u64, VfsError> {
+        check_name(name)?;
+        mem_size(&self.lock(), name)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn exercise(vfs: &dyn Vfs) {
+        assert!(!vfs.exists("a"));
+        assert_eq!(
+            vfs.read("a"),
+            Err(VfsError::NotFound {
+                name: "a".to_string()
+            })
+        );
+        vfs.write_atomic("a", b"one").unwrap();
+        assert_eq!(vfs.read("a").unwrap(), b"one");
+        vfs.write_atomic("a", b"two").unwrap();
+        assert_eq!(vfs.read("a").unwrap(), b"two");
+        vfs.append("log", b"x").unwrap();
+        vfs.append("log", b"yz").unwrap();
+        assert_eq!(vfs.read("log").unwrap(), b"xyz");
+        assert_eq!(vfs.size("log").unwrap(), 3);
+        assert_eq!(
+            vfs.list().unwrap(),
+            vec!["a".to_string(), "log".to_string()]
+        );
+        vfs.remove("a").unwrap();
+        assert!(!vfs.exists("a"));
+        assert!(matches!(vfs.remove("a"), Err(VfsError::NotFound { .. })));
+        // Names that would escape the flat namespace are rejected, not
+        // passed through to the backing storage.
+        for bad in ["", "a/b", "a\\b", ".", "..", ".tmp.sneaky"] {
+            assert!(
+                matches!(vfs.write_atomic(bad, b""), Err(VfsError::BadName { .. })),
+                "`{bad}` accepted"
+            );
+        }
+    }
+
+    #[test]
+    fn mem_backend_contract() {
+        exercise(&MemVfs::new());
+    }
+
+    #[test]
+    fn shared_mem_backend_contract() {
+        exercise(&SharedMemVfs::new());
+    }
+
+    #[test]
+    fn std_backend_contract() {
+        let dir = std::env::temp_dir().join(format!("swkm_vfs_test_{}", std::process::id()));
+        std::fs::remove_dir_all(&dir).ok();
+        exercise(&StdVfs::open(&dir).unwrap());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn shared_mem_clones_share_state() {
+        let a = SharedMemVfs::new();
+        let b = a.clone();
+        a.write_atomic("f", b"shared").unwrap();
+        assert_eq!(b.read("f").unwrap(), b"shared");
+    }
+
+    #[test]
+    fn std_write_atomic_leaves_no_scratch_files() {
+        let dir = std::env::temp_dir().join(format!("swkm_vfs_scratch_{}", std::process::id()));
+        std::fs::remove_dir_all(&dir).ok();
+        let vfs = StdVfs::open(&dir).unwrap();
+        for i in 0..10 {
+            vfs.write_atomic("f", format!("v{i}").as_bytes()).unwrap();
+        }
+        let all: Vec<_> = std::fs::read_dir(&dir)
+            .unwrap()
+            .map(|e| e.unwrap().file_name().into_string().unwrap())
+            .collect();
+        assert_eq!(all, vec!["f".to_string()], "{all:?}");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn boxed_dyn_vfs_is_usable() {
+        let vfs: Box<dyn Vfs + Send> = Box::new(SharedMemVfs::new());
+        vfs.write_atomic("f", b"boxed").unwrap();
+        assert_eq!(vfs.read("f").unwrap(), b"boxed");
+    }
+}
