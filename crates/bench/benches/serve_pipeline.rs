@@ -3,7 +3,9 @@
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use kmeans_core::Matrix;
-use swkm_serve::{Kernel, PipelineConfig, Server, ShardedIndex};
+use std::sync::Arc;
+use swkm_obs::TraceBuffer;
+use swkm_serve::{Kernel, PipelineConfig, ServeTracing, Server, ShardedIndex};
 
 fn synthetic_centroids(k: usize, d: usize) -> Matrix<f32> {
     Matrix::from_vec(k, d, (0..k * d).map(|i| (i as f32 * 0.13).sin()).collect())
@@ -47,6 +49,40 @@ fn pipeline_round_trip(c: &mut Criterion) {
     let sample: Vec<f32> = (0..d).map(|i| (i as f32 * 0.7).cos()).collect();
     group.throughput(Throughput::Elements(1));
     group.bench_function("predict", |b| {
+        b.iter(|| client.predict(sample.clone()).unwrap())
+    });
+    drop(client);
+    server.shutdown();
+
+    // Tracing compiled in but switched off must be indistinguishable from
+    // no tracing at all (<2%): the push path is one relaxed atomic load.
+    let disabled = TraceBuffer::shared(1 << 14);
+    disabled.set_enabled(false);
+    let index = ShardedIndex::new(synthetic_centroids(k, d), 4);
+    let server = Server::start_traced(
+        index,
+        PipelineConfig::default(),
+        swkm_obs::MetricsRegistry::shared(),
+        ServeTracing::new(Arc::clone(&disabled), None),
+    );
+    let client = server.client();
+    group.bench_function("predict_trace_disabled", |b| {
+        b.iter(|| client.predict(sample.clone()).unwrap())
+    });
+    drop(client);
+    server.shutdown();
+
+    // Sampled tracing (1-in-64) bounds the enabled-path cost.
+    let sampled = Arc::new(TraceBuffer::with_sampling(1 << 14, 64));
+    let index = ShardedIndex::new(synthetic_centroids(k, d), 4);
+    let server = Server::start_traced(
+        index,
+        PipelineConfig::default(),
+        swkm_obs::MetricsRegistry::shared(),
+        ServeTracing::new(Arc::clone(&sampled), None),
+    );
+    let client = server.client();
+    group.bench_function("predict_trace_1_in_64", |b| {
         b.iter(|| client.predict(sample.clone()).unwrap())
     });
     group.finish();

@@ -8,6 +8,7 @@
 //!            [--kernel scalar|expanded|tiled] [--update twopass|fused|delta]
 //!            [--merge auto|tree|ring] [--faults seed=7,rate=0.25,...]
 //!            [--metrics-json out.json] [--metrics-prom out.prom]
+//!            [--trace-out trace.json]
 //! swkm landcover --size 128 --out target/landcover-cli
 //! swkm train --dataset mixture --n 4096 --k 64 --save-model model.swkm [--standardize]
 //! swkm predict --model model.swkm --n 1024 [--shards 4] [--kernel scalar|expanded|tiled]
@@ -17,6 +18,7 @@
 //!                  [--faults kill-shards=0,kill-after-ms=50]
 //!                  [--store models/ --model-name census]
 //!                  [--model-churn 5 --churn-every-ms 20]
+//!                  [--trace-out trace.json --trace-sample 8]
 //! swkm store put  --dir models/ --model-name census --k 64 [--from model.swkm]
 //! swkm store list --dir models/
 //! swkm store gc   --dir models/
@@ -67,6 +69,45 @@ pub(crate) fn write_metrics_outputs(
         println!("wrote Prometheus metrics to {path}");
     }
     Ok(())
+}
+
+/// Write a Chrome-trace JSON export of `buf` to `--trace-out` if requested.
+/// Shared by `fit` and `serve-bench`: both speak the same flag and emit the
+/// same `chrome://tracing` / Perfetto document shape.
+pub(crate) fn write_trace_output(
+    args: &Args,
+    buf: Option<&std::sync::Arc<swkm_obs::TraceBuffer>>,
+) -> Result<(), String> {
+    let (Some(path), Some(buf)) = (args.get_str("trace-out"), buf) else {
+        return Ok(());
+    };
+    let stats = buf.stats();
+    let doc = swkm_obs::chrome::to_chrome_json(&buf.snapshot(), stats.dropped);
+    std::fs::write(path, doc).map_err(|e| format!("--trace-out {path}: {e}"))?;
+    println!(
+        "wrote Chrome trace to {path} ({} event(s), {} dropped)",
+        stats.retained, stats.dropped
+    );
+    Ok(())
+}
+
+/// Build the `--trace-out` trace buffer: `--trace-cap` events of ring
+/// (default 65536), sampling every `--trace-sample`-th request (default 1 =
+/// every request; training traces ignore sampling — phases are always on).
+pub(crate) fn parse_trace_buffer(
+    args: &Args,
+) -> Result<Option<std::sync::Arc<swkm_obs::TraceBuffer>>, String> {
+    if args.get_str("trace-out").is_none() {
+        return Ok(None);
+    }
+    let cap: usize = args.get_or("trace-cap", 65_536usize)?;
+    let sample: u64 = args.get_or("trace-sample", 1u64)?;
+    if cap == 0 {
+        return Err("--trace-cap must be positive".into());
+    }
+    Ok(Some(std::sync::Arc::new(
+        swkm_obs::TraceBuffer::with_sampling(cap, sample),
+    )))
 }
 
 fn parse_assign_kernel(args: &Args) -> Result<kmeans_core::AssignKernel, String> {
@@ -297,6 +338,10 @@ fn cmd_fit(args: &Args) -> Result<(), String> {
     if let Some(plan) = parse_fault_plan(args)? {
         fitter = fitter.with_faults(plan);
     }
+    let trace_buf = parse_trace_buffer(args)?;
+    if let Some(buf) = &trace_buf {
+        fitter = fitter.with_trace(std::sync::Arc::clone(buf));
+    }
     let result = fitter.fit(&data, init).map_err(|e| e.to_string())?;
     println!(
         "done: {} iterations (converged = {}), objective {:.5}",
@@ -353,6 +398,7 @@ fn cmd_fit(args: &Args) -> Result<(), String> {
         println!("published {name}@g{generation} to store {dir}");
     }
     write_metrics_outputs(args, &registry)?;
+    write_trace_output(args, trace_buf.as_ref())?;
     Ok(())
 }
 
@@ -588,6 +634,83 @@ mod tests {
         let doc = std::fs::read_to_string(&json).unwrap();
         assert!(doc.contains("shard_failovers"), "{doc}");
         std::fs::remove_file(&json).ok();
+    }
+
+    #[test]
+    fn fit_trace_out_writes_chrome_json_with_train_and_comm_tracks() {
+        let out = std::env::temp_dir().join("swkm_fit_trace_test.json");
+        run(&argv(&format!(
+            "fit --dataset mixture --n 192 --k 3 --d 6 --max-iters 4 --level 3 \
+             --units 4 --group 2 --trace-out {}",
+            out.display()
+        )))
+        .unwrap();
+        let doc = std::fs::read_to_string(&out).unwrap();
+        assert!(doc.contains("\"traceEvents\":["), "not a Chrome trace");
+        for name in [
+            "\"assign\"",
+            "\"iteration\"",
+            "\"exchange\"",
+            "\"train\"",
+            "\"comm\"",
+        ] {
+            assert!(doc.contains(name), "trace missing {name}");
+        }
+        std::fs::remove_file(&out).ok();
+    }
+
+    #[test]
+    fn serve_bench_trace_records_requests_and_flight_dumps_on_shard_kill() {
+        let dir = std::env::temp_dir().join("swkm_serve_trace_test");
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        let trace = dir.join("trace.json");
+        let prom = dir.join("bench.prom");
+        run(&argv(&format!(
+            "serve-bench --k 4 --n 256 --d 8 --clients 2 --requests 300 --max-iters 3 \
+             --shards 4 --faults kill-shards=0,kill-after-ms=5 \
+             --trace-out {} --trace-sample 2 --metrics-prom {}",
+            trace.display(),
+            prom.display()
+        )))
+        .unwrap();
+        let doc = std::fs::read_to_string(&trace).unwrap();
+        assert!(doc.contains("\"traceEvents\":["), "not a Chrome trace");
+        for name in [
+            "\"request\"",
+            "\"queue_wait\"",
+            "\"execute\"",
+            "\"assign_shard\"",
+        ] {
+            assert!(doc.contains(name), "trace missing {name}");
+        }
+        // The shard kill trips the flight recorder; dumps land beside the
+        // trace file through the store's atomic-write VFS.
+        let dumps: Vec<_> = std::fs::read_dir(&dir)
+            .unwrap()
+            .filter_map(|e| e.ok())
+            .map(|e| e.file_name().to_string_lossy().into_owned())
+            .filter(|n| n.starts_with("flight-") && n.contains("shard_failover"))
+            .collect();
+        assert!(!dumps.is_empty(), "no flight dumps in {}", dir.display());
+        // Sampled requests leave Prometheus exemplars appended after the
+        // registry document.
+        let text = std::fs::read_to_string(&prom).unwrap();
+        assert!(text.contains("serve_latency_exemplar{trace_id="), "{text}");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn trace_flag_errors_are_cli_errors() {
+        assert!(run(&argv(
+            "fit --dataset mixture --n 64 --k 2 --d 4 --max-iters 2 --trace-out t.json --trace-cap 0"
+        ))
+        .is_err());
+        assert!(run(&argv(
+            "fit --dataset mixture --n 64 --k 2 --d 4 --max-iters 2 \
+             --trace-out /nonexistent-dir/trace.json"
+        ))
+        .is_err());
     }
 
     #[test]

@@ -236,7 +236,30 @@ pub fn cmd_serve_bench(args: &Args) -> Result<(), String> {
     let kill_plan = crate::parse_fault_plan(args)?;
     let kernel = parse_kernel(args)?;
     let index = ShardedIndex::from_artifact(&artifact, shards).with_kernel(kernel);
-    let server = Server::start_with_registry(index, pipeline, Arc::clone(&registry));
+    // `--trace-out trace.json [--trace-sample N]`: record per-request
+    // pipeline spans into a bounded ring and arm a flight recorder whose
+    // dumps (`flight-*.json`) land beside the trace file.
+    let trace_buf = crate::parse_trace_buffer(args)?;
+    let tracing = match &trace_buf {
+        Some(buf) => {
+            let out = args.get_str("trace-out").unwrap();
+            let dir = std::path::Path::new(out)
+                .parent()
+                .filter(|p| !p.as_os_str().is_empty())
+                .map_or_else(|| ".".to_string(), |p| p.display().to_string());
+            let vfs =
+                swkm_store::StdVfs::open(&dir).map_err(|e| format!("--trace-out {out}: {e}"))?;
+            let recorder = swkm_obs::FlightRecorder::new(
+                Arc::clone(buf),
+                Box::new(swkm_store::VfsSink::new(vfs)),
+                args.get_or("flight-max-dumps", 8u64)?,
+                args.get_or("flight-last", 4_096usize)?,
+            );
+            ServeTracing::new(Arc::clone(buf), Some(Arc::new(recorder)))
+        }
+        None => ServeTracing::default(),
+    };
+    let server = Server::start_traced(index, pipeline, Arc::clone(&registry), tracing);
 
     // `--model-churn N`: publish + hot-swap N perturbed generations while
     // the load runs.
@@ -347,8 +370,44 @@ pub fn cmd_serve_bench(args: &Args) -> Result<(), String> {
         report
     });
     println!("{report}");
+    // Interpolated log₂-bucket quantiles — tighter than the Snapshot's
+    // bucket upper bounds, so this is the line to read for real latency.
+    let q = |name: &str, q: f64| {
+        registry
+            .histogram(name)
+            .map_or(0.0, |h| h.quantile(q) / 1e3)
+    };
+    println!(
+        "latency (interpolated): p50 {:.1} µs, p95 {:.1} µs, p99 {:.1} µs \
+         (queue-wait p95 {:.1} µs, execute p95 {:.1} µs)",
+        q("serve_total_ns", 0.50),
+        q("serve_total_ns", 0.95),
+        q("serve_total_ns", 0.99),
+        q("serve_queue_wait_ns", 0.95),
+        q("serve_execute_ns", 0.95),
+    );
+    let exemplars = server.exemplars();
+    if !exemplars.is_empty() {
+        let list = exemplars
+            .iter()
+            .map(|&(ns, id)| format!("trace_id={id} {:.1} µs", ns as f64 / 1e3))
+            .collect::<Vec<_>>()
+            .join(", ");
+        println!("slow-request exemplars: {list}");
+    }
     let snapshot = server.shutdown();
     println!("{snapshot}");
     crate::write_metrics_outputs(args, &registry)?;
+    // Exemplars ride along in the Prometheus export as a separate block so
+    // the registry document itself stays byte-identical with tracing off.
+    if let (Some(path), false) = (args.get_str("metrics-prom"), exemplars.is_empty()) {
+        let block = swkm_obs::export::prom_exemplars("serve_latency_exemplar", &exemplars);
+        let mut doc =
+            std::fs::read_to_string(path).map_err(|e| format!("--metrics-prom {path}: {e}"))?;
+        doc.push_str(&block);
+        std::fs::write(path, doc).map_err(|e| format!("--metrics-prom {path}: {e}"))?;
+        println!("appended {} exemplar(s) to {path}", exemplars.len());
+    }
+    crate::write_trace_output(args, trace_buf.as_ref())?;
     Ok(())
 }

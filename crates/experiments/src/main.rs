@@ -21,7 +21,7 @@ mod tables;
 use report::Report;
 use std::path::{Path, PathBuf};
 
-const EXPERIMENTS: [&str; 18] = [
+const EXPERIMENTS: [&str; 19] = [
     "table1",
     "table2",
     "table3",
@@ -40,6 +40,7 @@ const EXPERIMENTS: [&str; 18] = [
     "abl_spill",
     "weak_scaling",
     "phase_trace",
+    "event_trace",
 ];
 
 fn usage() -> ! {
@@ -68,6 +69,7 @@ fn run_one(name: &str, out_dir: &Path, kernel: kmeans_core::AssignKernel) -> Rep
         "abl_spill" => ablations::abl_spill(),
         "weak_scaling" => ablations::weak_scaling(),
         "phase_trace" => obs_trace::phase_trace_with(kernel),
+        "event_trace" => obs_trace::event_trace(),
         other => {
             eprintln!("unknown experiment `{other}`");
             usage()

@@ -89,6 +89,76 @@ pub fn phase_trace_with(kernel: AssignKernel) -> Report {
     r
 }
 
+/// The `event_trace` experiment: the same scaled-down fit, observed at
+/// event level. Each hierarchy level runs with a `TraceBuffer` attached
+/// and the report counts the per-rank phase and collective spans the run
+/// emitted — the raw material `swkm fit --trace-out` exports for
+/// Perfetto — and checks the traced durations against the registry
+/// aggregates (same measurements, so the ratio is ~1).
+pub fn event_trace() -> Report {
+    let mut r = Report::new(
+        "event_trace",
+        "Event-level trace census per level (Kegg 1024×28, k=16, 3 iters)",
+        &[
+            "level",
+            "events",
+            "phase spans",
+            "comm spans",
+            "ranks",
+            "traced/registry assign",
+            "dropped",
+        ],
+    );
+    for (level, group_units) in [(Level::L1, 1), (Level::L2, 4), (Level::L3, 2)] {
+        let data = datasets::uci::kegg_network().generate(1_024);
+        let init = init_centroids(&data, 16, InitMethod::Forgy, 1);
+        let buf = swkm_obs::TraceBuffer::shared(1 << 15);
+        let cfg = HierConfig {
+            level,
+            units: 8,
+            group_units: if level == Level::L1 { 1 } else { group_units },
+            cpes_per_cg: 8,
+            max_iters: 3,
+            tol: 0.0,
+            trace: Some(std::sync::Arc::clone(&buf)),
+            ..HierConfig::new(level)
+        };
+        let result = fit(&data, init, &cfg).expect("event_trace run");
+        let registry = MetricsRegistry::new();
+        result.export_metrics(&registry);
+        let events = buf.snapshot();
+        let phase_spans = events.iter().filter(|e| e.proc == "train").count();
+        let comm_spans = events.iter().filter(|e| e.proc == "comm").count();
+        let ranks = events.iter().map(|e| e.track).max().map_or(0, |t| t + 1);
+        let traced_assign: f64 = events
+            .iter()
+            .filter(|e| e.proc == "train" && e.name == "assign")
+            .map(|e| e.dur_ns as f64 / 1e9)
+            .sum();
+        let registry_assign: f64 = (0..ranks)
+            .map(|rank| result.trace.rank_total(rank as usize).assign)
+            .sum();
+        let short = match level {
+            Level::L1 => "L1",
+            Level::L2 => "L2",
+            Level::L3 => "L3",
+        };
+        r.row(vec![
+            short.to_string(),
+            events.len().to_string(),
+            phase_spans.to_string(),
+            comm_spans.to_string(),
+            ranks.to_string(),
+            format!("{:.3}", traced_assign / registry_assign.max(1e-12)),
+            buf.stats().dropped.to_string(),
+        ]);
+    }
+    r.note("phase spans: assign/merge/update/exchange/iteration per rank per iteration");
+    r.note("comm spans: one per collective per participating rank");
+    r.note("export the same events with `swkm fit --trace-out trace.json` and open in Perfetto");
+    r
+}
+
 /// The `phase_trace` experiment with the default (exact scalar) kernel.
 #[cfg(test)]
 fn phase_trace() -> Report {
@@ -122,6 +192,24 @@ mod tests {
         let r = phase_trace_with(AssignKernel::Tiled);
         assert_eq!(r.rows.len(), 3);
         assert!(r.notes.iter().any(|n| n.contains("tiled")), "{:?}", r.notes);
+    }
+
+    #[test]
+    fn event_trace_counts_are_balanced_and_agree_with_the_registry() {
+        let r = event_trace();
+        assert_eq!(r.rows.len(), 3);
+        for row in &r.rows {
+            let events: usize = row[1].parse().unwrap();
+            let phase: usize = row[2].parse().unwrap();
+            let comm: usize = row[3].parse().unwrap();
+            let dropped: u64 = row[6].parse().unwrap();
+            assert_eq!(events, phase + comm, "{row:?}");
+            assert!(phase > 0 && comm > 0, "{row:?}");
+            assert_eq!(dropped, 0, "{row:?}");
+            // Traced and registry assign totals are the same measurement.
+            let ratio: f64 = row[5].parse().unwrap();
+            assert!((ratio - 1.0).abs() < 0.05, "{}: ratio {ratio}", row[0]);
+        }
     }
 
     #[test]

@@ -47,6 +47,15 @@ pub struct HierConfig {
     /// delta→dense and ring→tree so the sparse/ring merge invariants can
     /// never be violated by a faulted exchange.
     pub faults: Option<msg::FaultPlan>,
+    /// Event-level trace sink. When set, every rank attaches a tracer to
+    /// its communicator (per-rank comms timeline: one span per collective,
+    /// instants for injected faults and retries) and emits per-phase
+    /// `Complete` events (`assign`/`merge`/`update`/`exchange`/`iteration`)
+    /// whose durations are the *same* measurements that feed
+    /// [`IterTiming`], so the trace and the timing report always agree.
+    /// `None` is the zero-overhead fast path. Training is always-on when
+    /// traced — sampling only applies to serving.
+    pub trace: Option<std::sync::Arc<swkm_obs::TraceBuffer>>,
 }
 
 impl HierConfig {
@@ -62,6 +71,7 @@ impl HierConfig {
             update: UpdateMode::TwoPass,
             merge: MergeStrategy::Auto,
             faults: None,
+            trace: None,
         }
     }
 }
@@ -511,6 +521,64 @@ pub(crate) fn fault_setup(
         .and_then(|p| p.timeout())
         .unwrap_or(std::time::Duration::from_secs(60));
     (plan, timeout)
+}
+
+/// Per-rank training-phase tracer: emits the `assign`/`merge`/`update`/
+/// `exchange`/`iteration` spans on the `train` process track (one track
+/// per world rank) when [`HierConfig::trace`] is set, and is a no-op
+/// otherwise. [`PhaseTracer::attach`] also wires the *comms* tracer into
+/// the world communicator (track = world rank), so splits inherit it and
+/// every collective lands on the same rank's comm timeline.
+///
+/// The span durations are the exact values the executors fold into
+/// [`IterTiming`] — one measurement feeds both the timing report and the
+/// trace, so the two can never disagree by more than event-emission
+/// overhead.
+pub(crate) struct PhaseTracer {
+    tracer: Option<swkm_obs::Tracer>,
+}
+
+impl PhaseTracer {
+    pub(crate) fn attach(cfg: &HierConfig, comm: &mut msg::Comm) -> PhaseTracer {
+        let tracer = cfg.trace.as_ref().map(|buf| {
+            let rank = comm.rank() as u32;
+            comm.set_tracer(swkm_obs::Tracer::new(
+                std::sync::Arc::clone(buf),
+                "comm",
+                rank,
+            ));
+            swkm_obs::Tracer::new(std::sync::Arc::clone(buf), "train", rank)
+        });
+        PhaseTracer { tracer }
+    }
+
+    /// Seconds since `since`, recorded as a `Complete` span ending now.
+    /// Returns the measured duration so call sites can do
+    /// `it.assign += pt.phase("assign", t0, iter)`.
+    pub(crate) fn phase(&self, name: &'static str, since: std::time::Instant, iter: usize) -> f64 {
+        let secs = since.elapsed().as_secs_f64();
+        if let Some(t) = &self.tracer {
+            let dur_ns = (secs * 1e9) as u64;
+            let end_ns = t.buffer().now_ns();
+            t.complete_at(
+                name,
+                end_ns.saturating_sub(dur_ns),
+                dur_ns,
+                0,
+                "iter",
+                iter as u64,
+            );
+        }
+        secs
+    }
+
+    /// Instant marker (e.g. a degraded iteration) tagged with the
+    /// iteration number.
+    pub(crate) fn mark(&self, name: &'static str, iter: usize) {
+        if let Some(t) = &self.tracer {
+            t.instant_full(name, 0, "iter", iter as u64);
+        }
+    }
 }
 
 /// Unwrap per-rank closure results, surfacing the first rank's typed

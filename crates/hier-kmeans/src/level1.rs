@@ -28,7 +28,7 @@
 
 use crate::executor::{
     collect_ranks, fault_setup, finalize_faults, HierConfig, HierError, HierResult, IterTiming,
-    RankOutput,
+    PhaseTracer, RankOutput,
 };
 use crate::partition::split_range;
 use kmeans_core::{AssignPlan, Matrix, Scalar, TouchedSet, UpdateMode, DELTA_FALLBACK_FRACTION};
@@ -57,6 +57,7 @@ pub(crate) fn run<S: Scalar>(
     let degrade = plan.clone();
 
     let (outs, costs, fstats) = World::run_with_faults(units, timeout, plan, |comm| {
+        let pt = PhaseTracer::attach(cfg, comm);
         let mut centroids = init.clone();
         let my_samples = split_range(n, units, comm.rank());
         let mut iterations = 0usize;
@@ -85,6 +86,9 @@ pub(crate) fn run<S: Scalar>(
             // collective. Degraded iterations run the tree merge and the
             // delta dense fallback, both bitwise-safe recovery paths.
             let degraded = degrade.as_ref().is_some_and(|p| p.degrade_iteration(iter));
+            if degraded {
+                pt.mark("degraded_iteration", iter);
+            }
             // ---- Assign: stripe of samples against all k centroids, via
             // the configured kernel. One plan per iteration amortises the
             // centroid norms across the stripe (once per Update).
@@ -184,7 +188,7 @@ pub(crate) fn run<S: Scalar>(
                     }
                 }
             }
-            it.assign += t0.elapsed().as_secs_f64();
+            it.assign += pt.phase("assign", t0, iter);
 
             // Local reassignment bookkeeping — a label compare against the
             // previous iteration, no collectives (the default path's byte
@@ -216,7 +220,7 @@ pub(crate) fn run<S: Scalar>(
                     }
                     comm.try_allreduce_sum_u64(&mut counts)?;
                     worst_shift_sq = divide_rows(&mut centroids, &sums, &counts, d, 0..k);
-                    it.update += t1.elapsed().as_secs_f64();
+                    it.update += pt.phase("update", t1, iter);
                 }
                 UpdateMode::Delta => {
                     // ---- Touched consensus: one small OR/sum AllReduce so
@@ -240,7 +244,7 @@ pub(crate) fn run<S: Scalar>(
                         comm.try_allreduce_with(&mut consensus, or_words_sum_last)?;
                         global_moved = *consensus.last().unwrap();
                         touched.set_words(&consensus[..consensus.len() - 1]);
-                        it.merge += t1.elapsed().as_secs_f64();
+                        it.merge += pt.phase("merge", t1, iter);
                     }
 
                     let t2 = std::time::Instant::now();
@@ -338,13 +342,13 @@ pub(crate) fn run<S: Scalar>(
                     }
                     // global_moved == 0: no centroid can change — the shift
                     // is exactly 0.0, matching the dense recompute bitwise.
-                    it.update += t2.elapsed().as_secs_f64();
+                    it.update += pt.phase("update", t2, iter);
                 }
             }
 
             prev_labels.clear();
             prev_labels.extend(assigned.iter().map(|&(label, _)| label));
-            it.wall = iter_start.elapsed().as_secs_f64();
+            it.wall = pt.phase("iteration", iter_start, iter);
             trace.push(it);
             iterations += 1;
             if worst_shift_sq.sqrt() <= cfg.tol {

@@ -13,7 +13,7 @@
 
 use crate::executor::{
     assemble, collect_ranks, fault_setup, finalize_faults, HierConfig, HierError, HierResult,
-    IterTiming, RankOutput,
+    IterTiming, PhaseTracer, RankOutput,
 };
 use crate::level1::{divide_rows, or_words_sum_last, sum_slices};
 use crate::partition::split_range;
@@ -85,6 +85,9 @@ pub(crate) fn run<S: Scalar>(
     let degrade = plan.clone();
 
     let (outs, costs, fstats) = World::run_with_faults(cfg.units, timeout, plan, |comm| {
+        // Attach tracers before splitting so the group/shard communicators
+        // inherit the comm timeline of this world rank.
+        let pt = PhaseTracer::attach(cfg, comm);
         let rank = comm.rank();
         let group = rank / g;
         let member = rank % g;
@@ -120,6 +123,9 @@ pub(crate) fn run<S: Scalar>(
             // Shared-seed degradation consensus (see level1): degraded
             // iterations run tree merges and the delta dense fallback.
             let degraded = degrade.as_ref().is_some_and(|p| p.degrade_iteration(iter));
+            if degraded {
+                pt.mark("degraded_iteration", iter);
+            }
             // ---- Assign: partial argmin over my shard (lines 9–10), via
             // the configured kernel. One plan per iteration = shard norms
             // recomputed once per Update. Under Expanded/Tiled the merge
@@ -159,12 +165,12 @@ pub(crate) fn run<S: Scalar>(
                 }
                 pairs.extend(assigned.iter().map(|&(j, key)| (key.to_f64(), j as u64)));
             }
-            it.assign += t0.elapsed().as_secs_f64();
+            it.assign += pt.phase("assign", t0, iter);
             // The min-loc merge produces the global a(i) for every sample
             // of the stripe, on every member.
             let t1 = std::time::Instant::now();
             merge_min_loc::<S>(&mut group_comm, &mut pairs)?;
-            it.merge += t1.elapsed().as_secs_f64();
+            it.merge += pt.phase("merge", t1, iter);
 
             // Local reassignment bookkeeping against the previous
             // iteration's winners — no collectives.
@@ -203,7 +209,7 @@ pub(crate) fn run<S: Scalar>(
                                 }
                             }
                         }
-                        it.assign += t2.elapsed().as_secs_f64();
+                        it.assign += pt.phase("assign", t2, iter);
                     }
                     // ---- Update: reduce my shard across groups (13–15). ----
                     let t3 = std::time::Instant::now();
@@ -214,7 +220,7 @@ pub(crate) fn run<S: Scalar>(
                     }
                     shard_comm.try_allreduce_sum_u64(&mut counts)?;
                     worst_shift_sq = divide_rows(&mut shard, &sums, &counts, d, 0..shard_k);
-                    it.update += t3.elapsed().as_secs_f64();
+                    it.update += pt.phase("update", t3, iter);
                 }
                 UpdateMode::Delta => {
                     // ---- Touched consensus over my shard communicator:
@@ -245,7 +251,7 @@ pub(crate) fn run<S: Scalar>(
                         shard_comm.try_allreduce_with(&mut consensus, or_words_sum_last)?;
                         global_moved = *consensus.last().unwrap();
                         touched.set_words(&consensus[..consensus.len() - 1]);
-                        it.merge += t1.elapsed().as_secs_f64();
+                        it.merge += pt.phase("merge", t1, iter);
                     }
 
                     let t2 = std::time::Instant::now();
@@ -315,7 +321,7 @@ pub(crate) fn run<S: Scalar>(
                             slot_of[j_local] = u32::MAX;
                         }
                     }
-                    it.update += t2.elapsed().as_secs_f64();
+                    it.update += pt.phase("update", t2, iter);
                 }
             }
 
@@ -325,10 +331,10 @@ pub(crate) fn run<S: Scalar>(
             comm.try_allreduce_with(&mut shift, |acc, x| {
                 acc[0] = acc[0].max(x[0]);
             })?;
-            it.update += t4.elapsed().as_secs_f64();
+            it.update += pt.phase("update", t4, iter);
             prev_labels.clear();
             prev_labels.extend(pairs.iter().map(|&(_, j)| j as u32));
-            it.wall = iter_start.elapsed().as_secs_f64();
+            it.wall = pt.phase("iteration", iter_start, iter);
             trace.push(it);
             iterations += 1;
             if shift[0].sqrt() <= cfg.tol {

@@ -17,7 +17,7 @@
 
 use crate::executor::{
     assemble, collect_ranks, fault_setup, finalize_faults, HierConfig, HierError, HierResult,
-    IterTiming, RankOutput,
+    IterTiming, PhaseTracer, RankOutput,
 };
 use crate::level1::{divide_rows, or_words_sum_last, sum_slices};
 use crate::level2::{merge_min_loc, MINLOC_NEUTRAL};
@@ -84,6 +84,9 @@ pub(crate) fn run<S: Scalar>(
     let degrade = plan.clone();
 
     let (outs, costs, fstats) = World::run_with_faults(cfg.units, timeout, plan, |comm| {
+        // Attach tracers before splitting so the group/shard communicators
+        // inherit the comm timeline of this world rank.
+        let pt = PhaseTracer::attach(cfg, comm);
         let rank = comm.rank();
         let group = rank / g;
         let member = rank % g;
@@ -121,6 +124,9 @@ pub(crate) fn run<S: Scalar>(
             // Shared-seed degradation consensus (see level1): degraded
             // iterations run tree merges and the delta dense fallback.
             let degraded = degrade.as_ref().is_some_and(|p| p.degrade_iteration(iter));
+            if degraded {
+                pt.mark("degraded_iteration", iter);
+            }
             // ---- Assign: per-CPE partial dot products / distances over
             // the precomputed dimension slices (lines 8–10), via the
             // configured kernel — exact under slicing because dots are
@@ -161,11 +167,11 @@ pub(crate) fn run<S: Scalar>(
                 }
                 pairs.extend(assigned.iter().map(|&(j, key)| (key.to_f64(), j as u64)));
             }
-            it.assign += t0.elapsed().as_secs_f64();
+            it.assign += pt.phase("assign", t0, iter);
             // Line 11: min-loc merge across the G CGs of the group.
             let t1 = std::time::Instant::now();
             merge_min_loc::<S>(&mut group_comm, &mut pairs)?;
-            it.merge += t1.elapsed().as_secs_f64();
+            it.merge += pt.phase("merge", t1, iter);
 
             // Local reassignment bookkeeping — no collectives.
             let local_moved = if iter == 0 {
@@ -213,7 +219,7 @@ pub(crate) fn run<S: Scalar>(
                         // the register-bus dimension exchange, so it is
                         // traced as its own phase rather than folded into
                         // Assign.
-                        it.exchange += t2.elapsed().as_secs_f64();
+                        it.exchange += pt.phase("exchange", t2, iter);
                     }
                     // ---- Update: AllReduce shards across groups (14–16). ----
                     let t3 = std::time::Instant::now();
@@ -224,7 +230,7 @@ pub(crate) fn run<S: Scalar>(
                     }
                     shard_comm.try_allreduce_sum_u64(&mut counts)?;
                     worst_shift_sq = divide_rows(&mut shard, &sums, &counts, d, 0..shard_k);
-                    it.update += t3.elapsed().as_secs_f64();
+                    it.update += pt.phase("update", t3, iter);
                 }
                 UpdateMode::Delta => {
                     // ---- Touched consensus across groups (see level2). ----
@@ -251,7 +257,7 @@ pub(crate) fn run<S: Scalar>(
                         shard_comm.try_allreduce_with(&mut consensus, or_words_sum_last)?;
                         global_moved = *consensus.last().unwrap();
                         touched.set_words(&consensus[..consensus.len() - 1]);
-                        it.merge += t1.elapsed().as_secs_f64();
+                        it.merge += pt.phase("merge", t1, iter);
                     }
 
                     if iter == 0
@@ -277,12 +283,12 @@ pub(crate) fn run<S: Scalar>(
                                 }
                             }
                         }
-                        it.exchange += t2.elapsed().as_secs_f64();
+                        it.exchange += pt.phase("exchange", t2, iter);
                         let t3 = std::time::Instant::now();
                         shard_comm.try_allreduce_with(&mut sums, sum_slices::<S>)?;
                         shard_comm.try_allreduce_sum_u64(&mut counts)?;
                         worst_shift_sq = divide_rows(&mut shard, &sums, &counts, d, 0..shard_k);
-                        it.update += t3.elapsed().as_secs_f64();
+                        it.update += pt.phase("update", t3, iter);
                     } else if touched.count() > 0 {
                         // Sparse: recompute only the touched shard rows,
                         // still dimension-sliced (the exchange phase), then
@@ -314,7 +320,7 @@ pub(crate) fn run<S: Scalar>(
                                 }
                             }
                         }
-                        it.exchange += t2.elapsed().as_secs_f64();
+                        it.exchange += pt.phase("exchange", t2, iter);
                         let t3 = std::time::Instant::now();
                         shard_comm.try_allreduce_with(&mut compact_sums, sum_slices::<S>)?;
                         shard_comm.try_allreduce_sum_u64(&mut compact_counts)?;
@@ -335,7 +341,7 @@ pub(crate) fn run<S: Scalar>(
                         for &j_local in &touched_rows {
                             slot_of[j_local] = u32::MAX;
                         }
-                        it.update += t3.elapsed().as_secs_f64();
+                        it.update += pt.phase("update", t3, iter);
                     }
                 }
             }
@@ -345,10 +351,10 @@ pub(crate) fn run<S: Scalar>(
             comm.try_allreduce_with(&mut shift, |acc, x| {
                 acc[0] = acc[0].max(x[0]);
             })?;
-            it.update += t4.elapsed().as_secs_f64();
+            it.update += pt.phase("update", t4, iter);
             prev_labels.clear();
             prev_labels.extend(pairs.iter().map(|&(_, j)| j as u32));
-            it.wall = iter_start.elapsed().as_secs_f64();
+            it.wall = pt.phase("iteration", iter_start, iter);
             trace.push(it);
             iterations += 1;
             if shift[0].sqrt() <= cfg.tol {

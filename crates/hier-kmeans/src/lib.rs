@@ -147,6 +147,15 @@ impl HierKMeans {
         self
     }
 
+    /// Record an event-level trace of the run into `buf` (default: off).
+    /// Every rank's collectives land on a per-rank `comm` track and the
+    /// `assign`/`merge`/`update`/`exchange` phases on a per-rank `train`
+    /// track; export with [`swkm_obs::to_chrome_json`](swkm_obs::chrome::to_chrome_json).
+    pub fn with_trace(mut self, buf: std::sync::Arc<swkm_obs::TraceBuffer>) -> Self {
+        self.config.trace = Some(buf);
+        self
+    }
+
     /// Access the underlying configuration.
     pub fn config(&self) -> &HierConfig {
         &self.config

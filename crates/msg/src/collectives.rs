@@ -31,10 +31,12 @@ impl Comm {
 
     /// Fallible [`Comm::barrier`].
     pub fn try_barrier(&mut self) -> Result<(), CommError> {
-        let tag = self.next_collective_tag();
-        self.try_reduce_tree::<u8, _>(0, vec![0], |_, _| {}, tag, OpKind::Barrier)?;
-        self.try_broadcast_tree::<u8>(0, Some(vec![0]), tag, OpKind::Barrier)?;
-        Ok(())
+        self.traced("barrier", |c| {
+            let tag = c.next_collective_tag();
+            c.try_reduce_tree::<u8, _>(0, vec![0], |_, _| {}, tag, OpKind::Barrier)?;
+            c.try_broadcast_tree::<u8>(0, Some(vec![0]), tag, OpKind::Barrier)?;
+            Ok(())
+        })
     }
 
     /// Broadcast `value` from `root` to every rank. `value` must be `Some`
@@ -49,14 +51,16 @@ impl Comm {
         root: usize,
         value: Option<T>,
     ) -> Result<T, CommError> {
-        let tag = self.next_collective_tag();
-        let wrapped = if self.rank() == root {
-            let v = value.expect("broadcast root must supply a value");
-            self.try_broadcast_tree(root, Some(vec![v]), tag, OpKind::Broadcast)?
-        } else {
-            self.try_broadcast_tree::<T>(root, None, tag, OpKind::Broadcast)?
-        };
-        Ok(wrapped.into_iter().next().unwrap())
+        self.traced("broadcast", |c| {
+            let tag = c.next_collective_tag();
+            let wrapped = if c.rank() == root {
+                let v = value.expect("broadcast root must supply a value");
+                c.try_broadcast_tree(root, Some(vec![v]), tag, OpKind::Broadcast)?
+            } else {
+                c.try_broadcast_tree::<T>(root, None, tag, OpKind::Broadcast)?
+            };
+            Ok(wrapped.into_iter().next().unwrap())
+        })
     }
 
     /// Broadcast a vector from `root` (avoids the scalar wrapper).
@@ -75,11 +79,13 @@ impl Comm {
         root: usize,
         value: Option<Vec<T>>,
     ) -> Result<Vec<T>, CommError> {
-        let tag = self.next_collective_tag();
-        if self.rank() == root {
-            assert!(value.is_some(), "broadcast root must supply a value");
-        }
-        self.try_broadcast_tree(root, value, tag, OpKind::Broadcast)
+        self.traced("broadcast", |c| {
+            let tag = c.next_collective_tag();
+            if c.rank() == root {
+                assert!(value.is_some(), "broadcast root must supply a value");
+            }
+            c.try_broadcast_tree(root, value, tag, OpKind::Broadcast)
+        })
     }
 
     /// Element-wise reduction of `local` to `root` using `op`
@@ -105,8 +111,10 @@ impl Comm {
         T: Any + Send,
         F: Fn(&mut [T], &[T]),
     {
-        let tag = self.next_collective_tag();
-        self.try_reduce_tree(root, local, op, tag, OpKind::Reduce)
+        self.traced("reduce_tree", |c| {
+            let tag = c.next_collective_tag();
+            c.try_reduce_tree(root, local, op, tag, OpKind::Reduce)
+        })
     }
 
     /// Element-wise all-reduce: every rank ends with the reduction of all
@@ -126,11 +134,13 @@ impl Comm {
         T: Any + Send + Clone,
         F: Fn(&mut [T], &[T]),
     {
-        let tag = self.next_collective_tag();
-        let local = std::mem::take(buf);
-        let reduced = self.try_reduce_tree(0, local, op, tag, OpKind::AllReduce)?;
-        *buf = self.try_broadcast_tree(0, reduced, tag, OpKind::AllReduce)?;
-        Ok(())
+        self.traced("allreduce_tree", |c| {
+            let tag = c.next_collective_tag();
+            let local = std::mem::take(buf);
+            let reduced = c.try_reduce_tree(0, local, op, tag, OpKind::AllReduce)?;
+            *buf = c.try_broadcast_tree(0, reduced, tag, OpKind::AllReduce)?;
+            Ok(())
+        })
     }
 
     /// Sum-all-reduce for `f64` buffers.
@@ -186,23 +196,25 @@ impl Comm {
 
     /// Fallible [`Comm::allreduce_min_loc`].
     pub fn try_allreduce_min_loc(&mut self, pairs: &mut Vec<(f64, u64)>) -> Result<(), CommError> {
-        let tag = self.next_collective_tag();
-        let local = std::mem::take(pairs);
-        let reduced = self.try_reduce_tree(
-            0,
-            local,
-            |acc, x| {
-                for (a, b) in acc.iter_mut().zip(x) {
-                    if b.0 < a.0 || (b.0 == a.0 && b.1 < a.1) {
-                        *a = *b;
+        self.traced("minloc", |c| {
+            let tag = c.next_collective_tag();
+            let local = std::mem::take(pairs);
+            let reduced = c.try_reduce_tree(
+                0,
+                local,
+                |acc, x| {
+                    for (a, b) in acc.iter_mut().zip(x) {
+                        if b.0 < a.0 || (b.0 == a.0 && b.1 < a.1) {
+                            *a = *b;
+                        }
                     }
-                }
-            },
-            tag,
-            OpKind::MinLoc,
-        )?;
-        *pairs = self.try_broadcast_tree(0, reduced, tag, OpKind::MinLoc)?;
-        Ok(())
+                },
+                tag,
+                OpKind::MinLoc,
+            )?;
+            *pairs = c.try_broadcast_tree(0, reduced, tag, OpKind::MinLoc)?;
+            Ok(())
+        })
     }
 
     /// [`Comm::allreduce_min_loc`] over packed `u64` keys built with
@@ -219,23 +231,25 @@ impl Comm {
 
     /// Fallible [`Comm::allreduce_min_loc_packed`].
     pub fn try_allreduce_min_loc_packed(&mut self, keys: &mut Vec<u64>) -> Result<(), CommError> {
-        let tag = self.next_collective_tag();
-        let local = std::mem::take(keys);
-        let reduced = self.try_reduce_tree(
-            0,
-            local,
-            |acc, x| {
-                for (a, b) in acc.iter_mut().zip(x) {
-                    if *b < *a {
-                        *a = *b;
+        self.traced("minloc", |c| {
+            let tag = c.next_collective_tag();
+            let local = std::mem::take(keys);
+            let reduced = c.try_reduce_tree(
+                0,
+                local,
+                |acc, x| {
+                    for (a, b) in acc.iter_mut().zip(x) {
+                        if *b < *a {
+                            *a = *b;
+                        }
                     }
-                }
-            },
-            tag,
-            OpKind::MinLoc,
-        )?;
-        *keys = self.try_broadcast_tree(0, reduced, tag, OpKind::MinLoc)?;
-        Ok(())
+                },
+                tag,
+                OpKind::MinLoc,
+            )?;
+            *keys = c.try_broadcast_tree(0, reduced, tag, OpKind::MinLoc)?;
+            Ok(())
+        })
     }
 
     /// Gather one value from every rank to `root` (rank order). Returns
@@ -250,20 +264,22 @@ impl Comm {
         root: usize,
         value: T,
     ) -> Result<Option<Vec<T>>, CommError> {
-        let tag = self.next_collective_tag();
-        let size = self.size();
-        if self.rank() == root {
-            let mut slots: Vec<Option<T>> = (0..size).map(|_| None).collect();
-            slots[root] = Some(value);
-            for r in (0..size).filter(|&r| r != root) {
-                slots[r] = Some(self.crecv::<T>(r, tag)?);
+        self.traced("gather", |c| {
+            let tag = c.next_collective_tag();
+            let size = c.size();
+            if c.rank() == root {
+                let mut slots: Vec<Option<T>> = (0..size).map(|_| None).collect();
+                slots[root] = Some(value);
+                for r in (0..size).filter(|&r| r != root) {
+                    slots[r] = Some(c.crecv::<T>(r, tag)?);
+                }
+                Ok(Some(slots.into_iter().map(|s| s.unwrap()).collect()))
+            } else {
+                let bytes = std::mem::size_of::<T>();
+                c.csend(root, tag, value, bytes, OpKind::Gather)?;
+                Ok(None)
             }
-            Ok(Some(slots.into_iter().map(|s| s.unwrap()).collect()))
-        } else {
-            let bytes = std::mem::size_of::<T>();
-            self.csend(root, tag, value, bytes, OpKind::Gather)?;
-            Ok(None)
-        }
+        })
     }
 
     /// All-gather one value from every rank; every rank gets the full
@@ -274,8 +290,10 @@ impl Comm {
 
     /// Fallible [`Comm::allgather`].
     pub fn try_allgather<T: Any + Send + Clone>(&mut self, value: T) -> Result<Vec<T>, CommError> {
-        let gathered = self.try_gather(0, value)?;
-        self.try_broadcast_vec(0, gathered)
+        self.traced("allgather", |c| {
+            let gathered = c.try_gather(0, value)?;
+            c.try_broadcast_vec(0, gathered)
+        })
     }
 
     /// Scatter one value per rank from `root` (must supply exactly
@@ -290,27 +308,25 @@ impl Comm {
         root: usize,
         values: Option<Vec<T>>,
     ) -> Result<T, CommError> {
-        let tag = self.next_collective_tag();
-        if self.rank() == root {
-            let values = values.expect("scatter root must supply values");
-            assert_eq!(
-                values.len(),
-                self.size(),
-                "scatter needs one value per rank"
-            );
-            let mut own = None;
-            let bytes = std::mem::size_of::<T>();
-            for (r, v) in values.into_iter().enumerate() {
-                if r == root {
-                    own = Some(v);
-                } else {
-                    self.csend(r, tag, v, bytes, OpKind::Scatter)?;
+        self.traced("scatter", |c| {
+            let tag = c.next_collective_tag();
+            if c.rank() == root {
+                let values = values.expect("scatter root must supply values");
+                assert_eq!(values.len(), c.size(), "scatter needs one value per rank");
+                let mut own = None;
+                let bytes = std::mem::size_of::<T>();
+                for (r, v) in values.into_iter().enumerate() {
+                    if r == root {
+                        own = Some(v);
+                    } else {
+                        c.csend(r, tag, v, bytes, OpKind::Scatter)?;
+                    }
                 }
+                Ok(own.unwrap())
+            } else {
+                c.crecv::<T>(root, tag)
             }
-            Ok(own.unwrap())
-        } else {
-            self.crecv::<T>(root, tag)
-        }
+        })
     }
 
     /// All-to-all personalised exchange: rank `r` supplies one value per
@@ -323,25 +339,27 @@ impl Comm {
 
     /// Fallible [`Comm::alltoall`].
     pub fn try_alltoall<T: Any + Send>(&mut self, values: Vec<T>) -> Result<Vec<T>, CommError> {
-        let size = self.size();
-        assert_eq!(values.len(), size, "alltoall needs one value per rank");
-        let tag = self.next_collective_tag() | (1 << 60); // alltoall tag space
-        let rank = self.rank();
-        let bytes = std::mem::size_of::<T>();
-        let mut own = None;
-        for (dst, v) in values.into_iter().enumerate() {
-            if dst == rank {
-                own = Some(v);
-            } else {
-                self.csend(dst, tag, v, bytes, OpKind::Gather)?;
+        self.traced("alltoall", |c| {
+            let size = c.size();
+            assert_eq!(values.len(), size, "alltoall needs one value per rank");
+            let tag = c.next_collective_tag() | (1 << 60); // alltoall tag space
+            let rank = c.rank();
+            let bytes = std::mem::size_of::<T>();
+            let mut own = None;
+            for (dst, v) in values.into_iter().enumerate() {
+                if dst == rank {
+                    own = Some(v);
+                } else {
+                    c.csend(dst, tag, v, bytes, OpKind::Gather)?;
+                }
             }
-        }
-        let mut out: Vec<Option<T>> = (0..size).map(|_| None).collect();
-        out[rank] = own;
-        for src in (0..size).filter(|&src| src != rank) {
-            out[src] = Some(self.crecv::<T>(src, tag)?);
-        }
-        Ok(out.into_iter().map(|v| v.unwrap()).collect())
+            let mut out: Vec<Option<T>> = (0..size).map(|_| None).collect();
+            out[rank] = own;
+            for src in (0..size).filter(|&src| src != rank) {
+                out[src] = Some(c.crecv::<T>(src, tag)?);
+            }
+            Ok(out.into_iter().map(|v| v.unwrap()).collect())
+        })
     }
 
     /// Reduce-scatter: element-wise reduce all ranks' `buf`s, then hand
@@ -362,42 +380,44 @@ impl Comm {
         T: Any + Send + Clone,
         F: Fn(&mut [T], &[T]),
     {
-        let size = self.size();
-        let rank = self.rank();
-        let len = buf.len();
-        // Reduce everything to rank 0, then scatter the chunks — simple and
-        // correct; the bandwidth-optimal path is `allreduce_ring`.
-        let reduced = {
-            let tag = self.next_collective_tag();
-            self.try_reduce_tree(0, buf, op, tag, OpKind::Reduce)?
-        };
-        let chunks = reduced.map(|full| {
-            (0..size)
-                .map(|r| {
-                    let q = len / size;
-                    let rem = len % size;
-                    let start = r * q + r.min(rem);
-                    let end = start + q + usize::from(r < rem);
-                    full[start..end].to_vec()
-                })
-                .collect::<Vec<_>>()
-        });
-        let tag2 = self.next_collective_tag() | (1 << 59);
-        if rank == 0 {
-            let chunks = chunks.unwrap();
-            let mut own = None;
-            for (r, chunk) in chunks.into_iter().enumerate() {
-                if r == 0 {
-                    own = Some(chunk);
-                } else {
-                    let bytes = std::mem::size_of::<T>() * chunk.len();
-                    self.csend(r, tag2, chunk, bytes, OpKind::Scatter)?;
+        self.traced("reduce_scatter", |c| {
+            let size = c.size();
+            let rank = c.rank();
+            let len = buf.len();
+            // Reduce everything to rank 0, then scatter the chunks — simple and
+            // correct; the bandwidth-optimal path is `allreduce_ring`.
+            let reduced = {
+                let tag = c.next_collective_tag();
+                c.try_reduce_tree(0, buf, op, tag, OpKind::Reduce)?
+            };
+            let chunks = reduced.map(|full| {
+                (0..size)
+                    .map(|r| {
+                        let q = len / size;
+                        let rem = len % size;
+                        let start = r * q + r.min(rem);
+                        let end = start + q + usize::from(r < rem);
+                        full[start..end].to_vec()
+                    })
+                    .collect::<Vec<_>>()
+            });
+            let tag2 = c.next_collective_tag() | (1 << 59);
+            if rank == 0 {
+                let chunks = chunks.unwrap();
+                let mut own = None;
+                for (r, chunk) in chunks.into_iter().enumerate() {
+                    if r == 0 {
+                        own = Some(chunk);
+                    } else {
+                        let bytes = std::mem::size_of::<T>() * chunk.len();
+                        c.csend(r, tag2, chunk, bytes, OpKind::Scatter)?;
+                    }
                 }
+                Ok(own.unwrap())
+            } else {
+                c.crecv::<Vec<T>>(0, tag2)
             }
-            Ok(own.unwrap())
-        } else {
-            self.crecv::<Vec<T>>(0, tag2)
-        }
+        })
     }
 
     // ------------------------------------------------------------------

@@ -273,6 +273,7 @@ impl World {
                         faults,
                         fault_stats: fault_stats.clone(),
                         op_counter: Rc::new(RefCell::new(0)),
+                        tracer: None,
                     };
                     let result = f(&mut comm);
                     drop(comm);
@@ -332,6 +333,10 @@ pub struct Comm {
     /// fault schedule. Shared across communicators so the sequence is a
     /// deterministic property of the rank's whole SPMD program.
     op_counter: Rc<RefCell<u64>>,
+    /// Optional per-rank event tracer (track = world rank). `None` is the
+    /// untraced fast path; when set, every collective emits a complete
+    /// span and every retry/injected fault an instant event.
+    tracer: Option<swkm_obs::Tracer>,
 }
 
 /// Tag bit reserved for collective-internal messages.
@@ -514,6 +519,7 @@ impl Comm {
                     self.fault_stats
                         .borrow_mut()
                         .record_injected(FaultKind::Delay);
+                    self.trace_instant("fault_delay", "op", op);
                     std::thread::sleep(plan.delay());
                     return self.send_sized(dst, tag, value, bytes, kind);
                 }
@@ -523,6 +529,16 @@ impl Comm {
                         st.record_injected(injected);
                         st.record_retry();
                     }
+                    self.trace_instant(
+                        match injected {
+                            FaultKind::Drop => "fault_drop",
+                            FaultKind::Corrupt => "fault_corrupt",
+                            FaultKind::Crash => "fault_crash",
+                            FaultKind::Delay => "fault_delay",
+                        },
+                        "op",
+                        op,
+                    );
                     match injected {
                         // The transfer vanishes in the fabric: nothing to do
                         // but retransmit after the backoff.
@@ -597,6 +613,7 @@ impl Comm {
                 Ok(packet) if packet.corrupt => {
                     // Checksum failure: discard and wait for the retransmit.
                     self.fault_stats.borrow_mut().record_retry();
+                    self.trace_instant("recv_discard_corrupt", "discards", discards as u64 + 1);
                     discards += 1;
                     if discards > 2 * MAX_COMM_ATTEMPTS {
                         return Err(CommError::Timeout {
@@ -619,6 +636,7 @@ impl Comm {
                         });
                     }
                     self.fault_stats.borrow_mut().record_retry();
+                    self.trace_instant("recv_retry", "timeouts", timeouts as u64);
                 }
                 Err(e) => return Err(e.into()),
             }
@@ -713,6 +731,42 @@ impl Comm {
             faults: self.faults.clone(),
             fault_stats: self.fault_stats.clone(),
             op_counter: self.op_counter.clone(),
+            tracer: self.tracer.clone(),
+        }
+    }
+
+    /// Attach an event tracer to this communicator (and, via
+    /// [`Comm::split`], to every sub-communicator derived afterwards).
+    /// Call it first thing in the rank closure so all collectives land on
+    /// the rank's timeline. The conventional tracer is
+    /// `Tracer::new(buffer, "comm", world_rank as u32)`.
+    pub fn set_tracer(&mut self, tracer: swkm_obs::Tracer) {
+        self.tracer = Some(tracer);
+    }
+
+    /// The attached tracer, if any.
+    pub fn tracer(&self) -> Option<&swkm_obs::Tracer> {
+        self.tracer.as_ref()
+    }
+
+    /// Run `f` under a complete span named `name` on this rank's comms
+    /// track — the single instrumentation point every collective routes
+    /// through. Untraced cost: one `Option` check.
+    pub(crate) fn traced<R>(&mut self, name: &'static str, f: impl FnOnce(&mut Self) -> R) -> R {
+        let Some(tracer) = self.tracer.clone() else {
+            return f(self);
+        };
+        let start = tracer.begin();
+        let out = f(self);
+        tracer.complete_full(name, start, 0, "comm_size", self.size() as u64);
+        out
+    }
+
+    /// Emit an instant event on the comms track (retries, injected
+    /// faults, degradations). No-op without a tracer.
+    pub(crate) fn trace_instant(&self, name: &'static str, arg_name: &'static str, arg: u64) {
+        if let Some(t) = &self.tracer {
+            t.instant_full(name, 0, arg_name, arg);
         }
     }
 }

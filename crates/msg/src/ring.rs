@@ -49,46 +49,49 @@ impl Comm {
         if p == 1 || buf.is_empty() {
             return Ok(());
         }
-        // Ring tag space: bit 61 set, sequence in the high bits, step index in
-        // the low 16 bits — consecutive ring collectives can never cross-match.
-        let tag = (1 << 61) | (self.next_collective_tag() << 16);
-        let rank = self.rank();
-        let right = (rank + 1) % p;
-        let left = (rank + p - 1) % p;
-        let elem_bytes = std::mem::size_of::<T>();
+        self.traced("allreduce_ring", |c| {
+            // Ring tag space: bit 61 set, sequence in the high bits, step index
+            // in the low 16 bits — consecutive ring collectives can never
+            // cross-match.
+            let tag = (1 << 61) | (c.next_collective_tag() << 16);
+            let rank = c.rank();
+            let right = (rank + 1) % p;
+            let left = (rank + p - 1) % p;
+            let elem_bytes = std::mem::size_of::<T>();
 
-        // Phase 1: reduce-scatter. At step s we send the chunk we just
-        // finished accumulating and fold the incoming one.
-        for s in 0..p - 1 {
-            let send_chunk = (rank + p - s) % p;
-            let recv_chunk = (rank + p - s - 1) % p;
-            let send_range = chunk_range(buf.len(), p, send_chunk);
-            let payload: Vec<T> = buf[send_range].to_vec();
-            let bytes = elem_bytes * payload.len();
-            self.csend(right, tag | s as u64, payload, bytes, OpKind::AllReduce)?;
-            let incoming: Vec<T> = self.crecv(left, tag | s as u64)?;
-            let recv_range = chunk_range(buf.len(), p, recv_chunk);
-            op(&mut buf[recv_range], &incoming);
-        }
-        // Phase 2: allgather the finished chunks.
-        for s in 0..p - 1 {
-            let send_chunk = (rank + 1 + p - s) % p;
-            let recv_chunk = (rank + p - s) % p;
-            let send_range = chunk_range(buf.len(), p, send_chunk);
-            let payload: Vec<T> = buf[send_range].to_vec();
-            let bytes = elem_bytes * payload.len();
-            self.csend(
-                right,
-                tag | (p + s) as u64,
-                payload,
-                bytes,
-                OpKind::AllReduce,
-            )?;
-            let incoming: Vec<T> = self.crecv(left, tag | (p + s) as u64)?;
-            let recv_range = chunk_range(buf.len(), p, recv_chunk);
-            buf[recv_range].clone_from_slice(&incoming);
-        }
-        Ok(())
+            // Phase 1: reduce-scatter. At step s we send the chunk we just
+            // finished accumulating and fold the incoming one.
+            for s in 0..p - 1 {
+                let send_chunk = (rank + p - s) % p;
+                let recv_chunk = (rank + p - s - 1) % p;
+                let send_range = chunk_range(buf.len(), p, send_chunk);
+                let payload: Vec<T> = buf[send_range].to_vec();
+                let bytes = elem_bytes * payload.len();
+                c.csend(right, tag | s as u64, payload, bytes, OpKind::AllReduce)?;
+                let incoming: Vec<T> = c.crecv(left, tag | s as u64)?;
+                let recv_range = chunk_range(buf.len(), p, recv_chunk);
+                op(&mut buf[recv_range], &incoming);
+            }
+            // Phase 2: allgather the finished chunks.
+            for s in 0..p - 1 {
+                let send_chunk = (rank + 1 + p - s) % p;
+                let recv_chunk = (rank + p - s) % p;
+                let send_range = chunk_range(buf.len(), p, send_chunk);
+                let payload: Vec<T> = buf[send_range].to_vec();
+                let bytes = elem_bytes * payload.len();
+                c.csend(
+                    right,
+                    tag | (p + s) as u64,
+                    payload,
+                    bytes,
+                    OpKind::AllReduce,
+                )?;
+                let incoming: Vec<T> = c.crecv(left, tag | (p + s) as u64)?;
+                let recv_range = chunk_range(buf.len(), p, recv_chunk);
+                buf[recv_range].clone_from_slice(&incoming);
+            }
+            Ok(())
+        })
     }
 
     /// Ring sum all-reduce for `f64` buffers.

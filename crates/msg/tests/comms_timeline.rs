@@ -1,0 +1,129 @@
+//! Per-rank comms timelines: every collective must emit a balanced
+//! `Complete` span on its rank's track, fault injection and retries must
+//! leave instant markers, and split communicators must inherit the tracer.
+
+use msg::{Comm, FaultKind, FaultPlan, World};
+use std::sync::Arc;
+use std::time::Duration;
+use swkm_obs::{EventKind, TraceBuffer, Tracer};
+
+fn attach(comm: &mut Comm, buf: &Arc<TraceBuffer>) {
+    comm.set_tracer(Tracer::new(Arc::clone(buf), "comm", comm.rank() as u32));
+}
+
+#[test]
+fn collectives_emit_balanced_per_rank_spans() {
+    let p = 4;
+    let buf = TraceBuffer::shared(8192);
+    let b = Arc::clone(&buf);
+    World::run(p, move |comm| {
+        attach(comm, &b);
+        comm.barrier();
+        let mut v = vec![comm.rank() as f64; 8];
+        comm.allreduce_sum_f64(&mut v);
+        let mut r = vec![1.0f64; 16];
+        comm.allreduce_ring_sum_f64(&mut r);
+        let mut pairs = vec![(comm.rank() as f64, comm.rank() as u64)];
+        comm.allreduce_min_loc(&mut pairs);
+        let _ = comm.allgather(comm.rank() as u32);
+        // Split communicators inherit the tracer (same track).
+        let mut sub = comm.split((comm.rank() % 2) as u64, comm.rank() as u64);
+        sub.barrier();
+    });
+
+    let events = buf.snapshot();
+    let stats = buf.stats();
+    assert_eq!(stats.dropped, 0, "buffer sized to retain everything");
+    assert_eq!(stats.retained as usize, events.len());
+    assert!(!events.is_empty());
+
+    for want in [
+        "barrier",
+        "allreduce_tree",
+        "allreduce_ring",
+        "minloc",
+        "allgather",
+        "gather",
+        "broadcast",
+    ] {
+        assert!(
+            events.iter().any(|e| e.name == want),
+            "missing collective span {want:?}"
+        );
+    }
+    // Every rank produced the same multiset of spans: collectives are
+    // symmetric, so the timeline must be too.
+    let mut per_track: Vec<Vec<&str>> = vec![Vec::new(); p];
+    for e in &events {
+        assert_eq!(e.proc, "comm");
+        assert!(matches!(e.kind, EventKind::Complete));
+        assert!((e.track as usize) < p, "track {} out of range", e.track);
+        assert_eq!(e.arg_name, "comm_size");
+        assert!(e.arg == p as u64 || e.arg == (p / 2) as u64);
+        per_track[e.track as usize].push(e.name);
+    }
+    for t in per_track.iter_mut() {
+        t.sort_unstable();
+    }
+    for t in &per_track[1..] {
+        assert_eq!(t, &per_track[0], "asymmetric per-rank timelines");
+    }
+    // The split barrier ran on the 2-rank subcommunicator.
+    assert!(events
+        .iter()
+        .any(|e| e.name == "barrier" && e.arg == (p / 2) as u64));
+}
+
+#[test]
+fn faults_and_retries_leave_instant_markers() {
+    let p = 4;
+    let buf = TraceBuffer::shared(16384);
+    let b = Arc::clone(&buf);
+    let plan = Arc::new(
+        FaultPlan::seeded(0xFA11, 0.35)
+            .with_kinds(&[FaultKind::Drop])
+            .with_restart_ms(2),
+    );
+    let (_, _, stats) = World::run_with_faults(
+        p,
+        Duration::from_secs(60),
+        Some(Arc::clone(&plan)),
+        move |comm| {
+            attach(comm, &b);
+            for _ in 0..6 {
+                let mut v = vec![comm.rank() as f64; 32];
+                comm.allreduce_sum_f64(&mut v);
+            }
+        },
+    );
+    let injected: u64 = stats.iter().map(|s| s.injected_total()).sum();
+    assert!(injected > 0, "plan should inject at least one drop");
+
+    let events = buf.snapshot();
+    let drops = events
+        .iter()
+        .filter(|e| e.name == "fault_drop" && matches!(e.kind, EventKind::Instant))
+        .count();
+    let retries = events
+        .iter()
+        .filter(|e| e.name == "recv_retry" && matches!(e.kind, EventKind::Instant))
+        .count();
+    assert!(
+        drops as u64 >= injected,
+        "every injected drop leaves a marker"
+    );
+    assert!(retries > 0, "dropped packets force recv retries");
+    // Spans still balance around the chaos.
+    assert!(events.iter().any(|e| e.name == "allreduce_tree"));
+}
+
+#[test]
+fn untraced_comms_emit_nothing() {
+    let buf = TraceBuffer::shared(64);
+    World::run(3, |comm| {
+        comm.barrier();
+        let mut v = vec![1.0f64; 4];
+        comm.allreduce_sum_f64(&mut v);
+    });
+    assert_eq!(buf.stats().pushed, 0);
+}

@@ -1,0 +1,170 @@
+//! Chrome-trace / Perfetto JSON exporter for [`TraceEvent`]s.
+//!
+//! Hand-rolled JSON with fully deterministic ordering, following the same
+//! discipline as [`crate::export`]: events are sorted by (process, track,
+//! timestamp, name), object keys are emitted in a fixed order, and
+//! timestamps are fixed-point microseconds — so two exports of the same
+//! snapshot are byte-identical. Open the output in <https://ui.perfetto.dev>
+//! or `chrome://tracing`.
+
+use crate::trace::{EventKind, TraceEvent};
+use std::fmt::Write as _;
+
+/// Microseconds with nanosecond precision, as a fixed-point decimal
+/// (`1234.567`). Avoids float formatting so output is stable.
+fn us(ns: u64) -> String {
+    format!("{}.{:03}", ns / 1000, ns % 1000)
+}
+
+fn args_json(e: &TraceEvent) -> String {
+    let mut parts = Vec::new();
+    if e.trace_id != 0 {
+        parts.push(format!("\"trace_id\":\"{}\"", e.trace_id));
+    }
+    if !e.arg_name.is_empty() {
+        parts.push(format!("\"{}\":{}", e.arg_name, e.arg));
+    }
+    if parts.is_empty() {
+        String::new()
+    } else {
+        format!(",\"args\":{{{}}}", parts.join(","))
+    }
+}
+
+/// Render events (plus the buffer's dropped-event count) as one
+/// Chrome-trace JSON document.
+///
+/// Each distinct `proc` becomes a pid (1-based, in sorted-name order,
+/// named via `process_name` metadata); each `track` becomes a tid within
+/// its process. [`EventKind::Complete`] events render as `"X"` with
+/// `ts`/`dur`, [`EventKind::Instant`] as thread-scoped `"i"`.
+pub fn to_chrome_json(events: &[TraceEvent], dropped: u64) -> String {
+    let mut procs: Vec<&'static str> = events.iter().map(|e| e.proc).collect();
+    procs.sort_unstable();
+    procs.dedup();
+    let pid_of = |p: &str| procs.iter().position(|&q| q == p).unwrap_or(0) + 1;
+
+    let mut sorted: Vec<&TraceEvent> = events.iter().collect();
+    sorted.sort_by_key(|e| (pid_of(e.proc), e.track, e.ts_ns, e.name));
+
+    let mut out = String::with_capacity(64 + events.len() * 96);
+    out.push_str("{\"displayTimeUnit\":\"ms\",\"otherData\":{\"dropped_events\":\"");
+    let _ = write!(out, "{dropped}");
+    out.push_str("\"},\"traceEvents\":[");
+    let mut first = true;
+    let mut sep = |out: &mut String| {
+        if first {
+            first = false;
+        } else {
+            out.push(',');
+        }
+    };
+    for (i, p) in procs.iter().enumerate() {
+        sep(&mut out);
+        let _ = write!(
+            out,
+            "{{\"args\":{{\"name\":\"{}\"}},\"name\":\"process_name\",\"ph\":\"M\",\"pid\":{},\"tid\":0}}",
+            crate::export::escape_json(p),
+            i + 1
+        );
+    }
+    for e in sorted {
+        sep(&mut out);
+        let name = crate::export::escape_json(e.name);
+        match e.kind {
+            EventKind::Complete => {
+                let _ = write!(
+                    out,
+                    "{{\"name\":\"{}\",\"ph\":\"X\",\"pid\":{},\"tid\":{},\"ts\":{},\"dur\":{}{}}}",
+                    name,
+                    pid_of(e.proc),
+                    e.track,
+                    us(e.ts_ns),
+                    us(e.dur_ns),
+                    args_json(e)
+                );
+            }
+            EventKind::Instant => {
+                let _ = write!(
+                    out,
+                    "{{\"name\":\"{}\",\"ph\":\"i\",\"s\":\"t\",\"pid\":{},\"tid\":{},\"ts\":{}{}}}",
+                    name,
+                    pid_of(e.proc),
+                    e.track,
+                    us(e.ts_ns),
+                    args_json(e)
+                );
+            }
+        }
+    }
+    out.push_str("]}");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ev(proc: &'static str, track: u32, ts: u64, name: &'static str) -> TraceEvent {
+        TraceEvent {
+            ts_ns: ts,
+            dur_ns: 1500,
+            proc,
+            track,
+            name,
+            kind: EventKind::Complete,
+            trace_id: 0,
+            arg_name: "",
+            arg: 0,
+        }
+    }
+
+    #[test]
+    fn fixed_point_microseconds() {
+        assert_eq!(us(0), "0.000");
+        assert_eq!(us(1), "0.001");
+        assert_eq!(us(1_234_567), "1234.567");
+    }
+
+    #[test]
+    fn export_is_deterministic_and_ordered() {
+        // Deliberately unsorted input across two processes.
+        let events = vec![
+            ev("train", 1, 50, "update"),
+            ev("comm", 0, 10, "allreduce"),
+            ev("train", 0, 5, "assign"),
+        ];
+        let a = to_chrome_json(&events, 3);
+        let b = to_chrome_json(&events, 3);
+        assert_eq!(a, b);
+        assert!(a.contains("\"dropped_events\":\"3\""));
+        // Process metadata for both procs, sorted: comm=1, train=2.
+        assert!(a.contains("{\"args\":{\"name\":\"comm\"},\"name\":\"process_name\",\"ph\":\"M\",\"pid\":1,\"tid\":0}"));
+        assert!(a.contains("{\"args\":{\"name\":\"train\"},\"name\":\"process_name\",\"ph\":\"M\",\"pid\":2,\"tid\":0}"));
+        // comm events precede train events in the array.
+        assert!(a.find("allreduce").unwrap() < a.find("assign").unwrap());
+        assert!(a.contains("\"ts\":0.010,\"dur\":1.500"));
+    }
+
+    #[test]
+    fn instants_and_args_render() {
+        let mut e = ev("serve", 2, 7, "shard_failover");
+        e.kind = EventKind::Instant;
+        e.trace_id = 99;
+        e.arg_name = "shard";
+        e.arg = 1;
+        let json = to_chrome_json(&[e], 0);
+        assert!(json.contains(
+            "{\"name\":\"shard_failover\",\"ph\":\"i\",\"s\":\"t\",\"pid\":1,\"tid\":2,\
+             \"ts\":0.007,\"args\":{\"trace_id\":\"99\",\"shard\":1}}"
+        ));
+    }
+
+    #[test]
+    fn empty_input_is_valid_json() {
+        assert_eq!(
+            to_chrome_json(&[], 0),
+            "{\"displayTimeUnit\":\"ms\",\"otherData\":{\"dropped_events\":\"0\"},\"traceEvents\":[]}"
+        );
+    }
+}

@@ -7,7 +7,7 @@ use std::fmt::Write as _;
 use sw_des::stats::Histogram;
 
 /// Escape a string for inclusion in a JSON document.
-fn escape_json(s: &str) -> String {
+pub(crate) fn escape_json(s: &str) -> String {
     let mut out = String::with_capacity(s.len());
     for c in s.chars() {
         match c {
@@ -146,6 +146,25 @@ pub fn snapshot_to_prometheus(snapshot: &BTreeMap<String, MetricValue>) -> Strin
     out
 }
 
+/// Render slow-request exemplars as Prometheus text: one labeled gauge
+/// sample per exemplar, `metric{trace_id="…"} value`. Exemplars live
+/// outside the [`MetricsRegistry`] (they carry labels, which the
+/// registry's flat vocabulary deliberately does not), so appending this
+/// to [`to_prometheus`] output never perturbs the JSON export — the
+/// byte-identical re-export guarantee is untouched.
+pub fn prom_exemplars(metric: &str, exemplars: &[(u64, u64)]) -> String {
+    if exemplars.is_empty() {
+        return String::new();
+    }
+    let name = prom_name(metric);
+    let mut out = String::new();
+    let _ = writeln!(out, "# TYPE {name} gauge");
+    for &(value, trace_id) in exemplars {
+        let _ = writeln!(out, "{name}{{trace_id=\"{trace_id}\"}} {value}");
+    }
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -208,6 +227,25 @@ mod tests {
     fn prom_name_sanitises() {
         assert_eq!(prom_name("a.b-c/d"), "a_b_c_d");
         assert_eq!(prom_name("9lives"), "_9lives");
+    }
+
+    #[test]
+    fn exemplars_append_without_touching_json() {
+        let reg = sample_registry();
+        let json_before = to_json(&reg);
+        let exemplars = vec![(1_500_000u64, 42u64), (900_000, 7)];
+        let text = format!(
+            "{}{}",
+            to_prometheus(&reg),
+            prom_exemplars("serve_latency_exemplar", &exemplars)
+        );
+        assert!(text.contains("# TYPE serve_latency_exemplar gauge"));
+        assert!(text.contains("serve_latency_exemplar{trace_id=\"42\"} 1500000"));
+        assert!(text.contains("serve_latency_exemplar{trace_id=\"7\"} 900000"));
+        // Exemplars live outside the registry: the JSON document is
+        // byte-identical before and after rendering them.
+        assert_eq!(json_before, to_json(&reg));
+        assert_eq!(prom_exemplars("x", &[]), "");
     }
 
     #[test]

@@ -1,0 +1,215 @@
+//! Triggered flight recorder: the trace ring is always recording
+//! cheaply, and a trigger (SLO breach, fault storm, every shard down, a
+//! model hot-swap) atomically dumps the last events as a Chrome-trace
+//! JSON file through a [`DumpSink`].
+//!
+//! `swkm-obs` sits below the storage crate, so the recorder writes
+//! through its own one-method sink trait; `swkm-store` adapts its `Vfs`
+//! implementations onto it (atomic temp-file + rename semantics come for
+//! free there).
+
+use crate::trace::TraceBuffer;
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+/// Where flight dumps land. Implementations must make the write atomic:
+/// a reader never observes a partially-written dump.
+pub trait DumpSink: Send + Sync {
+    fn write_atomic(&self, name: &str, bytes: &[u8]) -> Result<(), String>;
+}
+
+/// In-memory sink for tests and embedded use.
+#[derive(Debug, Default)]
+pub struct MemSink {
+    files: Mutex<BTreeMap<String, Vec<u8>>>,
+}
+
+impl MemSink {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Names of every dump written so far, sorted.
+    pub fn names(&self) -> Vec<String> {
+        let files = self.files.lock().unwrap_or_else(|e| e.into_inner());
+        files.keys().cloned().collect()
+    }
+
+    pub fn get(&self, name: &str) -> Option<Vec<u8>> {
+        let files = self.files.lock().unwrap_or_else(|e| e.into_inner());
+        files.get(name).cloned()
+    }
+}
+
+impl DumpSink for MemSink {
+    fn write_atomic(&self, name: &str, bytes: &[u8]) -> Result<(), String> {
+        let mut files = self.files.lock().unwrap_or_else(|e| e.into_inner());
+        files.insert(name.to_string(), bytes.to_vec());
+        Ok(())
+    }
+}
+
+impl<S: DumpSink + ?Sized> DumpSink for Arc<S> {
+    fn write_atomic(&self, name: &str, bytes: &[u8]) -> Result<(), String> {
+        (**self).write_atomic(name, bytes)
+    }
+}
+
+/// Turn a trigger reason into a filename-safe slug.
+fn slug(reason: &str) -> String {
+    let mut out: String = reason
+        .chars()
+        .map(|c| {
+            if c.is_ascii_alphanumeric() || c == '-' || c == '_' {
+                c.to_ascii_lowercase()
+            } else {
+                '_'
+            }
+        })
+        .collect();
+    out.truncate(48);
+    if out.is_empty() {
+        out.push_str("trigger");
+    }
+    out
+}
+
+/// The recorder itself: holds the always-on ring and dumps on demand,
+/// rate-limited to `max_dumps` over its lifetime so a trigger storm
+/// (e.g. one failover per batch while a shard is down) cannot fill the
+/// disk with near-identical snapshots.
+pub struct FlightRecorder {
+    buffer: Arc<TraceBuffer>,
+    sink: Box<dyn DumpSink>,
+    max_dumps: u64,
+    /// Keep only the newest M events of the snapshot (the "last M
+    /// events" window).
+    last_events: usize,
+    dumps: AtomicU64,
+    triggers: AtomicU64,
+}
+
+impl std::fmt::Debug for FlightRecorder {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("FlightRecorder")
+            .field("max_dumps", &self.max_dumps)
+            .field("last_events", &self.last_events)
+            .field("dumps", &self.dumps.load(Ordering::Relaxed))
+            .field("triggers", &self.triggers.load(Ordering::Relaxed))
+            .finish_non_exhaustive()
+    }
+}
+
+impl FlightRecorder {
+    pub fn new(
+        buffer: Arc<TraceBuffer>,
+        sink: Box<dyn DumpSink>,
+        max_dumps: u64,
+        last_events: usize,
+    ) -> Self {
+        FlightRecorder {
+            buffer,
+            sink,
+            max_dumps,
+            last_events: last_events.max(1),
+            dumps: AtomicU64::new(0),
+            triggers: AtomicU64::new(0),
+        }
+    }
+
+    pub fn buffer(&self) -> &Arc<TraceBuffer> {
+        &self.buffer
+    }
+
+    /// Fire the recorder. Returns the dump's filename
+    /// (`flight-<seq>-<reason>.json`) if a dump was written; `None` once
+    /// the dump budget is spent or if the sink failed. Always cheap when
+    /// rate-limited: the snapshot is only taken for real dumps.
+    pub fn trigger(&self, reason: &str) -> Option<String> {
+        self.triggers.fetch_add(1, Ordering::Relaxed);
+        // Claim a dump slot without burning budget on over-limit calls.
+        let mut seq = self.dumps.load(Ordering::Relaxed);
+        loop {
+            if seq >= self.max_dumps {
+                return None;
+            }
+            match self.dumps.compare_exchange_weak(
+                seq,
+                seq + 1,
+                Ordering::Relaxed,
+                Ordering::Relaxed,
+            ) {
+                Ok(_) => break,
+                Err(cur) => seq = cur,
+            }
+        }
+        let mut events = self.buffer.snapshot();
+        if events.len() > self.last_events {
+            events.drain(..events.len() - self.last_events);
+        }
+        let dropped = self.buffer.stats().dropped;
+        let json = crate::chrome::to_chrome_json(&events, dropped);
+        let name = format!("flight-{seq}-{}.json", slug(reason));
+        match self.sink.write_atomic(&name, json.as_bytes()) {
+            Ok(()) => Some(name),
+            Err(_) => None,
+        }
+    }
+
+    /// Dumps actually written.
+    pub fn dumps(&self) -> u64 {
+        self.dumps.load(Ordering::Relaxed)
+    }
+
+    /// Triggers fired, including rate-limited ones.
+    pub fn triggers(&self) -> u64 {
+        self.triggers.load(Ordering::Relaxed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::trace::Tracer;
+
+    #[test]
+    fn trigger_dumps_last_events_and_rate_limits() {
+        let buf = TraceBuffer::shared(256);
+        let t = Tracer::new(Arc::clone(&buf), "serve", 0);
+        for _ in 0..10 {
+            let s = t.begin();
+            t.complete("work", s);
+        }
+        let sink = Arc::new(MemSink::new());
+        let rec = FlightRecorder::new(
+            Arc::clone(&buf),
+            Box::new(Arc::clone(&sink)),
+            2,
+            4, // keep only the newest 4 events
+        );
+        let first = rec.trigger("all shards down").unwrap();
+        assert_eq!(first, "flight-0-all_shards_down.json");
+        let body = String::from_utf8(sink.get(&first).unwrap()).unwrap();
+        assert_eq!(body.matches("\"ph\":\"X\"").count(), 4);
+        assert!(rec.trigger("slo-breach").is_some());
+        // Budget spent: further triggers are counted but write nothing.
+        assert!(rec.trigger("slo-breach").is_none());
+        assert_eq!(rec.dumps(), 2);
+        assert_eq!(rec.triggers(), 3);
+        assert_eq!(sink.names().len(), 2);
+    }
+
+    #[test]
+    fn slug_sanitises_reasons() {
+        assert_eq!(slug("All Shards/Down!"), "all_shards_down_");
+        assert_eq!(slug(""), "trigger");
+    }
+
+    #[test]
+    fn debug_does_not_require_sink_debug() {
+        let buf = TraceBuffer::shared(8);
+        let rec = FlightRecorder::new(buf, Box::new(MemSink::new()), 1, 8);
+        assert!(format!("{rec:?}").contains("FlightRecorder"));
+    }
+}

@@ -41,13 +41,27 @@
 //! [`LocalHists`] scratch pad and fold it into the shared registry once, on
 //! drop — mirroring the `StageHists` merge pattern the serving pipeline
 //! established (power-of-two buckets make the merge lossless).
+//!
+//! # Event-level tracing
+//!
+//! Aggregates answer "how slow"; the [`trace`] module answers "why":
+//! a bounded [`TraceBuffer`] ring records epoch-stamped events from every
+//! subsystem (training phases per rank, collectives per rank, serving
+//! stages per request), [`chrome::to_chrome_json`] exports them for
+//! Perfetto/`chrome://tracing`, and a [`FlightRecorder`] dumps the last
+//! events when something breaches an SLO or a fault storm hits.
 
+pub mod chrome;
 pub mod export;
+pub mod flight;
 pub mod registry;
 pub mod span;
+pub mod trace;
 
+pub use flight::{DumpSink, FlightRecorder, MemSink};
 pub use registry::{MetricValue, MetricsRegistry};
 pub use span::{LocalHists, Span};
+pub use trace::{EventKind, TraceBuffer, TraceEvent, TraceSpan, TraceStats, Tracer};
 
 /// Open an RAII timing span against a registry: `span!(reg, "assign")`
 /// returns a guard that records its elapsed nanoseconds into the histogram

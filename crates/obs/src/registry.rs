@@ -54,13 +54,16 @@ impl MetricsRegistry {
     }
 
     /// Add `delta` to the counter `name`, creating it at zero if absent.
+    /// Only the creating call allocates (the `get_mut` fast path keeps
+    /// hot-loop increments allocation-free).
     pub fn counter_add(&self, name: &str, delta: u64) {
-        self.with_inner(
-            |m| match m.entry(name.to_string()).or_insert(MetricValue::Counter(0)) {
-                MetricValue::Counter(c) => *c += delta,
-                other => panic!("metric `{name}` is a {}, not a counter", other.kind()),
-            },
-        );
+        self.with_inner(|m| match m.get_mut(name) {
+            Some(MetricValue::Counter(c)) => *c += delta,
+            Some(other) => panic!("metric `{name}` is a {}, not a counter", other.kind()),
+            None => {
+                m.insert(name.to_string(), MetricValue::Counter(delta));
+            }
+        });
     }
 
     /// Increment the counter `name` by one.
@@ -77,15 +80,14 @@ impl MetricsRegistry {
         })
     }
 
-    /// Set the gauge `name` to `value` (last write wins).
+    /// Set the gauge `name` to `value` (last write wins). Only the
+    /// creating call allocates.
     pub fn gauge_set(&self, name: &str, value: f64) {
-        self.with_inner(|m| {
-            match m
-                .entry(name.to_string())
-                .or_insert(MetricValue::Gauge(value))
-            {
-                MetricValue::Gauge(g) => *g = value,
-                other => panic!("metric `{name}` is a {}, not a gauge", other.kind()),
+        self.with_inner(|m| match m.get_mut(name) {
+            Some(MetricValue::Gauge(g)) => *g = value,
+            Some(other) => panic!("metric `{name}` is a {}, not a gauge", other.kind()),
+            None => {
+                m.insert(name.to_string(), MetricValue::Gauge(value));
             }
         });
     }
@@ -99,15 +101,16 @@ impl MetricsRegistry {
         })
     }
 
-    /// Record one sample into the histogram `name`, creating it if absent.
+    /// Record one sample into the histogram `name`, creating it if
+    /// absent. Only the creating call allocates.
     pub fn record(&self, name: &str, value: u64) {
-        self.with_inner(|m| {
-            match m
-                .entry(name.to_string())
-                .or_insert_with(|| MetricValue::Histogram(Histogram::new()))
-            {
-                MetricValue::Histogram(h) => h.record(value),
-                other => panic!("metric `{name}` is a {}, not a histogram", other.kind()),
+        self.with_inner(|m| match m.get_mut(name) {
+            Some(MetricValue::Histogram(h)) => h.record(value),
+            Some(other) => panic!("metric `{name}` is a {}, not a histogram", other.kind()),
+            None => {
+                let mut h = Histogram::new();
+                h.record(value);
+                m.insert(name.to_string(), MetricValue::Histogram(h));
             }
         });
     }
@@ -117,13 +120,11 @@ impl MetricsRegistry {
     /// [`crate::LocalHists`]). Lossless because buckets are fixed powers of
     /// two.
     pub fn merge_histogram(&self, name: &str, hist: &Histogram) {
-        self.with_inner(|m| {
-            match m
-                .entry(name.to_string())
-                .or_insert_with(|| MetricValue::Histogram(Histogram::new()))
-            {
-                MetricValue::Histogram(h) => h.merge(hist),
-                other => panic!("metric `{name}` is a {}, not a histogram", other.kind()),
+        self.with_inner(|m| match m.get_mut(name) {
+            Some(MetricValue::Histogram(h)) => h.merge(hist),
+            Some(other) => panic!("metric `{name}` is a {}, not a histogram", other.kind()),
+            None => {
+                m.insert(name.to_string(), MetricValue::Histogram(hist.clone()));
             }
         });
     }

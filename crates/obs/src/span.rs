@@ -2,8 +2,25 @@
 
 use crate::registry::MetricsRegistry;
 use std::collections::BTreeMap;
+use std::sync::Mutex;
 use std::time::Instant;
 use sw_des::stats::Histogram;
+
+/// Intern `<name>_ns` once per distinct span name. Span names are a
+/// small, static vocabulary (phase and stage names), so leaking the
+/// suffixed strings is bounded; after the first call for a name,
+/// [`Span::enter`] never allocates — per-micro-batch spans on the
+/// serving hot path are free of `format!` churn.
+fn interned_ns(name: &str) -> &'static str {
+    static INTERNED: Mutex<BTreeMap<String, &'static str>> = Mutex::new(BTreeMap::new());
+    let mut map = INTERNED.lock().unwrap_or_else(|e| e.into_inner());
+    if let Some(&s) = map.get(name) {
+        return s;
+    }
+    let leaked: &'static str = Box::leak(format!("{name}_ns").into_boxed_str());
+    map.insert(name.to_string(), leaked);
+    leaked
+}
 
 /// An RAII timing guard: created by [`Span::enter`] (or the
 /// [`span!`](crate::span!) macro), it records its elapsed wall time in
@@ -22,17 +39,18 @@ use sw_des::stats::Histogram;
 #[derive(Debug)]
 pub struct Span<'r> {
     registry: &'r MetricsRegistry,
-    name: String,
+    name: &'static str,
     start: Instant,
     finished: bool,
 }
 
 impl<'r> Span<'r> {
-    /// Start timing `name` against `registry`.
+    /// Start timing `name` against `registry`. The suffixed histogram
+    /// name is interned: only the first span of a given name allocates.
     pub fn enter(registry: &'r MetricsRegistry, name: &str) -> Self {
         Span {
             registry,
-            name: format!("{name}_ns"),
+            name: interned_ns(name),
             start: Instant::now(),
             finished: false,
         }
@@ -46,7 +64,7 @@ impl<'r> Span<'r> {
     /// Close the span now and return the recorded nanoseconds.
     pub fn finish(mut self) -> u64 {
         let ns = self.elapsed_ns();
-        self.registry.record(&self.name, ns);
+        self.registry.record(self.name, ns);
         self.finished = true;
         ns
     }
@@ -56,7 +74,7 @@ impl Drop for Span<'_> {
     fn drop(&mut self) {
         if !self.finished {
             let ns = self.elapsed_ns();
-            self.registry.record(&self.name, ns);
+            self.registry.record(self.name, ns);
         }
     }
 }
@@ -92,8 +110,13 @@ impl<'r> LocalHists<'r> {
         }
     }
 
-    /// Record one sample into the local histogram `name`.
+    /// Record one sample into the local histogram `name`. Allocates only
+    /// on the first sample of a given name.
     pub fn record(&mut self, name: &str, value: u64) {
+        if let Some(h) = self.hists.get_mut(name) {
+            h.record(value);
+            return;
+        }
         self.hists
             .entry(name.to_string())
             .or_default()

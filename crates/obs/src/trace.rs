@@ -1,0 +1,513 @@
+//! Event-level tracing: a bounded, sharded ring buffer of fixed-size
+//! [`TraceEvent`]s plus the cheap [`Tracer`] writer handle.
+//!
+//! The buffer is "lock-free-ish": writers never contend in practice
+//! because each thread is pinned to one shard (a short-critical-section
+//! mutex around a preallocated ring), pushes never allocate, and a
+//! disabled buffer costs one relaxed atomic load. When a shard's ring is
+//! full the oldest event is overwritten and counted as dropped, so the
+//! conservation invariant `retained + dropped == pushed` always holds —
+//! the flight recorder relies on the ring always recording cheaply.
+//!
+//! Timestamps are nanoseconds since the buffer's construction epoch
+//! ([`TraceBuffer::now_ns`]); every writer of one buffer therefore shares
+//! a clock and the exported timeline lines up across ranks, workers and
+//! the serving pipeline.
+
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::Instant;
+
+/// How an event renders on the timeline.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EventKind {
+    /// A span with a start and a duration (Chrome `"X"`).
+    Complete,
+    /// A point-in-time marker (Chrome `"i"`), e.g. a retry or a fault.
+    Instant,
+}
+
+/// One fixed-size trace event. Names are `&'static str` so recording
+/// never allocates; the optional numeric argument (`arg_name`/`arg`)
+/// carries small payloads like an iteration index, a shard id or a batch
+/// size. `trace_id` links serving events belonging to one request
+/// (`0` means "not request-scoped").
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TraceEvent {
+    /// Nanoseconds since the buffer epoch.
+    pub ts_ns: u64,
+    /// Span duration (zero for instants).
+    pub dur_ns: u64,
+    /// Process-level grouping in the exported view ("train", "comm",
+    /// "serve").
+    pub proc: &'static str,
+    /// Thread-level track within the process: SPMD rank, worker index.
+    pub track: u32,
+    pub name: &'static str,
+    pub kind: EventKind,
+    /// Request correlation id; `0` when the event is not per-request.
+    pub trace_id: u64,
+    /// Name of the numeric argument; `""` means no argument.
+    pub arg_name: &'static str,
+    pub arg: u64,
+}
+
+#[derive(Debug)]
+struct Shard {
+    ring: Vec<TraceEvent>,
+    /// Next overwrite position once the ring is full.
+    head: usize,
+    pushed: u64,
+    dropped: u64,
+}
+
+impl Shard {
+    /// Storage is preallocated so pushes never reallocate — the push
+    /// path must stay allocation-free.
+    fn with_capacity(cap: usize) -> Self {
+        Shard {
+            ring: Vec::with_capacity(cap),
+            head: 0,
+            pushed: 0,
+            dropped: 0,
+        }
+    }
+
+    fn push(&mut self, ev: TraceEvent, cap: usize) {
+        self.pushed += 1;
+        if self.ring.len() < cap {
+            self.ring.push(ev);
+        } else {
+            self.ring[self.head] = ev;
+            self.head = (self.head + 1) % cap;
+            self.dropped += 1;
+        }
+    }
+
+    /// Events oldest-first (ring order).
+    fn in_order(&self, out: &mut Vec<TraceEvent>) {
+        out.extend_from_slice(&self.ring[self.head..]);
+        out.extend_from_slice(&self.ring[..self.head]);
+    }
+}
+
+/// Conservation accounting for a buffer: every pushed event is either
+/// still retained or was dropped by ring overwrite.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct TraceStats {
+    pub pushed: u64,
+    pub dropped: u64,
+    pub retained: u64,
+}
+
+/// The bounded trace ring. Create one per process (fit run or serve
+/// bench), hand `Arc` clones to every subsystem, and export a snapshot
+/// with [`crate::chrome::to_chrome_json`] at the end — or let a
+/// [`crate::FlightRecorder`] dump it when something goes wrong.
+#[derive(Debug)]
+pub struct TraceBuffer {
+    shards: Vec<Mutex<Shard>>,
+    shard_cap: usize,
+    epoch: Instant,
+    enabled: AtomicBool,
+    /// Serve-side request sampling: trace 1-in-N admitted requests.
+    /// Training phases ignore this (always-on).
+    sample_every: u64,
+    next_id: AtomicU64,
+}
+
+/// Identity equality: a buffer is a live recording device, not a value.
+/// This is what lets configuration structs that carry an
+/// `Option<Arc<TraceBuffer>>` keep `derive(PartialEq)`.
+impl PartialEq for TraceBuffer {
+    fn eq(&self, other: &Self) -> bool {
+        std::ptr::eq(self, other)
+    }
+}
+
+const SHARDS: usize = 8;
+
+impl TraceBuffer {
+    /// A buffer retaining up to `capacity` events (rounded up to the
+    /// shard count), recording every event offered to it.
+    pub fn new(capacity: usize) -> Self {
+        Self::with_sampling(capacity, 1)
+    }
+
+    /// A buffer that additionally samples request-scoped tracing 1-in-
+    /// `sample_every` (see [`TraceBuffer::sample_hit`]). `0` and `1` both
+    /// mean "every request".
+    pub fn with_sampling(capacity: usize, sample_every: u64) -> Self {
+        let shard_cap = capacity.div_ceil(SHARDS).max(1);
+        TraceBuffer {
+            shards: (0..SHARDS)
+                .map(|_| Mutex::new(Shard::with_capacity(shard_cap)))
+                .collect(),
+            shard_cap,
+            epoch: Instant::now(),
+            enabled: AtomicBool::new(true),
+            sample_every: sample_every.max(1),
+            next_id: AtomicU64::new(0),
+        }
+    }
+
+    /// A fresh buffer behind an `Arc`, for sharing across threads.
+    pub fn shared(capacity: usize) -> Arc<Self> {
+        Arc::new(Self::new(capacity))
+    }
+
+    /// Nanoseconds since this buffer's construction — the shared clock
+    /// every event timestamp is expressed in.
+    pub fn now_ns(&self) -> u64 {
+        self.epoch.elapsed().as_nanos() as u64
+    }
+
+    /// Total events this buffer can retain.
+    pub fn capacity(&self) -> usize {
+        self.shard_cap * self.shards.len()
+    }
+
+    pub fn enabled(&self) -> bool {
+        self.enabled.load(Ordering::Relaxed)
+    }
+
+    /// Flip recording on/off. A disabled buffer drops pushes after one
+    /// relaxed atomic load — the cost of "tracing compiled in but off".
+    pub fn set_enabled(&self, on: bool) {
+        self.enabled.store(on, Ordering::Relaxed);
+    }
+
+    /// Allocate a nonzero request trace id.
+    pub fn next_trace_id(&self) -> u64 {
+        self.next_id.fetch_add(1, Ordering::Relaxed) + 1
+    }
+
+    /// Whether a request with this id should carry a full trace
+    /// (1-in-`sample_every` by id).
+    pub fn sample_hit(&self, trace_id: u64) -> bool {
+        self.sample_every <= 1 || trace_id.is_multiple_of(self.sample_every)
+    }
+
+    fn shard_index(&self) -> usize {
+        use std::cell::Cell;
+        // Each thread draws one ticket, ever; `Cell<usize>` has no
+        // destructor so first access does not allocate.
+        thread_local! {
+            static TICKET: Cell<usize> = const { Cell::new(usize::MAX) };
+        }
+        static NEXT_TICKET: AtomicUsize = AtomicUsize::new(0);
+        TICKET.with(|c| {
+            let mut t = c.get();
+            if t == usize::MAX {
+                t = NEXT_TICKET.fetch_add(1, Ordering::Relaxed);
+                c.set(t);
+            }
+            t % self.shards.len()
+        })
+    }
+
+    /// Record one event. Never allocates; never blocks beyond the pinned
+    /// shard's short critical section.
+    pub fn push(&self, ev: TraceEvent) {
+        if !self.enabled() {
+            return;
+        }
+        let idx = self.shard_index();
+        let mut shard = self.shards[idx].lock().unwrap_or_else(|e| e.into_inner());
+        shard.push(ev, self.shard_cap);
+    }
+
+    /// A consistent copy of the retained events, stably sorted by
+    /// timestamp (so each thread's events keep their push order).
+    pub fn snapshot(&self) -> Vec<TraceEvent> {
+        let mut out = Vec::new();
+        for shard in &self.shards {
+            let shard = shard.lock().unwrap_or_else(|e| e.into_inner());
+            shard.in_order(&mut out);
+        }
+        out.sort_by_key(|e| e.ts_ns);
+        out
+    }
+
+    /// Conservation accounting across all shards.
+    pub fn stats(&self) -> TraceStats {
+        let mut s = TraceStats::default();
+        for shard in &self.shards {
+            let shard = shard.lock().unwrap_or_else(|e| e.into_inner());
+            s.pushed += shard.pushed;
+            s.dropped += shard.dropped;
+            s.retained += shard.ring.len() as u64;
+        }
+        s
+    }
+}
+
+/// A cheap, cloneable writer handle binding a buffer to one `(proc,
+/// track)` timeline — one per SPMD rank, serving worker, or pipeline
+/// role. All methods are no-ops when the buffer is disabled.
+#[derive(Debug, Clone)]
+pub struct Tracer {
+    buf: Arc<TraceBuffer>,
+    proc: &'static str,
+    track: u32,
+}
+
+impl Tracer {
+    pub fn new(buf: Arc<TraceBuffer>, proc: &'static str, track: u32) -> Self {
+        Tracer { buf, proc, track }
+    }
+
+    /// The same buffer on a different track (e.g. per worker thread).
+    pub fn on_track(&self, track: u32) -> Tracer {
+        Tracer {
+            buf: Arc::clone(&self.buf),
+            proc: self.proc,
+            track,
+        }
+    }
+
+    pub fn buffer(&self) -> &Arc<TraceBuffer> {
+        &self.buf
+    }
+
+    /// Current timestamp on the buffer clock — pair with
+    /// [`Tracer::complete`] to bracket a span.
+    pub fn begin(&self) -> u64 {
+        self.buf.now_ns()
+    }
+
+    /// Record the span `[start_ns, now]` under `name`.
+    pub fn complete(&self, name: &'static str, start_ns: u64) {
+        self.complete_full(name, start_ns, 0, "", 0);
+    }
+
+    /// [`Tracer::complete`] with a request id and a numeric argument.
+    pub fn complete_full(
+        &self,
+        name: &'static str,
+        start_ns: u64,
+        trace_id: u64,
+        arg_name: &'static str,
+        arg: u64,
+    ) {
+        let dur = self.buf.now_ns().saturating_sub(start_ns);
+        self.complete_at(name, start_ns, dur, trace_id, arg_name, arg);
+    }
+
+    /// Record a span with an explicit start and duration — used when the
+    /// caller already measured the interval (e.g. phase timings that must
+    /// agree exactly with a separately-kept wall clock).
+    pub fn complete_at(
+        &self,
+        name: &'static str,
+        ts_ns: u64,
+        dur_ns: u64,
+        trace_id: u64,
+        arg_name: &'static str,
+        arg: u64,
+    ) {
+        self.buf.push(TraceEvent {
+            ts_ns,
+            dur_ns,
+            proc: self.proc,
+            track: self.track,
+            name,
+            kind: EventKind::Complete,
+            trace_id,
+            arg_name,
+            arg,
+        });
+    }
+
+    /// Record a point-in-time marker.
+    pub fn instant(&self, name: &'static str) {
+        self.instant_full(name, 0, "", 0);
+    }
+
+    /// [`Tracer::instant`] with a request id and a numeric argument.
+    pub fn instant_full(
+        &self,
+        name: &'static str,
+        trace_id: u64,
+        arg_name: &'static str,
+        arg: u64,
+    ) {
+        let ts = self.buf.now_ns();
+        self.buf.push(TraceEvent {
+            ts_ns: ts,
+            dur_ns: 0,
+            proc: self.proc,
+            track: self.track,
+            name,
+            kind: EventKind::Instant,
+            trace_id,
+            arg_name,
+            arg,
+        });
+    }
+
+    /// RAII span: records `[creation, drop]` under `name`.
+    pub fn span(&self, name: &'static str) -> TraceSpan<'_> {
+        TraceSpan {
+            tracer: self,
+            name,
+            start: self.begin(),
+        }
+    }
+}
+
+/// Guard returned by [`Tracer::span`]; records a complete event on drop.
+#[must_use = "a trace span records on drop; binding it to `_` drops it immediately"]
+#[derive(Debug)]
+pub struct TraceSpan<'t> {
+    tracer: &'t Tracer,
+    name: &'static str,
+    start: u64,
+}
+
+impl Drop for TraceSpan<'_> {
+    fn drop(&mut self) {
+        self.tracer.complete(self.name, self.start);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::thread;
+
+    fn ev(ts: u64, name: &'static str) -> TraceEvent {
+        TraceEvent {
+            ts_ns: ts,
+            dur_ns: 1,
+            proc: "test",
+            track: 0,
+            name,
+            kind: EventKind::Complete,
+            trace_id: 0,
+            arg_name: "",
+            arg: 0,
+        }
+    }
+
+    #[test]
+    fn push_snapshot_round_trip() {
+        let buf = TraceBuffer::new(64);
+        buf.push(ev(10, "a"));
+        buf.push(ev(5, "b"));
+        let snap = buf.snapshot();
+        assert_eq!(snap.len(), 2);
+        // Sorted by timestamp.
+        assert_eq!(snap[0].name, "b");
+        assert_eq!(snap[1].name, "a");
+        let s = buf.stats();
+        assert_eq!(s.pushed, 2);
+        assert_eq!(s.dropped, 0);
+        assert_eq!(s.retained, 2);
+    }
+
+    #[test]
+    fn ring_overwrites_oldest_and_conserves_counts() {
+        let buf = TraceBuffer::new(1); // one slot per shard
+        for i in 0..100 {
+            buf.push(ev(i, "x"));
+        }
+        let s = buf.stats();
+        assert_eq!(s.pushed, 100);
+        assert_eq!(s.pushed, s.retained + s.dropped);
+        // This thread is pinned to one shard, so exactly one event
+        // survives — the newest.
+        assert_eq!(s.retained, 1);
+        assert_eq!(buf.snapshot()[0].ts_ns, 99);
+    }
+
+    #[test]
+    fn disabled_buffer_drops_everything() {
+        let buf = TraceBuffer::new(16);
+        buf.set_enabled(false);
+        buf.push(ev(1, "a"));
+        assert_eq!(buf.stats().pushed, 0);
+        buf.set_enabled(true);
+        buf.push(ev(2, "b"));
+        assert_eq!(buf.stats().pushed, 1);
+    }
+
+    #[test]
+    fn sampling_hits_one_in_n() {
+        let buf = TraceBuffer::with_sampling(16, 4);
+        let hits = (1..=100u64).filter(|&id| buf.sample_hit(id)).count();
+        assert_eq!(hits, 25);
+        let every = TraceBuffer::new(16);
+        assert!(every.sample_hit(7));
+    }
+
+    #[test]
+    fn trace_ids_are_nonzero_and_unique() {
+        let buf = TraceBuffer::new(16);
+        let a = buf.next_trace_id();
+        let b = buf.next_trace_id();
+        assert_ne!(a, 0);
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn tracer_records_spans_and_instants() {
+        let buf = TraceBuffer::shared(64);
+        let t = Tracer::new(Arc::clone(&buf), "train", 3);
+        let start = t.begin();
+        t.complete_full("assign", start, 0, "iter", 7);
+        t.instant_full("retry", 42, "attempt", 2);
+        {
+            let _g = t.span("scoped");
+        }
+        let snap = buf.snapshot();
+        assert_eq!(snap.len(), 3);
+        let assign = snap.iter().find(|e| e.name == "assign").unwrap();
+        assert_eq!(assign.kind, EventKind::Complete);
+        assert_eq!(assign.proc, "train");
+        assert_eq!(assign.track, 3);
+        assert_eq!((assign.arg_name, assign.arg), ("iter", 7));
+        let retry = snap.iter().find(|e| e.name == "retry").unwrap();
+        assert_eq!(retry.kind, EventKind::Instant);
+        assert_eq!(retry.trace_id, 42);
+        assert!(snap.iter().any(|e| e.name == "scoped"));
+    }
+
+    #[test]
+    fn explicit_durations_are_preserved() {
+        let buf = TraceBuffer::shared(8);
+        let t = Tracer::new(Arc::clone(&buf), "train", 0);
+        t.complete_at("merge", 1000, 250, 0, "", 0);
+        let e = buf.snapshot()[0];
+        assert_eq!((e.ts_ns, e.dur_ns), (1000, 250));
+    }
+
+    #[test]
+    fn concurrent_writers_conserve_events() {
+        let buf = TraceBuffer::shared(128);
+        let threads = 8;
+        let per_thread = 1000u64;
+        thread::scope(|s| {
+            for _ in 0..threads {
+                let buf = Arc::clone(&buf);
+                s.spawn(move || {
+                    for i in 0..per_thread {
+                        buf.push(ev(i, "w"));
+                    }
+                });
+            }
+        });
+        let st = buf.stats();
+        assert_eq!(st.pushed, threads * per_thread);
+        assert_eq!(st.pushed, st.retained + st.dropped);
+        assert_eq!(buf.snapshot().len() as u64, st.retained);
+    }
+
+    #[test]
+    fn identity_equality() {
+        let a = TraceBuffer::shared(8);
+        let b = TraceBuffer::shared(8);
+        assert_eq!(a, a.clone());
+        assert_ne!(a, b);
+    }
+}

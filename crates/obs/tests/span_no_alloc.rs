@@ -1,0 +1,116 @@
+//! Assertion-style allocation tests for the observability hot paths.
+//!
+//! A counting global allocator wraps `System`; each check warms the path
+//! up (first use may intern a name or create a histogram), then asserts
+//! that steady-state iterations perform zero heap allocations. This is
+//! an integration-test binary so the allocator override cannot leak into
+//! other test executables; everything runs inside one `#[test]` so no
+//! concurrent test case can pollute the counter.
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
+use swkm_obs::{LocalHists, MetricsRegistry, Span, TraceBuffer, TraceEvent, Tracer};
+
+struct CountingAlloc;
+
+static ALLOCS: AtomicU64 = AtomicU64::new(0);
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::SeqCst);
+        System.alloc(layout)
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout)
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::SeqCst);
+        System.realloc(ptr, layout, new_size)
+    }
+}
+
+#[global_allocator]
+static ALLOCATOR: CountingAlloc = CountingAlloc;
+
+fn assert_no_allocs(label: &str, mut f: impl FnMut()) {
+    let before = ALLOCS.load(Ordering::SeqCst);
+    f();
+    let after = ALLOCS.load(Ordering::SeqCst);
+    assert_eq!(
+        after - before,
+        0,
+        "{label}: hot path performed {} heap allocation(s)",
+        after - before
+    );
+}
+
+#[test]
+fn observability_hot_paths_do_not_allocate() {
+    // --- Span: the satellite fix. `Span::enter` used to build
+    // `format!("{name}_ns")` per call; interning makes re-entry free.
+    let reg = MetricsRegistry::new();
+    {
+        let _warmup = Span::enter(&reg, "hot_phase");
+    }
+    assert_no_allocs("Span::enter/drop", || {
+        for _ in 0..1000 {
+            let _s = Span::enter(&reg, "hot_phase");
+        }
+    });
+
+    // --- Registry fast paths: repeated recording against existing
+    // metrics takes the `get_mut` branch, never `entry(to_string())`.
+    reg.counter_add("hot_counter", 1);
+    reg.gauge_set("hot_gauge", 0.0);
+    assert_no_allocs("MetricsRegistry repeat ops", || {
+        for i in 0..1000u64 {
+            reg.counter_add("hot_counter", 1);
+            reg.gauge_set("hot_gauge", i as f64);
+            reg.record("hot_phase_ns", i);
+        }
+    });
+
+    // --- LocalHists: per-sample recording into an existing local
+    // histogram stays allocation-free.
+    let mut local = LocalHists::new(&reg);
+    local.record("batch_size", 1);
+    assert_no_allocs("LocalHists::record", || {
+        for i in 0..1000u64 {
+            local.record("batch_size", i);
+        }
+    });
+    drop(local);
+
+    // --- TraceBuffer: pushes into a warm ring are fixed-size writes
+    // into preallocated storage (this is what makes always-on flight
+    // recording cheap).
+    let buf = TraceBuffer::new(256);
+    let tracer = Tracer::new(std::sync::Arc::new(TraceBuffer::new(256)), "t", 0);
+    let ev = TraceEvent {
+        ts_ns: 1,
+        dur_ns: 1,
+        proc: "t",
+        track: 0,
+        name: "e",
+        kind: swkm_obs::EventKind::Complete,
+        trace_id: 0,
+        arg_name: "",
+        arg: 0,
+    };
+    buf.push(ev); // warm up this thread's shard ticket
+    tracer.complete_at("e", 0, 1, 0, "", 0);
+    assert_no_allocs("TraceBuffer::push", || {
+        for _ in 0..2000 {
+            buf.push(ev);
+        }
+    });
+    assert_no_allocs("Tracer::complete/instant", || {
+        for _ in 0..1000 {
+            let s = tracer.begin();
+            tracer.complete("e", s);
+            tracer.instant("i");
+        }
+    });
+}

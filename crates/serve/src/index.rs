@@ -203,6 +203,18 @@ impl<S: Scalar> ShardedIndex<S> {
     /// total as a serial scan. Dead shards are skipped (re-dispatch to
     /// survivors) and reported via [`BatchOutcome::skipped_shards`].
     pub fn try_assign_batch(&self, batch: &Matrix<S>) -> Result<BatchOutcome, ServeError> {
+        self.try_assign_batch_traced(batch, None)
+    }
+
+    /// [`ShardedIndex::try_assign_batch`] with an optional event tracer:
+    /// each surviving shard's scan is recorded as an `assign_shard` span
+    /// (arg = shard index) tagged with `trace_id`, so a traced request's
+    /// pipeline shows the per-shard fan-out inside its `execute` window.
+    pub fn try_assign_batch_traced(
+        &self,
+        batch: &Matrix<S>,
+        tracer: Option<(&swkm_obs::Tracer, u64)>,
+    ) -> Result<BatchOutcome, ServeError> {
         assert_eq!(batch.cols(), self.dim(), "dimension mismatch");
         let survivors = self.survivors();
         let skipped_shards = self.shards.len() - survivors.len();
@@ -217,9 +229,11 @@ impl<S: Scalar> ShardedIndex<S> {
                 skipped_shards,
             });
         }
-        let per_shard: Vec<Vec<(u32, S)>> = survivors
+        let indexed: Vec<(usize, &std::ops::Range<usize>)> = survivors.iter().enumerate().collect();
+        let per_shard: Vec<Vec<(u32, S)>> = indexed
             .par_iter()
-            .map(|shard| {
+            .map(|&(shard_idx, shard)| {
+                let start = tracer.map(|(t, _)| t.begin());
                 let mut votes = Vec::with_capacity(batch.rows());
                 self.plan.assign_batch_into(
                     batch,
@@ -229,6 +243,9 @@ impl<S: Scalar> ShardedIndex<S> {
                     shard.start,
                     &mut votes,
                 );
+                if let (Some((t, trace_id)), Some(start)) = (tracer, start) {
+                    t.complete_full("assign_shard", start, trace_id, "shard", shard_idx as u64);
+                }
                 votes
             })
             .collect();

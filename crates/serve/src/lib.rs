@@ -73,8 +73,8 @@ pub use artifact::{ArtifactError, ModelArtifact, ModelMeta, FORMAT_VERSION, MAGI
 pub use error::ServeError;
 pub use index::{BatchOutcome, Kernel, ShardedIndex};
 pub use loadgen::{run_closed_loop, LoadGenConfig, LoadReport};
-pub use metrics::{ServeMetrics, Snapshot};
-pub use pipeline::{Client, ModelSlot, PipelineConfig, Prediction, Server};
+pub use metrics::{ServeMetrics, Snapshot, EXEMPLAR_K};
+pub use pipeline::{Client, ModelSlot, PipelineConfig, Prediction, ServeTracing, Server};
 
 /// One-stop imports for serving call sites.
 pub mod prelude {
@@ -83,5 +83,7 @@ pub mod prelude {
     pub use crate::index::{BatchOutcome, Kernel, ShardedIndex};
     pub use crate::loadgen::{run_closed_loop, LoadGenConfig, LoadReport};
     pub use crate::metrics::Snapshot;
-    pub use crate::pipeline::{Client, ModelSlot, PipelineConfig, Prediction, Server};
+    pub use crate::pipeline::{
+        Client, ModelSlot, PipelineConfig, Prediction, ServeTracing, Server,
+    };
 }

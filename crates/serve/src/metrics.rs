@@ -6,10 +6,13 @@
 //! `Histogram::merge` under a single short lock, so the hot path never
 //! contends per-request.
 
-use std::sync::Arc;
+use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
 use sw_des::stats::Histogram;
 use swkm_obs::MetricsRegistry;
+
+/// How many slow-request exemplars [`ServeMetrics`] retains.
+pub const EXEMPLAR_K: usize = 4;
 
 /// One histogram per pipeline stage plus the batch-size distribution.
 #[derive(Debug, Clone, Default)]
@@ -42,6 +45,12 @@ impl StageHists {
 pub struct ServeMetrics {
     registry: Arc<MetricsRegistry>,
     started: Instant,
+    /// Top-[`EXEMPLAR_K`] slowest *traced* requests as `(total_ns,
+    /// trace_id)`, descending. Kept beside the registry — never inside it —
+    /// so attaching exemplars cannot perturb the byte-stable JSON export;
+    /// they render as extra Prometheus lines via
+    /// [`swkm_obs::export::prom_exemplars`].
+    exemplars: Mutex<Vec<(u64, u64)>>,
 }
 
 impl ServeMetrics {
@@ -62,6 +71,7 @@ impl ServeMetrics {
         ServeMetrics {
             registry,
             started: Instant::now(),
+            exemplars: Mutex::new(Vec::new()),
         }
     }
 
@@ -102,6 +112,31 @@ impl ServeMetrics {
         self.registry
             .gauge_set("serve_model_generation", generation as f64);
         self.registry.record("serve_swap_ns", install_ns);
+    }
+
+    /// Offer a traced request as a slow-request exemplar: kept iff it is
+    /// among the [`EXEMPLAR_K`] slowest seen so far. Untraced requests
+    /// (`trace_id == 0`) are ignored — an exemplar nobody can look up in
+    /// the trace is noise.
+    pub fn record_exemplar(&self, total_ns: u64, trace_id: u64) {
+        if trace_id == 0 {
+            return;
+        }
+        let mut ex = self.exemplars.lock().unwrap_or_else(|e| e.into_inner());
+        ex.push((total_ns, trace_id));
+        ex.sort_unstable_by(|a, b| b.cmp(a));
+        ex.truncate(EXEMPLAR_K);
+    }
+
+    /// The retained `(total_ns, trace_id)` exemplars, slowest first. Feed
+    /// them to [`swkm_obs::export::prom_exemplars`] to attach
+    /// `serve_latency_exemplar{trace_id="..."}` lines to a Prometheus
+    /// export.
+    pub fn exemplars(&self) -> Vec<(u64, u64)> {
+        self.exemplars
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .clone()
     }
 
     /// Fold a worker's per-batch histograms into the shared set.
@@ -304,6 +339,30 @@ mod tests {
         assert_eq!(reg.histogram("serve_execute_ns").unwrap().count(), 1);
         let json = swkm_obs::export::to_json(&reg);
         assert!(json.contains("\"serve_accepted\":1"));
+    }
+
+    #[test]
+    fn exemplars_never_perturb_the_json_export() {
+        // The byte-stable JSON re-export contract must survive exemplars:
+        // they live beside the registry and only ever render as extra
+        // Prometheus lines.
+        let reg = MetricsRegistry::shared();
+        let m = ServeMetrics::with_registry(Arc::clone(&reg));
+        let mut local = StageHists::default();
+        local.total_ns.record(1_000_000);
+        m.merge_hists(&local);
+        m.snapshot(0);
+        let before = swkm_obs::export::to_json(&reg);
+        for i in 0..10u64 {
+            m.record_exemplar(1_000_000 + i * 7, 100 + i);
+        }
+        m.record_exemplar(5, 0); // untraced: ignored
+        assert_eq!(before, swkm_obs::export::to_json(&reg));
+        let ex = m.exemplars();
+        assert_eq!(ex.len(), EXEMPLAR_K);
+        assert_eq!(ex[0], (1_000_063, 109), "slowest first");
+        let text = swkm_obs::export::prom_exemplars("serve_latency_exemplar", &ex);
+        assert!(text.contains("serve_latency_exemplar{trace_id=\"109\"} 1000063"));
     }
 
     #[test]

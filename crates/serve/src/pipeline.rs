@@ -60,6 +60,46 @@ impl Default for PipelineConfig {
     }
 }
 
+/// Event-tracing hooks for a server ([`PipelineConfig`] stays `Copy`, so
+/// the `Arc`s live here). Both halves are optional and independent:
+///
+/// * `buffer` — per-request pipeline tracing. Admission draws a trace id
+///   from the buffer (respecting its 1-in-N sampling); sampled requests get
+///   `queue_wait` / `execute` / `assign_shard` / `request` spans on the
+///   handling worker's track, and their ids feed the slow-request
+///   exemplars ([`ServeMetrics::exemplars`]).
+/// * `flight` — a triggered [`FlightRecorder`](swkm_obs::FlightRecorder).
+///   The server trips it on `AllShardsDown` batch failures, on the first
+///   shard-failover re-dispatches, and on every model hot-swap, dumping
+///   the last events for post-mortem without any collector running.
+#[derive(Clone, Default)]
+pub struct ServeTracing {
+    pub buffer: Option<Arc<swkm_obs::TraceBuffer>>,
+    pub flight: Option<Arc<swkm_obs::FlightRecorder>>,
+}
+
+impl ServeTracing {
+    /// Tracing with both halves wired to the same buffer-backed recorder.
+    pub fn new(
+        buffer: Arc<swkm_obs::TraceBuffer>,
+        flight: Option<Arc<swkm_obs::FlightRecorder>>,
+    ) -> Self {
+        ServeTracing {
+            buffer: Some(buffer),
+            flight,
+        }
+    }
+}
+
+impl std::fmt::Debug for ServeTracing {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ServeTracing")
+            .field("buffer", &self.buffer.is_some())
+            .field("flight", &self.flight.is_some())
+            .finish()
+    }
+}
+
 /// A served prediction.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct Prediction {
@@ -69,11 +109,20 @@ pub struct Prediction {
     /// the argmin over the *surviving* centroids only (partial
     /// degradation), not a full-index answer.
     pub degraded: bool,
+    /// Trace id of this request's pipeline spans — nonzero only when the
+    /// server traces ([`ServeTracing::buffer`]) and this request was
+    /// sampled. Grep the exported Chrome trace for it to see the request's
+    /// whole path.
+    pub trace_id: u64,
 }
 
 struct Job<S> {
     sample: Vec<S>,
     enqueued: Instant,
+    /// Nonzero when this request is traced (sampled at admission).
+    trace_id: u64,
+    /// Admission timestamp on the trace-buffer clock (0 when untraced).
+    enqueued_ns: u64,
     reply: Sender<Result<Prediction, ServeError>>,
 }
 
@@ -120,6 +169,7 @@ pub struct Server<S: Scalar> {
     slot: Arc<ModelSlot<S>>,
     dim: usize,
     config: PipelineConfig,
+    tracing: ServeTracing,
 }
 
 impl<S: Scalar> Server<S> {
@@ -137,6 +187,17 @@ impl<S: Scalar> Server<S> {
         config: PipelineConfig,
         registry: Arc<swkm_obs::MetricsRegistry>,
     ) -> Self {
+        Self::start_traced(index, config, registry, ServeTracing::default())
+    }
+
+    /// [`Server::start_with_registry`] with event tracing and/or a flight
+    /// recorder attached (see [`ServeTracing`]).
+    pub fn start_traced(
+        index: ShardedIndex<S>,
+        config: PipelineConfig,
+        registry: Arc<swkm_obs::MetricsRegistry>,
+        tracing: ServeTracing,
+    ) -> Self {
         assert!(config.queue_capacity > 0, "queue capacity must be positive");
         assert!(config.workers > 0, "need at least one worker");
         assert!(config.max_batch > 0, "max batch must be positive");
@@ -147,11 +208,14 @@ impl<S: Scalar> Server<S> {
         let dim = index.dim();
         let slot = Arc::new(ModelSlot::new(index, 0));
         let workers = (0..config.workers)
-            .map(|_| {
+            .map(|worker| {
                 let receiver = receiver.clone();
                 let slot = Arc::clone(&slot);
                 let metrics = Arc::clone(&metrics);
-                std::thread::spawn(move || worker_loop(receiver, slot, metrics, config))
+                let tracing = tracing.clone();
+                std::thread::spawn(move || {
+                    worker_loop(worker, receiver, slot, metrics, config, tracing)
+                })
             })
             .collect();
         Server {
@@ -161,6 +225,7 @@ impl<S: Scalar> Server<S> {
             slot,
             dim,
             config,
+            tracing,
         }
     }
 
@@ -173,6 +238,7 @@ impl<S: Scalar> Server<S> {
             metrics: Arc::clone(&self.metrics),
             dim: self.dim,
             capacity: self.config.queue_capacity,
+            trace: self.tracing.buffer.clone(),
         }
     }
 
@@ -180,6 +246,13 @@ impl<S: Scalar> Server<S> {
     pub fn snapshot(&self) -> Snapshot {
         let depth = self.sender.as_ref().map_or(0, Sender::len);
         self.metrics.snapshot(depth)
+    }
+
+    /// Slow-request exemplars `(total_ns, trace_id)`, slowest first —
+    /// nonempty only when tracing is attached and requests were sampled
+    /// (see [`ServeMetrics::exemplars`]).
+    pub fn exemplars(&self) -> Vec<(u64, u64)> {
+        self.metrics.exemplars()
     }
 
     /// The metrics registry this server records into — hand it to the
@@ -222,6 +295,11 @@ impl<S: Scalar> Server<S> {
         self.slot.install(index, generation);
         self.metrics
             .record_swap(generation, start.elapsed().as_nanos() as u64);
+        // A hot swap is a flight-recorder trigger: the dump preserves the
+        // traffic and timings around the generation change.
+        if let Some(flight) = &self.tracing.flight {
+            flight.trigger("model_swap");
+        }
         Ok(previous)
     }
 
@@ -253,6 +331,7 @@ pub struct Client<S: Scalar> {
     metrics: Arc<ServeMetrics>,
     dim: usize,
     capacity: usize,
+    trace: Option<Arc<swkm_obs::TraceBuffer>>,
 }
 
 impl<S: Scalar> Clone for Client<S> {
@@ -262,6 +341,7 @@ impl<S: Scalar> Clone for Client<S> {
             metrics: Arc::clone(&self.metrics),
             dim: self.dim,
             capacity: self.capacity,
+            trace: self.trace.clone(),
         }
     }
 }
@@ -277,10 +357,25 @@ impl<S: Scalar> Client<S> {
                 got: sample.len(),
             });
         }
+        // Draw a trace id at admission; sampling decides whether this
+        // request's pipeline is recorded (0 = untraced fast path).
+        let (trace_id, enqueued_ns) = match &self.trace {
+            Some(buf) if buf.enabled() => {
+                let id = buf.next_trace_id();
+                if buf.sample_hit(id) {
+                    (id, buf.now_ns())
+                } else {
+                    (0, 0)
+                }
+            }
+            _ => (0, 0),
+        };
         let (reply_tx, reply_rx) = bounded(1);
         let job = Job {
             sample,
             enqueued: Instant::now(),
+            trace_id,
+            enqueued_ns,
             reply: reply_tx,
         };
         match self.sender.try_send(job) {
@@ -323,17 +418,26 @@ fn next_batch<S>(jobs: &Receiver<Job<S>>, config: &PipelineConfig) -> Option<Vec
 }
 
 fn worker_loop<S: Scalar>(
+    worker: usize,
     jobs: Receiver<Job<S>>,
     slot: Arc<ModelSlot<S>>,
     metrics: Arc<ServeMetrics>,
     config: PipelineConfig,
+    tracing: ServeTracing,
 ) {
+    // One tracer per worker thread: this worker's spans land on track
+    // `worker` of the `serve` process row.
+    let tracer = tracing
+        .buffer
+        .as_ref()
+        .map(|buf| swkm_obs::Tracer::new(Arc::clone(buf), "serve", worker as u32));
     while let Some(batch) = next_batch(&jobs, &config) {
         // Pin one generation for the whole batch: a concurrent swap_model
         // must never hand half a batch to a different centroid set.
         let index = slot.current();
         let d = index.dim();
         let formed = Instant::now();
+        let formed_ns = tracer.as_ref().map_or(0, swkm_obs::Tracer::begin);
         let mut local = StageHists::default();
         local.batch_size.record(batch.len() as u64);
         for job in &batch {
@@ -341,17 +445,45 @@ fn worker_loop<S: Scalar>(
                 .queue_wait_ns
                 .record(formed.duration_since(job.enqueued).as_nanos() as u64);
         }
+        if let Some(t) = &tracer {
+            // Each sampled request's wait from admission to batch
+            // formation, on the handling worker's track.
+            for job in batch.iter().filter(|j| j.trace_id != 0) {
+                t.complete_at(
+                    "queue_wait",
+                    job.enqueued_ns,
+                    formed_ns.saturating_sub(job.enqueued_ns),
+                    job.trace_id,
+                    "batch",
+                    batch.len() as u64,
+                );
+            }
+        }
         let mut data = Vec::with_capacity(batch.len() * d);
         for job in &batch {
             data.extend_from_slice(&job.sample);
         }
         let samples = Matrix::from_vec(batch.len(), d, data);
         let exec_start = Instant::now();
-        let outcome = index.try_assign_batch(&samples);
+        let exec_start_ns = tracer.as_ref().map_or(0, swkm_obs::Tracer::begin);
+        // Per-shard assign spans carry the batch's first sampled id, so a
+        // traced request's pipeline shows its shard fan-out.
+        let shard_trace_id = batch.iter().map(|j| j.trace_id).find(|&id| id != 0);
+        let outcome = index.try_assign_batch_traced(
+            &samples,
+            match (&tracer, shard_trace_id) {
+                (Some(t), Some(id)) => Some((t, id)),
+                _ => None,
+            },
+        );
         local
             .execute_ns
             .record(exec_start.elapsed().as_nanos() as u64);
+        if let (Some(t), Some(id)) = (&tracer, shard_trace_id) {
+            t.complete_full("execute", exec_start_ns, id, "batch", batch.len() as u64);
+        }
         let done = Instant::now();
+        let done_ns = tracer.as_ref().map_or(0, swkm_obs::Tracer::begin);
         match outcome {
             Ok(outcome) => {
                 let degraded = outcome.skipped_shards > 0;
@@ -359,13 +491,40 @@ fn worker_loop<S: Scalar>(
                     // One failover event per dead shard the batch was
                     // routed around.
                     metrics.record_failovers(outcome.skipped_shards as u64);
+                    if let Some(t) = &tracer {
+                        t.instant_full(
+                            "shard_failover",
+                            shard_trace_id.unwrap_or(0),
+                            "skipped",
+                            outcome.skipped_shards as u64,
+                        );
+                    }
+                    if let Some(flight) = &tracing.flight {
+                        flight.trigger("shard_failover");
+                    }
                 }
                 for (job, &label) in batch.iter().zip(&outcome.labels) {
-                    local
-                        .total_ns
-                        .record(done.duration_since(job.enqueued).as_nanos() as u64);
+                    let total_ns = done.duration_since(job.enqueued).as_nanos() as u64;
+                    local.total_ns.record(total_ns);
+                    if job.trace_id != 0 {
+                        if let Some(t) = &tracer {
+                            t.complete_at(
+                                "request",
+                                job.enqueued_ns,
+                                done_ns.saturating_sub(job.enqueued_ns),
+                                job.trace_id,
+                                "label",
+                                label as u64,
+                            );
+                        }
+                        metrics.record_exemplar(total_ns, job.trace_id);
+                    }
                     // A client that gave up is not an error; drop its reply.
-                    let _ = job.reply.send(Ok(Prediction { label, degraded }));
+                    let _ = job.reply.send(Ok(Prediction {
+                        label,
+                        degraded,
+                        trace_id: job.trace_id,
+                    }));
                 }
                 metrics.record_completed(batch.len() as u64);
             }
@@ -373,6 +532,19 @@ fn worker_loop<S: Scalar>(
                 // Nothing survived to answer — fail every request in the
                 // batch with the typed error instead of dropping it.
                 metrics.record_failed(batch.len() as u64);
+                if let Some(t) = &tracer {
+                    t.instant_full(
+                        "batch_failed",
+                        shard_trace_id.unwrap_or(0),
+                        "requests",
+                        batch.len() as u64,
+                    );
+                }
+                if matches!(e, ServeError::AllShardsDown { .. }) {
+                    if let Some(flight) = &tracing.flight {
+                        flight.trigger("all_shards_down");
+                    }
+                }
                 for job in &batch {
                     let _ = job.reply.send(Err(e.clone()));
                 }
@@ -554,6 +726,119 @@ mod tests {
         assert_eq!(snap.failed, 0);
         assert_eq!(snap.model_swaps, swaps);
         assert_eq!(snap.accepted, snap.completed + snap.failed);
+    }
+
+    fn traced_server(
+        index: ShardedIndex<f64>,
+        sample_every: u64,
+    ) -> (
+        Server<f64>,
+        Arc<swkm_obs::TraceBuffer>,
+        Arc<swkm_obs::MemSink>,
+    ) {
+        let buf = Arc::new(swkm_obs::TraceBuffer::with_sampling(4096, sample_every));
+        let sink = Arc::new(swkm_obs::MemSink::new());
+        let flight = Arc::new(swkm_obs::FlightRecorder::new(
+            Arc::clone(&buf),
+            Box::new(Arc::clone(&sink)),
+            8,
+            1024,
+        ));
+        let server = Server::start_traced(
+            index,
+            PipelineConfig::default(),
+            swkm_obs::MetricsRegistry::shared(),
+            ServeTracing::new(Arc::clone(&buf), Some(flight)),
+        );
+        (server, buf, sink)
+    }
+
+    #[test]
+    fn traced_requests_emit_pipeline_spans_and_exemplars() {
+        let (server, buf, _sink) = traced_server(small_index(), 1);
+        let client = server.client();
+        let mut ids = Vec::new();
+        for i in 0..8 {
+            let p = client.predict(vec![i as f64, -(i as f64)]).unwrap();
+            assert_ne!(p.trace_id, 0, "sample_every=1 traces every request");
+            ids.push(p.trace_id);
+        }
+        drop(client);
+        let exemplars = server.exemplars();
+        server.shutdown();
+        // Each traced request has its full pipeline: queue_wait + request
+        // spans tagged with its id, plus execute/assign_shard on the batch.
+        let events = buf.snapshot();
+        for &id in &ids {
+            for stage in ["queue_wait", "request"] {
+                assert!(
+                    events.iter().any(|e| e.name == stage && e.trace_id == id),
+                    "missing {stage} span for trace {id}"
+                );
+            }
+        }
+        assert!(events.iter().any(|e| e.name == "execute"));
+        assert!(events.iter().any(|e| e.name == "assign_shard"));
+        // Exemplars: bounded, sorted slowest-first, ids drawn from ours.
+        assert!(!exemplars.is_empty() && exemplars.len() <= crate::EXEMPLAR_K);
+        assert!(exemplars.windows(2).all(|w| w[0].0 >= w[1].0));
+        for (_, id) in &exemplars {
+            assert!(ids.contains(id));
+        }
+    }
+
+    #[test]
+    fn sampling_traces_one_in_n() {
+        let (server, _buf, _sink) = traced_server(small_index(), 2);
+        let client = server.client();
+        // Ids are drawn sequentially from 1; 1-in-2 sampling keeps even
+        // ids, so consecutive requests alternate untraced/traced.
+        let first = client.predict(vec![1.0, 1.0]).unwrap();
+        let second = client.predict(vec![1.0, 1.0]).unwrap();
+        assert_eq!(first.trace_id, 0);
+        assert_ne!(second.trace_id, 0);
+        drop(client);
+        server.shutdown();
+    }
+
+    #[test]
+    fn flight_recorder_trips_on_all_shards_down_and_swap() {
+        let (server, _buf, sink) = traced_server(small_index(), 1);
+        server.kill_shard(0);
+        server.kill_shard(1);
+        let client = server.client();
+        let err = client.predict(vec![0.1, -0.2]).unwrap_err();
+        assert_eq!(err, ServeError::AllShardsDown { shards: 2 });
+        // The failed batch dumped the recent past for post-mortem.
+        assert!(sink.names().iter().any(|n| n.contains("all_shards_down")));
+        // A hot swap is also a trigger (and heals the shards).
+        server.swap_model(small_index(), 1).unwrap();
+        assert!(sink.names().iter().any(|n| n.contains("model_swap")));
+        assert!(client.predict(vec![0.1, -0.2]).is_ok());
+        drop(client);
+        server.shutdown();
+    }
+
+    #[test]
+    fn degraded_batches_trip_the_shard_failover_trigger() {
+        let (server, buf, sink) = traced_server(small_index(), 1);
+        server.kill_shard(0);
+        let client = server.client();
+        assert!(client.predict(vec![0.1, -0.2]).unwrap().degraded);
+        drop(client);
+        server.shutdown();
+        assert!(sink.names().iter().any(|n| n.contains("shard_failover")));
+        assert!(buf.snapshot().iter().any(|e| e.name == "shard_failover"));
+    }
+
+    #[test]
+    fn untraced_server_reports_zero_trace_ids() {
+        let server = Server::start(small_index(), PipelineConfig::default());
+        let client = server.client();
+        assert_eq!(client.predict(vec![0.1, -0.2]).unwrap().trace_id, 0);
+        drop(client);
+        assert!(server.exemplars().is_empty());
+        server.shutdown();
     }
 
     #[test]

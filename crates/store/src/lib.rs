@@ -40,10 +40,12 @@
 //! ```
 
 pub mod manifest;
+pub mod sink;
 pub mod store;
 pub mod vfs;
 
 pub use manifest::{ManifestRecord, ReplayReport, MANIFEST};
+pub use sink::VfsSink;
 pub use store::{
     artifact_file, CompactReport, GenInfo, ModelEntry, ModelState, ModelStore, StoreError,
 };
@@ -52,6 +54,7 @@ pub use vfs::{MemVfs, SharedMemVfs, StdVfs, Vfs, VfsError};
 /// One-stop imports for store call sites.
 pub mod prelude {
     pub use crate::manifest::{ManifestRecord, ReplayReport, MANIFEST};
+    pub use crate::sink::VfsSink;
     pub use crate::store::{artifact_file, CompactReport, ModelEntry, ModelStore, StoreError};
     pub use crate::vfs::{MemVfs, SharedMemVfs, StdVfs, Vfs, VfsError};
 }

@@ -1,0 +1,73 @@
+//! Adapter from the store's [`Vfs`] backends to the flight recorder's
+//! [`DumpSink`](swkm_obs::DumpSink).
+//!
+//! `swkm-obs` sits below this crate in the dependency graph, so the
+//! recorder cannot name `Vfs` directly; this adapter closes the loop.
+//! Dumps inherit whatever atomicity the backend provides — with
+//! [`StdVfs`](crate::StdVfs) that is the temp-file + fsync + rename
+//! protocol, so a flight dump can never be observed half-written even if
+//! the process dies mid-trigger.
+
+use crate::vfs::Vfs;
+use swkm_obs::DumpSink;
+
+/// Wrap any thread-safe [`Vfs`] as a flight-recorder dump sink.
+#[derive(Debug, Clone)]
+pub struct VfsSink<V> {
+    vfs: V,
+}
+
+impl<V: Vfs + Send + Sync> VfsSink<V> {
+    pub fn new(vfs: V) -> Self {
+        VfsSink { vfs }
+    }
+
+    pub fn into_inner(self) -> V {
+        self.vfs
+    }
+}
+
+impl<V: Vfs + Send + Sync> DumpSink for VfsSink<V> {
+    fn write_atomic(&self, name: &str, bytes: &[u8]) -> Result<(), String> {
+        self.vfs
+            .write_atomic(name, bytes)
+            .map_err(|e| e.to_string())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::vfs::SharedMemVfs;
+    use std::sync::Arc;
+    use swkm_obs::{FlightRecorder, TraceBuffer, Tracer};
+
+    #[test]
+    fn flight_recorder_dumps_through_a_vfs() {
+        let buf = TraceBuffer::shared(64);
+        let t = Tracer::new(Arc::clone(&buf), "serve", 0);
+        let s = t.begin();
+        t.complete("execute", s);
+        let vfs = SharedMemVfs::new();
+        let rec = FlightRecorder::new(
+            Arc::clone(&buf),
+            Box::new(VfsSink::new(vfs.clone())),
+            4,
+            1024,
+        );
+        let name = rec.trigger("all_shards_down").unwrap();
+        let body = vfs.read(&name).unwrap();
+        let text = String::from_utf8(body).unwrap();
+        assert!(text.starts_with('{'));
+        assert!(text.contains("\"execute\""));
+        // The dump is listed like any other store file.
+        assert!(vfs.list().unwrap().contains(&name));
+    }
+
+    #[test]
+    fn sink_reports_vfs_errors_as_strings() {
+        let sink = VfsSink::new(SharedMemVfs::new());
+        let err = sink.write_atomic("bad/name", b"x").unwrap_err();
+        assert!(err.contains("bad/name"));
+    }
+}

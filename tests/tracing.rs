@@ -1,0 +1,164 @@
+//! Event-level tracing end to end: a traced training run must tell the
+//! same story as its aggregate `TrainTrace`, and the ring buffer must
+//! stay coherent under concurrent writers.
+
+use proptest::prelude::*;
+use std::sync::Arc;
+use sunway_kmeans::prelude::*;
+use sunway_kmeans::swkm_obs::{EventKind, TraceBuffer, TraceEvent};
+
+/// A traced Level-3 fit produces balanced per-rank events whose per-phase
+/// duration sums agree with the `TrainTrace` aggregates — both sides of
+/// the instrumentation read the *same* `Instant::elapsed` measurement, so
+/// 20% is a generous envelope for integer-nanosecond rounding.
+#[test]
+fn traced_fit_phase_sums_agree_with_train_trace() {
+    let units = 4;
+    let blobs = GaussianMixture::new(512, 12, 4)
+        .with_seed(11)
+        .generate::<f64>();
+    let init = init_centroids(&blobs.data, 4, InitMethod::KMeansPlusPlus, 11);
+    let buf = TraceBuffer::shared(1 << 16);
+    let result = HierKMeans::new(Level::L3)
+        .with_units(units)
+        .with_group_units(2)
+        .with_cpes_per_cg(4)
+        .with_max_iters(8)
+        .with_trace(Arc::clone(&buf))
+        .fit(&blobs.data, init)
+        .unwrap();
+
+    let stats = buf.stats();
+    assert_eq!(stats.dropped, 0, "ring overflowed: {stats:?}");
+    let events = buf.snapshot();
+    assert_eq!(events.len() as u64, stats.retained);
+
+    for rank in 0..units {
+        let phase_sum = |name: &str| -> f64 {
+            events
+                .iter()
+                .filter(|e| e.proc == "train" && e.track == rank as u32 && e.name == name)
+                .map(|e| e.dur_ns as f64 / 1e9)
+                .sum()
+        };
+        // Balanced: every iteration closed exactly one "iteration" span.
+        let iters = events
+            .iter()
+            .filter(|e| e.proc == "train" && e.track == rank as u32 && e.name == "iteration")
+            .count();
+        assert_eq!(
+            iters,
+            result.trace.per_rank[rank].len(),
+            "rank {rank}: iteration span count != TrainTrace iterations"
+        );
+        // Every rank also produced collective spans on its comm track.
+        assert!(
+            events.iter().any(|e| e.proc == "comm"
+                && e.track == rank as u32
+                && matches!(e.kind, EventKind::Complete)),
+            "rank {rank}: no comm events"
+        );
+        let totals = result.trace.rank_total(rank);
+        for (name, aggregate) in [
+            ("assign", totals.assign),
+            ("merge", totals.merge),
+            ("update", totals.update),
+            ("exchange", totals.exchange),
+        ] {
+            let traced = phase_sum(name);
+            let diff = (traced - aggregate).abs();
+            assert!(
+                diff <= 0.20 * aggregate.max(1e-6),
+                "rank {rank} phase `{name}`: traced {traced:.6}s vs TrainTrace \
+                 {aggregate:.6}s (diff {diff:.6}s)"
+            );
+        }
+    }
+}
+
+/// Tracing changes observability, never the answer: a traced run is
+/// bitwise identical to an untraced one.
+#[test]
+fn tracing_does_not_perturb_the_fit() {
+    let blobs = GaussianMixture::new(256, 8, 3)
+        .with_seed(5)
+        .generate::<f64>();
+    let init = init_centroids(&blobs.data, 3, InitMethod::KMeansPlusPlus, 5);
+    let fitter = HierKMeans::new(Level::L2)
+        .with_units(4)
+        .with_group_units(2)
+        .with_max_iters(6);
+    let plain = fitter.fit(&blobs.data, init.clone()).unwrap();
+    let traced = fitter
+        .clone()
+        .with_trace(TraceBuffer::shared(1 << 14))
+        .fit(&blobs.data, init)
+        .unwrap();
+    assert_eq!(plain.labels, traced.labels);
+    assert_eq!(plain.iterations, traced.iterations);
+    assert_eq!(
+        plain.centroids.max_abs_diff(&traced.centroids),
+        0.0,
+        "tracing perturbed the centroids"
+    );
+}
+
+const NAMES: [&str; 4] = ["alpha", "beta", "gamma", "delta"];
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Concurrent writers never tear the ring: whatever the geometry,
+    /// accounting is conserved, every retained event is exactly one that
+    /// some thread pushed (all fields mutually consistent), and each
+    /// thread's events keep their push order in the snapshot.
+    #[test]
+    fn concurrent_writers_never_tear_the_ring(
+        threads in 1usize..8,
+        per_thread in 1usize..200,
+        capacity in 8usize..512,
+    ) {
+        let buf = TraceBuffer::shared(capacity);
+        std::thread::scope(|scope| {
+            for t in 0..threads {
+                let buf = Arc::clone(&buf);
+                scope.spawn(move || {
+                    for i in 0..per_thread {
+                        buf.push(TraceEvent {
+                            ts_ns: buf.now_ns(),
+                            dur_ns: i as u64,
+                            proc: "prop",
+                            track: t as u32,
+                            name: NAMES[t % NAMES.len()],
+                            kind: EventKind::Complete,
+                            trace_id: t as u64 * 1_000_003 + i as u64,
+                            arg_name: "seq",
+                            arg: ((t as u64) << 32) | i as u64,
+                        });
+                    }
+                });
+            }
+        });
+        let stats = buf.stats();
+        prop_assert_eq!(stats.pushed, (threads * per_thread) as u64);
+        prop_assert_eq!(stats.pushed, stats.retained + stats.dropped);
+        prop_assert!(stats.retained <= buf.capacity() as u64);
+        let events = buf.snapshot();
+        prop_assert_eq!(events.len() as u64, stats.retained);
+        let mut last_seq = vec![None::<u64>; threads];
+        for e in &events {
+            // Untorn: every field is the one pushed alongside the others.
+            let t = (e.arg >> 32) as usize;
+            let i = e.arg & 0xFFFF_FFFF;
+            prop_assert_eq!(t, e.track as usize);
+            prop_assert!(i < per_thread as u64);
+            prop_assert_eq!(e.dur_ns, i);
+            prop_assert_eq!(e.trace_id, t as u64 * 1_000_003 + i);
+            prop_assert_eq!(e.name, NAMES[t % NAMES.len()]);
+            // Push order survives the stable timestamp sort per thread.
+            prop_assert!(last_seq[t].is_none_or(|prev| i > prev),
+                "thread {} out of order: {} after {:?}", t, i, last_seq[t]);
+            last_seq[t] = Some(i);
+        }
+    }
+}
