@@ -5,9 +5,15 @@
 //!
 //! Shapes bracket the C1 boundary: the centroid set (`k·d·4 B`) fits the
 //! 64 KB LDM at the small shape, sits at the boundary at the paper-like
-//! n=100k/d=64/k=256 shape, and spills far past it at d=1024.
+//! n=100k/d=64/k=256 shape, stresses the panel-streaming regime at
+//! k=1024, and spills far past it at d=1024.
+//!
+//! Besides raw throughput the snapshot records the [`AssignPlanner`]'s
+//! delta-path win: per-iteration plan preparation (centroid norms + packed
+//! GEMM panels) rebuilt from scratch versus refreshed through the planner
+//! cache when only a convergence-tail-sized fraction of rows moved.
 
-use kmeans_core::{AssignKernel, AssignPlan, Matrix};
+use kmeans_core::{AssignKernel, AssignPlan, AssignPlanner, Matrix, LDM_BYTES_DEFAULT};
 use std::time::Instant;
 
 struct Row {
@@ -15,8 +21,10 @@ struct Row {
     k: usize,
     d: usize,
     /// Samples/s per kernel, in `AssignKernel::ALL` order.
-    rates: [f64; 3],
+    rates: [f64; 4],
     checksum: u64,
+    /// Label checksum of the gemm kernel (must equal tiled's bit for bit).
+    gemm_checksum: u64,
 }
 
 fn time_kernel(
@@ -47,36 +55,85 @@ fn time_kernel(
 fn bench_shape(n: usize, k: usize, d: usize, reps: usize) -> Row {
     let data = bench::bench_data(n, d, 3);
     let centroids = bench::bench_init(&data, k);
-    let mut rates = [0.0f64; 3];
-    let mut checksum = 0u64;
-    for (slot, kernel) in rates.iter_mut().zip(AssignKernel::ALL) {
-        let (rate, sum) = time_kernel(kernel, &data, &centroids, reps);
+    let mut rates = [0.0f64; 4];
+    let mut sums = [0u64; 4];
+    for ((slot, sum), kernel) in rates.iter_mut().zip(&mut sums).zip(AssignKernel::ALL) {
+        let (rate, s) = time_kernel(kernel, &data, &centroids, reps);
         *slot = rate;
-        if kernel == AssignKernel::Scalar {
-            checksum = sum;
-        }
+        *sum = s;
         eprintln!("n={n} k={k} d={d} {kernel}: {rate:.0} samples/s");
     }
+    // Tiled and gemm share one canonical accumulation order: their labels
+    // must agree exactly, not just statistically.
+    assert_eq!(
+        sums[2], sums[3],
+        "tiled and gemm labels diverged at n={n} k={k} d={d}"
+    );
     Row {
         n,
         k,
         d,
         rates,
-        checksum,
+        checksum: sums[0],
+        gemm_checksum: sums[3],
     }
 }
 
+/// Per-iteration plan preparation (norms + packed panels) at a delta-tail
+/// churn level: a fresh `AssignPlan` every iteration versus the
+/// `AssignPlanner` refreshing only the ~2% of rows that moved, using the
+/// exact changed-row hint the delta executors already compute for their
+/// skip-scan (`plan_with_changed` — no snapshot diff on the hot path).
+fn plan_cache_times(k: usize, d: usize) -> (f64, f64) {
+    let centroids = bench::bench_data(k, d, 11);
+    // Move 2% of the rows, the shape of a converging delta tail.
+    let mut moved = centroids.as_slice().to_vec();
+    let mut changed = vec![false; k];
+    for j in (0..k).step_by(50) {
+        for v in &mut moved[j * d..(j + 1) * d] {
+            *v += 0.125;
+        }
+        changed[j] = true;
+    }
+    let centroids2 = Matrix::from_vec(k, d, moved);
+    let reps = 200;
+    let t = Instant::now();
+    for _ in 0..reps {
+        let plan = AssignPlan::new(AssignKernel::Gemm, &centroids2);
+        std::hint::black_box(&plan);
+    }
+    let fresh_ns = t.elapsed().as_secs_f64() * 1e9 / reps as f64;
+    let mut planner = AssignPlanner::new(AssignKernel::Gemm, LDM_BYTES_DEFAULT);
+    planner.plan(&centroids);
+    let mut flip = false;
+    let t = Instant::now();
+    for _ in 0..reps {
+        // Alternate between the two centroid sets so every refresh sees
+        // the same 2% of rows changed.
+        let c = if flip { &centroids } else { &centroids2 };
+        flip = !flip;
+        let plan = planner.plan_with_changed(c, &changed);
+        std::hint::black_box(&plan);
+    }
+    let cached_ns = t.elapsed().as_secs_f64() * 1e9 / reps as f64;
+    (fresh_ns, cached_ns)
+}
+
 fn main() {
-    // (n, k, d, reps): k·d·4 B spans 16 KB → 64 KB → 1 MB across C1.
+    // (n, k, d, reps): k·d·4 B spans 16 KB → 64 KB → 256 KB → 1 MB
+    // across C1; k ∈ {64, 256, 1024} at the paper's d=64.
     let shapes = [
         (20_000usize, 64usize, 64usize, 5usize),
         (100_000, 256, 64, 3),
+        (100_000, 1_024, 64, 2),
         (10_000, 256, 1_024, 3),
     ];
     let rows: Vec<Row> = shapes
         .iter()
         .map(|&(n, k, d, reps)| bench_shape(n, k, d, reps))
         .collect();
+    let (fresh_ns, cached_ns) = plan_cache_times(1_024, 64);
+    eprintln!("plan prep k=1024 d=64: fresh {fresh_ns:.0} ns/iter, cached {cached_ns:.0} ns/iter");
 
     let mut json = String::from(
         "{\n  \"bench\": \"assign_kernels\",\n  \"unit\": \"samples_per_s\",\n  \"rows\": [\n",
@@ -84,19 +141,29 @@ fn main() {
     for (i, row) in rows.iter().enumerate() {
         json.push_str(&format!(
             "    {{\"n\": {}, \"k\": {}, \"d\": {}, \"scalar\": {:.0}, \"expanded\": {:.0}, \
-             \"tiled\": {:.0}, \"tiled_speedup_vs_scalar\": {:.2}, \"label_checksum\": {}}}{}\n",
+             \"tiled\": {:.0}, \"gemm\": {:.0}, \"tiled_speedup_vs_scalar\": {:.2}, \
+             \"gemm_speedup_vs_tiled\": {:.2}, \"label_checksum\": {}, \
+             \"gemm_label_checksum\": {}}}{}\n",
             row.n,
             row.k,
             row.d,
             row.rates[0],
             row.rates[1],
             row.rates[2],
+            row.rates[3],
             row.rates[2] / row.rates[0],
+            row.rates[3] / row.rates[2],
             row.checksum,
+            row.gemm_checksum,
             if i + 1 < rows.len() { "," } else { "" }
         ));
     }
-    json.push_str("  ]\n}\n");
+    json.push_str(&format!(
+        "  ],\n  \"plan_prep_delta_tail\": {{\"k\": 1024, \"d\": 64, \
+         \"changed_rows_pct\": 2, \"fresh_ns_per_iter\": {fresh_ns:.0}, \
+         \"cached_ns_per_iter\": {cached_ns:.0}, \"cache_speedup\": {:.1}}}\n}}\n",
+        fresh_ns / cached_ns
+    ));
     std::fs::write("BENCH_kernels.json", &json).expect("write BENCH_kernels.json");
     println!("{json}");
 
@@ -107,5 +174,15 @@ fn main() {
         paper.rates[2],
         paper.rates[0]
     );
-    println!("wrote BENCH_kernels.json (tiled beats scalar at the paper shape)");
+    assert!(
+        paper.rates[3] >= 2.0 * paper.rates[2],
+        "gemm ({:.0}/s) must be >= 2x tiled ({:.0}/s) at n=100k k=256 d=64",
+        paper.rates[3],
+        paper.rates[2]
+    );
+    assert!(
+        cached_ns < fresh_ns,
+        "planner cache must beat fresh plan prep ({cached_ns:.0} vs {fresh_ns:.0} ns)"
+    );
+    println!("wrote BENCH_kernels.json (gemm >= 2x tiled at the paper shape)");
 }

@@ -5,13 +5,13 @@
 //! swkm model --n 1265723 --k 2000 --d 4096 --nodes 128 [--level 2]
 //! swkm sweep --n 1265723 --k 2000 --d-lo 512 --d-hi 8192 --step 512 --nodes 128
 //! swkm fit   --dataset kegg --n 4096 --k 64 [--level 3] [--units 8] [--group 2]
-//!            [--kernel scalar|expanded|tiled] [--update twopass|fused|delta]
+//!            [--kernel scalar|expanded|tiled|gemm] [--update twopass|fused|delta]
 //!            [--merge auto|tree|ring] [--faults seed=7,rate=0.25,...]
 //!            [--metrics-json out.json] [--metrics-prom out.prom]
 //!            [--trace-out trace.json]
 //! swkm landcover --size 128 --out target/landcover-cli
 //! swkm train --dataset mixture --n 4096 --k 64 --save-model model.swkm [--standardize]
-//! swkm predict --model model.swkm --n 1024 [--shards 4] [--kernel scalar|expanded|tiled]
+//! swkm predict --model model.swkm --n 1024 [--shards 4] [--kernel scalar|expanded|tiled|gemm]
 //! swkm predict --store models/ --model-name census --n 1024
 //! swkm serve-bench --k 64 --clients 8 --requests 2000 [--queue 1024] [--workers 2]
 //!                  [--metrics-interval 1] [--metrics-json out.json]
@@ -29,7 +29,7 @@ mod serve_cmd;
 mod store_cmd;
 
 use args::Args;
-use hier_kmeans::{choose_level, HierKMeans};
+use hier_kmeans::{choose_level, gemm_group_units, HierKMeans};
 use kmeans_core::{init_centroids, InitMethod};
 use perf_model::{feasibility, CostModel, Level, ProblemShape};
 use sw_arch::Machine;
@@ -321,6 +321,18 @@ fn cmd_fit(args: &Args) -> Result<(), String> {
         data.rows(),
         data.cols()
     );
+    if kernel == kmeans_core::AssignKernel::Gemm && level != Level::L1 {
+        // Advisory only: layout changes wall time, never results, so the
+        // requested geometry is honoured as-is.
+        let recommended = gemm_group_units(k, data.cols(), group, std::mem::size_of::<f64>());
+        if recommended != group {
+            println!(
+                "gemm layout: cost model recommends {recommended} unit(s) per centroid group \
+                 for k={k} d={} (requested {group})",
+                data.cols()
+            );
+        }
+    }
     let init = init_centroids(
         &data,
         k,
@@ -486,7 +498,7 @@ mod tests {
 
     #[test]
     fn fit_accepts_every_kernel_and_rejects_unknown_ones() {
-        for kernel in ["scalar", "expanded", "tiled"] {
+        for kernel in ["scalar", "expanded", "tiled", "gemm"] {
             run(&argv(&format!(
                 "fit --dataset mixture --n 128 --k 3 --d 8 --max-iters 3 --kernel {kernel}"
             )))

@@ -17,6 +17,22 @@ pub fn choose_level(n: usize, k: usize, d: usize, nodes: usize) -> Level {
     }
 }
 
+/// Group size the GEMM cost model recommends for a centroid-sharing group
+/// of up to `group_units` units: 1 when replicating the packed centroid
+/// set beats partitioning it (small `k·d` — the min-loc merge costs more
+/// than streaming everyone the full panel set), `group_units` otherwise.
+/// Layout never changes results, only wall time, so callers are free to
+/// ignore the recommendation.
+pub fn gemm_group_units(k: usize, d: usize, group_units: usize, elem_bytes: usize) -> usize {
+    let machine = sw_arch::MachineParams::taihulight();
+    let cal = perf_model::Calibration::default();
+    if perf_model::gemm::replicate_centroids(&machine, &cal, k, d, group_units, elem_bytes) {
+        1
+    } else {
+        group_units
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -44,5 +60,16 @@ mod tests {
     #[test]
     fn absurd_shapes_fall_back_to_l3() {
         assert_eq!(choose_level(10, 4, 1 << 21, 1), Level::L3);
+    }
+
+    #[test]
+    fn gemm_layout_recommendation_follows_kd() {
+        // Tiny centroid set: the min-loc merge costs more than streaming
+        // the whole panel set — replicate (group collapses to 1).
+        assert_eq!(gemm_group_units(8, 8, 64, 4), 1);
+        // Huge centroid set: panel streaming dominates — keep the shards.
+        assert_eq!(gemm_group_units(160_000, 64, 64, 4), 64);
+        // A group of one has nothing to decide.
+        assert_eq!(gemm_group_units(1024, 64, 1, 4), 1);
     }
 }

@@ -427,7 +427,10 @@ impl<S: Scalar> HierResult<S> {
     /// Publish this run into a metrics registry: the phase trace under
     /// `train_*`, the communication tallies under `comm_*`, and run-level
     /// gauges (`train_objective`, `train_converged`, the selected kernel's
-    /// code as `train_assign_kernel` and the assign throughput).
+    /// code as `train_assign_kernel` and the assign throughput — both as
+    /// the kernel-agnostic `train_assign_samples_per_s` and as a per-kernel
+    /// `train_assign_samples_per_s_<name>` gauge, so a registry that
+    /// accumulates runs keeps one comparable throughput per kernel).
     pub fn export_metrics(&self, registry: &swkm_obs::MetricsRegistry) {
         self.trace.export_into(registry, "train");
         self.comm.export_into(registry, "comm");
@@ -438,6 +441,10 @@ impl<S: Scalar> HierResult<S> {
         registry.gauge_set("train_merge_ring", if self.merge_ring { 1.0 } else { 0.0 });
         registry.gauge_set(
             "train_assign_samples_per_s",
+            self.assign_samples_per_s().unwrap_or(0.0),
+        );
+        registry.gauge_set(
+            &format!("train_assign_samples_per_s_{}", self.kernel.name()),
             self.assign_samples_per_s().unwrap_or(0.0),
         );
         self.fault_stats.export_into(registry);

@@ -31,7 +31,10 @@ use crate::executor::{
     PhaseTracer, RankOutput,
 };
 use crate::partition::split_range;
-use kmeans_core::{AssignPlan, Matrix, Scalar, TouchedSet, UpdateMode, DELTA_FALLBACK_FRACTION};
+use kmeans_core::{
+    AssignKernel, AssignPlanner, GemmBlocking, Matrix, Scalar, TouchedSet, UpdateMode,
+    DELTA_FALLBACK_FRACTION,
+};
 use msg::{CommError, World};
 use sw_arch::MachineParams;
 
@@ -78,6 +81,28 @@ pub(crate) fn run<S: Scalar>(
         let mut compact_sums: Vec<S> = Vec::new();
         let mut compact_counts: Vec<u64> = Vec::new();
         let mut trace: Vec<IterTiming> = Vec::new();
+        // One planner per rank for the whole run: centroid norms and the
+        // gemm kernel's packed panels persist across iterations. On the
+        // delta path the Update already knows exactly which rows changed
+        // bits, so the refresh takes that hint directly; the other paths
+        // fall back to the planner's snapshot diff. Refreshed rows are
+        // recomputed through the same canonical accumulation, so reuse is
+        // bitwise-invisible.
+        let mut planner = AssignPlanner::new(cfg.kernel, ldm_bytes);
+        if cfg.kernel == AssignKernel::Gemm {
+            // Block shape from the cost model (Level 1 replicates the full
+            // centroid set per unit) instead of the kernel's LDM-half
+            // default. Blocking never changes results, only wall time.
+            let (mc, nc) = perf_model::gemm::choose_blocking(
+                &MachineParams::taihulight(),
+                &perf_model::Calibration::default(),
+                k,
+                d,
+                S::BYTES,
+            );
+            planner = planner.with_blocking(GemmBlocking::new(mc, nc));
+        }
+        let mut changed_mask = vec![false; k];
         for iter in 0..cfg.max_iters {
             let iter_start = std::time::Instant::now();
             let mut it = IterTiming::default();
@@ -93,7 +118,20 @@ pub(crate) fn run<S: Scalar>(
             // the configured kernel. One plan per iteration amortises the
             // centroid norms across the stripe (once per Update).
             let t0 = std::time::Instant::now();
-            let plan = AssignPlan::with_ldm_budget(cfg.kernel, &centroids, ldm_bytes);
+            let plan = if cfg.update == UpdateMode::Delta && iter > 0 {
+                changed_mask.iter_mut().for_each(|v| *v = false);
+                for &j in &changed_rows {
+                    changed_mask[j] = true;
+                }
+                planner.plan_with_changed(&centroids, &changed_mask)
+            } else {
+                planner.plan(&centroids)
+            };
+            if cfg.kernel == AssignKernel::Gemm {
+                // Norm + packed-panel (re)build time, nested inside the
+                // assign phase on the trace timeline.
+                pt.phase("gemm_plan", t0, iter);
+            }
             assigned.clear();
             match cfg.update {
                 UpdateMode::TwoPass => {

@@ -17,7 +17,10 @@ use crate::executor::{
 };
 use crate::level1::{divide_rows, or_words_sum_last, sum_slices};
 use crate::partition::split_range;
-use kmeans_core::{AssignPlan, Matrix, Scalar, TouchedSet, UpdateMode, DELTA_FALLBACK_FRACTION};
+use kmeans_core::{
+    AssignKernel, AssignPlanner, GemmBlocking, Matrix, Scalar, TouchedSet, UpdateMode,
+    DELTA_FALLBACK_FRACTION,
+};
 use msg::{CommError, World};
 use sw_arch::MachineParams;
 
@@ -115,6 +118,22 @@ pub(crate) fn run<S: Scalar>(
             && cfg
                 .merge
                 .use_ring(shard_k * d * S::BYTES, shard_comm.size(), cfg.update);
+        // One planner per member for the whole run: shard norms and gemm
+        // panels persist across iterations, refreshed via snapshot diff
+        // for just the shard rows the Update actually moved.
+        let mut planner = AssignPlanner::new(cfg.kernel, ldm_bytes);
+        if cfg.kernel == AssignKernel::Gemm && shard_k > 0 {
+            // Block shape from the cost model, sized for the shard this
+            // member actually scores (the partitioned layout).
+            let (mc, nc) = perf_model::gemm::choose_blocking(
+                &MachineParams::taihulight(),
+                &perf_model::Calibration::default(),
+                shard_k,
+                d,
+                S::BYTES,
+            );
+            planner = planner.with_blocking(GemmBlocking::new(mc, nc));
+        }
         let mut trace: Vec<IterTiming> = Vec::new();
 
         for iter in 0..cfg.max_iters {
@@ -136,7 +155,10 @@ pub(crate) fn run<S: Scalar>(
             if shard_k == 0 {
                 pairs.resize(my_samples.len(), MINLOC_NEUTRAL);
             } else {
-                let plan = AssignPlan::with_ldm_budget(cfg.kernel, &shard, ldm_bytes);
+                let plan = planner.plan(&shard);
+                if cfg.kernel == AssignKernel::Gemm {
+                    pt.phase("gemm_plan", t0, iter);
+                }
                 assigned.clear();
                 if fuse {
                     // g == 1: my partial argmin IS the winner, so fold each
@@ -485,7 +507,11 @@ mod tests {
         let data = random_data(150, 5, 21);
         let init = init_centroids(&data, 8, InitMethod::Forgy, 13);
         let reference = run(&data, init.clone(), &cfg(8, 4, 5)).unwrap();
-        for kernel in [AssignKernel::Expanded, AssignKernel::Tiled] {
+        for kernel in [
+            AssignKernel::Expanded,
+            AssignKernel::Tiled,
+            AssignKernel::Gemm,
+        ] {
             let mut c = cfg(8, 4, 5);
             c.kernel = kernel;
             let r = run(&data, init.clone(), &c).unwrap();

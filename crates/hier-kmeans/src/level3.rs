@@ -22,7 +22,10 @@ use crate::executor::{
 use crate::level1::{divide_rows, or_words_sum_last, sum_slices};
 use crate::level2::{merge_min_loc, MINLOC_NEUTRAL};
 use crate::partition::split_range;
-use kmeans_core::{AssignPlan, Matrix, Scalar, TouchedSet, UpdateMode, DELTA_FALLBACK_FRACTION};
+use kmeans_core::{
+    AssignKernel, AssignPlanner, GemmBlocking, Matrix, Scalar, TouchedSet, UpdateMode,
+    DELTA_FALLBACK_FRACTION,
+};
 use msg::{CommError, World};
 use std::ops::Range;
 use sw_arch::MachineParams;
@@ -116,6 +119,23 @@ pub(crate) fn run<S: Scalar>(
             && cfg
                 .merge
                 .use_ring(shard_k * d * S::BYTES, shard_comm.size(), cfg.update);
+        // One slice-aware planner per CG for the whole run: per-slice shard
+        // norms (and gemm panels) persist across iterations, refreshed via
+        // snapshot diff for just the rows the Update moved.
+        let mut planner =
+            AssignPlanner::new(cfg.kernel, ldm_bytes).with_slices(Some(slices.clone()));
+        if cfg.kernel == AssignKernel::Gemm && shard_k > 0 {
+            // Cost-model block shape for this CG's shard; the dimension
+            // slicing changes accumulation order, not the blocking math.
+            let (mc, nc) = perf_model::gemm::choose_blocking(
+                &MachineParams::taihulight(),
+                &perf_model::Calibration::default(),
+                shard_k,
+                d,
+                S::BYTES,
+            );
+            planner = planner.with_blocking(GemmBlocking::new(mc, nc));
+        }
         let mut trace: Vec<IterTiming> = Vec::new();
 
         for iter in 0..cfg.max_iters {
@@ -136,8 +156,10 @@ pub(crate) fn run<S: Scalar>(
             if shard_k == 0 {
                 pairs.resize(my_samples.len(), MINLOC_NEUTRAL);
             } else {
-                let plan =
-                    AssignPlan::with_options(cfg.kernel, &shard, ldm_bytes, Some(slices.clone()));
+                let plan = planner.plan(&shard);
+                if cfg.kernel == AssignKernel::Gemm {
+                    pt.phase("gemm_plan", t0, iter);
+                }
                 assigned.clear();
                 if fuse {
                     // The fold respects the plan's dimension slices, so the
@@ -503,7 +525,11 @@ mod tests {
         let data = random_data(90, 23, 71);
         let init = init_centroids(&data, 10, InitMethod::Forgy, 23);
         let reference = run(&data, init.clone(), &cfg(6, 2, 5, 4)).unwrap();
-        for kernel in [AssignKernel::Expanded, AssignKernel::Tiled] {
+        for kernel in [
+            AssignKernel::Expanded,
+            AssignKernel::Tiled,
+            AssignKernel::Gemm,
+        ] {
             let mut c = cfg(6, 2, 5, 4);
             c.kernel = kernel;
             let r = run(&data, init.clone(), &c).unwrap();

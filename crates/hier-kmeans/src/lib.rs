@@ -34,7 +34,7 @@ pub mod partition;
 pub mod plan;
 pub mod stream;
 
-pub use auto::choose_level;
+pub use auto::{choose_level, gemm_group_units};
 pub use executor::{
     fit, HierConfig, HierError, HierResult, IterTiming, MergeStrategy, PhaseTimings, TrainTrace,
     RING_CROSSOVER_BYTES,

@@ -12,8 +12,18 @@
 //!   register-blocked micro-dot-product inside each tile. Tile sizes come
 //!   from the LDM budget ([`TileShape::for_budget`]), so host cache
 //!   blocking mirrors the paper's 64 KB scratchpad tiling (constraint C1).
+//! * [`AssignKernel::Gemm`] — the expansion computed as a cache-blocked
+//!   GEMM: score blocks are `−2·X·Cᵀ` plus broadcast centroid norms,
+//!   evaluated by a 4×8 register-tiled micro kernel over *packed* operands
+//!   (column-interleaved sample blocks and centroid panels), reduced to an
+//!   argmin per row block. Packing turns the inner loop into contiguous
+//!   broadcast-×-panel multiplies, the vectorisable form the tiled
+//!   kernel's strided row walks deny the compiler. Block shape comes from
+//!   [`GemmBlocking::for_budget`] (or a `perf-model` cost-model override),
+//!   and [`AssignPlanner`] caches norms and packed panels across
+//!   delta-update iterations, invalidating only rows that moved.
 //!
-//! All three kernels preserve the workspace-wide lowest-index tie-break:
+//! All four kernels preserve the workspace-wide lowest-index tie-break:
 //! candidates are scanned in ascending centroid index with a strict `<`
 //! comparison, and — decisively for distributed min-loc merges — the tiled
 //! kernel accumulates every dot product in plain ascending-dimension order,
@@ -40,6 +50,14 @@ pub const LDM_BYTES_DEFAULT: usize = 64 * 1024;
 const MR: usize = 4;
 const NR: usize = 4;
 
+/// GEMM micro-kernel block edges: 4 packed sample lanes × 8 packed
+/// centroid lanes = 32 independent accumulators, and the 8 contiguous
+/// centroid lanes per dimension step are exactly one f32 vector register —
+/// the shape that lets the compiler lower the inner loop to
+/// broadcast-×-vector multiplies.
+const GEMM_MR: usize = 4;
+const GEMM_NR: usize = 8;
+
 /// Which kernel the Assign phase runs.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub enum AssignKernel {
@@ -53,13 +71,19 @@ pub enum AssignKernel {
     /// Norm expansion over LDM-sized sample×centroid tiles with a 4×4
     /// register-blocked micro-dot kernel.
     Tiled,
+    /// The expansion as a cache-blocked GEMM over packed operands with a
+    /// 4×8 register-tiled micro kernel. Bitwise-identical scores to
+    /// `Tiled` — every per-pair dot accumulates in the same canonical
+    /// ascending-dimension order ([`dot_sliced_linear`]).
+    Gemm,
 }
 
 impl AssignKernel {
-    pub const ALL: [AssignKernel; 3] = [
+    pub const ALL: [AssignKernel; 4] = [
         AssignKernel::Scalar,
         AssignKernel::Expanded,
         AssignKernel::Tiled,
+        AssignKernel::Gemm,
     ];
 
     /// Stable lowercase name (CLI vocabulary and metrics labels).
@@ -68,28 +92,38 @@ impl AssignKernel {
             AssignKernel::Scalar => "scalar",
             AssignKernel::Expanded => "expanded",
             AssignKernel::Tiled => "tiled",
+            AssignKernel::Gemm => "gemm",
         }
     }
 
     /// Stable numeric code for gauge export (`0 = scalar`, `1 = expanded`,
-    /// `2 = tiled`).
+    /// `2 = tiled`, `3 = gemm`).
     pub fn code(self) -> u32 {
         match self {
             AssignKernel::Scalar => 0,
             AssignKernel::Expanded => 1,
             AssignKernel::Tiled => 2,
+            AssignKernel::Gemm => 3,
         }
     }
 
     /// Parse a CLI spelling. Accepts the legacy serving names (`exact`,
-    /// `norm-trick`) as aliases so existing invocations keep working.
+    /// `norm-trick`) as aliases so existing invocations keep working. The
+    /// error enumerates the valid names from [`AssignKernel::ALL`], so the
+    /// message cannot drift as variants are added.
     pub fn parse(s: &str) -> Result<AssignKernel, String> {
         match s {
-            "scalar" | "exact" => Ok(AssignKernel::Scalar),
-            "expanded" | "norm-trick" => Ok(AssignKernel::Expanded),
-            "tiled" => Ok(AssignKernel::Tiled),
-            other => Err(format!("unknown kernel `{other}` (scalar|expanded|tiled)")),
+            "exact" => return Ok(AssignKernel::Scalar),
+            "norm-trick" => return Ok(AssignKernel::Expanded),
+            _ => {}
         }
+        AssignKernel::ALL
+            .into_iter()
+            .find(|k| k.name() == s)
+            .ok_or_else(|| {
+                let names: Vec<&str> = AssignKernel::ALL.iter().map(|k| k.name()).collect();
+                format!("unknown kernel `{s}` (valid: {})", names.join("|"))
+            })
     }
 }
 
@@ -150,6 +184,51 @@ impl TileShape {
     }
 }
 
+/// Cache-block shape of the GEMM kernel: `mc` packed sample rows stay
+/// resident while packed centroid panels stream through in chunks of `nc`
+/// rows.
+///
+/// Traffic model (shared with `perf-model`'s cost-driven refinement): with
+/// the sample block resident, the centroid panels are re-streamed once per
+/// sample block — panel traffic is `(n/mc)·k·d·e` bytes against sample
+/// traffic of `n·d·e` — while the resident working set `(mc + nc)·d·e`
+/// must fit the budget. Splitting the budget evenly between the resident
+/// block and the streamed chunk balances the two streams instead of
+/// hardcoding the tiled kernel's third/two-thirds split.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct GemmBlocking {
+    /// Sample rows per resident block.
+    pub mc: usize,
+    /// Centroid rows per streamed panel chunk.
+    pub nc: usize,
+}
+
+impl GemmBlocking {
+    /// Normalise an arbitrary `(mc, nc)` request — e.g. `perf-model`'s
+    /// cost-driven choice — to micro-kernel multiples, clamped to at least
+    /// one 4×8 micro tile.
+    pub fn new(mc: usize, nc: usize) -> GemmBlocking {
+        GemmBlocking {
+            mc: (mc.min(4096) / GEMM_MR).max(1) * GEMM_MR,
+            nc: (nc.min(4096) / GEMM_NR).max(1) * GEMM_NR,
+        }
+    }
+
+    /// Derive the block shape from an LDM budget: half to the resident
+    /// sample block, half to the streamed centroid panel chunk.
+    pub fn for_budget(ldm_bytes: usize, d: usize, elem_bytes: usize) -> GemmBlocking {
+        let row = d.max(1) * elem_bytes.max(1);
+        let half = (ldm_bytes / 2).max(1);
+        GemmBlocking::new(half / row, half / row)
+    }
+
+    /// Bytes the resident sample block plus one streamed panel chunk
+    /// occupy under this shape.
+    pub fn footprint_bytes(&self, d: usize, elem_bytes: usize) -> usize {
+        (self.mc + self.nc) * d.max(1) * elem_bytes
+    }
+}
+
 /// A prepared Assign pass over one centroid set: the selected kernel plus
 /// everything derived from the centroids (norms, tile shape, dimension
 /// slices). Build it once per Update — the executors rebuild after every
@@ -170,6 +249,21 @@ pub struct AssignPlan<S: Scalar> {
     tile: TileShape,
     /// Per-CPE dimension slices (Level 3); `None` means whole rows.
     slices: Option<Vec<Range<usize>>>,
+    /// Packed centroid panels + block shape; `Some` iff `kernel == Gemm`.
+    gemm: Option<GemmState<S>>,
+}
+
+/// The GEMM kernel's prepared centroid side: the block shape plus the
+/// centroid rows packed into `GEMM_NR`-wide column-interleaved panels.
+/// Panel `p` stores dimension `u` of absolute centroid row `p·8 + jj` at
+/// element `u·8 + jj`; lanes past `k` are zero — padded lanes feed
+/// accumulators the argmin fold never reads, so they cannot perturb real
+/// scores. Panels sit behind an `Arc` so cloned plans (serve's sharded
+/// index) and the caching [`AssignPlanner`] share one packing.
+#[derive(Debug, Clone)]
+struct GemmState<S: Scalar> {
+    blocking: GemmBlocking,
+    panels: std::sync::Arc<Vec<S>>,
 }
 
 /// Accumulation target of the fused assign–accumulate path: per-cluster
@@ -224,15 +318,20 @@ impl<S: Scalar> AssignPlan<S> {
                     dot_sliced_unrolled(row, row, sl)
                 })
                 .collect(),
-            // The tiled kernel accumulates every dot in linear order, so
-            // its norms must too (identical rows ⇒ identical scores).
-            AssignKernel::Tiled => (0..k)
+            // The tiled and GEMM kernels accumulate every dot in linear
+            // order, so their norms must too (identical rows ⇒ identical
+            // scores).
+            AssignKernel::Tiled | AssignKernel::Gemm => (0..k)
                 .map(|j| {
                     let row = centroids.row(j);
                     dot_sliced_linear(row, row, sl)
                 })
                 .collect(),
         };
+        let gemm = (kernel == AssignKernel::Gemm).then(|| GemmState {
+            blocking: GemmBlocking::for_budget(ldm_bytes, d, S::BYTES),
+            panels: std::sync::Arc::new(pack_centroid_panels(centroids)),
+        });
         AssignPlan {
             kernel,
             k,
@@ -240,7 +339,23 @@ impl<S: Scalar> AssignPlan<S> {
             norms,
             tile: TileShape::for_budget(ldm_bytes, d, S::BYTES),
             slices,
+            gemm,
         }
+    }
+
+    /// Override the GEMM block shape with `perf-model`'s cost-driven
+    /// choice (threaded through by the executors). No-op for the other
+    /// kernels, and never repacks: panels are blocking-independent.
+    pub fn with_blocking(mut self, blocking: GemmBlocking) -> Self {
+        if let Some(g) = self.gemm.as_mut() {
+            g.blocking = GemmBlocking::new(blocking.mc, blocking.nc);
+        }
+        self
+    }
+
+    /// The GEMM block shape in effect (`None` for the other kernels).
+    pub fn blocking(&self) -> Option<GemmBlocking> {
+        self.gemm.as_ref().map(|g| g.blocking)
     }
 
     pub fn kernel(&self) -> AssignKernel {
@@ -348,6 +463,9 @@ impl<S: Scalar> AssignPlan<S> {
             AssignKernel::Tiled => {
                 self.tiled_batch(data, srows, centroids, crows, global_offset, out, acc)
             }
+            AssignKernel::Gemm => {
+                self.gemm_batch(data, srows, centroids, crows, global_offset, out, acc)
+            }
         }
     }
 
@@ -402,23 +520,29 @@ impl<S: Scalar> AssignPlan<S> {
                     ((global_offset + (j - crows.start)) as u32, dist)
                 }
             },
-            AssignKernel::Expanded => {
-                let x2 = dot_sliced_unrolled(sample, sample, sl);
-                let (j, score) = self.score_scan(sample, centroids, &crows, |a, b| {
-                    dot_sliced_unrolled(a, b, sl)
-                });
+            AssignKernel::Expanded | AssignKernel::Tiled | AssignKernel::Gemm => {
+                // One sample degenerates the block grid to a column of
+                // per-pair dots — identical values to the blocked paths by
+                // the shared accumulation order of [`AssignPlan::pair_dot`].
+                let x2 = self.pair_dot(sample, sample, sl);
+                let (j, score) =
+                    self.score_scan(sample, centroids, &crows, |a, b| self.pair_dot(a, b, sl));
                 ((global_offset + (j - crows.start)) as u32, x2 + score)
             }
-            AssignKernel::Tiled => {
-                // One sample degenerates the tile grid to a column of
-                // per-pair linear dots — identical values to the blocked
-                // path by the shared accumulation order.
-                let x2 = dot_sliced_linear(sample, sample, sl);
-                let (j, score) = self.score_scan(sample, centroids, &crows, |a, b| {
-                    dot_sliced_linear(a, b, sl)
-                });
-                ((global_offset + (j - crows.start)) as u32, x2 + score)
-            }
+        }
+    }
+
+    /// The one per-pair dot kernel behind [`AssignPlan::score_pair`],
+    /// [`AssignPlan::key_to_dist`] and [`AssignPlan::assign_one`]: 4-way
+    /// unrolled for `Expanded`, the canonical ascending (linear) order for
+    /// `Tiled`/`Gemm` — the exact per-pair sequence their blocked kernels
+    /// reproduce. `Scalar` takes the subtract-square path and never calls
+    /// it.
+    #[inline]
+    fn pair_dot(&self, a: &[S], b: &[S], sl: &[Range<usize>]) -> S {
+        match self.kernel {
+            AssignKernel::Expanded => dot_sliced_unrolled(a, b, sl),
+            _ => dot_sliced_linear(a, b, sl),
         }
     }
 
@@ -452,8 +576,9 @@ impl<S: Scalar> AssignPlan<S> {
                     acc
                 }
             },
-            AssignKernel::Expanded => self.norms[j] - two * dot_sliced_unrolled(sample, row, sl),
-            AssignKernel::Tiled => self.norms[j] - two * dot_sliced_linear(sample, row, sl),
+            AssignKernel::Expanded | AssignKernel::Tiled | AssignKernel::Gemm => {
+                self.norms[j] - two * self.pair_dot(sample, row, sl)
+            }
         }
     }
 
@@ -469,8 +594,9 @@ impl<S: Scalar> AssignPlan<S> {
             .unwrap_or(std::slice::from_ref(&full));
         match self.kernel {
             AssignKernel::Scalar => key,
-            AssignKernel::Expanded => dot_sliced_unrolled(sample, sample, sl) + key,
-            AssignKernel::Tiled => dot_sliced_linear(sample, sample, sl) + key,
+            AssignKernel::Expanded | AssignKernel::Tiled | AssignKernel::Gemm => {
+                self.pair_dot(sample, sample, sl) + key
+            }
         }
     }
 
@@ -684,6 +810,117 @@ impl<S: Scalar> AssignPlan<S> {
             ii += mr;
         }
     }
+
+    /// The cache-blocked GEMM path: a resident block of `mc` packed sample
+    /// rows is scored against the streamed packed centroid panels, `nc`
+    /// rows per chunk, with the 4×8 register-tiled micro kernel computing
+    /// the `X·Cᵀ` dot block and the fold adding broadcast norms
+    /// (`‖c‖² − 2·x·c`) under the ascending-index strict-`<` argmin.
+    ///
+    /// Bitwise discipline: the micro kernel advances each of its 32
+    /// accumulators in canonical ascending-dimension order, so every
+    /// (sample, centroid) dot is bitwise-equal to [`dot_sliced_linear`]
+    /// and the whole path scores bitwise-identically to `Tiled`. Panels
+    /// are folded in ascending order per sample, edge panels/blocks are
+    /// zero-padded (their padded lanes feed accumulators the fold clamps
+    /// away via `crows`), and the block flushes in ascending sample order —
+    /// the same fused-fold discipline as the tiled kernel. `crows` may
+    /// start or end mid-panel (serve's shard subranges); the fold clamp
+    /// handles that too, since panels always cover absolute rows `0..k`.
+    #[allow(clippy::too_many_arguments)]
+    fn gemm_batch(
+        &self,
+        data: &Matrix<S>,
+        srows: Range<usize>,
+        // Scores come from the packed panels; `dispatch` already verified
+        // the matrix still matches the plan's shape.
+        _centroids: &Matrix<S>,
+        crows: Range<usize>,
+        global_offset: usize,
+        out: &mut Vec<(u32, S)>,
+        mut acc: Option<Acc<'_, S>>,
+    ) {
+        let full = 0..self.d;
+        let sl: &[Range<usize>] = self
+            .slices
+            .as_deref()
+            .unwrap_or(std::slice::from_ref(&full));
+        let st = self.gemm.as_ref().expect("gemm plan without packed state");
+        let d = self.d;
+        let two = S::from_f64(2.0);
+        let inf = S::from_f64(f64::INFINITY);
+        let mc = st.blocking.mc;
+        let panels_per_chunk = (st.blocking.nc / GEMM_NR).max(1);
+        let p_lo = crows.start / GEMM_NR;
+        let p_hi = crows.end.div_ceil(GEMM_NR);
+        let mut xpack = vec![S::ZERO; mc * d.max(1)];
+        let mut x2 = vec![S::ZERO; mc];
+        // (absolute centroid row, running best score) per sample of the block.
+        let mut best = vec![(u32::MAX, inf); mc];
+        let mut s0 = srows.start;
+        while s0 < srows.end {
+            let m = (srows.end - s0).min(mc);
+            let groups = m.div_ceil(GEMM_MR);
+            if !m.is_multiple_of(GEMM_MR) {
+                // Zero the edge group so its padded sample lanes hold
+                // zeros (their accumulators are computed but never read).
+                for v in xpack[(groups - 1) * GEMM_MR * d..groups * GEMM_MR * d].iter_mut() {
+                    *v = S::ZERO;
+                }
+            }
+            for ii in 0..m {
+                let row = data.row(s0 + ii);
+                x2[ii] = dot_sliced_linear(row, row, sl);
+                best[ii] = (u32::MAX, inf);
+                let dst = &mut xpack[(ii / GEMM_MR) * GEMM_MR * d..];
+                let lane = ii % GEMM_MR;
+                for (u, &x) in row.iter().enumerate() {
+                    dst[u * GEMM_MR + lane] = x;
+                }
+            }
+            let mut pc = p_lo;
+            while pc < p_hi {
+                let pend = (pc + panels_per_chunk).min(p_hi);
+                for g in 0..groups {
+                    let xg = &xpack[g * GEMM_MR * d..(g + 1) * GEMM_MR * d];
+                    let rows = (m - g * GEMM_MR).min(GEMM_MR);
+                    for p in pc..pend {
+                        let panel = &st.panels[p * GEMM_NR * d..(p + 1) * GEMM_NR * d];
+                        let mut dots = [[S::ZERO; GEMM_NR]; GEMM_MR];
+                        gemm_micro(xg, panel, d, &mut dots);
+                        let jbase = p * GEMM_NR;
+                        let lo = crows.start.max(jbase);
+                        let hi = crows.end.min(jbase + GEMM_NR);
+                        for (ii, drow) in dots.iter().enumerate().take(rows) {
+                            let slot = &mut best[g * GEMM_MR + ii];
+                            for j in lo..hi {
+                                let score = self.norms[j] - two * drow[j - jbase];
+                                if score < slot.1 {
+                                    *slot = (j as u32, score);
+                                }
+                            }
+                        }
+                    }
+                }
+                pc = pend;
+            }
+            // Flush the block in ascending sample order while it is still
+            // cache-resident (the fused-fold discipline shared with the
+            // tiled kernel).
+            for ii in 0..m {
+                let (j, score) = best[ii];
+                debug_assert_ne!(j, u32::MAX);
+                out.push((
+                    (global_offset + (j as usize - crows.start)) as u32,
+                    x2[ii] + score,
+                ));
+                if let Some(acc) = acc.as_mut() {
+                    self.fold_sample(acc, j as usize - crows.start, data.row(s0 + ii));
+                }
+            }
+            s0 += m;
+        }
+    }
 }
 
 /// The Level-3 Scalar path: per-slice partial squared distances folded in
@@ -764,6 +1001,351 @@ fn micro_dots_4x4<S: Scalar>(
     }
 }
 
+/// The GEMM micro kernel: a 4×8 register tile of dot products advanced
+/// together over the packed operands — `xg` holds 4 sample lanes
+/// interleaved per dimension, `panel` 8 centroid lanes. Each of the 32
+/// accumulators is its own sequential ascending-dimension chain, bitwise
+/// equal to [`dot_sliced_linear`] for its (sample, centroid) pair.
+///
+/// For `f32` on x86-64 the body is the explicit lane-unrolled AVX form:
+/// per dimension, one 8-wide panel load, four sample broadcasts, and four
+/// unfused multiply-then-add pairs. `vmulps`/`vaddps` are exact IEEE
+/// single-precision operations applied per lane in the same mul-then-add
+/// sequence as the scalar chain, so the specialisation is bitwise-
+/// identical to the generic body — it only widens the lanes the hardware
+/// retires per cycle (fused `vfmadd` would round once instead of twice
+/// and is deliberately not used).
+#[inline]
+fn gemm_micro<S: Scalar>(xg: &[S], panel: &[S], d: usize, acc: &mut [[S; GEMM_NR]; GEMM_MR]) {
+    debug_assert!(xg.len() >= d * GEMM_MR);
+    debug_assert!(panel.len() >= d * GEMM_NR);
+    #[cfg(target_arch = "x86_64")]
+    if std::any::TypeId::of::<S>() == std::any::TypeId::of::<f32>()
+        && std::arch::is_x86_feature_detected!("avx")
+    {
+        // SAFETY: the TypeId check proves `S` is exactly `f32`, so these
+        // reinterpretations are between identical types, and the length
+        // preconditions are the debug-asserted ones above.
+        unsafe {
+            let xf = std::slice::from_raw_parts(xg.as_ptr() as *const f32, xg.len());
+            let pf = std::slice::from_raw_parts(panel.as_ptr() as *const f32, panel.len());
+            let af = &mut *(acc as *mut [[S; GEMM_NR]; GEMM_MR] as *mut [[f32; GEMM_NR]; GEMM_MR]);
+            gemm_micro_f32_avx(xf, pf, d, af);
+        }
+        return;
+    }
+    gemm_micro_generic(xg, panel, d, acc)
+}
+
+/// Portable body of [`gemm_micro`] (f64, and f32 without AVX):
+/// bounds-check-free iteration with local accumulator registers.
+#[inline]
+fn gemm_micro_generic<S: Scalar>(
+    xg: &[S],
+    panel: &[S],
+    d: usize,
+    acc: &mut [[S; GEMM_NR]; GEMM_MR],
+) {
+    let [mut a0, mut a1, mut a2, mut a3] = *acc;
+    for (av, bv) in xg
+        .chunks_exact(GEMM_MR)
+        .zip(panel.chunks_exact(GEMM_NR))
+        .take(d)
+    {
+        let (x0, x1, x2, x3) = (av[0], av[1], av[2], av[3]);
+        for jj in 0..GEMM_NR {
+            let y = bv[jj];
+            a0[jj] += x0 * y;
+            a1[jj] += x1 * y;
+            a2[jj] += x2 * y;
+            a3[jj] += x3 * y;
+        }
+    }
+    *acc = [a0, a1, a2, a3];
+}
+
+/// Explicit-lane AVX form of the micro kernel (see [`gemm_micro`] for the
+/// bitwise-equivalence argument).
+///
+/// # Safety
+/// Requires AVX, `xg.len() >= d·4` and `panel.len() >= d·8`.
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx")]
+unsafe fn gemm_micro_f32_avx(
+    xg: &[f32],
+    panel: &[f32],
+    d: usize,
+    acc: &mut [[f32; GEMM_NR]; GEMM_MR],
+) {
+    use std::arch::x86_64::*;
+    let mut a0 = _mm256_loadu_ps(acc[0].as_ptr());
+    let mut a1 = _mm256_loadu_ps(acc[1].as_ptr());
+    let mut a2 = _mm256_loadu_ps(acc[2].as_ptr());
+    let mut a3 = _mm256_loadu_ps(acc[3].as_ptr());
+    let mut xp = xg.as_ptr();
+    let mut pp = panel.as_ptr();
+    for _ in 0..d {
+        let b = _mm256_loadu_ps(pp);
+        a0 = _mm256_add_ps(a0, _mm256_mul_ps(_mm256_broadcast_ss(&*xp), b));
+        a1 = _mm256_add_ps(a1, _mm256_mul_ps(_mm256_broadcast_ss(&*xp.add(1)), b));
+        a2 = _mm256_add_ps(a2, _mm256_mul_ps(_mm256_broadcast_ss(&*xp.add(2)), b));
+        a3 = _mm256_add_ps(a3, _mm256_mul_ps(_mm256_broadcast_ss(&*xp.add(3)), b));
+        xp = xp.add(GEMM_MR);
+        pp = pp.add(GEMM_NR);
+    }
+    _mm256_storeu_ps(acc[0].as_mut_ptr(), a0);
+    _mm256_storeu_ps(acc[1].as_mut_ptr(), a1);
+    _mm256_storeu_ps(acc[2].as_mut_ptr(), a2);
+    _mm256_storeu_ps(acc[3].as_mut_ptr(), a3);
+}
+
+/// Pack every centroid row into `GEMM_NR`-wide column-interleaved panels
+/// (see [`GemmState`] for the layout). Lanes past `k` are zeroed.
+fn pack_centroid_panels<S: Scalar>(centroids: &Matrix<S>) -> Vec<S> {
+    let (k, d) = (centroids.rows(), centroids.cols());
+    let panels = k.div_ceil(GEMM_NR).max(1);
+    let mut out = vec![S::ZERO; panels * d * GEMM_NR];
+    for (p, dst) in out.chunks_exact_mut(d * GEMM_NR).enumerate() {
+        pack_one_panel(centroids, p, dst);
+    }
+    out
+}
+
+/// (Re)pack panel `p` — absolute centroid rows `p·8 .. p·8+8` — into
+/// `dst`, zeroing lanes past `k` so stale values never survive a refresh.
+fn pack_one_panel<S: Scalar>(centroids: &Matrix<S>, p: usize, dst: &mut [S]) {
+    let (k, d) = (centroids.rows(), centroids.cols());
+    debug_assert_eq!(dst.len(), d * GEMM_NR);
+    for jj in 0..GEMM_NR {
+        let j = p * GEMM_NR + jj;
+        if j < k {
+            for (u, &x) in centroids.row(j).iter().enumerate() {
+                dst[u * GEMM_NR + jj] = x;
+            }
+        } else {
+            for u in 0..d {
+                dst[u * GEMM_NR + jj] = S::ZERO;
+            }
+        }
+    }
+}
+
+/// Cumulative cache counters of an [`AssignPlanner`], exported as gauges
+/// by the executors and recorded by the bench snapshot to quantify the
+/// delta-path plan-prep win.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PlannerStats {
+    /// Plans produced.
+    pub plans: u64,
+    /// Centroid rows whose norms (and packed panel lanes) were recomputed.
+    pub rows_refreshed: u64,
+    /// Rows carried over unchanged from the previous plan.
+    pub rows_reused: u64,
+    /// Packed GEMM panels rebuilt (a panel is touched iff any of its 8
+    /// rows moved).
+    pub panels_rebuilt: u64,
+    /// Packed GEMM panels carried over untouched.
+    pub panels_reused: u64,
+}
+
+/// Builds [`AssignPlan`]s across training iterations, caching what
+/// centroid movement does not invalidate: per-row norms and, for the GEMM
+/// kernel, the packed centroid panels. Rows are diffed bitwise
+/// ([`Scalar::bits`]) against a snapshot of the previous centroids —
+/// recomputing an unchanged row would produce bitwise-identical values, so
+/// reuse cannot change any result; it only removes the per-iteration
+/// `O(k·d)` norm/pack work that the delta update path's low-churn tail
+/// otherwise re-pays every iteration. Executors that already know exactly
+/// which rows moved (the delta paths' changed-row detection) skip the diff
+/// via [`AssignPlanner::plan_with_changed`].
+#[derive(Debug, Clone)]
+pub struct AssignPlanner<S: Scalar> {
+    kernel: AssignKernel,
+    ldm_bytes: usize,
+    slices: Option<Vec<Range<usize>>>,
+    blocking: Option<GemmBlocking>,
+    /// Flat snapshot (`k·d`) of the centroids the cache was built against.
+    snap: Vec<S>,
+    k: usize,
+    d: usize,
+    norms: Vec<S>,
+    panels: std::sync::Arc<Vec<S>>,
+    tile: TileShape,
+    stats: PlannerStats,
+}
+
+impl<S: Scalar> AssignPlanner<S> {
+    pub fn new(kernel: AssignKernel, ldm_bytes: usize) -> Self {
+        AssignPlanner {
+            kernel,
+            ldm_bytes,
+            slices: None,
+            blocking: None,
+            snap: Vec::new(),
+            k: 0,
+            d: 0,
+            norms: Vec::new(),
+            panels: std::sync::Arc::new(Vec::new()),
+            tile: TileShape {
+                samples: 1,
+                centroids: 1,
+            },
+            stats: PlannerStats::default(),
+        }
+    }
+
+    /// Thread the Level-3 per-CPE dimension slices through every plan.
+    pub fn with_slices(mut self, slices: Option<Vec<Range<usize>>>) -> Self {
+        self.slices = slices;
+        self
+    }
+
+    /// Pin the GEMM block shape (the cost-model-driven choice from
+    /// `perf-model`) instead of the LDM-budget default.
+    pub fn with_blocking(mut self, blocking: GemmBlocking) -> Self {
+        self.blocking = Some(GemmBlocking::new(blocking.mc, blocking.nc));
+        self
+    }
+
+    pub fn kernel(&self) -> AssignKernel {
+        self.kernel
+    }
+
+    pub fn stats(&self) -> PlannerStats {
+        self.stats
+    }
+
+    /// Produce the plan for this iteration's centroids, reusing every
+    /// cached row whose bits did not change since the previous call.
+    pub fn plan(&mut self, centroids: &Matrix<S>) -> AssignPlan<S> {
+        match self.changed_rows(centroids) {
+            Some(changed) => self.refresh(centroids, &changed),
+            None => self.full_build(centroids),
+        }
+    }
+
+    /// Like [`AssignPlanner::plan`], but with the caller's exact changed-row
+    /// set (`changed[j]` ⇔ row `j`'s bits differ from the previous
+    /// iteration) instead of a snapshot diff — the delta executors already
+    /// compute this to drive their skip-scan. Falls back to a full build
+    /// when the cache is cold or shapes changed.
+    pub fn plan_with_changed(&mut self, centroids: &Matrix<S>, changed: &[bool]) -> AssignPlan<S> {
+        if self.cache_warm(centroids) && changed.len() == centroids.rows() {
+            let changed = changed.to_vec();
+            self.refresh(centroids, &changed)
+        } else {
+            self.full_build(centroids)
+        }
+    }
+
+    fn cache_warm(&self, centroids: &Matrix<S>) -> bool {
+        self.kernel != AssignKernel::Scalar
+            && self.k == centroids.rows()
+            && self.d == centroids.cols()
+            && self.snap.len() == self.k * self.d
+            && self.norms.len() == self.k
+    }
+
+    fn changed_rows(&self, centroids: &Matrix<S>) -> Option<Vec<bool>> {
+        if !self.cache_warm(centroids) {
+            return None;
+        }
+        let d = self.d;
+        Some(
+            (0..self.k)
+                .map(|j| {
+                    centroids
+                        .row(j)
+                        .iter()
+                        .zip(&self.snap[j * d..(j + 1) * d])
+                        .any(|(a, b)| a.bits() != b.bits())
+                })
+                .collect(),
+        )
+    }
+
+    fn full_build(&mut self, centroids: &Matrix<S>) -> AssignPlan<S> {
+        let mut plan =
+            AssignPlan::with_options(self.kernel, centroids, self.ldm_bytes, self.slices.clone());
+        if let Some(b) = self.blocking {
+            plan = plan.with_blocking(b);
+        }
+        self.stats.plans += 1;
+        if self.kernel != AssignKernel::Scalar {
+            self.stats.rows_refreshed += centroids.rows() as u64;
+            self.k = centroids.rows();
+            self.d = centroids.cols();
+            self.snap.clear();
+            self.snap.extend_from_slice(centroids.as_slice());
+            self.norms.clone_from(&plan.norms);
+            self.tile = plan.tile;
+            if let Some(g) = &plan.gemm {
+                self.stats.panels_rebuilt += self.k.div_ceil(GEMM_NR).max(1) as u64;
+                self.panels = g.panels.clone();
+            }
+        }
+        plan
+    }
+
+    fn refresh(&mut self, centroids: &Matrix<S>, changed: &[bool]) -> AssignPlan<S> {
+        let (k, d) = (self.k, self.d);
+        let full = 0..d;
+        let slv = self.slices.clone();
+        let sl: &[Range<usize>] = slv.as_deref().unwrap_or(std::slice::from_ref(&full));
+        let mut refreshed = 0u64;
+        for (j, &moved) in changed.iter().enumerate() {
+            if moved {
+                let row = centroids.row(j);
+                self.norms[j] = match self.kernel {
+                    AssignKernel::Expanded => dot_sliced_unrolled(row, row, sl),
+                    _ => dot_sliced_linear(row, row, sl),
+                };
+                self.snap[j * d..(j + 1) * d].copy_from_slice(row);
+                refreshed += 1;
+            }
+        }
+        self.stats.plans += 1;
+        self.stats.rows_refreshed += refreshed;
+        self.stats.rows_reused += k as u64 - refreshed;
+        let gemm = (self.kernel == AssignKernel::Gemm).then(|| {
+            let n_panels = k.div_ceil(GEMM_NR).max(1);
+            let touched: Vec<usize> = (0..n_panels)
+                .filter(|&p| (p * GEMM_NR..((p + 1) * GEMM_NR).min(k)).any(|j| changed[j]))
+                .collect();
+            if !touched.is_empty() {
+                // Clone-on-write: plans returned earlier may still hold
+                // the Arc; executors drop them before re-planning, so this
+                // stays an in-place repack of just the touched panels.
+                let buf = std::sync::Arc::make_mut(&mut self.panels);
+                for &p in &touched {
+                    pack_one_panel(
+                        centroids,
+                        p,
+                        &mut buf[p * GEMM_NR * d..(p + 1) * GEMM_NR * d],
+                    );
+                }
+            }
+            self.stats.panels_rebuilt += touched.len() as u64;
+            self.stats.panels_reused += (n_panels - touched.len()) as u64;
+            GemmState {
+                blocking: self
+                    .blocking
+                    .unwrap_or_else(|| GemmBlocking::for_budget(self.ldm_bytes, d, S::BYTES)),
+                panels: self.panels.clone(),
+            }
+        });
+        AssignPlan {
+            kernel: self.kernel,
+            k,
+            d,
+            norms: self.norms.clone(),
+            tile: self.tile,
+            slices: self.slices.clone(),
+            gemm,
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -836,6 +1418,8 @@ mod tests {
 
     #[test]
     fn kernel_names_codes_and_parsing() {
+        // Round trip every variant through name → parse and Display →
+        // FromStr, so a new variant cannot ship without its spelling.
         for k in AssignKernel::ALL {
             assert_eq!(AssignKernel::parse(k.name()), Ok(k));
             assert_eq!(format!("{k}").parse::<AssignKernel>(), Ok(k));
@@ -845,10 +1429,18 @@ mod tests {
             AssignKernel::parse("norm-trick"),
             Ok(AssignKernel::Expanded)
         );
-        assert!(AssignKernel::parse("warp-drive").is_err());
         assert_eq!(AssignKernel::default(), AssignKernel::Scalar);
         let codes: Vec<u32> = AssignKernel::ALL.iter().map(|k| k.code()).collect();
-        assert_eq!(codes, vec![0, 1, 2]);
+        assert_eq!(codes, vec![0, 1, 2, 3]);
+        // The parse error enumerates every valid name.
+        let err = AssignKernel::parse("warp-drive").unwrap_err();
+        for k in AssignKernel::ALL {
+            assert!(
+                err.contains(k.name()),
+                "error must list `{}`: {err}",
+                k.name()
+            );
+        }
     }
 
     #[test]
@@ -905,7 +1497,7 @@ mod tests {
     }
 
     #[test]
-    fn expanded_and_tiled_match_scalar_argmin() {
+    fn expansion_kernels_match_scalar_argmin() {
         for (n, k, d, seed) in [
             (100usize, 7usize, 16usize, 3u64),
             (37, 13, 5, 4),
@@ -920,7 +1512,11 @@ mod tests {
                 &data,
                 &centroids,
             );
-            for kernel in [AssignKernel::Expanded, AssignKernel::Tiled] {
+            for kernel in [
+                AssignKernel::Expanded,
+                AssignKernel::Tiled,
+                AssignKernel::Gemm,
+            ] {
                 let got = batch(&AssignPlan::new(kernel, &centroids), &data, &centroids);
                 for i in 0..n {
                     assert_eq!(
@@ -1018,6 +1614,238 @@ mod tests {
             );
             assert_eq!(small, big, "ldm={ldm}");
         }
+    }
+
+    #[test]
+    fn gemm_is_bitwise_identical_to_tiled() {
+        // The GEMM path shares the tiled kernel's canonical accumulation
+        // order, so its labels *and keys* must match bit for bit — on
+        // ragged shapes (edge panels and edge sample groups), under
+        // Level-3 dimension slices, and on mid-panel centroid subranges
+        // like serve's shards.
+        for (n, k, d, seed) in [
+            (130usize, 37usize, 40usize, 1u64),
+            (37, 13, 5, 2),
+            (64, 24, 64, 3),
+            (200, 3, 1, 4),
+            (9, 130, 33, 5),
+        ] {
+            let data = random_matrix(n, d, seed);
+            let centroids = random_matrix(k, d, seed + 50);
+            let tiled = batch(
+                &AssignPlan::new(AssignKernel::Tiled, &centroids),
+                &data,
+                &centroids,
+            );
+            let gemm = batch(
+                &AssignPlan::new(AssignKernel::Gemm, &centroids),
+                &data,
+                &centroids,
+            );
+            for i in 0..n {
+                assert_eq!(gemm[i].0, tiled[i].0, "n={n} k={k} d={d} sample {i}");
+                assert_eq!(
+                    gemm[i].1.to_bits(),
+                    tiled[i].1.to_bits(),
+                    "n={n} k={k} d={d} sample {i}: key bits differ"
+                );
+            }
+        }
+        // Sliced + mid-panel subrange: crows cuts through packed panels.
+        let data = random_matrix(41, 29, 6);
+        let centroids = init_centroids(&data, 27, InitMethod::Forgy, 7);
+        let slices = Some(vec![0..11, 11..12, 12..12, 12..29]);
+        let tiled = AssignPlan::with_options(
+            AssignKernel::Tiled,
+            &centroids,
+            LDM_BYTES_DEFAULT,
+            slices.clone(),
+        );
+        let gemm =
+            AssignPlan::with_options(AssignKernel::Gemm, &centroids, LDM_BYTES_DEFAULT, slices);
+        for crows in [0..27usize, 3..22, 5..6, 8..16] {
+            let mut a = Vec::new();
+            let mut b = Vec::new();
+            tiled.assign_batch_into(&data, 0..41, &centroids, crows.clone(), 9, &mut a);
+            gemm.assign_batch_into(&data, 0..41, &centroids, crows.clone(), 9, &mut b);
+            assert_eq!(
+                a.iter().map(|&(j, s)| (j, s.to_bits())).collect::<Vec<_>>(),
+                b.iter().map(|&(j, s)| (j, s.to_bits())).collect::<Vec<_>>(),
+                "crows={crows:?}"
+            );
+        }
+        // f32 pins the explicit-lane (AVX on x86-64) micro kernel against
+        // tiled's scalar chains: unfused per-lane mul-then-add must keep
+        // the keys bitwise equal too.
+        let mut rng = ChaCha8Rng::seed_from_u64(97);
+        let data32 = Matrix::from_vec(
+            61,
+            37,
+            (0..61 * 37).map(|_| rng.gen_range(-3.0f32..3.0)).collect(),
+        );
+        let cents32 = Matrix::from_vec(
+            30,
+            37,
+            (0..30 * 37).map(|_| rng.gen_range(-3.0f32..3.0)).collect(),
+        );
+        let mut a = Vec::new();
+        let mut b = Vec::new();
+        AssignPlan::new(AssignKernel::Tiled, &cents32).assign_batch_into(
+            &data32,
+            0..61,
+            &cents32,
+            0..30,
+            0,
+            &mut a,
+        );
+        AssignPlan::new(AssignKernel::Gemm, &cents32).assign_batch_into(
+            &data32,
+            0..61,
+            &cents32,
+            0..30,
+            0,
+            &mut b,
+        );
+        assert_eq!(
+            a.iter().map(|&(j, s)| (j, s.to_bits())).collect::<Vec<_>>(),
+            b.iter().map(|&(j, s)| (j, s.to_bits())).collect::<Vec<_>>(),
+            "f32 gemm diverged from tiled"
+        );
+    }
+
+    #[test]
+    fn tiny_gemm_blocks_agree_with_huge_blocks() {
+        // Forcing minimal 4×8 blocks exercises every edge path of the
+        // packed kernel; results must be bitwise identical to one big
+        // resident block — and to any cost-model override in between.
+        let data = random_matrix(53, 17, 43);
+        let centroids = init_centroids(&data, 21, InitMethod::Forgy, 44);
+        let big = batch(
+            &AssignPlan::with_ldm_budget(AssignKernel::Gemm, &centroids, 1 << 24),
+            &data,
+            &centroids,
+        );
+        for (mc, nc) in [(4usize, 8usize), (4, 16), (8, 8), (12, 24), (100, 8)] {
+            let plan = AssignPlan::new(AssignKernel::Gemm, &centroids)
+                .with_blocking(GemmBlocking::new(mc, nc));
+            assert_eq!(
+                plan.blocking(),
+                Some(GemmBlocking::new(mc, nc)),
+                "override lost"
+            );
+            assert_eq!(batch(&plan, &data, &centroids), big, "mc={mc} nc={nc}");
+        }
+    }
+
+    #[test]
+    fn gemm_blocking_respects_budget_and_micro_multiples() {
+        for d in [1usize, 4, 16, 64, 100, 256, 1_000, 4_096] {
+            for e in [4usize, 8] {
+                for ldm in [1usize << 12, LDM_BYTES_DEFAULT, 1 << 20] {
+                    let b = GemmBlocking::for_budget(ldm, d, e);
+                    assert_eq!(b.mc % GEMM_MR, 0, "d={d} e={e}");
+                    assert_eq!(b.nc % GEMM_NR, 0, "d={d} e={e}");
+                    assert!(b.mc >= GEMM_MR && b.nc >= GEMM_NR);
+                    if b.mc > GEMM_MR || b.nc > GEMM_NR {
+                        assert!(
+                            b.footprint_bytes(d, e) <= ldm + (GEMM_MR + GEMM_NR) * d * e,
+                            "d={d} e={e} ldm={ldm}: {b:?} uses {} B",
+                            b.footprint_bytes(d, e)
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn planner_reuses_unchanged_rows_bitwise() {
+        let data = random_matrix(60, 19, 91);
+        let c1 = init_centroids(&data, 13, InitMethod::Forgy, 92);
+        // Move rows 2 and 9 only; everything else keeps its bits.
+        let mut moved = c1.as_slice().to_vec();
+        for j in [2usize, 9] {
+            for v in &mut moved[j * 19..(j + 1) * 19] {
+                *v += 0.25;
+            }
+        }
+        let c2 = Matrix::from_vec(13, 19, moved);
+        for kernel in AssignKernel::ALL {
+            let mut planner = AssignPlanner::new(kernel, LDM_BYTES_DEFAULT);
+            let p1 = planner.plan(&c1);
+            assert_eq!(batch(&p1, &data, &c1), {
+                let fresh = AssignPlan::new(kernel, &c1);
+                batch(&fresh, &data, &c1)
+            });
+            // Second plan: snapshot diff finds exactly the two moved rows,
+            // and the cached plan is bitwise-identical to a fresh build.
+            let p2 = planner.plan(&c2);
+            let fresh = AssignPlan::new(kernel, &c2);
+            let got = batch(&p2, &data, &c2);
+            let want = batch(&fresh, &data, &c2);
+            assert_eq!(
+                got.iter()
+                    .map(|&(j, s)| (j, s.to_bits()))
+                    .collect::<Vec<_>>(),
+                want.iter()
+                    .map(|&(j, s)| (j, s.to_bits()))
+                    .collect::<Vec<_>>(),
+                "{kernel}: cached plan diverged from fresh build"
+            );
+            let stats = planner.stats();
+            assert_eq!(stats.plans, 2, "{kernel}");
+            if kernel == AssignKernel::Scalar {
+                // Nothing derived to cache.
+                assert_eq!(stats.rows_refreshed, 0);
+            } else {
+                assert_eq!(stats.rows_refreshed, 13 + 2, "{kernel}");
+                assert_eq!(stats.rows_reused, 11, "{kernel}");
+            }
+            if kernel == AssignKernel::Gemm {
+                // 13 rows → 2 panels; rows 2 and 9 land in different
+                // panels, so both were rebuilt on the refresh.
+                assert_eq!(stats.panels_rebuilt, 2 + 2);
+                assert_eq!(stats.panels_reused, 0);
+            }
+            // The explicit changed-row hint takes the same path.
+            let mut hinted = AssignPlanner::new(kernel, LDM_BYTES_DEFAULT);
+            hinted.plan(&c1);
+            let mut changed = vec![false; 13];
+            changed[2] = true;
+            changed[9] = true;
+            let p3 = hinted.plan_with_changed(&c2, &changed);
+            let got3 = batch(&p3, &data, &c2);
+            assert_eq!(
+                got3.iter()
+                    .map(|&(j, s)| (j, s.to_bits()))
+                    .collect::<Vec<_>>(),
+                want.iter()
+                    .map(|&(j, s)| (j, s.to_bits()))
+                    .collect::<Vec<_>>(),
+                "{kernel}: hinted plan diverged"
+            );
+        }
+    }
+
+    #[test]
+    fn planner_panel_reuse_skips_untouched_panels() {
+        // 40 rows → 5 panels of 8. Moving one row must rebuild exactly one
+        // panel and leave the other four shared.
+        let data = random_matrix(30, 12, 95);
+        let c1 = random_matrix(40, 12, 96);
+        let mut moved = c1.as_slice().to_vec();
+        for v in &mut moved[17 * 12..18 * 12] {
+            *v -= 1.5;
+        }
+        let c2 = Matrix::from_vec(40, 12, moved);
+        let mut planner = AssignPlanner::new(AssignKernel::Gemm, LDM_BYTES_DEFAULT);
+        planner.plan(&c1);
+        let p2 = planner.plan(&c2);
+        let stats = planner.stats();
+        assert_eq!(stats.panels_rebuilt, 5 + 1);
+        assert_eq!(stats.panels_reused, 4);
+        let fresh = AssignPlan::new(AssignKernel::Gemm, &c2);
+        assert_eq!(batch(&p2, &data, &c2), batch(&fresh, &data, &c2));
     }
 
     #[test]

@@ -44,7 +44,10 @@ pub mod source;
 pub mod update;
 pub mod yinyang;
 
-pub use assign::{AssignKernel, AssignPlan, TileShape, LDM_BYTES_DEFAULT};
+pub use assign::{
+    AssignKernel, AssignPlan, AssignPlanner, GemmBlocking, PlannerStats, TileShape,
+    LDM_BYTES_DEFAULT,
+};
 pub use distance::{
     argmin_centroid, dot_unrolled, sq_euclidean, sq_euclidean_unrolled, CentroidNorms,
 };

@@ -2,7 +2,7 @@
 //! level is validated against, decomposed into the Assign and Update steps
 //! the hierarchy distributes.
 
-use crate::assign::{AssignKernel, AssignPlan};
+use crate::assign::{AssignKernel, AssignPlanner, LDM_BYTES_DEFAULT};
 use crate::distance::argmin_centroid;
 use crate::init::{init_centroids, InitMethod};
 use crate::matrix::Matrix;
@@ -288,11 +288,15 @@ impl Lloyd {
         } else {
             0
         });
+        // One planner for the whole run: norms (and the GEMM kernel's
+        // packed panels) carry over between iterations, refreshed only for
+        // rows whose bits moved — which on a delta run's convergence tail
+        // is a small minority. The Scalar kernel's plan path stays
+        // bit-identical to the historical per-sample `argmin_centroid`
+        // scan.
+        let mut planner = AssignPlanner::new(config.kernel, LDM_BYTES_DEFAULT);
         for _ in 0..config.max_iters {
-            // One plan per iteration = centroid norms recomputed once per
-            // Update; the Scalar kernel's plan path is bit-identical to the
-            // historical per-sample `argmin_centroid` scan.
-            let plan = AssignPlan::new(config.kernel, &current);
+            let plan = planner.plan(&current);
             assigned.clear();
             let shift;
             match config.update {
@@ -554,7 +558,11 @@ mod tests {
     fn expanded_and_tiled_kernels_reach_the_same_fit() {
         let data = blobs();
         let reference = Lloyd::run(&data, &KMeansConfig::new(3).with_seed(1)).unwrap();
-        for kernel in [AssignKernel::Expanded, AssignKernel::Tiled] {
+        for kernel in [
+            AssignKernel::Expanded,
+            AssignKernel::Tiled,
+            AssignKernel::Gemm,
+        ] {
             let cfg = KMeansConfig::new(3).with_seed(1).with_kernel(kernel);
             let res = Lloyd::run(&data, &cfg).unwrap();
             // A near-tie early on may permute cluster identities, so compare

@@ -4,7 +4,7 @@
 //! cheap approximation for web-scale data, and the streaming executor in
 //! `hier-kmeans` uses the same update rule for out-of-core sources.
 
-use crate::assign::AssignPlan;
+use crate::assign::{AssignPlanner, LDM_BYTES_DEFAULT};
 use crate::lloyd::{KMeansConfig, KMeansError, KMeansResult};
 use crate::matrix::Matrix;
 use crate::scalar::Scalar;
@@ -73,6 +73,11 @@ pub fn run_from<S: Scalar>(
     let mut indices: Vec<usize> = (0..n).collect();
     let mut gathered = Matrix::<S>::zeros(config.batch.min(n), d);
     let mut assignments: Vec<(u32, S)> = Vec::with_capacity(config.batch);
+    // A batch only moves the centroids it actually hit, so the planner
+    // refreshes norms (and gemm panels) for exactly those rows — the rest
+    // of the plan carries over from the previous batch untouched.
+    let mut planner = AssignPlanner::new(k_config.kernel, LDM_BYTES_DEFAULT);
+    let mut changed = vec![false; k];
 
     for _ in 0..config.batches {
         indices.shuffle(&mut rng);
@@ -84,7 +89,7 @@ pub fn run_from<S: Scalar>(
         for (row, &i) in batch.iter().enumerate() {
             gathered.row_mut(row).copy_from_slice(data.row(i));
         }
-        let plan = AssignPlan::new(k_config.kernel, &centroids);
+        let plan = planner.plan_with_changed(&centroids, &changed);
         assignments.clear();
         plan.assign_batch_into(
             &gathered,
@@ -94,8 +99,10 @@ pub fn run_from<S: Scalar>(
             0,
             &mut assignments,
         );
+        changed.iter_mut().for_each(|v| *v = false);
         for (&i, &(j, _)) in batch.iter().zip(&assignments) {
             let j = j as usize;
+            changed[j] = true;
             lifetime[j] += 1;
             let eta = S::ONE / S::from_usize(lifetime[j] as usize);
             let one_minus = S::ONE - eta;

@@ -1,0 +1,283 @@
+//! Cost-model-driven blocking for the GEMM assign kernel.
+//!
+//! `kmeans-core`'s `AssignKernel::Gemm` scores samples as
+//! `‖x‖² + ‖c‖² − 2·X·Cᵀ` over packed panels, blocked into `mc`-sample ×
+//! `nc`-centroid macro tiles. The kernel itself only knows a byte budget
+//! (it splits the LDM in half); this module prices candidate block shapes
+//! with the same machine constants and calibration knobs the per-iteration
+//! cost model uses, and picks the shape that minimises modelled per-sample
+//! time:
+//!
+//! * **Compute** — `2·k·d` flops per sample, derated by the kernel
+//!   efficiency curve `η(d)` (short dimension slices can't fill the pipes).
+//! * **Panel streaming** — every `mc`-sample block streams the whole packed
+//!   centroid set (`k·d` elements) through the LDM, so the panel traffic
+//!   per sample is `k·d/mc`: larger `mc` amortises it.
+//! * **Request latency** — each `nc`-centroid panel chunk is one DMA
+//!   request; per sample that is `(k/nc)/mc` requests: larger `nc` means
+//!   fewer, fatter transfers.
+//!
+//! `mc` and `nc` compete for the same LDM (`(mc + nc)·d + mc·nc` elements
+//! resident), which is exactly the trade-off the argmin resolves.
+//!
+//! The same formulas answer the *replication vs partition* question: a
+//! group of `g` units sharing a sample stripe can either replicate the full
+//! centroid set on every unit (no merge, full panel traffic) or give each
+//! unit a `k/g` shard and pay a min-loc AllReduce per sample tile. See
+//! [`replicate_centroids`].
+
+use crate::calibration::Calibration;
+use sw_arch::MachineParams;
+
+/// Micro-kernel register tile (samples × centroid lanes). Mirrors
+/// `kmeans_core::assign`'s micro tile; `kmeans-core` re-normalises whatever
+/// blocking it is handed to its own multiples, so these only have to be
+/// sensible, not identical.
+pub const GEMM_MR: usize = 4;
+/// Micro-kernel centroid lanes per panel.
+pub const GEMM_NR: usize = 8;
+
+/// Cost-model choice for one GEMM assign sweep.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct GemmPlan {
+    /// Samples per macro block.
+    pub mc: usize,
+    /// Centroid columns per panel chunk.
+    pub nc: usize,
+    /// `true`: replicate the full packed centroid set on every unit of a
+    /// sample-sharing group (Level-1 style — no per-sample merge).
+    /// `false`: partition the centroids across the group and merge partial
+    /// argmins (Level-2/3 style).
+    pub replicate: bool,
+}
+
+/// Modelled time to score one sample against `k` centroids of dimension
+/// `d` under blocking `(mc, nc)`, in seconds. `sample_read_factor` is the
+/// group's sample-replication factor: members of a centroid-sharing group
+/// all stream the *same* stripe, multiplying the aggregate sample traffic
+/// contending for the shared DMA engines (the structural Level-2 cost the
+/// crate docs call out).
+fn time_per_sample(
+    machine: &MachineParams,
+    cal: &Calibration,
+    k: usize,
+    d: usize,
+    elem_bytes: usize,
+    (mc, nc): (usize, usize),
+    sample_read_factor: f64,
+) -> f64 {
+    let (kf, df, ef) = (k as f64, d as f64, elem_bytes as f64);
+    let flops = 2.0 * kf * df;
+    let compute = flops / (machine.cpe_flops() * cal.eta(df).max(1e-6));
+    // Per-CPE share of the core group's DMA bandwidth.
+    let dma_bw = machine.dma_bw * cal.dma_eff / machine.cpes_per_cg as f64;
+    // Own row in (pack), panel set streamed once per mc-block, score row out.
+    let bytes = sample_read_factor * df * ef + kf * df * ef / mc as f64 + kf * ef;
+    let chunks_per_sample = (kf / nc as f64).max(1.0) / mc as f64;
+    compute + bytes / dma_bw + chunks_per_sample * machine.dma_lat
+}
+
+/// LDM footprint of blocking `(mc, nc)`, in elements: the packed sample
+/// block, one packed centroid chunk, and the resident score block.
+fn footprint_elems(d: usize, mc: usize, nc: usize) -> usize {
+    (mc + nc) * d + mc * nc
+}
+
+/// Pick the `(mc, nc)` macro-block shape minimising modelled per-sample
+/// assign time under the machine's LDM capacity. Falls back to one micro
+/// tile when even that exceeds the budget (the kernel streams regardless —
+/// the model just stops pretending there is reuse to win).
+pub fn choose_blocking(
+    machine: &MachineParams,
+    cal: &Calibration,
+    k: usize,
+    d: usize,
+    elem_bytes: usize,
+) -> (usize, usize) {
+    let budget = machine.ldm_elems(elem_bytes);
+    let mut best = (GEMM_MR, GEMM_NR);
+    let mut best_t = f64::INFINITY;
+    let mc_cap = (budget / GEMM_MR.max(d)).max(1) * GEMM_MR;
+    let mut mc = GEMM_MR;
+    while mc <= mc_cap.min(4096) {
+        let mut nc = GEMM_NR;
+        while nc <= k.next_multiple_of(GEMM_NR).min(4096) {
+            if footprint_elems(d, mc, nc) <= budget {
+                let t = time_per_sample(machine, cal, k, d, elem_bytes, (mc, nc), 1.0);
+                // Strict improvement keeps the smallest shape on ties —
+                // less LDM pressure for the same modelled time.
+                if t < best_t {
+                    best_t = t;
+                    best = (mc, nc);
+                }
+            }
+            nc += GEMM_NR;
+        }
+        mc += GEMM_MR;
+    }
+    best
+}
+
+/// Decide replication vs partition for a group of `g` units that share one
+/// sample stripe: compare the modelled per-sample cost of each layout with
+/// its own best blocking.
+///
+/// * **Replicate**: every unit owns its own sample stripe and scores all
+///   `k` centroids — full panel traffic, no merge, samples read once.
+/// * **Partition**: the group shares one stripe; each unit scores a
+///   `⌈k/g⌉` shard (panel traffic ÷ g) but *every* member streams the same
+///   samples (sample traffic × g), and the group merges partial argmins
+///   with a `⌈log₂ g⌉`-round min-loc reduction whose messages batch
+///   [`Calibration::merge_batch`] samples.
+pub fn replicate_centroids(
+    machine: &MachineParams,
+    cal: &Calibration,
+    k: usize,
+    d: usize,
+    group_units: usize,
+    elem_bytes: usize,
+) -> bool {
+    if group_units <= 1 {
+        return true;
+    }
+    let block = choose_blocking(machine, cal, k, d, elem_bytes);
+    let replicated = time_per_sample(machine, cal, k, d, elem_bytes, block, 1.0);
+
+    let shard_k = k.div_ceil(group_units).max(1);
+    let shard_block = choose_blocking(machine, cal, shard_k, d, elem_bytes);
+    let sharded = time_per_sample(
+        machine,
+        cal,
+        shard_k,
+        d,
+        elem_bytes,
+        shard_block,
+        group_units as f64,
+    );
+    // Min-loc pair (key ‖ index) per sample per round over the register
+    // mesh, with per-round latency amortised over the message batch.
+    let rounds = (group_units as f64).log2().ceil();
+    let pair_bytes = 2.0 * elem_bytes.max(4) as f64;
+    let merge =
+        rounds * (pair_bytes / (machine.reg_bw * cal.net_eff) + machine.reg_lat / cal.merge_batch);
+
+    replicated <= sharded + merge
+}
+
+/// The full cost-model choice for one assign sweep: block shape for the
+/// centroid count a unit actually scores, plus the layout decision.
+pub fn plan_gemm(
+    machine: &MachineParams,
+    cal: &Calibration,
+    k: usize,
+    d: usize,
+    group_units: usize,
+    elem_bytes: usize,
+) -> GemmPlan {
+    let replicate = replicate_centroids(machine, cal, k, d, group_units, elem_bytes);
+    let scored_k = if replicate {
+        k
+    } else {
+        k.div_ceil(group_units).max(1)
+    };
+    let (mc, nc) = choose_blocking(machine, cal, scored_k, d, elem_bytes);
+    GemmPlan { mc, nc, replicate }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn setup() -> (MachineParams, Calibration) {
+        (MachineParams::taihulight(), Calibration::default())
+    }
+
+    #[test]
+    fn blocking_fits_ldm_and_micro_multiples() {
+        let (m, c) = setup();
+        for (k, d, e) in [
+            (64usize, 64usize, 4usize),
+            (256, 64, 4),
+            (1024, 64, 4),
+            (256, 1024, 8),
+            (8, 4, 4),
+            (100_000, 16, 4),
+        ] {
+            let (mc, nc) = choose_blocking(&m, &c, k, d, e);
+            assert!(mc.is_multiple_of(GEMM_MR), "mc={mc}");
+            assert!(nc.is_multiple_of(GEMM_NR), "nc={nc}");
+            if footprint_elems(d, GEMM_MR, GEMM_NR) <= m.ldm_elems(e) {
+                assert!(
+                    footprint_elems(d, mc, nc) <= m.ldm_elems(e),
+                    "k={k} d={d}: ({mc},{nc}) spills"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn huge_dimension_falls_back_to_one_micro_tile() {
+        let (m, c) = setup();
+        // (mc + nc)·d alone blows the 64 KB LDM: nothing fits, so the
+        // chooser returns the minimal tile rather than pretending.
+        assert_eq!(
+            choose_blocking(&m, &c, 2000, 1 << 20, 8),
+            (GEMM_MR, GEMM_NR)
+        );
+    }
+
+    #[test]
+    fn smaller_dimension_affords_larger_sample_blocks() {
+        let (m, c) = setup();
+        let (mc_small_d, _) = choose_blocking(&m, &c, 256, 16, 4);
+        let (mc_big_d, _) = choose_blocking(&m, &c, 256, 1024, 4);
+        assert!(
+            mc_small_d >= mc_big_d,
+            "mc {mc_small_d} at d=16 vs {mc_big_d} at d=1024"
+        );
+    }
+
+    #[test]
+    fn larger_mc_is_modelled_cheaper_at_fixed_nc() {
+        let (m, c) = setup();
+        // Panel streaming amortises over mc — the term the blocking chooser
+        // exists to exploit.
+        let t4 = time_per_sample(&m, &c, 256, 64, 4, (4, 64), 1.0);
+        let t64 = time_per_sample(&m, &c, 256, 64, 4, (64, 64), 1.0);
+        assert!(t64 < t4, "{t64} vs {t4}");
+    }
+
+    #[test]
+    fn single_unit_groups_replicate() {
+        let (m, c) = setup();
+        assert!(replicate_centroids(&m, &c, 1024, 64, 1, 4));
+    }
+
+    #[test]
+    fn huge_centroid_sets_partition_across_the_group() {
+        let (m, c) = setup();
+        // k·d panel streaming dwarfs a few min-loc rounds: sharding 64×
+        // cuts the dominant term 64×.
+        assert!(!replicate_centroids(&m, &c, 160_000, 64, 64, 4));
+    }
+
+    #[test]
+    fn tiny_centroid_sets_replicate() {
+        let (m, c) = setup();
+        // 8 centroids: the merge latency costs more than streaming the
+        // whole (tiny) panel set.
+        assert!(replicate_centroids(&m, &c, 8, 8, 64, 4));
+    }
+
+    #[test]
+    fn plan_blocks_for_the_scored_shard() {
+        let (m, c) = setup();
+        let plan = plan_gemm(&m, &c, 160_000, 64, 64, 4);
+        assert!(!plan.replicate);
+        let shard_k = 160_000usize.div_ceil(64);
+        assert_eq!((plan.mc, plan.nc), choose_blocking(&m, &c, shard_k, 64, 4));
+        let rep = plan_gemm(&m, &c, 8, 8, 64, 4);
+        assert!(rep.replicate);
+        assert_eq!((rep.mc, rep.nc), choose_blocking(&m, &c, 8, 8, 4));
+    }
+}

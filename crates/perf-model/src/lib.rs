@@ -35,6 +35,7 @@ pub mod calibration;
 pub mod cost;
 pub mod crossover;
 pub mod feasibility;
+pub mod gemm;
 pub mod related;
 pub mod shape;
 pub mod sweep;
@@ -43,5 +44,6 @@ pub use calibration::Calibration;
 pub use cost::{CostBreakdown, CostModel};
 pub use crossover::{best_level, find_crossover_d};
 pub use feasibility::{Infeasibility, LevelPlan};
+pub use gemm::{choose_blocking, plan_gemm, replicate_centroids, GemmPlan};
 pub use shape::{Level, ProblemShape};
 pub use sweep::{strong_scaling, sweep_d, sweep_k, weak_scaling, SweepPoint};

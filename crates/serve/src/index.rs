@@ -10,8 +10,10 @@
 //! Per-shard scoring routes through the shared [`AssignPlan`] from
 //! `kmeans-core`, so serving uses exactly the kernels training uses:
 //! [`Kernel::Scalar`] (exact subtract-square, the default),
-//! [`Kernel::Expanded`] (norm expansion, previously `NormTrick`) and
-//! [`Kernel::Tiled`] (LDM-blocked expansion with the 4×4 micro kernel).
+//! [`Kernel::Expanded`] (norm expansion, previously `NormTrick`),
+//! [`Kernel::Tiled`] (LDM-blocked expansion with the 4×4 micro kernel) and
+//! [`Kernel::Gemm`] (cache-blocked `−2·X·Cᵀ` over packed panels, bitwise
+//! equal to `Tiled`).
 
 use crate::artifact::ModelArtifact;
 use crate::error::ServeError;
@@ -93,8 +95,9 @@ impl<S: Scalar> ShardedIndex<S> {
         Self::new(artifact.centroids.clone(), num_shards)
     }
 
-    /// Switch the per-shard kernel; `Expanded`/`Tiled` precompute centroid
-    /// norms once here, amortised over every subsequent query.
+    /// Switch the per-shard kernel; `Expanded`/`Tiled`/`Gemm` precompute
+    /// centroid norms (and, for `Gemm`, packed centroid panels) once here,
+    /// amortised over every subsequent query.
     pub fn with_kernel(mut self, kernel: Kernel) -> Self {
         self.plan = AssignPlan::new(kernel, &self.centroids);
         self
@@ -314,7 +317,7 @@ mod tests {
     fn expansion_kernels_agree_on_well_separated_data() {
         let centroids = Matrix::from_rows(&[&[0.0f64, 0.0], &[10.0, 0.0], &[0.0, 10.0]]);
         let exact = ShardedIndex::new(centroids.clone(), 2);
-        for kernel in [Kernel::Expanded, Kernel::Tiled] {
+        for kernel in [Kernel::Expanded, Kernel::Tiled, Kernel::Gemm] {
             let fast = ShardedIndex::new(centroids.clone(), 2).with_kernel(kernel);
             assert_eq!(fast.kernel(), kernel);
             for sample in [[1.0, 1.0], [9.0, 1.0], [1.0, 9.0], [-3.0, -3.0]] {

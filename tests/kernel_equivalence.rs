@@ -1,7 +1,9 @@
-//! Property tests for the assign-kernel layer: `Expanded` and `Tiled`
-//! must reproduce the exact `Scalar` reference's argmin — including the
-//! workspace-wide lowest-index tie-break — across arbitrary shapes, tile
-//! budgets and dimension slicings.
+//! Property tests for the assign-kernel layer: `Expanded`, `Tiled` and
+//! `Gemm` must reproduce the exact `Scalar` reference's argmin — including
+//! the workspace-wide lowest-index tie-break — across arbitrary shapes,
+//! tile budgets and dimension slicings. `Gemm` is additionally held to a
+//! stronger bar: bitwise-identical keys to `Tiled` (the two share one
+//! canonical accumulation order).
 
 use proptest::prelude::*;
 use sunway_kmeans::kmeans_core::{argmin_centroid, TileShape, LDM_BYTES_DEFAULT};
@@ -117,6 +119,41 @@ proptest! {
         }
     }
 
+    /// `Gemm` reproduces `Tiled` *bitwise* — labels and comparison keys —
+    /// at every LDM budget: both kernels accumulate every dot product in
+    /// the same canonical ascending-dimension order, so packing and
+    /// register blocking must be invisible to the last bit.
+    #[test]
+    fn gemm_matches_tiled_bitwise(
+        seed in 0u64..10_000,
+        n in 1usize..60,
+        d in 1usize..40,
+        k in 1usize..20,
+        ldm_pick in 0usize..4,
+    ) {
+        let ldm = [64usize, 700, 4_096, LDM_BYTES_DEFAULT][ldm_pick];
+        let blobs = GaussianMixture::new(n.max(k), d, k).with_seed(seed).generate::<f64>();
+        let data = blobs.data;
+        let centroids = init_centroids(&data, k, InitMethod::Forgy, seed + 5);
+        let tiled = assign_all(
+            &AssignPlan::with_ldm_budget(AssignKernel::Tiled, &centroids, ldm),
+            &data,
+            &centroids,
+        );
+        let gemm = assign_all(
+            &AssignPlan::with_ldm_budget(AssignKernel::Gemm, &centroids, ldm),
+            &data,
+            &centroids,
+        );
+        for i in 0..data.rows() {
+            prop_assert_eq!(tiled[i].0, gemm[i].0, "ldm={} sample {}", ldm, i);
+            prop_assert_eq!(
+                tiled[i].1.to_bits(), gemm[i].1.to_bits(),
+                "ldm={} sample {}: keys diverged bitwise", ldm, i
+            );
+        }
+    }
+
     /// The tile planner never exceeds its budget (when it can help it) and
     /// always yields positive tile edges.
     #[test]
@@ -156,7 +193,11 @@ fn f32_keys_stay_within_documented_tolerance() {
     let scalar_plan = AssignPlan::new(AssignKernel::Scalar, &centroids);
     let mut scalar = Vec::new();
     scalar_plan.assign_batch_into(&data, 0..data.rows(), &centroids, 0..8, 0, &mut scalar);
-    for kernel in [AssignKernel::Expanded, AssignKernel::Tiled] {
+    for kernel in [
+        AssignKernel::Expanded,
+        AssignKernel::Tiled,
+        AssignKernel::Gemm,
+    ] {
         let plan = AssignPlan::new(kernel, &centroids);
         let mut got = Vec::new();
         plan.assign_batch_into(&data, 0..data.rows(), &centroids, 0..8, 0, &mut got);

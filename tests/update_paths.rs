@@ -52,7 +52,7 @@ proptest! {
         units in 1usize..5,
         group in 1usize..4,
         cpes in 1usize..7,
-        kernel_pick in 0usize..3,
+        kernel_pick in 0usize..4,
         level_pick in 0usize..3,
     ) {
         let k = k.min(n);
