@@ -1,0 +1,229 @@
+//! Reproducible bounded-assign snapshot: measures triangle-inequality
+//! pruning fused with the GEMM kernel at the paper's census-like shape
+//! (n=100k, k=256, d=64) and writes `BENCH_bounds.json` (checked in at the
+//! repo root, regenerated with
+//! `cargo run --release -p bench --bin bounds_snapshot`).
+//!
+//! Two measurements:
+//!
+//! 1. **Bit-identity** — full `Lloyd` runs under every [`BoundsMode`]
+//!    against the unbounded reference: same labels, same iteration count,
+//!    same objective bit for bit. Pruning must only skip rows whose
+//!    assignment provably cannot change.
+//! 2. **Tail speedup** — the iteration loop driven manually so each assign
+//!    pass can be timed in isolation: once the moved fraction drops below
+//!    10% (the convergence tail where bounds earn their keep), the bounded
+//!    Yinyang+gemm pass is compared against the unbounded gemm pass over
+//!    the *same* centroids. The acceptance floor is a ≥3× per-iteration
+//!    assign speedup, plus a ≥50% distance-eval savings fraction.
+
+use kmeans_core::{
+    centroid_drifts, update_step, AssignKernel, AssignPlanner, BoundState, BoundsIterKind,
+    BoundsMode, BoundsScratch, KMeansConfig, Lloyd, Matrix, LDM_BYTES_DEFAULT,
+};
+use std::time::Instant;
+
+/// The convergence-tail boundary of the acceptance criterion.
+const MOVED_TAIL: f64 = 0.10;
+
+struct ModeRun {
+    mode: BoundsMode,
+    iterations: usize,
+    distance_evals: u64,
+    lloyd_equivalent: u64,
+    savings: f64,
+    wall_s: f64,
+}
+
+fn main() {
+    let (n, k, d) = (100_000usize, 256usize, 64usize);
+    // A k-component mixture, i.e. data with as much cluster structure as
+    // the fitted model (the census-like regime). Triangle-inequality
+    // pruning lives off the gap between a sample's own centroid and the
+    // rest; `bench_data`'s 16 blobs subdivided by 256 centroids would
+    // close those gaps and measure noise instead.
+    let data = datasets::GaussianMixture::new(n, d, k)
+        .with_seed(7)
+        .with_spread(20.0)
+        .generate()
+        .data;
+    // k-means++ rather than Forgy: Forgy seeding leaves ~1/e of the blobs
+    // uncovered, and every sample in a shared blob then sits on a
+    // permanent near-tie that no exact bound can prune.
+    let init = kmeans_core::init_centroids(&data, k, kmeans_core::InitMethod::KMeansPlusPlus, 7);
+
+    // --- 1. Bit-identity of every bounds mode through the real Lloyd path.
+    // 25 iterations cover dormant, seed and filter phases; identity is an
+    // induction invariant, so a truncated run proves the same property.
+    let base = KMeansConfig::new(k)
+        .with_max_iters(25)
+        .with_kernel(AssignKernel::Gemm);
+    let t = Instant::now();
+    let reference = Lloyd::run_from(&data, init.clone(), &base).expect("unbounded run");
+    let unbounded_wall = t.elapsed().as_secs_f64();
+    eprintln!(
+        "bounds none: {} iterations, objective {:.6}, {unbounded_wall:.2} s",
+        reference.iterations, reference.objective
+    );
+    let mut runs = vec![ModeRun {
+        mode: BoundsMode::None,
+        iterations: reference.iterations,
+        distance_evals: 0,
+        lloyd_equivalent: 0,
+        savings: 0.0,
+        wall_s: unbounded_wall,
+    }];
+    for mode in [BoundsMode::Hamerly, BoundsMode::Yinyang, BoundsMode::Auto] {
+        let t = Instant::now();
+        let res = Lloyd::run_from(&data, init.clone(), &base.with_bounds(mode)).expect("bounded");
+        let wall_s = t.elapsed().as_secs_f64();
+        assert_eq!(res.labels, reference.labels, "{mode}: labels diverged");
+        assert_eq!(res.iterations, reference.iterations, "{mode}: iterations");
+        assert_eq!(
+            res.objective.to_bits(),
+            reference.objective.to_bits(),
+            "{mode}: objective not bit-identical"
+        );
+        eprintln!(
+            "bounds {mode}: {} iterations, {:.1}% distance work saved, {wall_s:.2} s",
+            res.iterations,
+            res.bounds.savings() * 100.0
+        );
+        runs.push(ModeRun {
+            mode,
+            iterations: res.iterations,
+            distance_evals: res.bounds.distance_evals,
+            lloyd_equivalent: res.bounds.lloyd_equivalent,
+            savings: res.bounds.savings(),
+            wall_s,
+        });
+    }
+
+    // --- 2. Per-iteration tail timing, bounded Yinyang vs unbounded gemm
+    // on identical centroids.
+    let mut planner = AssignPlanner::new(AssignKernel::Gemm, LDM_BYTES_DEFAULT);
+    let mut st = BoundState::<f32>::new(BoundsMode::Yinyang, n, k, d);
+    let mut scratch = BoundsScratch::default();
+    let mut centroids = init.clone();
+    let mut next = Matrix::from_vec(k, d, vec![0.0f32; k * d]);
+    let mut pairs: Vec<(u32, f32)> = Vec::with_capacity(n);
+    let mut unbounded_pairs: Vec<(u32, f32)> = Vec::with_capacity(n);
+    let mut labels = vec![0u32; n];
+    let mut prev_labels = vec![0u32; n];
+    let mut drifts = vec![0.0f64; k];
+    let mut tail_bounded = 0.0f64;
+    let mut tail_unbounded = 0.0f64;
+    let mut tail_iters = 0usize;
+    let mut tail_evals = 0u64;
+    for iter in 0..300usize {
+        let plan = planner.plan(&centroids);
+        let evals_before = st.stats.distance_evals;
+        pairs.clear();
+        let t = Instant::now();
+        let kind = st.assign_serial(&plan, &data, 0..n, &centroids, &mut pairs, &mut scratch);
+        let bounded_s = t.elapsed().as_secs_f64();
+        let iter_evals = st.stats.distance_evals - evals_before;
+        for (label, &(j, _)) in labels.iter_mut().zip(&pairs) {
+            *label = j;
+        }
+        let moved = if iter == 0 {
+            1.0
+        } else {
+            let m = labels
+                .iter()
+                .zip(&prev_labels)
+                .filter(|(a, b)| a != b)
+                .count();
+            m as f64 / n as f64
+        };
+        // The unbounded pass over the same centroids, for the per-iteration
+        // comparison and a per-iteration label-identity check (filtered
+        // rows carry cached keys, so only labels are comparable there).
+        unbounded_pairs.clear();
+        let t = Instant::now();
+        plan.assign_batch_into(&data, 0..n, &centroids, 0..k, 0, &mut unbounded_pairs);
+        let unbounded_s = t.elapsed().as_secs_f64();
+        for (i, (b, u)) in pairs.iter().zip(&unbounded_pairs).enumerate() {
+            assert_eq!(b.0, u.0, "iter {iter} row {i}: bounded label diverged");
+        }
+        if moved < MOVED_TAIL && kind == BoundsIterKind::Filter {
+            tail_bounded += bounded_s;
+            tail_unbounded += unbounded_s;
+            tail_iters += 1;
+            tail_evals += iter_evals;
+        }
+        if iter % 5 == 0 || moved == 0.0 {
+            eprintln!(
+                "iter {iter}: moved {:.4}, {kind:?}, rescans {}, bounded {bounded_s:.4} s, \
+                 unbounded {unbounded_s:.4} s",
+                moved,
+                iter_evals / k as u64
+            );
+        }
+        update_step(&data, &labels, &centroids, &mut next);
+        centroid_drifts(&centroids, &next, &mut drifts);
+        std::mem::swap(&mut centroids, &mut next);
+        st.loosen(&drifts);
+        st.note_moved_fraction(moved);
+        prev_labels.copy_from_slice(&labels);
+        if iter > 0 && moved == 0.0 {
+            break;
+        }
+    }
+    assert!(tail_iters > 0, "run never reached the <10%-moved tail");
+    let speedup = tail_unbounded / tail_bounded;
+    // Savings over the tail iterations alone — the regime the acceptance
+    // floor is defined on (seed scans and the dormant head excluded).
+    let tail_savings = 1.0 - tail_evals as f64 / (tail_iters as f64 * (n * k) as f64);
+    eprintln!(
+        "tail ({tail_iters} iteration(s) under {MOVED_TAIL} moved): \
+         unbounded {:.4} s/iter, bounded {:.4} s/iter — {speedup:.1}x, \
+         {:.1}% distance work saved overall",
+        tail_unbounded / tail_iters as f64,
+        tail_bounded / tail_iters as f64,
+        tail_savings * 100.0
+    );
+
+    let mut json = String::from("{\n  \"bench\": \"bounded_assign\",\n");
+    json.push_str(&format!(
+        "  \"shape\": {{\"n\": {n}, \"k\": {k}, \"d\": {d}}},\n  \"kernel\": \"gemm\",\n"
+    ));
+    json.push_str("  \"modes\": [\n");
+    for (i, r) in runs.iter().enumerate() {
+        json.push_str(&format!(
+            "    {{\"bounds\": \"{}\", \"iterations\": {}, \"distance_evals\": {}, \
+             \"lloyd_equivalent\": {}, \"savings\": {:.4}, \"wall_s\": {:.3}, \
+             \"bit_identical_to_none\": true}}{}\n",
+            r.mode,
+            r.iterations,
+            r.distance_evals,
+            r.lloyd_equivalent,
+            r.savings,
+            r.wall_s,
+            if i + 1 < runs.len() { "," } else { "" }
+        ));
+    }
+    json.push_str(&format!(
+        "  ],\n  \"tail\": {{\"moved_fraction_threshold\": {MOVED_TAIL}, \
+         \"iterations\": {tail_iters}, \"unbounded_assign_s_per_iter\": {:.5}, \
+         \"bounded_assign_s_per_iter\": {:.5}, \"assign_speedup\": {:.2}, \
+         \"savings\": {:.4}}}\n}}\n",
+        tail_unbounded / tail_iters as f64,
+        tail_bounded / tail_iters as f64,
+        speedup,
+        tail_savings
+    ));
+    std::fs::write("BENCH_bounds.json", &json).expect("write BENCH_bounds.json");
+    println!("{json}");
+
+    assert!(
+        speedup >= 3.0,
+        "bounded gemm must be >= 3x unbounded gemm per tail iteration, got {speedup:.2}x"
+    );
+    assert!(
+        tail_savings >= 0.5,
+        "bounded run must prune >= 50% of distance work, got {:.1}%",
+        tail_savings * 100.0
+    );
+    println!("wrote BENCH_bounds.json (bounded gemm {speedup:.1}x unbounded on the tail)");
+}

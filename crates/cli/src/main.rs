@@ -6,7 +6,8 @@
 //! swkm sweep --n 1265723 --k 2000 --d-lo 512 --d-hi 8192 --step 512 --nodes 128
 //! swkm fit   --dataset kegg --n 4096 --k 64 [--level 3] [--units 8] [--group 2]
 //!            [--kernel scalar|expanded|tiled|gemm] [--update twopass|fused|delta]
-//!            [--merge auto|tree|ring] [--faults seed=7,rate=0.25,...]
+//!            [--merge auto|tree|ring] [--bounds none|hamerly|yinyang|auto]
+//!            [--algo hier|lloyd|elkan|yinyang] [--faults seed=7,rate=0.25,...]
 //!            [--metrics-json out.json] [--metrics-prom out.prom]
 //!            [--trace-out trace.json]
 //! swkm landcover --size 128 --out target/landcover-cli
@@ -128,6 +129,15 @@ fn parse_merge_strategy(args: &Args) -> Result<hier_kmeans::MergeStrategy, Strin
     match args.get_str("merge") {
         None => Ok(hier_kmeans::MergeStrategy::Auto),
         Some(spec) => hier_kmeans::MergeStrategy::parse(spec).map_err(|e| format!("--merge: {e}")),
+    }
+}
+
+fn parse_bounds_mode(args: &Args) -> Result<kmeans_core::BoundsMode, String> {
+    match args.get_str("bounds") {
+        None => Ok(kmeans_core::BoundsMode::None),
+        Some(spec) => spec
+            .parse::<kmeans_core::BoundsMode>()
+            .map_err(|e| format!("--bounds: {e}")),
     }
 }
 
@@ -308,16 +318,25 @@ fn cmd_fit(args: &Args) -> Result<(), String> {
             ))
         }
     };
+    let kernel = parse_assign_kernel(args)?;
+    let update = parse_update_mode(args)?;
+    let merge = parse_merge_strategy(args)?;
+    let bounds = parse_bounds_mode(args)?;
+    // `--algo lloyd|elkan|yinyang` runs a serial exact algorithm on the
+    // same data/init instead of the hierarchical executor — the multi-core
+    // baselines of the paper's Table III, for filter-effectiveness
+    // comparisons against `--bounds`.
+    match args.get_str("algo") {
+        None | Some("hier") => {}
+        Some(algo) => return fit_serial(args, algo, &data, k, kernel, update, bounds),
+    }
     let level = match parse_level(args)? {
         Some(level) => level,
         None => choose_level(n, k, data.cols(), 1),
     };
-    let kernel = parse_assign_kernel(args)?;
-    let update = parse_update_mode(args)?;
-    let merge = parse_merge_strategy(args)?;
     println!(
         "fitting {dataset}: n={} d={} k={k} with {level} ({units} units, groups of {group}, \
-         {kernel} kernel, {update} update, {merge} merge)",
+         {kernel} kernel, {update} update, {merge} merge, {bounds} bounds)",
         data.rows(),
         data.cols()
     );
@@ -346,7 +365,8 @@ fn cmd_fit(args: &Args) -> Result<(), String> {
         .with_max_iters(args.get_or("max-iters", 100usize)?)
         .with_kernel(kernel)
         .with_update(update)
-        .with_merge(merge);
+        .with_merge(merge)
+        .with_bounds(bounds);
     if let Some(plan) = parse_fault_plan(args)? {
         fitter = fitter.with_faults(plan);
     }
@@ -387,6 +407,18 @@ fn cmd_fit(args: &Args) -> Result<(), String> {
             result.degraded_iterations
         );
     }
+    if result.bounds_mode != kmeans_core::BoundsMode::None {
+        println!(
+            "bounds {}: {:.1}% of distance work pruned ({} evals vs {} Lloyd-equivalent, \
+             {} seed scan(s), {} reset(s))",
+            result.bounds_mode,
+            result.bounds.savings() * 100.0,
+            result.bounds.distance_evals,
+            result.bounds.lloyd_equivalent,
+            result.bounds.seed_scans,
+            result.bounds.resets
+        );
+    }
     let registry = swkm_obs::MetricsRegistry::shared();
     result.export_metrics(&registry);
     // `--store <dir>` publishes the fitted centroids as the next live
@@ -412,6 +444,93 @@ fn cmd_fit(args: &Args) -> Result<(), String> {
     write_metrics_outputs(args, &registry)?;
     write_trace_output(args, trace_buf.as_ref())?;
     Ok(())
+}
+
+/// `fit --algo lloyd|elkan|yinyang`: the serial exact algorithms on the
+/// same dataset/seed/init as the hierarchical path. Elkan and Yinyang are
+/// the triangle-inequality baselines the distributed `--bounds` pruning is
+/// measured against; their filter counters land in the metrics registry
+/// (`accel_*` plus algorithm-specific gauges) next to `train_objective`
+/// and `train_label_checksum`, so runs can be compared from metrics dumps
+/// alone.
+fn fit_serial(
+    args: &Args,
+    algo: &str,
+    data: &kmeans_core::Matrix<f32>,
+    k: usize,
+    kernel: kmeans_core::AssignKernel,
+    update: kmeans_core::UpdateMode,
+    bounds: kmeans_core::BoundsMode,
+) -> Result<(), String> {
+    if !matches!(algo, "lloyd" | "elkan" | "yinyang") {
+        return Err(format!(
+            "--algo must be hier|lloyd|elkan|yinyang, got `{algo}`"
+        ));
+    }
+    let config = kmeans_core::KMeansConfig::new(k)
+        .with_seed(args.get_or("seed", 0u64)?)
+        .with_max_iters(args.get_or("max-iters", 100usize)?)
+        .with_init(InitMethod::KMeansPlusPlus)
+        .with_kernel(kernel)
+        .with_update(update)
+        .with_bounds(bounds);
+    let init = init_centroids(data, k, config.init, config.seed);
+    println!(
+        "fitting serial {algo}: n={} d={} k={k} ({kernel} kernel, {update} update, \
+         {bounds} bounds)",
+        data.rows(),
+        data.cols()
+    );
+    let registry = swkm_obs::MetricsRegistry::shared();
+    // (algo code, result, distance evals, Lloyd-equivalent evals, savings)
+    let (code, fit, evals, lloyd_equivalent, savings) = match algo {
+        "lloyd" => {
+            let fit =
+                kmeans_core::Lloyd::run_from(data, init, &config).map_err(|e| e.to_string())?;
+            let s = fit.bounds;
+            (1.0, fit, s.distance_evals, s.lloyd_equivalent, s.savings())
+        }
+        "elkan" => {
+            let (fit, s) =
+                kmeans_core::elkan::run_from(data, init, &config).map_err(|e| e.to_string())?;
+            registry.gauge_set("elkan_center_center_evals", s.center_center_evals as f64);
+            registry.gauge_set("elkan_point_filter_hits", s.point_filter_hits as f64);
+            (2.0, fit, s.distance_evals, s.lloyd_equivalent, s.savings())
+        }
+        "yinyang" => {
+            let (fit, s) =
+                kmeans_core::yinyang::run_from(data, init, &config).map_err(|e| e.to_string())?;
+            registry.gauge_set("yinyang_global_filter_hits", s.global_filter_hits as f64);
+            registry.gauge_set("yinyang_group_filter_hits", s.group_filter_hits as f64);
+            (3.0, fit, s.distance_evals, s.lloyd_equivalent, s.savings())
+        }
+        _ => unreachable!("algo validated above"),
+    };
+    println!(
+        "done: {} iterations (converged = {}), objective {:.5}",
+        fit.iterations, fit.converged, fit.objective
+    );
+    if lloyd_equivalent > 0 {
+        println!(
+            "distance work: {evals} evals vs {lloyd_equivalent} Lloyd-equivalent \
+             ({:.1}% saved)",
+            savings * 100.0
+        );
+    }
+    let sizes = kmeans_core::objective::cluster_sizes(&fit.labels, k);
+    println!("cluster sizes: {sizes:?}");
+    registry.gauge_set("train_algo", code);
+    registry.gauge_set("train_objective", fit.objective);
+    registry.gauge_set("train_converged", if fit.converged { 1.0 } else { 0.0 });
+    registry.gauge_set("train_iterations", fit.iterations as f64);
+    registry.gauge_set("accel_distance_evals", evals as f64);
+    registry.gauge_set("accel_lloyd_equivalent", lloyd_equivalent as f64);
+    registry.gauge_set("accel_savings", savings);
+    registry.gauge_set(
+        "train_label_checksum",
+        hier_kmeans::label_checksum(&fit.labels) as f64,
+    );
+    write_metrics_outputs(args, &registry)
 }
 
 /// The Fig. 10 pipeline at a chosen scene size.
@@ -540,6 +659,89 @@ mod tests {
         ))
         .unwrap_err();
         assert!(err.contains("incompatible"), "{err}");
+    }
+
+    #[test]
+    fn fit_accepts_every_bounds_mode_and_rejects_unknown_ones() {
+        for bounds in ["none", "hamerly", "yinyang", "auto"] {
+            run(&argv(&format!(
+                "fit --dataset mixture --n 192 --k 4 --d 8 --max-iters 5 --bounds {bounds}"
+            )))
+            .unwrap();
+        }
+        let err = run(&argv(
+            "fit --dataset mixture --n 128 --k 3 --d 8 --bounds elastic",
+        ))
+        .unwrap_err();
+        assert!(err.contains("elastic"), "{err}");
+    }
+
+    #[test]
+    fn fit_bounds_runs_are_bit_identical_and_export_bounds_gauges() {
+        let gauges = |bounds: &str, tag: &str| -> (f64, f64) {
+            let json = std::env::temp_dir().join(format!("swkm_fit_bounds_{tag}.json"));
+            run(&argv(&format!(
+                "fit --dataset mixture --n 400 --k 8 --d 6 --max-iters 40 --level 2 \
+                 --units 4 --group 2 --kernel gemm --bounds {bounds} --metrics-json {}",
+                json.display()
+            )))
+            .unwrap();
+            let doc = std::fs::read_to_string(&json).unwrap();
+            std::fs::remove_file(&json).ok();
+            let pick = |key: &str| -> f64 {
+                let at = doc.find(&format!("\"{key}\":")).expect(key) + key.len() + 3;
+                doc[at..][..doc[at..].find([',', '}']).unwrap()]
+                    .parse()
+                    .unwrap()
+            };
+            (pick("train_label_checksum"), pick("train_objective"))
+        };
+        let (base_sum, base_obj) = gauges("none", "none");
+        for bounds in ["hamerly", "yinyang", "auto"] {
+            let (sum, obj) = gauges(bounds, bounds);
+            assert_eq!(sum, base_sum, "{bounds}: labels diverged from unbounded");
+            assert_eq!(obj.to_bits(), base_obj.to_bits(), "{bounds}: objective");
+        }
+    }
+
+    #[test]
+    fn fit_algo_serial_baselines_run_and_export_filter_gauges() {
+        let json = std::env::temp_dir().join("swkm_fit_algo_test.json");
+        let mut checksums = Vec::new();
+        for algo in ["lloyd", "elkan", "yinyang"] {
+            run(&argv(&format!(
+                "fit --dataset mixture --n 256 --k 12 --d 8 --max-iters 30 --algo {algo} \
+                 --metrics-json {}",
+                json.display()
+            )))
+            .unwrap();
+            let doc = std::fs::read_to_string(&json).unwrap();
+            for key in [
+                "train_algo",
+                "train_objective",
+                "train_label_checksum",
+                "accel_distance_evals",
+                "accel_lloyd_equivalent",
+            ] {
+                assert!(doc.contains(key), "{algo}: metrics JSON missing `{key}`");
+            }
+            match algo {
+                "elkan" => assert!(doc.contains("elkan_point_filter_hits"), "{doc}"),
+                "yinyang" => assert!(doc.contains("yinyang_global_filter_hits"), "{doc}"),
+                _ => {}
+            }
+            let at = doc.find("\"train_label_checksum\":").unwrap() + 23;
+            checksums.push(doc[at..][..doc[at..].find([',', '}']).unwrap()].to_string());
+        }
+        std::fs::remove_file(&json).ok();
+        // All three serial algorithms are exact: same init, same labels.
+        assert_eq!(checksums[0], checksums[1], "elkan diverged from lloyd");
+        assert_eq!(checksums[0], checksums[2], "yinyang diverged from lloyd");
+        let err = run(&argv(
+            "fit --dataset mixture --n 64 --k 2 --d 4 --algo warp",
+        ))
+        .unwrap_err();
+        assert!(err.contains("warp"), "{err}");
     }
 
     #[test]

@@ -132,6 +132,8 @@ pub fn run<S: Scalar>(
         merge_ring: false,
         fault_stats: msg::FaultStats::new(),
         degraded_iterations: 0,
+        bounds_mode: kmeans_core::BoundsMode::None,
+        bounds: kmeans_core::BoundsStats::default(),
     })
 }
 

@@ -1,0 +1,357 @@
+//! Distributed bounded assign for the centroid-partitioned levels (2, 3).
+//!
+//! [`RankBounds`] wraps a [`BoundState`] with the group-collective plumbing
+//! that the shared-centroid levels need: every member of a centroid-sharing
+//! group holds bound state for the *same* sample stripe, and every bound is
+//! computed from globally-merged quantities so all members make identical
+//! IEEE-754 filter decisions without any agreement protocol:
+//!
+//! * **Seed** — per-bounds-group partial scans over `group ∩ shard` (both
+//!   are contiguous index ranges, so the intersection is a plain `crows`
+//!   sub-range of the same plan — bit-identical keys), merged with `t`
+//!   min-loc AllReduces; the cross-group winner is the strict-`<` lexmin
+//!   over the merged per-group minima (lowest group wins exact ties — the
+//!   full scan's ascending-index tie-break). Runner-up distances within the
+//!   winner's group come from local scalar probes min-merged across the
+//!   group.
+//! * **Filter** — group-identical filter decisions; filtered rows emit
+//!   their cached merged winner, survivors are gather-compacted into a
+//!   dense panel, rescanned over the full shard through the same plan, and
+//!   merged with one *compact* (survivors-only) min-loc AllReduce.
+//! * **Drift** — each member contributes its shard's per-centroid drifts
+//!   into a zero-padded `k`-length vector summed across the group; shards
+//!   are disjoint, so `x + 0.0` keeps the sums bitwise exact and every
+//!   member loosens identically.
+//!
+//! The emitted `(key, label)` pairs are bitwise-identical to the unbounded
+//! assign + merge of the same kernel in every consumed position (labels;
+//! keys of scanned rows — filtered rows keep their cached key, which
+//! nothing downstream reads).
+
+use crate::level2::{merge_min_loc, MINLOC_NEUTRAL};
+use kmeans_core::{
+    centroid_drifts, dist_from_score_key, AssignPlan, BoundState, BoundsIterKind, BoundsMode,
+    BoundsStats, Matrix, Scalar,
+};
+use msg::{Comm, CommError};
+use std::ops::Range;
+
+fn intersect(a: &Range<usize>, b: &Range<usize>) -> Range<usize> {
+    a.start.max(b.start)..a.end.min(b.end).max(a.start.max(b.start))
+}
+
+/// Min combine for the runner-up AllReduce. `f64::min` is associative and
+/// commutative for non-NaN inputs, so the merged value is independent of
+/// reduction order.
+fn min_slices(acc: &mut [f64], x: &[f64]) {
+    for (a, b) in acc.iter_mut().zip(x) {
+        if *b < *a {
+            *a = *b;
+        }
+    }
+}
+
+/// One rank's bound state plus the scratch buffers for the distributed
+/// seed/filter passes. `my_centroids` is this member's global shard range.
+pub(crate) struct RankBounds<S: Scalar> {
+    st: BoundState<S>,
+    my_centroids: Range<usize>,
+    k: usize,
+    d: usize,
+    /// Merged `(key, index)` winner per bounds-group per sample (seed).
+    group_pairs: Vec<Vec<(f64, u64)>>,
+    scan_out: Vec<(u32, S)>,
+    runner_up: Vec<f64>,
+    survivors: Vec<u32>,
+    panel: Vec<S>,
+    compact: Vec<(f64, u64)>,
+    shard_drifts: Vec<f64>,
+    drifts: Vec<f64>,
+    snapshot: Option<Matrix<S>>,
+}
+
+impl<S: Scalar> RankBounds<S> {
+    /// `mode` must resolve to a concrete bounded mode (`None` means "don't
+    /// construct one" — the levels keep an `Option<RankBounds>`).
+    pub(crate) fn new(
+        mode: BoundsMode,
+        n_local: usize,
+        k: usize,
+        d: usize,
+        my_centroids: Range<usize>,
+    ) -> RankBounds<S> {
+        RankBounds {
+            st: BoundState::new(mode, n_local, k, d),
+            my_centroids,
+            k,
+            d,
+            group_pairs: Vec::new(),
+            scan_out: Vec::new(),
+            runner_up: Vec::new(),
+            survivors: Vec::new(),
+            panel: Vec::new(),
+            compact: Vec::new(),
+            shard_drifts: Vec::new(),
+            drifts: Vec::new(),
+            snapshot: None,
+        }
+    }
+
+    /// What this iteration's assign pass is. Derived from state that every
+    /// group member evolves identically, so the decision needs no
+    /// collective and the groups' collective schedules stay in lockstep.
+    pub(crate) fn kind(&self) -> BoundsIterKind {
+        self.st.iteration_kind()
+    }
+
+    /// Conservative invalidation on fault-degraded iterations.
+    pub(crate) fn reset(&mut self) {
+        self.st.reset();
+    }
+
+    /// Account an unbounded (dormant) pass this member ran itself.
+    pub(crate) fn note_dormant(&mut self, n_local: usize, shard_k: usize) {
+        let work = (n_local as u64) * (shard_k as u64);
+        self.st.stats.distance_evals += work;
+        self.st.stats.lloyd_equivalent += work;
+    }
+
+    pub(crate) fn into_stats(self) -> BoundsStats {
+        self.st.stats
+    }
+
+    /// Seeding pass: produces the merged `(key, label)` pairs for the whole
+    /// stripe (replacing the plain scan + merge) while (re)seeding every
+    /// bound from merged quantities. `plan` is `None` on empty shards, which
+    /// still participate in every collective.
+    pub(crate) fn seed_assign(
+        &mut self,
+        plan: Option<&AssignPlan<S>>,
+        data: &Matrix<S>,
+        my_samples: Range<usize>,
+        shard: &Matrix<S>,
+        group_comm: &mut Comm,
+        pairs: &mut Vec<(f64, u64)>,
+    ) -> Result<(), CommError> {
+        let n_local = my_samples.len();
+        let shard_k = self.my_centroids.len();
+        let t = self.st.groups_len();
+        self.st.ensure_xnorms(data, my_samples.clone());
+        self.group_pairs.resize(t, Vec::new());
+        for g in 0..t {
+            let range = intersect(&self.st.group_ranges()[g], &self.my_centroids);
+            let gp = &mut self.group_pairs[g];
+            gp.clear();
+            match plan {
+                Some(plan) if !range.is_empty() => {
+                    let local =
+                        range.start - self.my_centroids.start..range.end - self.my_centroids.start;
+                    self.scan_out.clear();
+                    plan.assign_batch_into(
+                        data,
+                        my_samples.clone(),
+                        shard,
+                        local,
+                        range.start,
+                        &mut self.scan_out,
+                    );
+                    gp.extend(
+                        self.scan_out
+                            .iter()
+                            .map(|&(j, key)| (key.to_f64(), j as u64)),
+                    );
+                }
+                _ => gp.resize(n_local, MINLOC_NEUTRAL),
+            }
+            merge_min_loc::<S>(group_comm, gp)?;
+        }
+        let work = (n_local as u64) * (shard_k as u64);
+        self.st.stats.distance_evals += work;
+        self.st.stats.lloyd_equivalent += work;
+
+        // Cross-group winner + this member's runner-up probes over the
+        // winner's group ∩ shard (excluding the winner itself).
+        pairs.clear();
+        self.runner_up.clear();
+        for i in 0..n_local {
+            let mut best = MINLOC_NEUTRAL;
+            for gp in &self.group_pairs {
+                let cand = gp[i];
+                if cand.0 < best.0 {
+                    best = cand;
+                }
+            }
+            debug_assert!(best.0.is_finite(), "no group produced a winner");
+            pairs.push(best);
+            let bg = self.st.group_of(best.1 as usize);
+            let mut ru = f64::INFINITY;
+            if let Some(plan) = plan {
+                let range = intersect(&self.st.group_ranges()[bg], &self.my_centroids);
+                if !range.is_empty() {
+                    let sample = data.row(my_samples.start + i);
+                    let mut ru_key: Option<S> = None;
+                    let mut probes = 0u64;
+                    for j in range {
+                        if j as u64 == best.1 {
+                            continue;
+                        }
+                        let key = plan.score_pair(sample, shard, j - self.my_centroids.start);
+                        probes += 1;
+                        ru_key = match ru_key {
+                            None => Some(key),
+                            Some(b) if key < b => Some(key),
+                            Some(b) => Some(b),
+                        };
+                    }
+                    self.st.stats.distance_evals += probes;
+                    if let Some(key) = ru_key {
+                        ru = dist_from_score_key(plan, sample, key);
+                    }
+                }
+            }
+            self.runner_up.push(ru);
+        }
+        group_comm.try_allreduce_with(&mut self.runner_up, min_slices)?;
+
+        let mut group_dists = vec![f64::INFINITY; t];
+        for (i, &(key, j)) in pairs.iter().enumerate().take(n_local) {
+            for (g, gd) in group_dists.iter_mut().enumerate() {
+                // Merged pair values are squared distances (the batch scan
+                // adds ‖x‖² back); empty merges stay at +∞.
+                *gd = self.group_pairs[g][i].0.max(0.0).sqrt();
+            }
+            self.st.seed_row(
+                i,
+                (j as u32, S::from_f64(key)),
+                &group_dists,
+                self.runner_up[i],
+            );
+        }
+        self.st.mark_seeded();
+        Ok(())
+    }
+
+    /// Filtered pass: emit cached winners for pruned rows, rescan the
+    /// gather-compacted survivors over the full shard and merge only those.
+    pub(crate) fn filter_assign(
+        &mut self,
+        plan: Option<&AssignPlan<S>>,
+        data: &Matrix<S>,
+        my_samples: Range<usize>,
+        shard: &Matrix<S>,
+        group_comm: &mut Comm,
+        pairs: &mut Vec<(f64, u64)>,
+    ) -> Result<(), CommError> {
+        let n_local = my_samples.len();
+        let shard_k = self.my_centroids.len();
+        self.st.stats.lloyd_equivalent += (n_local as u64) * (shard_k as u64);
+        pairs.clear();
+        self.survivors.clear();
+        self.panel.clear();
+        for i in 0..n_local {
+            match self.st.filter_row(i) {
+                // Cached key: stale on purpose — only the label is consumed
+                // downstream (the objective comes from the final rescan).
+                Some((j, key)) => pairs.push((key.to_f64(), j as u64)),
+                None => {
+                    self.survivors.push(i as u32);
+                    self.panel.extend_from_slice(data.row(my_samples.start + i));
+                    pairs.push(MINLOC_NEUTRAL);
+                }
+            }
+        }
+        // Every member filters identically, so `m` (and hence the compact
+        // collective schedule) agrees across the group.
+        let m = self.survivors.len();
+        if m > 0 {
+            self.compact.clear();
+            match plan {
+                Some(plan) if shard_k > 0 => {
+                    let panel = Matrix::from_vec(m, self.d, std::mem::take(&mut self.panel));
+                    self.scan_out.clear();
+                    plan.assign_batch_into(
+                        &panel,
+                        0..m,
+                        shard,
+                        0..shard_k,
+                        self.my_centroids.start,
+                        &mut self.scan_out,
+                    );
+                    self.compact.extend(
+                        self.scan_out
+                            .iter()
+                            .map(|&(j, key)| (key.to_f64(), j as u64)),
+                    );
+                    self.panel = panel.into_vec();
+                    self.st.stats.distance_evals += (m as u64) * (shard_k as u64);
+                }
+                _ => self.compact.resize(m, MINLOC_NEUTRAL),
+            }
+            merge_min_loc::<S>(group_comm, &mut self.compact)?;
+            for (s, &iu) in self.survivors.iter().enumerate() {
+                let i = iu as usize;
+                let (key, j) = self.compact[s];
+                self.st
+                    .absorb_row(i, (j as u32, S::from_f64(key)), key.max(0.0).sqrt());
+                pairs[i] = (key, j);
+            }
+        }
+        self.st.finish_filter(m);
+        Ok(())
+    }
+
+    /// Snapshot this member's shard before the Update (only once seeded —
+    /// dormant iterations never loosen, and the skip keeps the clone off
+    /// the warm-up path).
+    pub(crate) fn pre_update(&mut self, shard: &Matrix<S>) {
+        if self.st.seeded() {
+            self.snapshot = Some(shard.clone());
+        }
+    }
+
+    /// After the merged Update: allreduce the per-centroid drifts across
+    /// the group (disjoint shards — the zero-padded sum is exact), loosen,
+    /// and feed the engagement lifecycle. The drift collective runs exactly
+    /// when `pre_update` snapshotted, which is a group-identical decision.
+    pub(crate) fn post_update(
+        &mut self,
+        shard: &Matrix<S>,
+        group_comm: &mut Comm,
+        moved_fraction: f64,
+    ) -> Result<(), CommError> {
+        if let Some(snap) = self.snapshot.take() {
+            centroid_drifts(&snap, shard, &mut self.shard_drifts);
+            self.drifts.clear();
+            self.drifts.resize(self.k, 0.0);
+            self.drifts[self.my_centroids.clone()].copy_from_slice(&self.shard_drifts);
+            group_comm.try_allreduce_with(&mut self.drifts, |acc, x| {
+                for (a, b) in acc.iter_mut().zip(x) {
+                    *a += *b;
+                }
+            })?;
+            self.st.loosen(&self.drifts);
+        }
+        self.st.note_moved_fraction(moved_fraction);
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn intersect_clamps_to_empty() {
+        assert_eq!(intersect(&(0..4), &(2..8)), 2..4);
+        assert_eq!(intersect(&(0..4), &(6..8)).len(), 0);
+        assert_eq!(intersect(&(5..9), &(0..3)).len(), 0);
+        assert_eq!(intersect(&(3..3), &(0..9)).len(), 0);
+    }
+
+    #[test]
+    fn min_slices_is_elementwise_min() {
+        let mut a = [1.0, f64::INFINITY, 3.0];
+        min_slices(&mut a, &[2.0, 5.0, 1.0]);
+        assert_eq!(a, [1.0, 5.0, 1.0]);
+    }
+}

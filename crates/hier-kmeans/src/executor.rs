@@ -1,6 +1,6 @@
 //! Shared executor configuration, result type and dispatch.
 
-use kmeans_core::{AssignKernel, KMeansError, Matrix, Scalar, UpdateMode};
+use kmeans_core::{AssignKernel, BoundsMode, BoundsStats, KMeansError, Matrix, Scalar, UpdateMode};
 use perf_model::Level;
 
 /// Configuration of a functional hierarchical run.
@@ -33,6 +33,13 @@ pub struct HierConfig {
     /// bitwise-identical centroids, labels and objective for a given
     /// kernel and merge strategy; only wall time changes.
     pub update: UpdateMode,
+    /// Bounded-assign strategy (see [`kmeans_core::BoundsMode`]). The
+    /// bounded modes keep per-sample triangle-inequality bounds that
+    /// filter rows whose argmin provably didn't change; the survivors go
+    /// through the same kernels, so labels, objective and iteration
+    /// counts stay bitwise-identical to the unbounded run. `Auto`
+    /// consults the perf model per level.
+    pub bounds: BoundsMode,
     /// How dense Update merges run their sums AllReduce (see
     /// [`MergeStrategy`]). Delta's sparse merges always use the tree:
     /// the binomial fold order is per-element and independent of payload
@@ -69,9 +76,25 @@ impl HierConfig {
             tol: 1e-9,
             kernel: AssignKernel::Scalar,
             update: UpdateMode::TwoPass,
+            bounds: BoundsMode::None,
             merge: MergeStrategy::Auto,
             faults: None,
             trace: None,
+        }
+    }
+
+    /// Resolve the configured bounds mode for this run's geometry.
+    /// `Auto` asks the perf model whether the bookkeeping is expected to
+    /// pay for itself at this (level, n, k, d); the concrete modes pass
+    /// through `kmeans_core`'s local resolution (tiny `k` → Hamerly).
+    pub(crate) fn resolved_bounds(&self, n: usize, k: usize, d: usize) -> BoundsMode {
+        match self.bounds {
+            BoundsMode::Auto => match perf_model::bounds::recommend(self.level, n, k, d) {
+                perf_model::BoundsRecommendation::None => BoundsMode::None,
+                perf_model::BoundsRecommendation::Hamerly => BoundsMode::Hamerly,
+                perf_model::BoundsRecommendation::Yinyang => BoundsMode::Yinyang,
+            },
+            mode => mode.resolve_local(k),
         }
     }
 }
@@ -410,6 +433,12 @@ pub struct HierResult<S: Scalar> {
     /// Iterations the fault plan forced into degraded mode (delta→dense,
     /// ring→tree).
     pub degraded_iterations: u64,
+    /// Bounded-assign mode the run resolved to (`None` when pruning was
+    /// off or `auto` declined).
+    pub bounds_mode: BoundsMode,
+    /// Pruning counters merged across ranks (all zero when bounds were
+    /// off).
+    pub bounds: BoundsStats,
 }
 
 impl<S: Scalar> HierResult<S> {
@@ -449,7 +478,33 @@ impl<S: Scalar> HierResult<S> {
         );
         self.fault_stats.export_into(registry);
         registry.counter_add("degraded_iterations", self.degraded_iterations);
+        registry.gauge_set("train_bounds_mode", self.bounds_mode.code() as f64);
+        registry.gauge_set("bounds_savings", self.bounds.savings());
+        registry.gauge_set("bounds_distance_evals", self.bounds.distance_evals as f64);
+        registry.gauge_set(
+            "bounds_lloyd_equivalent",
+            self.bounds.lloyd_equivalent as f64,
+        );
+        registry.gauge_set("bounds_filter_hits", self.bounds.global_filter_hits as f64);
+        registry.gauge_set("bounds_group_hits", self.bounds.group_filter_hits as f64);
+        registry.gauge_set("bounds_seed_scans", self.bounds.seed_scans as f64);
+        registry.gauge_set("bounds_resets", self.bounds.resets as f64);
+        registry.gauge_set("train_label_checksum", label_checksum(&self.labels) as f64);
     }
+}
+
+/// Order-sensitive 32-bit label checksum (FNV-1a over the label stream).
+/// Exported as a gauge so two fits can be asserted bit-identical from
+/// their metrics dumps alone; exactly representable in an f64 gauge.
+pub fn label_checksum(labels: &[u32]) -> u32 {
+    let mut h: u32 = 0x811c9dc5;
+    for &l in labels {
+        for b in l.to_le_bytes() {
+            h ^= b as u32;
+            h = h.wrapping_mul(16777619);
+        }
+    }
+    h
 }
 
 /// Validate inputs shared by all levels.
@@ -509,8 +564,9 @@ pub(crate) fn validate<S: Scalar>(
 }
 
 /// What each SPMD rank hands back: the final centroids (exactly one rank),
-/// iterations run, the convergence flag, and its per-iteration phase trace.
-pub(crate) type RankOutput<S> = (Option<Matrix<S>>, usize, bool, Vec<IterTiming>);
+/// iterations run, the convergence flag, its per-iteration phase trace,
+/// and its bounded-assign counters (zeroed when bounds were off).
+pub(crate) type RankOutput<S> = (Option<Matrix<S>>, usize, bool, Vec<IterTiming>, BoundsStats);
 
 /// Resolve a config's fault plan into what [`msg::World::run_with_faults`]
 /// wants: the active plan (if any) and the world receive deadline (the
@@ -636,8 +692,10 @@ pub(crate) fn assemble<S: Scalar>(
     let mut converged = false;
     let mut centroids = None;
     let mut per_rank = Vec::with_capacity(outs.len());
-    for (c, iters, conv, trace) in outs {
+    let mut bounds = BoundsStats::default();
+    for (c, iters, conv, trace, bstats) in outs {
         per_rank.push(trace);
+        bounds.merge(&bstats);
         if let Some(c) = c {
             assert!(centroids.is_none(), "two ranks returned centroids");
             centroids = Some(c);
@@ -659,6 +717,7 @@ pub(crate) fn assemble<S: Scalar>(
         .collect();
     let timings = PhaseTimings::critical_path(&rank_totals);
     let centroids = centroids.expect("no rank returned centroids");
+    let bounds_mode = cfg.resolved_bounds(data.rows(), centroids.rows(), centroids.cols());
     let mut labels = vec![0u32; data.rows()];
     let objective = kmeans_core::assign_step(data, &centroids, &mut labels) / data.rows() as f64;
     let mut comm = msg::CostLog::new();
@@ -681,6 +740,8 @@ pub(crate) fn assemble<S: Scalar>(
         merge_ring,
         fault_stats: msg::FaultStats::new(),
         degraded_iterations: 0,
+        bounds_mode,
+        bounds,
     }
 }
 

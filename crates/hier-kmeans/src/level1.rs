@@ -15,13 +15,16 @@
 //!   only the *touched* clusters (any moved sample's old or new cluster) and
 //!   merge just those rows. Untouched rows reproduce bitwise (same members,
 //!   same accumulation order, same fold), so skipping them changes nothing.
-//!   Once the Update reports which centroid rows actually *changed*, the next
-//!   Assign also shrinks (Elkan-style work avoidance): a sample anchored to
-//!   an unchanged row only needs rescoring against the changed rows — its
-//!   cached `(key, label)` already lexicographically dominates every other
-//!   unchanged candidate, and per-pair keys are batch-independent
-//!   ([`AssignPlan::score_pair`]), so the skip scan reproduces the full
-//!   ascending scan bit for bit.
+//!   The Update still reports which centroid rows changed bits so the
+//!   planner refreshes only those norms/panels.
+//!
+//! Assign-side work avoidance is the shared bounded layer
+//! ([`kmeans_core::bounds`], `--bounds`): per-sample triangle-inequality
+//! bounds filter rows whose argmin provably didn't change and push the
+//! survivors through the same batch kernels. It subsumes the bespoke
+//! changed-rows skip scan earlier revisions ran here, works under every
+//! update path, and keeps the same bitwise guarantee (filtered rows emit
+//! their cached winner, survivors rescan through the identical kernel).
 //!
 //! All three produce bitwise-identical centroids, labels and iteration
 //! counts for a given kernel and merge strategy.
@@ -32,18 +35,11 @@ use crate::executor::{
 };
 use crate::partition::split_range;
 use kmeans_core::{
-    AssignKernel, AssignPlanner, GemmBlocking, Matrix, Scalar, TouchedSet, UpdateMode,
-    DELTA_FALLBACK_FRACTION,
+    centroid_drifts, AssignKernel, AssignPlanner, BoundState, BoundsIterKind, BoundsMode,
+    BoundsScratch, GemmBlocking, Matrix, Scalar, TouchedSet, UpdateMode, DELTA_FALLBACK_FRACTION,
 };
 use msg::{CommError, World};
 use sw_arch::MachineParams;
-
-/// The delta skip scan rescans `|changed|` rows per sample through the
-/// per-pair path, which lacks the batch kernels' register blocking; only
-/// engage it when the changed set is comfortably smaller than `k`. The
-/// decision depends solely on rank-identical state (the changed set), so
-/// every rank takes the same branch.
-const SKIP_SCAN_FACTOR: usize = 4;
 
 pub(crate) fn run<S: Scalar>(
     data: &Matrix<S>,
@@ -69,10 +65,9 @@ pub(crate) fn run<S: Scalar>(
         let mut counts = vec![0u64; k];
         let mut assigned: Vec<(u32, S)> = Vec::with_capacity(my_samples.len());
         let mut prev_labels: Vec<u32> = Vec::with_capacity(my_samples.len());
-        // Delta-only state: each sample's cached winning comparison key,
-        // the centroid rows whose bits changed in the last Update, and a
-        // pre-Update snapshot for detecting those changes.
-        let mut prev_keys: Vec<S> = Vec::with_capacity(my_samples.len());
+        // Delta-only state: the centroid rows whose bits changed in the
+        // last Update (the planner-refresh hint), and a pre-Update
+        // snapshot for detecting those changes.
         let mut changed = TouchedSet::new(k);
         let mut changed_rows: Vec<usize> = Vec::new();
         let mut before: Vec<S> = Vec::new();
@@ -103,6 +98,17 @@ pub(crate) fn run<S: Scalar>(
             planner = planner.with_blocking(GemmBlocking::new(mc, nc));
         }
         let mut changed_mask = vec![false; k];
+        // Bounded assign: per-rank bound state over this rank's stripe.
+        // Level 1 replicates the full centroid set, so the serial bounded
+        // driver applies verbatim; drifts come from the merged centroids
+        // every rank holds identically, so bounds stay rank-deterministic.
+        let mut bound_state: Option<BoundState<S>> = match cfg.resolved_bounds(n, k, d) {
+            BoundsMode::None => None,
+            mode => Some(BoundState::new(mode, my_samples.len(), k, d)),
+        };
+        let mut bscratch = BoundsScratch::default();
+        let mut bdrifts: Vec<f64> = Vec::new();
+        let mut bsnapshot: Option<Matrix<S>> = None;
         for iter in 0..cfg.max_iters {
             let iter_start = std::time::Instant::now();
             let mut it = IterTiming::default();
@@ -113,6 +119,12 @@ pub(crate) fn run<S: Scalar>(
             let degraded = degrade.as_ref().is_some_and(|p| p.degrade_iteration(iter));
             if degraded {
                 pt.mark("degraded_iteration", iter);
+                // Conservative: a degraded iteration runs fallback merge
+                // paths, so invalidate the bounds and reseed on the next
+                // engagement rather than trust pre-fault bookkeeping.
+                if let Some(st) = &mut bound_state {
+                    st.reset();
+                }
             }
             // ---- Assign: stripe of samples against all k centroids, via
             // the configured kernel. One plan per iteration amortises the
@@ -133,100 +145,70 @@ pub(crate) fn run<S: Scalar>(
                 pt.phase("gemm_plan", t0, iter);
             }
             assigned.clear();
-            match cfg.update {
-                UpdateMode::TwoPass => {
-                    sums.iter_mut().for_each(|v| *v = S::ZERO);
-                    counts.iter_mut().for_each(|v| *v = 0);
-                    plan.assign_batch_into(
-                        data,
-                        my_samples.clone(),
-                        &centroids,
-                        0..k,
-                        0,
-                        &mut assigned,
-                    );
-                    for (i, &(label, _)) in my_samples.clone().zip(&assigned) {
-                        let j = label as usize;
-                        counts[j] += 1;
-                        let acc = &mut sums[j * d..(j + 1) * d];
-                        for (a, x) in acc.iter_mut().zip(data.row(i)) {
-                            *a += *x;
-                        }
-                    }
+            // The fused in-kernel fold needs the plain full sweep; under
+            // bounds the filtered rows break its ascending fold order, so
+            // a bounded Fused run accumulates with the two-pass sweep
+            // below (bitwise-identical by the update-path invariant).
+            let fuse_inline = cfg.update == UpdateMode::Fused && bound_state.is_none();
+            if fuse_inline {
+                sums.iter_mut().for_each(|v| *v = S::ZERO);
+                counts.iter_mut().for_each(|v| *v = 0);
+                plan.assign_accumulate_into(
+                    data,
+                    my_samples.clone(),
+                    &centroids,
+                    0..k,
+                    0,
+                    &mut assigned,
+                    &mut sums,
+                    &mut counts,
+                );
+            } else if let Some(st) = &mut bound_state {
+                let tb = std::time::Instant::now();
+                let kind = st.assign_serial(
+                    &plan,
+                    data,
+                    my_samples.clone(),
+                    &centroids,
+                    &mut assigned,
+                    &mut bscratch,
+                );
+                if kind == BoundsIterKind::Filter {
+                    // Filtered pass: span nested inside assign, like
+                    // gemm_plan above.
+                    pt.phase("bounds_filter", tb, iter);
                 }
-                UpdateMode::Fused => {
-                    sums.iter_mut().for_each(|v| *v = S::ZERO);
-                    counts.iter_mut().for_each(|v| *v = 0);
-                    plan.assign_accumulate_into(
-                        data,
-                        my_samples.clone(),
-                        &centroids,
-                        0..k,
-                        0,
-                        &mut assigned,
-                        &mut sums,
-                        &mut counts,
-                    );
-                }
-                UpdateMode::Delta => {
-                    // The moved set is only known after scoring, so delta
-                    // assigns plain and accumulates selectively below. From
-                    // iteration 2 on, samples anchored to an unchanged row
-                    // rescan only the changed rows (see module docs).
-                    if iter > 0 && changed_rows.len() * SKIP_SCAN_FACTOR < k {
-                        for (i, idx) in my_samples.clone().enumerate() {
-                            let sample = data.row(idx);
-                            let anchor = prev_labels[i] as usize;
-                            if changed.contains(anchor) {
-                                // Stale anchor: its cached key no longer
-                                // bounds the unchanged rows — full rescan.
-                                plan.assign_batch_into(
-                                    data,
-                                    idx..idx + 1,
-                                    &centroids,
-                                    0..k,
-                                    0,
-                                    &mut assigned,
-                                );
-                                let (label, _) = *assigned.last().unwrap();
-                                prev_keys[i] = plan.score_pair(sample, &centroids, label as usize);
-                            } else {
-                                let mut best_j = anchor;
-                                let mut best_key = prev_keys[i];
-                                for &j in &changed_rows {
-                                    let key = plan.score_pair(sample, &centroids, j);
-                                    if key < best_key || (key == best_key && j < best_j) {
-                                        best_key = key;
-                                        best_j = j;
-                                    }
-                                }
-                                prev_keys[i] = best_key;
-                                assigned.push((best_j as u32, plan.key_to_dist(sample, best_key)));
-                            }
-                        }
-                    } else {
-                        plan.assign_batch_into(
-                            data,
-                            my_samples.clone(),
-                            &centroids,
-                            0..k,
-                            0,
-                            &mut assigned,
-                        );
-                        // Seed the key cache from the full scan (one O(d)
-                        // rescore per sample — 1/k of the scan itself).
-                        prev_keys.clear();
-                        for (i, idx) in my_samples.clone().enumerate() {
-                            prev_keys.push(plan.score_pair(
-                                data.row(idx),
-                                &centroids,
-                                assigned[i].0 as usize,
-                            ));
-                        }
+            } else {
+                plan.assign_batch_into(
+                    data,
+                    my_samples.clone(),
+                    &centroids,
+                    0..k,
+                    0,
+                    &mut assigned,
+                );
+            }
+            if !fuse_inline && cfg.update != UpdateMode::Delta {
+                // Two-pass accumulate (also the bounded Fused path).
+                sums.iter_mut().for_each(|v| *v = S::ZERO);
+                counts.iter_mut().for_each(|v| *v = 0);
+                for (i, &(label, _)) in my_samples.clone().zip(&assigned) {
+                    let j = label as usize;
+                    counts[j] += 1;
+                    let acc = &mut sums[j * d..(j + 1) * d];
+                    for (a, x) in acc.iter_mut().zip(data.row(i)) {
+                        *a += *x;
                     }
                 }
             }
             it.assign += pt.phase("assign", t0, iter);
+            // Pre-Update snapshot for the bound drift (only once seeded —
+            // dormant iterations never loosen).
+            if let Some(st) = &bound_state {
+                if st.seeded() {
+                    bsnapshot = Some(centroids.clone());
+                }
+            }
 
             // Local reassignment bookkeeping — a label compare against the
             // previous iteration, no collectives (the default path's byte
@@ -384,6 +366,17 @@ pub(crate) fn run<S: Scalar>(
                 }
             }
 
+            // ---- Bounds bookkeeping: loosen by this Update's per-centroid
+            // drift (merged centroids — identical on every rank), then feed
+            // the local moved fraction to the engagement lifecycle.
+            if let Some(st) = &mut bound_state {
+                if let Some(snap) = bsnapshot.take() {
+                    centroid_drifts(&snap, &centroids, &mut bdrifts);
+                    st.loosen(&bdrifts);
+                }
+                st.note_moved_fraction(it.moved_fraction);
+            }
+
             prev_labels.clear();
             prev_labels.extend(assigned.iter().map(|&(label, _)| label));
             it.wall = pt.phase("iteration", iter_start, iter);
@@ -395,7 +388,8 @@ pub(crate) fn run<S: Scalar>(
             }
         }
         let result_centroids = (comm.rank() == 0).then_some(centroids);
-        Ok::<RankOutput<S>, CommError>((result_centroids, iterations, converged, trace))
+        let bstats = bound_state.map(|s| s.stats).unwrap_or_default();
+        Ok::<RankOutput<S>, CommError>((result_centroids, iterations, converged, trace, bstats))
     });
 
     let outs = collect_ranks(outs)?;
@@ -602,6 +596,45 @@ mod tests {
         let ringed = run_with(UpdateMode::Fused, MergeStrategy::Ring);
         assert!(ringed.merge_ring);
         assert!(ringed.centroids.max_abs_diff(&base.centroids) < 1e-9);
+    }
+
+    #[test]
+    fn bounded_runs_match_unbounded_bitwise() {
+        use kmeans_core::BoundsMode;
+        let data = random_data(400, 6, 11);
+        let init = init_centroids(&data, 24, InitMethod::Forgy, 3);
+        for kernel in [AssignKernel::Scalar, AssignKernel::Gemm] {
+            for update in [UpdateMode::TwoPass, UpdateMode::Fused, UpdateMode::Delta] {
+                let mk = |bounds| HierConfig {
+                    level: Level::L1,
+                    units: 4,
+                    max_iters: 30,
+                    tol: 0.0,
+                    kernel,
+                    update,
+                    bounds,
+                    ..HierConfig::new(Level::L1)
+                };
+                let base = run(&data, init.clone(), &mk(BoundsMode::None)).unwrap();
+                for bounds in [BoundsMode::Hamerly, BoundsMode::Yinyang, BoundsMode::Auto] {
+                    let tag = format!("{kernel} {update} {bounds}");
+                    let r = run(&data, init.clone(), &mk(bounds)).unwrap();
+                    assert_eq!(r.iterations, base.iterations, "{tag}");
+                    assert_eq!(r.labels, base.labels, "{tag}");
+                    let bits = |m: &Matrix<f64>| -> Vec<u64> {
+                        m.as_slice().iter().map(|v| v.to_bits()).collect()
+                    };
+                    assert_eq!(
+                        bits(&r.centroids),
+                        bits(&base.centroids),
+                        "{tag}: centroids diverged bitwise"
+                    );
+                    assert_eq!(r.objective.to_bits(), base.objective.to_bits(), "{tag}");
+                    assert!(r.bounds.seed_scans >= 1, "{tag}: bounds never engaged");
+                    assert!(r.bounds.lloyd_equivalent > 0, "{tag}: no stats");
+                }
+            }
+        }
     }
 
     #[test]

@@ -11,6 +11,7 @@
 //! same-member communicator) — never materialising all of `k·d` on one
 //! unit.
 
+use crate::bounded::RankBounds;
 use crate::executor::{
     assemble, collect_ranks, fault_setup, finalize_faults, HierConfig, HierError, HierResult,
     IterTiming, PhaseTracer, RankOutput,
@@ -18,8 +19,8 @@ use crate::executor::{
 use crate::level1::{divide_rows, or_words_sum_last, sum_slices};
 use crate::partition::split_range;
 use kmeans_core::{
-    AssignKernel, AssignPlanner, GemmBlocking, Matrix, Scalar, TouchedSet, UpdateMode,
-    DELTA_FALLBACK_FRACTION,
+    AssignKernel, AssignPlanner, BoundsIterKind, BoundsMode, GemmBlocking, Matrix, Scalar,
+    TouchedSet, UpdateMode, DELTA_FALLBACK_FRACTION,
 };
 use msg::{CommError, World};
 use sw_arch::MachineParams;
@@ -71,11 +72,16 @@ pub(crate) fn run<S: Scalar>(
     let k = init.rows();
     let n_groups = cfg.units / g;
     let ldm_bytes = MachineParams::taihulight().ldm_bytes;
+    // Bounds resolve once, identically for every rank (pure function of
+    // the geometry), so the per-group collective schedules stay aligned.
+    let bounds_mode = cfg.resolved_bounds(n, k, d);
     // The fused path folds winners during scoring, which needs the winner
     // known at score time — true exactly when the member owns every
     // centroid (g == 1; otherwise the winner emerges from the min-loc
-    // merge and fused keeps the post-merge sweep).
-    let fuse = cfg.update == UpdateMode::Fused && g == 1;
+    // merge and fused keeps the post-merge sweep). Bounded runs filter
+    // rows out of the sweep, so they always accumulate post-merge
+    // (bitwise-identical by the update-path invariant).
+    let fuse = cfg.update == UpdateMode::Fused && g == 1 && bounds_mode == BoundsMode::None;
     // Report the ring decision of the widest shard (member 0); each
     // shard communicator resolves its own shard size identically on all
     // of its members, so resolution is deadlock-safe.
@@ -135,6 +141,19 @@ pub(crate) fn run<S: Scalar>(
             planner = planner.with_blocking(GemmBlocking::new(mc, nc));
         }
         let mut trace: Vec<IterTiming> = Vec::new();
+        // Bounded assign: per-member bound state over the group's shared
+        // stripe, fed exclusively from merged quantities so every member
+        // of the group filters identically (see [`crate::bounded`]).
+        let mut rb: Option<RankBounds<S>> = match bounds_mode {
+            BoundsMode::None => None,
+            mode => Some(RankBounds::new(
+                mode,
+                my_samples.len(),
+                k,
+                d,
+                my_centroids.clone(),
+            )),
+        };
 
         for iter in 0..cfg.max_iters {
             let iter_start = std::time::Instant::now();
@@ -144,6 +163,11 @@ pub(crate) fn run<S: Scalar>(
             let degraded = degrade.as_ref().is_some_and(|p| p.degrade_iteration(iter));
             if degraded {
                 pt.mark("degraded_iteration", iter);
+                // Conservative: fallback merge paths ran, so invalidate
+                // the bounds and reseed at the next engagement.
+                if let Some(rb) = &mut rb {
+                    rb.reset();
+                }
             }
             // ---- Assign: partial argmin over my shard (lines 9–10), via
             // the configured kernel. One plan per iteration = shard norms
@@ -152,47 +176,84 @@ pub(crate) fn run<S: Scalar>(
             // on every member, so keys stay comparable across the group.
             let t0 = std::time::Instant::now();
             pairs.clear();
-            if shard_k == 0 {
-                pairs.resize(my_samples.len(), MINLOC_NEUTRAL);
+            let bkind = rb.as_ref().map_or(BoundsIterKind::Dormant, |r| r.kind());
+            if bkind == BoundsIterKind::Dormant {
+                if shard_k == 0 {
+                    pairs.resize(my_samples.len(), MINLOC_NEUTRAL);
+                } else {
+                    let plan = planner.plan(&shard);
+                    if cfg.kernel == AssignKernel::Gemm {
+                        pt.phase("gemm_plan", t0, iter);
+                    }
+                    assigned.clear();
+                    if fuse {
+                        // g == 1: my partial argmin IS the winner, so fold each
+                        // scored sample into the shard sums while it is hot.
+                        sums.iter_mut().for_each(|v| *v = S::ZERO);
+                        counts.iter_mut().for_each(|v| *v = 0);
+                        plan.assign_accumulate_into(
+                            data,
+                            my_samples.clone(),
+                            &shard,
+                            0..shard_k,
+                            my_centroids.start,
+                            &mut assigned,
+                            &mut sums,
+                            &mut counts,
+                        );
+                    } else {
+                        plan.assign_batch_into(
+                            data,
+                            my_samples.clone(),
+                            &shard,
+                            0..shard_k,
+                            my_centroids.start,
+                            &mut assigned,
+                        );
+                    }
+                    pairs.extend(assigned.iter().map(|&(j, key)| (key.to_f64(), j as u64)));
+                }
+                if let Some(rb) = &mut rb {
+                    rb.note_dormant(my_samples.len(), shard_k);
+                }
+                it.assign += pt.phase("assign", t0, iter);
+                // The min-loc merge produces the global a(i) for every sample
+                // of the stripe, on every member.
+                let t1 = std::time::Instant::now();
+                merge_min_loc::<S>(&mut group_comm, &mut pairs)?;
+                it.merge += pt.phase("merge", t1, iter);
             } else {
-                let plan = planner.plan(&shard);
-                if cfg.kernel == AssignKernel::Gemm {
+                // Bounded seed/filter pass: the group merges run inside the
+                // helper, so the whole pass lands in the assign phase (with
+                // a nested bounds_filter span on filtered iterations).
+                let rbm = rb.as_mut().expect("bounded kind without state");
+                let plan = (shard_k > 0).then(|| planner.plan(&shard));
+                if cfg.kernel == AssignKernel::Gemm && shard_k > 0 {
                     pt.phase("gemm_plan", t0, iter);
                 }
-                assigned.clear();
-                if fuse {
-                    // g == 1: my partial argmin IS the winner, so fold each
-                    // scored sample into the shard sums while it is hot.
-                    sums.iter_mut().for_each(|v| *v = S::ZERO);
-                    counts.iter_mut().for_each(|v| *v = 0);
-                    plan.assign_accumulate_into(
+                if bkind == BoundsIterKind::Seed {
+                    rbm.seed_assign(
+                        plan.as_ref(),
                         data,
                         my_samples.clone(),
                         &shard,
-                        0..shard_k,
-                        my_centroids.start,
-                        &mut assigned,
-                        &mut sums,
-                        &mut counts,
-                    );
+                        &mut group_comm,
+                        &mut pairs,
+                    )?;
                 } else {
-                    plan.assign_batch_into(
+                    let tb = std::time::Instant::now();
+                    rbm.filter_assign(
+                        plan.as_ref(),
                         data,
                         my_samples.clone(),
                         &shard,
-                        0..shard_k,
-                        my_centroids.start,
-                        &mut assigned,
-                    );
+                        &mut group_comm,
+                        &mut pairs,
+                    )?;
+                    pt.phase("bounds_filter", tb, iter);
                 }
-                pairs.extend(assigned.iter().map(|&(j, key)| (key.to_f64(), j as u64)));
+                it.assign += pt.phase("assign", t0, iter);
             }
-            it.assign += pt.phase("assign", t0, iter);
-            // The min-loc merge produces the global a(i) for every sample
-            // of the stripe, on every member.
-            let t1 = std::time::Instant::now();
-            merge_min_loc::<S>(&mut group_comm, &mut pairs)?;
-            it.merge += pt.phase("merge", t1, iter);
 
             // Local reassignment bookkeeping against the previous
             // iteration's winners — no collectives.
@@ -210,6 +271,11 @@ pub(crate) fn run<S: Scalar>(
             } else {
                 local_moved as f64 / pairs.len() as f64
             };
+            // Pre-Update shard snapshot for the bound drift (no-op until
+            // seeded).
+            if let Some(rb) = &mut rb {
+                rb.pre_update(&shard);
+            }
 
             let mut worst_shift_sq = 0.0f64;
             match cfg.update {
@@ -347,6 +413,13 @@ pub(crate) fn run<S: Scalar>(
                 }
             }
 
+            // ---- Bounds bookkeeping: group-summed per-centroid drifts
+            // loosen every member identically; the merged moved fraction
+            // feeds the engagement lifecycle.
+            if let Some(rb) = &mut rb {
+                rb.post_update(&shard, &mut group_comm, it.moved_fraction)?;
+            }
+
             // ---- Convergence: global max shift over all shards. ----
             let t4 = std::time::Instant::now();
             let mut shift = vec![worst_shift_sq];
@@ -377,7 +450,8 @@ pub(crate) fn run<S: Scalar>(
             }
             Matrix::from_vec(k, d, flat)
         });
-        Ok::<RankOutput<S>, CommError>((full, iterations, converged, trace))
+        let bstats = rb.map(|r| r.into_stats()).unwrap_or_default();
+        Ok::<RankOutput<S>, CommError>((full, iterations, converged, trace, bstats))
     });
 
     let outs = collect_ranks(outs)?;
@@ -546,6 +620,44 @@ mod tests {
                     bits(&base.centroids),
                     "{units}/{g} {update} centroids diverged bitwise"
                 );
+            }
+        }
+    }
+
+    #[test]
+    fn bounded_runs_match_unbounded_bitwise() {
+        use kmeans_core::BoundsMode;
+        let data = random_data(300, 6, 77);
+        let init = init_centroids(&data, 12, InitMethod::Forgy, 19);
+        for (units, g) in [(4, 2), (8, 4)] {
+            for kernel in [AssignKernel::Scalar, AssignKernel::Gemm] {
+                for update in [UpdateMode::TwoPass, UpdateMode::Fused, UpdateMode::Delta] {
+                    let mk = |bounds| {
+                        let mut c = cfg(units, g, 30);
+                        c.kernel = kernel;
+                        c.update = update;
+                        c.bounds = bounds;
+                        c
+                    };
+                    let base = run(&data, init.clone(), &mk(BoundsMode::None)).unwrap();
+                    for bounds in [BoundsMode::Hamerly, BoundsMode::Yinyang] {
+                        let tag = format!("{units}/{g} {kernel} {update} {bounds}");
+                        let r = run(&data, init.clone(), &mk(bounds)).unwrap();
+                        assert_eq!(r.iterations, base.iterations, "{tag}");
+                        assert_eq!(r.labels, base.labels, "{tag}");
+                        let bits = |m: &Matrix<f64>| -> Vec<u64> {
+                            m.as_slice().iter().map(|v| v.to_bits()).collect()
+                        };
+                        assert_eq!(
+                            bits(&r.centroids),
+                            bits(&base.centroids),
+                            "{tag}: centroids diverged bitwise"
+                        );
+                        assert_eq!(r.objective.to_bits(), base.objective.to_bits(), "{tag}");
+                        assert!(r.bounds.seed_scans >= 1, "{tag}: bounds never engaged");
+                        assert!(r.bounds.lloyd_equivalent > 0, "{tag}: no stats");
+                    }
+                }
             }
         }
     }

@@ -15,6 +15,7 @@
 //! `⌈k/G⌉ · d` centroid elements, and no CPE slice exceeds `⌈k/G⌉ · ⌈d/64⌉`
 //! — so `k·d` scales with the machine, not with any single memory.
 
+use crate::bounded::RankBounds;
 use crate::executor::{
     assemble, collect_ranks, fault_setup, finalize_faults, HierConfig, HierError, HierResult,
     IterTiming, PhaseTracer, RankOutput,
@@ -23,8 +24,8 @@ use crate::level1::{divide_rows, or_words_sum_last, sum_slices};
 use crate::level2::{merge_min_loc, MINLOC_NEUTRAL};
 use crate::partition::split_range;
 use kmeans_core::{
-    AssignKernel, AssignPlanner, GemmBlocking, Matrix, Scalar, TouchedSet, UpdateMode,
-    DELTA_FALLBACK_FRACTION,
+    AssignKernel, AssignPlanner, BoundsIterKind, BoundsMode, GemmBlocking, Matrix, Scalar,
+    TouchedSet, UpdateMode, DELTA_FALLBACK_FRACTION,
 };
 use msg::{CommError, World};
 use std::ops::Range;
@@ -74,10 +75,15 @@ pub(crate) fn run<S: Scalar>(
     // The CPE slice boundaries depend only on (d, cpes): compute them once
     // per run instead of per sample × centroid inside the inner loops.
     let slices = cpe_slices(d, cpes);
+    // Bounds resolve once, identically for every rank (pure function of
+    // the geometry), so the per-group collective schedules stay aligned.
+    let bounds_mode = cfg.resolved_bounds(n, k, d);
     // Fuse only when the CG owns every centroid (g == 1): the winner is
     // known at score time and each virtual CPE folds its dimension slice of
-    // the sample into the shard sums while it is resident.
-    let fuse = cfg.update == UpdateMode::Fused && g == 1;
+    // the sample into the shard sums while it is resident. Bounded runs
+    // filter rows out of the sweep, so they always accumulate post-merge
+    // (bitwise-identical by the update-path invariant).
+    let fuse = cfg.update == UpdateMode::Fused && g == 1 && bounds_mode == BoundsMode::None;
     let ring_report = cfg.merge.use_ring(
         split_range(k, g, 0).len() * d * S::BYTES,
         n_groups,
@@ -137,6 +143,21 @@ pub(crate) fn run<S: Scalar>(
             planner = planner.with_blocking(GemmBlocking::new(mc, nc));
         }
         let mut trace: Vec<IterTiming> = Vec::new();
+        // Bounded assign: per-CG bound state over the group's shared
+        // stripe, fed exclusively from merged quantities so every CG of
+        // the group filters identically (see [`crate::bounded`]). The
+        // plan's dimension slices apply to the bounded sub-scans exactly
+        // as they do to the full sweep.
+        let mut rb: Option<RankBounds<S>> = match bounds_mode {
+            BoundsMode::None => None,
+            mode => Some(RankBounds::new(
+                mode,
+                my_samples.len(),
+                k,
+                d,
+                my_centroids.clone(),
+            )),
+        };
 
         for iter in 0..cfg.max_iters {
             let iter_start = std::time::Instant::now();
@@ -146,6 +167,11 @@ pub(crate) fn run<S: Scalar>(
             let degraded = degrade.as_ref().is_some_and(|p| p.degrade_iteration(iter));
             if degraded {
                 pt.mark("degraded_iteration", iter);
+                // Conservative: fallback merge paths ran, so invalidate
+                // the bounds and reseed at the next engagement.
+                if let Some(rb) = &mut rb {
+                    rb.reset();
+                }
             }
             // ---- Assign: per-CPE partial dot products / distances over
             // the precomputed dimension slices (lines 8–10), via the
@@ -153,47 +179,84 @@ pub(crate) fn run<S: Scalar>(
             // additive over disjoint slices. ----
             let t0 = std::time::Instant::now();
             pairs.clear();
-            if shard_k == 0 {
-                pairs.resize(my_samples.len(), MINLOC_NEUTRAL);
+            let bkind = rb.as_ref().map_or(BoundsIterKind::Dormant, |r| r.kind());
+            if bkind == BoundsIterKind::Dormant {
+                if shard_k == 0 {
+                    pairs.resize(my_samples.len(), MINLOC_NEUTRAL);
+                } else {
+                    let plan = planner.plan(&shard);
+                    if cfg.kernel == AssignKernel::Gemm {
+                        pt.phase("gemm_plan", t0, iter);
+                    }
+                    assigned.clear();
+                    if fuse {
+                        // The fold respects the plan's dimension slices, so the
+                        // accumulation models (and bitwise matches) the per-CPE
+                        // sliced sweep below.
+                        sums.iter_mut().for_each(|v| *v = S::ZERO);
+                        counts.iter_mut().for_each(|v| *v = 0);
+                        plan.assign_accumulate_into(
+                            data,
+                            my_samples.clone(),
+                            &shard,
+                            0..shard_k,
+                            my_centroids.start,
+                            &mut assigned,
+                            &mut sums,
+                            &mut counts,
+                        );
+                    } else {
+                        plan.assign_batch_into(
+                            data,
+                            my_samples.clone(),
+                            &shard,
+                            0..shard_k,
+                            my_centroids.start,
+                            &mut assigned,
+                        );
+                    }
+                    pairs.extend(assigned.iter().map(|&(j, key)| (key.to_f64(), j as u64)));
+                }
+                if let Some(rb) = &mut rb {
+                    rb.note_dormant(my_samples.len(), shard_k);
+                }
+                it.assign += pt.phase("assign", t0, iter);
+                // Line 11: min-loc merge across the G CGs of the group.
+                let t1 = std::time::Instant::now();
+                merge_min_loc::<S>(&mut group_comm, &mut pairs)?;
+                it.merge += pt.phase("merge", t1, iter);
             } else {
-                let plan = planner.plan(&shard);
-                if cfg.kernel == AssignKernel::Gemm {
+                // Bounded seed/filter pass: the group merges run inside the
+                // helper, so the whole pass lands in the assign phase (with
+                // a nested bounds_filter span on filtered iterations).
+                let rbm = rb.as_mut().expect("bounded kind without state");
+                let plan = (shard_k > 0).then(|| planner.plan(&shard));
+                if cfg.kernel == AssignKernel::Gemm && shard_k > 0 {
                     pt.phase("gemm_plan", t0, iter);
                 }
-                assigned.clear();
-                if fuse {
-                    // The fold respects the plan's dimension slices, so the
-                    // accumulation models (and bitwise matches) the per-CPE
-                    // sliced sweep below.
-                    sums.iter_mut().for_each(|v| *v = S::ZERO);
-                    counts.iter_mut().for_each(|v| *v = 0);
-                    plan.assign_accumulate_into(
+                if bkind == BoundsIterKind::Seed {
+                    rbm.seed_assign(
+                        plan.as_ref(),
                         data,
                         my_samples.clone(),
                         &shard,
-                        0..shard_k,
-                        my_centroids.start,
-                        &mut assigned,
-                        &mut sums,
-                        &mut counts,
-                    );
+                        &mut group_comm,
+                        &mut pairs,
+                    )?;
                 } else {
-                    plan.assign_batch_into(
+                    let tb = std::time::Instant::now();
+                    rbm.filter_assign(
+                        plan.as_ref(),
                         data,
                         my_samples.clone(),
                         &shard,
-                        0..shard_k,
-                        my_centroids.start,
-                        &mut assigned,
-                    );
+                        &mut group_comm,
+                        &mut pairs,
+                    )?;
+                    pt.phase("bounds_filter", tb, iter);
                 }
-                pairs.extend(assigned.iter().map(|&(j, key)| (key.to_f64(), j as u64)));
+                it.assign += pt.phase("assign", t0, iter);
             }
-            it.assign += pt.phase("assign", t0, iter);
-            // Line 11: min-loc merge across the G CGs of the group.
-            let t1 = std::time::Instant::now();
-            merge_min_loc::<S>(&mut group_comm, &mut pairs)?;
-            it.merge += pt.phase("merge", t1, iter);
 
             // Local reassignment bookkeeping — no collectives.
             let local_moved = if iter == 0 {
@@ -210,6 +273,11 @@ pub(crate) fn run<S: Scalar>(
             } else {
                 local_moved as f64 / pairs.len() as f64
             };
+            // Pre-Update shard snapshot for the bound drift (no-op until
+            // seeded).
+            if let Some(rb) = &mut rb {
+                rb.pre_update(&shard);
+            }
 
             let mut worst_shift_sq = 0.0f64;
             match cfg.update {
@@ -368,6 +436,13 @@ pub(crate) fn run<S: Scalar>(
                 }
             }
 
+            // ---- Bounds bookkeeping: group-summed per-centroid drifts
+            // loosen every CG identically; the merged moved fraction feeds
+            // the engagement lifecycle.
+            if let Some(rb) = &mut rb {
+                rb.post_update(&shard, &mut group_comm, it.moved_fraction)?;
+            }
+
             let t4 = std::time::Instant::now();
             let mut shift = vec![worst_shift_sq];
             comm.try_allreduce_with(&mut shift, |acc, x| {
@@ -394,7 +469,8 @@ pub(crate) fn run<S: Scalar>(
             }
             Matrix::from_vec(k, d, flat)
         });
-        Ok::<RankOutput<S>, CommError>((full, iterations, converged, trace))
+        let bstats = rb.map(|r| r.into_stats()).unwrap_or_default();
+        Ok::<RankOutput<S>, CommError>((full, iterations, converged, trace, bstats))
     });
 
     let outs = collect_ranks(outs)?;
@@ -564,6 +640,44 @@ mod tests {
                     bits(&base.centroids),
                     "{units}/{g}/{cpes} {update} centroids diverged bitwise"
                 );
+            }
+        }
+    }
+
+    #[test]
+    fn bounded_runs_match_unbounded_bitwise() {
+        use kmeans_core::BoundsMode;
+        // Ragged n/k/d splits with all three partition axes active.
+        let data = random_data(90, 23, 71);
+        let init = init_centroids(&data, 10, InitMethod::Forgy, 23);
+        for (units, g, cpes) in [(4, 1, 5), (6, 2, 5), (8, 4, 3)] {
+            for kernel in [AssignKernel::Scalar, AssignKernel::Gemm] {
+                for update in [UpdateMode::TwoPass, UpdateMode::Fused, UpdateMode::Delta] {
+                    let mk = |bounds| {
+                        let mut c = cfg(units, g, cpes, 25);
+                        c.kernel = kernel;
+                        c.update = update;
+                        c.bounds = bounds;
+                        c
+                    };
+                    let base = run(&data, init.clone(), &mk(BoundsMode::None)).unwrap();
+                    for bounds in [BoundsMode::Hamerly, BoundsMode::Yinyang] {
+                        let tag = format!("{units}/{g}/{cpes} {kernel} {update} {bounds}");
+                        let r = run(&data, init.clone(), &mk(bounds)).unwrap();
+                        assert_eq!(r.iterations, base.iterations, "{tag}");
+                        assert_eq!(r.labels, base.labels, "{tag}");
+                        let bits = |m: &Matrix<f64>| -> Vec<u64> {
+                            m.as_slice().iter().map(|v| v.to_bits()).collect()
+                        };
+                        assert_eq!(
+                            bits(&r.centroids),
+                            bits(&base.centroids),
+                            "{tag}: centroids diverged bitwise"
+                        );
+                        assert_eq!(r.objective.to_bits(), base.objective.to_bits(), "{tag}");
+                        assert!(r.bounds.seed_scans >= 1, "{tag}: bounds never engaged");
+                    }
+                }
             }
         }
     }

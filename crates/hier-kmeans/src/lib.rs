@@ -26,6 +26,7 @@
 
 pub mod auto;
 pub mod baseline;
+pub(crate) mod bounded;
 pub mod executor;
 pub mod level1;
 pub mod level2;
@@ -36,8 +37,8 @@ pub mod stream;
 
 pub use auto::{choose_level, gemm_group_units};
 pub use executor::{
-    fit, HierConfig, HierError, HierResult, IterTiming, MergeStrategy, PhaseTimings, TrainTrace,
-    RING_CROSSOVER_BYTES,
+    fit, label_checksum, HierConfig, HierError, HierResult, IterTiming, MergeStrategy,
+    PhaseTimings, TrainTrace, RING_CROSSOVER_BYTES,
 };
 pub use kmeans_core::UpdateMode;
 pub use msg::{CommError, FaultKind, FaultPlan, FaultStats, ScriptedFault};
@@ -127,6 +128,15 @@ impl HierKMeans {
     /// results for a given kernel and merge strategy.
     pub fn with_update(mut self, update: UpdateMode) -> Self {
         self.config.update = update;
+        self
+    }
+
+    /// Bounded-assign strategy (default: off; see
+    /// [`kmeans_core::BoundsMode`]). `Auto` consults the perf model per
+    /// run. Bounded runs are bitwise-identical to unbounded ones of the
+    /// same kernel — pruning only skips provably-unchanged rows.
+    pub fn with_bounds(mut self, bounds: kmeans_core::BoundsMode) -> Self {
+        self.config.bounds = bounds;
         self
     }
 

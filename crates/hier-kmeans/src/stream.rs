@@ -226,6 +226,8 @@ pub fn fit_source<Src: SampleSource + Sync>(
         merge_ring: false,
         fault_stats: msg::FaultStats::new(),
         degraded_iterations: 0,
+        bounds_mode: kmeans_core::BoundsMode::None,
+        bounds: kmeans_core::BoundsStats::default(),
     })
 }
 

@@ -191,6 +191,7 @@ pub fn run_from<S: Scalar>(
             iterations,
             objective,
             converged,
+            bounds: crate::bounds::BoundsStats::default(),
         },
         stats,
     ))

@@ -28,6 +28,7 @@
 //! * [`objective`] — within-cluster sum of squares and mean objective.
 
 pub mod assign;
+pub mod bounds;
 pub mod distance;
 pub mod elkan;
 pub mod init;
@@ -47,6 +48,10 @@ pub mod yinyang;
 pub use assign::{
     AssignKernel, AssignPlan, AssignPlanner, GemmBlocking, PlannerStats, TileShape,
     LDM_BYTES_DEFAULT,
+};
+pub use bounds::{
+    centroid_drifts, dist_from_batch, dist_from_score_key, BoundState, BoundsIterKind, BoundsMode,
+    BoundsScratch, BoundsStats, ENGAGE_MOVED_FRACTION, RESEED_SURVIVOR_FRACTION,
 };
 pub use distance::{
     argmin_centroid, dot_unrolled, sq_euclidean, sq_euclidean_unrolled, CentroidNorms,

@@ -3,6 +3,7 @@
 //! the hierarchy distributes.
 
 use crate::assign::{AssignKernel, AssignPlanner, LDM_BYTES_DEFAULT};
+use crate::bounds::{centroid_drifts, BoundState, BoundsMode, BoundsScratch, BoundsStats};
 use crate::distance::argmin_centroid;
 use crate::init::{init_centroids, InitMethod};
 use crate::matrix::Matrix;
@@ -30,6 +31,10 @@ pub struct KMeansConfig {
     /// Which Update path the iteration loop runs; all modes produce
     /// bitwise-identical centroids, labels and objective.
     pub update: UpdateMode,
+    /// Bounded-assign strategy ([`BoundsMode::None`] scans every pair;
+    /// the bounded modes filter via triangle-inequality bounds and stay
+    /// bitwise-identical to the unbounded run).
+    pub bounds: BoundsMode,
 }
 
 impl KMeansConfig {
@@ -42,6 +47,7 @@ impl KMeansConfig {
             seed: 0,
             kernel: AssignKernel::Scalar,
             update: UpdateMode::TwoPass,
+            bounds: BoundsMode::None,
         }
     }
 
@@ -72,6 +78,11 @@ impl KMeansConfig {
 
     pub fn with_update(mut self, update: UpdateMode) -> Self {
         self.update = update;
+        self
+    }
+
+    pub fn with_bounds(mut self, bounds: BoundsMode) -> Self {
+        self.bounds = bounds;
         self
     }
 }
@@ -129,6 +140,9 @@ pub struct KMeansResult<S: Scalar> {
     pub objective: f64,
     /// Whether the tolerance was reached before the iteration cap.
     pub converged: bool,
+    /// Pruning counters of the bounded assign layer (all zero when the
+    /// run used [`BoundsMode::None`]).
+    pub bounds: BoundsStats,
 }
 
 /// Assign each sample to its nearest centroid, filling `labels` and
@@ -295,43 +309,60 @@ impl Lloyd {
         // bit-identical to the historical per-sample `argmin_centroid`
         // scan.
         let mut planner = AssignPlanner::new(config.kernel, LDM_BYTES_DEFAULT);
+        // Bounded assign: a per-sample bound state filters rows whose
+        // argmin provably didn't change, and the survivors go through the
+        // same plan. Results are bitwise-identical to the unbounded run;
+        // under bounds the Fused mode accumulates with the two-pass sweep
+        // (the filtered rows break the fused fold's ascending sample
+        // order, and the two sweeps are bitwise-equivalent anyway).
+        let bounds_mode = config.bounds.resolve_local(k);
+        let mut bound_state: Option<BoundState<S>> = match bounds_mode {
+            BoundsMode::None => None,
+            mode => Some(BoundState::new(mode, n, k, d)),
+        };
+        let mut bscratch = BoundsScratch::default();
+        let mut drifts: Vec<f64> = Vec::new();
+        let mut bprev_labels: Vec<u32> = Vec::new();
         for _ in 0..config.max_iters {
             let plan = planner.plan(&current);
             assigned.clear();
+            let fuse_inline = config.update == UpdateMode::Fused && bound_state.is_none();
+            if fuse_inline {
+                sums.fill(S::ZERO);
+                counts.fill(0);
+                plan.assign_accumulate_into(
+                    data,
+                    0..n,
+                    &current,
+                    0..k,
+                    0,
+                    &mut assigned,
+                    &mut sums,
+                    &mut counts,
+                );
+            } else if let Some(st) = &mut bound_state {
+                st.assign_serial(&plan, data, 0..n, &current, &mut assigned, &mut bscratch);
+            } else {
+                plan.assign_batch_into(data, 0..n, &current, 0..k, 0, &mut assigned);
+            }
+            for (label, &(j, _)) in labels.iter_mut().zip(&assigned) {
+                *label = j;
+            }
             let shift;
             match config.update {
                 UpdateMode::TwoPass => {
-                    plan.assign_batch_into(data, 0..n, &current, 0..k, 0, &mut assigned);
-                    for (label, &(j, _)) in labels.iter_mut().zip(&assigned) {
-                        *label = j;
-                    }
                     update_step(data, &labels, &current, &mut next);
                     shift = max_centroid_shift(&current, &next);
                 }
                 UpdateMode::Fused => {
-                    sums.fill(S::ZERO);
-                    counts.fill(0);
-                    plan.assign_accumulate_into(
-                        data,
-                        0..n,
-                        &current,
-                        0..k,
-                        0,
-                        &mut assigned,
-                        &mut sums,
-                        &mut counts,
-                    );
-                    for (label, &(j, _)) in labels.iter_mut().zip(&assigned) {
-                        *label = j;
+                    if fuse_inline {
+                        divide_rows_into(&sums, &counts, &current, &mut next, 0..k);
+                    } else {
+                        update_step(data, &labels, &current, &mut next);
                     }
-                    divide_rows_into(&sums, &counts, &current, &mut next, 0..k);
                     shift = max_centroid_shift(&current, &next);
                 }
                 UpdateMode::Delta => {
-                    plan.assign_batch_into(data, 0..n, &current, 0..k, 0, &mut assigned);
-                    for (label, &(j, _)) in labels.iter_mut().zip(&assigned) {
-                        *label = j;
-                    }
                     let first = iterations == 0;
                     let mut moved = n as u64;
                     if !first {
@@ -390,6 +421,27 @@ impl Lloyd {
                     prev_labels.extend_from_slice(&labels);
                 }
             }
+            if let Some(st) = &mut bound_state {
+                // Moved fraction drives engagement; drifts (current → next)
+                // loosen the bounds before the next Assign consumes them.
+                let moved = if bprev_labels.is_empty() {
+                    1.0
+                } else {
+                    let m = labels
+                        .iter()
+                        .zip(&bprev_labels)
+                        .filter(|(a, b)| a != b)
+                        .count();
+                    m as f64 / n as f64
+                };
+                bprev_labels.clear();
+                bprev_labels.extend_from_slice(&labels);
+                if st.seeded() {
+                    centroid_drifts(&current, &next, &mut drifts);
+                    st.loosen(&drifts);
+                }
+                st.note_moved_fraction(moved);
+            }
             iterations += 1;
             std::mem::swap(&mut current, &mut next);
             if shift <= config.tol {
@@ -406,6 +458,7 @@ impl Lloyd {
             iterations,
             objective,
             converged,
+            bounds: bound_state.map(|s| s.stats).unwrap_or_default(),
         })
     }
 
@@ -641,6 +694,63 @@ mod tests {
         );
         // An empty touched set means nothing moved.
         assert_eq!(max_centroid_shift_touched(&a, &a, &TouchedSet::new(3)), 0.0);
+    }
+
+    #[test]
+    fn bounded_runs_match_unbounded_bitwise() {
+        use crate::bounds::BoundsMode;
+        // Pseudo-random blobs, big enough that the moved fraction decays
+        // over several iterations and the bound state actually engages.
+        let mut state = 0x2545F4914F6CDD1Du64;
+        let mut next_f = || {
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            ((state >> 33) as f64 / (1u64 << 31) as f64) * 4.0
+        };
+        let (n, d, k) = (400usize, 6usize, 24usize);
+        let mut raw = Vec::with_capacity(n * d);
+        for i in 0..n {
+            let off = (i % 8) as f64 * 3.0;
+            for _ in 0..d {
+                raw.push(off + next_f());
+            }
+        }
+        let data = Matrix::from_vec(n, d, raw);
+        for kernel in AssignKernel::ALL {
+            for update in [UpdateMode::TwoPass, UpdateMode::Fused, UpdateMode::Delta] {
+                let base = KMeansConfig::new(k)
+                    .with_seed(7)
+                    .with_kernel(kernel)
+                    .with_update(update)
+                    .with_max_iters(16)
+                    .with_tol(0.0);
+                let reference = Lloyd::run(&data, &base).unwrap();
+                for bounds in [BoundsMode::Hamerly, BoundsMode::Yinyang, BoundsMode::Auto] {
+                    let res = Lloyd::run(&data, &base.with_bounds(bounds)).unwrap();
+                    let tag = format!("{kernel}/{update}/{bounds}");
+                    assert_eq!(res.labels, reference.labels, "{tag}");
+                    assert_eq!(res.iterations, reference.iterations, "{tag}");
+                    assert_eq!(res.converged, reference.converged, "{tag}");
+                    assert_eq!(
+                        res.objective.to_bits(),
+                        reference.objective.to_bits(),
+                        "{tag}: objective differs"
+                    );
+                    for j in 0..k {
+                        assert!(
+                            res.centroids
+                                .row(j)
+                                .iter()
+                                .zip(reference.centroids.row(j))
+                                .all(|(a, b)| a.to_bits() == b.to_bits()),
+                            "{tag}: centroid {j} not bitwise equal"
+                        );
+                    }
+                    assert!(res.bounds.lloyd_equivalent > 0, "{tag}: no stats");
+                }
+            }
+        }
     }
 
     #[test]

@@ -5,6 +5,7 @@
 //! `hier-kmeans` uses the same update rule for out-of-core sources.
 
 use crate::assign::{AssignPlanner, LDM_BYTES_DEFAULT};
+use crate::bounds::{centroid_drifts, BoundState, BoundsMode, BoundsScratch};
 use crate::lloyd::{KMeansConfig, KMeansError, KMeansResult};
 use crate::matrix::Matrix;
 use crate::scalar::Scalar;
@@ -78,6 +79,21 @@ pub fn run_from<S: Scalar>(
     // of the plan carries over from the previous batch untouched.
     let mut planner = AssignPlanner::new(k_config.kernel, LDM_BYTES_DEFAULT);
     let mut changed = vec![false; k];
+    // Bounded assign with lazy per-row seeding: a row's first appearance
+    // in any batch seeds its bounds, later appearances filter. Engaged
+    // from the start — there is no moved-fraction signal to wait for, and
+    // the per-row validity flags make the warm-up self-limiting.
+    let mut bound_state: Option<BoundState<S>> = match k_config.bounds.resolve_local(k) {
+        BoundsMode::None => None,
+        mode => {
+            let mut st = BoundState::new(mode, n, k, d);
+            st.engage();
+            Some(st)
+        }
+    };
+    let mut bscratch = BoundsScratch::default();
+    let mut snapshot = Matrix::<S>::zeros(0, 0);
+    let mut drifts: Vec<f64> = Vec::new();
 
     for _ in 0..config.batches {
         indices.shuffle(&mut rng);
@@ -91,14 +107,26 @@ pub fn run_from<S: Scalar>(
         }
         let plan = planner.plan_with_changed(&centroids, &changed);
         assignments.clear();
-        plan.assign_batch_into(
-            &gathered,
-            0..batch.len(),
-            &centroids,
-            0..k,
-            0,
-            &mut assignments,
-        );
+        if let Some(st) = &mut bound_state {
+            st.assign_mapped(
+                &plan,
+                &gathered,
+                batch,
+                &centroids,
+                &mut assignments,
+                &mut bscratch,
+            );
+            snapshot = centroids.clone();
+        } else {
+            plan.assign_batch_into(
+                &gathered,
+                0..batch.len(),
+                &centroids,
+                0..k,
+                0,
+                &mut assignments,
+            );
+        }
         changed.iter_mut().for_each(|v| *v = false);
         for (&i, &(j, _)) in batch.iter().zip(&assignments) {
             let j = j as usize;
@@ -112,6 +140,10 @@ pub fn run_from<S: Scalar>(
                 *cv = *cv * one_minus + *xv * eta;
             }
         }
+        if let Some(st) = &mut bound_state {
+            centroid_drifts(&snapshot, &centroids, &mut drifts);
+            st.loosen(&drifts);
+        }
     }
 
     let mut labels = vec![0u32; n];
@@ -122,6 +154,7 @@ pub fn run_from<S: Scalar>(
         iterations: config.batches,
         objective,
         converged: true,
+        bounds: bound_state.map(|s| s.stats).unwrap_or_default(),
     })
 }
 
@@ -204,6 +237,38 @@ mod tests {
             let cfg_k = KMeansConfig::new(3).with_kernel(kernel);
             let r = run_from(&data, init.clone(), &cfg, &cfg_k).unwrap();
             assert_eq!(r.labels, scalar.labels, "{kernel}");
+        }
+    }
+
+    #[test]
+    fn bounded_batches_match_unbounded_bitwise() {
+        use crate::assign::AssignKernel;
+        use crate::bounds::BoundsMode;
+        let data = blobs(600, 5, 8, 11);
+        let init = init_centroids(&data, 8, InitMethod::Forgy, 11);
+        let cfg = MiniBatchConfig {
+            batch: 128,
+            batches: 40,
+            seed: 4,
+        };
+        for kernel in AssignKernel::ALL {
+            let base = KMeansConfig::new(8).with_kernel(kernel);
+            let reference = run_from(&data, init.clone(), &cfg, &base).unwrap();
+            for bounds in [BoundsMode::Hamerly, BoundsMode::Yinyang, BoundsMode::Auto] {
+                let r = run_from(&data, init.clone(), &cfg, &base.with_bounds(bounds)).unwrap();
+                assert_eq!(r.labels, reference.labels, "{kernel}/{bounds}");
+                for j in 0..8 {
+                    assert!(
+                        r.centroids
+                            .row(j)
+                            .iter()
+                            .zip(reference.centroids.row(j))
+                            .all(|(a, b)| a.to_bits() == b.to_bits()),
+                        "{kernel}/{bounds}: centroid {j} diverged"
+                    );
+                }
+                assert!(r.bounds.lloyd_equivalent > 0, "{kernel}/{bounds}: no stats");
+            }
         }
     }
 

@@ -221,6 +221,7 @@ pub fn run_from<S: Scalar>(
             iterations,
             objective,
             converged,
+            bounds: crate::bounds::BoundsStats::default(),
         },
         stats,
     ))

@@ -1,0 +1,123 @@
+//! Engagement model for the bounded (triangle-inequality) assign layer.
+//!
+//! The bounded assign keeps, per sample, an upper bound on the distance to
+//! its cached winner plus `t ≈ k/10` group lower bounds, and skips every
+//! sample whose bounds prove the argmin unchanged. On the convergence tail
+//! (moved fraction `→ 0`) almost every row filters, so the per-iteration
+//! score work collapses from `3·n·k·d` flops to the bookkeeping plus the
+//! few survivors — but the machinery is not free:
+//!
+//! * **Bookkeeping** — `O(n·(t + 1))` f64 updates per iteration (drift
+//!   loosening + the filter test), regardless of how many rows filter.
+//! * **Seeding** — a full `n·k·d` scan *plus* `n·k/t` scalar runner-up
+//!   probes whenever bounds are (re)seeded, amortised over the filtered
+//!   iterations that follow.
+//!
+//! Pruning pays when the per-iteration savings `f·3·n·k·d·η⁻¹` (with `f`
+//! the expected filtered fraction on the tail) dominate the bookkeeping;
+//! with `t = k/10` that reduces to requiring `k·d` comfortably above the
+//! bound-update cost — small problems never amortise the seed scan, and
+//! tiny `k` wants the single-bound Hamerly variant (group bounds would
+//! cost more than they prune).
+
+use crate::shape::Level;
+
+/// Minimum `k·d` for the expected tail savings (`≈ 3·k·d` flops per
+/// filtered row) to dominate the `O(t+1)` per-row bound updates with
+/// margin for the seed-scan amortisation.
+pub const MIN_KD_FOR_BOUNDS: usize = 64;
+
+/// Minimum per-rank sample count: below this the seed scan's runner-up
+/// probes never amortise before convergence.
+pub const MIN_N_FOR_BOUNDS: usize = 256;
+
+/// `k` at or below which Hamerly's single bound beats Yinyang's group
+/// bounds (one lower bound already prunes well when there are few
+/// centroids to drift, and `t = k/10` degenerates to 1–3 groups anyway).
+pub const HAMERLY_MAX_K: usize = 32;
+
+/// What the model recommends for a given geometry. Mirrors (and is mapped
+/// onto) `kmeans_core::BoundsMode` by the executors; `perf-model` stays
+/// independent of `kmeans-core`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BoundsRecommendation {
+    /// Bookkeeping would cost more than it saves: run unbounded.
+    None,
+    /// Single upper/lower bound per sample (tiny `k`).
+    Hamerly,
+    /// `t ≈ k/10` group lower bounds (the general case).
+    Yinyang,
+}
+
+/// Expected ratio of tail-iteration distance work saved per unit of bound
+/// bookkeeping: `3·k·d` score flops avoided per filtered row against
+/// `O(t + 1)` f64 bound updates for every row. Values `≫ 1` mean pruning
+/// pays as soon as the moved fraction drops.
+pub fn savings_per_bookkeeping(k: usize, d: usize) -> f64 {
+    let t = (k / 10).clamp(1, k.max(1));
+    (3 * k * d) as f64 / (t + 1) as f64
+}
+
+/// Recommend a bounds mode for one rank's assign loop. `n` is the
+/// *global* sample count (every level stripes it; the stripe factor
+/// cancels because both the savings and the bookkeeping scale with the
+/// stripe length). The decision is a pure function of the arguments, so
+/// every rank of a run resolves identically.
+pub fn recommend(_level: Level, n: usize, k: usize, d: usize) -> BoundsRecommendation {
+    if n < MIN_N_FOR_BOUNDS || k * d < MIN_KD_FOR_BOUNDS || k < 2 {
+        return BoundsRecommendation::None;
+    }
+    if savings_per_bookkeeping(k, d) < 8.0 {
+        return BoundsRecommendation::None;
+    }
+    if k <= HAMERLY_MAX_K {
+        BoundsRecommendation::Hamerly
+    } else {
+        BoundsRecommendation::Yinyang
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tiny_problems_stay_unbounded() {
+        assert_eq!(
+            recommend(Level::L1, 100, 256, 64),
+            BoundsRecommendation::None
+        );
+        assert_eq!(
+            recommend(Level::L1, 100_000, 4, 2),
+            BoundsRecommendation::None
+        );
+        assert_eq!(
+            recommend(Level::L2, 100_000, 1, 64),
+            BoundsRecommendation::None
+        );
+    }
+
+    #[test]
+    fn small_k_takes_hamerly_large_k_takes_yinyang() {
+        assert_eq!(
+            recommend(Level::L1, 100_000, 16, 64),
+            BoundsRecommendation::Hamerly
+        );
+        assert_eq!(
+            recommend(Level::L2, 100_000, 256, 64),
+            BoundsRecommendation::Yinyang
+        );
+        assert_eq!(
+            recommend(Level::L3, 100_000, 10_000, 128),
+            BoundsRecommendation::Yinyang
+        );
+    }
+
+    #[test]
+    fn savings_ratio_grows_with_kd() {
+        let small = savings_per_bookkeeping(16, 8);
+        let paper = savings_per_bookkeeping(256, 64);
+        assert!(paper > small);
+        assert!(paper > 100.0, "paper shape must be clearly worth it");
+    }
+}

@@ -31,6 +31,7 @@
 //! only by total machine LDM), with an optional DDR-spill mode that trades
 //! time for capacity (used by Fig. 6a's k = 160,000 point).
 
+pub mod bounds;
 pub mod calibration;
 pub mod cost;
 pub mod crossover;
@@ -40,6 +41,7 @@ pub mod related;
 pub mod shape;
 pub mod sweep;
 
+pub use bounds::BoundsRecommendation;
 pub use calibration::Calibration;
 pub use cost::{CostBreakdown, CostModel};
 pub use crossover::{best_level, find_crossover_d};

@@ -6,7 +6,9 @@
 //! canonical accumulation order).
 
 use proptest::prelude::*;
-use sunway_kmeans::kmeans_core::{argmin_centroid, TileShape, LDM_BYTES_DEFAULT};
+use sunway_kmeans::kmeans_core::{
+    argmin_centroid, BoundsMode, KMeansConfig, Lloyd, TileShape, LDM_BYTES_DEFAULT,
+};
 use sunway_kmeans::prelude::*;
 
 fn assign_all(
@@ -152,6 +154,42 @@ proptest! {
                 "ldm={} sample {}: keys diverged bitwise", ldm, i
             );
         }
+    }
+
+    /// Triangle-inequality pruning composes with every kernel: a bounded
+    /// Lloyd run (Hamerly or Yinyang) filtered in front of any assign
+    /// kernel reproduces the unbounded run of the *same* kernel bit for
+    /// bit — labels, centroid bits, objective bits, iteration count.
+    #[test]
+    fn bounded_lloyd_is_bitwise_unbounded_per_kernel(
+        seed in 0u64..10_000,
+        n in 30usize..120,
+        d in 2usize..24,
+        k in 2usize..12,
+        kernel_pick in 0usize..4,
+        bounds_pick in 0usize..2,
+    ) {
+        let kernel = AssignKernel::ALL[kernel_pick];
+        let bounds = [BoundsMode::Hamerly, BoundsMode::Yinyang][bounds_pick];
+        let blobs = GaussianMixture::new(n.max(k), d, k)
+            .with_seed(seed)
+            .with_spread(25.0)
+            .generate::<f64>();
+        let data = blobs.data;
+        let init = init_centroids(&data, k, InitMethod::Forgy, seed + 4);
+        let base = KMeansConfig::new(k).with_max_iters(10).with_kernel(kernel);
+        let plain = Lloyd::run_from(&data, init.clone(), &base).unwrap();
+        let r = Lloyd::run_from(&data, init, &base.with_bounds(bounds)).unwrap();
+        prop_assert_eq!(&r.labels, &plain.labels, "{}/{}: labels diverged", bounds, kernel);
+        prop_assert_eq!(r.iterations, plain.iterations, "{}/{}: iterations", bounds, kernel);
+        prop_assert_eq!(
+            r.objective.to_bits(), plain.objective.to_bits(),
+            "{}/{}: objective bits diverged", bounds, kernel
+        );
+        let rb: Vec<u64> = r.centroids.as_slice().iter().map(|v| v.to_bits()).collect();
+        let pb: Vec<u64> = plain.centroids.as_slice().iter().map(|v| v.to_bits()).collect();
+        prop_assert_eq!(rb, pb, "{}/{}: centroid bits diverged", bounds, kernel);
+        prop_assert!(r.bounds.lloyd_equivalent > 0, "{}/{}: no bounds work", bounds, kernel);
     }
 
     /// The tile planner never exceeds its budget (when it can help it) and

@@ -5,7 +5,8 @@
 //! count under all three `--update` modes.
 
 use proptest::prelude::*;
-use sunway_kmeans::hier_kmeans::{MergeStrategy, UpdateMode};
+use sunway_kmeans::hier_kmeans::{FaultPlan, MergeStrategy, UpdateMode};
+use sunway_kmeans::kmeans_core::BoundsMode;
 use sunway_kmeans::prelude::*;
 use sunway_kmeans::swkm_obs;
 
@@ -73,6 +74,140 @@ proptest! {
                 "{} objective bits diverged at {}", mode, level);
             prop_assert_eq!(r.iterations, two.iterations);
         }
+    }
+}
+
+#[allow(clippy::too_many_arguments)]
+fn fit_bounded(
+    data: &Matrix<f64>,
+    init: &Matrix<f64>,
+    level: Level,
+    units: usize,
+    group: usize,
+    kernel: AssignKernel,
+    update: UpdateMode,
+    merge: MergeStrategy,
+    bounds: BoundsMode,
+    max_iters: usize,
+) -> HierResult<f64> {
+    HierKMeans::new(level)
+        .with_units(units)
+        .with_group_units(group)
+        .with_cpes_per_cg(3)
+        .with_kernel(kernel)
+        .with_update(update)
+        .with_merge(merge)
+        .with_bounds(bounds)
+        .with_max_iters(max_iters)
+        .with_tol(0.0)
+        .fit(data, init.clone())
+        .unwrap()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(20))]
+
+    /// Bounded assignment is a *winner-preserving filter*, not an
+    /// approximation: across bounds{hamerly,yinyang} × every kernel ×
+    /// every level × every update path × both merge strategies, the
+    /// bounded run reproduces the unbounded one bit for bit — labels,
+    /// centroid bits, objective bits and iteration count.
+    #[test]
+    fn bounded_runs_are_bitwise_unbounded(
+        seed in 0u64..1_000,
+        n in 40usize..140,
+        d in 2usize..16,
+        k in 2usize..10,
+        units in 1usize..4,
+        group in 1usize..4,
+        kernel_pick in 0usize..4,
+        level_pick in 0usize..3,
+        update_pick in 0usize..3,
+        merge_pick in 0usize..2,
+        bounds_pick in 0usize..2,
+    ) {
+        let k = k.min(n);
+        let units = units * group;
+        let level = [Level::L1, Level::L2, Level::L3][level_pick];
+        let kernel = AssignKernel::ALL[kernel_pick];
+        let mut update = [UpdateMode::TwoPass, UpdateMode::Fused, UpdateMode::Delta][update_pick];
+        let merge = [MergeStrategy::Tree, MergeStrategy::Ring][merge_pick];
+        if merge == MergeStrategy::Ring && update == UpdateMode::Delta {
+            update = UpdateMode::TwoPass; // delta+ring is rejected by construction
+        }
+        let bounds = [BoundsMode::Hamerly, BoundsMode::Yinyang][bounds_pick];
+        let blobs = GaussianMixture::new(n, d, k)
+            .with_seed(seed)
+            .with_spread(25.0)
+            .generate::<f64>();
+        let init = init_centroids(&blobs.data, k, InitMethod::Forgy, seed);
+
+        let plain = fit_bounded(&blobs.data, &init, level, units, group, kernel, update,
+                                merge, BoundsMode::None, 8);
+        let r = fit_bounded(&blobs.data, &init, level, units, group, kernel, update,
+                            merge, bounds, 8);
+        let tag = format!("{bounds}/{kernel}/{update}/{merge} at {level}");
+        prop_assert_eq!(&r.labels, &plain.labels, "{} labels diverged", &tag);
+        prop_assert_eq!(centroid_bits(&r.centroids), centroid_bits(&plain.centroids),
+            "{} centroid bits diverged", &tag);
+        prop_assert_eq!(r.objective.to_bits(), plain.objective.to_bits(),
+            "{} objective bits diverged", &tag);
+        prop_assert_eq!(r.iterations, plain.iterations, "{} iterations diverged", &tag);
+        prop_assert!(r.bounds.lloyd_equivalent > 0, "{} recorded no bounds work", &tag);
+    }
+}
+
+/// Fault storm over a bounded run: degraded iterations conservatively
+/// reset the bound state (counted in `bounds_resets`), and the recovered
+/// run still reproduces the fault-free *unbounded* baseline bit for bit
+/// on every level.
+#[test]
+fn fault_storm_resets_bounds_without_breaking_bit_identity() {
+    let blobs = GaussianMixture::new(240, 8, 5)
+        .with_seed(13)
+        .with_spread(25.0)
+        .generate::<f64>();
+    let init = init_centroids(&blobs.data, 5, InitMethod::KMeansPlusPlus, 4);
+    for level in [Level::L1, Level::L2, Level::L3] {
+        let fitter = HierKMeans::new(level)
+            .with_units(4)
+            .with_group_units(if level == Level::L1 { 1 } else { 2 })
+            .with_cpes_per_cg(3)
+            .with_bounds(BoundsMode::Yinyang)
+            .with_max_iters(8)
+            .with_tol(0.0);
+        let baseline = fitter
+            .clone()
+            .with_bounds(BoundsMode::None)
+            .fit(&blobs.data, init.clone())
+            .unwrap();
+        let storm = FaultPlan::seeded(5, 0.25)
+            .with_delay_ms(6)
+            .with_restart_ms(2)
+            .with_degrade_every(2);
+        let r = fitter
+            .with_faults(storm)
+            .fit(&blobs.data, init.clone())
+            .unwrap();
+        assert_eq!(r.labels, baseline.labels, "{level}: labels diverged");
+        assert_eq!(
+            centroid_bits(&r.centroids),
+            centroid_bits(&baseline.centroids),
+            "{level}: centroid bits diverged"
+        );
+        assert_eq!(
+            r.objective.to_bits(),
+            baseline.objective.to_bits(),
+            "{level}: objective bits diverged"
+        );
+        assert!(r.degraded_iterations > 0, "{level}: storm never degraded");
+        assert!(
+            r.bounds.resets > 0,
+            "{level}: degradation never reset bounds"
+        );
+        let reg = swkm_obs::MetricsRegistry::new();
+        r.export_metrics(&reg);
+        assert_eq!(reg.gauge("bounds_resets"), Some(r.bounds.resets as f64));
     }
 }
 
