@@ -1,0 +1,87 @@
+//! Reproducible load-ramp snapshot: drives the event-driven serve core
+//! through a deterministic 10× client swing (1 → 10 → 1) on the elastic
+//! shard pool and writes `BENCH_serve_ramp.json` (checked in at the repo
+//! root, regenerated with
+//! `cargo run --release -p bench --bin ramp_snapshot`).
+//!
+//! The snapshot is the committed form of the `tests/serve_ramp.rs`
+//! invariants: per-phase p50/p95/p99 and shed fraction, the elastic
+//! shard-count excursion, and the conservation total — every issued
+//! request completed, shed or failed.
+
+use kmeans_core::Matrix;
+use std::time::Duration;
+use swkm_obs::MetricsRegistry;
+use swkm_serve::{
+    run_ramp, DispatchConfig, ElasticConfig, RampConfig, Server, ServeTracing, ShardedIndex,
+};
+
+fn main() {
+    // The serving analogue of the census-like regime: a heavy k×d scan so
+    // queues actually form and the ramp exercises scaling.
+    let (k, d) = (256usize, 128usize);
+    let centroids = Matrix::from_vec(
+        k,
+        d,
+        (0..k * d).map(|i| (i as f32 * 0.37).sin()).collect(),
+    );
+    let queries = Matrix::from_vec(
+        64,
+        d,
+        (0..64 * d).map(|i| (i as f32 * 0.11).cos()).collect(),
+    );
+
+    let registry = MetricsRegistry::shared();
+    let server = Server::start_dispatch(
+        ShardedIndex::new(centroids, 4),
+        DispatchConfig {
+            queue_capacity: 4_096,
+            max_batch: 16,
+            linger: Duration::from_micros(100),
+            shards: ElasticConfig::elastic(1, 4),
+            shard_queue: 1,
+            tick: Duration::from_millis(1),
+            admission: None,
+        },
+        registry.clone(),
+        ServeTracing::default(),
+    );
+
+    let config = RampConfig {
+        base_clients: 1,
+        peak_clients: 10,
+        steps_up: 4,
+        requests_per_client: 300,
+    };
+    println!("ramp profile: {:?}", config.profile());
+    let ramp = run_ramp(&server, &queries, config);
+    println!("{ramp}");
+
+    // Let the lazy scale-down return the pool to the minimum before the
+    // gauges are read.
+    std::thread::sleep(Duration::from_millis(100));
+    let peak = registry.gauge("serve_shards_active_peak").unwrap_or(0.0);
+    let low = registry.gauge("serve_shards_active_low").unwrap_or(0.0);
+    let steals = registry.counter("serve_steal_total");
+    let snap = server.shutdown();
+
+    let mut json = ramp.to_json();
+    // Graft the server-side elasticity facts into the document: strip the
+    // closing brace and extend.
+    let body = json.trim_end().trim_end_matches('}').to_string();
+    json = format!(
+        "{body}  ,\"elastic\": {{\"shards_active_peak\": {peak}, \"shards_active_low\": {low}, \
+         \"steals\": {steals}, \"stranded\": {}}}\n}}\n",
+        snap.stranded
+    );
+    std::fs::write("BENCH_serve_ramp.json", &json).expect("write BENCH_serve_ramp.json");
+    println!("{json}");
+
+    assert!(ramp.conserved(), "ramp lost requests");
+    assert_eq!(snap.stranded, 0, "shutdown stranded requests");
+    assert!(
+        peak > low,
+        "the 10x swing must move the shard count (peak {peak}, low {low})"
+    );
+    println!("wrote BENCH_serve_ramp.json (shards {low}..{peak}, {steals} steals)");
+}

@@ -20,6 +20,9 @@
 //!                  [--store models/ --model-name census]
 //!                  [--model-churn 5 --churn-every-ms 20]
 //!                  [--trace-out trace.json --trace-sample 8]
+//!                  [--ramp --ramp-peak 20 --ramp-steps 4 --ramp-json ramp.json]
+//!                  [--elastic --min-shards 1 --max-shards 4]
+//!                  [--slo-p99-us 500] [--shard-queue 4] [--tick-us 2000]
 //! swkm store put  --dir models/ --model-name census --k 64 [--from model.swkm]
 //! swkm store list --dir models/
 //! swkm store gc   --dir models/
@@ -977,6 +980,74 @@ mod tests {
             "serve-bench --k 4 --n 128 --d 8 --clients 2 --requests 25 --max-iters 3",
         ))
         .unwrap();
+    }
+
+    #[test]
+    fn serve_bench_ramp_elastic_writes_conserving_phase_report() {
+        let dir = std::env::temp_dir().join("swkm_serve_ramp_test");
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        let ramp_json = dir.join("ramp.json");
+        let metrics_json = dir.join("metrics.json");
+        run(&argv(&format!(
+            "serve-bench --k 32 --n 512 --d 32 --clients 1 --requests 40 --max-iters 3 \
+             --batch 8 --linger-us 50 --ramp --ramp-peak 8 --ramp-steps 3 \
+             --elastic --min-shards 1 --max-shards 4 --shard-queue 1 --tick-us 1000 \
+             --ramp-json {} --metrics-json {}",
+            ramp_json.display(),
+            metrics_json.display()
+        )))
+        .unwrap();
+        let doc = std::fs::read_to_string(&ramp_json).unwrap();
+        assert!(doc.contains("\"conserved\": true"), "{doc}");
+        // 3 steps up, 2 mirrored down.
+        assert_eq!(doc.matches("\"p99_ns\"").count(), 5, "{doc}");
+        let metrics = std::fs::read_to_string(&metrics_json).unwrap();
+        for key in [
+            "serve_shards_active_peak",
+            "serve_shards_active_low",
+            "serve_steal_total",
+            "serve_stranded_requests",
+        ] {
+            assert!(metrics.contains(key), "metrics JSON missing `{key}`");
+        }
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn serve_bench_slo_flag_arms_admission_metrics() {
+        let json = std::env::temp_dir().join("swkm_serve_slo_test.json");
+        run(&argv(&format!(
+            "serve-bench --k 4 --n 128 --d 8 --clients 2 --requests 50 --max-iters 3 \
+             --slo-p99-us 500000 --metrics-json {}",
+            json.display()
+        )))
+        .unwrap();
+        let doc = std::fs::read_to_string(&json).unwrap();
+        // A half-second objective is never violated by this tiny model, but
+        // the gate and its gauges must be armed and exported.
+        for key in ["serve_admission_shed", "serve_predicted_p99_ns"] {
+            assert!(doc.contains(key), "metrics JSON missing `{key}`: {doc}");
+        }
+        std::fs::remove_file(&json).ok();
+    }
+
+    #[test]
+    fn serve_bench_ramp_and_elastic_flag_errors() {
+        assert!(run(&argv(
+            "serve-bench --k 2 --n 32 --d 4 --ramp --ramp-steps 0"
+        ))
+        .is_err());
+        assert!(run(&argv(
+            "serve-bench --k 2 --n 32 --d 4 --clients 8 --ramp --ramp-peak 2"
+        ))
+        .is_err());
+        assert!(run(&argv(
+            "serve-bench --k 2 --n 32 --d 4 --elastic --min-shards 4 --max-shards 2"
+        ))
+        .is_err());
+        assert!(run(&argv("serve-bench --k 2 --n 32 --d 4 --shard-queue 0")).is_err());
+        assert!(run(&argv("serve-bench --k 2 --n 32 --d 4 --tick-us 0")).is_err());
     }
 
     #[test]

@@ -12,6 +12,13 @@ use swkm_serve::prelude::*;
 /// The CLI works in `f32` end to end (the paper's serving precision).
 type Elem = f32;
 
+/// What a `serve-bench` run produced: one closed-loop report, or the
+/// per-phase reports of a `--ramp` run.
+enum BenchOutcome {
+    Single(LoadReport),
+    Ramp(RampReport),
+}
+
 /// Generate the query/training matrix for a named dataset — the same
 /// catalogue `fit` uses.
 fn dataset_matrix(args: &Args, k: usize) -> Result<Matrix<Elem>, String> {
@@ -217,19 +224,80 @@ pub fn cmd_serve_bench(args: &Args) -> Result<(), String> {
     if load.clients == 0 {
         return Err("--clients must be positive".into());
     }
+    // Event-core knobs: `--elastic` scales the worker pool between
+    // `--min-shards` and `--max-shards`; `--slo-p99-us` arms SLO-aware
+    // admission control; `--ramp` drives a base→peak→base client ramp.
+    let elastic = args.get_str("elastic").is_some();
+    let min_shards: usize = args.get_or("min-shards", 1usize)?;
+    let max_shards: usize = args.get_or("max-shards", pipeline.workers.max(min_shards))?;
+    if elastic && (min_shards == 0 || min_shards > max_shards) {
+        return Err("--elastic needs 0 < --min-shards <= --max-shards".into());
+    }
+    let slo_p99_us: u64 = args.get_or("slo-p99-us", 0u64)?;
+    let dispatch = DispatchConfig {
+        queue_capacity: pipeline.queue_capacity,
+        max_batch: pipeline.max_batch,
+        linger: pipeline.linger,
+        shards: if elastic {
+            ElasticConfig::elastic(min_shards, max_shards)
+        } else {
+            ElasticConfig::fixed(pipeline.workers)
+        },
+        shard_queue: args.get_or("shard-queue", 4usize)?,
+        tick: Duration::from_micros(args.get_or("tick-us", 2_000u64)?),
+        admission: if slo_p99_us > 0 {
+            Some(AdmissionConfig::with_slo_p99_ns(slo_p99_us * 1_000))
+        } else {
+            None
+        },
+    };
+    if dispatch.shard_queue == 0 || dispatch.tick.is_zero() {
+        return Err("--shard-queue and --tick-us must be positive".into());
+    }
+    let ramp = args.get_str("ramp").is_some().then(|| -> Result<_, String> {
+        Ok(RampConfig {
+            base_clients: load.clients,
+            peak_clients: args.get_or("ramp-peak", load.clients * 10)?,
+            steps_up: args.get_or("ramp-steps", 4usize)?,
+            requests_per_client: load.requests_per_client,
+        })
+    });
+    let ramp = ramp.transpose()?;
+    if let Some(r) = &ramp {
+        if r.steps_up == 0 || r.peak_clients < r.base_clients {
+            return Err("--ramp needs --ramp-steps > 0 and --ramp-peak >= --clients".into());
+        }
+    }
+    let worker_note = if elastic {
+        format!("{min_shards}..={max_shards} elastic worker(s)")
+    } else {
+        format!("{} worker(s)", pipeline.workers)
+    };
     println!(
-        "serve-bench: k={} d={} over {} shard(s); queue {}, {} worker(s), batch ≤ {}, \
+        "serve-bench: k={} d={} over {} shard(s); queue {}, {}, batch ≤ {}, \
          linger {:?}; {} closed-loop client(s) × {} request(s)",
         artifact.meta.k,
         artifact.meta.d,
         shards.clamp(1, artifact.meta.k),
         pipeline.queue_capacity,
-        pipeline.workers,
+        worker_note,
         pipeline.max_batch,
         pipeline.linger,
         load.clients,
         load.requests_per_client
     );
+    if let Some(r) = &ramp {
+        println!(
+            "ramp: {} → {} client(s) over {} step(s) (profile {:?})",
+            r.base_clients,
+            r.peak_clients,
+            r.steps_up,
+            r.profile()
+        );
+    }
+    if slo_p99_us > 0 {
+        println!("admission control: p99 objective {slo_p99_us} µs");
+    }
     // `--faults kill-shards=0+2,kill-after-ms=50`: crash the listed shards
     // that long into the load run; the pipeline re-dispatches to the
     // survivors and marks replies degraded.
@@ -259,7 +327,7 @@ pub fn cmd_serve_bench(args: &Args) -> Result<(), String> {
         }
         None => ServeTracing::default(),
     };
-    let server = Server::start_traced(index, pipeline, Arc::clone(&registry), tracing);
+    let server = Server::start_dispatch(index, dispatch, Arc::clone(&registry), tracing);
 
     // `--model-churn N`: publish + hot-swap N perturbed generations while
     // the load runs.
@@ -365,11 +433,27 @@ pub fn cmd_serve_bench(args: &Args) -> Result<(), String> {
                 }
             });
         }
-        let report = run_closed_loop(&server, &queries, load);
+        let outcome = match &ramp {
+            Some(r) => BenchOutcome::Ramp(run_ramp(&server, &queries, *r)),
+            None => BenchOutcome::Single(run_closed_loop(&server, &queries, load)),
+        };
         stop.store(true, Ordering::Relaxed);
-        report
+        outcome
     });
-    println!("{report}");
+    match &report {
+        BenchOutcome::Single(single) => println!("{single}"),
+        BenchOutcome::Ramp(ramp_report) => {
+            println!("{ramp_report}");
+            if let Some(path) = args.get_str("ramp-json") {
+                std::fs::write(path, ramp_report.to_json())
+                    .map_err(|e| format!("--ramp-json {path}: {e}"))?;
+                println!("wrote per-phase ramp report to {path}");
+            }
+            if !ramp_report.conserved() {
+                return Err("ramp lost requests: issued != completed + shed + failed".into());
+            }
+        }
+    }
     // Interpolated log₂-bucket quantiles — tighter than the Snapshot's
     // bucket upper bounds, so this is the line to read for real latency.
     let q = |name: &str, q: f64| {

@@ -1,0 +1,370 @@
+//! SLO-aware admission control and elastic shard scaling, written as
+//! *pure* decision functions so the policies are property-testable without
+//! threads, channels or clocks.
+//!
+//! The admission controller sheds by **predicted p99**, not raw queue
+//! depth: every dispatcher tick it swaps out the windowed log₂ latency
+//! histogram the workers recorded into, reads its interpolated
+//! [`Histogram::quantile`]`(0.99)`, smooths it with an EWMA, and compares
+//! the estimate against *hysteresis watermarks* around the SLO —
+//! shedding starts above `high_watermark × slo` and only stops again
+//! below `low_watermark × slo`, so a latency estimate hovering at the
+//! threshold cannot flap admission open/closed every tick.
+//!
+//! The elastic scaler is the same shape: a pure `tick` observing ingress
+//! pressure and shard busyness, returning a [`ScaleDecision`] the
+//! dispatcher applies. Scale-up is eager (one tick of queue pressure);
+//! scale-down is lazy (a sustained run of ticks with an idle shard), so a
+//! bursty workload ratchets capacity up quickly and releases it slowly.
+
+use sw_des::stats::Histogram;
+
+/// Watermark-based admission policy around a p99 latency SLO.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AdmissionConfig {
+    /// The p99 latency objective, in nanoseconds. Must be positive.
+    pub slo_p99_ns: u64,
+    /// Stop shedding when predicted p99 falls below `low_watermark × slo`.
+    pub low_watermark: f64,
+    /// Start shedding when predicted p99 rises above `high_watermark × slo`.
+    pub high_watermark: f64,
+    /// Minimum samples in a window before its quantile updates the
+    /// estimate; smaller windows are noise and keep the previous estimate.
+    pub min_window: u64,
+    /// EWMA weight of the newest window's p99, in `(0, 1]`. 1.0 disables
+    /// smoothing entirely.
+    pub smoothing: f64,
+}
+
+impl AdmissionConfig {
+    /// Default watermarks (70% / 100% of the SLO) around a p99 objective.
+    pub fn with_slo_p99_ns(slo_p99_ns: u64) -> Self {
+        AdmissionConfig {
+            slo_p99_ns,
+            low_watermark: 0.7,
+            high_watermark: 1.0,
+            min_window: 16,
+            smoothing: 0.5,
+        }
+    }
+}
+
+/// Predicted tail latency of a window: the interpolated p99 of its
+/// log₂-bucket histogram (0.0 for an empty window).
+pub fn predicted_p99_ns(window: &Histogram) -> f64 {
+    window.quantile(0.99)
+}
+
+/// The admission decision state machine. Deterministic: feed it the same
+/// sequence of windows and it makes the same sequence of decisions.
+#[derive(Debug, Clone)]
+pub struct AdmissionController {
+    config: AdmissionConfig,
+    predicted_p99_ns: f64,
+    shedding: bool,
+}
+
+impl AdmissionController {
+    pub fn new(config: AdmissionConfig) -> Self {
+        assert!(config.slo_p99_ns > 0, "SLO must be positive");
+        assert!(
+            config.low_watermark > 0.0 && config.low_watermark <= config.high_watermark,
+            "watermarks must satisfy 0 < low <= high"
+        );
+        assert!(
+            config.smoothing > 0.0 && config.smoothing <= 1.0,
+            "smoothing must be in (0, 1]"
+        );
+        AdmissionController {
+            config,
+            predicted_p99_ns: 0.0,
+            shedding: false,
+        }
+    }
+
+    pub fn config(&self) -> &AdmissionConfig {
+        &self.config
+    }
+
+    /// The current EWMA-smoothed p99 estimate, in nanoseconds.
+    pub fn predicted_p99_ns(&self) -> f64 {
+        self.predicted_p99_ns
+    }
+
+    /// Whether admission is currently shedding.
+    pub fn shedding(&self) -> bool {
+        self.shedding
+    }
+
+    /// Feed one tick's latency window; returns the new shedding decision.
+    ///
+    /// * A window with at least `min_window` samples updates the estimate
+    ///   (EWMA, seeded directly by the first real window).
+    /// * An *empty* window decays the estimate geometrically toward zero —
+    ///   a server that shed itself idle must eventually re-open, otherwise
+    ///   shedding is a one-way door (no completions → no samples → no
+    ///   evidence the tail recovered).
+    /// * A small-but-nonempty window keeps the previous estimate.
+    pub fn observe_window(&mut self, window: &Histogram) -> bool {
+        let alpha = self.config.smoothing;
+        if window.count() >= self.config.min_window {
+            let p99 = predicted_p99_ns(window);
+            self.predicted_p99_ns = if self.predicted_p99_ns == 0.0 {
+                p99
+            } else {
+                alpha * p99 + (1.0 - alpha) * self.predicted_p99_ns
+            };
+        } else if window.count() == 0 {
+            self.predicted_p99_ns *= 1.0 - alpha;
+        }
+        let slo = self.config.slo_p99_ns as f64;
+        if self.predicted_p99_ns > self.config.high_watermark * slo {
+            self.shedding = true;
+        } else if self.predicted_p99_ns < self.config.low_watermark * slo {
+            self.shedding = false;
+        }
+        // Between the watermarks: hold the previous decision (hysteresis).
+        self.shedding
+    }
+}
+
+/// Elastic shard-count policy: how many micro-batch workers may be active.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ElasticConfig {
+    /// Shards always kept active.
+    pub min_shards: usize,
+    /// Upper bound on active shards (worker channels are provisioned for
+    /// this many up front, so scale-up never allocates).
+    pub max_shards: usize,
+    /// Ingress-queue occupancy fraction that triggers eager scale-up.
+    pub scale_up_occupancy: f64,
+    /// Consecutive calm ticks (ingress empty, at least one shard idle)
+    /// before one shard is deactivated.
+    pub scale_down_idle_ticks: u32,
+}
+
+impl ElasticConfig {
+    /// A fixed-size pool: `n` shards, never scaled.
+    pub fn fixed(n: usize) -> Self {
+        ElasticConfig {
+            min_shards: n,
+            max_shards: n,
+            scale_up_occupancy: 0.5,
+            scale_down_idle_ticks: 3,
+        }
+    }
+
+    /// An elastic pool ranging over `[min, max]` shards.
+    pub fn elastic(min_shards: usize, max_shards: usize) -> Self {
+        ElasticConfig {
+            min_shards,
+            max_shards,
+            scale_up_occupancy: 0.5,
+            scale_down_idle_ticks: 3,
+        }
+    }
+
+    pub fn is_elastic(&self) -> bool {
+        self.max_shards > self.min_shards
+    }
+}
+
+/// What the dispatcher should do with the active shard count this tick.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ScaleDecision {
+    Hold,
+    /// Activate one more shard.
+    Up,
+    /// Deactivate one shard.
+    Down,
+}
+
+/// The scale-up/scale-down state machine; pure and clockless (time is
+/// whatever cadence the caller invokes [`ElasticScaler::tick`] at).
+#[derive(Debug, Clone, Copy)]
+pub struct ElasticScaler {
+    config: ElasticConfig,
+    idle_ticks: u32,
+}
+
+impl ElasticScaler {
+    pub fn new(config: ElasticConfig) -> Self {
+        assert!(config.min_shards >= 1, "need at least one worker shard");
+        assert!(
+            config.min_shards <= config.max_shards,
+            "min_shards must not exceed max_shards"
+        );
+        assert!(
+            config.scale_up_occupancy > 0.0,
+            "scale-up occupancy must be positive"
+        );
+        ElasticScaler {
+            config,
+            idle_ticks: 0,
+        }
+    }
+
+    pub fn config(&self) -> &ElasticConfig {
+        &self.config
+    }
+
+    /// Reset the idle streak — called when the dispatcher scales up out of
+    /// band (all shard queues full while routing a batch).
+    pub fn note_pressure(&mut self) {
+        self.idle_ticks = 0;
+    }
+
+    /// One policy tick.
+    ///
+    /// * `active` — currently active shards.
+    /// * `ingress_depth` / `ingress_capacity` — admission-queue occupancy.
+    /// * `busy_batches` — batches queued at or executing on active shards
+    ///   (plus any the dispatcher is holding back).
+    ///
+    /// Scale **up** when the ingress queue is pressured or every active
+    /// shard already has work. Scale **down** only after
+    /// `scale_down_idle_ticks` consecutive ticks in which the ingress
+    /// queue was empty and at least one shard had nothing to do.
+    pub fn tick(
+        &mut self,
+        active: usize,
+        ingress_depth: usize,
+        ingress_capacity: usize,
+        busy_batches: usize,
+    ) -> ScaleDecision {
+        let pressured = ingress_depth > 0
+            && ingress_depth as f64 >= self.config.scale_up_occupancy * ingress_capacity as f64;
+        if (pressured || busy_batches > active) && active < self.config.max_shards {
+            self.idle_ticks = 0;
+            return ScaleDecision::Up;
+        }
+        if ingress_depth == 0 && busy_batches < active && active > self.config.min_shards {
+            self.idle_ticks += 1;
+            if self.idle_ticks >= self.config.scale_down_idle_ticks {
+                self.idle_ticks = 0;
+                return ScaleDecision::Down;
+            }
+        } else {
+            self.idle_ticks = 0;
+        }
+        ScaleDecision::Hold
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn window_of(samples: &[u64]) -> Histogram {
+        let mut h = Histogram::new();
+        for &s in samples {
+            h.record(s);
+        }
+        h
+    }
+
+    #[test]
+    fn sheds_above_high_watermark_and_recovers_below_low() {
+        let mut c = AdmissionController::new(AdmissionConfig {
+            slo_p99_ns: 1_000,
+            low_watermark: 0.5,
+            high_watermark: 1.0,
+            min_window: 4,
+            smoothing: 1.0,
+        });
+        assert!(!c.shedding());
+        assert!(c.observe_window(&window_of(&[4_000; 8])), "4µs ≫ 1µs SLO");
+        assert!(c.shedding());
+        // Recovery: a fast window pulls the estimate under the low mark.
+        assert!(!c.observe_window(&window_of(&[100; 8])));
+        assert!(!c.shedding());
+    }
+
+    #[test]
+    fn hysteresis_holds_between_watermarks() {
+        let mut c = AdmissionController::new(AdmissionConfig {
+            slo_p99_ns: 1_000,
+            low_watermark: 0.5,
+            high_watermark: 1.5,
+            min_window: 1,
+            smoothing: 1.0,
+        });
+        // ~1.0× SLO sits inside the dead band: decision must not change.
+        assert!(!c.observe_window(&window_of(&[1_000; 8])));
+        // Blow past the high mark: shed.
+        assert!(c.observe_window(&window_of(&[1 << 14; 8])));
+        // Back inside the dead band: still shedding (no flap).
+        assert!(c.observe_window(&window_of(&[1_000; 8])));
+        // Under the low mark: recover.
+        assert!(!c.observe_window(&window_of(&[64; 8])));
+    }
+
+    #[test]
+    fn small_windows_keep_the_estimate_and_empty_windows_decay_it() {
+        let mut c = AdmissionController::new(AdmissionConfig {
+            slo_p99_ns: 1_000,
+            low_watermark: 0.7,
+            high_watermark: 1.0,
+            min_window: 8,
+            smoothing: 0.5,
+        });
+        assert!(c.observe_window(&window_of(&[1 << 13; 16])));
+        let est = c.predicted_p99_ns();
+        // Below min_window: estimate (and decision) unchanged.
+        assert!(c.observe_window(&window_of(&[1; 2])));
+        assert_eq!(c.predicted_p99_ns(), est);
+        // Empty windows decay geometrically until the gate re-opens —
+        // shedding must not be a one-way door.
+        let empty = Histogram::new();
+        let mut reopened = false;
+        for _ in 0..64 {
+            if !c.observe_window(&empty) {
+                reopened = true;
+                break;
+            }
+        }
+        assert!(reopened, "empty windows never re-opened admission");
+        assert!(c.predicted_p99_ns() < est);
+    }
+
+    #[test]
+    fn scaler_ratchets_up_eagerly_and_down_lazily() {
+        let mut s = ElasticScaler::new(ElasticConfig::elastic(1, 4));
+        // Pressure on the ingress queue: up, immediately.
+        assert_eq!(s.tick(1, 100, 128, 1), ScaleDecision::Up);
+        // Every shard busy (more batches than shards): also up.
+        assert_eq!(s.tick(2, 0, 128, 3), ScaleDecision::Up);
+        // Calm but not idle long enough: hold for N-1 ticks, then down.
+        assert_eq!(s.tick(3, 0, 128, 1), ScaleDecision::Hold);
+        assert_eq!(s.tick(3, 0, 128, 1), ScaleDecision::Hold);
+        assert_eq!(s.tick(3, 0, 128, 1), ScaleDecision::Down);
+        // A busy blip resets the idle streak.
+        assert_eq!(s.tick(2, 0, 128, 1), ScaleDecision::Hold);
+        assert_eq!(s.tick(2, 0, 128, 2), ScaleDecision::Hold);
+        assert_eq!(s.tick(2, 0, 128, 1), ScaleDecision::Hold);
+        assert_eq!(s.tick(2, 0, 128, 1), ScaleDecision::Hold);
+        assert_eq!(s.tick(2, 0, 128, 1), ScaleDecision::Down);
+    }
+
+    #[test]
+    fn scaler_respects_bounds() {
+        let mut s = ElasticScaler::new(ElasticConfig::elastic(1, 2));
+        // At max: pressure cannot push above max_shards.
+        assert_eq!(s.tick(2, 128, 128, 8), ScaleDecision::Hold);
+        // At min: idleness cannot drop below min_shards.
+        let mut s = ElasticScaler::new(ElasticConfig::elastic(2, 4));
+        for _ in 0..16 {
+            assert_eq!(s.tick(2, 0, 128, 0), ScaleDecision::Hold);
+        }
+    }
+
+    #[test]
+    fn fixed_pool_never_scales() {
+        let mut s = ElasticScaler::new(ElasticConfig::fixed(2));
+        assert!(!s.config().is_elastic());
+        assert_eq!(s.tick(2, 128, 128, 10), ScaleDecision::Hold);
+        for _ in 0..16 {
+            assert_eq!(s.tick(2, 0, 128, 0), ScaleDecision::Hold);
+        }
+    }
+}

@@ -13,6 +13,16 @@ pub enum ServeError {
         /// Configured admission-queue capacity.
         capacity: usize,
     },
+    /// SLO-aware admission control shed the request: the predicted p99
+    /// (EWMA over windowed latency histograms) exceeds the configured
+    /// objective's high watermark. Distinct from [`ServeError::Overloaded`]
+    /// — the queue may have had room; the *tail latency* did not.
+    SloShed {
+        /// The controller's p99 estimate at rejection time, microseconds.
+        predicted_p99_us: u64,
+        /// The configured p99 objective, microseconds.
+        slo_p99_us: u64,
+    },
     /// The server is draining and no longer admits work.
     ShuttingDown,
     /// The sample's dimensionality does not match the model's.
@@ -34,6 +44,13 @@ impl std::fmt::Display for ServeError {
             } => write!(
                 f,
                 "overloaded: admission queue at {queue_depth}/{capacity}, request shed"
+            ),
+            ServeError::SloShed {
+                predicted_p99_us,
+                slo_p99_us,
+            } => write!(
+                f,
+                "slo-shed: predicted p99 {predicted_p99_us}µs exceeds the {slo_p99_us}µs objective, request shed"
             ),
             ServeError::ShuttingDown => write!(f, "server is shutting down"),
             ServeError::DimensionMismatch { expected, got } => {
@@ -65,5 +82,11 @@ mod tests {
         }
         .to_string()
         .contains("expects 4"));
+        let shed = ServeError::SloShed {
+            predicted_p99_us: 950,
+            slo_p99_us: 500,
+        };
+        assert!(shed.to_string().contains("950µs"));
+        assert!(shed.to_string().contains("500µs"));
     }
 }

@@ -15,20 +15,30 @@
 //!   re-dispatch to the survivors, marking replies degraded and counting
 //!   `shard_failovers`; with every shard down requests fail with a typed
 //!   [`error::ServeError::AllShardsDown`] instead of being lost.
-//! * [`pipeline`] — a multi-threaded request pipeline over bounded
-//!   crossbeam channels: `try_send` admission (typed
-//!   [`error::ServeError::Overloaded`] load shedding), adaptive
-//!   micro-batching, rayon shard fan-out, graceful drain on shutdown.
-//!   The model sits in a hot-swappable [`pipeline::ModelSlot`]: each batch
-//!   pins one generation for its whole scan, and
-//!   [`pipeline::Server::swap_model`] installs a new generation with zero
-//!   downtime — the durable end of that hand-off is the `swkm-store`
-//!   crate's versioned model store.
+//! * [`pipeline`] — the public handles (server, client, hot-swappable
+//!   [`pipeline::ModelSlot`]) around the event-driven serve core:
+//!   `try_send` admission (typed [`error::ServeError::Overloaded`] load
+//!   shedding), adaptive micro-batching, rayon shard fan-out, graceful
+//!   drain on shutdown. Each batch pins one model generation for its
+//!   whole scan, and [`pipeline::Server::swap_model`] installs a new
+//!   generation with zero downtime — the durable end of that hand-off is
+//!   the `swkm-store` crate's versioned model store.
+//! * [`dispatch`] — the select-based dispatcher behind the pipeline: one
+//!   thread multiplexes client ingress, shard completions, control
+//!   notifications and policy ticks via `crossbeam_channel::Select`,
+//!   routes micro-batches to elastic shard workers (lazy spawn, eager
+//!   scale-up, lazy scale-down, work stealing between peers) and audits
+//!   every channel for stranded requests at shutdown.
+//! * [`admission`] — SLO-aware admission control as pure, property-tested
+//!   policy: predicted p99 from windowed log₂ histograms, EWMA smoothing
+//!   and hysteresis watermarks ([`error::ServeError::SloShed`]), plus the
+//!   elastic scale-up/down state machine.
 //! * [`metrics`] — throughput counters and per-stage log₂ latency
 //!   histograms (shared with the simulator's `sw_des::stats`), exposed as
 //!   a printable [`metrics::Snapshot`].
 //! * [`loadgen`] — a closed-loop load generator reporting QPS and
-//!   p50/p99 latency, used by `swkm serve-bench`.
+//!   p50/p95/p99 latency, used by `swkm serve-bench`, plus the
+//!   deterministic load-ramp driver behind `serve-bench --ramp`.
 //!
 //! End to end:
 //!
@@ -62,26 +72,41 @@
 //! assert_eq!(snapshot.completed, 2);
 //! ```
 
+pub mod admission;
 pub mod artifact;
+pub mod dispatch;
 pub mod error;
 pub mod index;
 pub mod loadgen;
 pub mod metrics;
 pub mod pipeline;
 
+pub use admission::{
+    predicted_p99_ns, AdmissionConfig, AdmissionController, ElasticConfig, ElasticScaler,
+    ScaleDecision,
+};
 pub use artifact::{ArtifactError, ModelArtifact, ModelMeta, FORMAT_VERSION, MAGIC};
+pub use dispatch::DispatchConfig;
 pub use error::ServeError;
 pub use index::{BatchOutcome, Kernel, ShardedIndex};
-pub use loadgen::{run_closed_loop, LoadGenConfig, LoadReport};
+pub use loadgen::{
+    run_closed_loop, run_ramp, LoadGenConfig, LoadReport, RampConfig, RampPhase, RampReport,
+};
 pub use metrics::{ServeMetrics, Snapshot, EXEMPLAR_K};
 pub use pipeline::{Client, ModelSlot, PipelineConfig, Prediction, ServeTracing, Server};
 
 /// One-stop imports for serving call sites.
 pub mod prelude {
+    pub use crate::admission::{
+        AdmissionConfig, AdmissionController, ElasticConfig, ElasticScaler, ScaleDecision,
+    };
     pub use crate::artifact::{ArtifactError, ModelArtifact, ModelMeta};
+    pub use crate::dispatch::DispatchConfig;
     pub use crate::error::ServeError;
     pub use crate::index::{BatchOutcome, Kernel, ShardedIndex};
-    pub use crate::loadgen::{run_closed_loop, LoadGenConfig, LoadReport};
+    pub use crate::loadgen::{
+        run_closed_loop, run_ramp, LoadGenConfig, LoadReport, RampConfig, RampPhase, RampReport,
+    };
     pub use crate::metrics::Snapshot;
     pub use crate::pipeline::{
         Client, ModelSlot, PipelineConfig, Prediction, ServeTracing, Server,

@@ -1,8 +1,14 @@
 //! Closed-loop load generator for `serve-bench`: `clients` threads each
 //! issue requests back-to-back (the next request waits for the previous
 //! reply), cycling through a pool of query samples. Shed requests
-//! ([`ServeError::Overloaded`]) are counted, not retried — the report
-//! shows exactly how much load the configured queue admitted.
+//! ([`ServeError::Overloaded`] and [`ServeError::SloShed`]) are counted,
+//! not retried — the report shows exactly how much load the configured
+//! queue and SLO gate admitted.
+//!
+//! [`run_ramp`] layers a deterministic load *ramp* on top: client count
+//! climbs linearly from `base_clients` to `peak_clients` and back down,
+//! one closed-loop phase per step, so elastic scaling and admission
+//! control can be exercised (and asserted on) reproducibly.
 
 use crate::error::ServeError;
 use crate::pipeline::Server;
@@ -33,7 +39,8 @@ impl Default for LoadGenConfig {
 pub struct LoadReport {
     pub issued: u64,
     pub completed: u64,
-    /// Requests shed with [`ServeError::Overloaded`].
+    /// Requests shed with [`ServeError::Overloaded`] or
+    /// [`ServeError::SloShed`].
     pub shed: u64,
     /// Completed requests answered over a subset of the shards
     /// ([`Prediction::degraded`](crate::pipeline::Prediction::degraded)).
@@ -47,6 +54,7 @@ pub struct LoadReport {
     /// End-to-end latency quantiles over completed requests
     /// (log₂-bucket upper bounds).
     pub p50_ns: u64,
+    pub p95_ns: u64,
     pub p99_ns: u64,
 }
 
@@ -64,7 +72,7 @@ impl std::fmt::Display for LoadReport {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         write!(
             f,
-            "{} issued, {} completed ({} degraded), {} shed ({:.1}%), {} failed in {:.2?} — {:.0} QPS, p50 {:.1}µs, p99 {:.1}µs",
+            "{} issued, {} completed ({} degraded), {} shed ({:.1}%), {} failed in {:.2?} — {:.0} QPS, p50 {:.1}µs, p95 {:.1}µs, p99 {:.1}µs",
             self.issued,
             self.completed,
             self.degraded,
@@ -74,6 +82,7 @@ impl std::fmt::Display for LoadReport {
             self.elapsed,
             self.qps,
             self.p50_ns as f64 / 1e3,
+            self.p95_ns as f64 / 1e3,
             self.p99_ns as f64 / 1e3
         )
     }
@@ -112,7 +121,8 @@ pub fn run_closed_loop<S: Scalar>(
                                     degraded += 1;
                                 }
                             }
-                            Err(ServeError::Overloaded { .. }) => shed += 1,
+                            Err(ServeError::Overloaded { .. })
+                            | Err(ServeError::SloShed { .. }) => shed += 1,
                             // Shard crashes mid-run are an expected fault-
                             // injection outcome: count them, don't panic.
                             Err(_) => failed += 1,
@@ -144,8 +154,193 @@ pub fn run_closed_loop<S: Scalar>(
         elapsed,
         qps: completed as f64 / elapsed.as_secs_f64().max(1e-9),
         p50_ns: latency.quantile_upper_bound(0.5),
+        p95_ns: latency.quantile_upper_bound(0.95),
         p99_ns: latency.quantile_upper_bound(0.99),
     }
+}
+
+/// Parameters for a deterministic load ramp: client count climbs
+/// linearly from `base_clients` to `peak_clients` over `steps_up`
+/// phases, then mirrors back down (the peak phase is not repeated).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RampConfig {
+    /// Clients in the first (and last) phase.
+    pub base_clients: usize,
+    /// Clients at the top of the ramp.
+    pub peak_clients: usize,
+    /// Phases from base to peak, inclusive of both endpoints.
+    pub steps_up: usize,
+    /// Requests each client issues per phase.
+    pub requests_per_client: usize,
+}
+
+impl Default for RampConfig {
+    fn default() -> Self {
+        RampConfig {
+            base_clients: 1,
+            peak_clients: 10,
+            steps_up: 4,
+            requests_per_client: 500,
+        }
+    }
+}
+
+impl RampConfig {
+    /// The per-phase client counts: `steps_up` points interpolated from
+    /// base to peak, then the same points mirrored back down without
+    /// repeating the peak. `base 1, peak 10, steps 4` → `[1, 4, 7, 10,
+    /// 7, 4, 1]`.
+    pub fn profile(&self) -> Vec<usize> {
+        assert!(self.base_clients > 0, "need at least one base client");
+        assert!(
+            self.peak_clients >= self.base_clients,
+            "peak must be at least the base client count"
+        );
+        assert!(self.steps_up >= 1, "need at least one ramp step");
+        let mut up: Vec<usize> = if self.steps_up == 1 {
+            vec![self.peak_clients]
+        } else {
+            let span = (self.peak_clients - self.base_clients) as f64;
+            let denom = (self.steps_up - 1) as f64;
+            (0..self.steps_up)
+                .map(|i| self.base_clients + (span * i as f64 / denom).round() as usize)
+                .collect()
+        };
+        let down: Vec<usize> = up.iter().rev().skip(1).copied().collect();
+        up.extend(down);
+        up
+    }
+}
+
+/// One phase of a ramp: the client count driven and what came back.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RampPhase {
+    pub clients: usize,
+    pub report: LoadReport,
+}
+
+/// Full result of a ramp run, one entry per phase in profile order.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RampReport {
+    pub phases: Vec<RampPhase>,
+}
+
+impl RampReport {
+    pub fn issued(&self) -> u64 {
+        self.phases.iter().map(|p| p.report.issued).sum()
+    }
+
+    pub fn completed(&self) -> u64 {
+        self.phases.iter().map(|p| p.report.completed).sum()
+    }
+
+    pub fn shed(&self) -> u64 {
+        self.phases.iter().map(|p| p.report.shed).sum()
+    }
+
+    pub fn failed(&self) -> u64 {
+        self.phases.iter().map(|p| p.report.failed).sum()
+    }
+
+    /// The load-generator side of the conservation invariant: every
+    /// issued request came back as a completion, a shed, or a typed
+    /// failure. Holds per phase, so it holds for the whole ramp.
+    pub fn conserved(&self) -> bool {
+        self.phases
+            .iter()
+            .all(|p| p.report.issued == p.report.completed + p.report.shed + p.report.failed)
+    }
+
+    /// Largest per-phase p99 across the ramp, nanoseconds.
+    pub fn worst_p99_ns(&self) -> u64 {
+        self.phases.iter().map(|p| p.report.p99_ns).max().unwrap_or(0)
+    }
+
+    /// The ramp as a JSON document (no serde in the workspace): one
+    /// object per phase with latency quantiles and shed fraction, plus
+    /// the totals — the schema behind `BENCH_serve_ramp.json` and
+    /// `serve-bench --ramp-json`.
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("{\n  \"phases\": [\n");
+        for (i, phase) in self.phases.iter().enumerate() {
+            let r = &phase.report;
+            out.push_str(&format!(
+                "    {{\"clients\": {}, \"issued\": {}, \"completed\": {}, \"shed\": {}, \
+                 \"failed\": {}, \"shed_fraction\": {:.6}, \"qps\": {:.1}, \
+                 \"p50_ns\": {}, \"p95_ns\": {}, \"p99_ns\": {}}}{}\n",
+                phase.clients,
+                r.issued,
+                r.completed,
+                r.shed,
+                r.failed,
+                r.shed_fraction(),
+                r.qps,
+                r.p50_ns,
+                r.p95_ns,
+                r.p99_ns,
+                if i + 1 < self.phases.len() { "," } else { "" }
+            ));
+        }
+        out.push_str(&format!(
+            "  ],\n  \"total\": {{\"issued\": {}, \"completed\": {}, \"shed\": {}, \
+             \"failed\": {}, \"conserved\": {}, \"worst_p99_ns\": {}}}\n}}\n",
+            self.issued(),
+            self.completed(),
+            self.shed(),
+            self.failed(),
+            self.conserved(),
+            self.worst_p99_ns()
+        ));
+        out
+    }
+}
+
+impl std::fmt::Display for RampReport {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        for (i, phase) in self.phases.iter().enumerate() {
+            writeln!(
+                f,
+                "phase {i} ({} client(s)): {}",
+                phase.clients, phase.report
+            )?;
+        }
+        write!(
+            f,
+            "ramp total: {} issued, {} completed, {} shed, {} failed, conserved={}",
+            self.issued(),
+            self.completed(),
+            self.shed(),
+            self.failed(),
+            self.conserved()
+        )
+    }
+}
+
+/// Drive the ramp profile against a running server, one closed-loop
+/// phase per step. Phases run back-to-back; between phases all clients
+/// from the previous phase have drained (closed-loop clients join
+/// before the phase returns), so the server sees a clean step change.
+pub fn run_ramp<S: Scalar>(
+    server: &Server<S>,
+    queries: &Matrix<S>,
+    config: RampConfig,
+) -> RampReport {
+    let phases = config
+        .profile()
+        .into_iter()
+        .map(|clients| {
+            let report = run_closed_loop(
+                server,
+                queries,
+                LoadGenConfig {
+                    clients,
+                    requests_per_client: config.requests_per_client,
+                },
+            );
+            RampPhase { clients, report }
+        })
+        .collect();
+    RampReport { phases }
 }
 
 #[cfg(test)]
@@ -173,6 +368,58 @@ mod tests {
         assert!(report.qps > 0.0);
         let line = report.to_string();
         assert!(line.contains("QPS"));
+        server.shutdown();
+    }
+
+    #[test]
+    fn ramp_profile_mirrors_up_and_down() {
+        let config = RampConfig {
+            base_clients: 1,
+            peak_clients: 10,
+            steps_up: 4,
+            requests_per_client: 1,
+        };
+        assert_eq!(config.profile(), vec![1, 4, 7, 10, 7, 4, 1]);
+        let flat = RampConfig {
+            base_clients: 3,
+            peak_clients: 3,
+            steps_up: 2,
+            requests_per_client: 1,
+        };
+        assert_eq!(flat.profile(), vec![3, 3, 3]);
+        let single = RampConfig {
+            base_clients: 2,
+            peak_clients: 8,
+            steps_up: 1,
+            requests_per_client: 1,
+        };
+        assert_eq!(single.profile(), vec![8]);
+    }
+
+    #[test]
+    fn ramp_run_conserves_requests() {
+        let centroids = Matrix::from_rows(&[&[0.0f64, 0.0], &[5.0, 5.0]]);
+        let server = Server::start(ShardedIndex::new(centroids, 2), PipelineConfig::default());
+        let queries = Matrix::from_rows(&[&[0.1f64, 0.1], &[4.9, 5.1]]);
+        let ramp = run_ramp(
+            &server,
+            &queries,
+            RampConfig {
+                base_clients: 1,
+                peak_clients: 3,
+                steps_up: 2,
+                requests_per_client: 20,
+            },
+        );
+        assert_eq!(ramp.phases.len(), 3);
+        assert!(ramp.conserved());
+        assert_eq!(ramp.issued(), 20 + 60 + 20);
+        assert_eq!(ramp.completed(), 100);
+        assert!(ramp.to_string().contains("conserved=true"));
+        let json = ramp.to_json();
+        assert!(json.contains("\"conserved\": true"));
+        assert!(json.contains("\"clients\": 3"));
+        assert_eq!(json.matches("\"p99_ns\"").count(), 3, "one per phase");
         server.shutdown();
     }
 }

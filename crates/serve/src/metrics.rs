@@ -68,6 +68,15 @@ impl ServeMetrics {
         registry.counter_add("serve_failed", 0);
         registry.counter_add("shard_failovers", 0);
         registry.counter_add("serve_model_swaps", 0);
+        // Event-core counters/gauges, pre-registered for the same reason:
+        // "no sheds / no steals / no scaling / nothing stranded" must be
+        // assertable from the export, not inferred from absent keys.
+        registry.counter_add("serve_rejected", 0);
+        registry.counter_add("serve_admission_shed", 0);
+        registry.counter_add("serve_steal_total", 0);
+        registry.counter_add("serve_scale_up_total", 0);
+        registry.counter_add("serve_scale_down_total", 0);
+        registry.gauge_set("serve_stranded_requests", 0.0);
         ServeMetrics {
             registry,
             started: Instant::now(),
@@ -112,6 +121,76 @@ impl ServeMetrics {
         self.registry
             .gauge_set("serve_model_generation", generation as f64);
         self.registry.record("serve_swap_ns", install_ns);
+    }
+
+    /// A request shed by SLO-aware admission control
+    /// ([`crate::error::ServeError::SloShed`]). Counted under both
+    /// `serve_admission_shed` (the policy's own meter) and
+    /// `serve_rejected` (the total-shed meter), so the conservation
+    /// invariant `issued == accepted + rejected` holds with or without an
+    /// SLO configured.
+    pub fn record_admission_shed(&self) {
+        self.registry.counter_inc("serve_admission_shed");
+        self.registry.counter_inc("serve_rejected");
+    }
+
+    /// A batch executed by a worker other than the one it was routed to.
+    pub fn record_steal(&self) {
+        self.registry.counter_inc("serve_steal_total");
+    }
+
+    /// Mirror the active shard count and maintain its peak/low watermark
+    /// gauges — the export is final-value-only, so "did it scale up *and*
+    /// back down" must be separate gauges, not a time series.
+    pub fn record_shards_active(&self, active: u64) {
+        let active = active as f64;
+        self.registry.gauge_set("serve_shards_active", active);
+        let peak = self.registry.gauge("serve_shards_active_peak");
+        if peak.map_or(true, |p| active > p) {
+            self.registry.gauge_set("serve_shards_active_peak", active);
+        }
+        let low = self.registry.gauge("serve_shards_active_low");
+        if low.map_or(true, |l| active < l) {
+            self.registry.gauge_set("serve_shards_active_low", active);
+        }
+    }
+
+    /// An elastic scale-up to `active` shards.
+    pub fn record_scale_up(&self, active: u64) {
+        self.registry.counter_inc("serve_scale_up_total");
+        self.record_shards_active(active);
+    }
+
+    /// An elastic scale-down to `active` shards.
+    pub fn record_scale_down(&self, active: u64) {
+        self.registry.counter_inc("serve_scale_down_total");
+        self.record_shards_active(active);
+    }
+
+    /// The admission controller's published state, refreshed every tick.
+    pub fn record_admission_state(&self, predicted_p99_ns: f64, shedding: bool) {
+        self.registry
+            .gauge_set("serve_predicted_p99_ns", predicted_p99_ns);
+        self.registry
+            .gauge_set("serve_admission_shedding", if shedding { 1.0 } else { 0.0 });
+    }
+
+    /// Windowed throughput (completed requests per second over one tick).
+    pub fn record_window_qps(&self, qps: f64) {
+        self.registry.gauge_set("serve_qps_window", qps);
+    }
+
+    /// Index shards still alive after an injected kill.
+    pub fn record_alive_index_shards(&self, alive: u64) {
+        self.registry
+            .gauge_set("serve_index_alive_shards", alive as f64);
+    }
+
+    /// Requests found parked in a queue by the drain-on-close audit.
+    /// Anything other than 0 is a drained-shutdown contract violation.
+    pub fn record_stranded(&self, stranded: u64) {
+        self.registry
+            .gauge_set("serve_stranded_requests", stranded as f64);
     }
 
     /// Offer a traced request as a slow-request exemplar: kept iff it is
@@ -171,6 +250,16 @@ impl ServeMetrics {
             failed: self.registry.counter("serve_failed"),
             shard_failovers: self.registry.counter("shard_failovers"),
             model_swaps: self.registry.counter("serve_model_swaps"),
+            admission_shed: self.registry.counter("serve_admission_shed"),
+            steals: self.registry.counter("serve_steal_total"),
+            shards_active: self
+                .registry
+                .gauge("serve_shards_active")
+                .unwrap_or(0.0) as u64,
+            stranded: self
+                .registry
+                .gauge("serve_stranded_requests")
+                .unwrap_or(0.0) as u64,
             queue_depth,
             elapsed,
             qps: completed as f64 / elapsed.as_secs_f64().max(1e-9),
@@ -208,6 +297,18 @@ pub struct Snapshot {
     pub shard_failovers: u64,
     /// Model generations hot-swapped in while serving.
     pub model_swaps: u64,
+    /// Requests shed by SLO-aware admission control (a subset of
+    /// `rejected`).
+    pub admission_shed: u64,
+    /// Micro-batches executed by a worker other than the one they were
+    /// routed to.
+    pub steals: u64,
+    /// Active shard count at snapshot time (0 until the dispatcher's
+    /// baseline pool reports in).
+    pub shards_active: u64,
+    /// Requests found stranded by the drain-on-close audit (0 unless the
+    /// graceful-shutdown contract was violated).
+    pub stranded: u64,
     pub queue_depth: usize,
     pub elapsed: Duration,
     /// Completed requests per second since the server started. Warm-up
@@ -268,6 +369,13 @@ impl std::fmt::Display for Snapshot {
                 f,
                 "hot-swap: {} model generation(s) installed",
                 self.model_swaps
+            )?;
+        }
+        if self.shards_active > 0 || self.steals > 0 || self.admission_shed > 0 {
+            writeln!(
+                f,
+                "dispatch: {} shard(s) active, {} batch(es) stolen, {} SLO-shed, {} stranded",
+                self.shards_active, self.steals, self.admission_shed, self.stranded
             )?;
         }
         writeln!(

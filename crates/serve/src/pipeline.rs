@@ -1,21 +1,25 @@
-//! The multi-threaded request pipeline:
+//! The request pipeline, fronting the event-driven serve core:
 //!
 //! ```text
-//! Client::predict ──try_send──▶ [bounded admission queue] ──▶ worker threads
-//!        │                            │ full?                    │ micro-batch,
-//!        │                            ▼                          │ shard fan-out
-//!        │                     Err(Overloaded)                   ▼
-//!        ◀──────────────── reply channel ◀──────────────── per-request reply
+//! Client::predict ──try_send──▶ [bounded admission queue] ──▶ select-based
+//!        │   │ SLO gate sheds?        │ full?                  dispatcher
+//!        │   ▼                        ▼                          │ batch, route,
+//!        │  Err(SloShed)       Err(Overloaded)                   ▼ scale, steal
+//!        ◀──────────────── reply channel ◀──────────────── shard workers
 //! ```
 //!
-//! Backpressure is structural: admission is a `try_send` into a bounded
-//! crossbeam channel, so a saturated server sheds load with a typed
-//! [`ServeError::Overloaded`] instead of queueing unboundedly. Workers form
-//! *adaptive micro-batches* — drain whatever is already queued, then linger
-//! briefly for stragglers — so batch size grows with load (amortising the
-//! shard fan-out) and shrinks to 1 when idle (minimising latency).
-//! Shutdown is graceful: dropping the last sender lets workers drain every
-//! admitted request before exiting.
+//! Backpressure is structural *and* SLO-aware: admission is a `try_send`
+//! into a bounded crossbeam channel (a full queue sheds with a typed
+//! [`ServeError::Overloaded`]), and when the server runs with an
+//! [`crate::admission::AdmissionConfig`], a lock-free gate published by
+//! the dispatcher sheds with [`ServeError::SloShed`] whenever the
+//! predicted p99 breaches the objective — before the request ever
+//! occupies a queue slot. Batching, routing, elastic shard scaling and
+//! work stealing all live in the [`crate::dispatch`] select loop; this
+//! module owns the public handles around it.
+//! Shutdown is graceful: dropping the last sender lets the dispatcher
+//! drain every admitted request before the workers exit, and the server
+//! audits every channel afterwards (`serve_stranded_requests`).
 //!
 //! The index is **hot-swappable**: the server holds the model behind a
 //! [`ModelSlot`] (an `Arc` slot guarded by an `RwLock`), each micro-batch
@@ -25,14 +29,14 @@
 //! every subsequent batch sees the new one. No request is ever dropped or
 //! failed by a swap.
 
+use crate::dispatch::{self, Control, DispatchConfig, DispatchCore};
 use crate::error::ServeError;
 use crate::index::ShardedIndex;
-use crate::metrics::{ServeMetrics, Snapshot, StageHists};
-use crossbeam_channel::{bounded, Receiver, Sender, TrySendError};
-use kmeans_core::{Matrix, Scalar};
+use crate::metrics::{ServeMetrics, Snapshot};
+use crossbeam_channel::{bounded, Sender, TrySendError};
+use kmeans_core::Scalar;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, RwLock};
-use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
 /// Tuning knobs for the request pipeline.
@@ -116,14 +120,14 @@ pub struct Prediction {
     pub trace_id: u64,
 }
 
-struct Job<S> {
-    sample: Vec<S>,
-    enqueued: Instant,
+pub(crate) struct Job<S> {
+    pub(crate) sample: Vec<S>,
+    pub(crate) enqueued: Instant,
     /// Nonzero when this request is traced (sampled at admission).
-    trace_id: u64,
+    pub(crate) trace_id: u64,
     /// Admission timestamp on the trace-buffer clock (0 when untraced).
-    enqueued_ns: u64,
-    reply: Sender<Result<Prediction, ServeError>>,
+    pub(crate) enqueued_ns: u64,
+    pub(crate) reply: Sender<Result<Prediction, ServeError>>,
 }
 
 /// The hot-swappable model slot shared by the server handle and every
@@ -163,12 +167,11 @@ impl<S: Scalar> ModelSlot<S> {
 /// A running prediction server. Dropping every [`Client`] and calling
 /// [`Server::shutdown`] drains the queue and joins the workers.
 pub struct Server<S: Scalar> {
-    sender: Option<Sender<Job<S>>>,
-    workers: Vec<JoinHandle<()>>,
+    core: Option<DispatchCore<S>>,
     metrics: Arc<ServeMetrics>,
     slot: Arc<ModelSlot<S>>,
     dim: usize,
-    config: PipelineConfig,
+    config: DispatchConfig,
     tracing: ServeTracing,
 }
 
@@ -191,36 +194,41 @@ impl<S: Scalar> Server<S> {
     }
 
     /// [`Server::start_with_registry`] with event tracing and/or a flight
-    /// recorder attached (see [`ServeTracing`]).
+    /// recorder attached (see [`ServeTracing`]). Legacy entry point: runs
+    /// on the event-driven core with a fixed pool of `config.workers`
+    /// shards and no SLO admission.
     pub fn start_traced(
         index: ShardedIndex<S>,
         config: PipelineConfig,
         registry: Arc<swkm_obs::MetricsRegistry>,
         tracing: ServeTracing,
     ) -> Self {
-        assert!(config.queue_capacity > 0, "queue capacity must be positive");
         assert!(config.workers > 0, "need at least one worker");
-        assert!(config.max_batch > 0, "max batch must be positive");
-        let (sender, receiver) = bounded::<Job<S>>(config.queue_capacity);
+        Self::start_dispatch(index, DispatchConfig::from(config), registry, tracing)
+    }
+
+    /// Start the event-driven serve core with full control over batching,
+    /// elastic shard scaling and SLO-aware admission (see
+    /// [`DispatchConfig`]).
+    pub fn start_dispatch(
+        index: ShardedIndex<S>,
+        config: DispatchConfig,
+        registry: Arc<swkm_obs::MetricsRegistry>,
+        tracing: ServeTracing,
+    ) -> Self {
         registry.gauge_set("serve_assign_kernel", index.kernel().code() as f64);
         registry.gauge_set("serve_model_generation", 0.0);
         let metrics = Arc::new(ServeMetrics::with_registry(registry));
         let dim = index.dim();
         let slot = Arc::new(ModelSlot::new(index, 0));
-        let workers = (0..config.workers)
-            .map(|worker| {
-                let receiver = receiver.clone();
-                let slot = Arc::clone(&slot);
-                let metrics = Arc::clone(&metrics);
-                let tracing = tracing.clone();
-                std::thread::spawn(move || {
-                    worker_loop(worker, receiver, slot, metrics, config, tracing)
-                })
-            })
-            .collect();
+        let core = dispatch::start(
+            Arc::clone(&slot),
+            Arc::clone(&metrics),
+            config,
+            tracing.clone(),
+        );
         Server {
-            sender: Some(sender),
-            workers,
+            core: Some(core),
             metrics,
             slot,
             dim,
@@ -229,12 +237,18 @@ impl<S: Scalar> Server<S> {
         }
     }
 
+    fn core(&self) -> &DispatchCore<S> {
+        self.core.as_ref().expect("server already shut down")
+    }
+
     /// A handle for issuing predictions; cheap to clone, safe to share
     /// across threads. All clients must be dropped before
     /// [`Server::shutdown`] can finish draining.
     pub fn client(&self) -> Client<S> {
+        let core = self.core();
         Client {
-            sender: self.sender.clone().expect("server already shut down"),
+            sender: core.ingress.clone(),
+            gate: Arc::clone(&core.gate),
             metrics: Arc::clone(&self.metrics),
             dim: self.dim,
             capacity: self.config.queue_capacity,
@@ -244,7 +258,7 @@ impl<S: Scalar> Server<S> {
 
     /// Current metrics view, including live queue depth.
     pub fn snapshot(&self) -> Snapshot {
-        let depth = self.sender.as_ref().map_or(0, Sender::len);
+        let depth = self.core.as_ref().map_or(0, |c| c.ingress.len());
         self.metrics.snapshot(depth)
     }
 
@@ -300,6 +314,13 @@ impl<S: Scalar> Server<S> {
         if let Some(flight) = &self.tracing.flight {
             flight.trigger("model_swap");
         }
+        // Tell the select loop (advisory: the swap is already visible to
+        // every batch formed from here on; the dispatcher just records it
+        // on its own track). A disconnect race at shutdown is harmless.
+        let _ = self
+            .core()
+            .control
+            .send(Control::SwapObserved { generation });
         Ok(previous)
     }
 
@@ -310,17 +331,21 @@ impl<S: Scalar> Server<S> {
     /// they fail with a typed [`ServeError::AllShardsDown`]. (Kills apply
     /// to the current generation; a [`Server::swap_model`] heals them.)
     pub fn kill_shard(&self, shard: usize) -> bool {
-        self.slot.current().kill_shard(shard)
+        let killed = self.slot.current().kill_shard(shard);
+        if killed {
+            let _ = self.core().control.send(Control::ShardKilled { shard });
+        }
+        killed
     }
 
     /// Stop admitting work, drain every already-admitted request, join the
-    /// workers and return the final metrics. Requires all [`Client`]
-    /// handles to have been dropped (they hold the admission queue open).
+    /// dispatcher and workers, audit every channel for stranded requests
+    /// and return the final metrics. Requires all [`Client`] handles to
+    /// have been dropped (they hold the admission queue open).
     pub fn shutdown(mut self) -> Snapshot {
-        drop(self.sender.take());
-        for worker in self.workers.drain(..) {
-            worker.join().expect("serve worker panicked");
-        }
+        let core = self.core.take().expect("server already shut down");
+        let stranded = core.shutdown();
+        self.metrics.record_stranded(stranded);
         self.metrics.snapshot(0)
     }
 }
@@ -328,6 +353,7 @@ impl<S: Scalar> Server<S> {
 /// A request-issuing handle onto a running [`Server`].
 pub struct Client<S: Scalar> {
     sender: Sender<Job<S>>,
+    gate: Arc<crate::dispatch::AdmissionGate>,
     metrics: Arc<ServeMetrics>,
     dim: usize,
     capacity: usize,
@@ -338,6 +364,7 @@ impl<S: Scalar> Clone for Client<S> {
     fn clone(&self) -> Self {
         Client {
             sender: self.sender.clone(),
+            gate: Arc::clone(&self.gate),
             metrics: Arc::clone(&self.metrics),
             dim: self.dim,
             capacity: self.capacity,
@@ -348,14 +375,21 @@ impl<S: Scalar> Clone for Client<S> {
 
 impl<S: Scalar> Client<S> {
     /// Closed-loop predict: non-blocking admission (sheds with
-    /// [`ServeError::Overloaded`] when the queue is full), then blocks
-    /// until the worker replies.
+    /// [`ServeError::SloShed`] while the admission controller predicts an
+    /// SLO breach, or [`ServeError::Overloaded`] when the queue is full),
+    /// then blocks until the worker replies.
     pub fn predict(&self, sample: Vec<S>) -> Result<Prediction, ServeError> {
         if sample.len() != self.dim {
             return Err(ServeError::DimensionMismatch {
                 expected: self.dim,
                 got: sample.len(),
             });
+        }
+        // SLO-aware shed: checked before the request costs a queue slot
+        // (or a trace id).
+        if let Err(e) = self.gate.check() {
+            self.metrics.record_admission_shed();
+            return Err(e);
         }
         // Draw a trace id at admission; sampling decides whether this
         // request's pipeline is recorded (0 = untraced fast path).
@@ -393,170 +427,10 @@ impl<S: Scalar> Client<S> {
     }
 }
 
-/// Pull a micro-batch: the blocking first job, then everything already
-/// queued, then linger for stragglers until `max_batch` or the deadline.
-fn next_batch<S>(jobs: &Receiver<Job<S>>, config: &PipelineConfig) -> Option<Vec<Job<S>>> {
-    let first = jobs.recv().ok()?;
-    let deadline = Instant::now() + config.linger;
-    let mut batch = vec![first];
-    while batch.len() < config.max_batch {
-        match jobs.try_recv() {
-            Ok(job) => batch.push(job),
-            Err(_) => {
-                let now = Instant::now();
-                if now >= deadline {
-                    break;
-                }
-                match jobs.recv_timeout(deadline - now) {
-                    Ok(job) => batch.push(job),
-                    Err(_) => break,
-                }
-            }
-        }
-    }
-    Some(batch)
-}
-
-fn worker_loop<S: Scalar>(
-    worker: usize,
-    jobs: Receiver<Job<S>>,
-    slot: Arc<ModelSlot<S>>,
-    metrics: Arc<ServeMetrics>,
-    config: PipelineConfig,
-    tracing: ServeTracing,
-) {
-    // One tracer per worker thread: this worker's spans land on track
-    // `worker` of the `serve` process row.
-    let tracer = tracing
-        .buffer
-        .as_ref()
-        .map(|buf| swkm_obs::Tracer::new(Arc::clone(buf), "serve", worker as u32));
-    while let Some(batch) = next_batch(&jobs, &config) {
-        // Pin one generation for the whole batch: a concurrent swap_model
-        // must never hand half a batch to a different centroid set.
-        let index = slot.current();
-        let d = index.dim();
-        let formed = Instant::now();
-        let formed_ns = tracer.as_ref().map_or(0, swkm_obs::Tracer::begin);
-        let mut local = StageHists::default();
-        local.batch_size.record(batch.len() as u64);
-        for job in &batch {
-            local
-                .queue_wait_ns
-                .record(formed.duration_since(job.enqueued).as_nanos() as u64);
-        }
-        if let Some(t) = &tracer {
-            // Each sampled request's wait from admission to batch
-            // formation, on the handling worker's track.
-            for job in batch.iter().filter(|j| j.trace_id != 0) {
-                t.complete_at(
-                    "queue_wait",
-                    job.enqueued_ns,
-                    formed_ns.saturating_sub(job.enqueued_ns),
-                    job.trace_id,
-                    "batch",
-                    batch.len() as u64,
-                );
-            }
-        }
-        let mut data = Vec::with_capacity(batch.len() * d);
-        for job in &batch {
-            data.extend_from_slice(&job.sample);
-        }
-        let samples = Matrix::from_vec(batch.len(), d, data);
-        let exec_start = Instant::now();
-        let exec_start_ns = tracer.as_ref().map_or(0, swkm_obs::Tracer::begin);
-        // Per-shard assign spans carry the batch's first sampled id, so a
-        // traced request's pipeline shows its shard fan-out.
-        let shard_trace_id = batch.iter().map(|j| j.trace_id).find(|&id| id != 0);
-        let outcome = index.try_assign_batch_traced(
-            &samples,
-            match (&tracer, shard_trace_id) {
-                (Some(t), Some(id)) => Some((t, id)),
-                _ => None,
-            },
-        );
-        local
-            .execute_ns
-            .record(exec_start.elapsed().as_nanos() as u64);
-        if let (Some(t), Some(id)) = (&tracer, shard_trace_id) {
-            t.complete_full("execute", exec_start_ns, id, "batch", batch.len() as u64);
-        }
-        let done = Instant::now();
-        let done_ns = tracer.as_ref().map_or(0, swkm_obs::Tracer::begin);
-        match outcome {
-            Ok(outcome) => {
-                let degraded = outcome.skipped_shards > 0;
-                if degraded {
-                    // One failover event per dead shard the batch was
-                    // routed around.
-                    metrics.record_failovers(outcome.skipped_shards as u64);
-                    if let Some(t) = &tracer {
-                        t.instant_full(
-                            "shard_failover",
-                            shard_trace_id.unwrap_or(0),
-                            "skipped",
-                            outcome.skipped_shards as u64,
-                        );
-                    }
-                    if let Some(flight) = &tracing.flight {
-                        flight.trigger("shard_failover");
-                    }
-                }
-                for (job, &label) in batch.iter().zip(&outcome.labels) {
-                    let total_ns = done.duration_since(job.enqueued).as_nanos() as u64;
-                    local.total_ns.record(total_ns);
-                    if job.trace_id != 0 {
-                        if let Some(t) = &tracer {
-                            t.complete_at(
-                                "request",
-                                job.enqueued_ns,
-                                done_ns.saturating_sub(job.enqueued_ns),
-                                job.trace_id,
-                                "label",
-                                label as u64,
-                            );
-                        }
-                        metrics.record_exemplar(total_ns, job.trace_id);
-                    }
-                    // A client that gave up is not an error; drop its reply.
-                    let _ = job.reply.send(Ok(Prediction {
-                        label,
-                        degraded,
-                        trace_id: job.trace_id,
-                    }));
-                }
-                metrics.record_completed(batch.len() as u64);
-            }
-            Err(e) => {
-                // Nothing survived to answer — fail every request in the
-                // batch with the typed error instead of dropping it.
-                metrics.record_failed(batch.len() as u64);
-                if let Some(t) = &tracer {
-                    t.instant_full(
-                        "batch_failed",
-                        shard_trace_id.unwrap_or(0),
-                        "requests",
-                        batch.len() as u64,
-                    );
-                }
-                if matches!(e, ServeError::AllShardsDown { .. }) {
-                    if let Some(flight) = &tracing.flight {
-                        flight.trigger("all_shards_down");
-                    }
-                }
-                for job in &batch {
-                    let _ = job.reply.send(Err(e.clone()));
-                }
-            }
-        }
-        metrics.merge_hists(&local);
-    }
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
+    use kmeans_core::Matrix;
 
     fn small_index() -> ShardedIndex<f64> {
         let centroids = Matrix::from_rows(&[

@@ -74,6 +74,7 @@ pub mod prelude {
     pub use sw_arch::{Machine, MachineParams};
     pub use swkm_obs::MetricsRegistry;
     pub use swkm_serve::{
-        run_closed_loop, LoadGenConfig, ModelArtifact, PipelineConfig, Server, ShardedIndex,
+        run_closed_loop, run_ramp, AdmissionConfig, DispatchConfig, ElasticConfig, LoadGenConfig,
+        ModelArtifact, PipelineConfig, RampConfig, Server, ShardedIndex,
     };
 }

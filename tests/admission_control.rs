@@ -1,0 +1,193 @@
+//! Property tests for the SLO-aware admission controller and the elastic
+//! scaler as *pure* policies — no threads, channels or clocks, just
+//! windows in and decisions out. These pin down the contracts the
+//! event-driven dispatcher relies on:
+//!
+//! * the p99 predictor is monotone (in the quantile, and in sample scale);
+//! * shedding never turns **on** unless the estimate is above the high
+//!   watermark, and never turns **off** unless it is below the low one;
+//! * between the watermarks the previous decision holds (hysteresis), so
+//!   a replayed trace hovering in the dead band cannot flap;
+//! * the scaler keeps the active shard count inside `[min, max]` under
+//!   any pressure sequence.
+
+use proptest::prelude::*;
+use sunway_kmeans::sw_des::stats::Histogram;
+use sunway_kmeans::swkm_serve::admission::predicted_p99_ns;
+use sunway_kmeans::swkm_serve::{
+    AdmissionConfig, AdmissionController, ElasticConfig, ElasticScaler, ScaleDecision,
+};
+
+fn window(samples: &[u64]) -> Histogram {
+    let mut h = Histogram::new();
+    for &s in samples {
+        h.record(s);
+    }
+    h
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// The predictor is monotone in the quantile: p50 ≤ p95 ≤ p99 on any
+    /// window, and doubling every sample never lowers the p99.
+    #[test]
+    fn predicted_p99_is_monotone(
+        samples in proptest::collection::vec(1u64..1_000_000, 1..200),
+    ) {
+        let w = window(&samples);
+        let p50 = w.quantile(0.5);
+        let p95 = w.quantile(0.95);
+        let p99 = predicted_p99_ns(&w);
+        prop_assert!(p50 <= p95 && p95 <= p99, "quantiles out of order: {p50} {p95} {p99}");
+
+        let doubled: Vec<u64> = samples.iter().map(|s| s * 2).collect();
+        let p99_doubled = predicted_p99_ns(&window(&doubled));
+        prop_assert!(
+            p99_doubled >= p99,
+            "doubling samples lowered p99: {p99} -> {p99_doubled}"
+        );
+    }
+
+    /// Along any window trace: shedding turns on only above the high
+    /// watermark, turns off only below the low one, and holds otherwise.
+    /// Together these say the controller *always* sheds above high and
+    /// *never* sheds below low — with hysteresis in between.
+    #[test]
+    fn hysteresis_transitions_respect_the_watermarks(
+        slo_us in 1u64..10_000,
+        low in 0.3f64..0.8,
+        spread in 0.05f64..0.5,
+        trace in proptest::collection::vec(
+            proptest::collection::vec(1u64..100_000_000, 0..64),
+            1..40,
+        ),
+    ) {
+        let slo = slo_us * 1_000;
+        let config = AdmissionConfig {
+            slo_p99_ns: slo,
+            low_watermark: low,
+            high_watermark: low + spread,
+            min_window: 8,
+            smoothing: 0.5,
+        };
+        let mut controller = AdmissionController::new(config);
+        let mut previous = controller.shedding();
+        for samples in &trace {
+            let now = controller.observe_window(&window(samples));
+            let estimate = controller.predicted_p99_ns();
+            let slo = slo as f64;
+            if estimate > config.high_watermark * slo {
+                prop_assert!(now, "estimate {estimate} above high watermark but not shedding");
+            } else if estimate < config.low_watermark * slo {
+                prop_assert!(!now, "estimate {estimate} below low watermark but still shedding");
+            } else {
+                prop_assert_eq!(
+                    now, previous,
+                    "decision flipped inside the dead band (estimate {})", estimate
+                );
+            }
+            previous = now;
+        }
+    }
+
+    /// Windows smaller than `min_window` never move the estimate, so a
+    /// trickle of stragglers cannot flip admission either way.
+    #[test]
+    fn small_windows_never_change_the_decision(
+        samples in proptest::collection::vec(1u64..100_000_000, 1..8),
+    ) {
+        let mut controller =
+            AdmissionController::new(AdmissionConfig::with_slo_p99_ns(500_000));
+        let before = (controller.predicted_p99_ns(), controller.shedding());
+        controller.observe_window(&window(&samples));
+        prop_assert_eq!(
+            (controller.predicted_p99_ns(), controller.shedding()),
+            before
+        );
+    }
+
+    /// The scaler never leaves `[min, max]` no matter what pressure
+    /// sequence it observes, and a fixed pool never moves at all.
+    #[test]
+    fn scaler_stays_inside_its_bounds(
+        min in 1usize..4,
+        extra in 0usize..4,
+        ticks in proptest::collection::vec((0usize..64, 0usize..8), 1..100),
+    ) {
+        let config = ElasticConfig::elastic(min, min + extra);
+        let mut scaler = ElasticScaler::new(config);
+        let mut active = min;
+        for &(depth, busy) in &ticks {
+            match scaler.tick(active, depth, 16, busy) {
+                ScaleDecision::Up => active += 1,
+                ScaleDecision::Down => active -= 1,
+                ScaleDecision::Hold => {}
+            }
+            prop_assert!(
+                (min..=min + extra).contains(&active),
+                "active {} left [{}, {}]", active, min, min + extra
+            );
+        }
+
+        let mut fixed = ElasticScaler::new(ElasticConfig::fixed(min));
+        for &(depth, busy) in &ticks {
+            prop_assert_eq!(fixed.tick(min, depth, 16, busy), ScaleDecision::Hold);
+        }
+    }
+}
+
+/// A replayed trace that hovers inside the dead band: after shedding
+/// engages, identical mid-band windows must not flap the gate, and the
+/// exact same trace replayed on a fresh controller makes the exact same
+/// decisions (determinism).
+#[test]
+fn dead_band_trace_does_not_flap_and_replays_identically() {
+    let config = AdmissionConfig {
+        slo_p99_ns: 1_000_000, // 1 ms
+        low_watermark: 0.6,
+        high_watermark: 1.0,
+        min_window: 8,
+        smoothing: 1.0, // no EWMA: the estimate tracks each window exactly
+    };
+    // One hot window closes the gate; mid-band windows (~0.8×SLO) hover
+    // between the watermarks for many ticks.
+    let hot: Vec<u64> = vec![3_000_000; 16];
+    let mid: Vec<u64> = vec![700_000; 16];
+    let mut trace = vec![hot];
+    trace.extend(std::iter::repeat_with(|| mid.clone()).take(20));
+
+    let run = |trace: &[Vec<u64>]| -> Vec<bool> {
+        let mut controller = AdmissionController::new(config);
+        trace
+            .iter()
+            .map(|samples| controller.observe_window(&window(samples)))
+            .collect()
+    };
+
+    let decisions = run(&trace);
+    assert!(decisions[0], "the hot window must close the gate");
+    assert!(
+        decisions[1..].iter().all(|&shed| shed),
+        "mid-band windows flapped the gate: {decisions:?}"
+    );
+    let transitions = decisions.windows(2).filter(|w| w[0] != w[1]).count();
+    assert_eq!(transitions, 0, "hysteresis must prevent flapping");
+
+    // Empty windows decay the estimate below the low watermark: re-open.
+    let mut controller = AdmissionController::new(config);
+    for samples in &trace {
+        controller.observe_window(&window(samples));
+    }
+    let empty = Histogram::new();
+    let mut reopened = false;
+    for _ in 0..64 {
+        if !controller.observe_window(&empty) {
+            reopened = true;
+            break;
+        }
+    }
+    assert!(reopened, "idle decay must eventually re-open the gate");
+
+    assert_eq!(run(&trace), run(&trace), "replay must be deterministic");
+}

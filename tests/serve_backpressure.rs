@@ -176,6 +176,63 @@ fn all_shards_killed_fails_typed_but_loses_nothing() {
     assert_eq!(snap.completed, 0);
 }
 
+/// The shard-kill drill on the *elastic* event core: a shard dies while
+/// the pool is scaled up and work stealing is active. Survivors absorb
+/// the load (stealing included), accounting balances, nothing strands.
+#[test]
+fn shard_killed_mid_load_on_elastic_core_loses_no_requests() {
+    use std::time::Duration;
+    use sunway_kmeans::swkm_obs::MetricsRegistry;
+    use sunway_kmeans::swkm_serve::{DispatchConfig, ElasticConfig, ServeTracing};
+
+    let registry = MetricsRegistry::shared();
+    let server = Server::start_dispatch(
+        heavy_index(4),
+        DispatchConfig {
+            queue_capacity: 4_096,
+            max_batch: 8,
+            linger: Duration::from_micros(50),
+            shards: ElasticConfig::elastic(1, 4),
+            shard_queue: 1,
+            tick: Duration::from_millis(1),
+            admission: None,
+        },
+        registry.clone(),
+        ServeTracing::default(),
+    );
+    let queries = Matrix::from_vec(8, 256, (0..8 * 256).map(|i| (i as f64).sin()).collect());
+    let report = std::thread::scope(|scope| {
+        let server = &server;
+        scope.spawn(move || {
+            std::thread::sleep(std::time::Duration::from_millis(5));
+            assert!(server.kill_shard(1), "kill reports the transition");
+        });
+        run_closed_loop(
+            server,
+            &queries,
+            LoadGenConfig {
+                clients: 8,
+                requests_per_client: 150,
+            },
+        )
+    });
+    let snap = server.shutdown();
+    assert_eq!(report.issued, 8 * 150);
+    assert_eq!(
+        report.completed + report.shed + report.failed,
+        report.issued,
+        "a request vanished: {report}"
+    );
+    assert_eq!(report.failed, 0, "three survivors must absorb the load");
+    assert!(report.degraded > 0, "post-kill replies must be degraded");
+    assert!(snap.shard_failovers > 0);
+    assert_eq!(snap.stranded, 0, "the kill must not strand queued work");
+    assert_eq!(snap.completed, report.completed);
+    // The kill notification reached the dispatcher, which re-published
+    // the live shard count for observability.
+    assert_eq!(registry.gauge("serve_index_alive_shards"), Some(3.0));
+}
+
 #[test]
 fn generous_queue_does_not_shed() {
     let server = Server::start(

@@ -81,6 +81,75 @@ fn store_backed_swaps_under_load_lose_no_requests() {
     assert_eq!(reopened.live_generation("live"), Some(g1 + swaps));
 }
 
+/// Hot swap while a load *ramp* is climbing on the elastic event core:
+/// generations install mid-scale-up and mid-steal, yet every request is
+/// answered from exactly one coherent generation and the accounting
+/// balances with nothing stranded.
+#[test]
+fn swaps_during_an_elastic_ramp_lose_no_requests() {
+    use swkm_obs::MetricsRegistry;
+    use swkm_serve::{run_ramp, DispatchConfig, ElasticConfig, RampConfig};
+
+    // A heavy model so the ramp actually queues and scales.
+    let (k, d) = (128usize, 128usize);
+    let heavy = ModelArtifact::from_centroids(Matrix::from_vec(
+        k,
+        d,
+        (0..k * d).map(|i| (i as f32 * 0.19).sin()).collect(),
+    ));
+    let server = Server::start_dispatch(
+        ShardedIndex::from_artifact(&heavy, 4),
+        DispatchConfig {
+            queue_capacity: 4_096,
+            max_batch: 8,
+            linger: Duration::from_micros(50),
+            shards: ElasticConfig::elastic(1, 4),
+            shard_queue: 1,
+            tick: Duration::from_millis(1),
+            admission: None,
+        },
+        MetricsRegistry::shared(),
+        Default::default(),
+    );
+    let queries = Matrix::from_vec(
+        8,
+        d,
+        (0..8 * d).map(|i| (i as f32 * 0.07).cos()).collect(),
+    );
+
+    let swaps = 6u64;
+    let ramp = std::thread::scope(|scope| {
+        let server = &server;
+        let heavy = &heavy;
+        scope.spawn(move || {
+            for round in 1..=swaps {
+                std::thread::sleep(Duration::from_millis(4));
+                server
+                    .swap_model(ShardedIndex::from_artifact(heavy, 4), round)
+                    .unwrap();
+            }
+        });
+        run_ramp(
+            server,
+            &queries,
+            RampConfig {
+                base_clients: 1,
+                peak_clients: 8,
+                steps_up: 3,
+                requests_per_client: 60,
+            },
+        )
+    });
+
+    assert!(ramp.conserved(), "a swap dropped a request:\n{ramp}");
+    assert_eq!(ramp.failed(), 0, "swaps must never fail requests");
+    assert_eq!(server.generation(), swaps);
+    let snap = server.shutdown();
+    assert_eq!(snap.model_swaps, swaps);
+    assert_eq!(snap.stranded, 0, "a swap stranded queued work");
+    assert_eq!(snap.completed, ramp.completed());
+}
+
 #[test]
 fn swap_changes_answers_deterministically() {
     let hot = ModelArtifact::from_centroids(Matrix::from_rows(&[&[0.0f32, 0.0], &[100.0, 100.0]]));

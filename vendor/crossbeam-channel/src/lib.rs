@@ -10,11 +10,38 @@
 //! * a channel disconnects when *all* peers on the other side drop;
 //! * `bounded(cap)` blocks sends at `cap` queued messages and supports the
 //!   non-blocking `try_send` needed for admission control;
-//! * receivers drain whatever is already queued even after disconnect.
+//! * receivers drain whatever is already queued even after disconnect;
+//! * [`Select`] multiplexes receive-readiness over many channels from one
+//!   thread, with rotating fairness, and [`tick`]/[`after`] provide timer
+//!   channels so a select loop can also own its periodic work.
 
 use std::collections::VecDeque;
 use std::sync::{Arc, Condvar, Mutex};
 use std::time::{Duration, Instant};
+
+/// Wakeup slot shared between one [`Select`] and every channel it watches.
+///
+/// A channel that becomes ready (message enqueued, or all senders dropped)
+/// flips the flag and signals the condvar; the selecting thread sleeps on it
+/// instead of spinning over `try_recv`.
+pub struct SelectWaker {
+    ready: Mutex<bool>,
+    cond: Condvar,
+}
+
+impl SelectWaker {
+    fn new() -> Self {
+        SelectWaker {
+            ready: Mutex::new(false),
+            cond: Condvar::new(),
+        }
+    }
+
+    fn notify(&self) {
+        *self.ready.lock().unwrap() = true;
+        self.cond.notify_all();
+    }
+}
 
 /// Sending half; cloneable.
 pub struct Sender<T> {
@@ -37,6 +64,26 @@ struct Inner<T> {
     cap: Option<usize>,
     senders: usize,
     receivers: usize,
+    /// Wakers of `Select`s currently parked on this channel's receive side.
+    wakers: Vec<Arc<SelectWaker>>,
+}
+
+impl<T> Inner<T> {
+    /// Snapshot registered wakers so they can be notified after the channel
+    /// lock is released (waker locks are never taken under the channel lock).
+    fn take_waker_snapshot(&self) -> Vec<Arc<SelectWaker>> {
+        if self.wakers.is_empty() {
+            Vec::new()
+        } else {
+            self.wakers.clone()
+        }
+    }
+}
+
+fn notify_wakers(wakers: Vec<Arc<SelectWaker>>) {
+    for w in wakers {
+        w.notify();
+    }
 }
 
 /// The receive side disconnected; carries the unsent message back.
@@ -103,6 +150,7 @@ fn channel<T>(cap: Option<usize>) -> (Sender<T>, Receiver<T>) {
             cap,
             senders: 1,
             receivers: 1,
+            wakers: Vec::new(),
         }),
         not_empty: Condvar::new(),
         not_full: Condvar::new(),
@@ -144,8 +192,10 @@ impl<T> Sender<T> {
                 }
                 _ => {
                     inner.queue.push_back(value);
+                    let wakers = inner.take_waker_snapshot();
                     drop(inner);
                     self.shared.not_empty.notify_one();
+                    notify_wakers(wakers);
                     return Ok(());
                 }
             }
@@ -164,8 +214,10 @@ impl<T> Sender<T> {
             }
         }
         inner.queue.push_back(value);
+        let wakers = inner.take_waker_snapshot();
         drop(inner);
         self.shared.not_empty.notify_one();
+        notify_wakers(wakers);
         Ok(())
     }
 
@@ -257,6 +309,267 @@ impl<T> Receiver<T> {
     }
 }
 
+/// Receive-readiness hooks used by [`Select`]. Implemented by [`Receiver`];
+/// object-safe so one `Select` can watch channels of different payload types.
+pub trait SelectHandle {
+    /// A `recv` on this channel would not block: a message is queued, or all
+    /// senders dropped (so `recv` returns the disconnect immediately).
+    fn recv_ready(&self) -> bool;
+
+    /// Register a waker to be notified when the channel may become ready.
+    fn register_waker(&self, waker: &Arc<SelectWaker>);
+
+    /// Remove a previously registered waker.
+    fn unregister_waker(&self, waker: &Arc<SelectWaker>);
+}
+
+impl<T> SelectHandle for Receiver<T> {
+    fn recv_ready(&self) -> bool {
+        let inner = self.shared.inner.lock().unwrap();
+        !inner.queue.is_empty() || inner.senders == 0
+    }
+
+    fn register_waker(&self, waker: &Arc<SelectWaker>) {
+        self.shared
+            .inner
+            .lock()
+            .unwrap()
+            .wakers
+            .push(Arc::clone(waker));
+    }
+
+    fn unregister_waker(&self, waker: &Arc<SelectWaker>) {
+        self.shared
+            .inner
+            .lock()
+            .unwrap()
+            .wakers
+            .retain(|w| !Arc::ptr_eq(w, waker));
+    }
+}
+
+/// No operation became ready before the timeout.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ReadyTimeoutError;
+
+/// No operation was ready at the moment of the call.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TryReadyError;
+
+impl std::fmt::Display for ReadyTimeoutError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "all operations in select timed out")
+    }
+}
+
+impl std::fmt::Display for TryReadyError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "no operation in select is ready")
+    }
+}
+
+/// Multiplexes receive-readiness over a set of channels.
+///
+/// Mirrors the `crossbeam_channel::Select` readiness API: register receivers
+/// with [`recv`](Select::recv) (each returns a stable operation index), then
+/// block in [`ready`](Select::ready) / [`ready_timeout`](Select::ready_timeout)
+/// for *some* registered operation to become ready. Readiness is a hint, not a
+/// reservation — another consumer may win the race, so pair the returned index
+/// with `try_recv` and treat `Empty` as "go around the loop again".
+///
+/// Fairness: polling starts one past the previously reported index, so a
+/// saturated channel cannot starve its peers.
+pub struct Select<'a> {
+    handles: Vec<&'a dyn SelectHandle>,
+    waker: Arc<SelectWaker>,
+    next_start: usize,
+}
+
+impl<'a> Default for Select<'a> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<'a> Select<'a> {
+    pub fn new() -> Select<'a> {
+        Select {
+            handles: Vec::new(),
+            waker: Arc::new(SelectWaker::new()),
+            next_start: 0,
+        }
+    }
+
+    /// Register a receive operation; returns its operation index.
+    pub fn recv<T>(&mut self, rx: &'a Receiver<T>) -> usize {
+        self.handles.push(rx);
+        self.handles.len() - 1
+    }
+
+    /// One fairness-rotated pass over all handles.
+    fn poll(&mut self) -> Option<usize> {
+        let n = self.handles.len();
+        for off in 0..n {
+            let i = (self.next_start + off) % n;
+            if self.handles[i].recv_ready() {
+                self.next_start = (i + 1) % n;
+                return Some(i);
+            }
+        }
+        None
+    }
+
+    /// Non-blocking readiness check.
+    pub fn try_ready(&mut self) -> Result<usize, TryReadyError> {
+        assert!(!self.handles.is_empty(), "no operations registered in select");
+        self.poll().ok_or(TryReadyError)
+    }
+
+    /// Block until some registered operation is ready.
+    pub fn ready(&mut self) -> usize {
+        self.ready_deadline(None)
+            .expect("select without deadline cannot time out")
+    }
+
+    /// Block until some operation is ready or the timeout elapses.
+    pub fn ready_timeout(&mut self, timeout: Duration) -> Result<usize, ReadyTimeoutError> {
+        self.ready_deadline(Some(Instant::now() + timeout))
+            .ok_or(ReadyTimeoutError)
+    }
+
+    fn ready_deadline(&mut self, deadline: Option<Instant>) -> Option<usize> {
+        assert!(!self.handles.is_empty(), "no operations registered in select");
+        loop {
+            if let Some(i) = self.poll() {
+                return Some(i);
+            }
+            // Arm the waker, register with every channel, then re-poll before
+            // sleeping: a message enqueued between the first poll and
+            // registration would otherwise be a lost wakeup.
+            *self.waker.ready.lock().unwrap() = false;
+            for h in &self.handles {
+                h.register_waker(&self.waker);
+            }
+            let mut timed_out = false;
+            if self.poll_registered().is_none() {
+                let mut armed = self.waker.ready.lock().unwrap();
+                while !*armed && !timed_out {
+                    match deadline {
+                        None => armed = self.waker.cond.wait(armed).unwrap(),
+                        Some(d) => {
+                            let now = Instant::now();
+                            if now >= d {
+                                timed_out = true;
+                            } else {
+                                let (guard, _) =
+                                    self.waker.cond.wait_timeout(armed, d - now).unwrap();
+                                armed = guard;
+                            }
+                        }
+                    }
+                }
+            }
+            for h in &self.handles {
+                h.unregister_waker(&self.waker);
+            }
+            if let Some(i) = self.poll() {
+                return Some(i);
+            }
+            if timed_out {
+                return None;
+            }
+            // Spurious or raced wakeup: go around again.
+        }
+    }
+
+    /// Immutable-poll variant usable while `self.waker` registrations are
+    /// live; does not advance the fairness cursor (the post-wake [`poll`]
+    /// does).
+    fn poll_registered(&self) -> Option<usize> {
+        let n = self.handles.len();
+        (0..n)
+            .map(|off| (self.next_start + off) % n)
+            .find(|&i| self.handles[i].recv_ready())
+    }
+
+    /// Blocking `select()` returning a handle that must be completed against
+    /// the receiver whose index it reports.
+    pub fn select(&mut self) -> SelectedOperation {
+        SelectedOperation {
+            index: self.ready(),
+        }
+    }
+
+    pub fn select_timeout(
+        &mut self,
+        timeout: Duration,
+    ) -> Result<SelectedOperation, ReadyTimeoutError> {
+        self.ready_timeout(timeout).map(|index| SelectedOperation { index })
+    }
+}
+
+/// A ready operation reported by [`Select::select`].
+pub struct SelectedOperation {
+    index: usize,
+}
+
+impl SelectedOperation {
+    pub fn index(&self) -> usize {
+        self.index
+    }
+
+    /// Complete the operation against the receiver it selected.
+    ///
+    /// Readiness is only a hint under MPMC: if another consumer drained the
+    /// message first this falls back to a blocking `recv`, matching upstream
+    /// crossbeam's guarantee that a selected receive completes (sole-consumer
+    /// select loops — the common shape — never hit the fallback).
+    pub fn recv<T>(self, rx: &Receiver<T>) -> Result<T, RecvError> {
+        match rx.try_recv() {
+            Ok(v) => Ok(v),
+            Err(TryRecvError::Disconnected) => Err(RecvError),
+            Err(TryRecvError::Empty) => rx.recv(),
+        }
+    }
+}
+
+/// A channel that delivers `Instant::now()` once, `duration` from the call.
+///
+/// Backed by a timer thread holding the sender; the thread exits after firing,
+/// which leaves the message drainable and the channel disconnected afterwards.
+pub fn after(duration: Duration) -> Receiver<Instant> {
+    let (tx, rx) = bounded(1);
+    std::thread::Builder::new()
+        .name("cb-after".into())
+        .spawn(move || {
+            std::thread::sleep(duration);
+            let _ = tx.try_send(Instant::now());
+        })
+        .expect("spawn timer thread");
+    rx
+}
+
+/// A channel that delivers `Instant::now()` every `period`.
+///
+/// Ticks are never stacked: the channel holds at most one pending tick, and a
+/// slow consumer simply misses intermediate ticks. The timer thread exits when
+/// the receiver side is fully dropped.
+pub fn tick(period: Duration) -> Receiver<Instant> {
+    assert!(!period.is_zero(), "tick period must be non-zero");
+    let (tx, rx) = bounded(1);
+    std::thread::Builder::new()
+        .name("cb-tick".into())
+        .spawn(move || loop {
+            std::thread::sleep(period);
+            match tx.try_send(Instant::now()) {
+                Ok(()) | Err(TrySendError::Full(_)) => {}
+                Err(TrySendError::Disconnected(_)) => break,
+            }
+        })
+        .expect("spawn timer thread");
+    rx
+}
+
 pub struct Iter<'a, T> {
     rx: &'a Receiver<T>,
 }
@@ -289,14 +602,21 @@ impl<T> Clone for Receiver<T> {
 
 impl<T> Drop for Sender<T> {
     fn drop(&mut self) {
-        let remaining = {
+        let (remaining, wakers) = {
             let mut inner = self.shared.inner.lock().unwrap();
             inner.senders -= 1;
-            inner.senders
+            let wakers = if inner.senders == 0 {
+                inner.take_waker_snapshot()
+            } else {
+                Vec::new()
+            };
+            (inner.senders, wakers)
         };
         if remaining == 0 {
-            // Wake blocked receivers so they observe the disconnect.
+            // Wake blocked receivers (and parked selects) so they observe
+            // the disconnect: a disconnected channel counts as ready.
             self.shared.not_empty.notify_all();
+            notify_wakers(wakers);
         }
     }
 }
@@ -406,5 +726,138 @@ mod tests {
         assert_eq!(rx.recv().unwrap(), 1);
         t.join().unwrap().unwrap();
         assert_eq!(rx.recv().unwrap(), 2);
+    }
+
+    #[test]
+    fn select_reports_the_ready_channel() {
+        let (tx_a, rx_a) = unbounded::<u32>();
+        let (_tx_b, rx_b) = unbounded::<String>();
+        let mut sel = Select::new();
+        let op_a = sel.recv(&rx_a);
+        let op_b = sel.recv(&rx_b);
+        tx_a.send(42).unwrap();
+        let op = sel.ready();
+        assert_eq!(op, op_a);
+        assert_ne!(op, op_b);
+        assert_eq!(rx_a.try_recv(), Ok(42));
+    }
+
+    #[test]
+    fn select_ready_timeout_expires_on_idle_channels() {
+        let (_tx, rx) = unbounded::<u32>();
+        let mut sel = Select::new();
+        sel.recv(&rx);
+        assert_eq!(
+            sel.ready_timeout(Duration::from_millis(10)),
+            Err(ReadyTimeoutError)
+        );
+        assert_eq!(sel.try_ready(), Err(TryReadyError));
+    }
+
+    #[test]
+    fn select_wakes_when_a_parked_channel_receives() {
+        let (tx, rx) = unbounded::<u32>();
+        let (_tx2, rx2) = unbounded::<u32>();
+        let t = thread::spawn(move || {
+            thread::sleep(Duration::from_millis(30));
+            tx.send(9).unwrap();
+        });
+        let mut sel = Select::new();
+        let op_rx = sel.recv(&rx);
+        sel.recv(&rx2);
+        let start = Instant::now();
+        let op = sel.ready();
+        assert_eq!(op, op_rx);
+        assert!(start.elapsed() >= Duration::from_millis(20));
+        assert_eq!(rx.recv(), Ok(9));
+        t.join().unwrap();
+    }
+
+    #[test]
+    fn select_sees_disconnect_as_ready() {
+        let (tx, rx) = unbounded::<u32>();
+        let t = thread::spawn(move || {
+            thread::sleep(Duration::from_millis(20));
+            drop(tx);
+        });
+        let mut sel = Select::new();
+        let op = sel.recv(&rx);
+        assert_eq!(sel.ready(), op);
+        assert_eq!(rx.try_recv(), Err(TryRecvError::Disconnected));
+        t.join().unwrap();
+    }
+
+    #[test]
+    fn select_rotates_between_saturated_channels() {
+        let (tx_a, rx_a) = unbounded::<u32>();
+        let (tx_b, rx_b) = unbounded::<u32>();
+        for i in 0..8 {
+            tx_a.send(i).unwrap();
+            tx_b.send(i).unwrap();
+        }
+        let mut sel = Select::new();
+        let op_a = sel.recv(&rx_a);
+        let op_b = sel.recv(&rx_b);
+        let mut seen = [0usize; 2];
+        for _ in 0..8 {
+            let op = sel.ready();
+            if op == op_a {
+                rx_a.try_recv().unwrap();
+                seen[0] += 1;
+            } else {
+                assert_eq!(op, op_b);
+                rx_b.try_recv().unwrap();
+                seen[1] += 1;
+            }
+        }
+        // Both saturated channels must make progress, not just the first.
+        assert_eq!(seen, [4, 4]);
+    }
+
+    #[test]
+    fn selected_operation_completes_a_receive() {
+        let (tx, rx) = unbounded::<u32>();
+        tx.send(5).unwrap();
+        let mut sel = Select::new();
+        let op_rx = sel.recv(&rx);
+        let op = sel.select();
+        assert_eq!(op.index(), op_rx);
+        assert_eq!(op.recv(&rx), Ok(5));
+        drop(tx);
+        let op = sel.select();
+        assert_eq!(op.recv(&rx), Err(RecvError));
+    }
+
+    #[test]
+    fn select_unregisters_wakers_after_ready() {
+        let (tx, rx) = unbounded::<u32>();
+        {
+            let mut sel = Select::new();
+            sel.recv(&rx);
+            assert!(sel.ready_timeout(Duration::from_millis(5)).is_err());
+        }
+        // A timed-out (then dropped) select must leave no wakers behind.
+        assert!(rx.shared.inner.lock().unwrap().wakers.is_empty());
+        tx.send(1).unwrap();
+        assert_eq!(rx.recv(), Ok(1));
+    }
+
+    #[test]
+    fn tick_channel_delivers_periodically_and_stops_on_drop() {
+        let rx = tick(Duration::from_millis(5));
+        let first = rx.recv().unwrap();
+        let second = rx.recv().unwrap();
+        assert!(second >= first);
+        drop(rx); // timer thread notices the disconnect and exits
+    }
+
+    #[test]
+    fn after_channel_fires_once() {
+        let start = Instant::now();
+        let rx = after(Duration::from_millis(15));
+        let fired = rx.recv().unwrap();
+        assert!(fired.duration_since(start) >= Duration::from_millis(10));
+        // Sender dropped after firing: channel is now disconnected.
+        assert_eq!(rx.recv(), Err(RecvError));
     }
 }
